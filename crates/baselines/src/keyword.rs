@@ -1,0 +1,247 @@
+//! The document-centric keyword baselines of §7.3.
+//!
+//! "In the absence of UDI, the typical approach imagined to bootstrap
+//! pay-as-you-go data integration systems is to consider all the data
+//! sources as a collection of text documents and apply keyword search
+//! techniques."
+//!
+//! Given a query `Q`, the keyword query `Q′` is built from all attribute
+//! names in the SELECT clause and all values in the WHERE clause. Retrieved
+//! rows are projected onto the SELECT attributes by *identity* — the only
+//! notion of structure a keyword engine has — with NULL for attributes the
+//! source lacks. All three variants return every tuple with probability 1
+//! (keyword search is unranked for our purposes, as in the paper, where
+//! these baselines "do not return ranked answers").
+
+use udi_query::{AnswerSet, AnswerTuple, Query};
+use udi_store::{Catalog, KeywordIndex, RowRef, Value};
+
+use crate::Integrator;
+
+/// Split a query into its keyword form `Q′`: SELECT attribute names plus
+/// WHERE values, tokenized.
+fn keyword_query(query: &Query) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for a in &query.select {
+        out.extend(tokens(a));
+    }
+    for p in &query.predicates {
+        out.extend(tokens(&p.value.to_string()));
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn tokens(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            cur.extend(c.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Project a retrieved row onto the SELECT attributes by attribute-name
+/// identity; NULL where the source has no such attribute.
+fn project(catalog: &Catalog, rref: RowRef, query: &Query) -> AnswerTuple {
+    let table = catalog.source(rref.source).expect("row refs come from the index");
+    let row = &table.rows()[rref.row];
+    let values: Vec<Value> = query
+        .select
+        .iter()
+        .map(|a| {
+            table
+                .attribute_index(a)
+                .map(|i| row[i].clone())
+                .unwrap_or(Value::Null)
+        })
+        .collect();
+    AnswerTuple { values, probability: 1.0 }
+}
+
+fn collect(catalog: &Catalog, rows: impl IntoIterator<Item = RowRef>, query: &Query) -> AnswerSet {
+    let mut per_source: std::collections::BTreeMap<udi_store::SourceId, Vec<AnswerTuple>> =
+        Default::default();
+    for r in rows {
+        per_source.entry(r.source).or_default().push(project(catalog, r, query));
+    }
+    let mut set = AnswerSet::new();
+    for (sid, tuples) in per_source {
+        set.add_source(sid, tuples);
+    }
+    set
+}
+
+/// `KeywordNaive`: rows containing *any* keyword of `Q′` (attribute names
+/// included).
+pub struct KeywordNaive<'a> {
+    catalog: &'a Catalog,
+    index: KeywordIndex,
+}
+
+impl<'a> KeywordNaive<'a> {
+    /// Index the catalog.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        KeywordNaive { catalog, index: KeywordIndex::build(catalog) }
+    }
+}
+
+impl Integrator for KeywordNaive<'_> {
+    fn name(&self) -> &'static str {
+        "KeywordNaive"
+    }
+
+    fn answer(&self, query: &Query) -> AnswerSet {
+        let kws = keyword_query(query);
+        let rows = self.index.rows_with_any(kws.iter().map(String::as_str));
+        collect(self.catalog, rows, query)
+    }
+}
+
+/// `KeywordStruct`: classify each keyword as a *structure term* (occurs in
+/// some attribute name) or a *value term*; return rows containing any value
+/// term.
+pub struct KeywordStruct<'a> {
+    catalog: &'a Catalog,
+    index: KeywordIndex,
+}
+
+impl<'a> KeywordStruct<'a> {
+    /// Index the catalog.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        KeywordStruct { catalog, index: KeywordIndex::build(catalog) }
+    }
+
+    fn value_terms(&self, query: &Query) -> Vec<String> {
+        keyword_query(query)
+            .into_iter()
+            .filter(|k| !self.index.is_structure_term(k))
+            .collect()
+    }
+}
+
+impl Integrator for KeywordStruct<'_> {
+    fn name(&self) -> &'static str {
+        "KeywordStruct"
+    }
+
+    fn answer(&self, query: &Query) -> AnswerSet {
+        let vts = self.value_terms(query);
+        let rows = self.index.rows_with_any(vts.iter().map(String::as_str));
+        collect(self.catalog, rows, query)
+    }
+}
+
+/// `KeywordStrict`: like [`KeywordStruct`] but rows must contain *all*
+/// value terms.
+pub struct KeywordStrict<'a> {
+    catalog: &'a Catalog,
+    index: KeywordIndex,
+}
+
+impl<'a> KeywordStrict<'a> {
+    /// Index the catalog.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        KeywordStrict { catalog, index: KeywordIndex::build(catalog) }
+    }
+}
+
+impl Integrator for KeywordStrict<'_> {
+    fn name(&self) -> &'static str {
+        "KeywordStrict"
+    }
+
+    fn answer(&self, query: &Query) -> AnswerSet {
+        let idx = &self.index;
+        let vts: Vec<String> = keyword_query(query)
+            .into_iter()
+            .filter(|k| !idx.is_structure_term(k))
+            .collect();
+        let rows = idx.rows_with_all(vts.iter().map(String::as_str));
+        collect(self.catalog, rows, query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udi_query::parse_query;
+    use udi_store::Table;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut t0 = Table::new("s0", ["name", "city"]);
+        t0.push_raw_row(["Alice", "Springfield"]).unwrap();
+        t0.push_raw_row(["Bob", "Salem"]).unwrap();
+        c.add_source(t0);
+        let mut t1 = Table::new("s1", ["title", "city"]);
+        t1.push_raw_row(["Engineer", "Springfield"]).unwrap();
+        c.add_source(t1);
+        c
+    }
+
+    #[test]
+    fn keyword_query_mixes_select_attrs_and_where_values() {
+        let q = parse_query("SELECT name, city FROM t WHERE city = 'Springfield'").unwrap();
+        let kws = keyword_query(&q);
+        assert!(kws.contains(&"name".to_owned()));
+        assert!(kws.contains(&"city".to_owned()));
+        assert!(kws.contains(&"springfield".to_owned()));
+    }
+
+    #[test]
+    fn naive_matches_attribute_names_too() {
+        let c = catalog();
+        let naive = KeywordNaive::new(&c);
+        // "name" is an attribute name token: naive retrieves nothing for it
+        // from cell text, but "springfield" hits two rows across sources.
+        let q = parse_query("SELECT name FROM t WHERE city = 'Springfield'").unwrap();
+        let ans = naive.answer(&q);
+        assert_eq!(ans.len(), 2);
+        // s1 lacks `name`: its projection is NULL.
+        let flat = ans.flat();
+        assert!(flat.iter().any(|t| t.values[0] == Value::Null));
+        assert!(flat.iter().any(|t| t.values[0] == Value::text("Alice")));
+    }
+
+    #[test]
+    fn struct_ignores_structure_terms() {
+        let c = catalog();
+        let ks = KeywordStruct::new(&c);
+        let q = parse_query("SELECT name FROM t WHERE city = 'Salem'").unwrap();
+        // Value terms: {salem}; structure terms {name, city} ignored.
+        let ans = ks.answer(&q);
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans.flat()[0].values[0], Value::text("Bob"));
+    }
+
+    #[test]
+    fn strict_requires_all_value_terms() {
+        let c = catalog();
+        let strict = KeywordStrict::new(&c);
+        let q = parse_query("SELECT name FROM t WHERE name = 'Alice' AND city = 'Salem'")
+            .unwrap();
+        // No row contains both "alice" and "salem".
+        assert!(strict.answer(&q).is_empty());
+        let q2 =
+            parse_query("SELECT name FROM t WHERE name = 'Alice' AND city = 'Springfield'")
+                .unwrap();
+        assert_eq!(strict.answer(&q2).len(), 1);
+    }
+
+    #[test]
+    fn no_value_terms_yields_empty_for_struct_variants() {
+        let c = catalog();
+        let q = parse_query("SELECT name FROM t").unwrap();
+        assert!(KeywordStruct::new(&c).answer(&q).is_empty());
+        assert!(KeywordStrict::new(&c).answer(&q).is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+
+//! Competing bootstrap approaches from §7.3–§7.4 of the paper.
+//!
+//! The evaluation compares UDI against every plausible way of standing up a
+//! data integration system with zero human effort:
+//!
+//! | Approach | Idea | Expected behaviour (paper) |
+//! |---|---|---|
+//! | [`KeywordNaive`] | rows containing *any* query keyword | poor P and R |
+//! | [`KeywordStruct`] | classify keywords into structure/value terms; rows with any value term | poor |
+//! | [`KeywordStrict`] | rows with *all* value terms | poor |
+//! | [`SourceDirect`] | pose the query verbatim on every source containing all its attributes | high P, low R |
+//! | [`TopMapping`] | consolidated schema, but only the most probable mapping | erratic P, low R |
+//! | [`SingleMed`] | deterministic mediated schema (§4.1, ε = 0) + p-mappings | P ≈ UDI, lower R |
+//! | [`UnionAll`] | one singleton cluster per frequent attribute | high P, much lower R, state explosion on Bib |
+//!
+//! All approaches implement [`Integrator`], so the experiment harness can
+//! drive them uniformly.
+
+pub mod keyword;
+pub mod single_med;
+pub mod source_direct;
+pub mod top_mapping;
+pub mod union_all;
+
+pub use keyword::{KeywordNaive, KeywordStrict, KeywordStruct};
+pub use single_med::SingleMed;
+pub use source_direct::SourceDirect;
+pub use top_mapping::TopMapping;
+pub use union_all::UnionAll;
+
+use udi_query::{AnswerSet, Query};
+
+/// Anything that can answer a select–project query over the integrated
+/// sources.
+pub trait Integrator {
+    /// Short display name used in experiment tables.
+    fn name(&self) -> &'static str;
+    /// Answer the query.
+    fn answer(&self, query: &Query) -> AnswerSet;
+}
+
+/// UDI itself, viewed as an [`Integrator`].
+pub struct Udi<'a>(pub &'a udi_core::UdiSystem);
+
+impl Integrator for Udi<'_> {
+    fn name(&self) -> &'static str {
+        "UDI"
+    }
+
+    fn answer(&self, query: &Query) -> AnswerSet {
+        self.0.answer(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udi_core::{UdiConfig, UdiSystem};
+    use udi_query::parse_query;
+    use udi_store::{Catalog, Table};
+
+    #[test]
+    fn udi_wrapper_delegates() {
+        let mut catalog = Catalog::new();
+        let mut t = Table::new("s", ["name", "phone"]);
+        t.push_raw_row(["Alice", "123"]).unwrap();
+        catalog.add_source(t);
+        let mut t2 = Table::new("s2", ["name", "phone"]);
+        t2.push_raw_row(["Bob", "456"]).unwrap();
+        catalog.add_source(t2);
+        let udi = UdiSystem::setup(catalog, UdiConfig::default()).unwrap();
+        let w = Udi(&udi);
+        assert_eq!(w.name(), "UDI");
+        let q = parse_query("SELECT name FROM t").unwrap();
+        assert_eq!(w.answer(&q).combined().len(), 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! The `TopMapping` baseline of §7.3.
+
+use udi_core::UdiSystem;
+use udi_query::{AnswerSet, Query};
+
+use crate::Integrator;
+
+/// "`TopMapping`: use the consolidated mediated schema but consider only the
+/// schema mapping with the highest probability, rather than all the mappings
+/// in the p-mapping."
+pub struct TopMapping<'a> {
+    system: &'a UdiSystem,
+}
+
+impl<'a> TopMapping<'a> {
+    /// Wrap a configured UDI system.
+    pub fn new(system: &'a UdiSystem) -> Self {
+        TopMapping { system }
+    }
+}
+
+impl Integrator for TopMapping<'_> {
+    fn name(&self) -> &'static str {
+        "TopMapping"
+    }
+
+    fn answer(&self, query: &Query) -> AnswerSet {
+        self.system.answer_top_mapping(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udi_core::UdiConfig;
+    use udi_query::parse_query;
+    use udi_store::{Catalog, Table};
+
+    fn system() -> UdiSystem {
+        let mut catalog = Catalog::new();
+        for (name, attrs, row) in [
+            ("s1", vec!["name", "phone"], vec!["Alice", "123"]),
+            ("s2", vec!["name", "phone-no"], vec!["Bob", "456"]),
+            ("s3", vec!["name", "phone"], vec!["Carol", "789"]),
+        ] {
+            let mut t = Table::new(name, attrs);
+            t.push_raw_row(row).unwrap();
+            catalog.add_source(t);
+        }
+        UdiSystem::setup(catalog, UdiConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn top_mapping_returns_certain_probabilities() {
+        let sys = system();
+        let tm = TopMapping::new(&sys);
+        let q = parse_query("SELECT name, phone FROM t").unwrap();
+        let ans = tm.answer(&q);
+        assert!(!ans.is_empty());
+        for t in ans.flat() {
+            assert_eq!(t.probability, 1.0, "top mapping is taken as certain");
+        }
+    }
+
+    #[test]
+    fn recall_is_bounded_by_full_udi() {
+        let sys = system();
+        let tm = TopMapping::new(&sys);
+        let q = parse_query("SELECT name, phone FROM t").unwrap();
+        let top = tm.answer(&q).combined();
+        let full = sys.answer(&q).combined();
+        assert!(top.len() <= full.len());
+    }
+}

@@ -1,0 +1,143 @@
+//! The `UnionAll` baseline of §7.4: no clustering at all — every frequent
+//! attribute is its own mediated attribute.
+
+use std::collections::BTreeSet;
+
+use udi_core::{UdiConfig, UdiError, UdiSystem};
+use udi_query::{AnswerSet, Query};
+use udi_schema::{
+    generate_pmapping, MediatedSchema, PMedSchema, SchemaSet, SimilarityMatrix,
+};
+use udi_store::Catalog;
+
+use crate::Integrator;
+
+/// "`UnionAll`: create a deterministic mediated schema that contains a
+/// singleton cluster for each frequent source attribute."
+///
+/// Not grouping similar attributes leaves correspondences weak and
+/// multiplies the possible mappings per p-mapping; the paper reports high
+/// precision, much lower recall, and an out-of-memory failure on the Bib
+/// domain. Here the explosion is surfaced as
+/// [`udi_schema::MaxEntError::Explosion`] through [`UdiError::MaxEnt`].
+#[derive(Debug)]
+pub struct UnionAll {
+    system: UdiSystem,
+}
+
+impl UnionAll {
+    /// Run the singleton-cluster pipeline over the catalog.
+    pub fn setup(catalog: Catalog, config: UdiConfig) -> Result<UnionAll, UdiError> {
+        if catalog.source_count() == 0 {
+            return Err(UdiError::EmptyCatalog);
+        }
+        let params = &config.params;
+        let measure = config.measure.build();
+
+        let mut schema_set = SchemaSet::default();
+        for (_, table) in catalog.iter_sources() {
+            schema_set.add_source(table.name(), table.attributes().iter().map(String::as_str));
+        }
+        let singletons: Vec<BTreeSet<udi_schema::AttrId>> = schema_set
+            .frequent_attributes(params.theta)
+            .into_iter()
+            .map(|a| std::iter::once(a).collect())
+            .collect();
+        let med = MediatedSchema::new(singletons);
+        let pmed = PMedSchema::new(vec![(med.clone(), 1.0)]);
+
+        let matrix = SimilarityMatrix::new(schema_set.vocab(), &*measure);
+        let mut pmappings = Vec::with_capacity(schema_set.sources().len());
+        for source in schema_set.sources() {
+            let pm = generate_pmapping(source, &med, &matrix, params)?;
+            pmappings.push(vec![pm]);
+        }
+        drop(matrix);
+        let system = UdiSystem::from_parts(catalog, pmed, pmappings)?;
+        Ok(UnionAll { system })
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &UdiSystem {
+        &self.system
+    }
+}
+
+impl Integrator for UnionAll {
+    fn name(&self) -> &'static str {
+        "UnionAll"
+    }
+
+    fn answer(&self, query: &Query) -> AnswerSet {
+        self.system.answer(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udi_query::parse_query;
+    use udi_store::Table;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for (name, attrs, row) in [
+            ("s1", vec!["name", "phone"], vec!["Alice", "123"]),
+            ("s2", vec!["name", "phone-no"], vec!["Bob", "456"]),
+            ("s3", vec!["name", "phone"], vec!["Carol", "789"]),
+        ] {
+            let mut t = Table::new(name, attrs);
+            t.push_raw_row(row).unwrap();
+            c.add_source(t);
+        }
+        c
+    }
+
+    #[test]
+    fn schema_is_all_singletons() {
+        let ua = UnionAll::setup(catalog(), UdiConfig::default()).unwrap();
+        let med = ua.system().consolidated();
+        assert!(med.clusters().iter().all(|c| c.len() == 1));
+        assert!(ua.system().pmed().is_deterministic());
+    }
+
+    #[test]
+    fn misses_cross_variant_answers_on_exact_select() {
+        let ua = UnionAll::setup(catalog(), UdiConfig::default()).unwrap();
+        let q = parse_query("SELECT name, phone FROM t").unwrap();
+        let names: Vec<String> = ua
+            .answer(&q)
+            .combined()
+            .iter()
+            .map(|t| t.values[0].to_string())
+            .collect();
+        // `phone-no` is a separate mediated attribute: Bob is reachable only
+        // through a (thresholded) correspondence phone-no → {phone}. The
+        // names pass through Jaro-Winkler fine, so here Bob may appear, but
+        // never with certainty; the structural point is that the schema has
+        // no clusters.
+        assert!(names.contains(&"Alice".to_owned()));
+        assert!(names.contains(&"Carol".to_owned()));
+    }
+
+    #[test]
+    fn explosion_surfaces_as_error() {
+        // Many mutually-similar attributes + singleton clusters → the
+        // matching count blows past a small cap.
+        let mut c = Catalog::new();
+        for s in 0..6 {
+            let attrs: Vec<String> = (0..8).map(|i| format!("phone{i}{s}")).collect();
+            let mut t = Table::new(format!("s{s}"), attrs.clone());
+            t.push_raw_row(attrs.iter().map(|_| "1")).unwrap();
+            c.add_source(t);
+        }
+        let mut config = UdiConfig::default();
+        config.params.theta = 0.0;
+        config.params.mapping_cap = 100;
+        let err = UnionAll::setup(c, config).unwrap_err();
+        assert!(matches!(
+            err,
+            UdiError::MaxEnt(udi_schema::MaxEntError::Explosion { .. })
+        ));
+    }
+}

@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks for the maximum-entropy machinery — the paper
+//! singles out entropy maximization as "the most time-consuming step in
+//! system setup".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use udi_maxent::{
+    enumerate_matchings, solve_correspondences, solve_max_entropy, Correspondence,
+    CorrespondenceSet, MaxEntConfig,
+};
+
+/// A k×k complete bipartite correspondence set with mildly varied weights.
+fn complete(k: usize) -> CorrespondenceSet {
+    let mut raw = Vec::new();
+    for i in 0..k {
+        for j in 0..k {
+            let w = if i == j { 0.9 } else { 0.1 + 0.01 * (i + j) as f64 };
+            raw.push(Correspondence::new(i, j, w));
+        }
+    }
+    CorrespondenceSet::normalized(raw).expect("valid")
+}
+
+fn bench_enumerate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumerate_matchings");
+    for &k in &[3usize, 4, 5] {
+        let set = complete(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &set, |b, set| {
+            b.iter(|| enumerate_matchings(set, 1_000_000).expect("under cap"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_entropy_solve");
+    for &k in &[3usize, 4] {
+        let set = complete(k);
+        let matchings = enumerate_matchings(&set, 1_000_000).expect("under cap");
+        let targets: Vec<f64> = set.correspondences().iter().map(|c| c.weight).collect();
+        group.bench_function(BenchmarkId::from_parameter(k), |b| {
+            b.iter(|| {
+                solve_max_entropy(set.len(), &matchings, &targets, &MaxEntConfig::default())
+                    .expect("converges")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_grouped(c: &mut Criterion) {
+    // Ten independent 2x2 groups: the group decomposition must make this
+    // trivial instead of enumerating a 4^10 joint space.
+    let mut raw = Vec::new();
+    for g in 0..10 {
+        let base = g * 2;
+        raw.push(Correspondence::new(base, base, 0.8));
+        raw.push(Correspondence::new(base + 1, base + 1, 0.6));
+    }
+    let set = CorrespondenceSet::normalized(raw).expect("valid");
+    c.bench_function("grouped_10x_independent_pairs", |b| {
+        b.iter(|| solve_correspondences(&set, &MaxEntConfig::default()).expect("solves"));
+    });
+}
+
+criterion_group!(benches, bench_enumerate, bench_solver, bench_grouped);
+criterion_main!(benches);

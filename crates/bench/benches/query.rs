@@ -1,0 +1,48 @@
+//! Criterion benchmark behind the §7.6 query-latency claim ("with 817 data
+//! sources, UDI answered queries in no more than 2 seconds"): per-query
+//! answering cost over the consolidated schema, plus the Theorem 6.2
+//! equivalence path for comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use udi_core::{UdiConfig, UdiSystem};
+use udi_datagen::{generate, Domain, GenConfig};
+use udi_eval::generate_workload;
+
+fn bench_query(c: &mut Criterion) {
+    // One-core CI box: keep measurement windows tight.
+
+    let gen = generate(
+        Domain::Car,
+        &GenConfig { n_sources: Some(200), seed: 2008, ..GenConfig::default() },
+    );
+    let udi = UdiSystem::setup(gen.catalog.clone(), UdiConfig::default()).expect("setup");
+    let queries = generate_workload(&gen, 10, 2009);
+
+    c.bench_function("answer_consolidated_car_200", |b| {
+        b.iter(|| {
+            for q in &queries {
+                criterion::black_box(udi.answer(q));
+            }
+        });
+    });
+
+    c.bench_function("answer_pmed_car_200", |b| {
+        b.iter(|| {
+            for q in &queries {
+                criterion::black_box(udi.answer_with_pmed(q));
+            }
+        });
+    });
+
+    c.bench_function("answer_top_mapping_car_200", |b| {
+        b.iter(|| {
+            for q in &queries {
+                criterion::black_box(udi.answer_top_mapping(q));
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmark behind Figure 7: end-to-end setup cost as the number
+//! of Car-domain sources grows. The paper's claim is *linear* scaling; the
+//! per-size throughput here should stay roughly constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use udi_core::{UdiConfig, UdiSystem};
+use udi_datagen::{generate, Domain, GenConfig};
+
+fn bench_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setup_car");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+    group.warm_up_time(std::time::Duration::from_secs(2));
+    for &n in &[50usize, 100, 200] {
+        let gen = generate(
+            Domain::Car,
+            &GenConfig { n_sources: Some(n), seed: 2008, ..GenConfig::default() },
+        );
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &gen, |b, gen| {
+            b.iter(|| {
+                UdiSystem::setup(gen.catalog.clone(), UdiConfig::default()).expect("setup")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_setup_stages(c: &mut Criterion) {
+    // Isolate the p-med-schema stage, which must stay negligible next to
+    // p-mapping generation (the paper's observation).
+    let gen = generate(
+        Domain::Bib,
+        &GenConfig { n_sources: Some(100), seed: 2008, ..GenConfig::default() },
+    );
+    let mut set = udi_schema::SchemaSet::default();
+    for (_, t) in gen.catalog.iter_sources() {
+        set.add_source(t.name(), t.attributes().iter().map(String::as_str));
+    }
+    let sim = udi_similarity::AttributeSimilarity::default();
+    let params = udi_schema::UdiParams::default();
+    c.bench_function("p_med_schema_bib_100", |b| {
+        b.iter(|| udi_schema::build_p_med_schema(&set, &sim, &params).expect("build"));
+    });
+}
+
+criterion_group!(benches, bench_setup, bench_setup_stages);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion microbenchmarks for the pairwise attribute matcher (the inner
+//! loop of similarity-graph construction and correspondence generation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use udi_similarity::{
+    jaccard_ngram, jaro_winkler, normalized_levenshtein, AttributeSimilarity, Similarity,
+};
+
+const PAIRS: &[(&str, &str)] = &[
+    ("phone", "phone-no"),
+    ("author(s)", "authors"),
+    ("link to pubmed", "pubmed"),
+    ("home address", "work address"),
+    ("instructor", "lecturer"),
+    ("issue", "issn"),
+    ("pages/rec. no", "pages"),
+    ("release year", "year"),
+];
+
+fn bench_measures(c: &mut Criterion) {
+    c.bench_function("jaro_winkler_8pairs", |b| {
+        b.iter(|| {
+            PAIRS
+                .iter()
+                .map(|(x, y)| jaro_winkler(x, y))
+                .sum::<f64>()
+        });
+    });
+    c.bench_function("levenshtein_8pairs", |b| {
+        b.iter(|| {
+            PAIRS
+                .iter()
+                .map(|(x, y)| normalized_levenshtein(x, y))
+                .sum::<f64>()
+        });
+    });
+    c.bench_function("trigram_jaccard_8pairs", |b| {
+        b.iter(|| {
+            PAIRS
+                .iter()
+                .map(|(x, y)| jaccard_ngram(x, y, 3))
+                .sum::<f64>()
+        });
+    });
+    let full = AttributeSimilarity::default();
+    c.bench_function("attribute_similarity_8pairs", |b| {
+        b.iter(|| {
+            PAIRS
+                .iter()
+                .map(|(x, y)| full.similarity(x, y))
+                .sum::<f64>()
+        });
+    });
+}
+
+criterion_group!(benches, bench_measures);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Extension experiment: the Example 2.1 ambiguity stress corpus.
+//!
+//! The paper motivates probabilistic mediated schemas with a corpus where
+//! one label (`phone`, `address`) genuinely means different things in
+//! different sources. The benchmark People corpus — like the paper's actual
+//! web corpus — contains no such per-source ambiguity (any approach's flat
+//! precision would otherwise collapse; see EXPERIMENTS.md). This experiment
+//! builds that adversarial corpus explicitly and measures how every
+//! approach copes, plus the ranking quality (R-P) of UDI vs SingleMed —
+//! the regime where the p-med-schema's extra expressive power
+//! (Theorem 3.5) is visible in answers.
+
+use udi_bench::{ambiguous_people_concepts, banner, fmt_prf, seed};
+use udi_baselines::{Integrator, SingleMed, SourceDirect, TopMapping, Udi};
+use udi_core::{UdiConfig, UdiSystem};
+use udi_datagen::{generate_with_concepts, Domain, GenConfig};
+use udi_eval::{generate_workload, precision_at_recall, rp_curve, score, GoldenIntegrator, Metrics};
+
+fn main() {
+    banner("Extension: Example 2.1 ambiguity stress corpus (49 sources)");
+    let gen = generate_with_concepts(
+        Domain::People,
+        ambiguous_people_concepts(),
+        &GenConfig { n_sources: Some(49), seed: seed(), ..GenConfig::default() },
+    );
+    let amb: Vec<&str> = gen
+        .truth
+        .attribute_names()
+        .into_iter()
+        .filter(|a| gen.truth.is_ambiguous(a))
+        .collect();
+    println!("ambiguous labels in corpus: {amb:?}");
+
+    let udi = UdiSystem::setup(gen.catalog.clone(), UdiConfig::default()).expect("setup");
+    let sm = SingleMed::setup(gen.catalog.clone(), UdiConfig::default()).expect("setup");
+    let golden = GoldenIntegrator::new(&gen.catalog, &gen.truth);
+    let queries = generate_workload(&gen, 12, seed().wrapping_add(1));
+
+    println!("\n{:<11} {:>9} {:>9} {:>9}", "Approach", "Precision", "Recall", "F-measure");
+    let approaches: Vec<Box<dyn Integrator + '_>> = vec![
+        Box::new(Udi(&udi)),
+        Box::new(sm),
+        Box::new(TopMapping::new(&udi)),
+        Box::new(SourceDirect::new(&gen.catalog)),
+    ];
+    for a in &approaches {
+        let per_query: Vec<Metrics> = queries
+            .iter()
+            .map(|q| {
+                let rows = golden.golden_rows(q);
+                score(a.answer(q).flat(), rows.iter())
+            })
+            .collect();
+        let m = Metrics::average(&per_query);
+        println!("{:<11} {}", a.name(), fmt_prf(m));
+    }
+
+    // Ranking quality: mean interpolated precision over the workload.
+    println!("\nR-P comparison (mean interpolated precision at recall levels):");
+    let levels: Vec<f64> = (1..=10).map(|k| k as f64 / 10.0).collect();
+    let sm2 = SingleMed::setup(gen.catalog.clone(), UdiConfig::default()).expect("setup");
+    for (label, system) in
+        [("UDI", &udi as &UdiSystem), ("SingleMed", sm2.system())]
+    {
+        let mut mean = 0.0;
+        let mut n = 0;
+        for q in &queries {
+            let rows = golden.golden_rows(q);
+            if rows.is_empty() {
+                continue;
+            }
+            let curve = rp_curve(&system.answer(q).combined(), &rows);
+            mean += levels.iter().map(|&r| precision_at_recall(&curve, r)).sum::<f64>()
+                / levels.len() as f64;
+            n += 1;
+        }
+        println!("  {label:<10} {:.3}", mean / n.max(1) as f64);
+    }
+    println!(
+        "\nExpected shape: flat precision degrades for every approach under \
+         genuine ambiguity, but UDI degrades least, keeps the highest recall, \
+         and ranks correctly-correlated answers above crossed ones \
+         (Example 2.1, Figure 1(c))."
+    );
+}

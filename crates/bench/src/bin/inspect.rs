@@ -1,0 +1,73 @@
+//! Diagnostic tool: print the generated p-med-schema, consolidated
+//! clusters, and per-query metrics for one domain.
+//!
+//! Usage: `inspect [movie|car|people|course|bib]` (default: people), with
+//! the usual `UDI_SCALE` / `UDI_SEED` environment overrides.
+
+use udi_bench::{banner, seed, sources_for};
+use udi_baselines::Udi;
+use udi_datagen::Domain;
+use udi_eval::harness::prepare;
+use udi_eval::score;
+
+fn main() {
+    let domain = match std::env::args().nth(1).as_deref() {
+        Some("movie") => Domain::Movie,
+        Some("car") => Domain::Car,
+        Some("course") => Domain::Course,
+        Some("bib") => Domain::Bib,
+        _ => Domain::People,
+    };
+    banner(&format!("Inspect: {} domain", domain.name()));
+    let d = prepare(domain, Some(sources_for(domain)), seed()).expect("setup");
+    let vocab = d.udi.schema_set().vocab();
+
+    println!("\n## p-med-schema ({} possible schemas)", d.udi.pmed().len());
+    for (m, p) in d.udi.pmed().schemas() {
+        println!("  Pr={p:.3}  {}", m.display(vocab));
+    }
+
+    println!("\n## consolidated schema (exposed)");
+    for (rep, members) in d.udi.exposed_schema() {
+        println!("  {rep:<18} = {{{}}}", members.join(", "));
+    }
+
+    println!("\n## per-query metrics vs true golden standard");
+    let golden = d.golden_rows();
+    for (q, g) in d.queries.iter().zip(&golden) {
+        let ans = Udi(&d.udi).0.answer(q);
+        let m = score(ans.flat(), g.iter());
+        println!(
+            "  P={:.2} R={:.2} |golden|={:<4} |answers|={:<4}  {}",
+            m.precision,
+            m.recall,
+            g.len(),
+            ans.len(),
+            q
+        );
+        if m.precision < 0.9 {
+            // Show a few wrong answers with their provenance.
+            let mut shown = 0;
+            for (sid, tuples) in ans.by_source() {
+                for t in tuples {
+                    if !g.contains(&t.values) && shown < 3 {
+                        let vals: Vec<String> =
+                            t.values.iter().map(ToString::to_string).collect();
+                        let table = d.gen.catalog.source(*sid).unwrap();
+                        println!(
+                            "      wrong (p={:.3}) from {} {:?}: ({})",
+                            t.probability,
+                            table.name(),
+                            table.attributes(),
+                            vals.join(", ")
+                        );
+                        shown += 1;
+                    }
+                }
+                if shown >= 3 {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Diagnostic tool: print the default attribute similarity for name pairs.
+//!
+//! Usage: `simprobe a b` for one pair, or no arguments to dump the pairwise
+//! matrix of every attribute-name variant of every domain, annotated with
+//! its Algorithm 1 classification under the paper's thresholds
+//! (τ = 0.85, ε = 0.02).
+
+use udi_datagen::Domain;
+use udi_similarity::{AttributeSimilarity, Similarity};
+
+fn class(w: f64) -> &'static str {
+    if w >= 0.87 {
+        "CERTAIN"
+    } else if w >= 0.83 {
+        "uncertain"
+    } else {
+        "-"
+    }
+}
+
+fn main() {
+    let sim = AttributeSimilarity::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() == 2 {
+        let w = sim.similarity(&args[0], &args[1]);
+        println!("s({:?}, {:?}) = {w:.4}  [{}]", args[0], args[1], class(w));
+        return;
+    }
+    for d in Domain::all() {
+        println!("== {} ==", d.name());
+        let names: Vec<(&str, &str)> = d
+            .concepts()
+            .iter()
+            .flat_map(|c| {
+                let key = c.key;
+                c.variants.iter().map(move |v| (key, *v))
+            })
+            .collect();
+        for (i, &(ka, a)) in names.iter().enumerate() {
+            for &(kb, b) in &names[i + 1..] {
+                if a == b {
+                    continue;
+                }
+                let w = sim.similarity(a, b);
+                if w >= 0.80 {
+                    let marker = if ka == kb { "same-concept" } else { "CROSS-CONCEPT" };
+                    println!("  {w:.4} [{:>9}] {a:?} ~ {b:?}  ({marker})", class(w));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Shared plumbing for the reproduction binaries (one per paper
+//! table/figure) and the criterion benchmarks.
+//!
+//! Every binary accepts the environment variable `UDI_SCALE` — a fraction
+//! in `(0, 1]` applied to the paper's Table 1 source counts — so the whole
+//! suite can be smoke-tested quickly (`UDI_SCALE=0.1`) or run at full scale
+//! (default). `UDI_SEED` overrides the corpus seed.
+
+use udi_datagen::Domain;
+
+/// The corpus scale factor from `UDI_SCALE` (default 1.0 = paper scale).
+pub fn scale() -> f64 {
+    std::env::var("UDI_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0 && *s <= 1.0)
+        .unwrap_or(1.0)
+}
+
+/// The corpus seed from `UDI_SEED` (default 2008, the venue year).
+pub fn seed() -> u64 {
+    std::env::var("UDI_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2008)
+}
+
+/// Scaled source count for a domain (at least 10 sources).
+pub fn sources_for(domain: Domain) -> usize {
+    let n = (domain.default_source_count() as f64 * scale()).round() as usize;
+    n.max(10)
+}
+
+/// Print a header banner for an experiment binary.
+pub fn banner(title: &str) {
+    println!("{}", "=".repeat(72));
+    println!("{title}");
+    println!(
+        "(scale={}, seed={}; set UDI_SCALE/UDI_SEED to override)",
+        scale(),
+        seed()
+    );
+    println!("{}", "=".repeat(72));
+}
+
+/// The Example 2.1 ambiguity stress inventory: `phone` and `address` are
+/// genuinely shared between home- and office- concepts, so probability
+/// assignment (max-entropy, Algorithm 2) actually matters. Used by the
+/// `exp_ambiguity` and `exp_ablation` extension experiments.
+pub fn ambiguous_people_concepts() -> Vec<udi_datagen::ConceptSpec> {
+    use udi_datagen::{ConceptSpec, PoolId, ValueKind};
+    vec![
+        ConceptSpec {
+            key: "name",
+            variants: &["name", "full name"],
+            popularity: 1.0,
+            value: ValueKind::PersonName,
+        },
+        ConceptSpec {
+            key: "home phone",
+            variants: &["hphone", "phone"],
+            popularity: 0.9,
+            value: ValueKind::Phone,
+        },
+        ConceptSpec {
+            key: "office phone",
+            variants: &["ophone", "phone"],
+            popularity: 0.85,
+            value: ValueKind::Phone,
+        },
+        ConceptSpec {
+            key: "home address",
+            variants: &["haddr", "address"],
+            popularity: 0.85,
+            value: ValueKind::StreetAddress,
+        },
+        ConceptSpec {
+            key: "office address",
+            variants: &["oaddr", "address"],
+            popularity: 0.8,
+            value: ValueKind::StreetAddress,
+        },
+        ConceptSpec {
+            key: "email",
+            variants: &["email", "e-mail"],
+            popularity: 0.7,
+            value: ValueKind::Email,
+        },
+        ConceptSpec {
+            key: "organization",
+            variants: &["organization", "company"],
+            popularity: 0.8,
+            value: ValueKind::FromPool(PoolId::Companies),
+        },
+    ]
+}
+
+/// Format a metrics triple the way the paper's tables do.
+pub fn fmt_prf(m: udi_eval::Metrics) -> String {
+    format!("{:>9.3} {:>9.3} {:>9.3}", m.precision, m.recall, m.f_measure())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_counts_have_floor() {
+        std::env::remove_var("UDI_SCALE");
+        assert_eq!(sources_for(Domain::Car), 817);
+        assert!(sources_for(Domain::People) >= 10);
+    }
+
+    #[test]
+    fn fmt_prf_is_fixed_width() {
+        let s = fmt_prf(udi_eval::Metrics { precision: 1.0, recall: 0.5 });
+        assert_eq!(s.split_whitespace().count(), 3);
+    }
+}

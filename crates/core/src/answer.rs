@@ -1,0 +1,805 @@
+//! Query answering: by-table semantics over the consolidated schema and —
+//! for Theorem 6.2 — directly over the p-med-schema (Definition 3.3).
+
+use std::collections::HashMap;
+
+use udi_query::{execute_with_binding, AnswerSet, Binding, Query, SourceAccumulator};
+use udi_schema::{AttrId, Mapping, MediatedSchema};
+use udi_store::Table;
+
+use crate::system::UdiSystem;
+
+impl UdiSystem {
+    /// Answer `query` against the **consolidated** mediated schema with the
+    /// consolidated p-mappings (the production path). Query attributes may
+    /// be any source attribute covered by the mediated schema; a query
+    /// referencing an unknown or unclustered (infrequent) attribute yields
+    /// no answers from this path.
+    pub fn answer(&self, query: &Query) -> AnswerSet {
+        let Some(clusters) = self.resolve_clusters(query, &self.consolidated) else {
+            return AnswerSet::new();
+        };
+        let mut set = AnswerSet::new();
+        for (sid, table) in self.catalog.iter_sources() {
+            let pm = &self.cons_pmappings[sid.0 as usize];
+            let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
+            for (m, p) in pm.mappings() {
+                let sig = binding_signature(m, &clusters);
+                *pooled.entry(sig).or_insert(0.0) += p;
+            }
+            let tuples = run_pooled(table, query, &pooled, self);
+            set.add_source(sid, tuples);
+        }
+        set
+    }
+
+    /// Answer `query` directly against the p-med-schema (Definition 3.3):
+    /// per possible mediated schema `M_i`, per mapping, weighted by
+    /// `Pr(M_i)`. Exists to make Theorem 6.2 executable — `answer` must
+    /// return exactly the same answers.
+    pub fn answer_with_pmed(&self, query: &Query) -> AnswerSet {
+        let mut set = AnswerSet::new();
+        // Resolve clusters per possible schema; a schema that cannot
+        // resolve the query contributes nothing.
+        let resolved: Vec<Option<Vec<(String, usize)>>> = self
+            .pmed()
+            .schemas()
+            .iter()
+            .map(|(m, _)| self.resolve_clusters(query, m))
+            .collect();
+        if resolved.iter().all(Option::is_none) {
+            return AnswerSet::new();
+        }
+        for (sid, table) in self.catalog.iter_sources() {
+            let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
+            for (i, (_, p_schema)) in self.pmed().schemas().iter().enumerate() {
+                let Some(clusters) = &resolved[i] else { continue };
+                for (m, p) in self.pmapping(sid.0 as usize, i).mappings() {
+                    let sig = binding_signature(m, clusters);
+                    *pooled.entry(sig).or_insert(0.0) += p * p_schema;
+                }
+            }
+            let tuples = run_pooled(table, query, &pooled, self);
+            set.add_source(sid, tuples);
+        }
+        set
+    }
+
+    /// Answer `query` using **only** the single highest-probability mapping
+    /// of each source's consolidated p-mapping, taken as certain — the
+    /// `TopMapping` baseline of §7.3. Compared with [`UdiSystem::answer`],
+    /// this loses the probability mass of every alternative mapping (low
+    /// recall) and bets everything on the top mapping being right (erratic
+    /// precision), which is exactly the behaviour the paper reports.
+    pub fn answer_top_mapping(&self, query: &Query) -> AnswerSet {
+        let Some(clusters) = self.resolve_clusters(query, &self.consolidated) else {
+            return AnswerSet::new();
+        };
+        let mut set = AnswerSet::new();
+        for (sid, table) in self.catalog.iter_sources() {
+            let pm = &self.cons_pmappings[sid.0 as usize];
+            let top = pm.top_mapping();
+            let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
+            pooled.insert(binding_signature(top, &clusters), 1.0);
+            let tuples = run_pooled(table, query, &pooled, self);
+            set.add_source(sid, tuples);
+        }
+        set
+    }
+
+    /// Answer `query` under **by-tuple** semantics (an extension; the
+    /// paper evaluates by-table). Where by-table assumes one mapping is
+    /// correct for a whole source table, by-tuple lets every *source row*
+    /// select its own mapping independently (Dong, Halevy & Yu's second
+    /// semantics for uncertain mappings). A tuple's probability from one
+    /// source is `1 − Π_r (1 − p_r(t))` over the rows `r` that can produce
+    /// it, where `p_r(t)` sums the probabilities of the mappings under
+    /// which row `r` yields `t`.
+    ///
+    /// The two semantics agree whenever each answer tuple is producible by
+    /// at most one row of each source; they diverge when distinct rows
+    /// yield the same tuple under different mappings (by-table adds the
+    /// mapping probabilities; by-tuple combines them as independent
+    /// events).
+    pub fn answer_by_tuple(&self, query: &Query) -> AnswerSet {
+        let Some(clusters) = self.resolve_clusters(query, &self.consolidated) else {
+            return AnswerSet::new();
+        };
+        let attrs = query.referenced_attributes();
+        let mut set = AnswerSet::new();
+        for (sid, table) in self.catalog.iter_sources() {
+            let pm = &self.cons_pmappings[sid.0 as usize];
+            let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
+            for (m, p) in pm.mappings() {
+                let sig = binding_signature(m, &clusters);
+                *pooled.entry(sig).or_insert(0.0) += p;
+            }
+            // Per (row, tuple): total probability of mappings producing it.
+            let mut per_row: HashMap<(usize, udi_store::Row), f64> = HashMap::new();
+            let mut order: Vec<(usize, udi_store::Row)> = Vec::new();
+            let mut entries: Vec<(&Vec<Option<AttrId>>, &f64)> = pooled.iter().collect();
+            entries.sort_by(|a, b| a.0.cmp(b.0));
+            for (sig, &p) in entries {
+                if p <= 0.0 || sig.iter().any(Option::is_none) {
+                    continue;
+                }
+                let mut binding = Binding::new();
+                for (a, id) in attrs.iter().zip(sig.iter()) {
+                    let id = id.expect("checked above");
+                    binding.bind(*a, self.schema_set().vocab().name(id));
+                }
+                for (ri, tuple) in
+                    udi_query::execute_with_binding_indexed(table, query, &binding)
+                {
+                    let key = (ri, tuple);
+                    match per_row.get_mut(&key) {
+                        Some(q) => *q += p,
+                        None => {
+                            per_row.insert(key.clone(), p);
+                            order.push(key);
+                        }
+                    }
+                }
+            }
+            // Combine rows producing the same tuple as independent events.
+            let mut combined: HashMap<udi_store::Row, f64> = HashMap::new();
+            let mut tuple_order: Vec<udi_store::Row> = Vec::new();
+            for key in &order {
+                let p_r = per_row[key].min(1.0);
+                match combined.get_mut(&key.1) {
+                    Some(acc) => *acc = 1.0 - (1.0 - *acc) * (1.0 - p_r),
+                    None => {
+                        combined.insert(key.1.clone(), p_r);
+                        tuple_order.push(key.1.clone());
+                    }
+                }
+            }
+            let tuples: Vec<udi_query::AnswerTuple> = tuple_order
+                .into_iter()
+                .map(|values| {
+                    let probability = combined[&values];
+                    udi_query::AnswerTuple { values, probability }
+                })
+                .collect();
+            set.add_source(sid, tuples);
+        }
+        set
+    }
+
+    /// Answer a grouped aggregate query (an extension — the paper's
+    /// workload is select–project only). By-table semantics carry over
+    /// naturally: the aggregate is evaluated per source under each pooled
+    /// mapping binding, the group rows inherit the binding's probability,
+    /// and identical group rows combine across mappings and sources like
+    /// ordinary answers. There is no cross-source fusion of aggregates
+    /// (that would need entity resolution; the paper's union model treats
+    /// sources independently).
+    pub fn answer_aggregate(&self, query: &udi_query::AggregateQuery) -> AnswerSet {
+        let referenced: Vec<String> =
+            query.referenced_attributes().into_iter().map(str::to_owned).collect();
+        let clusters: Option<Vec<(String, usize)>> = referenced
+            .iter()
+            .map(|a| {
+                let id = self.schema_set().vocab().id_of(a)?;
+                let cluster = self.consolidated.cluster_of(id)?;
+                Some((a.clone(), cluster))
+            })
+            .collect();
+        let Some(clusters) = clusters else {
+            return AnswerSet::new();
+        };
+        let mut set = AnswerSet::new();
+        for (sid, table) in self.catalog.iter_sources() {
+            let pm = &self.cons_pmappings[sid.0 as usize];
+            let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
+            for (m, p) in pm.mappings() {
+                let sig = binding_signature(m, &clusters);
+                *pooled.entry(sig).or_insert(0.0) += p;
+            }
+            let mut acc = SourceAccumulator::new();
+            let mut entries: Vec<(&Vec<Option<AttrId>>, &f64)> = pooled.iter().collect();
+            entries.sort_by(|a, b| a.0.cmp(b.0));
+            for (sig, &p) in entries {
+                if p <= 0.0 || sig.iter().any(Option::is_none) {
+                    continue;
+                }
+                let mut binding = Binding::new();
+                for (a, id) in referenced.iter().zip(sig.iter()) {
+                    let id = id.expect("checked above");
+                    binding.bind(a.clone(), self.schema_set().vocab().name(id));
+                }
+                let rows =
+                    udi_query::execute_aggregate_with_binding(table, query, &binding);
+                acc.add_mapping(&rows, p);
+            }
+            set.add_source(sid, acc.finish());
+        }
+        set
+    }
+
+    /// Explain how `query` would be answered: per source, the distinct
+    /// attribute bindings induced by the consolidated p-mapping, their
+    /// pooled probabilities, and how many rows each contributes. This is
+    /// the inspection surface for pay-as-you-go improvement — it shows an
+    /// administrator exactly where probability mass goes before they
+    /// correct anything.
+    pub fn explain(&self, query: &Query) -> Explanation {
+        let Some(clusters) = self.resolve_clusters(query, &self.consolidated) else {
+            return Explanation { query: query.to_string(), sources: Vec::new() };
+        };
+        let attrs = query.referenced_attributes();
+        let mut sources = Vec::new();
+        for (sid, table) in self.catalog.iter_sources() {
+            let pm = &self.cons_pmappings[sid.0 as usize];
+            let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
+            for (m, p) in pm.mappings() {
+                let sig = binding_signature(m, &clusters);
+                *pooled.entry(sig).or_insert(0.0) += p;
+            }
+            let mut bindings = Vec::new();
+            let mut unmapped = 0.0;
+            let mut entries: Vec<(&Vec<Option<AttrId>>, &f64)> = pooled.iter().collect();
+            entries.sort_by(|a, b| {
+                b.1.partial_cmp(a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(b.0))
+            });
+            for (sig, &p) in entries {
+                if p <= 0.0 {
+                    continue;
+                }
+                if sig.iter().any(Option::is_none) {
+                    unmapped += p;
+                    continue;
+                }
+                let mut binding = Binding::new();
+                let pairs: Vec<(String, String)> = attrs
+                    .iter()
+                    .zip(sig.iter())
+                    .map(|(a, id)| {
+                        let name = self
+                            .schema_set()
+                            .vocab()
+                            .name(id.expect("checked above"))
+                            .to_owned();
+                        binding.bind(*a, name.clone());
+                        ((*a).to_owned(), name)
+                    })
+                    .collect();
+                let n_rows = execute_with_binding(table, query, &binding).len();
+                bindings.push(BindingExplanation { probability: p, pairs, n_rows });
+            }
+            if !bindings.is_empty() || unmapped < 1.0 - 1e-12 {
+                sources.push(SourceExplanation {
+                    source: sid,
+                    source_name: table.name().to_owned(),
+                    bindings,
+                    unmapped_probability: unmapped,
+                });
+            }
+        }
+        Explanation { query: query.to_string(), sources }
+    }
+
+    /// Map each referenced query attribute to its cluster index in `med`.
+    /// `None` when some attribute is unknown or unclustered.
+    fn resolve_clusters(
+        &self,
+        query: &Query,
+        med: &MediatedSchema,
+    ) -> Option<Vec<(String, usize)>> {
+        query
+            .referenced_attributes()
+            .into_iter()
+            .map(|a| {
+                let id = self.schema_set().vocab().id_of(a)?;
+                let cluster = med.cluster_of(id)?;
+                Some((a.to_owned(), cluster))
+            })
+            .collect()
+    }
+}
+
+/// How one source would answer a query (see [`UdiSystem::explain`]).
+#[derive(Debug, Clone)]
+pub struct SourceExplanation {
+    /// Which source.
+    pub source: udi_store::SourceId,
+    /// Its table name.
+    pub source_name: String,
+    /// Complete bindings, most probable first.
+    pub bindings: Vec<BindingExplanation>,
+    /// Probability mass of mappings that leave some query attribute
+    /// unbound (the source then contributes nothing under them).
+    pub unmapped_probability: f64,
+}
+
+/// One concrete attribute binding a source can answer under.
+#[derive(Debug, Clone)]
+pub struct BindingExplanation {
+    /// Pooled probability of the mappings inducing this binding.
+    pub probability: f64,
+    /// `(query attribute, source attribute)` pairs.
+    pub pairs: Vec<(String, String)>,
+    /// Number of rows the rewritten query returns under this binding.
+    pub n_rows: usize,
+}
+
+/// A full query explanation.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The query being explained (rendered).
+    pub query: String,
+    /// Per-source breakdowns; sources that cannot contribute at all are
+    /// omitted.
+    pub sources: Vec<SourceExplanation>,
+}
+
+impl std::fmt::Display for Explanation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.query)?;
+        for s in &self.sources {
+            writeln!(f, "  {} ({}):", s.source, s.source_name)?;
+            for b in &s.bindings {
+                let pairs: Vec<String> =
+                    b.pairs.iter().map(|(q, a)| format!("{q}→{a}")).collect();
+                writeln!(
+                    f,
+                    "    p={:.3}  [{}]  {} rows",
+                    b.probability,
+                    pairs.join(", "),
+                    b.n_rows
+                )?;
+            }
+            if s.unmapped_probability > 1e-12 {
+                writeln!(f, "    p={:.3}  (no complete binding)", s.unmapped_probability)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The binding a mapping induces on the query's clusters: for each
+/// `(query attr, cluster)`, the unique source attribute mapped to that
+/// cluster, if any. Mappings inducing the same signature are
+/// probability-pooled before execution (they are indistinguishable to the
+/// query), which keeps answering fast even when p-mappings are large.
+fn binding_signature(m: &Mapping, clusters: &[(String, usize)]) -> Vec<Option<AttrId>> {
+    clusters.iter().map(|&(_, j)| m.source_of(j)).collect()
+}
+
+/// Execute the query once per distinct (complete) binding signature and
+/// accumulate by-table probabilities.
+fn run_pooled(
+    table: &Table,
+    query: &Query,
+    pooled: &HashMap<Vec<Option<AttrId>>, f64>,
+    sys: &UdiSystem,
+) -> Vec<udi_query::AnswerTuple> {
+    let attrs = query.referenced_attributes();
+    let mut acc = SourceAccumulator::new();
+    // Deterministic iteration: sort signatures.
+    let mut entries: Vec<(&Vec<Option<AttrId>>, &f64)> = pooled.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    for (sig, &p) in entries {
+        if p <= 0.0 || sig.iter().any(Option::is_none) {
+            continue;
+        }
+        let mut binding = Binding::new();
+        for (a, id) in attrs.iter().zip(sig.iter()) {
+            let id = id.expect("checked above");
+            binding.bind(*a, sys.schema_set().vocab().name(id));
+        }
+        let rows = execute_with_binding(table, query, &binding);
+        acc.add_mapping(&rows, p);
+    }
+    acc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::UdiConfig;
+    use udi_query::parse_query;
+    use udi_schema::{PMapping, PMedSchema};
+    use udi_store::{Catalog, Table, Value};
+
+    /// Catalog with a single source: Example 2.1's S1 and its tuple.
+    fn example_2_1() -> UdiSystem {
+        let mut catalog = Catalog::new();
+        let mut s1 = Table::new("S1", ["name", "hPhone", "hAddr", "oPhone", "oAddr"]);
+        s1.push_raw_row(["Alice", "123-4567", "123, A Ave.", "765-4321", "456, B Ave."])
+            .unwrap();
+        // A second schema-only source so that `phone`/`address` exist in
+        // the vocabulary (S2 of the example; its data is irrelevant here).
+        let s2 = Table::new("S2", ["name", "phone", "address"]);
+        catalog.add_source(s1);
+        catalog.add_source(s2);
+
+        // Hand-build the p-med-schema M = {M3: 0.5, M4: 0.5} of Example 2.1.
+        // Vocabulary ids follow catalog order: name=0, hPhone=1, hAddr=2,
+        // oPhone=3, oAddr=4, phone=5, address=6.
+        let (name, h_p, h_a, o_p, o_a, phone, addr) = (
+            AttrId(0),
+            AttrId(1),
+            AttrId(2),
+            AttrId(3),
+            AttrId(4),
+            AttrId(5),
+            AttrId(6),
+        );
+        let m3 = udi_schema::MediatedSchema::from_slices(&[
+            &[name],
+            &[phone, h_p],
+            &[o_p],
+            &[addr, h_a],
+            &[o_a],
+        ]);
+        let m4 = udi_schema::MediatedSchema::from_slices(&[
+            &[name],
+            &[phone, o_p],
+            &[h_p],
+            &[addr, o_a],
+            &[h_a],
+        ]);
+        let pmed = PMedSchema::new(vec![(m3.clone(), 0.5), (m4.clone(), 0.5)]);
+
+        // Figure 1(a): pM between S1 and M3 (cluster indices per schema).
+        let c3 = |a: AttrId| m3.cluster_of(a).unwrap();
+        let pm_s1_m3 = PMapping::new(vec![
+            (
+                Mapping::one_to_one([
+                    (name, c3(name)),
+                    (h_p, c3(phone)),
+                    (o_p, c3(o_p)),
+                    (h_a, c3(addr)),
+                    (o_a, c3(o_a)),
+                ]),
+                0.64,
+            ),
+            (
+                Mapping::one_to_one([
+                    (name, c3(name)),
+                    (h_p, c3(phone)),
+                    (o_p, c3(o_p)),
+                    (o_a, c3(addr)),
+                    (h_a, c3(o_a)),
+                ]),
+                0.16,
+            ),
+            (
+                Mapping::one_to_one([
+                    (name, c3(name)),
+                    (o_p, c3(phone)),
+                    (h_p, c3(o_p)),
+                    (h_a, c3(addr)),
+                    (o_a, c3(o_a)),
+                ]),
+                0.16,
+            ),
+            (
+                Mapping::one_to_one([
+                    (name, c3(name)),
+                    (o_p, c3(phone)),
+                    (h_p, c3(o_p)),
+                    (o_a, c3(addr)),
+                    (h_a, c3(o_a)),
+                ]),
+                0.04,
+            ),
+        ]);
+        // Figure 1(b): pM between S1 and M4, mirror image.
+        let c4 = |a: AttrId| m4.cluster_of(a).unwrap();
+        let pm_s1_m4 = PMapping::new(vec![
+            (
+                Mapping::one_to_one([
+                    (name, c4(name)),
+                    (o_p, c4(phone)),
+                    (h_p, c4(h_p)),
+                    (o_a, c4(addr)),
+                    (h_a, c4(h_a)),
+                ]),
+                0.64,
+            ),
+            (
+                Mapping::one_to_one([
+                    (name, c4(name)),
+                    (o_p, c4(phone)),
+                    (h_p, c4(h_p)),
+                    (h_a, c4(addr)),
+                    (o_a, c4(h_a)),
+                ]),
+                0.16,
+            ),
+            (
+                Mapping::one_to_one([
+                    (name, c4(name)),
+                    (h_p, c4(phone)),
+                    (o_p, c4(h_p)),
+                    (o_a, c4(addr)),
+                    (h_a, c4(h_a)),
+                ]),
+                0.16,
+            ),
+            (
+                Mapping::one_to_one([
+                    (name, c4(name)),
+                    (h_p, c4(phone)),
+                    (o_p, c4(h_p)),
+                    (h_a, c4(addr)),
+                    (o_a, c4(h_a)),
+                ]),
+                0.04,
+            ),
+        ]);
+        // S2 maps identically under both schemas.
+        let id_mapping = |med: &udi_schema::MediatedSchema| {
+            Mapping::one_to_one([
+                (name, med.cluster_of(name).unwrap()),
+                (phone, med.cluster_of(phone).unwrap()),
+                (addr, med.cluster_of(addr).unwrap()),
+            ])
+        };
+        let pm_s2_m3 = PMapping::new(vec![(id_mapping(&m3), 1.0)]);
+        let pm_s2_m4 = PMapping::new(vec![(id_mapping(&m4), 1.0)]);
+
+        UdiSystem::from_parts(
+            catalog,
+            pmed,
+            vec![vec![pm_s1_m3, pm_s1_m4], vec![pm_s2_m3, pm_s2_m4]],
+        )
+        .unwrap()
+    }
+
+    /// Figure 1(c): the four answers with probabilities .34/.34/.16/.16.
+    #[test]
+    fn example_2_1_reproduces_figure_1c() {
+        let udi = example_2_1();
+        let q = parse_query("SELECT name, phone, address FROM People").unwrap();
+        let answers = udi.answer(&q).combined();
+        assert_eq!(answers.len(), 4);
+        let find = |phone: &str, addr: &str| -> f64 {
+            answers
+                .iter()
+                .find(|t| {
+                    t.values[1] == Value::text(phone) && t.values[2] == Value::text(addr)
+                })
+                .map(|t| t.probability)
+                .unwrap_or(0.0)
+        };
+        // Correct correlations: home-home and office-office get 0.34 each.
+        assert!((find("123-4567", "123, A Ave.") - 0.34).abs() < 1e-9);
+        assert!((find("765-4321", "456, B Ave.") - 0.34).abs() < 1e-9);
+        // Cross pairings get 0.16.
+        assert!((find("765-4321", "123, A Ave.") - 0.16).abs() < 1e-9);
+        assert!((find("123-4567", "456, B Ave.") - 0.16).abs() < 1e-9);
+    }
+
+    /// Theorem 6.2 on the worked example: the consolidated path and the
+    /// p-med-schema path agree on every query.
+    #[test]
+    fn consolidation_preserves_answers_on_example() {
+        let udi = example_2_1();
+        for sql in [
+            "SELECT name, phone, address FROM P",
+            "SELECT phone FROM P",
+            "SELECT name, hPhone FROM P",
+            "SELECT name FROM P WHERE phone = '123-4567'",
+            "SELECT address FROM P WHERE name LIKE 'A%'",
+            "SELECT oPhone, hAddr FROM P",
+        ] {
+            let q = parse_query(sql).unwrap();
+            let a = udi.answer(&q).combined();
+            let b = udi.answer_with_pmed(&q).combined();
+            assert_eq!(a.len(), b.len(), "{sql}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.values, y.values, "{sql}");
+                assert!((x.probability - y.probability).abs() < 1e-9, "{sql}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_attribute_yields_empty() {
+        let udi = example_2_1();
+        let q = parse_query("SELECT salary FROM P").unwrap();
+        assert!(udi.answer(&q).is_empty());
+        assert!(udi.answer_with_pmed(&q).is_empty());
+    }
+
+    #[test]
+    fn predicates_filter_through_mappings() {
+        let udi = example_2_1();
+        let q = parse_query("SELECT name FROM P WHERE phone = '765-4321'").unwrap();
+        let answers = udi.answer(&q).combined();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].values[0], Value::text("Alice"));
+        // Office phone matching `phone` happens with probability
+        // .5*(.16+.04) + .5*(.64+.16) = 0.5.
+        assert!((answers[0].probability - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_answering_groups_within_sources() {
+        // Three sources with heterogeneous genre labels; aggregate counts
+        // per genre must flow through the p-mappings like any query.
+        let mut catalog = Catalog::new();
+        let mut t1 = Table::new("a", ["genre", "title"]);
+        t1.push_raw_row(["Drama", "A"]).unwrap();
+        t1.push_raw_row(["Drama", "B"]).unwrap();
+        t1.push_raw_row(["Comedy", "C"]).unwrap();
+        let mut t2 = Table::new("b", ["genres", "title"]);
+        t2.push_raw_row(["Drama", "D"]).unwrap();
+        let mut t3 = Table::new("c", ["genre", "title"]);
+        t3.push_raw_row(["Comedy", "E"]).unwrap();
+        catalog.add_source(t1);
+        catalog.add_source(t2);
+        catalog.add_source(t3);
+        let udi = UdiSystem::setup(catalog, UdiConfig::default()).unwrap();
+
+        let q = udi_query::parse_aggregate_query(
+            "SELECT genre, COUNT(*) FROM t GROUP BY genre",
+        )
+        .unwrap();
+        let ans = udi.answer_aggregate(&q);
+        // Source a: (Drama,2), (Comedy,1); source b via `genres` cluster:
+        // (Drama,1); source c: (Comedy,1).
+        let flat = ans.flat();
+        let find = |genre: &str, n: i64| {
+            flat.iter()
+                .any(|t| t.values[0] == Value::text(genre) && t.values[1] == Value::Int(n))
+        };
+        assert!(find("Drama", 2), "source a groups");
+        assert!(find("Comedy", 1));
+        assert!(find("Drama", 1), "source b reached through the genres variant");
+        // Combined view merges identical (Comedy, 1) rows from a and c by
+        // disjunction.
+        let combined = ans.combined();
+        let comedy1 = combined
+            .iter()
+            .find(|t| t.values[0] == Value::text("Comedy") && t.values[1] == Value::Int(1))
+            .expect("present");
+        assert!(comedy1.probability > 0.9);
+    }
+
+    #[test]
+    fn aggregate_with_predicate_and_ungrouped() {
+        let udi = example_2_1();
+        let q = udi_query::parse_aggregate_query(
+            "SELECT COUNT(*) FROM p WHERE name = 'Alice'",
+        )
+        .unwrap();
+        let ans = udi.answer_aggregate(&q);
+        // S1 contains Alice once; S2 has no rows.
+        let flat = ans.flat();
+        assert!(flat.iter().any(|t| t.values[0] == Value::Int(1)));
+    }
+
+    #[test]
+    fn aggregate_over_unknown_attribute_is_empty() {
+        let udi = example_2_1();
+        let q = udi_query::parse_aggregate_query(
+            "SELECT COUNT(salary) FROM p",
+        )
+        .unwrap();
+        assert!(udi.answer_aggregate(&q).is_empty());
+    }
+
+    #[test]
+    fn by_tuple_agrees_with_by_table_on_single_row_sources() {
+        // Every source of the Example 2.1 fixture has at most one row, so
+        // no answer tuple can arise from two rows: the semantics coincide.
+        let udi = example_2_1();
+        for sql in [
+            "SELECT name, phone, address FROM P",
+            "SELECT phone FROM P",
+            "SELECT name FROM P WHERE phone = '123-4567'",
+        ] {
+            let q = parse_query(sql).unwrap();
+            let mut a = udi.answer(&q).combined();
+            let mut b = udi.answer_by_tuple(&q).combined();
+            a.sort_by(|x, y| x.values.cmp(&y.values));
+            b.sort_by(|x, y| x.values.cmp(&y.values));
+            assert_eq!(a.len(), b.len(), "{sql}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.values, y.values, "{sql}");
+                assert!((x.probability - y.probability).abs() < 1e-9, "{sql}");
+            }
+        }
+    }
+
+    #[test]
+    fn by_tuple_diverges_when_rows_overlap() {
+        // One source, two rows; the p-mapping has two possible bindings
+        // (0.6/0.4). Row 0 yields "x" under binding A, row 1 yields "x"
+        // under binding B:
+        //   by-table : P(x) = 0.6 + 0.4 = 1.0 (either mapping produces x)
+        //   by-tuple : P(x) = 1 − (1−0.6)(1−0.4) = 0.76
+        let mut catalog = Catalog::new();
+        let mut t = Table::new("S", ["a", "b"]);
+        t.push_raw_row(["x", "y"]).unwrap(); // row 0
+        t.push_raw_row(["y", "x"]).unwrap(); // row 1
+        catalog.add_source(t);
+        let (a, b) = (AttrId(0), AttrId(1));
+        let med = udi_schema::MediatedSchema::from_slices(&[&[a], &[b]]);
+        let pmed = PMedSchema::new(vec![(med, 1.0)]);
+        // Mapping A: a→{a} (query attr a reads column a); mapping B: b→{a}.
+        let pm = PMapping::new(vec![
+            (Mapping::one_to_one([(a, 0)]), 0.6),
+            (Mapping::one_to_one([(b, 0)]), 0.4),
+        ]);
+        let udi = UdiSystem::from_parts(catalog, pmed, vec![vec![pm]]).unwrap();
+        let q = parse_query("SELECT a FROM S").unwrap();
+
+        let by_table = udi.answer(&q).combined();
+        let p_table: f64 = by_table
+            .iter()
+            .filter(|t| t.values[0] == Value::text("x"))
+            .map(|t| t.probability)
+            .sum();
+        assert!((p_table - 1.0).abs() < 1e-9, "by-table: {p_table}");
+
+        let by_tuple = udi.answer_by_tuple(&q).combined();
+        let p_tuple: f64 = by_tuple
+            .iter()
+            .filter(|t| t.values[0] == Value::text("x"))
+            .map(|t| t.probability)
+            .sum();
+        assert!((p_tuple - 0.76).abs() < 1e-9, "by-tuple: {p_tuple}");
+    }
+
+    #[test]
+    fn explanation_accounts_for_all_probability_mass() {
+        let udi = example_2_1();
+        let q = parse_query("SELECT name, phone, address FROM P").unwrap();
+        let ex = udi.explain(&q);
+        assert!(ex.query.contains("SELECT name, phone, address"));
+        assert_eq!(ex.sources.len(), 2);
+        for s in &ex.sources {
+            let total: f64 = s.bindings.iter().map(|b| b.probability).sum::<f64>()
+                + s.unmapped_probability;
+            assert!((total - 1.0).abs() < 1e-9, "{}", s.source_name);
+            for b in &s.bindings {
+                assert_eq!(b.pairs.len(), 3, "one pair per query attribute");
+            }
+        }
+        // S1 has four distinct bindings (Figure 1's four pairings).
+        let s1 = &ex.sources[0];
+        assert_eq!(s1.bindings.len(), 4);
+        // Bindings are ranked by probability.
+        for w in s1.bindings.windows(2) {
+            assert!(w[0].probability >= w[1].probability);
+        }
+        // Display renders without panicking and mentions the source.
+        let text = ex.to_string();
+        assert!(text.contains("S1"));
+        assert!(text.contains("rows"));
+    }
+
+    #[test]
+    fn explanation_of_unknown_attribute_is_empty() {
+        let udi = example_2_1();
+        let q = parse_query("SELECT salary FROM P").unwrap();
+        assert!(udi.explain(&q).sources.is_empty());
+    }
+
+    #[test]
+    fn end_to_end_setup_answers_heterogeneous_sources() {
+        let mut catalog = Catalog::new();
+        let mut t1 = Table::new("a", ["title", "year"]);
+        t1.push_raw_row(["Metropolis", "1927"]).unwrap();
+        let mut t2 = Table::new("b", ["title", "year(s)"]);
+        t2.push_raw_row(["Casablanca", "1942"]).unwrap();
+        let mut t3 = Table::new("c", ["title", "year"]);
+        t3.push_raw_row(["Vertigo", "1958"]).unwrap();
+        catalog.add_source(t1);
+        catalog.add_source(t2);
+        catalog.add_source(t3);
+        let udi = UdiSystem::setup(catalog, UdiConfig::default()).unwrap();
+        let q = parse_query("SELECT title FROM movies WHERE year > 1930").unwrap();
+        let combined = udi.answer(&q).combined();
+        let titles: Vec<String> =
+            combined.iter().map(|t| t.values[0].to_string()).collect();
+        assert!(titles.contains(&"Casablanca".to_owned()), "year(s) matched to year: {titles:?}");
+        assert!(titles.contains(&"Vertigo".to_owned()));
+        assert!(!titles.contains(&"Metropolis".to_owned()));
+    }
+}

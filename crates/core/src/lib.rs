@@ -1,0 +1,114 @@
+#![warn(missing_docs)]
+
+//! UDI — the self-configuring, pay-as-you-go data integration system of
+//! SIGMOD'08 (§7.1 calls it "UDI").
+//!
+//! Given a catalog of single-table data sources, [`UdiSystem::setup`] runs
+//! the full automatic configuration pipeline with **no human input**:
+//!
+//! 1. import source schemas and attribute statistics;
+//! 2. build the probabilistic mediated schema (Algorithms 1–2);
+//! 3. generate a maximum-entropy p-mapping between every source and every
+//!    possible mediated schema (§5);
+//! 4. consolidate into one deterministic mediated schema with one-to-many
+//!    p-mappings (§6) — the schema exposed to users.
+//!
+//! [`UdiSystem::answer`] then evaluates select–project queries under
+//! by-table semantics, ranks answers by probability, and combines sources
+//! by probabilistic disjunction. [`UdiSystem::answer_with_pmed`] answers the
+//! same query directly against the p-med-schema (Definition 3.3), which
+//! makes Theorem 6.2 ("consolidation preserves answers") executable.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use udi_core::UdiSystem;
+//! use udi_query::parse_query;
+//! use udi_store::{Catalog, Table};
+//!
+//! let mut catalog = Catalog::new();
+//! for (name, attrs, row) in [
+//!     ("s1", vec!["name", "phone"], vec!["Alice", "123-4567"]),
+//!     ("s2", vec!["name", "phone-no"], vec!["Bob", "765-4321"]),
+//!     ("s3", vec!["name", "phone"], vec!["Carol", "555-0000"]),
+//! ] {
+//!     let mut t = Table::new(name, attrs);
+//!     t.push_raw_row(row).unwrap();
+//!     catalog.add_source(t);
+//! }
+//! let udi = UdiSystem::setup(catalog, Default::default()).unwrap();
+//! let q = parse_query("SELECT name, phone FROM people").unwrap();
+//! let answers = udi.answer(&q).combined();
+//! assert_eq!(answers.len(), 3, "phone-no is matched to phone automatically");
+//! ```
+
+pub mod answer;
+pub mod feedback;
+pub mod persist;
+pub mod pipeline;
+pub mod system;
+
+pub use answer::{BindingExplanation, Explanation, SourceExplanation};
+pub use feedback::{suggest_questions, Feedback, FeedbackMeasure, Question};
+pub use persist::PersistError;
+pub use pipeline::{MeasureKind, SetupReport, SetupTimings, UdiConfig};
+pub use system::UdiSystem;
+
+/// Errors surfaced by system setup or query answering.
+#[derive(Debug)]
+pub enum UdiError {
+    /// p-mapping construction failed (state explosion or solver failure).
+    MaxEnt(udi_schema::MaxEntError),
+    /// Storage-layer failure.
+    Store(udi_store::StoreError),
+    /// Setup was asked to run over an empty catalog.
+    EmptyCatalog,
+}
+
+impl std::fmt::Display for UdiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UdiError::MaxEnt(e) => write!(f, "p-mapping construction failed: {e}"),
+            UdiError::Store(e) => write!(f, "storage error: {e}"),
+            UdiError::EmptyCatalog => write!(f, "cannot set up integration over zero sources"),
+        }
+    }
+}
+
+impl std::error::Error for UdiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UdiError::MaxEnt(e) => Some(e),
+            UdiError::Store(e) => Some(e),
+            UdiError::EmptyCatalog => None,
+        }
+    }
+}
+
+impl From<udi_schema::MaxEntError> for UdiError {
+    fn from(e: udi_schema::MaxEntError) -> Self {
+        UdiError::MaxEnt(e)
+    }
+}
+
+impl From<udi_store::StoreError> for UdiError {
+    fn from(e: udi_store::StoreError) -> Self {
+        UdiError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        let e = UdiError::EmptyCatalog;
+        assert!(e.to_string().contains("zero sources"));
+        assert!(e.source().is_none());
+        let e = UdiError::MaxEnt(udi_schema::MaxEntError::Explosion { cap: 5 });
+        assert!(e.to_string().contains("cap of 5"));
+        assert!(e.source().is_some());
+    }
+}

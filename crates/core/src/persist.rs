@@ -1,0 +1,162 @@
+//! Persistence of a configured system.
+//!
+//! A pay-as-you-go deployment sets up once and serves queries for a long
+//! time; nobody wants to re-run entropy maximization on every restart. The
+//! snapshot keeps exactly the three inputs [`UdiSystem::from_parts`] needs
+//! — catalog, p-med-schema, per-(source, schema) p-mappings — and
+//! rebuilds everything else (vocabulary, consolidation) on load, so the
+//! format cannot drift out of sync with derived state.
+
+use serde::{Deserialize, Serialize};
+
+use udi_schema::{PMapping, PMedSchema};
+use udi_store::Catalog;
+
+use crate::system::UdiSystem;
+use crate::UdiError;
+
+/// Schema version of the snapshot format.
+const SNAPSHOT_VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct Snapshot {
+    version: u32,
+    catalog: Catalog,
+    pmed: PMedSchema,
+    pmappings: Vec<Vec<PMapping>>,
+}
+
+/// Errors from snapshot encoding/decoding.
+#[derive(Debug)]
+pub enum PersistError {
+    /// JSON (de)serialization failed.
+    Json(serde_json::Error),
+    /// The snapshot is from an incompatible format version.
+    VersionMismatch {
+        /// Version found in the snapshot.
+        found: u32,
+        /// Version this build writes.
+        expected: u32,
+    },
+    /// The decoded parts failed to reassemble.
+    Rebuild(UdiError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Json(e) => write!(f, "snapshot JSON error: {e}"),
+            PersistError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot version {found}, this build reads {expected}")
+            }
+            PersistError::Rebuild(e) => write!(f, "snapshot could not be reassembled: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl UdiSystem {
+    /// Serialize the configured system to a JSON snapshot.
+    pub fn to_json(&self) -> Result<String, PersistError> {
+        let snapshot = Snapshot {
+            version: SNAPSHOT_VERSION,
+            catalog: self.catalog().clone(),
+            pmed: self.pmed().clone(),
+            pmappings: (0..self.catalog().source_count())
+                .map(|s| (0..self.pmed().len()).map(|m| self.pmapping(s, m).clone()).collect())
+                .collect(),
+        };
+        serde_json::to_string(&snapshot).map_err(PersistError::Json)
+    }
+
+    /// Rebuild a system from a JSON snapshot produced by
+    /// [`UdiSystem::to_json`]. Consolidation and derived indexes are
+    /// recomputed, so Theorem 6.2 equivalence holds for the loaded system
+    /// exactly as for the original.
+    pub fn from_json(json: &str) -> Result<UdiSystem, PersistError> {
+        let snapshot: Snapshot = serde_json::from_str(json).map_err(PersistError::Json)?;
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(PersistError::VersionMismatch {
+                found: snapshot.version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        UdiSystem::from_parts(snapshot.catalog, snapshot.pmed, snapshot.pmappings)
+            .map_err(PersistError::Rebuild)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::UdiConfig;
+    use udi_query::parse_query;
+    use udi_store::Table;
+
+    fn system() -> UdiSystem {
+        let mut catalog = Catalog::new();
+        for (name, attrs, row) in [
+            ("s1", vec!["name", "phone"], vec!["Alice", "123"]),
+            ("s2", vec!["name", "phone-no"], vec!["Bob", "456"]),
+            ("s3", vec!["name", "phone"], vec!["Carol", "789"]),
+        ] {
+            let mut t = Table::new(name, attrs);
+            t.push_raw_row(row).unwrap();
+            catalog.add_source(t);
+        }
+        UdiSystem::setup(catalog, UdiConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_answers() {
+        let original = system();
+        let json = original.to_json().unwrap();
+        let loaded = UdiSystem::from_json(&json).unwrap();
+
+        assert_eq!(loaded.pmed().len(), original.pmed().len());
+        assert_eq!(loaded.consolidated(), original.consolidated());
+        for sql in ["SELECT name, phone FROM t", "SELECT name FROM t WHERE phone = '456'"] {
+            let q = parse_query(sql).unwrap();
+            let a = original.answer(&q).combined();
+            let b = loaded.answer(&q).combined();
+            assert_eq!(a.len(), b.len(), "{sql}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.values, y.values, "{sql}");
+                assert!((x.probability - y.probability).abs() < 1e-12, "{sql}");
+            }
+        }
+    }
+
+    #[test]
+    fn version_gate() {
+        let original = system();
+        let json = original.to_json().unwrap();
+        let bumped = json.replacen("\"version\":1", "\"version\":99", 1);
+        let err = UdiSystem::from_json(&bumped).unwrap_err();
+        assert!(matches!(err, PersistError::VersionMismatch { found: 99, expected: 1 }));
+        assert!(err.to_string().contains("99"));
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(matches!(
+            UdiSystem::from_json("not json").unwrap_err(),
+            PersistError::Json(_)
+        ));
+        assert!(matches!(
+            UdiSystem::from_json("{}").unwrap_err(),
+            PersistError::Json(_)
+        ));
+    }
+
+    #[test]
+    fn snapshot_is_self_contained_json() {
+        let json = system().to_json().unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["version"], 1);
+        assert!(v["catalog"].is_object());
+        assert!(v["pmed"].is_object());
+        assert!(v["pmappings"].is_array());
+    }
+}

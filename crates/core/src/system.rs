@@ -1,0 +1,353 @@
+//! The configured UDI system and its setup pipeline.
+
+use std::time::Instant;
+
+use udi_schema::{
+    build_p_med_schema, consolidate_pmappings, consolidate_schemas, generate_pmapping,
+    MediatedSchema, PMapping, PMedSchema, SchemaSet, SimilarityMatrix,
+};
+use udi_similarity::Similarity;
+use udi_store::Catalog;
+
+use crate::pipeline::{SetupReport, SetupTimings, UdiConfig};
+use crate::UdiError;
+
+/// A fully configured data integration system: sources, probabilistic
+/// mediated schema, p-mappings, and the consolidated schema exposed to
+/// users.
+#[derive(Debug)]
+pub struct UdiSystem {
+    pub(crate) catalog: Catalog,
+    pub(crate) schema_set: SchemaSet,
+    pub(crate) pmed: PMedSchema,
+    /// `pmappings[source][schema]`, aligned with catalog order and
+    /// `pmed.schemas()` order.
+    pub(crate) pmappings: Vec<Vec<PMapping>>,
+    pub(crate) consolidated: MediatedSchema,
+    /// One consolidated p-mapping per source.
+    pub(crate) cons_pmappings: Vec<PMapping>,
+    pub(crate) report: SetupReport,
+}
+
+impl UdiSystem {
+    /// Run the complete self-configuration pipeline with the configured
+    /// similarity measure.
+    pub fn setup(catalog: Catalog, config: UdiConfig) -> Result<UdiSystem, UdiError> {
+        let measure = config.measure.build();
+        Self::setup_with_measure(catalog, &*measure, config)
+    }
+
+    /// Run setup with a caller-supplied similarity measure (the pipeline
+    /// treats the matcher as a black box, as §4.1 prescribes). The measure
+    /// must be `Sync` so p-mapping generation can fan out across
+    /// `config.threads` workers.
+    pub fn setup_with_measure(
+        catalog: Catalog,
+        measure: &(dyn Similarity + Sync),
+        config: UdiConfig,
+    ) -> Result<UdiSystem, UdiError> {
+        if catalog.source_count() == 0 {
+            return Err(UdiError::EmptyCatalog);
+        }
+        let params = &config.params;
+        let mut timings = SetupTimings::default();
+
+        // Stage 1: import schemas.
+        let t0 = Instant::now();
+        let mut schema_set = SchemaSet::default();
+        for (_, table) in catalog.iter_sources() {
+            schema_set.add_source(table.name(), table.attributes().iter().map(String::as_str));
+        }
+        timings.import = t0.elapsed();
+
+        // Stage 2: probabilistic mediated schema.
+        let t1 = Instant::now();
+        let pmed = build_p_med_schema(&schema_set, measure, params)?;
+        timings.med_schema = t1.elapsed();
+
+        // Stage 3: p-mapping per (source, possible mediated schema) —
+        // independent per source, so it fans out across worker threads.
+        let t2 = Instant::now();
+        let lazy = SimilarityMatrix::new(schema_set.vocab(), measure);
+        // Freeze the (source attribute × cluster member) similarity space
+        // once: lookups in the hot loop become lock-free, which is what
+        // lets the per-source fan-out actually scale.
+        let all_attrs: Vec<udi_schema::AttrId> =
+            schema_set.vocab().iter().map(|(id, _)| id).collect();
+        let cluster_attrs: Vec<udi_schema::AttrId> = {
+            let mut set = std::collections::BTreeSet::new();
+            for (m, _) in pmed.schemas() {
+                set.extend(m.attribute_set());
+            }
+            set.into_iter().collect()
+        };
+        let matrix = lazy.freeze(&all_attrs, &cluster_attrs);
+        let sources = schema_set.sources();
+        let per_source = |source: &udi_schema::SourceSchema| -> Result<Vec<PMapping>, UdiError> {
+            let mut per_schema = Vec::with_capacity(pmed.len());
+            for (med, _) in pmed.schemas() {
+                per_schema.push(generate_pmapping(source, med, &matrix, params)?);
+            }
+            Ok(per_schema)
+        };
+        let pmappings: Vec<Vec<PMapping>> = if config.threads <= 1 || sources.len() < 2 {
+            sources.iter().map(per_source).collect::<Result<_, _>>()?
+        } else {
+            let n_workers = config.threads.min(sources.len());
+            let results: Vec<Result<Vec<Vec<PMapping>>, UdiError>> =
+                std::thread::scope(|scope| {
+                    let chunk = sources.len().div_ceil(n_workers);
+                    let handles: Vec<_> = sources
+                        .chunks(chunk)
+                        .map(|part| scope.spawn(|| part.iter().map(per_source).collect()))
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                });
+            let mut all = Vec::with_capacity(sources.len());
+            for r in results {
+                all.extend(r?);
+            }
+            all
+        };
+        timings.pmappings = t2.elapsed();
+
+        // Stage 4: consolidation.
+        let t3 = Instant::now();
+        let schemas: Vec<MediatedSchema> =
+            pmed.schemas().iter().map(|(m, _)| m.clone()).collect();
+        let consolidated = consolidate_schemas(&schemas);
+        let cons_pmappings: Vec<PMapping> = pmappings
+            .iter()
+            .map(|per_schema| consolidate_pmappings(&pmed, per_schema, &consolidated))
+            .collect();
+        timings.consolidation = t3.elapsed();
+
+        let report = SetupReport {
+            timings,
+            n_sources: catalog.source_count(),
+            n_attributes: schema_set.vocab().len(),
+            n_frequent: schema_set.frequent_attributes(params.theta).len(),
+            n_schemas: pmed.len(),
+            n_mappings: pmappings.iter().flatten().map(PMapping::len).sum(),
+            n_consolidated_mappings: cons_pmappings.iter().map(PMapping::len).sum(),
+        };
+
+        Ok(UdiSystem {
+            catalog,
+            schema_set,
+            pmed,
+            pmappings,
+            consolidated,
+            cons_pmappings,
+            report,
+        })
+    }
+
+    /// Assemble a system from explicitly supplied parts: a catalog, a
+    /// p-med-schema, and one p-mapping per `(source, possible schema)` pair
+    /// (`pmappings[source][schema]`). Consolidation runs automatically.
+    ///
+    /// This is the pay-as-you-go improvement hook: an administrator (or a
+    /// feedback loop) can replace the automatically generated schema or
+    /// mappings with corrected ones and keep the same query-answering
+    /// machinery. It is also how the worked examples of the paper (Figure 1)
+    /// are reproduced exactly.
+    pub fn from_parts(
+        catalog: Catalog,
+        pmed: PMedSchema,
+        pmappings: Vec<Vec<PMapping>>,
+    ) -> Result<UdiSystem, UdiError> {
+        if catalog.source_count() == 0 {
+            return Err(UdiError::EmptyCatalog);
+        }
+        assert_eq!(
+            pmappings.len(),
+            catalog.source_count(),
+            "one p-mapping row per source"
+        );
+        for row in &pmappings {
+            assert_eq!(row.len(), pmed.len(), "one p-mapping per possible schema");
+        }
+        let mut schema_set = SchemaSet::default();
+        for (_, table) in catalog.iter_sources() {
+            schema_set.add_source(table.name(), table.attributes().iter().map(String::as_str));
+        }
+        let schemas: Vec<MediatedSchema> =
+            pmed.schemas().iter().map(|(m, _)| m.clone()).collect();
+        let consolidated = consolidate_schemas(&schemas);
+        let cons_pmappings: Vec<PMapping> = pmappings
+            .iter()
+            .map(|per_schema| consolidate_pmappings(&pmed, per_schema, &consolidated))
+            .collect();
+        let report = SetupReport {
+            n_sources: catalog.source_count(),
+            n_attributes: schema_set.vocab().len(),
+            n_schemas: pmed.len(),
+            n_mappings: pmappings.iter().flatten().map(PMapping::len).sum(),
+            n_consolidated_mappings: cons_pmappings.iter().map(PMapping::len).sum(),
+            ..SetupReport::default()
+        };
+        Ok(UdiSystem {
+            catalog,
+            schema_set,
+            pmed,
+            pmappings,
+            consolidated,
+            cons_pmappings,
+            report,
+        })
+    }
+
+    /// The underlying source catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The imported schema set (vocabulary + source schemas).
+    pub fn schema_set(&self) -> &SchemaSet {
+        &self.schema_set
+    }
+
+    /// The probabilistic mediated schema.
+    pub fn pmed(&self) -> &PMedSchema {
+        &self.pmed
+    }
+
+    /// The p-mapping between source `src` (catalog order) and possible
+    /// mediated schema `schema` (`pmed().schemas()` order).
+    pub fn pmapping(&self, src: usize, schema: usize) -> &PMapping {
+        &self.pmappings[src][schema]
+    }
+
+    /// The consolidated deterministic mediated schema exposed to users.
+    pub fn consolidated(&self) -> &MediatedSchema {
+        &self.consolidated
+    }
+
+    /// The consolidated (one-to-many) p-mapping for source `src`.
+    pub fn consolidated_pmapping(&self, src: usize) -> &PMapping {
+        &self.cons_pmappings[src]
+    }
+
+    /// Setup diagnostics and stage timings.
+    pub fn report(&self) -> &SetupReport {
+        &self.report
+    }
+
+    /// The exposed mediated schema as `(representative name, members)`,
+    /// one entry per consolidated mediated attribute. The representative is
+    /// the member that occurs in the most sources ("in practice, we can use
+    /// the most frequent source attribute to represent a mediated
+    /// attribute"), ties broken lexicographically.
+    pub fn exposed_schema(&self) -> Vec<(String, Vec<String>)> {
+        self.consolidated
+            .clusters()
+            .iter()
+            .map(|cluster| {
+                let mut members: Vec<(f64, &str)> = cluster
+                    .iter()
+                    .map(|&a| (self.schema_set.frequency(a), self.schema_set.vocab().name(a)))
+                    .collect();
+                members.sort_by(|(fa, na), (fb, nb)| {
+                    fb.partial_cmp(fa)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| na.cmp(nb))
+                });
+                let rep = members[0].1.to_owned();
+                let names = members.into_iter().map(|(_, n)| n.to_owned()).collect();
+                (rep, names)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udi_store::Table;
+
+    fn people_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let specs: &[(&str, &[&str])] = &[
+            ("s1", &["name", "phone", "address"]),
+            ("s2", &["name", "phone-no", "addr"]),
+            ("s3", &["name", "phone", "address"]),
+            ("s4", &["name", "phone", "city"]),
+        ];
+        for (name, attrs) in specs {
+            let mut t = Table::new(*name, attrs.iter().copied());
+            let row: Vec<String> = attrs.iter().map(|a| format!("{a}-val")).collect();
+            t.push_raw_row(row).unwrap();
+            c.add_source(t);
+        }
+        c
+    }
+
+    #[test]
+    fn setup_produces_consistent_structure() {
+        let udi = UdiSystem::setup(people_catalog(), UdiConfig::default()).unwrap();
+        assert_eq!(udi.report().n_sources, 4);
+        assert_eq!(udi.pmappings.len(), 4);
+        for per_schema in &udi.pmappings {
+            assert_eq!(per_schema.len(), udi.pmed().len());
+        }
+        assert_eq!(udi.cons_pmappings.len(), 4);
+        // phone and phone-no should share a consolidated cluster.
+        let vocab = udi.schema_set().vocab();
+        let phone = vocab.id_of("phone").unwrap();
+        let phone_no = vocab.id_of("phone-no").unwrap();
+        assert_eq!(
+            udi.consolidated().cluster_of(phone),
+            udi.consolidated().cluster_of(phone_no)
+        );
+    }
+
+    #[test]
+    fn empty_catalog_is_rejected() {
+        let err = UdiSystem::setup(Catalog::new(), UdiConfig::default()).unwrap_err();
+        assert!(matches!(err, UdiError::EmptyCatalog));
+    }
+
+    #[test]
+    fn exposed_schema_picks_most_frequent_representative() {
+        let udi = UdiSystem::setup(people_catalog(), UdiConfig::default()).unwrap();
+        let exposed = udi.exposed_schema();
+        // `phone` occurs in 3 sources, `phone-no` in 1 → representative is
+        // `phone`.
+        let phone_entry = exposed
+            .iter()
+            .find(|(_, members)| members.iter().any(|m| m == "phone-no"))
+            .expect("phone cluster present");
+        assert_eq!(phone_entry.0, "phone");
+    }
+
+    #[test]
+    fn custom_corpus_aware_measure_plugs_in() {
+        // §4.1: the pipeline treats the matcher as a black box. Soft
+        // TF-IDF needs the corpus up front, so it goes through
+        // `setup_with_measure`.
+        let catalog = people_catalog();
+        let names: Vec<String> = catalog
+            .attribute_universe()
+            .map(str::to_owned)
+            .collect();
+        let measure = udi_similarity::SoftTfIdf::from_names(&names);
+        let udi =
+            UdiSystem::setup_with_measure(catalog, &measure, UdiConfig::default()).unwrap();
+        assert!(udi.report().n_schemas >= 1);
+        let vocab = udi.schema_set().vocab();
+        let name = vocab.id_of("name").unwrap();
+        assert!(udi.consolidated().cluster_of(name).is_some());
+    }
+
+    #[test]
+    fn report_counts_are_plausible() {
+        let udi = UdiSystem::setup(people_catalog(), UdiConfig::default()).unwrap();
+        let r = udi.report();
+        assert_eq!(r.n_attributes, 6); // name, phone, address, phone-no, addr, city
+        assert!(r.n_frequent >= 3);
+        assert!(r.n_schemas >= 1);
+        assert!(r.n_mappings >= r.n_sources, "at least one mapping per source");
+        assert!(r.n_consolidated_mappings >= r.n_sources);
+    }
+}

@@ -1,0 +1,164 @@
+//! Ground truth retained by the generator — the oracle standing in for the
+//! paper's manual integration effort.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Ground truth for one generated domain corpus.
+///
+/// The paper's authors built golden standards by hand ("we constructed a
+/// golden standard by manually creating mediated schemas and schema
+/// mappings"). Our generator *knows* the concept behind every attribute of
+/// every source, so the golden standard is exact — including for ambiguous
+/// labels like `phone`, whose concept differs per source.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// `per_source[src]`: attribute name → concept key.
+    per_source: Vec<BTreeMap<String, String>>,
+    /// All concept keys of the domain.
+    concepts: Vec<String>,
+}
+
+impl GroundTruth {
+    /// Build from per-source attribute→concept maps.
+    pub fn new(per_source: Vec<BTreeMap<String, String>>, concepts: Vec<String>) -> GroundTruth {
+        GroundTruth { per_source, concepts }
+    }
+
+    /// Number of sources covered.
+    pub fn source_count(&self) -> usize {
+        self.per_source.len()
+    }
+
+    /// The domain's concept keys.
+    pub fn concepts(&self) -> &[String] {
+        &self.concepts
+    }
+
+    /// The concept of `attr` in source `src`.
+    pub fn source_concept(&self, src: usize, attr: &str) -> Option<&str> {
+        self.per_source.get(src)?.get(attr).map(String::as_str)
+    }
+
+    /// The attribute of source `src` carrying `concept`, if any (unique by
+    /// construction: a source has at most one attribute per concept).
+    pub fn source_attr_for(&self, src: usize, concept: &str) -> Option<&str> {
+        self.per_source
+            .get(src)?
+            .iter()
+            .find(|(_, c)| c.as_str() == concept)
+            .map(|(a, _)| a.as_str())
+    }
+
+    /// All concepts an attribute name denotes anywhere in the corpus.
+    /// More than one element means the name is genuinely ambiguous.
+    pub fn concepts_of(&self, attr: &str) -> BTreeSet<&str> {
+        self.per_source
+            .iter()
+            .filter_map(|m| m.get(attr))
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Whether `attr` denotes different concepts in different sources.
+    pub fn is_ambiguous(&self, attr: &str) -> bool {
+        self.concepts_of(attr).len() > 1
+    }
+
+    /// All attribute names appearing in the corpus.
+    pub fn attribute_names(&self) -> BTreeSet<&str> {
+        self.per_source.iter().flat_map(|m| m.keys()).map(String::as_str).collect()
+    }
+
+    /// Golden clustering of the given attribute names by concept. Ambiguous
+    /// names (shared by several concepts) are excluded — no single
+    /// clustering of the *name* is correct for them, which is precisely the
+    /// uncertainty p-med-schemas exist to model.
+    pub fn golden_clusters(&self, attrs: &[&str]) -> Vec<BTreeSet<String>> {
+        let mut by_concept: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+        for &a in attrs {
+            let cs = self.concepts_of(a);
+            if cs.len() == 1 {
+                let c = cs.into_iter().next().expect("len checked");
+                by_concept.entry(c).or_default().insert(a.to_owned());
+            }
+        }
+        by_concept.into_values().collect()
+    }
+
+    /// Whether two attribute names certainly denote the same concept
+    /// (unambiguous and equal concepts).
+    pub fn same_concept(&self, a: &str, b: &str) -> Option<bool> {
+        let ca = self.concepts_of(a);
+        let cb = self.concepts_of(b);
+        if ca.len() != 1 || cb.len() != 1 {
+            return None; // Ambiguous: no crisp golden answer.
+        }
+        Some(ca == cb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GroundTruth {
+        let mk = |pairs: &[(&str, &str)]| -> BTreeMap<String, String> {
+            pairs.iter().map(|&(a, c)| (a.to_owned(), c.to_owned())).collect()
+        };
+        GroundTruth::new(
+            vec![
+                mk(&[("name", "name"), ("phone", "home phone")]),
+                mk(&[("name", "name"), ("phone", "office phone"), ("hphone", "home phone")]),
+                mk(&[("full name", "name")]),
+            ],
+            vec!["name".into(), "home phone".into(), "office phone".into()],
+        )
+    }
+
+    #[test]
+    fn per_source_lookups() {
+        let t = truth();
+        assert_eq!(t.source_concept(0, "phone"), Some("home phone"));
+        assert_eq!(t.source_concept(1, "phone"), Some("office phone"));
+        assert_eq!(t.source_concept(0, "missing"), None);
+        assert_eq!(t.source_concept(9, "phone"), None);
+        assert_eq!(t.source_attr_for(1, "home phone"), Some("hphone"));
+        assert_eq!(t.source_attr_for(2, "name"), Some("full name"));
+        assert_eq!(t.source_attr_for(2, "home phone"), None);
+    }
+
+    #[test]
+    fn ambiguity_detection() {
+        let t = truth();
+        assert!(t.is_ambiguous("phone"));
+        assert!(!t.is_ambiguous("name"));
+        assert_eq!(t.concepts_of("phone").len(), 2);
+        assert_eq!(t.same_concept("name", "full name"), Some(true));
+        assert_eq!(t.same_concept("name", "hphone"), Some(false));
+        assert_eq!(t.same_concept("phone", "hphone"), None, "ambiguous side");
+    }
+
+    #[test]
+    fn golden_clusters_skip_ambiguous_names() {
+        let t = truth();
+        let clusters = t.golden_clusters(&["name", "full name", "phone", "hphone"]);
+        // phone excluded; {name, full name} together; {hphone} alone.
+        assert_eq!(clusters.len(), 2);
+        let all: BTreeSet<&str> =
+            clusters.iter().flatten().map(String::as_str).collect();
+        assert!(!all.contains("phone"));
+        assert!(clusters
+            .iter()
+            .any(|c| c.contains("name") && c.contains("full name")));
+    }
+
+    #[test]
+    fn attribute_names_union() {
+        let t = truth();
+        let names = t.attribute_names();
+        assert_eq!(
+            names,
+            ["full name", "hphone", "name", "phone"].into_iter().collect()
+        );
+    }
+}

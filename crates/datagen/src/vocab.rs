@@ -1,0 +1,234 @@
+//! Static word pools used by the value generators.
+//!
+//! The pools are intentionally mundane: the algorithms under test only see
+//! attribute *names* during setup, and cell values only matter for query
+//! answering (overlap across sources, selectivity of predicates, the
+//! occasional stringly-typed number).
+
+/// Identifier of a word pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolId {
+    /// Person first names.
+    FirstNames,
+    /// Person last names.
+    LastNames,
+    /// Street names for addresses.
+    Streets,
+    /// City names.
+    Cities,
+    /// Company / organization names.
+    Companies,
+    /// Words composing movie titles.
+    MovieWords,
+    /// Movie genres.
+    Genres,
+    /// Movie studios.
+    Studios,
+    /// Car manufacturers.
+    CarMakes,
+    /// Car model names.
+    CarModels,
+    /// Car colors.
+    Colors,
+    /// Transmission kinds.
+    Transmissions,
+    /// Fuel kinds.
+    Fuels,
+    /// Course subject words.
+    CourseSubjects,
+    /// Academic departments.
+    Departments,
+    /// Campus buildings.
+    Buildings,
+    /// Semester labels.
+    Semesters,
+    /// Journal names.
+    Journals,
+    /// Publishers.
+    Publishers,
+    /// Model organisms (the Bib corpus skews biology/chemistry, which is
+    /// why Figure 3 contains `organism` and `link to pubmed`).
+    Organisms,
+    /// Job titles.
+    JobTitles,
+    /// Languages.
+    Languages,
+    /// Countries.
+    Countries,
+}
+
+/// The words behind a pool id.
+pub fn pool(id: PoolId) -> &'static [&'static str] {
+    match id {
+        PoolId::FirstNames => &[
+            "Alice", "Bob", "Carol", "David", "Erin", "Frank", "Grace", "Henry", "Irene",
+            "James", "Karen", "Louis", "Maria", "Nathan", "Olivia", "Peter", "Quinn", "Rachel",
+            "Samuel", "Teresa", "Ulrich", "Victor", "Wendy", "Xavier", "Yvonne", "Zachary",
+            "Amara", "Bruno", "Chen", "Dmitri", "Elena", "Farid", "Gita", "Hiro", "Ines",
+            "Jorge", "Kasia", "Liam", "Mei", "Noor",
+        ],
+        PoolId::LastNames => &[
+            "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
+            "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
+            "Thomas", "Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson",
+            "White", "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker",
+            "Young", "Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores",
+        ],
+        PoolId::Streets => &[
+            "Maple Ave", "Oak St", "Pine Rd", "Cedar Ln", "Elm Dr", "Birch Way", "Walnut St",
+            "Chestnut Ave", "Spruce Ct", "Willow Rd", "Aspen Pl", "Juniper Blvd", "Magnolia St",
+            "Sycamore Ave", "Poplar Ln", "Hickory Dr", "Laurel Way", "Cypress Rd", "Alder Ct",
+            "Hazel St", "Main St", "First Ave", "Second St", "Third Blvd", "Park Rd",
+            "Lake Dr", "River Ln", "Hilltop Way", "Sunset Blvd", "Harbor St",
+        ],
+        PoolId::Cities => &[
+            "Springfield", "Riverton", "Fairview", "Georgetown", "Salem", "Madison",
+            "Arlington", "Ashland", "Burlington", "Clayton", "Dayton", "Dover", "Franklin",
+            "Greenville", "Hudson", "Kingston", "Lebanon", "Milton", "Newport", "Oxford",
+            "Princeton", "Quincy", "Richmond", "Stanford", "Trenton", "Union", "Vernon",
+            "Winchester", "York", "Zion",
+        ],
+        PoolId::Companies => &[
+            "Acme Corp", "Globex", "Initech", "Umbrella LLC", "Stark Industries",
+            "Wayne Enterprises", "Wonka Inc", "Tyrell Corp", "Cyberdyne", "Soylent Co",
+            "Hooli", "Pied Piper", "Dunder Mifflin", "Vandelay Industries", "Oceanic Air",
+            "Massive Dynamic", "Aperture Labs", "Black Mesa", "Virtucon", "Zorg Industries",
+            "Nakatomi Trading", "Gringotts", "Monarch Solutions", "Abstergo", "InGen",
+            "Weyland Corp", "Rekall", "Omni Consumer", "Buy n Large", "MomCorp",
+        ],
+        PoolId::MovieWords => &[
+            "Midnight", "Shadow", "River", "Last", "First", "Broken", "Silent", "Golden",
+            "Crimson", "Winter", "Summer", "Lost", "Hidden", "Eternal", "Falling", "Rising",
+            "Distant", "Burning", "Frozen", "Savage", "Gentle", "Iron", "Glass", "Paper",
+            "Stone", "Star", "Moon", "Sun", "Ocean", "Desert", "Forest", "City", "Empire",
+            "Kingdom", "Garden", "Station", "Harbor", "Bridge", "Tower", "Valley", "Echo",
+            "Whisper", "Promise", "Secret", "Journey", "Return", "Escape", "Dream", "Storm",
+            "Dawn",
+        ],
+        PoolId::Genres => &[
+            "Drama", "Comedy", "Thriller", "Horror", "Romance", "Action", "Adventure",
+            "Documentary", "Animation", "Fantasy", "Science Fiction", "Mystery", "Crime",
+            "Western", "Musical",
+        ],
+        PoolId::Studios => &[
+            "Silverlight Pictures", "Northstar Films", "Bluebird Studios", "Cascade Media",
+            "Ember Entertainment", "Horizon Pictures", "Lantern Films", "Meridian Studios",
+            "Pinnacle Pictures", "Quartz Films", "Redwood Media", "Summit Reel",
+            "Tidewater Films", "Vista Grande", "Zenith Pictures",
+        ],
+        PoolId::CarMakes => &[
+            "Toyota", "Honda", "Ford", "Chevrolet", "Nissan", "BMW", "Mercedes", "Audi",
+            "Volkswagen", "Subaru", "Mazda", "Hyundai", "Kia", "Volvo", "Lexus", "Acura",
+            "Infiniti", "Jeep", "Dodge", "Chrysler", "Buick", "Cadillac", "GMC", "Porsche",
+            "Fiat",
+        ],
+        PoolId::CarModels => &[
+            "Falcon", "Comet", "Ranger", "Summit", "Breeze", "Pioneer", "Voyager", "Raptor",
+            "Stratus", "Eclipse", "Aurora", "Mirage", "Tempest", "Nomad", "Scout", "Drifter",
+            "Phantom", "Spirit", "Legend", "Quest", "Blazer", "Canyon", "Delta", "Edge",
+            "Flash", "Glide", "Horizon", "Impulse", "Jet", "Kestrel", "Lancer", "Meteor",
+            "Nova", "Orbit", "Pulse", "Quasar", "Rogue", "Sprint", "Titan", "Vector",
+        ],
+        PoolId::Colors => &[
+            "Black", "White", "Silver", "Gray", "Red", "Blue", "Green", "Beige", "Brown",
+            "Gold", "Orange", "Yellow", "Purple", "Maroon", "Navy",
+        ],
+        PoolId::Transmissions => &["Automatic", "Manual", "CVT", "Dual-Clutch"],
+        PoolId::Fuels => &["Gasoline", "Diesel", "Hybrid", "Electric", "Flex"],
+        PoolId::CourseSubjects => &[
+            "Algorithms", "Databases", "Operating Systems", "Linear Algebra", "Calculus",
+            "Statistics", "Microeconomics", "Macroeconomics", "Organic Chemistry",
+            "Physics I", "Physics II", "World History", "Philosophy of Mind",
+            "Creative Writing", "Machine Learning", "Compilers", "Networks",
+            "Discrete Mathematics", "Genetics", "Cell Biology", "Thermodynamics",
+            "Art History", "Social Psychology", "Public Speaking", "Number Theory",
+        ],
+        PoolId::Departments => &[
+            "Computer Science", "Mathematics", "Physics", "Chemistry", "Biology",
+            "Economics", "History", "Philosophy", "English", "Psychology", "Sociology",
+            "Statistics", "Linguistics", "Music", "Art", "Engineering", "Geology",
+            "Astronomy", "Political Science", "Anthropology",
+        ],
+        PoolId::Buildings => &[
+            "Science Hall", "Humanities Bldg", "Engineering Center", "Library Annex",
+            "North Hall", "South Hall", "East Wing", "West Wing", "Turing Hall",
+            "Curie Center", "Newton Bldg", "Darwin Hall",
+        ],
+        PoolId::Semesters => &[
+            "Fall 2006", "Spring 2007", "Fall 2007", "Spring 2008", "Summer 2007",
+        ],
+        PoolId::Journals => &[
+            "Journal of Molecular Biology", "Nature", "Science", "Cell",
+            "Journal of the ACM", "Communications of the ACM", "VLDB Journal",
+            "Bioinformatics", "Nucleic Acids Research", "Journal of Chemical Physics",
+            "Physical Review Letters", "The Lancet", "BMJ", "PNAS",
+            "Journal of Organic Chemistry", "Genome Research", "Neuron", "Blood",
+            "Circulation", "Journal of Immunology", "Plant Cell", "Development",
+            "Journal of Neuroscience", "Analytical Chemistry", "Biochemistry",
+        ],
+        PoolId::Publishers => &[
+            "Elsevier", "Springer", "Wiley", "ACM Press", "IEEE Press", "Oxford UP",
+            "Cambridge UP", "Nature Publishing", "AAAS", "Taylor & Francis",
+            "SAGE", "De Gruyter", "MIT Press", "Princeton UP", "Chicago UP",
+        ],
+        PoolId::Organisms => &[
+            "E. coli", "S. cerevisiae", "D. melanogaster", "C. elegans", "M. musculus",
+            "H. sapiens", "A. thaliana", "D. rerio", "X. laevis", "R. norvegicus",
+            "B. subtilis", "P. aeruginosa", "S. pombe", "T. thermophila", "N. crassa",
+        ],
+        PoolId::JobTitles => &[
+            "Engineer", "Manager", "Analyst", "Designer", "Consultant", "Accountant",
+            "Teacher", "Nurse", "Architect", "Editor", "Scientist", "Technician",
+            "Director", "Librarian", "Pharmacist", "Electrician", "Chef", "Translator",
+            "Surveyor", "Paralegal",
+        ],
+        PoolId::Languages => &[
+            "English", "French", "Spanish", "German", "Italian", "Japanese", "Korean",
+            "Mandarin", "Portuguese", "Russian", "Hindi", "Arabic",
+        ],
+        PoolId::Countries => &[
+            "USA", "Canada", "UK", "France", "Germany", "Italy", "Spain", "Japan",
+            "South Korea", "China", "Brazil", "India", "Australia", "Mexico", "Sweden",
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_pools_are_nonempty_and_distinct_within() {
+        let ids = [
+            PoolId::FirstNames,
+            PoolId::LastNames,
+            PoolId::Streets,
+            PoolId::Cities,
+            PoolId::Companies,
+            PoolId::MovieWords,
+            PoolId::Genres,
+            PoolId::Studios,
+            PoolId::CarMakes,
+            PoolId::CarModels,
+            PoolId::Colors,
+            PoolId::Transmissions,
+            PoolId::Fuels,
+            PoolId::CourseSubjects,
+            PoolId::Departments,
+            PoolId::Buildings,
+            PoolId::Semesters,
+            PoolId::Journals,
+            PoolId::Publishers,
+            PoolId::Organisms,
+            PoolId::JobTitles,
+            PoolId::Languages,
+            PoolId::Countries,
+        ];
+        for id in ids {
+            let words = pool(id);
+            assert!(!words.is_empty(), "{id:?}");
+            let set: std::collections::HashSet<_> = words.iter().collect();
+            assert_eq!(set.len(), words.len(), "duplicates in {id:?}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Pairwise clustering quality of mediated schemas (Table 3).
+//!
+//! "Each mediated schema corresponds to a clustering of source attributes.
+//! Hence, we measured its quality by computing the precision, recall and
+//! F-measure of the clustering, where we counted how many pairs of
+//! attributes are correctly clustered. To compute the measures for
+//! probabilistic mediated schemas, we computed the measures for each
+//! individual mediated schema and summed the results weighted by their
+//! respective probabilities."
+
+use std::collections::BTreeSet;
+
+use udi_schema::{MediatedSchema, PMedSchema, Vocabulary};
+
+use crate::metrics::Metrics;
+
+/// Score one clustering (as attribute-name sets) against the golden
+/// clustering. Only pairs over attributes that appear in the golden
+/// clustering are counted — the golden standard excludes genuinely
+/// ambiguous names, for which no clustering of the *name* is right.
+pub fn pairwise_metrics(
+    predicted: &[BTreeSet<String>],
+    golden: &[BTreeSet<String>],
+) -> Metrics {
+    let in_golden: BTreeSet<&str> =
+        golden.iter().flatten().map(String::as_str).collect();
+    let pair_set = |clusters: &[BTreeSet<String>], universe: &BTreeSet<&str>| {
+        let mut pairs: BTreeSet<(String, String)> = BTreeSet::new();
+        for c in clusters {
+            let members: Vec<&String> =
+                c.iter().filter(|a| universe.contains(a.as_str())).collect();
+            for (i, a) in members.iter().enumerate() {
+                for b in &members[i + 1..] {
+                    let (x, y) = if a < b { (a, b) } else { (b, a) };
+                    pairs.insert(((*x).clone(), (*y).clone()));
+                }
+            }
+        }
+        pairs
+    };
+    let predicted_pairs = pair_set(predicted, &in_golden);
+    let golden_pairs = pair_set(golden, &in_golden);
+    let correct = predicted_pairs.intersection(&golden_pairs).count();
+    let precision = if predicted_pairs.is_empty() {
+        1.0
+    } else {
+        correct as f64 / predicted_pairs.len() as f64
+    };
+    let recall = if golden_pairs.is_empty() {
+        1.0
+    } else {
+        correct as f64 / golden_pairs.len() as f64
+    };
+    Metrics { precision, recall }
+}
+
+/// Render a mediated schema as attribute-name clusters.
+pub fn named_clusters(med: &MediatedSchema, vocab: &Vocabulary) -> Vec<BTreeSet<String>> {
+    med.clusters()
+        .iter()
+        .map(|c| c.iter().map(|&a| vocab.name(a).to_owned()).collect())
+        .collect()
+}
+
+/// Table 3's probability-weighted quality of a p-med-schema.
+pub fn p_med_schema_quality(
+    pmed: &PMedSchema,
+    vocab: &Vocabulary,
+    golden: &[BTreeSet<String>],
+) -> Metrics {
+    let mut precision = 0.0;
+    let mut recall = 0.0;
+    for (med, p) in pmed.schemas() {
+        let m = pairwise_metrics(&named_clusters(med, vocab), golden);
+        precision += p * m.precision;
+        recall += p * m.recall;
+    }
+    Metrics { precision, recall }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clusters(spec: &[&[&str]]) -> Vec<BTreeSet<String>> {
+        spec.iter()
+            .map(|c| c.iter().map(|s| (*s).to_owned()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn identical_clusterings_are_perfect() {
+        let g = clusters(&[&["a", "b"], &["c"]]);
+        let m = pairwise_metrics(&g, &g);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+    }
+
+    #[test]
+    fn over_merging_costs_precision() {
+        let predicted = clusters(&[&["a", "b", "c"]]);
+        let golden = clusters(&[&["a", "b"], &["c"]]);
+        let m = pairwise_metrics(&predicted, &golden);
+        // Predicted pairs: ab, ac, bc; golden pairs: ab.
+        assert!((m.precision - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.recall, 1.0);
+    }
+
+    #[test]
+    fn over_splitting_costs_recall() {
+        let predicted = clusters(&[&["a"], &["b"], &["c"]]);
+        let golden = clusters(&[&["a", "b"], &["c"]]);
+        let m = pairwise_metrics(&predicted, &golden);
+        assert_eq!(m.precision, 1.0, "no predicted pairs → vacuous precision");
+        assert_eq!(m.recall, 0.0);
+    }
+
+    #[test]
+    fn attributes_outside_golden_are_ignored() {
+        // `zzz` is not in the golden universe (e.g. ambiguous): pairing it
+        // must not hurt precision.
+        let predicted = clusters(&[&["a", "b", "zzz"]]);
+        let golden = clusters(&[&["a", "b"]]);
+        let m = pairwise_metrics(&predicted, &golden);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+    }
+
+    #[test]
+    fn weighted_quality_mixes_schemas() {
+        use udi_schema::{MediatedSchema, PMedSchema};
+        let mut vocab = Vocabulary::new();
+        let a = vocab.intern("a");
+        let b = vocab.intern("b");
+        let merged = MediatedSchema::from_slices(&[&[a, b]]);
+        let split = MediatedSchema::from_slices(&[&[a], &[b]]);
+        let pmed = PMedSchema::new(vec![(merged, 0.75), (split, 0.25)]);
+        let golden = clusters(&[&["a", "b"]]);
+        let m = p_med_schema_quality(&pmed, &vocab, &golden);
+        // merged: P=1, R=1; split: P=1 (vacuous), R=0.
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 0.75);
+    }
+}

@@ -1,0 +1,137 @@
+//! The experiment harness: prepares a domain end-to-end and scores
+//! integrators against golden standards.
+
+use udi_baselines::Integrator;
+use udi_core::{UdiConfig, UdiError, UdiSystem};
+use udi_datagen::{generate, Domain, GenConfig, GeneratedDomain};
+use udi_query::Query;
+use udi_store::Row;
+
+use crate::golden::{approximate_golden_rows, GoldenIntegrator};
+use crate::metrics::{score, Metrics};
+use crate::workload::generate_workload;
+
+/// Everything needed to run the paper's evaluation on one domain.
+pub struct DomainEval {
+    /// The domain under evaluation.
+    pub domain: Domain,
+    /// Generated corpus with ground truth.
+    pub gen: GeneratedDomain,
+    /// Fully configured UDI system over the corpus.
+    pub udi: UdiSystem,
+    /// The 10-query (by default) workload of §7.1.
+    pub queries: Vec<Query>,
+}
+
+/// Default workload size (§7.1: "we chose 10 queries" per domain).
+pub const DEFAULT_QUERIES: usize = 10;
+
+/// Generate the corpus, set UDI up, and build the workload.
+///
+/// `n_sources = None` uses the paper's Table 1 counts (up to 817 sources);
+/// smaller counts make unit tests fast.
+pub fn prepare(
+    domain: Domain,
+    n_sources: Option<usize>,
+    seed: u64,
+) -> Result<DomainEval, UdiError> {
+    let gen = generate(domain, &GenConfig { n_sources, seed, ..GenConfig::default() });
+    let udi = UdiSystem::setup(gen.catalog.clone(), UdiConfig::default())?;
+    let queries = generate_workload(&gen, DEFAULT_QUERIES, seed.wrapping_add(1));
+    Ok(DomainEval { domain, gen, udi, queries })
+}
+
+impl DomainEval {
+    /// The true golden standard `B̄` for every workload query.
+    pub fn golden_rows(&self) -> Vec<Vec<Row>> {
+        let g = GoldenIntegrator::new(&self.gen.catalog, &self.gen.truth);
+        self.queries.iter().map(|q| g.golden_rows(q)).collect()
+    }
+
+    /// The §7.2 approximate golden standard: correct answers among those
+    /// returned by UDI or by `Source`, per query.
+    pub fn approximate_golden_rows(&self) -> Vec<Vec<Row>> {
+        let g = GoldenIntegrator::new(&self.gen.catalog, &self.gen.truth);
+        let source = udi_baselines::SourceDirect::new(&self.gen.catalog);
+        self.queries
+            .iter()
+            .map(|q| {
+                let udi_ans = self.udi.answer(q);
+                let src_ans = source.answer(q);
+                approximate_golden_rows(&g, q, &[&udi_ans, &src_ans])
+            })
+            .collect()
+    }
+
+    /// Average an integrator's per-query metrics against per-query golden
+    /// rows.
+    pub fn evaluate(&self, integrator: &dyn Integrator, golden: &[Vec<Row>]) -> Metrics {
+        assert_eq!(golden.len(), self.queries.len());
+        let per_query: Vec<Metrics> = self
+            .queries
+            .iter()
+            .zip(golden)
+            .map(|(q, g)| {
+                let ans = integrator.answer(q);
+                score(ans.flat(), g.iter())
+            })
+            .collect();
+        Metrics::average(&per_query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udi_baselines::{SourceDirect, Udi};
+
+    fn small() -> DomainEval {
+        prepare(Domain::Movie, Some(24), 17).expect("setup succeeds")
+    }
+
+    #[test]
+    fn prepare_builds_everything() {
+        let d = small();
+        assert_eq!(d.gen.catalog.source_count(), 24);
+        assert_eq!(d.queries.len(), DEFAULT_QUERIES);
+        assert!(d.udi.report().n_schemas >= 1);
+    }
+
+    #[test]
+    fn udi_beats_or_matches_source_on_f_measure() {
+        let d = small();
+        let golden = d.golden_rows();
+        let udi = d.evaluate(&Udi(&d.udi), &golden);
+        let source = d.evaluate(&SourceDirect::new(&d.gen.catalog), &golden);
+        // On a 24-source fixture the two can be nearly tied; the robust
+        // invariant is UDI's recall advantage (Source only follows
+        // attribute-identity mappings) at a small, bounded precision cost.
+        assert!(udi.recall >= source.recall - 1e-9, "UDI must not lose recall to Source");
+        assert!(
+            udi.f_measure() >= source.f_measure() - 0.05,
+            "UDI {udi:?} vs Source {source:?}"
+        );
+    }
+
+    #[test]
+    fn udi_quality_is_high_on_small_corpus() {
+        let d = small();
+        let golden = d.golden_rows();
+        let m = d.evaluate(&Udi(&d.udi), &golden);
+        assert!(m.recall > 0.6, "recall {m:?}");
+        assert!(m.precision > 0.6, "precision {m:?}");
+    }
+
+    #[test]
+    fn approximate_golden_is_subset_of_true_golden() {
+        let d = small();
+        let truth = d.golden_rows();
+        let approx = d.approximate_golden_rows();
+        for (t, a) in truth.iter().zip(&approx) {
+            for row in a {
+                assert!(t.contains(row), "approx golden must be correct");
+            }
+            assert!(a.len() <= t.len());
+        }
+    }
+}

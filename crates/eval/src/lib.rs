@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Evaluation machinery for the SIGMOD'08 experiments (§7).
+//!
+//! - [`metrics`]: precision/recall/F-measure and R-P curves (§7.1, §7.4);
+//! - [`clustering`]: pairwise clustering quality of mediated schemas
+//!   (Table 3);
+//! - [`golden`]: the true golden standard (ground-truth-backed manual
+//!   integration) and the §7.2 approximate golden standard;
+//! - [`workload`]: the 10-query-per-domain workload generator (§7.1);
+//! - [`harness`]: one-call domain preparation (corpus → UDI → workload) and
+//!   integrator scoring.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use udi_baselines::Udi;
+//! use udi_datagen::Domain;
+//! use udi_eval::harness::prepare;
+//!
+//! let d = prepare(Domain::People, Some(49), 42).unwrap();
+//! let golden = d.golden_rows();
+//! let metrics = d.evaluate(&Udi(&d.udi), &golden);
+//! println!("P={:.3} R={:.3} F={:.3}", metrics.precision, metrics.recall, metrics.f_measure());
+//! ```
+
+pub mod clustering;
+pub mod golden;
+pub mod harness;
+pub mod metrics;
+pub mod workload;
+
+pub use clustering::{named_clusters, p_med_schema_quality, pairwise_metrics};
+pub use golden::{approximate_golden_rows, GoldenIntegrator};
+pub use harness::{prepare, DomainEval, DEFAULT_QUERIES};
+pub use metrics::{precision_at_recall, rp_curve, score, top_k_precision, Metrics, RpPoint};
+pub use udi_baselines::Integrator;
+pub use workload::generate_workload;

@@ -1,0 +1,230 @@
+//! Precision / recall / F-measure over answer lists (§7.1).
+//!
+//! The paper's definitions: with `Ā` the returned answers and `B̄` the
+//! golden standard, `P = |Ā ∩ B̄| / |Ā|`, `R = |Ā ∩ B̄| / |B̄|`,
+//! `F = 2PR / (P + R)`. Duplicates are *not* removed before measuring
+//! ("to be fair to these approaches"), so `Ā` is the flat per-source answer
+//! list; membership in `B̄` is by tuple value.
+
+use std::collections::HashSet;
+
+use udi_query::AnswerTuple;
+use udi_store::Row;
+
+/// Precision and recall of one query's answers.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Metrics {
+    /// Fraction of returned answers that are correct.
+    pub precision: f64,
+    /// Fraction of golden answers that were returned.
+    pub recall: f64,
+}
+
+impl Metrics {
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub fn f_measure(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        }
+    }
+
+    /// Mean of a set of per-query metrics (the paper reports "the average
+    /// precision, recall and F-measure of the returned results").
+    pub fn average(all: &[Metrics]) -> Metrics {
+        if all.is_empty() {
+            return Metrics::default();
+        }
+        let n = all.len() as f64;
+        Metrics {
+            precision: all.iter().map(|m| m.precision).sum::<f64>() / n,
+            recall: all.iter().map(|m| m.recall).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Score a flat answer list against a golden answer list.
+///
+/// Conventions for degenerate cases: an empty answer list has precision 1
+/// (it returned nothing wrong); an empty golden list has recall 1 (there was
+/// nothing to find).
+pub fn score<'a, A, G>(answers: A, golden: G) -> Metrics
+where
+    A: IntoIterator<Item = &'a AnswerTuple>,
+    G: IntoIterator<Item = &'a Row>,
+{
+    let golden_set: HashSet<&Row> = golden.into_iter().collect();
+    let mut n_answers = 0usize;
+    let mut n_correct = 0usize;
+    let mut found: HashSet<&Row> = HashSet::new();
+    for a in answers {
+        n_answers += 1;
+        if let Some(&g) = golden_set.get(&a.values) {
+            n_correct += 1;
+            found.insert(g);
+        }
+    }
+    let precision = if n_answers == 0 { 1.0 } else { n_correct as f64 / n_answers as f64 };
+    let recall = if golden_set.is_empty() {
+        1.0
+    } else {
+        found.len() as f64 / golden_set.len() as f64
+    };
+    Metrics { precision, recall }
+}
+
+/// One point of a recall–precision curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpPoint {
+    /// Recall achieved by the top-K prefix.
+    pub recall: f64,
+    /// Precision of that prefix.
+    pub precision: f64,
+}
+
+/// Compute the R-P curve of a ranked, deduplicated answer list (§7.4,
+/// Figure 6): "recall was varied on the x-axis by taking top-K answers
+/// based on probabilities"; for each K the precision of the top-K prefix is
+/// reported. Returns one point per K in `1..=len`.
+pub fn rp_curve(ranked: &[AnswerTuple], golden: &[Row]) -> Vec<RpPoint> {
+    let golden_set: HashSet<&Row> = golden.iter().collect();
+    let mut out = Vec::with_capacity(ranked.len());
+    let mut correct = 0usize;
+    for (k, t) in ranked.iter().enumerate() {
+        if golden_set.contains(&t.values) {
+            correct += 1;
+        }
+        let precision = correct as f64 / (k + 1) as f64;
+        let recall = if golden_set.is_empty() {
+            1.0
+        } else {
+            correct as f64 / golden_set.len() as f64
+        };
+        out.push(RpPoint { recall, precision });
+    }
+    out
+}
+
+/// Interpolate the precision of a curve at a recall level: the maximum
+/// precision among points with recall ≥ `r` (standard IR interpolation),
+/// or 0 if the curve never reaches `r`.
+pub fn precision_at_recall(curve: &[RpPoint], r: f64) -> f64 {
+    curve
+        .iter()
+        .filter(|p| p.recall >= r - 1e-12)
+        .map(|p| p.precision)
+        .fold(0.0, f64::max)
+}
+
+/// Top-k precision (§3: the system should "rank correct answers higher",
+/// obtaining "high precision, recall and high Top-k precision"): the
+/// fraction of the `k` highest-ranked answers that are correct. When fewer
+/// than `k` answers exist, the available prefix is scored; an empty answer
+/// list scores 1 against an empty golden list and 0 otherwise.
+pub fn top_k_precision(ranked: &[AnswerTuple], golden: &[Row], k: usize) -> f64 {
+    let golden_set: HashSet<&Row> = golden.iter().collect();
+    let prefix = &ranked[..k.min(ranked.len())];
+    if prefix.is_empty() {
+        return if golden_set.is_empty() { 1.0 } else { 0.0 };
+    }
+    let correct = prefix.iter().filter(|t| golden_set.contains(&t.values)).count();
+    correct as f64 / prefix.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udi_store::Value;
+
+    fn row(s: &str) -> Row {
+        vec![Value::text(s)]
+    }
+
+    fn tup(s: &str, p: f64) -> AnswerTuple {
+        AnswerTuple { values: row(s), probability: p }
+    }
+
+    #[test]
+    fn perfect_answers() {
+        let golden = [row("a"), row("b")];
+        let answers = [tup("a", 1.0), tup("b", 0.5)];
+        let m = score(answers.iter(), golden.iter());
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f_measure(), 1.0);
+    }
+
+    #[test]
+    fn duplicates_count_toward_precision_not_recall() {
+        let golden = [row("a"), row("b")];
+        // "a" returned twice (two sources), "b" missed, "x" wrong.
+        let answers = [tup("a", 1.0), tup("a", 0.5), tup("x", 0.5)];
+        let m = score(answers.iter(), golden.iter());
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.recall, 0.5);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let empty_answers: Vec<AnswerTuple> = vec![];
+        let golden = [row("a")];
+        let m = score(empty_answers.iter(), golden.iter());
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f_measure(), 0.0);
+
+        let answers = [tup("a", 1.0)];
+        let no_golden: Vec<Row> = vec![];
+        let m = score(answers.iter(), no_golden.iter());
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 1.0);
+    }
+
+    #[test]
+    fn average_is_componentwise() {
+        let a = Metrics { precision: 1.0, recall: 0.5 };
+        let b = Metrics { precision: 0.5, recall: 1.0 };
+        let avg = Metrics::average(&[a, b]);
+        assert_eq!(avg.precision, 0.75);
+        assert_eq!(avg.recall, 0.75);
+        assert_eq!(Metrics::average(&[]), Metrics::default());
+    }
+
+    #[test]
+    fn rp_curve_tracks_prefixes() {
+        let golden = vec![row("a"), row("b")];
+        // Ranked: correct, wrong, correct.
+        let ranked = vec![tup("a", 0.9), tup("x", 0.8), tup("b", 0.7)];
+        let curve = rp_curve(&ranked, &golden);
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[0], RpPoint { recall: 0.5, precision: 1.0 });
+        assert_eq!(curve[1], RpPoint { recall: 0.5, precision: 0.5 });
+        assert!((curve[2].precision - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(curve[2].recall, 1.0);
+    }
+
+    #[test]
+    fn top_k_precision_scores_prefixes() {
+        let golden = vec![row("a"), row("b")];
+        let ranked = vec![tup("a", 0.9), tup("x", 0.8), tup("b", 0.7)];
+        assert_eq!(top_k_precision(&ranked, &golden, 1), 1.0);
+        assert_eq!(top_k_precision(&ranked, &golden, 2), 0.5);
+        assert!((top_k_precision(&ranked, &golden, 3) - 2.0 / 3.0).abs() < 1e-12);
+        // k beyond the list scores the whole list.
+        assert!((top_k_precision(&ranked, &golden, 99) - 2.0 / 3.0).abs() < 1e-12);
+        // Degenerate cases.
+        assert_eq!(top_k_precision(&[], &golden, 5), 0.0);
+        assert_eq!(top_k_precision(&[], &[], 5), 1.0);
+    }
+
+    #[test]
+    fn precision_at_recall_interpolates() {
+        let golden = vec![row("a"), row("b")];
+        let ranked = vec![tup("a", 0.9), tup("x", 0.8), tup("b", 0.7)];
+        let curve = rp_curve(&ranked, &golden);
+        assert_eq!(precision_at_recall(&curve, 0.5), 1.0);
+        assert!((precision_at_recall(&curve, 1.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(precision_at_recall(&curve, 1.1), 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Enumeration of one-to-one schema mappings.
+//!
+//! §5.2: "for each subset of correspondences, if it corresponds to a
+//! one-to-one mapping, we consider the mapping as a possible mapping." A
+//! one-to-one mapping uses each source attribute and each mediated attribute
+//! at most once, i.e. it is a (partial) matching in the bipartite
+//! correspondence graph. The empty mapping is always a candidate.
+
+use crate::{CorrespondenceSet, MaxEntError};
+
+/// A candidate schema mapping: the sorted indices (into the
+/// [`CorrespondenceSet`]) of the correspondences it includes.
+pub type Matching = Vec<usize>;
+
+/// Enumerate every one-to-one sub-matching of the correspondence graph, the
+/// empty matching included, in deterministic order.
+///
+/// The number of matchings can be exponential in the number of
+/// correspondences; `cap` bounds the output size and enumeration aborts with
+/// [`MaxEntError::Explosion`] beyond it (UDI keeps instances small by
+/// thresholding correspondences and by group decomposition — see
+/// [`crate::grouping`]).
+pub fn enumerate_matchings(
+    corrs: &CorrespondenceSet,
+    cap: usize,
+) -> Result<Vec<Matching>, MaxEntError> {
+    let list = corrs.correspondences();
+    let mut out: Vec<Matching> = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    let mut used_source: Vec<usize> = Vec::new();
+    let mut used_target: Vec<usize> = Vec::new();
+    dfs(list, 0, &mut current, &mut used_source, &mut used_target, &mut out, cap)?;
+    Ok(out)
+}
+
+fn dfs(
+    list: &[crate::Correspondence],
+    idx: usize,
+    current: &mut Vec<usize>,
+    used_source: &mut Vec<usize>,
+    used_target: &mut Vec<usize>,
+    out: &mut Vec<Matching>,
+    cap: usize,
+) -> Result<(), MaxEntError> {
+    if idx == list.len() {
+        if out.len() >= cap {
+            return Err(MaxEntError::Explosion { cap });
+        }
+        out.push(current.clone());
+        return Ok(());
+    }
+    // Branch 1: exclude correspondence `idx`.
+    dfs(list, idx + 1, current, used_source, used_target, out, cap)?;
+    // Branch 2: include it, if both endpoints are free.
+    let c = &list[idx];
+    if !used_source.contains(&c.source) && !used_target.contains(&c.target) {
+        current.push(idx);
+        used_source.push(c.source);
+        used_target.push(c.target);
+        dfs(list, idx + 1, current, used_source, used_target, out, cap)?;
+        current.pop();
+        used_source.pop();
+        used_target.pop();
+    }
+    Ok(())
+}
+
+/// Build the 0/1 feature matrix `f[c][k] = 1 iff correspondence c ∈ matching
+/// k`, used to express the consistency constraints of Definition 5.1.
+pub fn feature_matrix(n_corrs: usize, matchings: &[Matching]) -> Vec<Vec<bool>> {
+    let mut f = vec![vec![false; matchings.len()]; n_corrs];
+    for (k, m) in matchings.iter().enumerate() {
+        for &c in m {
+            f[c][k] = true;
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Correspondence;
+
+    fn set(edges: &[(usize, usize)]) -> CorrespondenceSet {
+        CorrespondenceSet::new(
+            edges.iter().map(|&(s, t)| Correspondence::new(s, t, 0.5)).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_graph_has_only_empty_matching() {
+        let ms = enumerate_matchings(&set(&[]), 10).unwrap();
+        assert_eq!(ms, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn disjoint_edges_yield_all_subsets() {
+        // 2 disjoint edges → 4 matchings (independence structure).
+        let ms = enumerate_matchings(&set(&[(0, 0), (1, 1)]), 10).unwrap();
+        assert_eq!(ms.len(), 4);
+        assert!(ms.contains(&vec![]));
+        assert!(ms.contains(&vec![0]));
+        assert!(ms.contains(&vec![1]));
+        assert!(ms.contains(&vec![0, 1]));
+    }
+
+    #[test]
+    fn conflicting_edges_cannot_cooccur() {
+        // Same source attribute on both edges → {0,1} is not a matching.
+        let ms = enumerate_matchings(&set(&[(0, 0), (0, 1)]), 10).unwrap();
+        assert_eq!(ms.len(), 3);
+        assert!(!ms.contains(&vec![0, 1]));
+    }
+
+    #[test]
+    fn shared_target_also_conflicts() {
+        let ms = enumerate_matchings(&set(&[(0, 0), (1, 0)]), 10).unwrap();
+        assert_eq!(ms.len(), 3);
+    }
+
+    #[test]
+    fn two_by_two_complete_bipartite() {
+        // K_{2,2}: matchings are {}, 4 singletons, 2 perfect = 7.
+        let ms = enumerate_matchings(&set(&[(0, 0), (0, 1), (1, 0), (1, 1)]), 100).unwrap();
+        assert_eq!(ms.len(), 7);
+    }
+
+    #[test]
+    fn cap_triggers_explosion() {
+        let err = enumerate_matchings(&set(&[(0, 0), (1, 1)]), 3).unwrap_err();
+        assert_eq!(err, MaxEntError::Explosion { cap: 3 });
+    }
+
+    #[test]
+    fn matchings_are_sorted_and_distinct() {
+        let ms = enumerate_matchings(&set(&[(0, 0), (1, 1), (2, 2)]), 100).unwrap();
+        assert_eq!(ms.len(), 8);
+        for m in &ms {
+            let mut sorted = m.clone();
+            sorted.sort_unstable();
+            assert_eq!(&sorted, m);
+        }
+        let distinct: std::collections::HashSet<_> = ms.iter().cloned().collect();
+        assert_eq!(distinct.len(), ms.len());
+    }
+
+    #[test]
+    fn feature_matrix_marks_membership() {
+        let ms = vec![vec![], vec![0], vec![0, 1]];
+        let f = feature_matrix(2, &ms);
+        assert_eq!(f[0], vec![false, true, true]);
+        assert_eq!(f[1], vec![false, false, true]);
+    }
+}

@@ -1,0 +1,297 @@
+//! Group p-mappings: independent-component decomposition.
+//!
+//! Correspondences that share no attribute are independent under maximum
+//! entropy (the solution factorizes), so we split the correspondence graph
+//! into connected components ("groups"), maximize entropy within each group,
+//! and represent the joint as a product of per-group factors. This is the
+//! search-space reduction the paper adopts from Dong et al.'s group
+//! p-mappings, and it is what keeps UDI setup time linear in practice.
+
+use crate::enumerate::enumerate_matchings;
+use crate::problem::CorrespondenceSet;
+use crate::solver::{solve_max_entropy, MaxEntConfig};
+use crate::{Correspondence, Matching, MaxEntError};
+
+/// One independent group: a distribution over the one-to-one matchings of a
+/// connected component of the correspondence graph. Matching entries are
+/// **global** correspondence indices (into the original set).
+#[derive(Debug, Clone)]
+pub struct MappingFactor {
+    /// Global indices of the correspondences this factor covers.
+    pub corr_indices: Vec<usize>,
+    /// Candidate matchings (global indices, sorted).
+    pub matchings: Vec<Matching>,
+    /// Probability per matching; sums to 1.
+    pub probabilities: Vec<f64>,
+}
+
+impl MappingFactor {
+    /// Marginalize this factor onto a subset of its correspondences: returns
+    /// `(projected matching, total probability)` pairs, aggregated.
+    pub fn project(&self, keep: &[usize]) -> Vec<(Matching, f64)> {
+        use std::collections::BTreeMap;
+        let mut acc: BTreeMap<Matching, f64> = BTreeMap::new();
+        for (m, &p) in self.matchings.iter().zip(&self.probabilities) {
+            let proj: Matching = m.iter().copied().filter(|c| keep.contains(c)).collect();
+            *acc.entry(proj).or_insert(0.0) += p;
+        }
+        acc.into_iter().collect()
+    }
+
+    /// Entropy of this factor's distribution.
+    pub fn entropy(&self) -> f64 {
+        -self.probabilities.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>()
+    }
+}
+
+/// Product distribution over matchings, factorized by independent groups.
+#[derive(Debug, Clone)]
+pub struct GroupedDistribution {
+    factors: Vec<MappingFactor>,
+    n_corrs: usize,
+}
+
+impl GroupedDistribution {
+    /// The independent factors.
+    pub fn factors(&self) -> &[MappingFactor] {
+        &self.factors
+    }
+
+    /// Number of correspondences in the underlying set.
+    pub fn correspondence_count(&self) -> usize {
+        self.n_corrs
+    }
+
+    /// Total number of full matchings the product represents (may be huge).
+    pub fn joint_size(&self) -> u128 {
+        self.factors.iter().map(|f| f.matchings.len() as u128).product()
+    }
+
+    /// Expand the product into an explicit joint distribution over full
+    /// matchings, failing with [`MaxEntError::Explosion`] past `cap`.
+    pub fn expand(&self, cap: usize) -> Result<Vec<(Matching, f64)>, MaxEntError> {
+        let mut acc: Vec<(Matching, f64)> = vec![(Vec::new(), 1.0)];
+        for f in &self.factors {
+            let mut next = Vec::with_capacity(acc.len() * f.matchings.len());
+            for (base, bp) in &acc {
+                for (m, &p) in f.matchings.iter().zip(&f.probabilities) {
+                    if next.len() >= cap {
+                        return Err(MaxEntError::Explosion { cap });
+                    }
+                    let mut merged = base.clone();
+                    merged.extend(m.iter().copied());
+                    next.push((merged, bp * p));
+                }
+            }
+            acc = next;
+        }
+        for (m, _) in &mut acc {
+            m.sort_unstable();
+        }
+        Ok(acc)
+    }
+
+    /// Marginal joint distribution over a subset of correspondences: the
+    /// product of per-factor projections. Factors that contain none of the
+    /// kept correspondences contribute nothing (probability 1 on the empty
+    /// projection), so the result stays small even when the full joint is
+    /// astronomically large.
+    pub fn marginal(&self, keep: &[usize], cap: usize) -> Result<Vec<(Matching, f64)>, MaxEntError> {
+        let mut acc: Vec<(Matching, f64)> = vec![(Vec::new(), 1.0)];
+        for f in &self.factors {
+            if !f.corr_indices.iter().any(|c| keep.contains(c)) {
+                continue;
+            }
+            let proj = f.project(keep);
+            let mut next = Vec::with_capacity(acc.len() * proj.len());
+            for (base, bp) in &acc {
+                for (m, p) in &proj {
+                    if next.len() >= cap {
+                        return Err(MaxEntError::Explosion { cap });
+                    }
+                    let mut merged = base.clone();
+                    merged.extend(m.iter().copied());
+                    next.push((merged, bp * p));
+                }
+            }
+            acc = next;
+        }
+        for (m, _) in &mut acc {
+            m.sort_unstable();
+        }
+        Ok(acc)
+    }
+}
+
+/// Partition correspondences into connected components. Two correspondences
+/// are connected when they share a source attribute or a mediated attribute.
+/// Returns, per group, the list of global correspondence indices (groups and
+/// their contents in deterministic order).
+pub fn connected_groups(corrs: &[Correspondence]) -> Vec<Vec<usize>> {
+    let n = corrs.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if corrs[i].source == corrs[j].source || corrs[i].target == corrs[j].target {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().push(i);
+    }
+    groups.into_values().collect()
+}
+
+/// Full §5 pipeline on a correspondence set: group decomposition, matching
+/// enumeration per group, maximum entropy per group.
+pub fn solve_correspondences(
+    corrs: &CorrespondenceSet,
+    config: &MaxEntConfig,
+) -> Result<GroupedDistribution, MaxEntError> {
+    let all = corrs.correspondences();
+    let mut factors = Vec::new();
+    for group in connected_groups(all) {
+        // Local view of this group's correspondences.
+        let local: Vec<Correspondence> = group.iter().map(|&g| all[g]).collect();
+        let local_set = CorrespondenceSet::new(local.clone())?;
+        let matchings_local = enumerate_matchings(&local_set, config.matching_cap)?;
+        let targets: Vec<f64> = local.iter().map(|c| c.weight).collect();
+        let sol = solve_max_entropy(local.len(), &matchings_local, &targets, config)?;
+        // Re-index matchings to global correspondence indices.
+        let matchings: Vec<Matching> = matchings_local
+            .iter()
+            .map(|m| m.iter().map(|&li| group[li]).collect())
+            .collect();
+        factors.push(MappingFactor {
+            corr_indices: group,
+            matchings,
+            probabilities: sol.probabilities,
+        });
+    }
+    Ok(GroupedDistribution { factors, n_corrs: all.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs(edges: &[(usize, usize, f64)]) -> CorrespondenceSet {
+        CorrespondenceSet::new(
+            edges.iter().map(|&(s, t, w)| Correspondence::new(s, t, w)).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn groups_split_on_shared_attributes() {
+        let set = cs(&[(0, 0, 0.5), (0, 1, 0.4), (1, 2, 0.3), (2, 2, 0.3)]);
+        let groups = connected_groups(set.correspondences());
+        // {0,1} share source 0; {2,3} share target 2.
+        assert_eq!(groups, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn independent_edges_are_singleton_groups() {
+        let set = cs(&[(0, 0, 0.5), (1, 1, 0.4), (2, 2, 0.3)]);
+        let groups = connected_groups(set.correspondences());
+        assert_eq!(groups.len(), 3);
+    }
+
+    #[test]
+    fn expand_reproduces_flat_solution() {
+        // Compare the grouped product with a direct flat solve.
+        let set = cs(&[(0, 0, 0.6), (1, 1, 0.5)]);
+        let dist = solve_correspondences(&set, &MaxEntConfig::default()).unwrap();
+        assert_eq!(dist.factors().len(), 2);
+        let joint = dist.expand(100).unwrap();
+        assert_eq!(joint.len(), 4);
+        let total: f64 = joint.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let p_both = joint.iter().find(|(m, _)| m.len() == 2).unwrap().1;
+        assert!((p_both - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn joint_size_multiplies() {
+        let set = cs(&[(0, 0, 0.6), (1, 1, 0.5), (2, 2, 0.5)]);
+        let dist = solve_correspondences(&set, &MaxEntConfig::default()).unwrap();
+        assert_eq!(dist.joint_size(), 8);
+    }
+
+    #[test]
+    fn expand_respects_cap() {
+        let set = cs(&[(0, 0, 0.6), (1, 1, 0.5), (2, 2, 0.5)]);
+        let dist = solve_correspondences(&set, &MaxEntConfig::default()).unwrap();
+        assert!(matches!(dist.expand(4), Err(MaxEntError::Explosion { cap: 4 })));
+    }
+
+    #[test]
+    fn marginal_keeps_only_relevant_factors() {
+        let set = cs(&[(0, 0, 0.6), (1, 1, 0.5), (2, 2, 0.25)]);
+        let dist = solve_correspondences(&set, &MaxEntConfig::default()).unwrap();
+        // Marginal over correspondence 2 only: two outcomes.
+        let m = dist.marginal(&[2], 100).unwrap();
+        assert_eq!(m.len(), 2);
+        let p_with: f64 =
+            m.iter().filter(|(mm, _)| mm.contains(&2)).map(|(_, p)| p).sum();
+        assert!((p_with - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn marginal_of_everything_equals_expand() {
+        let set = cs(&[(0, 0, 0.6), (0, 1, 0.3), (1, 2, 0.5)]);
+        let dist = solve_correspondences(&set, &MaxEntConfig::default()).unwrap();
+        let keep: Vec<usize> = (0..3).collect();
+        let mut a = dist.expand(1000).unwrap();
+        let mut b = dist.marginal(&keep, 1000).unwrap();
+        a.sort_by(|x, y| x.0.cmp(&y.0));
+        b.sort_by(|x, y| x.0.cmp(&y.0));
+        assert_eq!(a.len(), b.len());
+        for ((ma, pa), (mb, pb)) in a.iter().zip(&b) {
+            assert_eq!(ma, mb);
+            assert!((pa - pb).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn project_aggregates_probability() {
+        let set = cs(&[(0, 0, 0.6), (0, 1, 0.3)]);
+        let dist = solve_correspondences(&set, &MaxEntConfig::default()).unwrap();
+        let f = &dist.factors()[0];
+        let proj = f.project(&[0]);
+        // Outcomes: with corr 0 (0.6) and without (0.4).
+        assert_eq!(proj.len(), 2);
+        let p0: f64 = proj.iter().filter(|(m, _)| m == &vec![0]).map(|(_, p)| p).sum();
+        assert!((p0 - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn factor_entropy_matches_distribution() {
+        let set = cs(&[(0, 0, 0.5)]);
+        let dist = solve_correspondences(&set, &MaxEntConfig::default()).unwrap();
+        let h = dist.factors()[0].entropy();
+        assert!((h - (2.0_f64).ln()).abs() < 1e-6, "fair coin entropy, got {h}");
+    }
+
+    #[test]
+    fn empty_correspondence_set_has_unit_empty_joint() {
+        let set = cs(&[]);
+        let dist = solve_correspondences(&set, &MaxEntConfig::default()).unwrap();
+        let joint = dist.expand(10).unwrap();
+        assert_eq!(joint, vec![(vec![], 1.0)]);
+        assert_eq!(dist.joint_size(), 1);
+    }
+}

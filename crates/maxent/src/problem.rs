@@ -1,0 +1,208 @@
+//! Weighted correspondences and the Theorem 5.2 normalization.
+
+use crate::MaxEntError;
+
+/// A weighted correspondence `C_{i,j}`: source attribute `i` matches
+/// mediated attribute `j` with degree `weight ∈ (0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Correspondence {
+    /// Index of the source attribute within its schema.
+    pub source: usize,
+    /// Index of the mediated attribute within the mediated schema.
+    pub target: usize,
+    /// Semantic-similarity weight `p_{i,j}`.
+    pub weight: f64,
+}
+
+impl Correspondence {
+    /// Construct a correspondence. Weight validity is checked when the
+    /// correspondence enters a [`CorrespondenceSet`].
+    pub fn new(source: usize, target: usize, weight: f64) -> Correspondence {
+        Correspondence { source, target, weight }
+    }
+}
+
+/// A validated set of weighted correspondences between one source schema and
+/// one mediated schema.
+///
+/// Theorem 5.2: a consistent p-mapping exists iff every row sum
+/// `Σ_j p_{i,j}` and every column sum `Σ_i p_{i,j}` is at most 1. The
+/// [`CorrespondenceSet::normalized`] constructor divides all weights by
+/// `M′ = max(max_i Σ_j p_{i,j}, max_j Σ_i p_{i,j})` whenever `M′ > 1`,
+/// which the theorem shows restores both conditions.
+#[derive(Debug, Clone, Default)]
+pub struct CorrespondenceSet {
+    corrs: Vec<Correspondence>,
+}
+
+impl CorrespondenceSet {
+    /// Validate and wrap a list of correspondences. Rejects weights outside
+    /// `(0, 1]` and duplicate `(source, target)` pairs. Does **not** check
+    /// the Theorem 5.2 sum conditions — use [`CorrespondenceSet::normalized`]
+    /// when the weights come from raw similarity sums.
+    pub fn new(corrs: Vec<Correspondence>) -> Result<CorrespondenceSet, MaxEntError> {
+        for (i, c) in corrs.iter().enumerate() {
+            if !(c.weight > 0.0 && c.weight <= 1.0) || c.weight.is_nan() {
+                return Err(MaxEntError::InvalidWeight {
+                    source: c.source,
+                    target: c.target,
+                    weight: c.weight,
+                });
+            }
+            if corrs[..i].iter().any(|d| d.source == c.source && d.target == c.target) {
+                return Err(MaxEntError::DuplicateCorrespondence {
+                    source: c.source,
+                    target: c.target,
+                });
+            }
+        }
+        Ok(CorrespondenceSet { corrs })
+    }
+
+    /// Build a set from raw (possibly super-unit) weights, applying the
+    /// Theorem 5.2 normalization. Non-positive and NaN weights are dropped
+    /// (they denote "no correspondence" after thresholding).
+    pub fn normalized(raw: Vec<Correspondence>) -> Result<CorrespondenceSet, MaxEntError> {
+        let mut kept: Vec<Correspondence> =
+            raw.into_iter().filter(|c| c.weight > 0.0 && !c.weight.is_nan()).collect();
+        let m_prime = normalization_factor(&kept);
+        if m_prime > 1.0 {
+            for c in &mut kept {
+                c.weight /= m_prime;
+            }
+        }
+        // Guard against floating drift leaving a weight a hair above 1.
+        for c in &mut kept {
+            if c.weight > 1.0 {
+                c.weight = 1.0;
+            }
+        }
+        CorrespondenceSet::new(kept)
+    }
+
+    /// The correspondences, in insertion order.
+    pub fn correspondences(&self) -> &[Correspondence] {
+        &self.corrs
+    }
+
+    /// Number of correspondences.
+    pub fn len(&self) -> usize {
+        self.corrs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.corrs.is_empty()
+    }
+
+    /// Maximum row/column weight sum `M′` (see Theorem 5.2).
+    pub fn normalization_factor(&self) -> f64 {
+        normalization_factor(&self.corrs)
+    }
+
+    /// Check the Theorem 5.2 feasibility conditions (all row and column
+    /// sums ≤ 1, with a small tolerance for floating error).
+    pub fn is_feasible(&self) -> bool {
+        self.normalization_factor() <= 1.0 + 1e-9
+    }
+}
+
+/// `M′ = max(max_i Σ_j p_{i,j}, max_j Σ_i p_{i,j})`; `0` for an empty set.
+fn normalization_factor(corrs: &[Correspondence]) -> f64 {
+    use std::collections::HashMap;
+    let mut row: HashMap<usize, f64> = HashMap::new();
+    let mut col: HashMap<usize, f64> = HashMap::new();
+    for c in corrs {
+        *row.entry(c.source).or_insert(0.0) += c.weight;
+        *col.entry(c.target).or_insert(0.0) += c.weight;
+    }
+    row.values().chain(col.values()).fold(0.0_f64, |m, &v| m.max(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_weights() {
+        for w in [0.0, -0.1, 1.5, f64::NAN] {
+            let r = CorrespondenceSet::new(vec![Correspondence::new(0, 0, w)]);
+            assert!(matches!(r, Err(MaxEntError::InvalidWeight { .. })), "weight {w}");
+        }
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let r = CorrespondenceSet::new(vec![
+            Correspondence::new(0, 1, 0.5),
+            Correspondence::new(0, 1, 0.6),
+        ]);
+        assert!(matches!(r, Err(MaxEntError::DuplicateCorrespondence { source: 0, target: 1 })));
+    }
+
+    #[test]
+    fn normalization_factor_is_max_row_or_col_sum() {
+        let cs = CorrespondenceSet::new(vec![
+            Correspondence::new(0, 0, 0.9),
+            Correspondence::new(0, 1, 0.08),
+            Correspondence::new(1, 1, 0.7),
+        ])
+        .unwrap();
+        // Row sums: a0: 0.98, a1: 0.7. Col sums: t0: 0.9, t1: 0.78.
+        assert!((cs.normalization_factor() - 0.98).abs() < 1e-12);
+        assert!(cs.is_feasible());
+    }
+
+    #[test]
+    fn normalized_divides_when_oversubscribed() {
+        let cs = CorrespondenceSet::normalized(vec![
+            Correspondence::new(0, 0, 1.6),
+            Correspondence::new(0, 1, 0.8),
+        ])
+        .unwrap();
+        // M' = 2.4; weights become 1.6/2.4 and 0.8/2.4.
+        assert!(cs.is_feasible());
+        let w: Vec<f64> = cs.correspondences().iter().map(|c| c.weight).collect();
+        assert!((w[0] - 1.6 / 2.4).abs() < 1e-12);
+        assert!((w[1] - 0.8 / 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_drops_nonpositive_and_keeps_feasible_untouched() {
+        let cs = CorrespondenceSet::normalized(vec![
+            Correspondence::new(0, 0, 0.5),
+            Correspondence::new(1, 1, -0.2),
+            Correspondence::new(2, 2, f64::NAN),
+        ])
+        .unwrap();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs.correspondences()[0].weight, 0.5);
+    }
+
+    #[test]
+    fn empty_set_is_feasible() {
+        let cs = CorrespondenceSet::new(vec![]).unwrap();
+        assert!(cs.is_empty());
+        assert_eq!(cs.normalization_factor(), 0.0);
+        assert!(cs.is_feasible());
+    }
+
+    proptest! {
+        /// Theorem 5.2 part 2 as a property: normalization always restores
+        /// feasibility, whatever the raw weights.
+        #[test]
+        fn normalization_always_yields_feasible(
+            edges in proptest::collection::vec((0usize..5, 0usize..5, 0.01f64..3.0), 0..15)
+        ) {
+            let mut seen = std::collections::HashSet::new();
+            let raw: Vec<Correspondence> = edges
+                .into_iter()
+                .filter(|(s, t, _)| seen.insert((*s, *t)))
+                .map(|(s, t, w)| Correspondence::new(s, t, w))
+                .collect();
+            let cs = CorrespondenceSet::normalized(raw).unwrap();
+            prop_assert!(cs.is_feasible());
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The maximum-entropy convex program (OPT of §5.2).
+//!
+//! Maximize `Σ_k −p_k log p_k` subject to `p ≥ 0`, `Σ_k p_k = 1`, and the
+//! Definition 5.1 consistency constraints
+//! `Σ_{k : c ∈ m_k} p_k = w_c` for every correspondence `c`.
+//!
+//! The maximizer lies in the exponential family
+//! `p_k(λ) ∝ exp(Σ_{c ∈ m_k} λ_c)`, so the problem reduces to the smooth,
+//! unconstrained convex dual
+//! `g(λ) = log Σ_k exp(s_k(λ)) − Σ_c λ_c w_c` with gradient
+//! `∇g_c = E_{p(λ)}[1{c ∈ m_k}] − w_c`. We minimize `g` by gradient descent
+//! with Armijo backtracking. (The paper offloaded this to Knitro; any
+//! convergent convex solver yields the same distribution.)
+
+use crate::enumerate::{feature_matrix, Matching};
+use crate::MaxEntError;
+
+/// Solver configuration.
+#[derive(Debug, Clone)]
+pub struct MaxEntConfig {
+    /// Stop when the constraint residual infinity-norm falls below this.
+    pub tolerance: f64,
+    /// Maximum gradient-descent iterations.
+    pub max_iterations: usize,
+    /// Residual above which the solver reports [`MaxEntError::DidNotConverge`]
+    /// instead of returning a best-effort distribution. Boundary-feasible
+    /// instances (some matching probability forced to exactly 0) drive dual
+    /// variables to ±∞ and can stall just above `tolerance`; such solutions
+    /// are still useful, so this acceptance threshold is looser.
+    pub acceptable_residual: f64,
+    /// Cap for one-to-one matching enumeration and product expansion.
+    pub matching_cap: usize,
+}
+
+impl Default for MaxEntConfig {
+    fn default() -> Self {
+        MaxEntConfig {
+            tolerance: 1e-10,
+            max_iterations: 20_000,
+            acceptable_residual: 1e-4,
+            matching_cap: 100_000,
+        }
+    }
+}
+
+/// A solved maximum-entropy distribution over matchings.
+#[derive(Debug, Clone)]
+pub struct MaxEntSolution {
+    /// `probabilities[k]` is the probability of `matchings[k]` as passed to
+    /// [`solve_max_entropy`].
+    pub probabilities: Vec<f64>,
+    /// Achieved entropy `Σ −p log p` (natural log).
+    pub entropy: f64,
+    /// Iterations the solver ran.
+    pub iterations: usize,
+    /// Final constraint-residual infinity-norm.
+    pub residual: f64,
+}
+
+/// Solve OPT for the given matchings and per-correspondence targets.
+///
+/// `targets[c]` is the weight `w_c` of correspondence `c`;
+/// `matchings` must contain sorted correspondence-index vectors (as produced
+/// by [`crate::enumerate_matchings`]) and should include every one-to-one
+/// matching of the correspondence graph — Theorem 5.2 guarantees feasibility
+/// only over the full set.
+pub fn solve_max_entropy(
+    n_corrs: usize,
+    matchings: &[Matching],
+    targets: &[f64],
+    config: &MaxEntConfig,
+) -> Result<MaxEntSolution, MaxEntError> {
+    assert_eq!(targets.len(), n_corrs, "one target per correspondence");
+    assert!(!matchings.is_empty(), "at least the empty matching is required");
+    let l = matchings.len();
+    if n_corrs == 0 {
+        // Only the normalization constraint: uniform distribution.
+        let p = vec![1.0 / l as f64; l];
+        let entropy = (l as f64).ln();
+        return Ok(MaxEntSolution { probabilities: p, entropy, iterations: 0, residual: 0.0 });
+    }
+
+    let features = feature_matrix(n_corrs, matchings);
+    let mut lambda = vec![0.0_f64; n_corrs];
+    let mut p = vec![0.0_f64; l];
+    let mut grad = vec![0.0_f64; n_corrs];
+
+    let eval = |lambda: &[f64], p: &mut [f64], grad: &mut [f64]| -> f64 {
+        // Scores s_k = Σ_{c∈m_k} λ_c, computed via the feature matrix.
+        let mut smax = f64::NEG_INFINITY;
+        for (k, m) in matchings.iter().enumerate() {
+            let s: f64 = m.iter().map(|&c| lambda[c]).sum();
+            p[k] = s;
+            smax = smax.max(s);
+        }
+        let mut z = 0.0;
+        for pk in p.iter_mut() {
+            *pk = (*pk - smax).exp();
+            z += *pk;
+        }
+        for pk in p.iter_mut() {
+            *pk /= z;
+        }
+        // Dual value g(λ) and gradient E_p[f_c] − w_c.
+        let mut g = smax + z.ln();
+        for c in 0..n_corrs {
+            let e: f64 =
+                features[c].iter().zip(p.iter()).filter_map(|(&f, &pk)| f.then_some(pk)).sum();
+            grad[c] = e - targets[c];
+            g -= lambda[c] * targets[c];
+        }
+        g
+    };
+
+    let mut g = eval(&lambda, &mut p, &mut grad);
+    let mut iterations = 0;
+    let mut step = 1.0_f64;
+    while iterations < config.max_iterations {
+        let residual = grad.iter().fold(0.0_f64, |m, &x| m.max(x.abs()));
+        if residual < config.tolerance {
+            break;
+        }
+        // Armijo backtracking on the dual.
+        let mut trial_lambda = lambda.clone();
+        let mut trial_p = vec![0.0; l];
+        let mut trial_grad = vec![0.0; n_corrs];
+        let grad_sq: f64 = grad.iter().map(|x| x * x).sum();
+        let mut t = step;
+        let mut accepted = false;
+        for _ in 0..60 {
+            for c in 0..n_corrs {
+                trial_lambda[c] = lambda[c] - t * grad[c];
+            }
+            let tg = eval(&trial_lambda, &mut trial_p, &mut trial_grad);
+            if tg <= g - 0.25 * t * grad_sq {
+                lambda.copy_from_slice(&trial_lambda);
+                p.copy_from_slice(&trial_p);
+                grad.copy_from_slice(&trial_grad);
+                g = tg;
+                accepted = true;
+                break;
+            }
+            t *= 0.5;
+        }
+        if !accepted {
+            break; // Step underflow: at numerical optimum.
+        }
+        step = (t * 2.0).min(1e6); // Warm-start next line search.
+        iterations += 1;
+    }
+
+    let residual = grad.iter().fold(0.0_f64, |m, &x| m.max(x.abs()));
+    if residual > config.acceptable_residual {
+        return Err(MaxEntError::DidNotConverge { residual });
+    }
+    let entropy = -p.iter().filter(|&&x| x > 0.0).map(|&x| x * x.ln()).sum::<f64>();
+    Ok(MaxEntSolution { probabilities: p, entropy, iterations, residual })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{enumerate_matchings, Correspondence, CorrespondenceSet};
+
+    fn solve(edges: &[(usize, usize, f64)]) -> (Vec<Matching>, MaxEntSolution) {
+        let cs = CorrespondenceSet::new(
+            edges.iter().map(|&(s, t, w)| Correspondence::new(s, t, w)).collect(),
+        )
+        .unwrap();
+        let ms = enumerate_matchings(&cs, 10_000).unwrap();
+        let targets: Vec<f64> = cs.correspondences().iter().map(|c| c.weight).collect();
+        let sol =
+            solve_max_entropy(cs.len(), &ms, &targets, &MaxEntConfig::default()).unwrap();
+        (ms, sol)
+    }
+
+    fn prob_of(ms: &[Matching], sol: &MaxEntSolution, m: &[usize]) -> f64 {
+        let i = ms.iter().position(|x| x.as_slice() == m).unwrap();
+        sol.probabilities[i]
+    }
+
+    #[test]
+    fn paper_section_5_2_example_factorizes() {
+        // (A,A')=0.6, (B,B')=0.5 → p = (0.3, 0.3, 0.2, 0.2) as in pM1.
+        let (ms, sol) = solve(&[(0, 0, 0.6), (1, 1, 0.5)]);
+        assert!((prob_of(&ms, &sol, &[0, 1]) - 0.30).abs() < 1e-6);
+        assert!((prob_of(&ms, &sol, &[0]) - 0.30).abs() < 1e-6);
+        assert!((prob_of(&ms, &sol, &[1]) - 0.20).abs() < 1e-6);
+        assert!((prob_of(&ms, &sol, &[]) - 0.20).abs() < 1e-6);
+    }
+
+    #[test]
+    fn three_independent_edges_factorize() {
+        let (ms, sol) = solve(&[(0, 0, 0.9), (1, 1, 0.5), (2, 2, 0.1)]);
+        let p = prob_of(&ms, &sol, &[0, 1, 2]);
+        assert!((p - 0.9 * 0.5 * 0.1).abs() < 1e-6);
+        let p = prob_of(&ms, &sol, &[0]);
+        assert!((p - 0.9 * 0.5 * 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constraints_are_met_on_conflicting_edges() {
+        // Source attribute 0 could map to target 0 or 1 (exclusive).
+        let (ms, sol) = solve(&[(0, 0, 0.5), (0, 1, 0.3)]);
+        // p({0}) = 0.5, p({1}) = 0.3, p({}) = 0.2.
+        assert!((prob_of(&ms, &sol, &[0]) - 0.5).abs() < 1e-6);
+        assert!((prob_of(&ms, &sol, &[1]) - 0.3).abs() < 1e-6);
+        assert!((prob_of(&ms, &sol, &[]) - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn boundary_weight_one_forces_certainty() {
+        let (ms, sol) = solve(&[(0, 0, 1.0)]);
+        assert!(prob_of(&ms, &sol, &[0]) > 0.9999);
+        assert!(prob_of(&ms, &sol, &[]) < 1e-4);
+    }
+
+    #[test]
+    fn no_correspondences_gives_uniform() {
+        let sol = solve_max_entropy(0, &[vec![]], &[], &MaxEntConfig::default()).unwrap();
+        assert_eq!(sol.probabilities, vec![1.0]);
+    }
+
+    #[test]
+    fn probabilities_always_simplex() {
+        let (_, sol) = solve(&[(0, 0, 0.4), (0, 1, 0.4), (1, 0, 0.2), (1, 1, 0.6)]);
+        let sum: f64 = sol.probabilities.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(sol.probabilities.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+    }
+
+    #[test]
+    fn k22_constraints_satisfied() {
+        let edges = [(0, 0, 0.4), (0, 1, 0.4), (1, 0, 0.3), (1, 1, 0.5)];
+        let cs = CorrespondenceSet::new(
+            edges.iter().map(|&(s, t, w)| Correspondence::new(s, t, w)).collect(),
+        )
+        .unwrap();
+        let ms = enumerate_matchings(&cs, 10_000).unwrap();
+        let targets: Vec<f64> = cs.correspondences().iter().map(|c| c.weight).collect();
+        let sol = solve_max_entropy(4, &ms, &targets, &MaxEntConfig::default()).unwrap();
+        // Verify Definition 5.1 consistency for each correspondence.
+        for (c, &w) in targets.iter().enumerate() {
+            let mass: f64 = ms
+                .iter()
+                .zip(&sol.probabilities)
+                .filter(|(m, _)| m.contains(&c))
+                .map(|(_, &p)| p)
+                .sum();
+            assert!((mass - w).abs() < 1e-6, "corr {c}: {mass} vs {w}");
+        }
+    }
+
+    #[test]
+    fn entropy_is_maximal_among_feasible_distributions() {
+        // Any consistent hand-built distribution must have entropy <= maxent.
+        let (ms, sol) = solve(&[(0, 0, 0.6), (1, 1, 0.5)]);
+        // pM2 from the paper: 0.5 both, 0.1 A-only, 0 B-only, 0.4 empty.
+        let mut alt = vec![0.0_f64; ms.len()];
+        for (k, m) in ms.iter().enumerate() {
+            alt[k] = match m.as_slice() {
+                [0, 1] => 0.5,
+                [0] => 0.1,
+                [1] => 0.0,
+                [] => 0.4,
+                _ => unreachable!(),
+            };
+        }
+        let h_alt: f64 = -alt.iter().filter(|&&x| x > 0.0).map(|&x| x * x.ln()).sum::<f64>();
+        assert!(sol.entropy > h_alt);
+    }
+
+    #[test]
+    fn reports_iterations_and_residual() {
+        let (_, sol) = solve(&[(0, 0, 0.6), (1, 1, 0.5)]);
+        assert!(sol.iterations > 0);
+        assert!(sol.residual <= 1e-4);
+    }
+}

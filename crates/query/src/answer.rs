@@ -1,0 +1,269 @@
+//! Probabilistic answer sets under by-table semantics.
+//!
+//! Definition 3.3 / §2: a tuple's probability from one source is the sum of
+//! the probabilities of the mappings (weighted by mediated-schema
+//! probability) under which the rewritten query returns it; answers from
+//! different sources combine by probabilistic disjunction
+//! `1 − Π_i (1 − p_i)`, assuming source independence.
+//!
+//! The paper measures precision/recall on the answer list *without*
+//! removing duplicates across sources ([`AnswerSet::flat`]) but ranks and
+//! plots R-P curves on the deduplicated, disjunction-combined list
+//! ([`AnswerSet::combined`]).
+
+use std::collections::HashMap;
+
+use udi_store::{Row, SourceId};
+
+/// One answer tuple with its probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerTuple {
+    /// Projected values, aligned with the query's select list.
+    pub values: Row,
+    /// Probability that this tuple is a correct answer.
+    pub probability: f64,
+}
+
+/// Accumulates per-mapping results for a single source.
+///
+/// Each `add_mapping(rows, p)` call records that, under a mapping holding
+/// with probability `p`, the rewritten query returned `rows`. Duplicate rows
+/// within one mapping count once (a tuple either is or is not an answer
+/// under that mapping); the same tuple under different mappings accumulates
+/// their probabilities (by-table semantics).
+#[derive(Debug, Clone, Default)]
+pub struct SourceAccumulator {
+    probs: HashMap<Row, f64>,
+    order: Vec<Row>,
+}
+
+impl SourceAccumulator {
+    /// Fresh accumulator.
+    pub fn new() -> SourceAccumulator {
+        SourceAccumulator::default()
+    }
+
+    /// Record the result bag of one possible mapping with probability `p`.
+    pub fn add_mapping(&mut self, rows: &[Row], p: f64) {
+        if p <= 0.0 {
+            return;
+        }
+        let mut seen: Vec<&Row> = Vec::new();
+        for row in rows {
+            if seen.contains(&row) {
+                continue;
+            }
+            seen.push(row);
+            match self.probs.get_mut(row) {
+                Some(q) => *q += p,
+                None => {
+                    self.probs.insert(row.clone(), p);
+                    self.order.push(row.clone());
+                }
+            }
+        }
+    }
+
+    /// Finish: the source's answer tuples in first-seen order.
+    pub fn finish(self) -> Vec<AnswerTuple> {
+        self.order
+            .into_iter()
+            .map(|values| {
+                let probability = self.probs[&values].min(1.0);
+                AnswerTuple { values, probability }
+            })
+            .collect()
+    }
+
+    /// Whether nothing was accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+/// Answers collected from every source for one query.
+#[derive(Debug, Clone, Default)]
+pub struct AnswerSet {
+    per_source: Vec<(SourceId, Vec<AnswerTuple>)>,
+}
+
+impl AnswerSet {
+    /// Empty answer set.
+    pub fn new() -> AnswerSet {
+        AnswerSet::default()
+    }
+
+    /// Attach one source's answers.
+    pub fn add_source(&mut self, source: SourceId, tuples: Vec<AnswerTuple>) {
+        if !tuples.is_empty() {
+            self.per_source.push((source, tuples));
+        }
+    }
+
+    /// The flat answer list: every source's tuples concatenated, duplicates
+    /// across sources retained (the paper's precision/recall view).
+    pub fn flat(&self) -> Vec<&AnswerTuple> {
+        self.per_source.iter().flat_map(|(_, ts)| ts.iter()).collect()
+    }
+
+    /// Number of flat answers.
+    pub fn len(&self) -> usize {
+        self.per_source.iter().map(|(_, ts)| ts.len()).sum()
+    }
+
+    /// Whether no source produced answers.
+    pub fn is_empty(&self) -> bool {
+        self.per_source.is_empty()
+    }
+
+    /// Per-source view `(source, tuples)`.
+    pub fn by_source(&self) -> &[(SourceId, Vec<AnswerTuple>)] {
+        &self.per_source
+    }
+
+    /// Deduplicate across sources with probabilistic disjunction and rank by
+    /// probability (descending, ties broken by tuple order for determinism).
+    pub fn combined(&self) -> Vec<AnswerTuple> {
+        let mut acc: HashMap<Row, f64> = HashMap::new();
+        let mut order: Vec<Row> = Vec::new();
+        for (_, tuples) in &self.per_source {
+            for t in tuples {
+                match acc.get_mut(&t.values) {
+                    // 1 - (1-p)(1-q) accumulated incrementally.
+                    Some(p) => *p = 1.0 - (1.0 - *p) * (1.0 - t.probability),
+                    None => {
+                        acc.insert(t.values.clone(), t.probability);
+                        order.push(t.values.clone());
+                    }
+                }
+            }
+        }
+        let mut out: Vec<AnswerTuple> = order
+            .into_iter()
+            .map(|values| {
+                let probability = acc[&values];
+                AnswerTuple { values, probability }
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.probability.partial_cmp(&a.probability).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out
+    }
+
+    /// The top-`k` combined answers.
+    pub fn top_k(&self, k: usize) -> Vec<AnswerTuple> {
+        let mut c = self.combined();
+        c.truncate(k);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udi_store::Value;
+
+    fn row(s: &str) -> Row {
+        vec![Value::text(s)]
+    }
+
+    #[test]
+    fn accumulator_sums_across_mappings() {
+        let mut acc = SourceAccumulator::new();
+        acc.add_mapping(&[row("a"), row("b")], 0.6);
+        acc.add_mapping(&[row("a")], 0.3);
+        let ts = acc.finish();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].values, row("a"));
+        assert!((ts[0].probability - 0.9).abs() < 1e-12);
+        assert!((ts[1].probability - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_dedupes_within_one_mapping() {
+        let mut acc = SourceAccumulator::new();
+        acc.add_mapping(&[row("a"), row("a"), row("a")], 0.5);
+        let ts = acc.finish();
+        assert_eq!(ts.len(), 1);
+        assert!((ts[0].probability - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_ignores_zero_probability_mappings() {
+        let mut acc = SourceAccumulator::new();
+        acc.add_mapping(&[row("a")], 0.0);
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn accumulator_caps_at_one() {
+        let mut acc = SourceAccumulator::new();
+        acc.add_mapping(&[row("a")], 0.7);
+        acc.add_mapping(&[row("a")], 0.7); // float drift scenario
+        let ts = acc.finish();
+        assert_eq!(ts[0].probability, 1.0);
+    }
+
+    #[test]
+    fn disjunction_across_sources() {
+        let mut set = AnswerSet::new();
+        set.add_source(
+            SourceId(0),
+            vec![AnswerTuple { values: row("x"), probability: 0.5 }],
+        );
+        set.add_source(
+            SourceId(1),
+            vec![AnswerTuple { values: row("x"), probability: 0.5 }],
+        );
+        let c = set.combined();
+        assert_eq!(c.len(), 1);
+        assert!((c[0].probability - 0.75).abs() < 1e-12);
+        // Flat view keeps both.
+        assert_eq!(set.flat().len(), 2);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn combined_is_ranked_descending() {
+        let mut set = AnswerSet::new();
+        set.add_source(
+            SourceId(0),
+            vec![
+                AnswerTuple { values: row("lo"), probability: 0.2 },
+                AnswerTuple { values: row("hi"), probability: 0.9 },
+            ],
+        );
+        let c = set.combined();
+        assert_eq!(c[0].values, row("hi"));
+        assert_eq!(c[1].values, row("lo"));
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let mut set = AnswerSet::new();
+        set.add_source(
+            SourceId(0),
+            vec![
+                AnswerTuple { values: row("a"), probability: 0.2 },
+                AnswerTuple { values: row("b"), probability: 0.9 },
+                AnswerTuple { values: row("c"), probability: 0.5 },
+            ],
+        );
+        let top = set.top_k(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].values, row("b"));
+        assert_eq!(top[1].values, row("c"));
+    }
+
+    #[test]
+    fn empty_answer_set() {
+        let set = AnswerSet::new();
+        assert!(set.is_empty());
+        assert!(set.combined().is_empty());
+        assert!(set.flat().is_empty());
+        let mut set2 = AnswerSet::new();
+        set2.add_source(SourceId(0), vec![]);
+        assert!(set2.is_empty(), "empty source contributions are dropped");
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Select–project queries over single-table sources, with probabilistic
+//! answers.
+//!
+//! UDI "accepts select-project queries on the exposed mediated schema and
+//! returns answers ranked by their probabilities" (§7.1; joins are out of
+//! scope because every source is a single table). This crate provides:
+//!
+//! - [`Query`] / [`Predicate`]: the AST — a select list plus a conjunction
+//!   of comparison predicates (`=, ≠, <, ≤, >, ≥, LIKE` as in §7.1);
+//! - [`parse_query`]: a small SQL parser for the
+//!   `SELECT ... FROM ... WHERE ...` fragment the paper's workload uses;
+//! - [`execute_with_binding`]: evaluation of a query against one source
+//!   table under an attribute binding (query attribute → source attribute),
+//!   which is how a rewritten query runs after p-mapping reformulation;
+//! - [`AnswerSet`]: by-table probabilistic answers — per-source tuple
+//!   probabilities are summed over the mappings that produce the tuple, and
+//!   sources combine by probabilistic disjunction `1 − Π(1 − p_i)` (§2).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use udi_store::{Table, Value};
+//! use udi_query::{parse_query, execute_with_binding, Binding};
+//!
+//! let mut t = Table::new("s", ["full_name", "tel"]);
+//! t.push_raw_row(["Alice", "123-4567"]).unwrap();
+//! t.push_raw_row(["Bob", "765-4321"]).unwrap();
+//!
+//! let q = parse_query("SELECT name, phone FROM people WHERE name = 'Alice'").unwrap();
+//! let mut b = Binding::new();
+//! b.bind("name", "full_name");
+//! b.bind("phone", "tel");
+//! let rows = execute_with_binding(&t, &q, &b);
+//! assert_eq!(rows.len(), 1);
+//! assert_eq!(rows[0][1], Value::text("123-4567"));
+//! ```
+
+pub mod aggregate;
+pub mod answer;
+pub mod ast;
+pub mod exec;
+pub mod parse;
+
+pub use aggregate::{execute_aggregate_with_binding, AggFunc, Aggregate, AggregateQuery};
+pub use answer::{AnswerSet, AnswerTuple, SourceAccumulator};
+pub use ast::{CompareOp, Predicate, Query};
+pub use exec::{execute_with_binding, execute_with_binding_indexed, Binding};
+pub use parse::{parse_aggregate_query, parse_query, ParseError};

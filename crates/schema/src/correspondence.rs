@@ -1,0 +1,244 @@
+//! Weighted correspondences between a source schema and a mediated schema
+//! (§5.1).
+
+use std::collections::HashMap;
+
+use udi_similarity::Similarity;
+
+use crate::model::{AttrId, MediatedSchema, SourceSchema, Vocabulary};
+use crate::UdiParams;
+
+/// Memoized pairwise attribute-name similarity.
+///
+/// Setup computes the same name pair similarity many times (every source ×
+/// every candidate mediated schema touches the same frequent attributes);
+/// memoization keeps the pipeline linear in practice. The cache is
+/// mutex-guarded so the matrix can be shared across the worker threads of
+/// parallel p-mapping generation (the measure must be `Sync`; all built-in
+/// measures are).
+pub struct SimilarityMatrix<'a> {
+    vocab: &'a Vocabulary,
+    sim: &'a (dyn Similarity + Sync),
+    cache: std::sync::Mutex<HashMap<(AttrId, AttrId), f64>>,
+}
+
+impl<'a> SimilarityMatrix<'a> {
+    /// Wrap a similarity measure over a vocabulary.
+    pub fn new(vocab: &'a Vocabulary, sim: &'a (dyn Similarity + Sync)) -> SimilarityMatrix<'a> {
+        SimilarityMatrix { vocab, sim, cache: Default::default() }
+    }
+
+    /// Memoized `s(a, b)`; symmetric key so each unordered pair is computed
+    /// once. Identity is served without a measure call.
+    pub fn get(&self, a: AttrId, b: AttrId) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let key = (a.min(b), a.max(b));
+        if let Some(&w) = self.cache.lock().expect("cache poisoned").get(&key) {
+            return w;
+        }
+        let w = self.sim.similarity(self.vocab.name(key.0), self.vocab.name(key.1));
+        self.cache.lock().expect("cache poisoned").insert(key, w);
+        w
+    }
+
+    /// Number of memoized pairs (for diagnostics).
+    pub fn cached_pairs(&self) -> usize {
+        self.cache.lock().expect("cache poisoned").len()
+    }
+
+    /// Precompute every `(row, col)` pair into an immutable, lock-free
+    /// matrix. Correspondence generation only ever queries (source
+    /// attribute, cluster member) pairs, and both sides are small, so
+    /// freezing up front removes all locking from the hot path — the
+    /// difference between parallel p-mapping generation scaling and
+    /// serializing on the cache mutex.
+    pub fn freeze(&self, rows: &[AttrId], cols: &[AttrId]) -> FrozenMatrix {
+        let mut map = HashMap::with_capacity(rows.len() * cols.len());
+        for &r in rows {
+            for &c in cols {
+                if r == c {
+                    continue;
+                }
+                let key = (r.min(c), r.max(c));
+                map.entry(key).or_insert_with(|| self.get(r, c));
+            }
+        }
+        FrozenMatrix { map }
+    }
+}
+
+/// Immutable pairwise similarity lookup (see [`SimilarityMatrix::freeze`]).
+/// Pairs outside the frozen set score 0 — freeze over every pair the
+/// pipeline can query.
+pub struct FrozenMatrix {
+    map: HashMap<(AttrId, AttrId), f64>,
+}
+
+/// Read access to pairwise attribute similarities, shared by the lazy
+/// (mutex-cached) and frozen (lock-free) matrices.
+pub trait PairSimilarity {
+    /// `s(a, b)`, with `s(a, a) = 1`.
+    fn pair(&self, a: AttrId, b: AttrId) -> f64;
+}
+
+impl PairSimilarity for SimilarityMatrix<'_> {
+    fn pair(&self, a: AttrId, b: AttrId) -> f64 {
+        self.get(a, b)
+    }
+}
+
+impl PairSimilarity for FrozenMatrix {
+    fn pair(&self, a: AttrId, b: AttrId) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let key = (a.min(b), a.max(b));
+        self.map.get(&key).copied().unwrap_or(0.0)
+    }
+}
+
+/// Compute the thresholded weighted correspondences between `source` and
+/// `med` (§5.1):
+///
+/// `p_{i,j} = Σ_{a ∈ A_j} s(a_i, a)`, with each pairwise term floored at
+/// `params.pair_floor` (terms below the floor contribute 0) and the total
+/// zeroed below `params.corr_threshold`.
+///
+/// Returned correspondences use `source`-local indices (`source = position
+/// of a_i in the source schema`, `target = cluster index in med`) as
+/// `udi-maxent` expects; weights are **raw** (normalize through
+/// [`udi_maxent::CorrespondenceSet::normalized`]).
+pub fn weighted_correspondences(
+    source: &SourceSchema,
+    med: &MediatedSchema,
+    matrix: &dyn PairSimilarity,
+    params: &UdiParams,
+) -> Vec<udi_maxent::Correspondence> {
+    let mut out = Vec::new();
+    for (i, &ai) in source.attrs.iter().enumerate() {
+        for (j, cluster) in med.clusters().iter().enumerate() {
+            let mut w = 0.0;
+            for &a in cluster {
+                let s = matrix.pair(ai, a);
+                if s >= params.pair_floor {
+                    w += s;
+                }
+            }
+            if w >= params.corr_threshold {
+                out.push(udi_maxent::Correspondence::new(i, j, w));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SchemaSet;
+
+    fn fixture() -> (SchemaSet, UdiParams) {
+        let set = SchemaSet::from_sources([
+            ("med-donor", vec!["phone", "hPhone", "oPhone", "name"]),
+            ("src", vec!["telephone", "name"]),
+        ]);
+        (set, UdiParams { theta: 0.0, ..UdiParams::default() })
+    }
+
+    #[test]
+    fn matrix_memoizes_and_is_symmetric() {
+        let (set, _) = fixture();
+        let sim = udi_similarity::AttributeSimilarity::default();
+        let m = SimilarityMatrix::new(set.vocab(), &sim);
+        let a = set.vocab().id_of("phone").unwrap();
+        let b = set.vocab().id_of("hPhone").unwrap();
+        let w1 = m.get(a, b);
+        let w2 = m.get(b, a);
+        assert_eq!(w1, w2);
+        assert_eq!(m.cached_pairs(), 1);
+        assert_eq!(m.get(a, a), 1.0);
+        assert_eq!(m.cached_pairs(), 1, "identity is not cached");
+    }
+
+    #[test]
+    fn own_cluster_membership_dominates() {
+        let (set, params) = fixture();
+        let phone = set.vocab().id_of("phone").unwrap();
+        let h = set.vocab().id_of("hPhone").unwrap();
+        let name = set.vocab().id_of("name").unwrap();
+        let med = MediatedSchema::from_slices(&[&[phone, h], &[name]]);
+        let sim = udi_similarity::AttributeSimilarity::default();
+        let matrix = SimilarityMatrix::new(set.vocab(), &sim);
+        // The source here is the donor itself: attr `phone` should map to
+        // its own cluster with weight ≥ 1 (contains s(phone,phone)=1).
+        let src = &set.sources()[0];
+        let corrs = weighted_correspondences(src, &med, &matrix, &params);
+        let c = corrs
+            .iter()
+            .find(|c| c.source == 0 && c.target == 0)
+            .expect("phone → {phone, hPhone}");
+        assert!(c.weight >= 1.0);
+    }
+
+    #[test]
+    fn threshold_suppresses_weak_correspondences() {
+        let (set, params) = fixture();
+        let phone = set.vocab().id_of("phone").unwrap();
+        let name = set.vocab().id_of("name").unwrap();
+        let med = MediatedSchema::from_slices(&[&[phone], &[name]]);
+        let sim = udi_similarity::AttributeSimilarity::default();
+        let matrix = SimilarityMatrix::new(set.vocab(), &sim);
+        let src = &set.sources()[0];
+        let corrs = weighted_correspondences(src, &med, &matrix, &params);
+        // `name` (source idx 3) must not correspond to the phone cluster.
+        assert!(!corrs.iter().any(|c| c.source == 3 && c.target == 0));
+        // And must correspond to its own cluster.
+        assert!(corrs.iter().any(|c| c.source == 3 && c.target == 1));
+    }
+
+    #[test]
+    fn pair_floor_blocks_weak_term_accumulation() {
+        // Cluster of 3 attributes each 0.5-similar to `x`: without the
+        // floor the sum 1.5 would clear the 0.85 threshold spuriously.
+        let set = SchemaSet::from_sources([("s", vec!["x", "p1", "p2", "p3"])]);
+        let x = set.vocab().id_of("x").unwrap();
+        let p: Vec<AttrId> =
+            ["p1", "p2", "p3"].iter().map(|n| set.vocab().id_of(n).unwrap()).collect();
+        let med = MediatedSchema::from_slices(&[&p, &[x]]);
+        let sim = |a: &str, b: &str| -> f64 {
+            if a == b {
+                1.0
+            } else if a == "x" || b == "x" {
+                0.5
+            } else {
+                0.9
+            }
+        };
+        let matrix = SimilarityMatrix::new(set.vocab(), &sim);
+        let src = &set.sources()[0];
+        let params = UdiParams { theta: 0.0, ..UdiParams::default() };
+        let corrs = weighted_correspondences(src, &med, &matrix, &params);
+        let p_cluster = med.cluster_of(p[0]).unwrap();
+        assert!(
+            !corrs.iter().any(|c| c.source == 0 && c.target == p_cluster),
+            "x must not correspond to the p-cluster"
+        );
+    }
+
+    #[test]
+    fn correspondences_use_local_indices() {
+        let (set, params) = fixture();
+        let phone = set.vocab().id_of("phone").unwrap();
+        let name = set.vocab().id_of("name").unwrap();
+        let med = MediatedSchema::from_slices(&[&[phone], &[name]]);
+        let sim = udi_similarity::AttributeSimilarity::default();
+        let matrix = SimilarityMatrix::new(set.vocab(), &sim);
+        // src has attrs [telephone, name]: name is local index 1.
+        let src = &set.sources()[1];
+        let corrs = weighted_correspondences(src, &med, &matrix, &params);
+        assert!(corrs.iter().any(|c| c.source == 1 && c.target == 1));
+        assert!(corrs.iter().all(|c| c.source < 2 && c.target < 2));
+    }
+}

@@ -1,0 +1,166 @@
+//! The weighted similarity graph over frequent attributes (Algorithm 1,
+//! steps 1–5).
+
+use udi_similarity::Similarity;
+
+use crate::model::{AttrId, SchemaSet};
+use crate::UdiParams;
+
+/// Classification of a graph edge relative to τ ± ε.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Weight ≥ τ + ε: the two attributes are merged in every mediated
+    /// schema.
+    Certain,
+    /// Weight in `[τ − ε, τ + ε)`: the merge is ambiguous; Algorithm 1
+    /// branches on it.
+    Uncertain,
+}
+
+/// One weighted edge between two frequent attributes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// First endpoint.
+    pub a: AttrId,
+    /// Second endpoint.
+    pub b: AttrId,
+    /// Pairwise similarity weight.
+    pub weight: f64,
+    /// Certain vs uncertain.
+    pub kind: EdgeKind,
+}
+
+/// The similarity graph: frequent attributes as nodes, thresholded
+/// similarity edges classified as certain/uncertain.
+#[derive(Debug, Clone)]
+pub struct SimilarityGraph {
+    /// Nodes (frequent attribute ids, ascending).
+    pub nodes: Vec<AttrId>,
+    /// Edges with weight ≥ τ − ε.
+    pub edges: Vec<Edge>,
+}
+
+impl SimilarityGraph {
+    /// The certain edges.
+    pub fn certain_edges(&self) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(|e| e.kind == EdgeKind::Certain)
+    }
+
+    /// The uncertain edges.
+    pub fn uncertain_edges(&self) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(|e| e.kind == EdgeKind::Uncertain)
+    }
+}
+
+/// Build the similarity graph:
+///
+/// 1. keep attributes with frequency ≥ θ (steps 1–3);
+/// 2. for every pair with `s(a, b) ≥ τ − ε`, add an edge (step 4);
+/// 3. mark edges with weight < τ + ε as uncertain (step 5).
+pub fn build_similarity_graph(
+    set: &SchemaSet,
+    sim: &dyn Similarity,
+    params: &UdiParams,
+) -> SimilarityGraph {
+    let nodes = set.frequent_attributes(params.theta);
+    let mut edges = Vec::new();
+    for (i, &a) in nodes.iter().enumerate() {
+        for &b in &nodes[i + 1..] {
+            let w = sim.similarity(set.vocab().name(a), set.vocab().name(b));
+            if w >= params.tau - params.epsilon {
+                let kind = if w >= params.tau + params.epsilon {
+                    EdgeKind::Certain
+                } else {
+                    EdgeKind::Uncertain
+                };
+                edges.push(Edge { a, b, weight: w, kind });
+            }
+        }
+    }
+    SimilarityGraph { nodes, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SchemaSet;
+
+    /// A test measure keyed on exact names so edge weights are controllable.
+    fn fixture() -> (SchemaSet, impl Similarity) {
+        let set = SchemaSet::from_sources([
+            ("s1", vec!["name", "phone", "tel", "rare"]),
+            ("s2", vec!["name", "phone", "tel"]),
+            ("s3", vec!["name", "mobile"]),
+        ]);
+        let sim = |a: &str, b: &str| -> f64 {
+            let key = |x: &str, y: &str| (x.min(y).to_owned(), x.max(y).to_owned());
+            let (x, y) = key(a, b);
+            match (x.as_str(), y.as_str()) {
+                ("phone", "tel") => 0.90,   // certain
+                ("mobile", "phone") => 0.86, // uncertain (in [0.83, 0.87))
+                ("mobile", "tel") => 0.50,
+                _ => 0.0,
+            }
+        };
+        (set, sim)
+    }
+
+    #[test]
+    fn frequency_filter_excludes_rare_attributes() {
+        let (set, sim) = fixture();
+        let params = UdiParams { theta: 0.5, ..UdiParams::default() };
+        let g = build_similarity_graph(&set, &sim, &params);
+        let rare = set.vocab().id_of("rare").unwrap();
+        assert!(!g.nodes.contains(&rare));
+        // name, phone, tel are in >= 2/3 of sources; mobile only 1/3.
+        assert_eq!(g.nodes.len(), 3);
+    }
+
+    #[test]
+    fn edges_are_classified_by_tau_epsilon() {
+        let (set, sim) = fixture();
+        let params = UdiParams { theta: 0.0, ..UdiParams::default() };
+        let g = build_similarity_graph(&set, &sim, &params);
+        assert_eq!(g.certain_edges().count(), 1);
+        assert_eq!(g.uncertain_edges().count(), 1);
+        let certain = g.certain_edges().next().unwrap();
+        assert_eq!(certain.weight, 0.90);
+        let uncertain = g.uncertain_edges().next().unwrap();
+        assert_eq!(uncertain.weight, 0.86);
+    }
+
+    #[test]
+    fn below_band_edges_are_dropped() {
+        let (set, sim) = fixture();
+        let params = UdiParams { theta: 0.0, ..UdiParams::default() };
+        let g = build_similarity_graph(&set, &sim, &params);
+        // mobile-tel at 0.50 never appears.
+        assert!(g.edges.iter().all(|e| e.weight >= 0.83));
+    }
+
+    #[test]
+    fn exact_boundary_edges() {
+        let set = SchemaSet::from_sources([("s1", vec!["a", "b", "c"])]);
+        let sim = |x: &str, y: &str| -> f64 {
+            match (x.min(y), x.max(y)) {
+                ("a", "b") => 0.87, // exactly tau + eps → certain
+                ("a", "c") => 0.83, // exactly tau - eps → uncertain
+                _ => 0.0,
+            }
+        };
+        let params = UdiParams { theta: 0.0, ..UdiParams::default() };
+        let g = build_similarity_graph(&set, &sim, &params);
+        let ab = g.edges.iter().find(|e| e.weight == 0.87).unwrap();
+        assert_eq!(ab.kind, EdgeKind::Certain);
+        let ac = g.edges.iter().find(|e| e.weight == 0.83).unwrap();
+        assert_eq!(ac.kind, EdgeKind::Uncertain);
+    }
+
+    #[test]
+    fn empty_schema_set_gives_empty_graph() {
+        let set = SchemaSet::default();
+        let g = build_similarity_graph(&set, &(|_: &str, _: &str| 1.0), &UdiParams::default());
+        assert!(g.nodes.is_empty());
+        assert!(g.edges.is_empty());
+    }
+}

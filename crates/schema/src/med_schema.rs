@@ -1,0 +1,354 @@
+//! Mediated-schema enumeration and probability assignment (Algorithm 1
+//! steps 6–8, Algorithm 2).
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use udi_similarity::Similarity;
+
+use crate::graph::{build_similarity_graph, Edge, SimilarityGraph};
+use crate::model::{AttrId, MediatedSchema, PMedSchema, SchemaSet};
+use crate::UdiParams;
+
+/// Small union-find over node indices.
+#[derive(Clone)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Enumerate all distinct mediated schemas induced by including/excluding
+/// subsets of the uncertain edges (Algorithm 1, steps 6–8).
+///
+/// Step 6 of the paper prunes uncertain edges that cannot change the
+/// resulting clustering: edges within one certain-component, and all but one
+/// of a set of parallel uncertain edges between the same pair of
+/// certain-components. We implement the slightly stronger canonical form —
+/// deduplicate uncertain edges by unordered certain-component pair, keeping
+/// the heaviest — which yields the same set of distinct schemas because
+/// step 8 deduplicates anyway.
+///
+/// When more than `params.max_uncertain_edges` uncertain edges survive
+/// pruning, the least ambiguous excess edges (weight farthest from τ) are
+/// resolved deterministically: treated as certain when at or above τ,
+/// dropped otherwise. This bounds the `2^u` enumeration.
+pub fn enumerate_mediated_schemas(
+    graph: &SimilarityGraph,
+    params: &UdiParams,
+) -> Vec<MediatedSchema> {
+    let n = graph.nodes.len();
+    let index_of: BTreeMap<AttrId, usize> =
+        graph.nodes.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+
+    // Certain edges merge unconditionally; extra_certain accumulates excess
+    // uncertain edges promoted by the cap.
+    let mut certain: Vec<(usize, usize)> = graph
+        .certain_edges()
+        .map(|e| (index_of[&e.a], index_of[&e.b]))
+        .collect();
+    let mut uncertain: Vec<Edge> = graph.uncertain_edges().cloned().collect();
+
+    let kept_uncertain: Vec<(usize, usize)> = loop {
+        let mut uf = UnionFind::new(n);
+        for &(a, b) in &certain {
+            uf.union(a, b);
+        }
+        // Deduplicate by certain-component pair, keeping the heaviest edge.
+        let mut best: BTreeMap<(usize, usize), Edge> = BTreeMap::new();
+        for e in &uncertain {
+            let (ca, cb) = (uf.find(index_of[&e.a]), uf.find(index_of[&e.b]));
+            if ca == cb {
+                continue; // Step 6 case (1): already certainly connected.
+            }
+            let key = (ca.min(cb), ca.max(cb));
+            match best.get(&key) {
+                Some(prev) if prev.weight >= e.weight => {}
+                _ => {
+                    best.insert(key, *e);
+                }
+            }
+        }
+        let mut deduped: Vec<Edge> = best.into_values().collect();
+        if deduped.len() <= params.max_uncertain_edges {
+            break deduped
+                .iter()
+                .map(|e| (index_of[&e.a], index_of[&e.b]))
+                .collect();
+        }
+        // Too many: resolve the least ambiguous (|w − τ| largest) edges.
+        deduped.sort_by(|x, y| {
+            let ax = (x.weight - params.tau).abs();
+            let ay = (y.weight - params.tau).abs();
+            ax.partial_cmp(&ay).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let excess: Vec<Edge> = deduped.split_off(params.max_uncertain_edges);
+        for e in &excess {
+            if e.weight >= params.tau {
+                certain.push((index_of[&e.a], index_of[&e.b]));
+            }
+        }
+        uncertain = deduped;
+        // Loop: promoting edges to certain may alias other component pairs.
+    };
+
+    // Base components under certain edges only.
+    let mut base = UnionFind::new(n);
+    for &(a, b) in &certain {
+        base.union(a, b);
+    }
+
+    // Enumerate subsets of the kept uncertain edges (step 7). The paper
+    // "omits the edges in the subset", i.e. includes the complement; both
+    // phrasings enumerate the same power set.
+    let u = kept_uncertain.len();
+    let mut seen: HashSet<MediatedSchema> = HashSet::new();
+    let mut out: Vec<MediatedSchema> = Vec::new();
+    for mask in 0..(1_u64 << u) {
+        let mut uf = base.clone();
+        for (bit, &(a, b)) in kept_uncertain.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                uf.union(a, b);
+            }
+        }
+        let mut clusters: BTreeMap<usize, BTreeSet<AttrId>> = BTreeMap::new();
+        for (i, &attr) in graph.nodes.iter().enumerate() {
+            clusters.entry(uf.find(i)).or_default().insert(attr);
+        }
+        let schema = MediatedSchema::new(clusters.into_values().collect());
+        if seen.insert(schema.clone()) {
+            out.push(schema);
+        }
+    }
+    out
+}
+
+/// Algorithm 2: probability of each mediated schema is the share of source
+/// schemas it is consistent with. Schemas consistent with no source are
+/// dropped; if none is consistent with any source, probabilities fall back
+/// to uniform (every schema equally plausible).
+pub fn assign_probabilities(
+    schemas: Vec<MediatedSchema>,
+    set: &SchemaSet,
+) -> Vec<(MediatedSchema, f64)> {
+    assert!(!schemas.is_empty(), "need at least one candidate schema");
+    let counts: Vec<usize> = schemas
+        .iter()
+        .map(|m| set.sources().iter().filter(|s| m.is_consistent_with(s)).count())
+        .collect();
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        let p = 1.0 / schemas.len() as f64;
+        return schemas.into_iter().map(|m| (m, p)).collect();
+    }
+    schemas
+        .into_iter()
+        .zip(counts)
+        .filter(|(_, c)| *c > 0)
+        .map(|(m, c)| (m, c as f64 / total as f64))
+        .collect()
+}
+
+/// End-to-end p-med-schema construction (§4.2): build the similarity graph,
+/// enumerate candidate schemas, assign probabilities, sort by probability
+/// (descending; ties broken by schema order for determinism).
+pub fn build_p_med_schema(
+    set: &SchemaSet,
+    sim: &dyn Similarity,
+    params: &UdiParams,
+) -> Result<PMedSchema, crate::MaxEntError> {
+    let graph = build_similarity_graph(set, sim, params);
+    let schemas = enumerate_mediated_schemas(&graph, params);
+    let mut weighted = assign_probabilities(schemas, set);
+    weighted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(PMedSchema::new(weighted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::build_similarity_graph;
+
+    /// name-keyed similarity fixture: phone≈tel certainly, phone≈mobile
+    /// uncertainly.
+    fn sim(a: &str, b: &str) -> f64 {
+        match (a.min(b), a.max(b)) {
+            ("phone", "tel") => 0.90,
+            ("mobile", "phone") => 0.855,
+            _ => 0.0,
+        }
+    }
+
+    fn set() -> SchemaSet {
+        SchemaSet::from_sources([
+            ("s1", vec!["name", "phone", "tel"]),
+            ("s2", vec!["name", "phone", "mobile"]),
+            ("s3", vec!["name", "mobile"]),
+            ("s4", vec!["name", "phone"]),
+        ])
+    }
+
+    fn params() -> UdiParams {
+        UdiParams { theta: 0.0, ..UdiParams::default() }
+    }
+
+    #[test]
+    fn uncertain_edge_doubles_schema_count() {
+        let s = set();
+        let g = build_similarity_graph(&s, &sim, &params());
+        let schemas = enumerate_mediated_schemas(&g, &params());
+        // One uncertain edge → two distinct schemas.
+        assert_eq!(schemas.len(), 2);
+        let phone = s.vocab().id_of("phone").unwrap();
+        let tel = s.vocab().id_of("tel").unwrap();
+        let mobile = s.vocab().id_of("mobile").unwrap();
+        // In both schemas phone & tel share a cluster (certain edge).
+        for m in &schemas {
+            assert_eq!(m.cluster_of(phone), m.cluster_of(tel));
+        }
+        // Exactly one schema merges mobile in as well.
+        let merged: Vec<bool> =
+            schemas.iter().map(|m| m.cluster_of(phone) == m.cluster_of(mobile)).collect();
+        assert_eq!(merged.iter().filter(|&&x| x).count(), 1);
+    }
+
+    #[test]
+    fn probabilities_favor_consistent_schema() {
+        // s2 contains both phone and mobile, so the schema merging them is
+        // inconsistent with s2 but consistent with the rest.
+        let s = set();
+        let pmed = build_p_med_schema(&s, &sim, &params()).unwrap();
+        assert_eq!(pmed.len(), 2);
+        let phone = s.vocab().id_of("phone").unwrap();
+        let mobile = s.vocab().id_of("mobile").unwrap();
+        let (top, p_top) = (&pmed.schemas()[0].0, pmed.schemas()[0].1);
+        // s1 contains both phone and tel (one cluster in both schemas), so
+        // s1 is consistent with neither. Split schema: consistent with
+        // s2, s3, s4 (3 sources); merged schema: s3, s4 only (2).
+        assert_ne!(top.cluster_of(phone), top.cluster_of(mobile));
+        assert!((p_top - 3.0 / 5.0).abs() < 1e-12);
+        assert!((pmed.schemas()[1].1 - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_uncertain_edges_gives_single_schema() {
+        let s = SchemaSet::from_sources([("s1", vec!["a", "b", "c"])]);
+        let certain_sim = |x: &str, y: &str| -> f64 {
+            if (x, y) == ("a", "b") || (x, y) == ("b", "a") {
+                0.95
+            } else {
+                0.0
+            }
+        };
+        let pmed = build_p_med_schema(&s, &certain_sim, &params()).unwrap();
+        assert!(pmed.is_deterministic());
+        assert_eq!(pmed.top().len(), 2); // {a,b}, {c}
+    }
+
+    #[test]
+    fn parallel_uncertain_edges_are_deduplicated() {
+        // x-a and x-b both uncertain while a-b certain: only one uncertain
+        // edge should survive → 2 schemas, not 4.
+        let s = SchemaSet::from_sources([("s1", vec!["a", "b", "x"])]);
+        let sim = |p: &str, q: &str| -> f64 {
+            match (p.min(q), p.max(q)) {
+                ("a", "b") => 0.95,
+                ("a", "x") => 0.85,
+                ("b", "x") => 0.86,
+                _ => 0.0,
+            }
+        };
+        let g = build_similarity_graph(&s, &sim, &params());
+        assert_eq!(g.uncertain_edges().count(), 2);
+        let schemas = enumerate_mediated_schemas(&g, &params());
+        assert_eq!(schemas.len(), 2);
+    }
+
+    #[test]
+    fn intra_component_uncertain_edges_are_pruned() {
+        // a-b certain, a-c certain, b-c uncertain → b,c already connected.
+        let s = SchemaSet::from_sources([("s1", vec!["a", "b", "c"])]);
+        let sim = |p: &str, q: &str| -> f64 {
+            match (p.min(q), p.max(q)) {
+                ("a", "b") | ("a", "c") => 0.95,
+                ("b", "c") => 0.85,
+                _ => 0.0,
+            }
+        };
+        let g = build_similarity_graph(&s, &sim, &params());
+        let schemas = enumerate_mediated_schemas(&g, &params());
+        assert_eq!(schemas.len(), 1);
+        assert_eq!(schemas[0].len(), 1);
+    }
+
+    #[test]
+    fn cap_resolves_excess_edges_deterministically() {
+        // Three uncertain edges between disjoint pairs, cap at 1.
+        let s = SchemaSet::from_sources([("s1", vec!["a", "b", "c", "d", "e", "f"])]);
+        let sim = |p: &str, q: &str| -> f64 {
+            match (p.min(q), p.max(q)) {
+                ("a", "b") => 0.851, // most ambiguous → stays uncertain
+                ("c", "d") => 0.866, // above tau → promoted to certain
+                ("e", "f") => 0.836, // below tau → dropped
+                _ => 0.0,
+            }
+        };
+        let p = UdiParams { theta: 0.0, max_uncertain_edges: 1, ..UdiParams::default() };
+        let g = build_similarity_graph(&s, &sim, &p);
+        assert_eq!(g.uncertain_edges().count(), 3);
+        let schemas = enumerate_mediated_schemas(&g, &p);
+        assert_eq!(schemas.len(), 2);
+        let c = s.vocab().id_of("c").unwrap();
+        let d = s.vocab().id_of("d").unwrap();
+        let e = s.vocab().id_of("e").unwrap();
+        let f = s.vocab().id_of("f").unwrap();
+        for m in &schemas {
+            assert_eq!(m.cluster_of(c), m.cluster_of(d), "c-d promoted to certain");
+            assert_ne!(m.cluster_of(e), m.cluster_of(f), "e-f dropped");
+        }
+    }
+
+    #[test]
+    fn zero_consistency_falls_back_to_uniform() {
+        // Single source contains both a and b; both candidate schemas merge
+        // them somehow... construct directly.
+        let s = SchemaSet::from_sources([("s1", vec!["a", "b"])]);
+        let a = s.vocab().id_of("a").unwrap();
+        let b = s.vocab().id_of("b").unwrap();
+        let merged = MediatedSchema::from_slices(&[&[a, b]]);
+        let weighted = assign_probabilities(vec![merged], &s);
+        assert_eq!(weighted.len(), 1);
+        assert_eq!(weighted[0].1, 1.0);
+    }
+
+    #[test]
+    fn inconsistent_schema_is_dropped_when_alternatives_exist() {
+        let s = SchemaSet::from_sources([("s1", vec!["a", "b"])]);
+        let a = s.vocab().id_of("a").unwrap();
+        let b = s.vocab().id_of("b").unwrap();
+        let merged = MediatedSchema::from_slices(&[&[a, b]]);
+        let split = MediatedSchema::from_slices(&[&[a], &[b]]);
+        let weighted = assign_probabilities(vec![merged, split.clone()], &s);
+        assert_eq!(weighted.len(), 1);
+        assert_eq!(weighted[0].0, split);
+        assert_eq!(weighted[0].1, 1.0);
+    }
+}

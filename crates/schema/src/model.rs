@@ -1,0 +1,555 @@
+//! Core model types: vocabulary, source schemas, mediated schemas,
+//! p-med-schemas, mappings and p-mappings.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a distinct attribute *name* across all sources.
+///
+/// The paper treats attributes by name: `f(a)` counts the sources whose
+/// schema contains the name `a`, and mediated attributes are sets of names.
+/// Two sources using the same label therefore share one `AttrId`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct AttrId(pub u32);
+
+/// Bidirectional attribute-name registry.
+///
+/// Serializes as the bare name list; the reverse index is rebuilt on
+/// deserialization so a loaded vocabulary behaves identically.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "Vec<String>", into = "Vec<String>")]
+pub struct Vocabulary {
+    names: Vec<String>,
+    index: HashMap<String, AttrId>,
+}
+
+impl From<Vec<String>> for Vocabulary {
+    fn from(names: Vec<String>) -> Vocabulary {
+        let index = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), AttrId(i as u32)))
+            .collect();
+        Vocabulary { names, index }
+    }
+}
+
+impl From<Vocabulary> for Vec<String> {
+    fn from(v: Vocabulary) -> Vec<String> {
+        v.names
+    }
+}
+
+impl Vocabulary {
+    /// Empty vocabulary.
+    pub fn new() -> Vocabulary {
+        Vocabulary::default()
+    }
+
+    /// Intern a name, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> AttrId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = AttrId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up an already-interned name.
+    pub fn id_of(&self, name: &str) -> Option<AttrId> {
+        self.index.get(name).copied()
+    }
+
+    /// The name behind an id. Panics on a foreign id.
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Number of distinct names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate all `(id, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (AttrId(i as u32), n.as_str()))
+    }
+}
+
+/// One source schema: a name plus its attribute ids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SourceSchema {
+    /// Source name (table name).
+    pub name: String,
+    /// Attribute ids in schema order.
+    pub attrs: Vec<AttrId>,
+}
+
+/// A set of source schemas sharing one vocabulary — the input to the whole
+/// setup pipeline.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SchemaSet {
+    vocab: Vocabulary,
+    sources: Vec<SourceSchema>,
+}
+
+impl SchemaSet {
+    /// Build from `(source name, attribute names)` pairs.
+    pub fn from_sources<I, S, A>(sources: I) -> SchemaSet
+    where
+        I: IntoIterator<Item = (S, Vec<A>)>,
+        S: Into<String>,
+        A: AsRef<str>,
+    {
+        let mut set = SchemaSet::default();
+        for (name, attrs) in sources {
+            set.add_source(name, attrs.iter().map(AsRef::as_ref));
+        }
+        set
+    }
+
+    /// Register one source schema.
+    pub fn add_source<'a>(
+        &mut self,
+        name: impl Into<String>,
+        attrs: impl IntoIterator<Item = &'a str>,
+    ) {
+        let attrs: Vec<AttrId> = attrs.into_iter().map(|a| self.vocab.intern(a)).collect();
+        self.sources.push(SourceSchema { name: name.into(), attrs });
+    }
+
+    /// The shared vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The source schemas in registration order.
+    pub fn sources(&self) -> &[SourceSchema] {
+        &self.sources
+    }
+
+    /// `f(a)`: fraction of sources whose schema contains `a`.
+    pub fn frequency(&self, a: AttrId) -> f64 {
+        if self.sources.is_empty() {
+            return 0.0;
+        }
+        let c = self.sources.iter().filter(|s| s.attrs.contains(&a)).count();
+        c as f64 / self.sources.len() as f64
+    }
+
+    /// Attribute ids whose frequency is at least `theta`, ascending.
+    pub fn frequent_attributes(&self, theta: f64) -> Vec<AttrId> {
+        self.vocab
+            .iter()
+            .map(|(id, _)| id)
+            .filter(|&id| self.frequency(id) >= theta)
+            .collect()
+    }
+}
+
+/// A deterministic mediated schema: a partition of (a subset of) the
+/// attribute universe into disjoint clusters. Each cluster is one *mediated
+/// attribute*.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MediatedSchema {
+    clusters: Vec<BTreeSet<AttrId>>,
+}
+
+impl MediatedSchema {
+    /// Build from clusters; empty clusters are dropped and the result is
+    /// canonicalized (clusters sorted by their smallest member) so equal
+    /// partitions compare equal. Panics if clusters overlap.
+    pub fn new(clusters: Vec<BTreeSet<AttrId>>) -> MediatedSchema {
+        let mut clusters: Vec<BTreeSet<AttrId>> =
+            clusters.into_iter().filter(|c| !c.is_empty()).collect();
+        let mut seen = BTreeSet::new();
+        for c in &clusters {
+            for &a in c {
+                assert!(seen.insert(a), "attribute {a:?} appears in two clusters");
+            }
+        }
+        clusters.sort_by(|a, b| a.iter().next().cmp(&b.iter().next()));
+        MediatedSchema { clusters }
+    }
+
+    /// Build from slices of ids (test/construction convenience).
+    pub fn from_slices(clusters: &[&[AttrId]]) -> MediatedSchema {
+        MediatedSchema::new(clusters.iter().map(|c| c.iter().copied().collect()).collect())
+    }
+
+    /// The clusters (mediated attributes).
+    pub fn clusters(&self) -> &[BTreeSet<AttrId>] {
+        &self.clusters
+    }
+
+    /// Number of mediated attributes.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Index of the cluster containing `a`, if any.
+    pub fn cluster_of(&self, a: AttrId) -> Option<usize> {
+        self.clusters.iter().position(|c| c.contains(&a))
+    }
+
+    /// All attributes covered by the schema.
+    pub fn attribute_set(&self) -> BTreeSet<AttrId> {
+        self.clusters.iter().flatten().copied().collect()
+    }
+
+    /// Definition 4.1: consistent with a source iff no two of the source's
+    /// attributes share a cluster.
+    pub fn is_consistent_with(&self, source: &SourceSchema) -> bool {
+        for c in &self.clusters {
+            let mut hits = 0;
+            for a in &source.attrs {
+                if c.contains(a) {
+                    hits += 1;
+                    if hits > 1 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Human-readable rendering using a vocabulary.
+    pub fn display(&self, vocab: &Vocabulary) -> String {
+        let parts: Vec<String> = self
+            .clusters
+            .iter()
+            .map(|c| {
+                let names: Vec<&str> = c.iter().map(|&a| vocab.name(a)).collect();
+                format!("{{{}}}", names.join(", "))
+            })
+            .collect();
+        format!("({})", parts.join(", "))
+    }
+}
+
+/// A probabilistic mediated schema (Definition 3.1): mediated schemas with
+/// probabilities summing to 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PMedSchema {
+    schemas: Vec<(MediatedSchema, f64)>,
+}
+
+impl PMedSchema {
+    /// Build from `(schema, probability)` pairs. Probabilities must be in
+    /// `(0, 1]` and sum to 1 (±1e-6); schemas must be pairwise distinct.
+    pub fn new(schemas: Vec<(MediatedSchema, f64)>) -> PMedSchema {
+        assert!(!schemas.is_empty(), "a p-med-schema needs at least one schema");
+        let total: f64 = schemas.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-6, "probabilities sum to {total}, not 1");
+        for (i, (m, p)) in schemas.iter().enumerate() {
+            assert!(*p > 0.0 && *p <= 1.0 + 1e-9, "probability {p} out of range");
+            assert!(
+                !schemas[..i].iter().any(|(m2, _)| m2 == m),
+                "duplicate mediated schema in p-med-schema"
+            );
+        }
+        PMedSchema { schemas }
+    }
+
+    /// The `(schema, probability)` pairs, highest probability first.
+    pub fn schemas(&self) -> &[(MediatedSchema, f64)] {
+        &self.schemas
+    }
+
+    /// Number of possible mediated schemas (always at least 1 — a
+    /// p-med-schema cannot be empty, so there is no `is_empty`).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Whether there is exactly one possible schema.
+    pub fn is_deterministic(&self) -> bool {
+        self.schemas.len() == 1
+    }
+
+    /// The most probable mediated schema.
+    pub fn top(&self) -> &MediatedSchema {
+        &self.schemas[0].0
+    }
+}
+
+/// A (possibly one-to-many) schema mapping between one source and one
+/// mediated schema: each source attribute maps to a set of mediated
+/// attributes (cluster indices); each mediated attribute corresponds to at
+/// most one source attribute.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Mapping {
+    assignments: BTreeMap<AttrId, BTreeSet<usize>>,
+}
+
+impl Mapping {
+    /// The empty mapping.
+    pub fn empty() -> Mapping {
+        Mapping { assignments: BTreeMap::new() }
+    }
+
+    /// One-to-one mapping from `(source attr, mediated index)` pairs.
+    /// Panics if a source attribute or mediated index repeats.
+    pub fn one_to_one<I>(pairs: I) -> Mapping
+    where
+        I: IntoIterator<Item = (AttrId, usize)>,
+    {
+        let mut m = Mapping::empty();
+        for (a, j) in pairs {
+            m.insert(a, j);
+        }
+        m
+    }
+
+    /// Add a correspondence `(a → j)`, preserving the invariant that a
+    /// mediated attribute has at most one source attribute.
+    pub fn insert(&mut self, a: AttrId, j: usize) {
+        assert!(
+            self.source_of(j).is_none_or(|s| s == a),
+            "mediated attribute {j} already corresponds to a different source attribute"
+        );
+        self.assignments.entry(a).or_default().insert(j);
+    }
+
+    /// The mediated attributes `a` maps to.
+    pub fn targets_of(&self, a: AttrId) -> Option<&BTreeSet<usize>> {
+        self.assignments.get(&a)
+    }
+
+    /// The unique source attribute corresponding to mediated attribute `j`.
+    pub fn source_of(&self, j: usize) -> Option<AttrId> {
+        self.assignments
+            .iter()
+            .find(|(_, targets)| targets.contains(&j))
+            .map(|(&a, _)| a)
+    }
+
+    /// Iterate `(source attr, mediated index)` correspondences.
+    pub fn correspondences(&self) -> impl Iterator<Item = (AttrId, usize)> + '_ {
+        self.assignments.iter().flat_map(|(&a, ts)| ts.iter().map(move |&j| (a, j)))
+    }
+
+    /// Number of correspondences.
+    pub fn len(&self) -> usize {
+        self.assignments.values().map(BTreeSet::len).sum()
+    }
+
+    /// Whether this is the empty mapping.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Whether every source attribute maps to exactly one mediated
+    /// attribute (Definition 3.2's one-to-one case).
+    pub fn is_one_to_one(&self) -> bool {
+        self.assignments.values().all(|ts| ts.len() == 1)
+    }
+}
+
+/// A probabilistic mapping (Definition 3.2): distinct mappings with
+/// probabilities summing to 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PMapping {
+    mappings: Vec<(Mapping, f64)>,
+}
+
+impl PMapping {
+    /// Build from `(mapping, probability)` pairs; validates the
+    /// Definition 3.2 side conditions.
+    pub fn new(mappings: Vec<(Mapping, f64)>) -> PMapping {
+        assert!(!mappings.is_empty(), "a p-mapping needs at least one mapping");
+        let total: f64 = mappings.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-6, "probabilities sum to {total}, not 1");
+        for (i, (m, p)) in mappings.iter().enumerate() {
+            assert!(*p > 0.0 && *p <= 1.0 + 1e-9, "probability {p} out of range");
+            assert!(!mappings[..i].iter().any(|(m2, _)| m2 == m), "duplicate mapping");
+        }
+        PMapping { mappings }
+    }
+
+    /// The `(mapping, probability)` pairs.
+    pub fn mappings(&self) -> &[(Mapping, f64)] {
+        &self.mappings
+    }
+
+    /// Number of possible mappings (always at least 1 — a p-mapping cannot
+    /// be empty, so there is no `is_empty`).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// The single most probable mapping (ties broken by position).
+    pub fn top_mapping(&self) -> &Mapping {
+        let (m, _) = self
+            .mappings
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("non-empty by construction");
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[u32]) -> Vec<AttrId> {
+        xs.iter().map(|&x| AttrId(x)).collect()
+    }
+
+    #[test]
+    fn vocabulary_interns_stably() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("name");
+        let b = v.intern("phone");
+        assert_eq!(v.intern("name"), a);
+        assert_ne!(a, b);
+        assert_eq!(v.name(a), "name");
+        assert_eq!(v.id_of("phone"), Some(b));
+        assert_eq!(v.id_of("zzz"), None);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn vocabulary_serde_round_trip_rebuilds_index() {
+        let mut v = Vocabulary::new();
+        v.intern("name");
+        v.intern("phone");
+        let json = serde_json::to_string(&v).unwrap();
+        assert_eq!(json, r#"["name","phone"]"#);
+        let back: Vocabulary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id_of("phone"), Some(AttrId(1)), "index must be rebuilt");
+        assert_eq!(back.name(AttrId(0)), "name");
+    }
+
+    #[test]
+    fn schema_set_frequencies() {
+        let set = SchemaSet::from_sources([
+            ("s1", vec!["name", "phone"]),
+            ("s2", vec!["name", "addr"]),
+            ("s3", vec!["name", "phone"]),
+            ("s4", vec!["title"]),
+        ]);
+        let name = set.vocab().id_of("name").unwrap();
+        let phone = set.vocab().id_of("phone").unwrap();
+        assert_eq!(set.frequency(name), 0.75);
+        assert_eq!(set.frequency(phone), 0.5);
+        let freq = set.frequent_attributes(0.5);
+        assert_eq!(freq, vec![name, phone]);
+    }
+
+    #[test]
+    fn mediated_schema_canonicalization() {
+        let a = MediatedSchema::from_slices(&[&ids(&[2, 3]), &ids(&[0, 1])]);
+        let b = MediatedSchema::from_slices(&[&ids(&[1, 0]), &ids(&[3, 2])]);
+        assert_eq!(a, b);
+        assert_eq!(a.cluster_of(AttrId(3)), a.cluster_of(AttrId(2)));
+        assert_eq!(a.cluster_of(AttrId(9)), None);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "two clusters")]
+    fn overlapping_clusters_rejected() {
+        MediatedSchema::from_slices(&[&ids(&[0, 1]), &ids(&[1, 2])]);
+    }
+
+    #[test]
+    fn consistency_definition_4_1() {
+        // M groups attrs 0 and 1 together.
+        let m = MediatedSchema::from_slices(&[&ids(&[0, 1]), &ids(&[2])]);
+        let s_ok = SourceSchema { name: "a".into(), attrs: ids(&[0, 2]) };
+        let s_bad = SourceSchema { name: "b".into(), attrs: ids(&[0, 1]) };
+        assert!(m.is_consistent_with(&s_ok));
+        assert!(!m.is_consistent_with(&s_bad));
+    }
+
+    #[test]
+    fn p_med_schema_validation() {
+        let m1 = MediatedSchema::from_slices(&[&ids(&[0, 1])]);
+        let m2 = MediatedSchema::from_slices(&[&ids(&[0]), &ids(&[1])]);
+        let p = PMedSchema::new(vec![(m1.clone(), 0.7), (m2, 0.3)]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_deterministic());
+        assert_eq!(p.top(), &m1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn p_med_schema_rejects_bad_sum() {
+        let m1 = MediatedSchema::from_slices(&[&ids(&[0])]);
+        PMedSchema::new(vec![(m1, 0.5)]);
+    }
+
+    #[test]
+    fn mapping_one_to_one_and_inverse() {
+        let m = Mapping::one_to_one([(AttrId(5), 0), (AttrId(7), 2)]);
+        assert!(m.is_one_to_one());
+        assert_eq!(m.source_of(0), Some(AttrId(5)));
+        assert_eq!(m.source_of(1), None);
+        assert_eq!(m.targets_of(AttrId(7)).unwrap().iter().copied().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn mapping_one_to_many() {
+        let mut m = Mapping::empty();
+        m.insert(AttrId(1), 0);
+        m.insert(AttrId(1), 3);
+        assert!(!m.is_one_to_one());
+        assert_eq!(m.len(), 2);
+        let cs: Vec<(AttrId, usize)> = m.correspondences().collect();
+        assert_eq!(cs, vec![(AttrId(1), 0), (AttrId(1), 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already corresponds")]
+    fn mapping_rejects_two_sources_for_one_mediated() {
+        let mut m = Mapping::empty();
+        m.insert(AttrId(1), 0);
+        m.insert(AttrId(2), 0);
+    }
+
+    #[test]
+    fn pmapping_top_mapping() {
+        let a = Mapping::one_to_one([(AttrId(0), 0)]);
+        let b = Mapping::empty();
+        let pm = PMapping::new(vec![(a.clone(), 0.4), (b, 0.6)]);
+        assert_eq!(pm.top_mapping(), &Mapping::empty());
+        assert_eq!(pm.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate mapping")]
+    fn pmapping_rejects_duplicates() {
+        let a = Mapping::empty();
+        PMapping::new(vec![(a.clone(), 0.5), (a, 0.5)]);
+    }
+
+    #[test]
+    fn mediated_schema_display() {
+        let mut v = Vocabulary::new();
+        let n = v.intern("name");
+        let p = v.intern("phone");
+        let m = MediatedSchema::from_slices(&[&[n], &[p]]);
+        assert_eq!(m.display(&v), "({name}, {phone})");
+    }
+}

@@ -1,0 +1,127 @@
+//! Levenshtein edit distance and its normalized similarity form.
+
+use crate::Similarity;
+
+/// Levenshtein (unit-cost insert/delete/substitute) edit distance.
+///
+/// Runs in `O(|a| · |b|)` time and `O(min(|a|, |b|))` space.
+///
+/// ```
+/// use udi_similarity::levenshtein;
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// assert_eq!(levenshtein("", "abc"), 3);
+/// assert_eq!(levenshtein("same", "same"), 0);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let (short, long): (Vec<char>, Vec<char>) = {
+        let ca: Vec<char> = a.chars().collect();
+        let cb: Vec<char> = b.chars().collect();
+        if ca.len() <= cb.len() {
+            (ca, cb)
+        } else {
+            (cb, ca)
+        }
+    };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut row: Vec<usize> = (0..=short.len()).collect();
+    for (i, &cl) in long.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, &cs) in short.iter().enumerate() {
+            let cost = usize::from(cl != cs);
+            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[short.len()]
+}
+
+/// Normalized Levenshtein similarity: `1 − d(a, b) / max(|a|, |b|)`.
+///
+/// Two empty strings are maximally similar.
+///
+/// ```
+/// use udi_similarity::normalized_levenshtein;
+/// assert_eq!(normalized_levenshtein("", ""), 1.0);
+/// assert_eq!(normalized_levenshtein("abcd", "abcd"), 1.0);
+/// assert_eq!(normalized_levenshtein("abcd", "wxyz"), 0.0);
+/// ```
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let longest = la.max(lb);
+    if longest == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / longest as f64
+}
+
+/// [`Similarity`] adapter for [`normalized_levenshtein`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Levenshtein;
+
+impl Similarity for Levenshtein {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        normalized_levenshtein(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("intention", "execution"), 5);
+        assert_eq!(levenshtein("a", "b"), 1);
+        assert_eq!(levenshtein("ab", "ba"), 2);
+    }
+
+    #[test]
+    fn unicode_counts_chars_not_bytes() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein("ü", "u"), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn identity_of_indiscernibles(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            let d = levenshtein(&a, &b);
+            prop_assert_eq!(d == 0, a == b);
+        }
+
+        #[test]
+        fn triangle_inequality(
+            a in "[a-z]{0,8}",
+            b in "[a-z]{0,8}",
+            c in "[a-z]{0,8}",
+        ) {
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+
+        #[test]
+        fn bounded_by_longer_length(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            let d = levenshtein(&a, &b);
+            let la = a.chars().count();
+            let lb = b.chars().count();
+            prop_assert!(d >= la.abs_diff(lb));
+            prop_assert!(d <= la.max(lb));
+        }
+
+        #[test]
+        fn normalized_in_unit_interval(a in ".{0,12}", b in ".{0,12}") {
+            let s = normalized_levenshtein(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Jaro and Jaro–Winkler similarity.
+//!
+//! Jaro–Winkler is the measure the UDI paper used (via SecondString) for
+//! pairwise attribute-name comparison, following the name-matching study of
+//! Cohen, Ravikumar and Fienberg (IJCAI 2003). The Winkler refinement boosts
+//! pairs sharing a common prefix, which suits attribute labels
+//! (`phone`/`phone-no`, `author`/`authors`).
+
+use crate::Similarity;
+
+/// Jaro similarity between two strings, in `[0, 1]`.
+///
+/// Defined over matching characters within a sliding window of half the
+/// longer string's length, discounted by transpositions:
+/// `J = (m/|a| + m/|b| + (m - t)/m) / 3`.
+///
+/// ```
+/// use udi_similarity::jaro;
+/// assert!((jaro("martha", "marhta") - 0.944444).abs() < 1e-5);
+/// assert_eq!(jaro("abc", "abc"), 1.0);
+/// assert_eq!(jaro("abc", "xyz"), 0.0);
+/// ```
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let ca: Vec<char> = a.chars().collect();
+    let cb: Vec<char> = b.chars().collect();
+    let (la, lb) = (ca.len(), cb.len());
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    if la == 0 || lb == 0 {
+        return 0.0;
+    }
+    let window = (la.max(lb) / 2).saturating_sub(1);
+    let mut b_used = vec![false; lb];
+    let mut a_matches: Vec<char> = Vec::new();
+    for (i, &c) in ca.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(lb);
+        for j in lo..hi {
+            if !b_used[j] && cb[j] == c {
+                b_used[j] = true;
+                a_matches.push(c);
+                break;
+            }
+        }
+    }
+    let m = a_matches.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Characters of b that matched, in b order.
+    let b_matches: Vec<char> = cb
+        .iter()
+        .zip(b_used.iter())
+        .filter_map(|(&c, &u)| u.then_some(c))
+        .collect();
+    let transpositions = a_matches
+        .iter()
+        .zip(b_matches.iter())
+        .filter(|(x, y)| x != y)
+        .count();
+    let m = m as f64;
+    let t = transpositions as f64 / 2.0;
+    (m / la as f64 + m / lb as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity with the standard prefix scale `p = 0.1` and a
+/// prefix cap of 4 characters.
+///
+/// `JW = J + ℓ · p · (1 − J)` where `ℓ` is the length of the common prefix
+/// (at most 4).
+///
+/// ```
+/// use udi_similarity::{jaro, jaro_winkler};
+/// let (j, jw) = (jaro("phone", "phoneno"), jaro_winkler("phone", "phoneno"));
+/// assert!(jw > j);
+/// assert_eq!(jaro_winkler("same", "same"), 1.0);
+/// ```
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    jaro_winkler_with(a, b, 0.1, 4)
+}
+
+/// Jaro–Winkler with explicit prefix scale and prefix cap.
+///
+/// `scale` must lie in `[0, 0.25]` so the result stays in `[0, 1]`.
+pub fn jaro_winkler_with(a: &str, b: &str, scale: f64, max_prefix: usize) -> f64 {
+    assert!((0.0..=0.25).contains(&scale), "prefix scale out of range");
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(max_prefix)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * scale * (1.0 - j)
+}
+
+/// [`Similarity`] adapter for [`jaro`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Jaro;
+
+impl Similarity for Jaro {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        jaro(a, b)
+    }
+}
+
+/// [`Similarity`] adapter for [`jaro_winkler_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct JaroWinkler {
+    /// Prefix scale `p`; standard value `0.1`.
+    pub prefix_scale: f64,
+    /// Maximum common prefix length rewarded; standard value `4`.
+    pub max_prefix: usize,
+}
+
+impl Default for JaroWinkler {
+    fn default() -> Self {
+        JaroWinkler { prefix_scale: 0.1, max_prefix: 4 }
+    }
+}
+
+impl Similarity for JaroWinkler {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        jaro_winkler_with(a, b, self.prefix_scale, self.max_prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(x: f64, y: f64) -> bool {
+        (x - y).abs() < 1e-6
+    }
+
+    #[test]
+    fn classic_reference_values() {
+        // Winkler's canonical examples.
+        assert!(close(jaro("DWAYNE", "DUANE"), 0.8222222222));
+        assert!(close(jaro("DIXON", "DICKSONX"), 0.7666666667));
+        assert!(close(jaro_winkler("DIXON", "DICKSONX"), 0.8133333333));
+        assert!(close(jaro_winkler("MARTHA", "MARHTA"), 0.9611111111));
+    }
+
+    #[test]
+    fn identical_and_disjoint() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("", "a"), 0.0);
+        assert_eq!(jaro("abcd", "abcd"), 1.0);
+        assert_eq!(jaro_winkler("abcd", "abcd"), 1.0);
+        assert_eq!(jaro("abc", "def"), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let pairs = [("phone", "phoneno"), ("issn", "eissn"), ("martha", "marhta")];
+        for (a, b) in pairs {
+            assert!(close(jaro(a, b), jaro(b, a)), "{a} {b}");
+            assert!(close(jaro_winkler(a, b), jaro_winkler(b, a)), "{a} {b}");
+        }
+    }
+
+    #[test]
+    fn winkler_only_boosts_shared_prefix() {
+        // No common prefix: JW == J.
+        assert!(close(jaro_winkler("xphone", "yphone"), jaro("xphone", "yphone")));
+        // Common prefix: JW > J strictly (when J < 1).
+        assert!(jaro_winkler("phone", "phonex") > jaro("phone", "phonex"));
+    }
+
+    #[test]
+    fn prefix_cap_is_respected() {
+        // With identical 8-char prefixes, only 4 chars count.
+        let j = jaro("abcdefgh1", "abcdefgh2");
+        let jw = jaro_winkler("abcdefgh1", "abcdefgh2");
+        assert!(close(jw, j + 4.0 * 0.1 * (1.0 - j)));
+    }
+
+    #[test]
+    fn output_range_never_escapes_unit_interval() {
+        let samples = ["", "a", "ab", "ba", "abcdef", "fedcba", "aaaa", "aaab"];
+        for a in samples {
+            for b in samples {
+                let v = jaro_winkler(a, b);
+                assert!((0.0..=1.0).contains(&v), "jw({a},{b}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn unicode_safe() {
+        assert_eq!(jaro("café", "café"), 1.0);
+        assert!(jaro("café", "cafe") > 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix scale")]
+    fn rejects_invalid_scale() {
+        jaro_winkler_with("a", "b", 0.5, 4);
+    }
+
+    proptest! {
+        #[test]
+        fn jaro_symmetric_and_bounded(a in ".{0,12}", b in ".{0,12}") {
+            let ab = jaro(&a, &b);
+            let ba = jaro(&b, &a);
+            prop_assert!((ab - ba).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&ab));
+            let jw = jaro_winkler(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&jw));
+            prop_assert!(jw >= ab - 1e-12, "Winkler never reduces Jaro");
+        }
+
+        #[test]
+        fn jaro_reflexive(a in ".{1,12}") {
+            prop_assert_eq!(jaro(&a, &a), 1.0);
+            prop_assert_eq!(jaro_winkler(&a, &a), 1.0);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+#![warn(missing_docs)]
+
+//! String similarity measures and attribute-name normalization for schema
+//! matching.
+//!
+//! The SIGMOD'08 UDI system used the Java SecondString library's
+//! Jaro–Winkler measure for pairwise attribute comparison. This crate is a
+//! from-scratch Rust replacement offering the same measure plus several
+//! alternatives (Levenshtein, n-gram Jaccard/Dice, and a Monge–Elkan style
+//! token hybrid), all behind the [`Similarity`] trait so the mediated-schema
+//! generator can treat the matcher as a black box — exactly the design point
+//! the paper emphasizes ("our algorithm is designed so it can leverage any
+//! existing technique").
+//!
+//! # Quickstart
+//!
+//! ```
+//! use udi_similarity::{AttributeSimilarity, Similarity};
+//!
+//! let sim = AttributeSimilarity::default();
+//! assert!(sim.similarity("phone-no", "phone") > 0.85);
+//! assert!(sim.similarity("author(s)", "authors") > 0.85);
+//! assert!(sim.similarity("price", "instructor") < 0.6);
+//! ```
+
+pub mod edit;
+pub mod jaro;
+pub mod ngram;
+pub mod normalize;
+pub mod tfidf;
+pub mod token;
+
+pub use edit::{levenshtein, normalized_levenshtein, Levenshtein};
+pub use jaro::{jaro, jaro_winkler, Jaro, JaroWinkler};
+pub use ngram::{dice_ngram, jaccard_ngram, NGramJaccard};
+pub use normalize::{normalize_name, tokenize_name};
+pub use tfidf::SoftTfIdf;
+pub use token::{monge_elkan, TokenHybrid};
+
+/// A symmetric pairwise string-similarity measure on the `[0, 1]` scale.
+///
+/// `1.0` means the two strings denote the same real-world concept as far as
+/// the measure can tell; `0.0` means no detectable relation. Implementations
+/// must be symmetric (`s(a, b) == s(b, a)`) and reflexive (`s(a, a) == 1.0`
+/// for non-empty `a`).
+pub trait Similarity {
+    /// Compute the similarity between `a` and `b` in `[0, 1]`.
+    fn similarity(&self, a: &str, b: &str) -> f64;
+}
+
+impl<F> Similarity for F
+where
+    F: Fn(&str, &str) -> f64,
+{
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        self(a, b)
+    }
+}
+
+/// The default attribute-name matcher used by UDI.
+///
+/// Pipeline:
+/// 1. normalize both names ([`normalize_name`]): lowercase, split camelCase
+///    and punctuation, collapse separators;
+/// 2. if the normalized forms are equal, return `1.0`;
+/// 3. otherwise return the maximum of Jaro–Winkler on the joined normalized
+///    strings and (when either side is multi-token) a symmetric Monge–Elkan
+///    score with Jaro–Winkler as the inner measure.
+///
+/// The paper's matcher "considered only similarity of attribute names and did
+/// not look at values in the corresponding columns"; this struct reproduces
+/// that scope.
+#[derive(Debug, Clone)]
+pub struct AttributeSimilarity {
+    /// Winkler prefix scaling factor (standard value 0.1).
+    pub winkler_prefix_scale: f64,
+    /// Whether to apply the Monge–Elkan token hybrid for multi-token names.
+    pub use_token_hybrid: bool,
+}
+
+impl Default for AttributeSimilarity {
+    fn default() -> Self {
+        AttributeSimilarity {
+            winkler_prefix_scale: 0.1,
+            use_token_hybrid: true,
+        }
+    }
+}
+
+impl Similarity for AttributeSimilarity {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let ta = tokenize_name(a);
+        let tb = tokenize_name(b);
+        if ta.is_empty() || tb.is_empty() {
+            return if ta.is_empty() && tb.is_empty() { 1.0 } else { 0.0 };
+        }
+        let ja = ta.join(" ");
+        let jb = tb.join(" ");
+        if ja == jb {
+            return 1.0;
+        }
+        let base = jaro_winkler(&ja.replace(' ', ""), &jb.replace(' ', ""));
+        let mut best = base;
+        if self.use_token_hybrid && (ta.len() > 1 || tb.len() > 1) {
+            let me = monge_elkan(&ta, &tb, &|x: &str, y: &str| jaro_winkler(x, y));
+            if me > best {
+                best = me;
+            }
+        }
+        best
+    }
+}
+
+/// Clamp a floating similarity into `[0, 1]`, mapping NaN to `0`.
+#[inline]
+pub fn clamp01(x: f64) -> f64 {
+    if x.is_nan() {
+        0.0
+    } else {
+        x.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matcher_is_reflexive_on_variants() {
+        let sim = AttributeSimilarity::default();
+        assert_eq!(sim.similarity("Phone", "phone"), 1.0);
+        assert_eq!(sim.similarity("home-address", "HomeAddress"), 1.0);
+        assert_eq!(sim.similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn default_matcher_scores_synonym_like_variants_high() {
+        let sim = AttributeSimilarity::default();
+        assert!(sim.similarity("author", "authors") > 0.9);
+        assert!(sim.similarity("phone", "phone_no") > 0.85);
+        assert!(sim.similarity("pages", "page") > 0.85);
+    }
+
+    #[test]
+    fn default_matcher_scores_unrelated_low() {
+        let sim = AttributeSimilarity::default();
+        assert!(sim.similarity("year", "price") < 0.6);
+        assert!(sim.similarity("make", "instructor") < 0.6);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_zero() {
+        let sim = AttributeSimilarity::default();
+        assert_eq!(sim.similarity("", "phone"), 0.0);
+        assert_eq!(sim.similarity("phone", ""), 0.0);
+    }
+
+    #[test]
+    fn multi_token_overlap_is_moderate_not_high() {
+        let sim = AttributeSimilarity::default();
+        // Shares a token but must stay below clustering threshold 0.85.
+        let s = sim.similarity("email address", "home address");
+        assert!(s > 0.3 && s < 0.85, "got {s}");
+    }
+
+    #[test]
+    fn closure_implements_similarity() {
+        let f = |a: &str, b: &str| if a == b { 1.0 } else { 0.0 };
+        assert_eq!(f.similarity("x", "x"), 1.0);
+        assert_eq!(f.similarity("x", "y"), 0.0);
+    }
+
+    #[test]
+    fn clamp01_handles_nan_and_range() {
+        assert_eq!(clamp01(f64::NAN), 0.0);
+        assert_eq!(clamp01(-0.3), 0.0);
+        assert_eq!(clamp01(1.7), 1.0);
+        assert_eq!(clamp01(0.42), 0.42);
+    }
+}

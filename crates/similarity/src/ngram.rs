@@ -1,0 +1,147 @@
+//! Character n-gram set similarities (Jaccard and Dice).
+//!
+//! n-gram measures are robust to small word-order changes and are a common
+//! alternative matcher in the schema-matching literature surveyed by Rahm &
+//! Bernstein; UDI can be configured to use them in place of Jaro–Winkler.
+
+use std::collections::HashSet;
+
+use crate::Similarity;
+
+/// Extract the set of character `n`-grams of a string, padded with `#`
+/// sentinels so that prefixes/suffixes are represented.
+///
+/// For `n == 0` this returns the empty set.
+fn ngrams(s: &str, n: usize) -> HashSet<Vec<char>> {
+    let mut set = HashSet::new();
+    if n == 0 {
+        return set;
+    }
+    let mut padded: Vec<char> = Vec::with_capacity(s.chars().count() + 2 * (n - 1));
+    padded.extend(std::iter::repeat_n('#', n - 1));
+    padded.extend(s.chars());
+    padded.extend(std::iter::repeat_n('#', n - 1));
+    for w in padded.windows(n) {
+        set.insert(w.to_vec());
+    }
+    set
+}
+
+/// Jaccard similarity of the `n`-gram sets: `|A ∩ B| / |A ∪ B|`.
+///
+/// ```
+/// use udi_similarity::jaccard_ngram;
+/// assert_eq!(jaccard_ngram("phone", "phone", 3), 1.0);
+/// assert!(jaccard_ngram("phone", "phones", 3) >= 0.5);
+/// assert_eq!(jaccard_ngram("abc", "xyz", 3), 0.0);
+/// ```
+pub fn jaccard_ngram(a: &str, b: &str, n: usize) -> f64 {
+    let ga = ngrams(a, n);
+    let gb = ngrams(b, n);
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    let inter = ga.intersection(&gb).count();
+    let union = ga.len() + gb.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Dice coefficient of the `n`-gram sets: `2|A ∩ B| / (|A| + |B|)`.
+///
+/// ```
+/// use udi_similarity::dice_ngram;
+/// assert_eq!(dice_ngram("night", "night", 2), 1.0);
+/// assert!(dice_ngram("night", "nacht", 2) > 0.2);
+/// ```
+pub fn dice_ngram(a: &str, b: &str, n: usize) -> f64 {
+    let ga = ngrams(a, n);
+    let gb = ngrams(b, n);
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    let inter = ga.intersection(&gb).count();
+    let denom = ga.len() + gb.len();
+    if denom == 0 {
+        1.0
+    } else {
+        2.0 * inter as f64 / denom as f64
+    }
+}
+
+/// [`Similarity`] adapter for [`jaccard_ngram`] with a fixed `n`.
+#[derive(Debug, Clone, Copy)]
+pub struct NGramJaccard {
+    /// Gram size; `3` is the conventional choice for short labels.
+    pub n: usize,
+}
+
+impl Default for NGramJaccard {
+    fn default() -> Self {
+        NGramJaccard { n: 3 }
+    }
+}
+
+impl Similarity for NGramJaccard {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        jaccard_ngram(a, b, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gram_extraction_pads_ends() {
+        let g = ngrams("ab", 2);
+        assert!(g.contains(&vec!['#', 'a']));
+        assert!(g.contains(&vec!['a', 'b']));
+        assert!(g.contains(&vec!['b', '#']));
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn zero_n_yields_empty_sets_and_full_similarity() {
+        assert_eq!(jaccard_ngram("abc", "xyz", 0), 1.0);
+    }
+
+    #[test]
+    fn empty_strings() {
+        assert_eq!(jaccard_ngram("", "", 3), 1.0);
+        // "" with n=3 still produces padding-only grams; a real string shares
+        // none of its interior grams.
+        assert!(jaccard_ngram("", "abcdef", 3) < 0.5);
+    }
+
+    #[test]
+    fn dice_dominates_jaccard() {
+        // Dice >= Jaccard always (equal iff sets identical or disjoint).
+        let pairs = [("phone", "phones"), ("issn", "eissn"), ("car", "cat")];
+        for (a, b) in pairs {
+            assert!(dice_ngram(a, b, 2) >= jaccard_ngram(a, b, 2), "{a},{b}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn unit_interval_and_symmetry(a in "[a-z]{0,10}", b in "[a-z]{0,10}", n in 1usize..4) {
+            let j = jaccard_ngram(&a, &b, n);
+            let d = dice_ngram(&a, &b, n);
+            prop_assert!((0.0..=1.0).contains(&j));
+            prop_assert!((0.0..=1.0).contains(&d));
+            prop_assert_eq!(j, jaccard_ngram(&b, &a, n));
+            prop_assert_eq!(d, dice_ngram(&b, &a, n));
+        }
+
+        #[test]
+        fn reflexive(a in "[a-z]{1,10}", n in 1usize..4) {
+            prop_assert_eq!(jaccard_ngram(&a, &a, n), 1.0);
+            prop_assert_eq!(dice_ngram(&a, &a, n), 1.0);
+        }
+    }
+}

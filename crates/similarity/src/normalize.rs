@@ -1,0 +1,129 @@
+//! Attribute-name normalization.
+//!
+//! Web-table attribute labels arrive in wildly inconsistent shapes:
+//! `HomePhone`, `home_phone`, `home-phone`, `Home Phone`, `home.phone`,
+//! `phone (home)`. Normalization maps all of these to the same token
+//! sequence `["home", "phone"]` before any similarity measure runs, which is
+//! what lets a character-level measure like Jaro–Winkler concentrate on real
+//! lexical differences.
+
+/// Split an attribute label into lowercase word tokens.
+///
+/// Rules, applied in order:
+/// - any non-alphanumeric character is a separator (`_`, `-`, `/`, `.`,
+///   parentheses, whitespace, ...);
+/// - a lower-to-upper case change splits camelCase (`homePhone` →
+///   `home`, `phone`);
+/// - an upper-to-lower change after a run of uppercase splits acronym
+///   boundaries (`ISSNNumber` → `issn`, `number`);
+/// - a digit/letter boundary splits (`phone2` → `phone`, `2`);
+/// - all tokens are lowercased; empty tokens are dropped.
+///
+/// ```
+/// use udi_similarity::tokenize_name;
+/// assert_eq!(tokenize_name("HomePhone"), vec!["home", "phone"]);
+/// assert_eq!(tokenize_name("pages/rec. no"), vec!["pages", "rec", "no"]);
+/// assert_eq!(tokenize_name("eISSN"), vec!["e", "issn"]);
+/// ```
+pub fn tokenize_name(name: &str) -> Vec<String> {
+    let mut tokens: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    let mut prev: Option<char> = None;
+    for c in name.chars() {
+        if !c.is_alphanumeric() {
+            flush(&mut tokens, &mut cur);
+            prev = None;
+            continue;
+        }
+        if let Some(p) = prev {
+            let camel = p.is_lowercase() && c.is_uppercase();
+            let acronym_end = p.is_uppercase() && c.is_lowercase() && cur.chars().count() > 1;
+            let digit_boundary = p.is_ascii_digit() != c.is_ascii_digit();
+            if camel || digit_boundary {
+                flush(&mut tokens, &mut cur);
+            } else if acronym_end {
+                // `ISSNNumber`: cur currently holds "issnn"; the last char
+                // belongs to the next word.
+                let last = cur.pop().expect("cur non-empty");
+                flush(&mut tokens, &mut cur);
+                cur.push(last);
+            }
+        }
+        cur.extend(c.to_lowercase());
+        prev = Some(c);
+    }
+    flush(&mut tokens, &mut cur);
+    tokens
+}
+
+fn flush(tokens: &mut Vec<String>, cur: &mut String) {
+    if !cur.is_empty() {
+        tokens.push(std::mem::take(cur));
+    }
+}
+
+/// Normalize a name to a single canonical string: tokens joined by one space.
+///
+/// ```
+/// use udi_similarity::normalize_name;
+/// assert_eq!(normalize_name("Home-Phone_no"), "home phone no");
+/// assert_eq!(normalize_name("  author(s) "), "author s");
+/// ```
+pub fn normalize_name(name: &str) -> String {
+    tokenize_name(name).join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_snake_kebab_space_dot() {
+        for raw in ["home_phone", "home-phone", "home phone", "home.phone", "home/phone"] {
+            assert_eq!(tokenize_name(raw), vec!["home", "phone"], "input {raw}");
+        }
+    }
+
+    #[test]
+    fn splits_camel_case() {
+        assert_eq!(tokenize_name("homePhone"), vec!["home", "phone"]);
+        assert_eq!(tokenize_name("HomePhone"), vec!["home", "phone"]);
+    }
+
+    #[test]
+    fn splits_acronym_boundaries() {
+        assert_eq!(tokenize_name("ISSNNumber"), vec!["issn", "number"]);
+        assert_eq!(tokenize_name("ISSN"), vec!["issn"]);
+    }
+
+    #[test]
+    fn splits_digit_boundaries() {
+        assert_eq!(tokenize_name("phone2"), vec!["phone", "2"]);
+        assert_eq!(tokenize_name("2ndAuthor"), vec!["2", "nd", "author"]);
+    }
+
+    #[test]
+    fn drops_punctuation_only_input() {
+        assert!(tokenize_name("--- ()").is_empty());
+        assert_eq!(normalize_name("---"), "");
+    }
+
+    #[test]
+    fn preserves_single_word() {
+        assert_eq!(tokenize_name("phone"), vec!["phone"]);
+        assert_eq!(normalize_name("Phone"), "phone");
+    }
+
+    #[test]
+    fn handles_unicode_letters() {
+        assert_eq!(tokenize_name("Tél_Année"), vec!["tél", "année"]);
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        for raw in ["HomePhone", "pages/rec. no", "eISSN", "author(s)"] {
+            let once = normalize_name(raw);
+            assert_eq!(normalize_name(&once), once, "input {raw}");
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Token-level hybrid similarity (symmetric Monge–Elkan).
+//!
+//! Multi-word attribute labels ("link to pubmed", "home address") are better
+//! compared token-by-token: each token of one name is aligned with its best
+//! match in the other, scores are averaged, and the two directions are
+//! averaged to restore symmetry.
+
+use crate::{normalize::tokenize_name, Similarity};
+
+/// Symmetric Monge–Elkan similarity over token slices with inner measure
+/// `inner`.
+///
+/// `ME(A→B) = (1/|A|) Σ_{a∈A} max_{b∈B} inner(a, b)`; the symmetric form is
+/// the mean of both directions. Empty token lists compare as `1.0` to each
+/// other and `0.0` to anything non-empty.
+pub fn monge_elkan<S, T>(a: &[S], b: &[T], inner: &dyn Similarity) -> f64
+where
+    S: AsRef<str>,
+    T: AsRef<str>,
+{
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 1.0,
+        (true, false) | (false, true) => return 0.0,
+        _ => {}
+    }
+    let dir = |xs: &[&str], ys: &[&str]| -> f64 {
+        let total: f64 = xs
+            .iter()
+            .map(|x| {
+                ys.iter()
+                    .map(|y| inner.similarity(x, y))
+                    .fold(0.0_f64, f64::max)
+            })
+            .sum();
+        total / xs.len() as f64
+    };
+    let av: Vec<&str> = a.iter().map(AsRef::as_ref).collect();
+    let bv: Vec<&str> = b.iter().map(AsRef::as_ref).collect();
+    (dir(&av, &bv) + dir(&bv, &av)) / 2.0
+}
+
+/// [`Similarity`] adapter: tokenize both names and apply symmetric
+/// Monge–Elkan with Jaro–Winkler inside.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TokenHybrid;
+
+impl Similarity for TokenHybrid {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let ta = tokenize_name(a);
+        let tb = tokenize_name(b);
+        monge_elkan(&ta, &tb, &crate::jaro::JaroWinkler::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact() -> impl Similarity {
+        |a: &str, b: &str| if a == b { 1.0 } else { 0.0 }
+    }
+
+    #[test]
+    fn identical_token_sets_score_one() {
+        let a = ["home", "phone"];
+        assert_eq!(monge_elkan(&a, &a, &exact()), 1.0);
+    }
+
+    #[test]
+    fn order_insensitive() {
+        let a = ["phone", "home"];
+        let b = ["home", "phone"];
+        assert_eq!(monge_elkan(&a, &b, &exact()), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_fractional() {
+        let a = ["email", "address"];
+        let b = ["home", "address"];
+        // Directionally: (0 + 1)/2 each way = 0.5.
+        assert_eq!(monge_elkan(&a, &b, &exact()), 0.5);
+    }
+
+    #[test]
+    fn asymmetric_sizes_are_symmetrized() {
+        let a = ["address"];
+        let b = ["home", "address"];
+        // A→B: 1.0; B→A: (0+1)/2 = 0.5; symmetric = 0.75.
+        let s = monge_elkan(&a, &b, &exact());
+        assert_eq!(s, 0.75);
+        assert_eq!(s, monge_elkan(&b, &a, &exact()));
+    }
+
+    #[test]
+    fn empty_cases() {
+        let empty: [&str; 0] = [];
+        let some = ["x"];
+        assert_eq!(monge_elkan(&empty, &empty, &exact()), 1.0);
+        assert_eq!(monge_elkan(&empty, &some, &exact()), 0.0);
+        assert_eq!(monge_elkan(&some, &empty, &exact()), 0.0);
+    }
+
+    #[test]
+    fn token_hybrid_end_to_end() {
+        let th = TokenHybrid;
+        assert_eq!(th.similarity("home phone", "HomePhone"), 1.0);
+        assert!(th.similarity("link to pubmed", "pubmed link") > 0.8);
+        assert!(th.similarity("year", "instructor name") < 0.6);
+    }
+}

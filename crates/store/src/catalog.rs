@@ -1,0 +1,174 @@
+//! The catalog of registered data sources.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{StoreError, Table};
+
+/// Opaque identifier of a registered source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SourceId(pub u32);
+
+impl std::fmt::Display for SourceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// The set of data sources UDI integrates over, plus the attribute universe
+/// statistics Algorithm 1 needs:
+///
+/// - `A = attr(S1) ∪ ... ∪ attr(Sn)` (distinct attribute names), and
+/// - `f(a) = |{i | a ∈ Si}| / n`, the fraction of sources containing `a`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    sources: Vec<Table>,
+    /// attribute name → number of sources whose schema contains it.
+    attr_source_counts: BTreeMap<String, usize>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a source table, returning its id.
+    pub fn add_source(&mut self, table: Table) -> SourceId {
+        for a in table.attributes() {
+            *self.attr_source_counts.entry(a.clone()).or_insert(0) += 1;
+        }
+        let id = SourceId(self.sources.len() as u32);
+        self.sources.push(table);
+        id
+    }
+
+    /// Number of registered sources.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Total number of rows across all sources.
+    pub fn total_rows(&self) -> usize {
+        self.sources.iter().map(Table::row_count).sum()
+    }
+
+    /// Fetch a source by id.
+    pub fn source(&self, id: SourceId) -> Result<&Table, StoreError> {
+        self.sources.get(id.0 as usize).ok_or(StoreError::UnknownSource(id.0))
+    }
+
+    /// Iterate `(id, table)` over all sources.
+    pub fn iter_sources(&self) -> impl Iterator<Item = (SourceId, &Table)> {
+        self.sources.iter().enumerate().map(|(i, t)| (SourceId(i as u32), t))
+    }
+
+    /// The distinct attribute names across all sources, in deterministic
+    /// (lexicographic) order.
+    pub fn attribute_universe(&self) -> impl Iterator<Item = &str> {
+        self.attr_source_counts.keys().map(String::as_str)
+    }
+
+    /// Number of distinct attribute names.
+    pub fn attribute_count(&self) -> usize {
+        self.attr_source_counts.len()
+    }
+
+    /// `f(a)`: the fraction of sources whose schema contains `a` (0 when the
+    /// catalog is empty or the attribute is unknown).
+    pub fn attribute_frequency(&self, attribute: &str) -> f64 {
+        if self.sources.is_empty() {
+            return 0.0;
+        }
+        let c = self.attr_source_counts.get(attribute).copied().unwrap_or(0);
+        c as f64 / self.sources.len() as f64
+    }
+
+    /// Attributes whose frequency is at least `theta`, in lexicographic
+    /// order (Algorithm 1 step 3).
+    pub fn frequent_attributes(&self, theta: f64) -> Vec<String> {
+        self.attr_source_counts
+            .iter()
+            .filter(|(_, &c)| {
+                !self.sources.is_empty() && c as f64 / self.sources.len() as f64 >= theta
+            })
+            .map(|(a, _)| a.clone())
+            .collect()
+    }
+
+    /// The ids of sources whose schema contains `attribute`.
+    pub fn sources_with_attribute(&self, attribute: &str) -> Vec<SourceId> {
+        self.iter_sources()
+            .filter(|(_, t)| t.has_attribute(attribute))
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_source(Table::new("s0", ["name", "phone"]));
+        c.add_source(Table::new("s1", ["name", "address"]));
+        c.add_source(Table::new("s2", ["name", "phone", "email"]));
+        c.add_source(Table::new("s3", ["title"]));
+        c
+    }
+
+    #[test]
+    fn frequencies() {
+        let c = catalog();
+        assert_eq!(c.attribute_frequency("name"), 0.75);
+        assert_eq!(c.attribute_frequency("phone"), 0.5);
+        assert_eq!(c.attribute_frequency("email"), 0.25);
+        assert_eq!(c.attribute_frequency("missing"), 0.0);
+    }
+
+    #[test]
+    fn frequent_attribute_filter() {
+        let c = catalog();
+        assert_eq!(c.frequent_attributes(0.5), vec!["name".to_string(), "phone".to_string()]);
+        assert_eq!(c.frequent_attributes(0.76), vec![] as Vec<String>);
+        // Threshold 0 admits everything.
+        assert_eq!(c.frequent_attributes(0.0).len(), 5);
+    }
+
+    #[test]
+    fn universe_is_sorted_and_distinct() {
+        let c = catalog();
+        let u: Vec<&str> = c.attribute_universe().collect();
+        assert_eq!(u, vec!["address", "email", "name", "phone", "title"]);
+    }
+
+    #[test]
+    fn source_lookup_and_errors() {
+        let c = catalog();
+        assert_eq!(c.source(SourceId(2)).unwrap().name(), "s2");
+        assert!(matches!(c.source(SourceId(99)), Err(StoreError::UnknownSource(99))));
+    }
+
+    #[test]
+    fn sources_with_attribute_lists_ids() {
+        let c = catalog();
+        assert_eq!(c.sources_with_attribute("phone"), vec![SourceId(0), SourceId(2)]);
+        assert!(c.sources_with_attribute("zzz").is_empty());
+    }
+
+    #[test]
+    fn empty_catalog_behaves() {
+        let c = Catalog::new();
+        assert_eq!(c.source_count(), 0);
+        assert_eq!(c.attribute_frequency("x"), 0.0);
+        assert!(c.frequent_attributes(0.0).is_empty());
+        assert_eq!(c.total_rows(), 0);
+    }
+
+    #[test]
+    fn display_of_source_id() {
+        assert_eq!(SourceId(3).to_string(), "S3");
+    }
+}

@@ -1,0 +1,242 @@
+//! Minimal CSV import/export for source tables.
+//!
+//! Real deployments of a pay-as-you-go system start from files someone
+//! exported somewhere. This is a dependency-free RFC 4180 subset: comma
+//! separator, `"` quoting with `""` escapes, LF or CRLF line endings. The
+//! first record is the header (the source schema); every cell is parsed
+//! with [`Value::parse`] (empty → NULL, numeric-looking → numbers).
+
+use crate::{StoreError, Table, Value};
+
+/// Errors specific to CSV parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no header record.
+    MissingHeader,
+    /// A record had a different number of fields than the header.
+    RaggedRow {
+        /// 1-based record number (header = 1).
+        record: usize,
+        /// Number of header columns.
+        expected: usize,
+        /// Number of fields found.
+        got: usize,
+    },
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// Byte offset where the field started.
+        offset: usize,
+    },
+    /// The header was structurally invalid (e.g. duplicate column names).
+    BadHeader(StoreError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "CSV input has no header record"),
+            CsvError::RaggedRow { record, expected, got } => {
+                write!(f, "record {record} has {got} fields, header has {expected}")
+            }
+            CsvError::UnterminatedQuote { offset } => {
+                write!(f, "unterminated quoted field starting at byte {offset}")
+            }
+            CsvError::BadHeader(e) => write!(f, "invalid header: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Split CSV text into records of fields.
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let bytes = text.as_bytes();
+    let mut records: Vec<Vec<String>> = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut i = 0;
+    let mut field_started = false;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'"' if !field_started || field.is_empty() => {
+                // Quoted field.
+                let start = i;
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(CsvError::UnterminatedQuote { offset: start }),
+                        Some(b'"') if bytes.get(i + 1) == Some(&b'"') => {
+                            field.push('"');
+                            i += 2;
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Advance one UTF-8 character.
+                            let ch_len = text[i..].chars().next().map_or(1, char::len_utf8);
+                            field.push_str(&text[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                field_started = true;
+            }
+            b',' => {
+                record.push(std::mem::take(&mut field));
+                field_started = false;
+                i += 1;
+            }
+            b'\r' if bytes.get(i + 1) == Some(&b'\n') => {
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+                field_started = false;
+                i += 2;
+            }
+            b'\n' => {
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+                field_started = false;
+                i += 1;
+            }
+            _ => {
+                let ch_len = text[i..].chars().next().map_or(1, char::len_utf8);
+                field.push_str(&text[i..i + ch_len]);
+                field_started = true;
+                i += ch_len;
+            }
+        }
+    }
+    if field_started || !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+impl Table {
+    /// Parse a CSV document into a table named `name`. The first record is
+    /// the header.
+    pub fn from_csv(name: impl Into<String>, text: &str) -> Result<Table, CsvError> {
+        let records = parse_records(text)?;
+        let mut iter = records.into_iter();
+        let header = iter.next().filter(|h| !h.is_empty() && h != &vec![String::new()]);
+        let Some(header) = header else {
+            return Err(CsvError::MissingHeader);
+        };
+        let mut table = Table::try_new(name, header.iter().map(String::as_str))
+            .map_err(CsvError::BadHeader)?;
+        for (idx, rec) in iter.enumerate() {
+            // A trailing blank line parses as a single empty field: skip it.
+            if rec.len() == 1 && rec[0].is_empty() && table.arity() != 1 {
+                continue;
+            }
+            if rec.len() != table.arity() {
+                return Err(CsvError::RaggedRow {
+                    record: idx + 2,
+                    expected: table.arity(),
+                    got: rec.len(),
+                });
+            }
+            table
+                .push_row(rec.iter().map(|c| Value::parse(c)).collect())
+                .expect("arity checked");
+        }
+        Ok(table)
+    }
+
+    /// Render the table back to CSV (header + rows). Fields containing
+    /// commas, quotes or newlines are quoted; NULL renders empty.
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let header: Vec<String> = self.attributes().iter().map(|a| escape(a)).collect();
+        out.push_str(&header.join(","));
+        out.push('\n');
+        for row in self.rows() {
+            let cells: Vec<String> = row.iter().map(|v| escape(&v.to_string())).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_simple() {
+        let csv = "name,year\nCasablanca,1942\nVertigo,1958\n";
+        let t = Table::from_csv("movies", csv).unwrap();
+        assert_eq!(t.attributes(), &["name", "year"]);
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.cell(0, "year"), Some(&Value::Int(1942)));
+        assert_eq!(t.to_csv(), csv);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_escapes() {
+        let csv = "title,director\n\"Crouching Tiger, Hidden Dragon\",Ang Lee\n\"The \"\"Best\"\"\",X\n";
+        let t = Table::from_csv("m", csv).unwrap();
+        assert_eq!(
+            t.cell(0, "title"),
+            Some(&Value::text("Crouching Tiger, Hidden Dragon"))
+        );
+        assert_eq!(t.cell(1, "title"), Some(&Value::text("The \"Best\"")));
+        // Round trip preserves content.
+        let again = Table::from_csv("m", &t.to_csv()).unwrap();
+        assert_eq!(again.rows(), t.rows());
+    }
+
+    #[test]
+    fn crlf_and_missing_trailing_newline() {
+        let csv = "a,b\r\n1,2\r\n3,4";
+        let t = Table::from_csv("t", csv).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.cell(1, "b"), Some(&Value::Int(4)));
+    }
+
+    #[test]
+    fn empty_cells_become_null() {
+        let csv = "a,b\n,2\n";
+        let t = Table::from_csv("t", csv).unwrap();
+        assert_eq!(t.cell(0, "a"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(Table::from_csv("t", "").unwrap_err(), CsvError::MissingHeader);
+        let e = Table::from_csv("t", "a,b\n1\n").unwrap_err();
+        assert!(matches!(e, CsvError::RaggedRow { record: 2, expected: 2, got: 1 }));
+        let e = Table::from_csv("t", "a,b\n\"oops,1\n").unwrap_err();
+        assert!(matches!(e, CsvError::UnterminatedQuote { .. }));
+        let e = Table::from_csv("t", "a,a\n1,2\n").unwrap_err();
+        assert!(matches!(e, CsvError::BadHeader(_)));
+        assert!(e.to_string().contains("invalid header"));
+    }
+
+    #[test]
+    fn trailing_blank_line_is_ignored() {
+        let csv = "a,b\n1,2\n\n";
+        let t = Table::from_csv("t", csv).unwrap();
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn unicode_fields() {
+        let csv = "名前,ville\nAmélie,Paris\n";
+        let t = Table::from_csv("t", csv).unwrap();
+        assert_eq!(t.attributes(), &["名前", "ville"]);
+        assert_eq!(t.cell(0, "名前"), Some(&Value::text("Amélie")));
+    }
+}

@@ -1,0 +1,184 @@
+//! Inverted keyword index over sources.
+//!
+//! Backs the document-centric baselines of §7.3: the sources are treated as
+//! a collection of text documents (one per row) and queried by keyword. Cell
+//! tokens and attribute-name tokens are indexed separately so that
+//! `KeywordStruct`/`KeywordStrict` can classify a query keyword as a
+//! *structure term* (appears in some attribute name) or a *value term*.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::{Catalog, SourceId};
+
+/// A `(source, row)` coordinate in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowRef {
+    /// The source containing the row.
+    pub source: SourceId,
+    /// Row index within the source.
+    pub row: usize,
+}
+
+/// Inverted index: token → rows whose cells contain the token, plus the set
+/// of tokens appearing in attribute names.
+#[derive(Debug, Clone, Default)]
+pub struct KeywordIndex {
+    postings: HashMap<String, BTreeSet<RowRef>>,
+    attribute_tokens: HashSet<String>,
+}
+
+/// Lowercase alphanumeric tokenization shared by indexing and querying.
+pub(crate) fn tokens(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            cur.extend(c.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+impl KeywordIndex {
+    /// Index every cell of every source in the catalog.
+    pub fn build(catalog: &Catalog) -> KeywordIndex {
+        let mut idx = KeywordIndex::default();
+        for (sid, table) in catalog.iter_sources() {
+            for a in table.attributes() {
+                for t in tokens(a) {
+                    idx.attribute_tokens.insert(t);
+                }
+            }
+            for (ri, row) in table.iter_rows() {
+                let rref = RowRef { source: sid, row: ri };
+                for cell in row {
+                    for t in tokens(&cell.to_string()) {
+                        idx.postings.entry(t).or_default().insert(rref);
+                    }
+                }
+            }
+        }
+        idx
+    }
+
+    /// Rows whose cells contain the given keyword (case-insensitive).
+    pub fn rows_with(&self, keyword: &str) -> impl Iterator<Item = RowRef> + '_ {
+        let key = keyword.to_lowercase();
+        self.postings.get(&key).into_iter().flatten().copied()
+    }
+
+    /// Rows containing *any* of the keywords (disjunctive retrieval).
+    pub fn rows_with_any<'a, I>(&self, keywords: I) -> BTreeSet<RowRef>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut out = BTreeSet::new();
+        for k in keywords {
+            out.extend(self.rows_with(k));
+        }
+        out
+    }
+
+    /// Rows containing *all* of the keywords (conjunctive retrieval).
+    /// An empty keyword list yields the empty set.
+    pub fn rows_with_all<'a, I>(&self, keywords: I) -> BTreeSet<RowRef>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut iter = keywords.into_iter();
+        let Some(first) = iter.next() else {
+            return BTreeSet::new();
+        };
+        let mut acc: BTreeSet<RowRef> = self.rows_with(first).collect();
+        for k in iter {
+            if acc.is_empty() {
+                break;
+            }
+            let next: BTreeSet<RowRef> = self.rows_with(k).collect();
+            acc = acc.intersection(&next).copied().collect();
+        }
+        acc
+    }
+
+    /// Does the keyword occur in any attribute name? (`KeywordStruct`'s
+    /// structure-term test.)
+    pub fn is_structure_term(&self, keyword: &str) -> bool {
+        self.attribute_tokens.contains(&keyword.to_lowercase())
+    }
+
+    /// Number of distinct indexed cell tokens.
+    pub fn token_count(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Table;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut t0 = Table::new("s0", ["name", "phone"]);
+        t0.push_raw_row(["Alice Smith", "123-4567"]).unwrap();
+        t0.push_raw_row(["Bob Jones", "765-4321"]).unwrap();
+        c.add_source(t0);
+        let mut t1 = Table::new("s1", ["title", "year"]);
+        t1.push_raw_row(["Alice in Wonderland", "1951"]).unwrap();
+        c.add_source(t1);
+        c
+    }
+
+    #[test]
+    fn tokenization() {
+        assert_eq!(tokens("Alice Smith"), vec!["alice", "smith"]);
+        assert_eq!(tokens("123-4567"), vec!["123", "4567"]);
+        assert!(tokens("--").is_empty());
+    }
+
+    #[test]
+    fn single_keyword_retrieval_is_case_insensitive() {
+        let idx = KeywordIndex::build(&catalog());
+        let rows: Vec<RowRef> = idx.rows_with("ALICE").collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.contains(&RowRef { source: SourceId(0), row: 0 }));
+        assert!(rows.contains(&RowRef { source: SourceId(1), row: 0 }));
+    }
+
+    #[test]
+    fn any_vs_all_semantics() {
+        let idx = KeywordIndex::build(&catalog());
+        let any = idx.rows_with_any(["alice", "jones"]);
+        assert_eq!(any.len(), 3);
+        let all = idx.rows_with_all(["alice", "wonderland"]);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all.iter().next().unwrap().source, SourceId(1));
+        assert!(idx.rows_with_all(["alice", "jones"]).is_empty());
+    }
+
+    #[test]
+    fn empty_keyword_lists() {
+        let idx = KeywordIndex::build(&catalog());
+        assert!(idx.rows_with_any(std::iter::empty()).is_empty());
+        assert!(idx.rows_with_all(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn structure_terms_come_from_attribute_names() {
+        let idx = KeywordIndex::build(&catalog());
+        assert!(idx.is_structure_term("name"));
+        assert!(idx.is_structure_term("YEAR"));
+        assert!(!idx.is_structure_term("alice"));
+    }
+
+    #[test]
+    fn unknown_keyword_yields_nothing() {
+        let idx = KeywordIndex::build(&catalog());
+        assert_eq!(idx.rows_with("zebra").count(), 0);
+    }
+}

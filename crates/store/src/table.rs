@@ -1,0 +1,180 @@
+//! Single-table data sources.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{StoreError, Value};
+
+/// A row is a vector of cells aligned with the table schema.
+pub type Row = Vec<Value>;
+
+/// A named single-table data source: an ordered list of attribute names and
+/// the rows beneath them.
+///
+/// The paper considers "the case where each schema contains a single table
+/// with a set of attributes", so a source *is* a table. Attribute names are
+/// kept verbatim (heterogeneity is the whole point); matching and
+/// normalization happen upstream in `udi-similarity`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    attributes: Vec<String>,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Create an empty table. Panics if the attribute list contains
+    /// duplicates — use [`Table::try_new`] for fallible construction.
+    pub fn new<I, S>(name: impl Into<String>, attributes: I) -> Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table::try_new(name, attributes).expect("duplicate attribute name")
+    }
+
+    /// Create an empty table, rejecting duplicate attribute names.
+    pub fn try_new<I, S>(name: impl Into<String>, attributes: I) -> Result<Table, StoreError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let name = name.into();
+        let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].contains(a) {
+                return Err(StoreError::DuplicateAttribute { table: name, attribute: a.clone() });
+            }
+        }
+        Ok(Table { name, attributes, rows: Vec::new() })
+    }
+
+    /// The source/table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Attribute names in schema order.
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Position of an attribute in the schema, if present (exact match).
+    pub fn attribute_index(&self, attribute: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a == attribute)
+    }
+
+    /// Whether the schema contains `attribute` (exact match).
+    pub fn has_attribute(&self, attribute: &str) -> bool {
+        self.attribute_index(attribute).is_some()
+    }
+
+    /// Append a row, validating arity.
+    pub fn push_row(&mut self, row: Row) -> Result<(), StoreError> {
+        if row.len() != self.attributes.len() {
+            return Err(StoreError::ArityMismatch {
+                table: self.name.clone(),
+                expected: self.attributes.len(),
+                got: row.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Append a row of string literals, parsing each cell with
+    /// [`Value::parse`].
+    pub fn push_raw_row<I, S>(&mut self, cells: I) -> Result<(), StoreError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let row: Row = cells.into_iter().map(|c| Value::parse(c.as_ref())).collect();
+        self.push_row(row)
+    }
+
+    /// The cell at (`row`, `attribute`), if both exist.
+    pub fn cell(&self, row: usize, attribute: &str) -> Option<&Value> {
+        let col = self.attribute_index(attribute)?;
+        self.rows.get(row).map(|r| &r[col])
+    }
+
+    /// Iterate over `(row_index, row)` pairs.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (usize, &Row)> {
+        self.rows.iter().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("people", ["name", "phone", "age"]);
+        t.push_raw_row(["Alice", "123-4567", "34"]).unwrap();
+        t.push_raw_row(["Bob", "", "41"]).unwrap();
+        t
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let t = sample();
+        assert_eq!(t.name(), "people");
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.attribute_index("phone"), Some(1));
+        assert_eq!(t.attribute_index("Phone"), None, "lookup is exact");
+        assert!(t.has_attribute("age"));
+        assert!(!t.has_attribute("salary"));
+    }
+
+    #[test]
+    fn raw_rows_are_parsed() {
+        let t = sample();
+        assert_eq!(t.cell(0, "age"), Some(&Value::Int(34)));
+        assert_eq!(t.cell(1, "phone"), Some(&Value::Null));
+        assert_eq!(t.cell(0, "name"), Some(&Value::text("Alice")));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = sample();
+        let err = t.push_row(vec![Value::text("x")]).unwrap_err();
+        assert!(matches!(err, StoreError::ArityMismatch { got: 1, expected: 3, .. }));
+        assert_eq!(t.row_count(), 2, "failed push must not mutate");
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = Table::try_new("t", ["a", "b", "a"]).unwrap_err();
+        assert!(matches!(err, StoreError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn cell_out_of_range_is_none() {
+        let t = sample();
+        assert_eq!(t.cell(9, "name"), None);
+        assert_eq!(t.cell(0, "nope"), None);
+    }
+
+    #[test]
+    fn iter_rows_yields_indices() {
+        let t = sample();
+        let idx: Vec<usize> = t.iter_rows().map(|(i, _)| i).collect();
+        assert_eq!(idx, vec![0, 1]);
+    }
+}

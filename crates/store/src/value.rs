@@ -1,0 +1,396 @@
+//! Typed cell values with SQL-flavored comparison semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+/// A single cell value.
+///
+/// Numeric kinds compare to each other numerically; text compares to text
+/// lexicographically (case-sensitive). A comparison between text and a
+/// numeric value renders the number as text and compares lexicographically —
+/// the behaviour of a source that stored numbers as strings, which is exactly
+/// the artifact the paper reports for the Course domain ("a numeric
+/// comparison performed on a string data type generates incorrect answers").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL. Compares below everything; equal only to itself for
+    /// deduplication purposes (predicate evaluation treats it as no-match).
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float. NaN is normalized to [`Value::Null`] at construction
+    /// via [`Value::float`]; do not construct `Float(NaN)` directly.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+}
+
+impl Value {
+    /// Build a text value.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// Build an integer value.
+    pub fn int(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    /// Build a float value; NaN becomes [`Value::Null`] so that `Eq`/`Ord`
+    /// stay total.
+    pub fn float(v: f64) -> Value {
+        if v.is_nan() {
+            Value::Null
+        } else {
+            Value::Float(v)
+        }
+    }
+
+    /// Is this the SQL NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Parse a literal the way a web-table importer would: empty → NULL,
+    /// integer-looking → `Int`, float-looking → `Float`, otherwise `Text`.
+    ///
+    /// ```
+    /// use udi_store::Value;
+    /// assert_eq!(Value::parse("42"), Value::Int(42));
+    /// assert_eq!(Value::parse("4.5"), Value::Float(4.5));
+    /// assert_eq!(Value::parse("abc"), Value::text("abc"));
+    /// assert_eq!(Value::parse(""), Value::Null);
+    /// ```
+    pub fn parse(raw: &str) -> Value {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            return Value::Null;
+        }
+        if let Ok(i) = trimmed.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = trimmed.parse::<f64>() {
+            return Value::float(f);
+        }
+        Value::Text(trimmed.to_owned())
+    }
+
+    /// Render the value the way it would appear in a result row.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+
+    /// SQL-style comparison used by predicate evaluation.
+    ///
+    /// Returns `None` when either side is NULL (three-valued logic: the
+    /// predicate is unknown, hence not satisfied). A comparison between
+    /// text and a numeric value renders the number and compares
+    /// lexicographically — the stringly-typed-source artifact (see
+    /// type-level docs). That mixed rule is deliberately *not* part of
+    /// [`Ord`]: it is intransitive (`Int(2) > Text("10")`,
+    /// `Text("10") ~ Int(10)`, `Int(10) > Int(2)`), which would corrupt
+    /// ordered containers; `Ord` ranks kinds strictly instead.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Text(x), Text(y)) => Some(x.cmp(y)),
+            (Text(x), y) => Some(x.cmp(&y.to_string())),
+            (x, Text(y)) => Some(x.to_string().cmp(y)),
+            (a, b) => Some(total_cmp(a, b)),
+        }
+    }
+}
+
+/// Transitive total order for `Ord`/`Eq`/`Hash`: NULL < numerics < text;
+/// numerics compare numerically across `Int`/`Float`, text
+/// lexicographically. (Predicate evaluation uses [`Value::sql_cmp`], which
+/// additionally coerces mixed text/number pairs.)
+fn total_cmp(a: &Value, b: &Value) -> Ordering {
+    use Value::*;
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Null => 0,
+            Int(_) | Float(_) => 1,
+            Text(_) => 2,
+        }
+    }
+    match (a, b) {
+        (Int(x), Int(y)) => x.cmp(y),
+        (Int(x), Float(y)) => cmp_f64(*x as f64, *y),
+        (Float(x), Int(y)) => cmp_f64(*x, *y as f64),
+        (Float(x), Float(y)) => cmp_f64(*x, *y),
+        (Text(x), Text(y)) => x.cmp(y),
+        (Null, Null) => Ordering::Equal,
+        (x, y) => rank(x).cmp(&rank(y)),
+    }
+}
+
+fn cmp_f64(x: f64, y: f64) -> Ordering {
+    x.partial_cmp(&y).expect("NaN excluded at construction")
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        total_cmp(self, other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        total_cmp(self, other)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash must agree with `eq`: Int(2) == Float(2.0), so both hash as
+        // the f64 bit pattern; NULL and text hash under their own tags
+        // (text never equals a number under the strict total order).
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Int(i) => {
+                state.write_u8(1);
+                state.write_u64((*i as f64).to_bits());
+            }
+            Value::Float(f) => {
+                state.write_u8(1);
+                state.write_u64(f.to_bits());
+            }
+            Value::Text(s) => {
+                state.write_u8(2);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::text(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Text(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::float(v)
+    }
+}
+
+/// SQL `LIKE` pattern matching: `%` matches any run (including empty),
+/// `_` matches exactly one character. Matching is case-insensitive, as in
+/// MySQL's default collation.
+///
+/// ```
+/// use udi_store::like_match;
+/// assert!(like_match("Alice", "a%"));
+/// assert!(like_match("Alice", "%LIC%"));
+/// assert!(like_match("cat", "c_t"));
+/// assert!(!like_match("cart", "c_t"));
+/// ```
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.to_lowercase().chars().collect();
+    let p: Vec<char> = pattern.to_lowercase().chars().collect();
+    like_rec(&t, &p)
+}
+
+fn like_rec(t: &[char], p: &[char]) -> bool {
+    match p.first() {
+        None => t.is_empty(),
+        Some('%') => {
+            // Try every split point; `%` can absorb 0..=len chars.
+            (0..=t.len()).any(|k| like_rec(&t[k..], &p[1..]))
+        }
+        Some('_') => !t.is_empty() && like_rec(&t[1..], &p[1..]),
+        Some(&c) => t.first() == Some(&c) && like_rec(&t[1..], &p[1..]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_ne!(Value::Int(2), Value::Float(2.5));
+        assert_eq!(h(&Value::Int(2)), h(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn text_and_numbers_are_distinct_under_the_total_order() {
+        // `Ord`/`Eq` are strictly typed (numbers < text); the lexicographic
+        // coercion lives only in `sql_cmp`, where the predicate artifact
+        // belongs.
+        assert_ne!(Value::text("42"), Value::Int(42));
+        assert!(Value::Int(42) < Value::text("42"));
+        assert_eq!(
+            Value::text("42").sql_cmp(&Value::Int(42)),
+            Some(Ordering::Equal),
+            "predicates still coerce"
+        );
+    }
+
+    #[test]
+    fn null_semantics() {
+        assert!(Value::Null.sql_cmp(&Value::Int(1)).is_none());
+        assert!(Value::Int(1).sql_cmp(&Value::Null).is_none());
+        assert_eq!(Value::Null, Value::Null);
+        assert!(Value::Null < Value::Int(i64::MIN));
+    }
+
+    #[test]
+    fn stringly_typed_comparison_artifact() {
+        // The Course-domain artifact: "9" > "30" lexicographically.
+        let nine = Value::text("9");
+        let thirty = Value::Int(30);
+        assert_eq!(nine.sql_cmp(&thirty), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn nan_is_normalized() {
+        assert!(Value::float(f64::NAN).is_null());
+        assert_eq!(Value::from(f64::NAN), Value::Null);
+    }
+
+    #[test]
+    fn parse_covers_all_shapes() {
+        assert_eq!(Value::parse(" 7 "), Value::Int(7));
+        assert_eq!(Value::parse("-3.25"), Value::Float(-3.25));
+        assert_eq!(Value::parse("7a"), Value::text("7a"));
+        assert_eq!(Value::parse("   "), Value::Null);
+    }
+
+    #[test]
+    fn display_round_trips_ints() {
+        assert_eq!(Value::Int(-5).to_string(), "-5");
+        assert_eq!(Value::text("x").to_string(), "x");
+        assert_eq!(Value::Null.to_string(), "");
+    }
+
+    #[test]
+    fn like_edge_cases() {
+        assert!(like_match("", ""));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("anything", "%%"));
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "ab"));
+        assert!(like_match("database systems", "%base%sys%"));
+    }
+
+    #[test]
+    fn ord_is_total_across_kinds() {
+        let mut vs = [Value::text("zzz"),
+            Value::Int(10),
+            Value::Null,
+            Value::Float(2.5),
+            Value::text("aaa")];
+        vs.sort();
+        assert_eq!(vs[0], Value::Null);
+    }
+
+    proptest! {
+        #[test]
+        fn eq_implies_same_hash(a in -1_000_000i64..1_000_000) {
+            let i = Value::Int(a);
+            let f = Value::Float(a as f64);
+            prop_assert_eq!(&i, &f);
+            prop_assert_eq!(h(&i), h(&f));
+        }
+
+        /// The `Ord` impl must be a transitive total order across every
+        /// kind mix — the property the old text/number coercion violated.
+        #[test]
+        fn ord_is_transitive(
+            raw in proptest::collection::vec(
+                prop_oneof![
+                    Just(Value::Null),
+                    any::<i32>().prop_map(|i| Value::Int(i as i64)),
+                    (-100.0f64..100.0).prop_map(Value::float),
+                    "[0-9]{1,3}".prop_map(Value::text),
+                ],
+                3,
+            )
+        ) {
+            let (a, b, c) = (&raw[0], &raw[1], &raw[2]);
+            use std::cmp::Ordering::*;
+            if a.cmp(b) != Greater && b.cmp(c) != Greater {
+                prop_assert_ne!(a.cmp(c), Greater, "{:?} {:?} {:?}", a, b, c);
+            }
+        }
+
+        #[test]
+        fn cmp_antisymmetric(x in -1000i64..1000, y in -1000i64..1000) {
+            let a = Value::Int(x);
+            let b = Value::Int(y);
+            prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        }
+
+        #[test]
+        fn like_literal_pattern_matches_itself(s in "[a-z]{0,10}") {
+            prop_assert!(like_match(&s, &s));
+        }
+
+        #[test]
+        fn like_percent_prefix_suffix(s in "[a-z]{1,10}") {
+            let pre = format!("%{s}");
+            let suf = format!("{s}%");
+            let both = format!("%{s}%");
+            prop_assert!(like_match(&s, &pre));
+            prop_assert!(like_match(&s, &suf));
+            prop_assert!(like_match(&s, &both));
+        }
+    }
+}

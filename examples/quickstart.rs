@@ -1,0 +1,55 @@
+//! Quickstart: self-configure a data integration system over three
+//! heterogeneous sources and ask it a question.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use udi::core::{UdiConfig, UdiSystem};
+use udi::query::parse_query;
+use udi::store::{Catalog, Table};
+
+fn main() {
+    // Three web-table-ish sources about movies, with inconsistent labels.
+    let mut catalog = Catalog::new();
+    let mut s1 = Table::new("classics", ["title", "year", "director"]);
+    s1.push_raw_row(["Metropolis", "1927", "Fritz Lang"]).unwrap();
+    s1.push_raw_row(["Casablanca", "1942", "Michael Curtiz"]).unwrap();
+    catalog.add_source(s1);
+
+    let mut s2 = Table::new("favorites", ["title", "release year", "directed by"]);
+    s2.push_raw_row(["Vertigo", "1958", "Alfred Hitchcock"]).unwrap();
+    s2.push_raw_row(["Casablanca", "1942", "Michael Curtiz"]).unwrap();
+    catalog.add_source(s2);
+
+    let mut s3 = Table::new("recent", ["title", "year", "director"]);
+    s3.push_raw_row(["Ratatouille", "2007", "Brad Bird"]).unwrap();
+    catalog.add_source(s3);
+
+    // Completely automatic setup: probabilistic mediated schema,
+    // max-entropy p-mappings, consolidation. No human input.
+    let udi = UdiSystem::setup(catalog, UdiConfig::default()).expect("setup");
+
+    println!("Exposed mediated schema:");
+    for (rep, members) in udi.exposed_schema() {
+        println!("  {rep:<14} = {{{}}}", members.join(", "));
+    }
+
+    // Query with the mediated vocabulary; `release year` from source 2 is
+    // matched to `year` automatically.
+    let q = parse_query("SELECT title, director FROM movies WHERE year < 1960").unwrap();
+    println!("\n{q}");
+    for t in udi.answer(&q).combined() {
+        let row: Vec<String> = t.values.iter().map(ToString::to_string).collect();
+        println!("  p={:.3}  ({})", t.probability, row.join(", "));
+    }
+
+    let r = udi.report();
+    println!(
+        "\nsetup: {} sources, {} possible mediated schemas, {} mappings, {:.1?} total",
+        r.n_sources,
+        r.n_schemas,
+        r.n_mappings,
+        r.timings.total()
+    );
+}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Reproduce every paper table/figure at full scale; outputs under results/.
+set -e
+cd "$(dirname "$0")"
+BIN=./target/release
+for exp in table1 table2 table3 fig4 fig5 fig6 fig7 exp_ambiguity exp_ablation exp_semantics; do
+  echo "== running $exp =="
+  "$BIN/$exp" > "results/$exp.txt" 2>&1
+done
+echo "== running exp_sensitivity (quarter scale; see EXPERIMENTS.md) =="
+UDI_SCALE=0.25 "$BIN/exp_sensitivity" > results/exp_sensitivity.txt 2>&1
+echo "all experiments done"

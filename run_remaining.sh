@@ -1,0 +1,9 @@
+#!/bin/sh
+set -e
+cd "$(dirname "$0")"
+BIN=./target/release
+for exp in fig5 fig6 fig7 exp_ambiguity exp_ablation exp_sensitivity; do
+  echo "== running $exp =="
+  "$BIN/$exp" > "results/$exp.txt" 2>&1
+done
+echo "remaining experiments done"

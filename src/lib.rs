@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+
+//! # UDI — pay-as-you-go data integration
+//!
+//! Facade crate re-exporting the full public API of the workspace. See the
+//! README for an architecture overview and `DESIGN.md` for the paper
+//! reproduction map.
+
+pub use udi_baselines as baselines;
+pub use udi_core as core;
+pub use udi_datagen as datagen;
+pub use udi_eval as eval;
+pub use udi_maxent as maxent;
+pub use udi_query as query;
+pub use udi_schema as schema;
+pub use udi_similarity as similarity;
+pub use udi_store as store;

@@ -1,0 +1,116 @@
+//! Structural relations between the competing approaches that must hold by
+//! construction, regardless of corpus.
+
+use udi::baselines::{
+    Integrator, KeywordNaive, KeywordStrict, KeywordStruct, SingleMed, SourceDirect, UnionAll,
+};
+use udi::core::UdiConfig;
+use udi::datagen::{generate, Domain, GenConfig};
+use udi::eval::generate_workload;
+use udi::store::Row;
+
+fn rows_of(set: &udi::query::AnswerSet) -> Vec<Row> {
+    set.flat().iter().map(|t| t.values.clone()).collect()
+}
+
+#[test]
+fn keyword_variants_are_nested() {
+    let gen = generate(
+        Domain::Movie,
+        &GenConfig { n_sources: Some(25), ..GenConfig::default() },
+    );
+    let queries = generate_workload(&gen, 12, 5);
+    let naive = KeywordNaive::new(&gen.catalog);
+    let kstruct = KeywordStruct::new(&gen.catalog);
+    let strict = KeywordStrict::new(&gen.catalog);
+    for q in &queries {
+        let n = rows_of(&naive.answer(q));
+        let st = rows_of(&kstruct.answer(q));
+        let sr = rows_of(&strict.answer(q));
+        // strict ⊆ struct ⊆ naive (as row multisets by membership).
+        for r in &sr {
+            assert!(st.contains(r), "strict ⊄ struct: {q}");
+        }
+        for r in &st {
+            assert!(n.contains(r), "struct ⊄ naive: {q}");
+        }
+    }
+}
+
+#[test]
+fn source_direct_only_uses_exact_attribute_matches() {
+    let gen = generate(
+        Domain::Car,
+        &GenConfig { n_sources: Some(30), ..GenConfig::default() },
+    );
+    let source = SourceDirect::new(&gen.catalog);
+    let queries = generate_workload(&gen, 10, 6);
+    for q in &queries {
+        let ans = source.answer(q);
+        for (sid, _) in ans.by_source() {
+            let table = gen.catalog.source(*sid).unwrap();
+            for a in q.referenced_attributes() {
+                assert!(
+                    table.has_attribute(a),
+                    "Source answered from a table lacking `{a}`: {q}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_med_is_one_of_the_p_med_schemas_or_coarser() {
+    // SingleMed's schema merges every edge ≥ τ; UDI's certain merges
+    // (≥ τ+ε) are a subset, so every certain-merged pair must also be
+    // merged by SingleMed.
+    let gen = generate(
+        Domain::Bib,
+        &GenConfig { n_sources: Some(60), ..GenConfig::default() },
+    );
+    let udi = udi::core::UdiSystem::setup(gen.catalog.clone(), UdiConfig::default()).unwrap();
+    let sm = SingleMed::setup(gen.catalog.clone(), UdiConfig::default()).unwrap();
+    let sm_schema = sm.system().pmed().top();
+    let vocab = udi.schema_set().vocab();
+    let sm_vocab = sm.system().schema_set().vocab();
+    for small in udi.consolidated().clusters() {
+        // Consolidated clusters hold pairs merged in EVERY schema — i.e.
+        // certain merges. Those pairs are ≥ τ+ε ≥ τ, so SingleMed merges
+        // them too.
+        let names: Vec<&str> = small.iter().map(|&a| vocab.name(a)).collect();
+        let ids: Vec<_> = names.iter().map(|n| sm_vocab.id_of(n).unwrap()).collect();
+        let clusters: std::collections::HashSet<_> =
+            ids.iter().map(|&i| sm_schema.cluster_of(i)).collect();
+        assert_eq!(clusters.len(), 1, "cluster {names:?} split by SingleMed");
+    }
+}
+
+#[test]
+fn union_all_never_groups_attributes() {
+    let gen = generate(
+        Domain::People,
+        &GenConfig { n_sources: Some(30), ..GenConfig::default() },
+    );
+    let ua = UnionAll::setup(gen.catalog.clone(), UdiConfig::default()).unwrap();
+    assert!(ua.system().consolidated().clusters().iter().all(|c| c.len() == 1));
+    // Its answer probabilities are still valid.
+    let queries = generate_workload(&gen, 8, 11);
+    for q in &queries {
+        for t in ua.answer(q).combined() {
+            assert!(t.probability > 0.0 && t.probability <= 1.0 + 1e-9, "{q}");
+        }
+    }
+}
+
+#[test]
+fn integrator_names_are_stable() {
+    // Experiment tables key on these names; lock them down.
+    let gen = generate(
+        Domain::Movie,
+        &GenConfig { n_sources: Some(12), ..GenConfig::default() },
+    );
+    assert_eq!(KeywordNaive::new(&gen.catalog).name(), "KeywordNaive");
+    assert_eq!(KeywordStruct::new(&gen.catalog).name(), "KeywordStruct");
+    assert_eq!(KeywordStrict::new(&gen.catalog).name(), "KeywordStrict");
+    assert_eq!(SourceDirect::new(&gen.catalog).name(), "Source");
+}

@@ -1,0 +1,89 @@
+//! End-to-end integration through the CSV adoption path: files on disk →
+//! catalog → automatic setup → queries. Mirrors what the `udi csv` CLI
+//! does, as a library-level test.
+
+use udi::core::{UdiConfig, UdiSystem};
+use udi::query::parse_query;
+use udi::store::{Catalog, Table, Value};
+
+const SOURCES: &[(&str, &str)] = &[
+    (
+        "classics",
+        "title,year,director\n\
+         Casablanca,1942,Michael Curtiz\n\
+         Metropolis,1927,Fritz Lang\n",
+    ),
+    (
+        "festival",
+        "title,release year,directed by\n\
+         Vertigo,1958,Alfred Hitchcock\n\
+         Casablanca,1942,Michael Curtiz\n",
+    ),
+    (
+        "modern",
+        "title,year,director\n\
+         Ratatouille,2007,Brad Bird\n\
+         \"Crouching Tiger, Hidden Dragon\",2000,Ang Lee\n",
+    ),
+];
+
+fn catalog_from_csv() -> Catalog {
+    let mut catalog = Catalog::new();
+    for (name, text) in SOURCES {
+        catalog.add_source(Table::from_csv(*name, text).expect("valid csv"));
+    }
+    catalog
+}
+
+#[test]
+fn csv_sources_integrate_and_answer() {
+    let udi = UdiSystem::setup(catalog_from_csv(), UdiConfig::default()).expect("setup");
+    // `release year` and `directed by` must be clustered with `year` and
+    // `director`.
+    let vocab = udi.schema_set().vocab();
+    let year = vocab.id_of("year").unwrap();
+    let release_year = vocab.id_of("release year").unwrap();
+    assert_eq!(
+        udi.consolidated().cluster_of(year),
+        udi.consolidated().cluster_of(release_year)
+    );
+
+    let q = parse_query("SELECT title, director FROM m WHERE year < 1960").unwrap();
+    let answers = udi.answer(&q).combined();
+    let titles: Vec<String> = answers.iter().map(|t| t.values[0].to_string()).collect();
+    assert!(titles.contains(&"Casablanca".to_owned()));
+    assert!(titles.contains(&"Vertigo".to_owned()), "matched through `release year`");
+    assert!(titles.contains(&"Metropolis".to_owned()));
+    assert!(!titles.contains(&"Ratatouille".to_owned()));
+
+    // Casablanca appears in two sources: disjunction must raise its
+    // probability above the single-source answers.
+    let casablanca = answers
+        .iter()
+        .find(|t| t.values[0] == Value::text("Casablanca"))
+        .unwrap();
+    let vertigo = answers.iter().find(|t| t.values[0] == Value::text("Vertigo")).unwrap();
+    assert!(casablanca.probability > vertigo.probability);
+}
+
+#[test]
+fn quoted_csv_values_survive_the_pipeline() {
+    let udi = UdiSystem::setup(catalog_from_csv(), UdiConfig::default()).expect("setup");
+    let q = parse_query("SELECT title FROM m WHERE director = 'Ang Lee'").unwrap();
+    let answers = udi.answer(&q).combined();
+    assert_eq!(answers.len(), 1);
+    assert_eq!(
+        answers[0].values[0],
+        Value::text("Crouching Tiger, Hidden Dragon")
+    );
+}
+
+#[test]
+fn csv_round_trip_preserves_catalog() {
+    let catalog = catalog_from_csv();
+    for (sid, table) in catalog.iter_sources() {
+        let re = Table::from_csv(table.name(), &table.to_csv()).unwrap();
+        assert_eq!(re.attributes(), table.attributes(), "{sid}");
+        assert_eq!(re.rows(), table.rows(), "{sid}");
+    }
+}

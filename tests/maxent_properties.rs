@@ -1,0 +1,112 @@
+//! Property tests for the maximum-entropy machinery: the group
+//! decomposition must be exactly equivalent to solving the flat problem,
+//! and solutions must satisfy the §5.2 constraint system on arbitrary
+//! feasible instances.
+
+use proptest::prelude::*;
+
+use udi::maxent::{
+    enumerate_matchings, solve_correspondences, solve_max_entropy, Correspondence,
+    CorrespondenceSet, MaxEntConfig,
+};
+
+/// Random (deduplicated, normalized) correspondence sets over a small
+/// bipartite universe.
+fn corr_sets() -> impl Strategy<Value = CorrespondenceSet> {
+    proptest::collection::vec((0usize..4, 0usize..4, 0.05f64..1.5), 1..8).prop_map(|edges| {
+        let mut seen = std::collections::HashSet::new();
+        let raw: Vec<Correspondence> = edges
+            .into_iter()
+            .filter(|(s, t, _)| seen.insert((*s, *t)))
+            .map(|(s, t, w)| Correspondence::new(s, t, w))
+            .collect();
+        CorrespondenceSet::normalized(raw).expect("normalization always valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Grouped solving (per connected component + product) equals flat
+    /// solving (all matchings at once): identical distributions, matching
+    /// by matching.
+    #[test]
+    fn grouped_equals_flat(set in corr_sets()) {
+        prop_assume!(!set.is_empty());
+        let config = MaxEntConfig::default();
+
+        // Flat path.
+        let matchings = enumerate_matchings(&set, 1_000_000).unwrap();
+        let targets: Vec<f64> = set.correspondences().iter().map(|c| c.weight).collect();
+        let flat = solve_max_entropy(set.len(), &matchings, &targets, &config)
+            .expect("feasible by Theorem 5.2");
+
+        // Grouped path, expanded.
+        let grouped = solve_correspondences(&set, &config).expect("same instance");
+        let mut joint = grouped.expand(1_000_000).unwrap();
+        joint.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut flat_pairs: Vec<(Vec<usize>, f64)> = matchings
+            .iter()
+            .cloned()
+            .zip(flat.probabilities.iter().copied())
+            .collect();
+        flat_pairs.sort_by(|a, b| a.0.cmp(&b.0));
+
+        prop_assert_eq!(joint.len(), flat_pairs.len());
+        for ((ma, pa), (mb, pb)) in joint.iter().zip(&flat_pairs) {
+            prop_assert_eq!(ma, mb);
+            prop_assert!((pa - pb).abs() < 1e-4, "{:?}: {} vs {}", ma, pa, pb);
+        }
+    }
+
+    /// Every solution satisfies the Definition 5.1 consistency constraints
+    /// and lies on the probability simplex.
+    #[test]
+    fn solutions_are_consistent_distributions(set in corr_sets()) {
+        prop_assume!(!set.is_empty());
+        let grouped = solve_correspondences(&set, &MaxEntConfig::default()).unwrap();
+        let joint = grouped.expand(1_000_000).unwrap();
+        let total: f64 = joint.iter().map(|(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        for (c, corr) in set.correspondences().iter().enumerate() {
+            let mass: f64 = joint
+                .iter()
+                .filter(|(m, _)| m.contains(&c))
+                .map(|(_, p)| p)
+                .sum();
+            prop_assert!(
+                (mass - corr.weight).abs() < 1e-3,
+                "corr {}: {} vs {}", c, mass, corr.weight
+            );
+        }
+    }
+
+    /// Marginals are consistent with the expanded joint: projecting the
+    /// joint onto any subset of correspondences reproduces `marginal()`.
+    #[test]
+    fn marginals_match_joint_projection(set in corr_sets(), mask in 0u32..16) {
+        prop_assume!(!set.is_empty());
+        let grouped = solve_correspondences(&set, &MaxEntConfig::default()).unwrap();
+        let keep: Vec<usize> =
+            (0..set.len()).filter(|&c| mask & (1 << (c % 16)) != 0).collect();
+        let joint = grouped.expand(1_000_000).unwrap();
+        let marginal = grouped.marginal(&keep, 1_000_000).unwrap();
+
+        use std::collections::BTreeMap;
+        let mut expect: BTreeMap<Vec<usize>, f64> = BTreeMap::new();
+        for (m, p) in &joint {
+            let proj: Vec<usize> = m.iter().copied().filter(|c| keep.contains(c)).collect();
+            *expect.entry(proj).or_insert(0.0) += p;
+        }
+        let mut got: BTreeMap<Vec<usize>, f64> = BTreeMap::new();
+        for (m, p) in marginal {
+            *got.entry(m).or_insert(0.0) += p;
+        }
+        prop_assert_eq!(expect.len(), got.len());
+        for (m, p) in &expect {
+            let q = got.get(m).copied().unwrap_or(0.0);
+            prop_assert!((p - q).abs() < 1e-6, "{:?}: {} vs {}", m, p, q);
+        }
+    }
+}

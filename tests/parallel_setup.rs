@@ -1,0 +1,63 @@
+//! Parallel p-mapping generation must be bit-identical to the sequential
+//! path: sources are independent and processed in deterministic order, so
+//! the thread count is purely a wall-clock knob.
+
+use udi::core::{UdiConfig, UdiSystem};
+use udi::datagen::{generate, Domain, GenConfig};
+use udi::eval::generate_workload;
+
+fn setup(threads: usize) -> (UdiSystem, udi::datagen::GeneratedDomain) {
+    let gen = generate(
+        Domain::Bib,
+        &GenConfig { n_sources: Some(60), seed: 1234, ..GenConfig::default() },
+    );
+    let config = UdiConfig { threads, ..UdiConfig::default() };
+    let udi = UdiSystem::setup(gen.catalog.clone(), config).expect("setup");
+    (udi, gen)
+}
+
+#[test]
+fn thread_count_does_not_change_the_system() {
+    let (seq, gen) = setup(1);
+    let (par, _) = setup(4);
+
+    // Identical p-med-schema.
+    assert_eq!(seq.pmed().len(), par.pmed().len());
+    for ((ma, pa), (mb, pb)) in seq.pmed().schemas().iter().zip(par.pmed().schemas()) {
+        assert_eq!(ma, mb);
+        assert!((pa - pb).abs() < 1e-15);
+    }
+    // Identical consolidated schema and p-mappings.
+    assert_eq!(seq.consolidated(), par.consolidated());
+    for src in 0..seq.catalog().source_count() {
+        let a = seq.consolidated_pmapping(src);
+        let b = par.consolidated_pmapping(src);
+        assert_eq!(a.len(), b.len(), "source {src}");
+        for ((ma, pa), (mb, pb)) in a.mappings().iter().zip(b.mappings()) {
+            assert_eq!(ma, mb, "source {src}");
+            assert!((pa - pb).abs() < 1e-12, "source {src}");
+        }
+    }
+    // Identical answers on the workload.
+    for q in generate_workload(&gen, 10, 99) {
+        let x = seq.answer(&q).combined();
+        let y = par.answer(&q).combined();
+        assert_eq!(x.len(), y.len(), "{q}");
+        for (a, b) in x.iter().zip(&y) {
+            assert_eq!(a.values, b.values, "{q}");
+            assert!((a.probability - b.probability).abs() < 1e-12, "{q}");
+        }
+    }
+}
+
+#[test]
+fn oversubscribed_thread_count_is_fine() {
+    // More threads than sources must not panic or change results.
+    let gen = generate(
+        Domain::Movie,
+        &GenConfig { n_sources: Some(5), seed: 7, ..GenConfig::default() },
+    );
+    let config = UdiConfig { threads: 64, ..UdiConfig::default() };
+    let udi = UdiSystem::setup(gen.catalog.clone(), config).expect("setup");
+    assert_eq!(udi.report().n_sources, 5);
+}

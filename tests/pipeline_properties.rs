@@ -1,0 +1,128 @@
+//! Property-based tests over the whole setup pipeline.
+
+use proptest::prelude::*;
+
+use udi::query::parse_query;
+use udi::schema::{build_p_med_schema, SchemaSet, UdiParams};
+use udi::similarity::AttributeSimilarity;
+use udi::store::{Catalog, Table};
+
+/// Strategy: a random set of source schemas over a themed attribute pool.
+fn schema_sets() -> impl Strategy<Value = Vec<Vec<&'static str>>> {
+    let pool = prop::sample::subsequence(
+        vec![
+            "name", "title", "phone", "phone no", "tel", "address", "addr", "email",
+            "year", "yr", "price", "prices", "make", "model",
+        ],
+        2..9,
+    );
+    proptest::collection::vec(pool, 2..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The generated p-med-schema is well-formed on arbitrary inputs:
+    /// probabilities form a distribution, every schema partitions the same
+    /// frequent-attribute set, and schemas are pairwise distinct.
+    #[test]
+    fn p_med_schema_invariants(sources in schema_sets()) {
+        let set = SchemaSet::from_sources(
+            sources.into_iter().enumerate().map(|(i, attrs)| (format!("s{i}"), attrs)),
+        );
+        let params = UdiParams::default();
+        let pmed = build_p_med_schema(&set, &AttributeSimilarity::default(), &params).unwrap();
+
+        let total: f64 = pmed.schemas().iter().map(|(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+
+        let frequent: std::collections::BTreeSet<_> =
+            set.frequent_attributes(params.theta).into_iter().collect();
+        for (m, p) in pmed.schemas() {
+            prop_assert!(*p > 0.0 && *p <= 1.0 + 1e-12);
+            prop_assert_eq!(m.attribute_set(), frequent.clone(), "partition covers frequent attrs");
+        }
+        for (i, (a, _)) in pmed.schemas().iter().enumerate() {
+            for (b, _) in &pmed.schemas()[i + 1..] {
+                prop_assert_ne!(a, b, "schemas must be distinct clusterings");
+            }
+        }
+    }
+
+    /// Full system setup on random catalogs: p-mappings are distributions,
+    /// the consolidated schema refines every possible schema, and query
+    /// answers stay within probability bounds.
+    #[test]
+    fn full_setup_invariants(
+        sources in schema_sets(),
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut catalog = Catalog::new();
+        for (i, attrs) in sources.iter().enumerate() {
+            let mut t = Table::new(format!("s{i}"), attrs.clone());
+            for _ in 0..rng.gen_range(1..4usize) {
+                let row: Vec<String> =
+                    attrs.iter().map(|_| format!("v{}", rng.gen_range(0..5))).collect();
+                t.push_raw_row(row).unwrap();
+            }
+            catalog.add_source(t);
+        }
+        let udi = match udi::core::UdiSystem::setup(catalog, Default::default()) {
+            Ok(u) => u,
+            Err(_) => return Ok(()),
+        };
+
+        // P-mappings are distributions.
+        for src in 0..udi.catalog().source_count() {
+            for schema in 0..udi.pmed().len() {
+                let pm = udi.pmapping(src, schema);
+                let total: f64 = pm.mappings().iter().map(|(_, p)| p).sum();
+                prop_assert!((total - 1.0).abs() < 1e-6);
+            }
+            let total: f64 =
+                udi.consolidated_pmapping(src).mappings().iter().map(|(_, p)| p).sum();
+            prop_assert!((total - 1.0).abs() < 1e-6);
+        }
+
+        // Consolidated schema refines every possible schema.
+        for (m, _) in udi.pmed().schemas() {
+            for small in udi.consolidated().clusters() {
+                prop_assert!(
+                    m.clusters().iter().any(|big| small.is_subset(big)),
+                    "consolidated cluster not inside some input cluster"
+                );
+            }
+        }
+
+        // Probabilities bounded on an arbitrary query.
+        let q = parse_query("SELECT name FROM T").unwrap();
+        for t in udi.answer(&q).combined() {
+            prop_assert!(t.probability > 0.0 && t.probability <= 1.0 + 1e-9);
+        }
+    }
+
+    /// Exposed-schema representatives are cluster members and clusters are
+    /// disjoint and complete.
+    #[test]
+    fn exposed_schema_well_formed(sources in schema_sets()) {
+        let mut catalog = Catalog::new();
+        for (i, attrs) in sources.iter().enumerate() {
+            let mut t = Table::new(format!("s{i}"), attrs.clone());
+            t.push_raw_row(attrs.iter().map(|_| "v")).unwrap();
+            catalog.add_source(t);
+        }
+        let udi = match udi::core::UdiSystem::setup(catalog, Default::default()) {
+            Ok(u) => u,
+            Err(_) => return Ok(()),
+        };
+        let mut seen = std::collections::HashSet::new();
+        for (rep, members) in udi.exposed_schema() {
+            prop_assert!(members.contains(&rep), "representative is a member");
+            for m in &members {
+                prop_assert!(seen.insert(m.clone()), "attribute {} in two clusters", m);
+            }
+        }
+    }
+}

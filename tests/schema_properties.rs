@@ -1,0 +1,150 @@
+//! Property tests for the schema-level algorithms (Algorithms 1–3) beyond
+//! what the unit tests in `udi-schema` cover: structural invariants that
+//! must hold for arbitrary similarity landscapes, not just the default
+//! matcher.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use udi::schema::{
+    build_similarity_graph, consolidate_schemas, enumerate_mediated_schemas, EdgeKind,
+    SchemaSet, UdiParams,
+};
+use udi::similarity::Similarity;
+
+/// A deterministic random similarity landscape over a fixed alphabet of
+/// attribute names, driven by a seed: every unordered pair gets a stable
+/// pseudo-random weight.
+struct RandomLandscape {
+    weights: HashMap<(String, String), f64>,
+}
+
+impl RandomLandscape {
+    fn new(names: &[&str], seed: u64) -> RandomLandscape {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut weights = HashMap::new();
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                let key = ((*a).min(*b).to_owned(), (*a).max(*b).to_owned());
+                // Mixture: mostly low, sometimes near the band, sometimes
+                // certain — so all three edge classes occur.
+                let w = match rng.gen_range(0..10) {
+                    0..=5 => rng.gen_range(0.0..0.8),
+                    6..=7 => rng.gen_range(0.83..0.87),
+                    _ => rng.gen_range(0.87..1.0),
+                };
+                weights.insert(key, w);
+            }
+        }
+        RandomLandscape { weights }
+    }
+}
+
+impl Similarity for RandomLandscape {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let key = (a.min(b).to_owned(), a.max(b).to_owned());
+        self.weights.get(&key).copied().unwrap_or(0.0)
+    }
+}
+
+const NAMES: &[&str] = &["a", "b", "c", "d", "e", "f", "g"];
+
+fn any_schema_set() -> SchemaSet {
+    // Every attribute in every source, so frequency filtering is inert and
+    // the graph covers the full alphabet.
+    SchemaSet::from_sources([("s1", NAMES.to_vec()), ("s2", NAMES.to_vec())])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    /// Algorithm 1 invariants on random landscapes:
+    /// - every enumerated schema partitions exactly the frequent attributes;
+    /// - every certain edge is honored by every schema;
+    /// - schemas are pairwise distinct;
+    /// - the count is bounded by 2^(#uncertain edges).
+    #[test]
+    fn algorithm_1_invariants(seed in 0u64..3000) {
+        let set = any_schema_set();
+        let sim = RandomLandscape::new(NAMES, seed);
+        let params = UdiParams::default();
+        let graph = build_similarity_graph(&set, &sim, &params);
+        let schemas = enumerate_mediated_schemas(&graph, &params);
+        prop_assert!(!schemas.is_empty());
+        let n_uncertain = graph.edges.iter().filter(|e| e.kind == EdgeKind::Uncertain).count();
+        prop_assert!(schemas.len() <= 1 << n_uncertain.min(params.max_uncertain_edges));
+
+        let universe: std::collections::BTreeSet<_> = graph.nodes.iter().copied().collect();
+        for m in &schemas {
+            prop_assert_eq!(m.attribute_set(), universe.clone());
+            for e in graph.edges.iter().filter(|e| e.kind == EdgeKind::Certain) {
+                prop_assert_eq!(
+                    m.cluster_of(e.a),
+                    m.cluster_of(e.b),
+                    "certain edge must be merged in every schema"
+                );
+            }
+        }
+        for (i, a) in schemas.iter().enumerate() {
+            for b in &schemas[i + 1..] {
+                prop_assert_ne!(a, b);
+            }
+        }
+    }
+
+    /// Consolidation is the coarsest common refinement: it refines every
+    /// input schema, and any pair of attributes clustered together in all
+    /// inputs stays together.
+    #[test]
+    fn consolidation_is_tight(seed in 0u64..3000) {
+        let set = any_schema_set();
+        let sim = RandomLandscape::new(NAMES, seed);
+        let params = UdiParams::default();
+        let graph = build_similarity_graph(&set, &sim, &params);
+        let schemas = enumerate_mediated_schemas(&graph, &params);
+        let t = consolidate_schemas(&schemas);
+
+        // Refinement.
+        for m in &schemas {
+            for small in t.clusters() {
+                prop_assert!(m.clusters().iter().any(|big| small.is_subset(big)));
+            }
+        }
+        // Tightness: pairs together everywhere stay together.
+        let attrs: Vec<_> = t.attribute_set().into_iter().collect();
+        for (i, &x) in attrs.iter().enumerate() {
+            for &y in &attrs[i + 1..] {
+                let together_everywhere =
+                    schemas.iter().all(|m| m.cluster_of(x) == m.cluster_of(y));
+                let together_in_t = t.cluster_of(x) == t.cluster_of(y);
+                prop_assert_eq!(together_everywhere, together_in_t, "{:?},{:?}", x, y);
+            }
+        }
+    }
+
+    /// The graph itself is sane: edges connect distinct frequent nodes,
+    /// weights fall in the declared bands.
+    #[test]
+    fn graph_invariants(seed in 0u64..3000) {
+        let set = any_schema_set();
+        let sim = RandomLandscape::new(NAMES, seed);
+        let params = UdiParams::default();
+        let graph = build_similarity_graph(&set, &sim, &params);
+        for e in &graph.edges {
+            prop_assert_ne!(e.a, e.b);
+            prop_assert!(graph.nodes.contains(&e.a) && graph.nodes.contains(&e.b));
+            match e.kind {
+                EdgeKind::Certain => prop_assert!(e.weight >= params.tau + params.epsilon),
+                EdgeKind::Uncertain => {
+                    prop_assert!(e.weight >= params.tau - params.epsilon);
+                    prop_assert!(e.weight < params.tau + params.epsilon);
+                }
+            }
+        }
+    }
+}
