@@ -52,7 +52,9 @@ fn tokens(text: &str) -> Vec<String> {
 /// Project a retrieved row onto the SELECT attributes by attribute-name
 /// identity; NULL where the source has no such attribute.
 fn project(catalog: &Catalog, rref: RowRef, query: &Query) -> AnswerTuple {
-    let table = catalog.source(rref.source).expect("row refs come from the index");
+    let table = catalog
+        .source(rref.source)
+        .expect("row refs come from the index");
     let row = &table.rows()[rref.row];
     let values: Vec<Value> = query
         .select
@@ -64,14 +66,20 @@ fn project(catalog: &Catalog, rref: RowRef, query: &Query) -> AnswerTuple {
                 .unwrap_or(Value::Null)
         })
         .collect();
-    AnswerTuple { values, probability: 1.0 }
+    AnswerTuple {
+        values,
+        probability: 1.0,
+    }
 }
 
 fn collect(catalog: &Catalog, rows: impl IntoIterator<Item = RowRef>, query: &Query) -> AnswerSet {
     let mut per_source: std::collections::BTreeMap<udi_store::SourceId, Vec<AnswerTuple>> =
         Default::default();
     for r in rows {
-        per_source.entry(r.source).or_default().push(project(catalog, r, query));
+        per_source
+            .entry(r.source)
+            .or_default()
+            .push(project(catalog, r, query));
     }
     let mut set = AnswerSet::new();
     for (sid, tuples) in per_source {
@@ -90,7 +98,10 @@ pub struct KeywordNaive<'a> {
 impl<'a> KeywordNaive<'a> {
     /// Index the catalog.
     pub fn new(catalog: &'a Catalog) -> Self {
-        KeywordNaive { catalog, index: KeywordIndex::build(catalog) }
+        KeywordNaive {
+            catalog,
+            index: KeywordIndex::build(catalog),
+        }
     }
 }
 
@@ -117,7 +128,10 @@ pub struct KeywordStruct<'a> {
 impl<'a> KeywordStruct<'a> {
     /// Index the catalog.
     pub fn new(catalog: &'a Catalog) -> Self {
-        KeywordStruct { catalog, index: KeywordIndex::build(catalog) }
+        KeywordStruct {
+            catalog,
+            index: KeywordIndex::build(catalog),
+        }
     }
 
     fn value_terms(&self, query: &Query) -> Vec<String> {
@@ -150,7 +164,10 @@ pub struct KeywordStrict<'a> {
 impl<'a> KeywordStrict<'a> {
     /// Index the catalog.
     pub fn new(catalog: &'a Catalog) -> Self {
-        KeywordStrict { catalog, index: KeywordIndex::build(catalog) }
+        KeywordStrict {
+            catalog,
+            index: KeywordIndex::build(catalog),
+        }
     }
 }
 
@@ -227,13 +244,11 @@ mod tests {
     fn strict_requires_all_value_terms() {
         let c = catalog();
         let strict = KeywordStrict::new(&c);
-        let q = parse_query("SELECT name FROM t WHERE name = 'Alice' AND city = 'Salem'")
-            .unwrap();
+        let q = parse_query("SELECT name FROM t WHERE name = 'Alice' AND city = 'Salem'").unwrap();
         // No row contains both "alice" and "salem".
         assert!(strict.answer(&q).is_empty());
-        let q2 =
-            parse_query("SELECT name FROM t WHERE name = 'Alice' AND city = 'Springfield'")
-                .unwrap();
+        let q2 = parse_query("SELECT name FROM t WHERE name = 'Alice' AND city = 'Springfield'")
+            .unwrap();
         assert_eq!(strict.answer(&q2).len(), 1);
     }
 

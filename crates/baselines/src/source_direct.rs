@@ -91,13 +91,19 @@ mod tests {
         // A source storing a number as text answers `> 30` wrongly for "9".
         let mut c = Catalog::new();
         let mut t = Table::new("course", ["title", "enrollment"]);
-        t.push_row(vec![Value::text("Algebra"), Value::text("9")]).unwrap();
-        t.push_row(vec![Value::text("Calculus"), Value::Int(45)]).unwrap();
+        t.push_row(vec![Value::text("Algebra"), Value::text("9")])
+            .unwrap();
+        t.push_row(vec![Value::text("Calculus"), Value::Int(45)])
+            .unwrap();
         c.add_source(t);
         let s = SourceDirect::new(&c);
         let q = parse_query("SELECT title FROM t WHERE enrollment > 30").unwrap();
-        let names: Vec<String> =
-            s.answer(&q).flat().iter().map(|t| t.values[0].to_string()).collect();
+        let names: Vec<String> = s
+            .answer(&q)
+            .flat()
+            .iter()
+            .map(|t| t.values[0].to_string())
+            .collect();
         // "9" > 30 lexicographically: the incorrect answer appears.
         assert!(names.contains(&"Algebra".to_owned()));
         assert!(names.contains(&"Calculus".to_owned()));

@@ -5,9 +5,7 @@ use std::collections::BTreeSet;
 
 use udi_core::{UdiConfig, UdiError, UdiSystem};
 use udi_query::{AnswerSet, Query};
-use udi_schema::{
-    generate_pmapping, MediatedSchema, PMedSchema, SchemaSet, SimilarityMatrix,
-};
+use udi_schema::{generate_pmapping, MediatedSchema, PMedSchema, SchemaSet, SimilarityMatrix};
 use udi_store::Catalog;
 
 use crate::Integrator;

@@ -14,7 +14,11 @@ fn complete(k: usize) -> CorrespondenceSet {
     let mut raw = Vec::new();
     for i in 0..k {
         for j in 0..k {
-            let w = if i == j { 0.9 } else { 0.1 + 0.01 * (i + j) as f64 };
+            let w = if i == j {
+                0.9
+            } else {
+                0.1 + 0.01 * (i + j) as f64
+            };
             raw.push(Correspondence::new(i, j, w));
         }
     }

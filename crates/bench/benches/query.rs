@@ -14,7 +14,11 @@ fn bench_query(c: &mut Criterion) {
 
     let gen = generate(
         Domain::Car,
-        &GenConfig { n_sources: Some(200), seed: 2008, ..GenConfig::default() },
+        &GenConfig {
+            n_sources: Some(200),
+            seed: 2008,
+            ..GenConfig::default()
+        },
     );
     let udi = UdiSystem::setup(gen.catalog.clone(), UdiConfig::default()).expect("setup");
     let queries = generate_workload(&gen, 10, 2009);

@@ -15,13 +15,15 @@ fn bench_setup(c: &mut Criterion) {
     for &n in &[50usize, 100, 200] {
         let gen = generate(
             Domain::Car,
-            &GenConfig { n_sources: Some(n), seed: 2008, ..GenConfig::default() },
+            &GenConfig {
+                n_sources: Some(n),
+                seed: 2008,
+                ..GenConfig::default()
+            },
         );
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &gen, |b, gen| {
-            b.iter(|| {
-                UdiSystem::setup(gen.catalog.clone(), UdiConfig::default()).expect("setup")
-            });
+            b.iter(|| UdiSystem::setup(gen.catalog.clone(), UdiConfig::default()).expect("setup"));
         });
     }
     group.finish();
@@ -32,7 +34,11 @@ fn bench_setup_stages(c: &mut Criterion) {
     // p-mapping generation (the paper's observation).
     let gen = generate(
         Domain::Bib,
-        &GenConfig { n_sources: Some(100), seed: 2008, ..GenConfig::default() },
+        &GenConfig {
+            n_sources: Some(100),
+            seed: 2008,
+            ..GenConfig::default()
+        },
     );
     let mut set = udi_schema::SchemaSet::default();
     for (_, t) in gen.catalog.iter_sources() {

@@ -20,12 +20,7 @@ const PAIRS: &[(&str, &str)] = &[
 
 fn bench_measures(c: &mut Criterion) {
     c.bench_function("jaro_winkler_8pairs", |b| {
-        b.iter(|| {
-            PAIRS
-                .iter()
-                .map(|(x, y)| jaro_winkler(x, y))
-                .sum::<f64>()
-        });
+        b.iter(|| PAIRS.iter().map(|(x, y)| jaro_winkler(x, y)).sum::<f64>());
     });
     c.bench_function("levenshtein_8pairs", |b| {
         b.iter(|| {

@@ -21,9 +21,9 @@ use udi_eval::{
 use udi_maxent::CorrespondenceSet;
 use udi_query::Query;
 use udi_schema::{
-    assign_probabilities, build_p_med_schema, enumerate_mediated_schemas,
-    weighted_correspondences, build_similarity_graph, Mapping, MediatedSchema, PMapping,
-    PMedSchema, SchemaSet, SimilarityMatrix, UdiParams,
+    assign_probabilities, build_p_med_schema, build_similarity_graph, enumerate_mediated_schemas,
+    weighted_correspondences, Mapping, MediatedSchema, PMapping, PMedSchema, SchemaSet,
+    SimilarityMatrix, UdiParams,
 };
 use udi_similarity::AttributeSimilarity;
 
@@ -44,11 +44,7 @@ fn evaluate(udi: &UdiSystem, gen: &udi_datagen::GeneratedDomain, queries: &[Quer
 /// only sees *which* tuples have nonzero probability), this metric is
 /// sensitive to how probability mass is assigned — the thing the
 /// max-entropy and Algorithm 2 choices actually control.
-fn ranking_quality(
-    udi: &UdiSystem,
-    gen: &udi_datagen::GeneratedDomain,
-    queries: &[Query],
-) -> f64 {
+fn ranking_quality(udi: &UdiSystem, gen: &udi_datagen::GeneratedDomain, queries: &[Query]) -> f64 {
     let golden = GoldenIntegrator::new(&gen.catalog, &gen.truth);
     let levels: Vec<f64> = (1..=10).map(|k| k as f64 / 10.0).collect();
     let mut total = 0.0;
@@ -59,7 +55,10 @@ fn ranking_quality(
             continue;
         }
         let curve = rp_curve(&udi.answer(q).combined(), &rows);
-        total += levels.iter().map(|&r| precision_at_recall(&curve, r)).sum::<f64>()
+        total += levels
+            .iter()
+            .map(|&r| precision_at_recall(&curve, r))
+            .sum::<f64>()
             / levels.len() as f64;
         n += 1;
     }
@@ -85,8 +84,7 @@ fn uniform_pmapping(
 ) -> PMapping {
     let raw = weighted_correspondences(source, med, matrix, params);
     let corrs = CorrespondenceSet::normalized(raw).expect("valid");
-    let matchings =
-        udi_maxent::enumerate_matchings(&corrs, params.mapping_cap).expect("under cap");
+    let matchings = udi_maxent::enumerate_matchings(&corrs, params.mapping_cap).expect("under cap");
     let p = 1.0 / matchings.len() as f64;
     let list = corrs.correspondences();
     let mappings: Vec<(Mapping, f64)> = matchings
@@ -94,7 +92,8 @@ fn uniform_pmapping(
         .map(|m| {
             (
                 Mapping::one_to_one(
-                    m.iter().map(|&c| (source.attrs[list[c].source], list[c].target)),
+                    m.iter()
+                        .map(|&c| (source.attrs[list[c].source], list[c].target)),
                 ),
                 p,
             )
@@ -111,7 +110,11 @@ fn main() {
     let gen = generate_with_concepts(
         Domain::People,
         ambiguous_people_concepts(),
-        &GenConfig { n_sources: Some(49), seed: seed(), ..GenConfig::default() },
+        &GenConfig {
+            n_sources: Some(49),
+            seed: seed(),
+            ..GenConfig::default()
+        },
     );
     let queries = generate_workload(&gen, 12, seed().wrapping_add(1));
     let params = UdiParams::default();
@@ -204,11 +207,18 @@ fn main() {
     let domain = Domain::Bib;
     let gen = generate(
         domain,
-        &GenConfig { n_sources: Some(sources_for(domain)), seed: seed(), ..GenConfig::default() },
+        &GenConfig {
+            n_sources: Some(sources_for(domain)),
+            seed: seed(),
+            ..GenConfig::default()
+        },
     );
     let queries = generate_workload(&gen, 10, seed().wrapping_add(1));
     println!("\n## 3. similarity measure (Bib domain)");
-    println!("{:<22} {:>9} {:>9} {:>9}", "Measure", "Precision", "Recall", "F-measure");
+    println!(
+        "{:<22} {:>9} {:>9} {:>9}",
+        "Measure", "Precision", "Recall", "F-measure"
+    );
     for kind in [
         MeasureKind::Default,
         MeasureKind::JaroWinkler,
@@ -216,10 +226,17 @@ fn main() {
         MeasureKind::TrigramJaccard,
         MeasureKind::TokenHybrid,
     ] {
-        let config = UdiConfig { measure: kind, ..UdiConfig::default() };
+        let config = UdiConfig {
+            measure: kind,
+            ..UdiConfig::default()
+        };
         match UdiSystem::setup(gen.catalog.clone(), config) {
             Ok(udi) => {
-                println!("{:<22} {}", format!("{kind:?}"), fmt_prf(evaluate(&udi, &gen, &queries)))
+                println!(
+                    "{:<22} {}",
+                    format!("{kind:?}"),
+                    fmt_prf(evaluate(&udi, &gen, &queries))
+                )
             }
             Err(e) => println!("{:<22} setup failed: {e}", format!("{kind:?}")),
         }

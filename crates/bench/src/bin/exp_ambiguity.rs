@@ -10,18 +10,24 @@
 //! the regime where the p-med-schema's extra expressive power
 //! (Theorem 3.5) is visible in answers.
 
-use udi_bench::{ambiguous_people_concepts, banner, fmt_prf, seed};
 use udi_baselines::{Integrator, SingleMed, SourceDirect, TopMapping, Udi};
+use udi_bench::{ambiguous_people_concepts, banner, fmt_prf, seed};
 use udi_core::{UdiConfig, UdiSystem};
 use udi_datagen::{generate_with_concepts, Domain, GenConfig};
-use udi_eval::{generate_workload, precision_at_recall, rp_curve, score, GoldenIntegrator, Metrics};
+use udi_eval::{
+    generate_workload, precision_at_recall, rp_curve, score, GoldenIntegrator, Metrics,
+};
 
 fn main() {
     banner("Extension: Example 2.1 ambiguity stress corpus (49 sources)");
     let gen = generate_with_concepts(
         Domain::People,
         ambiguous_people_concepts(),
-        &GenConfig { n_sources: Some(49), seed: seed(), ..GenConfig::default() },
+        &GenConfig {
+            n_sources: Some(49),
+            seed: seed(),
+            ..GenConfig::default()
+        },
     );
     let amb: Vec<&str> = gen
         .truth
@@ -36,7 +42,10 @@ fn main() {
     let golden = GoldenIntegrator::new(&gen.catalog, &gen.truth);
     let queries = generate_workload(&gen, 12, seed().wrapping_add(1));
 
-    println!("\n{:<11} {:>9} {:>9} {:>9}", "Approach", "Precision", "Recall", "F-measure");
+    println!(
+        "\n{:<11} {:>9} {:>9} {:>9}",
+        "Approach", "Precision", "Recall", "F-measure"
+    );
     let approaches: Vec<Box<dyn Integrator + '_>> = vec![
         Box::new(Udi(&udi)),
         Box::new(sm),
@@ -59,9 +68,7 @@ fn main() {
     println!("\nR-P comparison (mean interpolated precision at recall levels):");
     let levels: Vec<f64> = (1..=10).map(|k| k as f64 / 10.0).collect();
     let sm2 = SingleMed::setup(gen.catalog.clone(), UdiConfig::default()).expect("setup");
-    for (label, system) in
-        [("UDI", &udi as &UdiSystem), ("SingleMed", sm2.system())]
-    {
+    for (label, system) in [("UDI", &udi as &UdiSystem), ("SingleMed", sm2.system())] {
         let mut mean = 0.0;
         let mut n = 0;
         for q in &queries {
@@ -70,7 +77,10 @@ fn main() {
                 continue;
             }
             let curve = rp_curve(&system.answer(q).combined(), &rows);
-            mean += levels.iter().map(|&r| precision_at_recall(&curve, r)).sum::<f64>()
+            mean += levels
+                .iter()
+                .map(|&r| precision_at_recall(&curve, r))
+                .sum::<f64>()
                 / levels.len() as f64;
             n += 1;
         }

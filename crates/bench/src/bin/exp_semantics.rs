@@ -18,13 +18,20 @@ fn run(label: &str, gen: &GeneratedDomain) {
     let golden = GoldenIntegrator::new(&gen.catalog, &gen.truth);
     let queries = generate_workload(gen, 10, seed().wrapping_add(1));
     println!("\n-- {label} --");
-    println!("{:<10} {:>9} {:>9} {:>9} {:>11}", "Semantics", "Precision", "Recall", "F-measure", "Δ answers");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>11}",
+        "Semantics", "Precision", "Recall", "F-measure", "Δ answers"
+    );
     let mut divergent = 0usize;
     let metrics = |by_tuple: bool| -> Metrics {
         let per_query: Vec<Metrics> = queries
             .iter()
             .map(|q| {
-                let ans = if by_tuple { udi.answer_by_tuple(q) } else { udi.answer(q) };
+                let ans = if by_tuple {
+                    udi.answer_by_tuple(q)
+                } else {
+                    udi.answer(q)
+                };
                 let rows = golden.golden_rows(q);
                 score(ans.flat(), rows.iter())
             })
@@ -45,7 +52,12 @@ fn run(label: &str, gen: &GeneratedDomain) {
         }
     }
     println!("{:<10} {}", "by-table", fmt_prf(metrics(false)));
-    println!("{:<10} {}       {divergent}/{} queries diverge", "by-tuple", fmt_prf(metrics(true)), queries.len());
+    println!(
+        "{:<10} {}       {divergent}/{} queries diverge",
+        "by-tuple",
+        fmt_prf(metrics(true)),
+        queries.len()
+    );
 }
 
 fn main() {
@@ -63,7 +75,11 @@ fn main() {
     let amb = generate_with_concepts(
         Domain::People,
         ambiguous_people_concepts(),
-        &GenConfig { n_sources: Some(49), seed: seed(), ..GenConfig::default() },
+        &GenConfig {
+            n_sources: Some(49),
+            seed: seed(),
+            ..GenConfig::default()
+        },
     );
     run("Example 2.1 ambiguity corpus", &amb);
 

@@ -30,10 +30,17 @@ fn main() {
     let domain = Domain::Bib;
     let gen = generate(
         domain,
-        &GenConfig { n_sources: Some(sources_for(domain)), seed: seed(), ..GenConfig::default() },
+        &GenConfig {
+            n_sources: Some(sources_for(domain)),
+            seed: seed(),
+            ..GenConfig::default()
+        },
     );
 
-    println!("{:<28} {:>9} {:>9} {:>9}", "Configuration", "Precision", "Recall", "F-measure");
+    println!(
+        "{:<28} {:>9} {:>9} {:>9}",
+        "Configuration", "Precision", "Recall", "F-measure"
+    );
     let base = UdiConfig::default();
     match evaluate(base.clone(), &gen) {
         Ok(m) => println!("{:<28} {}", "defaults", fmt_prf(m)),

@@ -6,10 +6,10 @@
 //! on every domain, against the approximate golden standard (as in §7.3,
 //! which reuses the §7.2 methodology).
 
-use udi_bench::{banner, fmt_prf, seed, sources_for};
 use udi_baselines::{
     Integrator, KeywordNaive, KeywordStrict, KeywordStruct, SourceDirect, TopMapping, Udi,
 };
+use udi_bench::{banner, fmt_prf, seed, sources_for};
 use udi_datagen::Domain;
 use udi_eval::harness::prepare;
 
@@ -19,7 +19,10 @@ fn main() {
         let d = prepare(domain, Some(sources_for(domain)), seed()).expect("setup");
         let golden = d.approximate_golden_rows();
         println!("\n-- {} --", domain.name());
-        println!("{:<14} {:>9} {:>9} {:>9}", "Approach", "Precision", "Recall", "F-measure");
+        println!(
+            "{:<14} {:>9} {:>9} {:>9}",
+            "Approach", "Precision", "Recall", "F-measure"
+        );
 
         let approaches: Vec<Box<dyn Integrator + '_>> = vec![
             Box::new(Udi(&d.udi)),

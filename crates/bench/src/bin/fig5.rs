@@ -3,8 +3,8 @@
 //! `UnionAll`). "We did not plot the measures for UnionAll in the Bib domain
 //! as this approach ran out of memory in system setup."
 
-use udi_bench::{banner, fmt_prf, seed, sources_for};
 use udi_baselines::{Integrator, SingleMed, Udi, UnionAll};
+use udi_bench::{banner, fmt_prf, seed, sources_for};
 use udi_core::UdiConfig;
 use udi_datagen::Domain;
 use udi_eval::harness::prepare;
@@ -15,7 +15,10 @@ fn main() {
         let d = prepare(domain, Some(sources_for(domain)), seed()).expect("setup");
         let golden = d.approximate_golden_rows();
         println!("\n-- {} --", domain.name());
-        println!("{:<11} {:>9} {:>9} {:>9}", "Approach", "Precision", "Recall", "F-measure");
+        println!(
+            "{:<11} {:>9} {:>9} {:>9}",
+            "Approach", "Precision", "Recall", "F-measure"
+        );
 
         let m = d.evaluate(&Udi(&d.udi), &golden);
         println!("{:<11} {}", "UDI", fmt_prf(m));

@@ -5,8 +5,8 @@
 //! recall is varied by taking top-K ranked answers and the precision of each
 //! prefix is reported (§7.4).
 
-use udi_bench::{banner, seed, sources_for};
 use udi_baselines::{Integrator, SingleMed, Udi};
+use udi_bench::{banner, seed, sources_for};
 use udi_core::UdiConfig;
 use udi_datagen::Domain;
 use udi_eval::harness::prepare;
@@ -31,9 +31,15 @@ fn pooled_curve(
     levels
         .iter()
         .map(|&r| {
-            let p = curves.iter().map(|c| precision_at_recall(c, r)).sum::<f64>()
+            let p = curves
+                .iter()
+                .map(|c| precision_at_recall(c, r))
+                .sum::<f64>()
                 / curves.len().max(1) as f64;
-            RpPoint { recall: r, precision: p }
+            RpPoint {
+                recall: r,
+                precision: p,
+            }
         })
         .collect()
 }
@@ -52,7 +58,10 @@ fn main() {
 
     println!("{:>7} {:>12} {:>12}", "Recall", "UDI P", "SingleMed P");
     for (u, s) in udi_curve.iter().zip(&sm_curve) {
-        println!("{:>7.1} {:>12.3} {:>12.3}", u.recall, u.precision, s.precision);
+        println!(
+            "{:>7.1} {:>12.3} {:>12.3}",
+            u.recall, u.precision, s.precision
+        );
     }
     let auc = |c: &[RpPoint]| c.iter().map(|p| p.precision).sum::<f64>() / c.len() as f64;
     println!(

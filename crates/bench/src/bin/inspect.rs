@@ -4,8 +4,8 @@
 //! Usage: `inspect [movie|car|people|course|bib]` (default: people), with
 //! the usual `UDI_SCALE` / `UDI_SEED` environment overrides.
 
-use udi_bench::{banner, seed, sources_for};
 use udi_baselines::Udi;
+use udi_bench::{banner, seed, sources_for};
 use udi_datagen::Domain;
 use udi_eval::harness::prepare;
 use udi_eval::score;
@@ -22,7 +22,10 @@ fn main() {
     let d = prepare(domain, Some(sources_for(domain)), seed()).expect("setup");
     let vocab = d.udi.schema_set().vocab();
 
-    println!("\n## p-med-schema ({} possible schemas)", d.udi.pmed().len());
+    println!(
+        "\n## p-med-schema ({} possible schemas)",
+        d.udi.pmed().len()
+    );
     for (m, p) in d.udi.pmed().schemas() {
         println!("  Pr={p:.3}  {}", m.display(vocab));
     }
@@ -51,8 +54,7 @@ fn main() {
             for (sid, tuples) in ans.by_source() {
                 for t in tuples {
                     if !g.contains(&t.values) && shown < 3 {
-                        let vals: Vec<String> =
-                            t.values.iter().map(ToString::to_string).collect();
+                        let vals: Vec<String> = t.values.iter().map(ToString::to_string).collect();
                         let table = d.gen.catalog.source(*sid).unwrap();
                         println!(
                             "      wrong (p={:.3}) from {} {:?}: ({})",

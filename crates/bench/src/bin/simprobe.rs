@@ -43,7 +43,11 @@ fn main() {
                 }
                 let w = sim.similarity(a, b);
                 if w >= 0.80 {
-                    let marker = if ka == kb { "same-concept" } else { "CROSS-CONCEPT" };
+                    let marker = if ka == kb {
+                        "same-concept"
+                    } else {
+                        "CROSS-CONCEPT"
+                    };
                     println!("  {w:.4} [{:>9}] {a:?} ~ {b:?}  ({marker})", class(w));
                 }
             }

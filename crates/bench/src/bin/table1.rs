@@ -15,7 +15,14 @@ fn main() {
     );
     for domain in Domain::all() {
         let n = sources_for(domain);
-        let gen = generate(domain, &GenConfig { n_sources: Some(n), seed: seed(), ..GenConfig::default() });
+        let gen = generate(
+            domain,
+            &GenConfig {
+                n_sources: Some(n),
+                seed: seed(),
+                ..GenConfig::default()
+            },
+        );
         let frequent = gen.catalog.frequent_attributes(0.10).len();
         println!(
             "{:<8} {:>6} {:>8} {:>10} {:>10}  {}",

@@ -7,14 +7,17 @@
 //! (correct answers among those returned by UDI or Source), exactly as in
 //! the paper.
 
-use udi_bench::{banner, fmt_prf, seed, sources_for};
 use udi_baselines::Udi;
+use udi_bench::{banner, fmt_prf, seed, sources_for};
 use udi_datagen::Domain;
 use udi_eval::harness::prepare;
 
 fn main() {
     banner("Table 2: UDI vs manual integration (P / R / F per domain)");
-    println!("{:<10} {:>9} {:>9} {:>9}", "Domain", "Precision", "Recall", "F-measure");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9}",
+        "Domain", "Precision", "Recall", "F-measure"
+    );
 
     println!("--- golden standard ---");
     for domain in [Domain::People, Domain::Bib] {
@@ -25,7 +28,13 @@ fn main() {
     }
 
     println!("--- approximate golden standard ---");
-    for domain in [Domain::Movie, Domain::Car, Domain::Course, Domain::People, Domain::Bib] {
+    for domain in [
+        Domain::Movie,
+        Domain::Car,
+        Domain::Course,
+        Domain::People,
+        Domain::Bib,
+    ] {
         let d = prepare(domain, Some(sources_for(domain)), seed()).expect("setup");
         let approx = d.approximate_golden_rows();
         let m = d.evaluate(&Udi(&d.udi), &approx);

@@ -19,7 +19,10 @@ pub fn scale() -> f64 {
 
 /// The corpus seed from `UDI_SEED` (default 2008, the venue year).
 pub fn seed() -> u64 {
-    std::env::var("UDI_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2008)
+    std::env::var("UDI_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2008)
 }
 
 /// Scaled source count for a domain (at least 10 sources).
@@ -94,7 +97,12 @@ pub fn ambiguous_people_concepts() -> Vec<udi_datagen::ConceptSpec> {
 
 /// Format a metrics triple the way the paper's tables do.
 pub fn fmt_prf(m: udi_eval::Metrics) -> String {
-    format!("{:>9.3} {:>9.3} {:>9.3}", m.precision, m.recall, m.f_measure())
+    format!(
+        "{:>9.3} {:>9.3} {:>9.3}",
+        m.precision,
+        m.recall,
+        m.f_measure()
+    )
 }
 
 #[cfg(test)]
@@ -110,7 +118,10 @@ mod tests {
 
     #[test]
     fn fmt_prf_is_fixed_width() {
-        let s = fmt_prf(udi_eval::Metrics { precision: 1.0, recall: 0.5 });
+        let s = fmt_prf(udi_eval::Metrics {
+            precision: 1.0,
+            recall: 0.5,
+        });
         assert_eq!(s.split_whitespace().count(), 3);
     }
 }

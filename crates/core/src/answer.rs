@@ -16,12 +16,12 @@ impl UdiSystem {
     /// referencing an unknown or unclustered (infrequent) attribute yields
     /// no answers from this path.
     pub fn answer(&self, query: &Query) -> AnswerSet {
-        let Some(clusters) = self.resolve_clusters(query, &self.consolidated) else {
+        let Some(clusters) = self.resolve_clusters(query, self.consolidated()) else {
             return AnswerSet::new();
         };
         let mut set = AnswerSet::new();
-        for (sid, table) in self.catalog.iter_sources() {
-            let pm = &self.cons_pmappings[sid.0 as usize];
+        for (sid, table) in self.catalog().iter_sources() {
+            let pm = self.consolidated_pmapping(sid.0 as usize);
             let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
             for (m, p) in pm.mappings() {
                 let sig = binding_signature(m, &clusters);
@@ -50,10 +50,12 @@ impl UdiSystem {
         if resolved.iter().all(Option::is_none) {
             return AnswerSet::new();
         }
-        for (sid, table) in self.catalog.iter_sources() {
+        for (sid, table) in self.catalog().iter_sources() {
             let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
             for (i, (_, p_schema)) in self.pmed().schemas().iter().enumerate() {
-                let Some(clusters) = &resolved[i] else { continue };
+                let Some(clusters) = &resolved[i] else {
+                    continue;
+                };
                 for (m, p) in self.pmapping(sid.0 as usize, i).mappings() {
                     let sig = binding_signature(m, clusters);
                     *pooled.entry(sig).or_insert(0.0) += p * p_schema;
@@ -72,12 +74,12 @@ impl UdiSystem {
     /// recall) and bets everything on the top mapping being right (erratic
     /// precision), which is exactly the behaviour the paper reports.
     pub fn answer_top_mapping(&self, query: &Query) -> AnswerSet {
-        let Some(clusters) = self.resolve_clusters(query, &self.consolidated) else {
+        let Some(clusters) = self.resolve_clusters(query, self.consolidated()) else {
             return AnswerSet::new();
         };
         let mut set = AnswerSet::new();
-        for (sid, table) in self.catalog.iter_sources() {
-            let pm = &self.cons_pmappings[sid.0 as usize];
+        for (sid, table) in self.catalog().iter_sources() {
+            let pm = self.consolidated_pmapping(sid.0 as usize);
             let top = pm.top_mapping();
             let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
             pooled.insert(binding_signature(top, &clusters), 1.0);
@@ -102,13 +104,13 @@ impl UdiSystem {
     /// mapping probabilities; by-tuple combines them as independent
     /// events).
     pub fn answer_by_tuple(&self, query: &Query) -> AnswerSet {
-        let Some(clusters) = self.resolve_clusters(query, &self.consolidated) else {
+        let Some(clusters) = self.resolve_clusters(query, self.consolidated()) else {
             return AnswerSet::new();
         };
         let attrs = query.referenced_attributes();
         let mut set = AnswerSet::new();
-        for (sid, table) in self.catalog.iter_sources() {
-            let pm = &self.cons_pmappings[sid.0 as usize];
+        for (sid, table) in self.catalog().iter_sources() {
+            let pm = self.consolidated_pmapping(sid.0 as usize);
             let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
             for (m, p) in pm.mappings() {
                 let sig = binding_signature(m, &clusters);
@@ -128,9 +130,7 @@ impl UdiSystem {
                     let id = id.expect("checked above");
                     binding.bind(*a, self.schema_set().vocab().name(id));
                 }
-                for (ri, tuple) in
-                    udi_query::execute_with_binding_indexed(table, query, &binding)
-                {
+                for (ri, tuple) in udi_query::execute_with_binding_indexed(table, query, &binding) {
                     let key = (ri, tuple);
                     match per_row.get_mut(&key) {
                         Some(q) => *q += p,
@@ -158,7 +158,10 @@ impl UdiSystem {
                 .into_iter()
                 .map(|values| {
                     let probability = combined[&values];
-                    udi_query::AnswerTuple { values, probability }
+                    udi_query::AnswerTuple {
+                        values,
+                        probability,
+                    }
                 })
                 .collect();
             set.add_source(sid, tuples);
@@ -175,13 +178,16 @@ impl UdiSystem {
     /// (that would need entity resolution; the paper's union model treats
     /// sources independently).
     pub fn answer_aggregate(&self, query: &udi_query::AggregateQuery) -> AnswerSet {
-        let referenced: Vec<String> =
-            query.referenced_attributes().into_iter().map(str::to_owned).collect();
+        let referenced: Vec<String> = query
+            .referenced_attributes()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
         let clusters: Option<Vec<(String, usize)>> = referenced
             .iter()
             .map(|a| {
                 let id = self.schema_set().vocab().id_of(a)?;
-                let cluster = self.consolidated.cluster_of(id)?;
+                let cluster = self.consolidated().cluster_of(id)?;
                 Some((a.clone(), cluster))
             })
             .collect();
@@ -189,8 +195,8 @@ impl UdiSystem {
             return AnswerSet::new();
         };
         let mut set = AnswerSet::new();
-        for (sid, table) in self.catalog.iter_sources() {
-            let pm = &self.cons_pmappings[sid.0 as usize];
+        for (sid, table) in self.catalog().iter_sources() {
+            let pm = self.consolidated_pmapping(sid.0 as usize);
             let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
             for (m, p) in pm.mappings() {
                 let sig = binding_signature(m, &clusters);
@@ -208,8 +214,7 @@ impl UdiSystem {
                     let id = id.expect("checked above");
                     binding.bind(a.clone(), self.schema_set().vocab().name(id));
                 }
-                let rows =
-                    udi_query::execute_aggregate_with_binding(table, query, &binding);
+                let rows = udi_query::execute_aggregate_with_binding(table, query, &binding);
                 acc.add_mapping(&rows, p);
             }
             set.add_source(sid, acc.finish());
@@ -224,13 +229,16 @@ impl UdiSystem {
     /// administrator exactly where probability mass goes before they
     /// correct anything.
     pub fn explain(&self, query: &Query) -> Explanation {
-        let Some(clusters) = self.resolve_clusters(query, &self.consolidated) else {
-            return Explanation { query: query.to_string(), sources: Vec::new() };
+        let Some(clusters) = self.resolve_clusters(query, self.consolidated()) else {
+            return Explanation {
+                query: query.to_string(),
+                sources: Vec::new(),
+            };
         };
         let attrs = query.referenced_attributes();
         let mut sources = Vec::new();
-        for (sid, table) in self.catalog.iter_sources() {
-            let pm = &self.cons_pmappings[sid.0 as usize];
+        for (sid, table) in self.catalog().iter_sources() {
+            let pm = self.consolidated_pmapping(sid.0 as usize);
             let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
             for (m, p) in pm.mappings() {
                 let sig = binding_signature(m, &clusters);
@@ -240,7 +248,9 @@ impl UdiSystem {
             let mut unmapped = 0.0;
             let mut entries: Vec<(&Vec<Option<AttrId>>, &f64)> = pooled.iter().collect();
             entries.sort_by(|a, b| {
-                b.1.partial_cmp(a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(b.0))
+                b.1.partial_cmp(a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(b.0))
             });
             for (sig, &p) in entries {
                 if p <= 0.0 {
@@ -265,7 +275,11 @@ impl UdiSystem {
                     })
                     .collect();
                 let n_rows = execute_with_binding(table, query, &binding).len();
-                bindings.push(BindingExplanation { probability: p, pairs, n_rows });
+                bindings.push(BindingExplanation {
+                    probability: p,
+                    pairs,
+                    n_rows,
+                });
             }
             if !bindings.is_empty() || unmapped < 1.0 - 1e-12 {
                 sources.push(SourceExplanation {
@@ -276,7 +290,10 @@ impl UdiSystem {
                 });
             }
         }
-        Explanation { query: query.to_string(), sources }
+        Explanation {
+            query: query.to_string(),
+            sources,
+        }
     }
 
     /// Map each referenced query attribute to its cluster index in `med`.
@@ -339,8 +356,7 @@ impl std::fmt::Display for Explanation {
         for s in &self.sources {
             writeln!(f, "  {} ({}):", s.source, s.source_name)?;
             for b in &s.bindings {
-                let pairs: Vec<String> =
-                    b.pairs.iter().map(|(q, a)| format!("{q}→{a}")).collect();
+                let pairs: Vec<String> = b.pairs.iter().map(|(q, a)| format!("{q}→{a}")).collect();
                 writeln!(
                     f,
                     "    p={:.3}  [{}]  {} rows",
@@ -350,7 +366,11 @@ impl std::fmt::Display for Explanation {
                 )?;
             }
             if s.unmapped_probability > 1e-12 {
-                writeln!(f, "    p={:.3}  (no complete binding)", s.unmapped_probability)?;
+                writeln!(
+                    f,
+                    "    p={:.3}  (no complete binding)",
+                    s.unmapped_probability
+                )?;
             }
         }
         Ok(())
@@ -406,8 +426,14 @@ mod tests {
     fn example_2_1() -> UdiSystem {
         let mut catalog = Catalog::new();
         let mut s1 = Table::new("S1", ["name", "hPhone", "hAddr", "oPhone", "oAddr"]);
-        s1.push_raw_row(["Alice", "123-4567", "123, A Ave.", "765-4321", "456, B Ave."])
-            .unwrap();
+        s1.push_raw_row([
+            "Alice",
+            "123-4567",
+            "123, A Ave.",
+            "765-4321",
+            "456, B Ave.",
+        ])
+        .unwrap();
         // A second schema-only source so that `phone`/`address` exist in
         // the vocabulary (S2 of the example; its data is irrelevant here).
         let s2 = Table::new("S2", ["name", "phone", "address"]);
@@ -559,9 +585,7 @@ mod tests {
         let find = |phone: &str, addr: &str| -> f64 {
             answers
                 .iter()
-                .find(|t| {
-                    t.values[1] == Value::text(phone) && t.values[2] == Value::text(addr)
-                })
+                .find(|t| t.values[1] == Value::text(phone) && t.values[2] == Value::text(addr))
                 .map(|t| t.probability)
                 .unwrap_or(0.0)
         };
@@ -635,10 +659,8 @@ mod tests {
         catalog.add_source(t3);
         let udi = UdiSystem::setup(catalog, UdiConfig::default()).unwrap();
 
-        let q = udi_query::parse_aggregate_query(
-            "SELECT genre, COUNT(*) FROM t GROUP BY genre",
-        )
-        .unwrap();
+        let q = udi_query::parse_aggregate_query("SELECT genre, COUNT(*) FROM t GROUP BY genre")
+            .unwrap();
         let ans = udi.answer_aggregate(&q);
         // Source a: (Drama,2), (Comedy,1); source b via `genres` cluster:
         // (Drama,1); source c: (Comedy,1).
@@ -649,7 +671,10 @@ mod tests {
         };
         assert!(find("Drama", 2), "source a groups");
         assert!(find("Comedy", 1));
-        assert!(find("Drama", 1), "source b reached through the genres variant");
+        assert!(
+            find("Drama", 1),
+            "source b reached through the genres variant"
+        );
         // Combined view merges identical (Comedy, 1) rows from a and c by
         // disjunction.
         let combined = ans.combined();
@@ -663,10 +688,8 @@ mod tests {
     #[test]
     fn aggregate_with_predicate_and_ungrouped() {
         let udi = example_2_1();
-        let q = udi_query::parse_aggregate_query(
-            "SELECT COUNT(*) FROM p WHERE name = 'Alice'",
-        )
-        .unwrap();
+        let q = udi_query::parse_aggregate_query("SELECT COUNT(*) FROM p WHERE name = 'Alice'")
+            .unwrap();
         let ans = udi.answer_aggregate(&q);
         // S1 contains Alice once; S2 has no rows.
         let flat = ans.flat();
@@ -676,10 +699,7 @@ mod tests {
     #[test]
     fn aggregate_over_unknown_attribute_is_empty() {
         let udi = example_2_1();
-        let q = udi_query::parse_aggregate_query(
-            "SELECT COUNT(salary) FROM p",
-        )
-        .unwrap();
+        let q = udi_query::parse_aggregate_query("SELECT COUNT(salary) FROM p").unwrap();
         assert!(udi.answer_aggregate(&q).is_empty());
     }
 
@@ -754,8 +774,8 @@ mod tests {
         assert!(ex.query.contains("SELECT name, phone, address"));
         assert_eq!(ex.sources.len(), 2);
         for s in &ex.sources {
-            let total: f64 = s.bindings.iter().map(|b| b.probability).sum::<f64>()
-                + s.unmapped_probability;
+            let total: f64 =
+                s.bindings.iter().map(|b| b.probability).sum::<f64>() + s.unmapped_probability;
             assert!((total - 1.0).abs() < 1e-9, "{}", s.source_name);
             for b in &s.bindings {
                 assert_eq!(b.pairs.len(), 3, "one pair per query attribute");
@@ -796,9 +816,11 @@ mod tests {
         let udi = UdiSystem::setup(catalog, UdiConfig::default()).unwrap();
         let q = parse_query("SELECT title FROM movies WHERE year > 1930").unwrap();
         let combined = udi.answer(&q).combined();
-        let titles: Vec<String> =
-            combined.iter().map(|t| t.values[0].to_string()).collect();
-        assert!(titles.contains(&"Casablanca".to_owned()), "year(s) matched to year: {titles:?}");
+        let titles: Vec<String> = combined.iter().map(|t| t.values[0].to_string()).collect();
+        assert!(
+            titles.contains(&"Casablanca".to_owned()),
+            "year(s) matched to year: {titles:?}"
+        );
         assert!(titles.contains(&"Vertigo".to_owned()));
         assert!(!titles.contains(&"Metropolis".to_owned()));
     }

@@ -1,0 +1,710 @@
+//! The incremental setup engine: the four pipeline stages decomposed into
+//! cached, invalidatable artifacts.
+//!
+//! [`super::system::UdiSystem::setup`] and the incremental mutations
+//! ([`UdiSystem::add_source`](crate::UdiSystem::add_source),
+//! [`UdiSystem::remove_source`](crate::UdiSystem::remove_source),
+//! [`UdiSystem::apply_feedback`](crate::UdiSystem::apply_feedback)) are all
+//! thin drivers over one [`SetupEngine::refresh`], so the batch and
+//! incremental paths cannot diverge: a refresh recomputes exactly the stage
+//! artifacts whose inputs changed and reuses the rest, and the reused
+//! artifacts are bit-identical to what a from-scratch setup would produce.
+//!
+//! Stage artifacts and their invalidation rules:
+//!
+//! | artifact                      | cached as                  | invalidated by |
+//! |-------------------------------|----------------------------|----------------|
+//! | schema set + attribute stats  | [`SchemaSet`] (maintained in place) | never — mutations edit it directly |
+//! | pairwise similarities         | `sim_cache` keyed by attribute-id pair | feedback on the pair (overwritten, not dropped) |
+//! | similarity graph              | recomputed each refresh (cheap: cache lookups) | — |
+//! | enumerated mediated schemas   | `schemas_raw` + graph signature | any change to the graph's nodes/edges/weights/kinds |
+//! | schema probabilities          | recomputed each refresh (Algorithm 2 is linear) | — |
+//! | per-(source, schema) p-mappings | `rows[source][schema]`    | source marked dirty, or the schema's cluster content changed |
+//! | per-group max-entropy solves  | [`SolveCache`] (canonical form) | never — keys are content-addressed |
+//! | consolidated schema + mappings | recomputed each refresh (cheap) | — |
+//!
+//! Why the reuse is sound: a p-mapping for `(source, mediated schema)`
+//! depends only on the source's attribute list, the schema's cluster
+//! contents, and the pairwise similarities between them. Vocabulary ids are
+//! append-only (and removal keeps them stable), similarities are pinned in
+//! `sim_cache`, and mediated schemas are compared by value — so an
+//! unchanged `(source, schema-content)` pair under unchanged similarities
+//! must yield the identical mapping, and we reuse it without re-solving.
+
+use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
+
+use udi_schema::{
+    assign_probabilities, build_similarity_graph_via, consolidate_schemas,
+    enumerate_mediated_schemas, generate_pmapping_cached, AttrId, Consolidator, EdgeKind,
+    FrozenMatrix, MediatedSchema, PMapping, PMedSchema, SchemaSet, SimilarityGraph, SolveCache,
+    Vocabulary,
+};
+use udi_similarity::Similarity;
+use udi_store::{Catalog, StoreError, Table};
+
+use crate::feedback::Feedback;
+use crate::pipeline::{CacheStats, SetupReport, SetupTimings, UdiConfig};
+use crate::UdiError;
+
+/// Content signature of the similarity graph: nodes plus every edge with
+/// its exact weight bits and certainty class. Equal signatures ⇒ identical
+/// graphs ⇒ the `2^u` schema enumeration would return the same list, so it
+/// is skipped.
+type GraphSignature = (Vec<AttrId>, Vec<(AttrId, AttrId, u64, bool)>);
+
+/// A source's previous p-mapping row, taken out of the engine for moving:
+/// `None` if the source was dirty, otherwise one `Option<PMapping>` slot per
+/// old schema, emptied as reuse claims each column.
+type TakenRow = Option<Vec<Option<PMapping>>>;
+
+fn signature(graph: &SimilarityGraph) -> GraphSignature {
+    (
+        graph.nodes.clone(),
+        graph
+            .edges
+            .iter()
+            .map(|e| (e.a, e.b, e.weight.to_bits(), e.kind == EdgeKind::Certain))
+            .collect(),
+    )
+}
+
+/// The stage-artifact engine behind [`crate::UdiSystem`].
+///
+/// Owns the catalog and every intermediate product of the setup pipeline,
+/// with enough bookkeeping to recompute only what a mutation invalidated.
+/// All mutation entry points ([`add_source`](SetupEngine::add_source),
+/// [`remove_source`](SetupEngine::remove_source),
+/// [`apply_feedback`](SetupEngine::apply_feedback)) only *mark* work; the
+/// actual recomputation happens in the next [`refresh`](SetupEngine::refresh).
+#[derive(Debug)]
+pub struct SetupEngine {
+    catalog: Catalog,
+    config: UdiConfig,
+    /// Accumulated human judgments, folded into `sim_cache` on refresh.
+    feedback: Feedback,
+    /// Stage 1 artifact, maintained in place by mutations.
+    schema_set: SchemaSet,
+    /// Pinned pairwise similarities, keyed `(min, max)`. Entries are only
+    /// ever *overwritten* (by feedback), never dropped, so every artifact
+    /// downstream sees one consistent similarity assignment.
+    sim_cache: HashMap<(AttrId, AttrId), f64>,
+    /// Signature of the graph that produced `schemas_raw`.
+    graph_sig: Option<GraphSignature>,
+    /// Stage 2 artifact: enumerated candidate schemas, pre-probability, in
+    /// enumeration order.
+    schemas_raw: Vec<MediatedSchema>,
+    /// The current p-med-schema (post-probability, sorted). `None` only
+    /// before the first refresh.
+    pmed: Option<PMedSchema>,
+    /// Schema list of `pmed`, in `pmed.schemas()` order — the column order
+    /// of `rows`.
+    schema_list: Vec<MediatedSchema>,
+    /// Stage 3 artifact: `rows[source][schema]`. `None` marks a source
+    /// whose row must be (re)computed on the next refresh.
+    rows: Vec<Option<Vec<PMapping>>>,
+    /// Stage 4 artifacts.
+    consolidated: Option<MediatedSchema>,
+    cons_rows: Vec<PMapping>,
+    /// Canonical-form memo of per-group max-entropy solves, shared across
+    /// the whole catalog and across refreshes.
+    solve_cache: SolveCache,
+    /// Diagnostics of the most recent refresh.
+    report: SetupReport,
+}
+
+impl SetupEngine {
+    /// Engine over `catalog` with no artifacts computed yet. Call
+    /// [`refresh`](SetupEngine::refresh) to configure.
+    pub fn new(catalog: Catalog, config: UdiConfig) -> SetupEngine {
+        let mut schema_set = SchemaSet::default();
+        for (_, table) in catalog.iter_sources() {
+            schema_set.add_source(table.name(), table.attributes().iter().map(String::as_str));
+        }
+        let rows = vec![None; catalog.source_count()];
+        SetupEngine {
+            catalog,
+            config,
+            feedback: Feedback::new(),
+            schema_set,
+            sim_cache: HashMap::new(),
+            graph_sig: None,
+            schemas_raw: Vec::new(),
+            pmed: None,
+            schema_list: Vec::new(),
+            rows,
+            consolidated: None,
+            cons_rows: Vec::new(),
+            solve_cache: SolveCache::new(),
+            report: SetupReport::default(),
+        }
+    }
+
+    /// Engine assembled from explicit parts (the
+    /// [`crate::UdiSystem::from_parts`] path). The supplied p-med-schema and
+    /// p-mappings are adopted verbatim; no graph signature is recorded, so
+    /// the first subsequent mutation + refresh re-derives the schema from
+    /// the similarity pipeline (replacing the manual parts).
+    pub(crate) fn from_parts(
+        catalog: Catalog,
+        pmed: PMedSchema,
+        pmappings: Vec<Vec<PMapping>>,
+        config: UdiConfig,
+    ) -> Result<SetupEngine, UdiError> {
+        if catalog.source_count() == 0 {
+            return Err(UdiError::EmptyCatalog);
+        }
+        if pmappings.len() != catalog.source_count() {
+            return Err(UdiError::MappingRowMismatch {
+                expected: catalog.source_count(),
+                got: pmappings.len(),
+            });
+        }
+        for (i, row) in pmappings.iter().enumerate() {
+            if row.len() != pmed.len() {
+                return Err(UdiError::MappingColumnMismatch {
+                    source: i,
+                    expected: pmed.len(),
+                    got: row.len(),
+                });
+            }
+        }
+        let mut engine = SetupEngine::new(catalog, config);
+        let schema_list: Vec<MediatedSchema> =
+            pmed.schemas().iter().map(|(m, _)| m.clone()).collect();
+        let consolidated = consolidate_schemas(&schema_list);
+        let consolidator = Consolidator::new(&pmed, &consolidated);
+        let cons_rows: Vec<PMapping> = pmappings
+            .iter()
+            .map(|per_schema| consolidator.consolidate(per_schema))
+            .collect();
+        // Timings are deliberately absent (zero) on the manual-assembly
+        // path: nothing was measured because nothing was computed beyond
+        // consolidation. `n_frequent` is still derivable from the schema
+        // set, so it is reported.
+        engine.report = SetupReport {
+            n_sources: engine.catalog.source_count(),
+            n_attributes: engine.schema_set.vocab().len(),
+            n_frequent: engine
+                .schema_set
+                .frequent_attributes(engine.config.params.theta)
+                .len(),
+            n_schemas: pmed.len(),
+            n_mappings: pmappings.iter().flatten().map(PMapping::len).sum(),
+            n_consolidated_mappings: cons_rows.iter().map(PMapping::len).sum(),
+            ..SetupReport::default()
+        };
+        engine.schema_list = schema_list;
+        engine.pmed = Some(pmed);
+        engine.rows = pmappings.into_iter().map(Some).collect();
+        engine.consolidated = Some(consolidated);
+        engine.cons_rows = cons_rows;
+        Ok(engine)
+    }
+
+    /// Register a new source. Only the new source's p-mapping row is marked
+    /// for computation; existing artifacts are invalidated only if the new
+    /// source actually changes the similarity graph (new frequent
+    /// attributes, shifted frequencies) — [`refresh`](SetupEngine::refresh)
+    /// detects that via the graph signature.
+    pub fn add_source(&mut self, table: Table) {
+        self.schema_set
+            .add_source(table.name(), table.attributes().iter().map(String::as_str));
+        self.catalog.add_source(table);
+        self.rows.push(None);
+    }
+
+    /// Drop the source named `name`. Vocabulary ids stay stable (orphaned
+    /// attributes fall out of the frequent set by frequency); surviving
+    /// sources keep their cached rows unless the schema list changes.
+    pub fn remove_source(&mut self, name: &str) -> Result<Table, StoreError> {
+        let table = self.catalog.remove_source(name)?;
+        let idx = self
+            .schema_set
+            .sources()
+            .iter()
+            .position(|s| s.name == name)
+            .expect("schema set is aligned with the catalog");
+        self.schema_set.remove_source(name);
+        self.rows.remove(idx);
+        Ok(table)
+    }
+
+    /// Fold human judgments in: judged pairs are pinned to similarity 1/0
+    /// in the similarity cache, and only the sources that contain a judged
+    /// attribute are marked dirty. Downstream stages recompute on the next
+    /// refresh exactly as far as the graph signature and schema list
+    /// actually move.
+    pub fn apply_feedback(&mut self, feedback: &Feedback) {
+        let vocab = self.schema_set.vocab();
+        // Mark sources containing a judged endpoint before merging, using
+        // the *new* judgments only.
+        let mut judged_attrs: BTreeSet<AttrId> = BTreeSet::new();
+        for (a, b, _) in feedback.judgments() {
+            if let Some(x) = vocab.id_of(a) {
+                judged_attrs.insert(x);
+            }
+            if let Some(y) = vocab.id_of(b) {
+                judged_attrs.insert(y);
+            }
+        }
+        for (i, source) in self.schema_set.sources().iter().enumerate() {
+            if source.attrs.iter().any(|a| judged_attrs.contains(a)) {
+                self.rows[i] = None;
+            }
+        }
+        self.feedback.merge(feedback);
+        // Cached pair values are corrected eagerly as well, so the graph
+        // signature comparison in the next refresh sees the post-feedback
+        // world.
+        apply_feedback_overrides(&self.feedback, &self.schema_set, &mut self.sim_cache);
+    }
+
+    /// Recompute every invalidated stage artifact under `measure`,
+    /// reusing the rest. Idempotent: a refresh with nothing dirty reuses
+    /// every row and answers every solve from cache.
+    ///
+    /// On error (e.g. a matching-count explosion) the query-facing
+    /// artifacts — p-med-schema, consolidated schema and consolidated
+    /// p-mappings — keep serving the state of the last successful refresh;
+    /// the per-schema p-mapping rows are marked dirty and recomputed by
+    /// the next successful refresh.
+    pub fn refresh(&mut self, measure: &(dyn Similarity + Sync)) -> Result<(), UdiError> {
+        if self.catalog.source_count() == 0 {
+            return Err(UdiError::EmptyCatalog);
+        }
+        let params = self.config.params.clone();
+        let mut stats = CacheStats::default();
+        let mut timings = SetupTimings::default();
+        let (solve_hits0, solve_misses0) = (self.solve_cache.hits(), self.solve_cache.misses());
+
+        // Stage 1 — import. The schema set is maintained in place by the
+        // mutations; here we only re-pin judged pairs (covers attributes
+        // interned since the judgment arrived).
+        let t0 = Instant::now();
+        apply_feedback_overrides(&self.feedback, &self.schema_set, &mut self.sim_cache);
+        timings.import = t0.elapsed();
+
+        // Stage 2 — p-med-schema. The graph itself is cheap to rebuild
+        // (cache lookups); the expensive 2^u enumeration is skipped when
+        // the signature is unchanged. Probabilities (Algorithm 2) are
+        // linear and always recomputed.
+        let t1 = Instant::now();
+        let wrapped = self.feedback.wrap(measure);
+        let nodes = self.schema_set.frequent_attributes(params.theta);
+        ensure_pairs(
+            &mut self.sim_cache,
+            self.schema_set.vocab(),
+            &wrapped,
+            nodes
+                .iter()
+                .enumerate()
+                .flat_map(|(i, &a)| nodes[i + 1..].iter().map(move |&b| (a, b))),
+            &mut stats,
+        );
+        let matrix = FrozenMatrix::from_entries(self.sim_cache.iter().map(|(&k, &v)| (k, v)));
+        let graph = build_similarity_graph_via(&self.schema_set, &matrix, &params);
+        let sig = signature(&graph);
+        if self.graph_sig.as_ref() != Some(&sig) {
+            self.schemas_raw = enumerate_mediated_schemas(&graph, &params);
+            self.graph_sig = Some(sig);
+            stats.schemas_reenumerated = true;
+        }
+        let mut weighted = assign_probabilities(self.schemas_raw.clone(), &self.schema_set);
+        weighted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let pmed = PMedSchema::new(weighted);
+        timings.med_schema = t1.elapsed();
+
+        // Stage 3 — p-mapping rows. Reuse granularity is per
+        // (source, schema-content): a clean source keeps every mapping
+        // whose mediated schema also exists in the new list.
+        let t2 = Instant::now();
+        let new_list: Vec<MediatedSchema> = pmed.schemas().iter().map(|(m, _)| m.clone()).collect();
+        let new_rows = {
+            let all_attrs: Vec<AttrId> = self.schema_set.vocab().iter().map(|(id, _)| id).collect();
+            let cluster_attrs: Vec<AttrId> = {
+                let mut set = BTreeSet::new();
+                for m in &new_list {
+                    set.extend(m.attribute_set());
+                }
+                set.into_iter().collect()
+            };
+            ensure_pairs(
+                &mut self.sim_cache,
+                self.schema_set.vocab(),
+                &wrapped,
+                all_attrs
+                    .iter()
+                    .flat_map(|&a| cluster_attrs.iter().map(move |&c| (a, c))),
+                &mut stats,
+            );
+            let matrix = FrozenMatrix::from_entries(self.sim_cache.iter().map(|(&k, &v)| (k, v)));
+            let old_pos: HashMap<&MediatedSchema, usize> = self
+                .schema_list
+                .iter()
+                .enumerate()
+                .map(|(i, m)| (m, i))
+                .collect();
+            // Per (source, schema): Some(old column) to reuse, None to
+            // compute. Schemas are pairwise distinct, so each old column is
+            // claimed by at most one new column — reused mappings can be
+            // *moved*, not cloned (cloning thousands of surviving rows
+            // costs more than the actual recomputation being avoided).
+            let plan: Vec<Vec<Option<usize>>> = self
+                .rows
+                .iter()
+                .map(|row| match row {
+                    Some(_) => new_list.iter().map(|m| old_pos.get(m).copied()).collect(),
+                    None => vec![None; new_list.len()],
+                })
+                .collect();
+            stats.rows_reused = plan
+                .iter()
+                .map(|r| r.iter().filter(|e| e.is_some()).count())
+                .sum();
+            stats.rows_computed = plan
+                .iter()
+                .map(|r| r.iter().filter(|e| e.is_none()).count())
+                .sum();
+
+            let sources = self.schema_set.sources();
+            let n = sources.len();
+            // Take the old rows out for moving; on error below, the rows
+            // are left all-dirty and the next refresh recomputes them.
+            let mut work: Vec<(usize, TakenRow)> = std::mem::take(&mut self.rows)
+                .into_iter()
+                .map(|row| row.map(|v| v.into_iter().map(Some).collect()))
+                .enumerate()
+                .collect();
+            let plan = &plan;
+            let new_list_ref = &new_list;
+            let matrix_ref = &matrix;
+            let params_ref = &params;
+            let solve_cache = &self.solve_cache;
+            let build_row = move |(i, mut old): (usize, TakenRow)| {
+                new_list_ref
+                    .iter()
+                    .enumerate()
+                    .map(|(j, med)| match plan[i][j] {
+                        Some(oj) => Ok(old.as_mut().expect("planned reuse")[oj]
+                            .take()
+                            .expect("each old column claimed once")),
+                        None => generate_pmapping_cached(
+                            &sources[i],
+                            med,
+                            matrix_ref,
+                            params_ref,
+                            Some(solve_cache),
+                        )
+                        .map_err(UdiError::from),
+                    })
+                    .collect::<Result<Vec<PMapping>, UdiError>>()
+            };
+            let built: Result<Vec<Vec<PMapping>>, UdiError> = if self.config.threads <= 1 || n < 2 {
+                work.into_iter().map(build_row).collect()
+            } else {
+                let n_workers = self.config.threads.min(n);
+                let chunk = n.div_ceil(n_workers);
+                let mut parts: Vec<Vec<(usize, TakenRow)>> = Vec::new();
+                while !work.is_empty() {
+                    let take = chunk.min(work.len());
+                    parts.push(work.drain(..take).collect());
+                }
+                let results: Vec<Result<Vec<Vec<PMapping>>, UdiError>> =
+                    std::thread::scope(|scope| {
+                        let build_row = &build_row;
+                        let handles: Vec<_> = parts
+                            .into_iter()
+                            .map(|part| {
+                                scope.spawn(move || part.into_iter().map(build_row).collect())
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("worker panicked"))
+                            .collect()
+                    });
+                results
+                    .into_iter()
+                    .try_fold(Vec::with_capacity(n), |mut all, r| {
+                        all.extend(r?);
+                        Ok(all)
+                    })
+            };
+            match built {
+                Ok(rows) => rows,
+                Err(e) => {
+                    self.rows = vec![None; n];
+                    return Err(e);
+                }
+            }
+        };
+        timings.pmappings = t2.elapsed();
+
+        // Stage 4 — recomputed whenever anything upstream moved (schema
+        // probabilities shift whenever the catalog does, and they weight
+        // every consolidated mapping), with the refinement table hoisted
+        // out of the per-source loop via `Consolidator`. A refresh where
+        // nothing moved — same schemas, bit-identical probabilities, every
+        // row reused — keeps the previous consolidation outright.
+        let t3 = Instant::now();
+        let pmed_unchanged = !stats.schemas_reenumerated
+            && self.schema_list == new_list
+            && self.pmed.as_ref().is_some_and(|old| {
+                old.schemas()
+                    .iter()
+                    .zip(pmed.schemas())
+                    .all(|((_, p0), (_, p1))| p0.to_bits() == p1.to_bits())
+            });
+        let (consolidated, cons_rows) =
+            if pmed_unchanged && stats.rows_computed == 0 && self.consolidated.is_some() {
+                (
+                    self.consolidated.take().expect("checked"),
+                    std::mem::take(&mut self.cons_rows),
+                )
+            } else {
+                let consolidated = consolidate_schemas(&new_list);
+                let consolidator = Consolidator::new(&pmed, &consolidated);
+                let cons_rows = new_rows
+                    .iter()
+                    .map(|per_schema| consolidator.consolidate(per_schema))
+                    .collect();
+                (consolidated, cons_rows)
+            };
+        timings.consolidation = t3.elapsed();
+
+        // Commit — everything below is infallible, so an error above
+        // leaves the previous artifacts fully intact.
+        stats.solve_hits = self.solve_cache.hits() - solve_hits0;
+        stats.solve_misses = self.solve_cache.misses() - solve_misses0;
+        self.report = SetupReport {
+            timings,
+            n_sources: self.catalog.source_count(),
+            n_attributes: self.schema_set.vocab().len(),
+            n_frequent: nodes.len(),
+            n_schemas: pmed.len(),
+            n_mappings: new_rows.iter().flatten().map(PMapping::len).sum(),
+            n_consolidated_mappings: cons_rows.iter().map(PMapping::len).sum(),
+            cache: stats,
+        };
+        self.pmed = Some(pmed);
+        self.schema_list = new_list;
+        self.rows = new_rows.into_iter().map(Some).collect();
+        self.consolidated = Some(consolidated);
+        self.cons_rows = cons_rows;
+        Ok(())
+    }
+
+    /// The source catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The setup configuration.
+    pub fn config(&self) -> &UdiConfig {
+        &self.config
+    }
+
+    /// Accumulated feedback.
+    pub fn feedback(&self) -> &Feedback {
+        &self.feedback
+    }
+
+    /// Replace the accumulated feedback without marking anything dirty —
+    /// for snapshot restore, where the adopted artifacts already reflect
+    /// the feedback. The judgments are re-pinned on the next refresh.
+    pub(crate) fn set_feedback(&mut self, feedback: Feedback) {
+        self.feedback = feedback;
+    }
+
+    /// The imported schema set.
+    pub fn schema_set(&self) -> &SchemaSet {
+        &self.schema_set
+    }
+
+    /// The current p-med-schema. Panics before the first successful
+    /// refresh (the engine is only exposed configured).
+    pub fn pmed(&self) -> &PMedSchema {
+        self.pmed.as_ref().expect("engine not refreshed yet")
+    }
+
+    /// The p-mapping between source `src` and possible schema `schema`.
+    /// Panics for a source added after the last successful refresh.
+    pub fn pmapping(&self, src: usize, schema: usize) -> &PMapping {
+        &self.rows[src].as_ref().expect("source not yet configured")[schema]
+    }
+
+    /// The consolidated mediated schema.
+    pub fn consolidated(&self) -> &MediatedSchema {
+        self.consolidated
+            .as_ref()
+            .expect("engine not refreshed yet")
+    }
+
+    /// The consolidated p-mapping of source `src`.
+    pub fn consolidated_pmapping(&self, src: usize) -> &PMapping {
+        &self.cons_rows[src]
+    }
+
+    /// Diagnostics of the last refresh (or the manual assembly).
+    pub fn report(&self) -> &SetupReport {
+        &self.report
+    }
+
+    /// Cumulative hit/miss counters of the shared max-entropy solve cache.
+    pub fn solve_cache_totals(&self) -> (u64, u64) {
+        (self.solve_cache.hits(), self.solve_cache.misses())
+    }
+}
+
+/// Pin every judged pair present in the vocabulary to 1/0 in the
+/// similarity cache (latest judgment wins — `Feedback` already resolves
+/// contradictions).
+fn apply_feedback_overrides(
+    feedback: &Feedback,
+    set: &SchemaSet,
+    sim_cache: &mut HashMap<(AttrId, AttrId), f64>,
+) {
+    let vocab = set.vocab();
+    for (a, b, same) in feedback.judgments() {
+        if let (Some(x), Some(y)) = (vocab.id_of(a), vocab.id_of(b)) {
+            if x != y {
+                sim_cache.insert((x.min(y), x.max(y)), if same { 1.0 } else { 0.0 });
+            }
+        }
+    }
+}
+
+/// Fill the similarity cache for every requested pair, counting hits and
+/// misses. Identity pairs are skipped (both matrix flavors serve them
+/// without a cache entry).
+fn ensure_pairs(
+    sim_cache: &mut HashMap<(AttrId, AttrId), f64>,
+    vocab: &Vocabulary,
+    measure: &dyn Similarity,
+    pairs: impl Iterator<Item = (AttrId, AttrId)>,
+    stats: &mut CacheStats,
+) {
+    for (a, b) in pairs {
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        match sim_cache.entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => stats.sim_hits += 1,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(measure.similarity(vocab.name(key.0), vocab.name(key.1)));
+                stats.sim_misses += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udi_store::Table;
+
+    fn table(name: &str, attrs: &[&str]) -> Table {
+        let mut t = Table::new(name, attrs.iter().copied());
+        let row: Vec<String> = attrs.iter().map(|a| format!("{a}-val")).collect();
+        t.push_raw_row(row).unwrap();
+        t
+    }
+
+    fn people_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for (name, attrs) in [
+            ("s1", vec!["name", "phone", "address"]),
+            ("s2", vec!["name", "phone-no", "addr"]),
+            ("s3", vec!["name", "phone", "address"]),
+        ] {
+            c.add_source(table(name, &attrs));
+        }
+        c
+    }
+
+    #[test]
+    fn refresh_twice_is_all_cache_hits() {
+        let measure = UdiConfig::default().measure.build();
+        let mut e = SetupEngine::new(people_catalog(), UdiConfig::default());
+        e.refresh(&*measure).unwrap();
+        let first = e.report().cache;
+        assert!(first.sim_misses > 0);
+        assert!(first.rows_computed > 0);
+        assert_eq!(first.rows_reused, 0);
+
+        e.refresh(&*measure).unwrap();
+        let second = e.report().cache;
+        assert_eq!(second.sim_misses, 0, "all pair similarities pinned");
+        assert_eq!(second.rows_computed, 0, "all rows reused");
+        assert!(second.rows_reused > 0);
+        assert!(!second.schemas_reenumerated, "graph signature unchanged");
+        assert_eq!(second.solve_misses, 0);
+    }
+
+    #[test]
+    fn add_source_recomputes_only_the_new_row() {
+        let measure = UdiConfig::default().measure.build();
+        let mut e = SetupEngine::new(people_catalog(), UdiConfig::default());
+        e.refresh(&*measure).unwrap();
+        let schemas_before = e.pmed().len();
+
+        // A source whose attributes are all existing vocabulary: the graph
+        // signature is untouched (same frequent set, same weights), so
+        // only the new row is computed.
+        e.add_source(table("s4", &["name", "phone"]));
+        e.refresh(&*measure).unwrap();
+        let stats = e.report().cache;
+        assert_eq!(e.report().n_sources, 4);
+        assert_eq!(stats.rows_computed, schemas_before, "one new row");
+        assert_eq!(stats.rows_reused, 3 * schemas_before, "old rows survive");
+    }
+
+    #[test]
+    fn remove_source_drops_the_row_and_keeps_ids_stable() {
+        let measure = UdiConfig::default().measure.build();
+        let mut e = SetupEngine::new(people_catalog(), UdiConfig::default());
+        e.refresh(&*measure).unwrap();
+        let phone_no = e.schema_set().vocab().id_of("phone-no").unwrap();
+
+        let dropped = e.remove_source("s2").unwrap();
+        assert_eq!(dropped.name(), "s2");
+        e.refresh(&*measure).unwrap();
+        assert_eq!(e.report().n_sources, 2);
+        assert_eq!(e.schema_set().vocab().id_of("phone-no"), Some(phone_no));
+        assert_eq!(e.schema_set().frequency(phone_no), 0.0);
+        assert!(e.remove_source("s2").is_err(), "already gone");
+    }
+
+    #[test]
+    fn feedback_dirties_only_touched_sources() {
+        let measure = UdiConfig::default().measure.build();
+        let mut e = SetupEngine::new(people_catalog(), UdiConfig::default());
+        e.refresh(&*measure).unwrap();
+        let n_schemas = e.pmed().len();
+
+        // `address`/`addr` touches s1, s2, s3 minus... s1 and s3 have
+        // `address`, s2 has `addr`: all three contain an endpoint here, so
+        // judge a pair touching only s2 instead.
+        let mut f = Feedback::new();
+        f.confirm_different("phone-no", "addr");
+        e.apply_feedback(&f);
+        e.refresh(&*measure).unwrap();
+        let stats = e.report().cache;
+        // Only s2 contains phone-no/addr → at most one source recomputed
+        // (times the current schema count), unless the judgment changed
+        // the schema list itself.
+        if !stats.schemas_reenumerated {
+            assert_eq!(stats.rows_computed, e.pmed().len());
+        }
+        let _ = n_schemas;
+    }
+
+    #[test]
+    fn refresh_on_empty_catalog_is_rejected() {
+        let mut e = SetupEngine::new(Catalog::new(), UdiConfig::default());
+        let measure = UdiConfig::default().measure.build();
+        assert!(matches!(e.refresh(&*measure), Err(UdiError::EmptyCatalog)));
+    }
+}

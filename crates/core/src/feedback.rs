@@ -19,12 +19,13 @@
 
 use std::collections::BTreeSet;
 
+use serde::{Deserialize, Serialize};
 use udi_similarity::Similarity;
 
 use crate::system::UdiSystem;
 
 /// Accumulated human judgments about attribute-name pairs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Feedback {
     same: BTreeSet<(String, String)>,
     different: BTreeSet<(String, String)>,
@@ -85,13 +86,43 @@ impl Feedback {
         self.same.is_empty() && self.different.is_empty()
     }
 
+    /// Every recorded judgment as `(a, b, same-concept?)`, names in
+    /// canonical (sorted) order.
+    pub fn judgments(&self) -> impl Iterator<Item = (&str, &str, bool)> {
+        self.same
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str(), true))
+            .chain(
+                self.different
+                    .iter()
+                    .map(|(a, b)| (a.as_str(), b.as_str(), false)),
+            )
+    }
+
+    /// Fold another batch of judgments into this one. On conflict the
+    /// incoming judgment wins, matching the latest-wins rule of
+    /// [`confirm_same`](Feedback::confirm_same) /
+    /// [`confirm_different`](Feedback::confirm_different).
+    pub fn merge(&mut self, other: &Feedback) {
+        for (a, b, same) in other.judgments() {
+            if same {
+                self.confirm_same(a, b);
+            } else {
+                self.confirm_different(a, b);
+            }
+        }
+    }
+
     /// Wrap a base measure so it honors this feedback: confirmed-same pairs
     /// score 1.0, confirmed-different pairs 0.0, everything else defers to
     /// `base`. Re-running [`UdiSystem::setup_with_measure`] with the
     /// wrapped measure folds the feedback into the whole pipeline — graph,
     /// schemas, correspondences and p-mappings alike.
     pub fn wrap<'a>(&'a self, base: &'a (dyn Similarity + Sync)) -> FeedbackMeasure<'a> {
-        FeedbackMeasure { feedback: self, base }
+        FeedbackMeasure {
+            feedback: self,
+            base,
+        }
     }
 }
 

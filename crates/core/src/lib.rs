@@ -43,15 +43,17 @@
 //! ```
 
 pub mod answer;
+pub mod engine;
 pub mod feedback;
 pub mod persist;
 pub mod pipeline;
 pub mod system;
 
 pub use answer::{BindingExplanation, Explanation, SourceExplanation};
+pub use engine::SetupEngine;
 pub use feedback::{suggest_questions, Feedback, FeedbackMeasure, Question};
 pub use persist::PersistError;
-pub use pipeline::{MeasureKind, SetupReport, SetupTimings, UdiConfig};
+pub use pipeline::{CacheStats, MeasureKind, SetupReport, SetupTimings, UdiConfig};
 pub use system::UdiSystem;
 
 /// Errors surfaced by system setup or query answering.
@@ -63,6 +65,24 @@ pub enum UdiError {
     Store(udi_store::StoreError),
     /// Setup was asked to run over an empty catalog.
     EmptyCatalog,
+    /// [`UdiSystem::from_parts`] was given the wrong number of p-mapping
+    /// rows (one row per source is required).
+    MappingRowMismatch {
+        /// Sources in the catalog.
+        expected: usize,
+        /// Rows supplied.
+        got: usize,
+    },
+    /// [`UdiSystem::from_parts`] was given a row with the wrong number of
+    /// p-mappings (one per possible mediated schema is required).
+    MappingColumnMismatch {
+        /// Index of the offending source row.
+        source: usize,
+        /// Possible schemas in the p-med-schema.
+        expected: usize,
+        /// p-mappings supplied in that row.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for UdiError {
@@ -71,6 +91,14 @@ impl std::fmt::Display for UdiError {
             UdiError::MaxEnt(e) => write!(f, "p-mapping construction failed: {e}"),
             UdiError::Store(e) => write!(f, "storage error: {e}"),
             UdiError::EmptyCatalog => write!(f, "cannot set up integration over zero sources"),
+            UdiError::MappingRowMismatch { expected, got } => write!(
+                f,
+                "expected one p-mapping row per source ({expected}), got {got}"
+            ),
+            UdiError::MappingColumnMismatch { source, expected, got } => write!(
+                f,
+                "source {source}: expected one p-mapping per possible schema ({expected}), got {got}"
+            ),
         }
     }
 }
@@ -80,7 +108,7 @@ impl std::error::Error for UdiError {
         match self {
             UdiError::MaxEnt(e) => Some(e),
             UdiError::Store(e) => Some(e),
-            UdiError::EmptyCatalog => None,
+            _ => None,
         }
     }
 }

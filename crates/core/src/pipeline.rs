@@ -3,7 +3,9 @@
 use std::time::Duration;
 
 use udi_schema::UdiParams;
-use udi_similarity::{AttributeSimilarity, JaroWinkler, Levenshtein, NGramJaccard, Similarity, TokenHybrid};
+use udi_similarity::{
+    AttributeSimilarity, JaroWinkler, Levenshtein, NGramJaccard, Similarity, TokenHybrid,
+};
 
 /// Which pairwise attribute-similarity measure setup uses.
 ///
@@ -59,7 +61,11 @@ pub struct UdiConfig {
 
 impl Default for UdiConfig {
     fn default() -> Self {
-        UdiConfig { params: UdiParams::default(), measure: MeasureKind::default(), threads: 1 }
+        UdiConfig {
+            params: UdiParams::default(),
+            measure: MeasureKind::default(),
+            threads: 1,
+        }
     }
 }
 
@@ -87,10 +93,58 @@ impl SetupTimings {
     }
 }
 
+/// Cache behavior of one [`crate::engine::SetupEngine::refresh`]: how much
+/// of each stage was served from cached artifacts versus recomputed. All
+/// counters cover that single refresh, not the engine's lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Pairwise similarities found already pinned in the similarity cache.
+    pub sim_hits: usize,
+    /// Pairwise similarities computed (and pinned) this refresh.
+    pub sim_misses: usize,
+    /// Whether the similarity graph changed, forcing the `2^u` mediated-
+    /// schema enumeration to re-run.
+    pub schemas_reenumerated: bool,
+    /// Per-(source, schema) p-mappings reused from the previous refresh.
+    pub rows_reused: usize,
+    /// Per-(source, schema) p-mappings (re)computed this refresh.
+    pub rows_computed: usize,
+    /// Max-entropy group solves answered from the canonical-form cache.
+    pub solve_hits: u64,
+    /// Max-entropy group solves that ran the solver.
+    pub solve_misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of per-(source, schema) p-mappings served from cache, in
+    /// `[0, 1]`. `0.0` when nothing was needed.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.rows_reused + self.rows_computed;
+        if total == 0 {
+            0.0
+        } else {
+            self.rows_reused as f64 / total as f64
+        }
+    }
+
+    /// Fraction of max-entropy group solves served from the canonical-form
+    /// cache, in `[0, 1]`. `0.0` when no group was solved.
+    pub fn solve_hit_rate(&self) -> f64 {
+        let total = self.solve_hits + self.solve_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.solve_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Setup diagnostics returned alongside the configured system.
 #[derive(Debug, Clone, Default)]
 pub struct SetupReport {
-    /// Per-stage wall-clock timings.
+    /// Per-stage wall-clock timings. All-zero on the manual
+    /// [`crate::UdiSystem::from_parts`] path, where nothing beyond
+    /// consolidation is computed (and hence nothing is measured).
     pub timings: SetupTimings,
     /// Number of sources integrated.
     pub n_sources: usize,
@@ -104,6 +158,8 @@ pub struct SetupReport {
     pub n_mappings: usize,
     /// Mappings in the consolidated p-mappings (all sources).
     pub n_consolidated_mappings: usize,
+    /// Cache hit/miss counters of the refresh that produced this report.
+    pub cache: CacheStats,
 }
 
 #[cfg(test)]

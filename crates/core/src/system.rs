@@ -1,15 +1,21 @@
-//! The configured UDI system and its setup pipeline.
+//! The configured UDI system: a thin facade over the incremental
+//! [`SetupEngine`](crate::engine::SetupEngine).
+//!
+//! [`UdiSystem::setup`] is a one-shot drive of the engine; the incremental
+//! entry points ([`UdiSystem::add_source`], [`UdiSystem::remove_source`],
+//! [`UdiSystem::apply_feedback`]) mutate the engine's inputs and refresh,
+//! recomputing only the stage artifacts the mutation invalidated. Both
+//! paths run the identical stage code, so a system evolved incrementally
+//! answers queries exactly like one set up from scratch on the same
+//! catalog and feedback.
 
-use std::time::Instant;
-
-use udi_schema::{
-    build_p_med_schema, consolidate_pmappings, consolidate_schemas, generate_pmapping,
-    MediatedSchema, PMapping, PMedSchema, SchemaSet, SimilarityMatrix,
-};
+use udi_schema::{MediatedSchema, PMapping, PMedSchema, SchemaSet};
 use udi_similarity::Similarity;
-use udi_store::Catalog;
+use udi_store::{Catalog, Table};
 
-use crate::pipeline::{SetupReport, SetupTimings, UdiConfig};
+use crate::engine::SetupEngine;
+use crate::feedback::Feedback;
+use crate::pipeline::{SetupReport, UdiConfig};
 use crate::UdiError;
 
 /// A fully configured data integration system: sources, probabilistic
@@ -17,16 +23,7 @@ use crate::UdiError;
 /// users.
 #[derive(Debug)]
 pub struct UdiSystem {
-    pub(crate) catalog: Catalog,
-    pub(crate) schema_set: SchemaSet,
-    pub(crate) pmed: PMedSchema,
-    /// `pmappings[source][schema]`, aligned with catalog order and
-    /// `pmed.schemas()` order.
-    pub(crate) pmappings: Vec<Vec<PMapping>>,
-    pub(crate) consolidated: MediatedSchema,
-    /// One consolidated p-mapping per source.
-    pub(crate) cons_pmappings: Vec<PMapping>,
-    pub(crate) report: SetupReport,
+    engine: SetupEngine,
 }
 
 impl UdiSystem {
@@ -41,106 +38,21 @@ impl UdiSystem {
     /// treats the matcher as a black box, as §4.1 prescribes). The measure
     /// must be `Sync` so p-mapping generation can fan out across
     /// `config.threads` workers.
+    ///
+    /// A system set up this way should keep using the `*_with_measure`
+    /// mutation variants with the *same* measure — the plain
+    /// [`add_source`](UdiSystem::add_source) /
+    /// [`apply_feedback`](UdiSystem::apply_feedback) rebuild the measure
+    /// from `config.measure`, which would mix two different similarity
+    /// functions into one similarity cache.
     pub fn setup_with_measure(
         catalog: Catalog,
         measure: &(dyn Similarity + Sync),
         config: UdiConfig,
     ) -> Result<UdiSystem, UdiError> {
-        if catalog.source_count() == 0 {
-            return Err(UdiError::EmptyCatalog);
-        }
-        let params = &config.params;
-        let mut timings = SetupTimings::default();
-
-        // Stage 1: import schemas.
-        let t0 = Instant::now();
-        let mut schema_set = SchemaSet::default();
-        for (_, table) in catalog.iter_sources() {
-            schema_set.add_source(table.name(), table.attributes().iter().map(String::as_str));
-        }
-        timings.import = t0.elapsed();
-
-        // Stage 2: probabilistic mediated schema.
-        let t1 = Instant::now();
-        let pmed = build_p_med_schema(&schema_set, measure, params)?;
-        timings.med_schema = t1.elapsed();
-
-        // Stage 3: p-mapping per (source, possible mediated schema) —
-        // independent per source, so it fans out across worker threads.
-        let t2 = Instant::now();
-        let lazy = SimilarityMatrix::new(schema_set.vocab(), measure);
-        // Freeze the (source attribute × cluster member) similarity space
-        // once: lookups in the hot loop become lock-free, which is what
-        // lets the per-source fan-out actually scale.
-        let all_attrs: Vec<udi_schema::AttrId> =
-            schema_set.vocab().iter().map(|(id, _)| id).collect();
-        let cluster_attrs: Vec<udi_schema::AttrId> = {
-            let mut set = std::collections::BTreeSet::new();
-            for (m, _) in pmed.schemas() {
-                set.extend(m.attribute_set());
-            }
-            set.into_iter().collect()
-        };
-        let matrix = lazy.freeze(&all_attrs, &cluster_attrs);
-        let sources = schema_set.sources();
-        let per_source = |source: &udi_schema::SourceSchema| -> Result<Vec<PMapping>, UdiError> {
-            let mut per_schema = Vec::with_capacity(pmed.len());
-            for (med, _) in pmed.schemas() {
-                per_schema.push(generate_pmapping(source, med, &matrix, params)?);
-            }
-            Ok(per_schema)
-        };
-        let pmappings: Vec<Vec<PMapping>> = if config.threads <= 1 || sources.len() < 2 {
-            sources.iter().map(per_source).collect::<Result<_, _>>()?
-        } else {
-            let n_workers = config.threads.min(sources.len());
-            let results: Vec<Result<Vec<Vec<PMapping>>, UdiError>> =
-                std::thread::scope(|scope| {
-                    let chunk = sources.len().div_ceil(n_workers);
-                    let handles: Vec<_> = sources
-                        .chunks(chunk)
-                        .map(|part| scope.spawn(|| part.iter().map(per_source).collect()))
-                        .collect();
-                    handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-                });
-            let mut all = Vec::with_capacity(sources.len());
-            for r in results {
-                all.extend(r?);
-            }
-            all
-        };
-        timings.pmappings = t2.elapsed();
-
-        // Stage 4: consolidation.
-        let t3 = Instant::now();
-        let schemas: Vec<MediatedSchema> =
-            pmed.schemas().iter().map(|(m, _)| m.clone()).collect();
-        let consolidated = consolidate_schemas(&schemas);
-        let cons_pmappings: Vec<PMapping> = pmappings
-            .iter()
-            .map(|per_schema| consolidate_pmappings(&pmed, per_schema, &consolidated))
-            .collect();
-        timings.consolidation = t3.elapsed();
-
-        let report = SetupReport {
-            timings,
-            n_sources: catalog.source_count(),
-            n_attributes: schema_set.vocab().len(),
-            n_frequent: schema_set.frequent_attributes(params.theta).len(),
-            n_schemas: pmed.len(),
-            n_mappings: pmappings.iter().flatten().map(PMapping::len).sum(),
-            n_consolidated_mappings: cons_pmappings.iter().map(PMapping::len).sum(),
-        };
-
-        Ok(UdiSystem {
-            catalog,
-            schema_set,
-            pmed,
-            pmappings,
-            consolidated,
-            cons_pmappings,
-            report,
-        })
+        let mut engine = SetupEngine::new(catalog, config);
+        engine.refresh(measure)?;
+        Ok(UdiSystem { engine })
     }
 
     /// Assemble a system from explicitly supplied parts: a catalog, a
@@ -152,86 +64,142 @@ impl UdiSystem {
     /// mappings with corrected ones and keep the same query-answering
     /// machinery. It is also how the worked examples of the paper (Figure 1)
     /// are reproduced exactly.
+    ///
+    /// The report carries no timings (nothing beyond consolidation is
+    /// computed, so there is nothing to measure); `n_frequent` is still
+    /// derived from the imported schema set under the default θ. Note that
+    /// a subsequent incremental mutation re-derives the mediated schema
+    /// from the similarity pipeline, replacing the manual parts.
     pub fn from_parts(
         catalog: Catalog,
         pmed: PMedSchema,
         pmappings: Vec<Vec<PMapping>>,
     ) -> Result<UdiSystem, UdiError> {
-        if catalog.source_count() == 0 {
-            return Err(UdiError::EmptyCatalog);
-        }
-        assert_eq!(
-            pmappings.len(),
-            catalog.source_count(),
-            "one p-mapping row per source"
-        );
-        for row in &pmappings {
-            assert_eq!(row.len(), pmed.len(), "one p-mapping per possible schema");
-        }
-        let mut schema_set = SchemaSet::default();
-        for (_, table) in catalog.iter_sources() {
-            schema_set.add_source(table.name(), table.attributes().iter().map(String::as_str));
-        }
-        let schemas: Vec<MediatedSchema> =
-            pmed.schemas().iter().map(|(m, _)| m.clone()).collect();
-        let consolidated = consolidate_schemas(&schemas);
-        let cons_pmappings: Vec<PMapping> = pmappings
-            .iter()
-            .map(|per_schema| consolidate_pmappings(&pmed, per_schema, &consolidated))
-            .collect();
-        let report = SetupReport {
-            n_sources: catalog.source_count(),
-            n_attributes: schema_set.vocab().len(),
-            n_schemas: pmed.len(),
-            n_mappings: pmappings.iter().flatten().map(PMapping::len).sum(),
-            n_consolidated_mappings: cons_pmappings.iter().map(PMapping::len).sum(),
-            ..SetupReport::default()
-        };
-        Ok(UdiSystem {
-            catalog,
-            schema_set,
-            pmed,
-            pmappings,
-            consolidated,
-            cons_pmappings,
-            report,
-        })
+        let engine = SetupEngine::from_parts(catalog, pmed, pmappings, UdiConfig::default())?;
+        Ok(UdiSystem { engine })
+    }
+
+    /// Register a new source and re-configure incrementally: only the new
+    /// source's p-mappings (and whatever the new source shifts — attribute
+    /// frequencies, the similarity graph) are recomputed; every unaffected
+    /// stage artifact is reused. The result is identical to a fresh
+    /// [`setup`](UdiSystem::setup) over the extended catalog.
+    ///
+    /// On error the source stays registered but unconfigured; the query
+    /// surface keeps serving the last successful state, and a later
+    /// successful mutation completes the new source.
+    pub fn add_source(&mut self, table: Table) -> Result<(), UdiError> {
+        let measure = self.engine.config().measure.build();
+        self.add_source_with_measure(table, &*measure)
+    }
+
+    /// [`add_source`](UdiSystem::add_source) with a caller-supplied
+    /// measure — required for systems set up via
+    /// [`setup_with_measure`](UdiSystem::setup_with_measure). Pass the same
+    /// measure used at setup.
+    pub fn add_source_with_measure(
+        &mut self,
+        table: Table,
+        measure: &(dyn Similarity + Sync),
+    ) -> Result<(), UdiError> {
+        self.engine.add_source(table);
+        self.engine.refresh(measure)
+    }
+
+    /// Drop the source named `name` and re-configure incrementally.
+    /// Returns the removed table. Attribute ids stay stable; attributes
+    /// now orphaned simply fall out of the frequent set.
+    pub fn remove_source(&mut self, name: &str) -> Result<Table, UdiError> {
+        let measure = self.engine.config().measure.build();
+        self.remove_source_with_measure(name, &*measure)
+    }
+
+    /// [`remove_source`](UdiSystem::remove_source) with a caller-supplied
+    /// measure.
+    pub fn remove_source_with_measure(
+        &mut self,
+        name: &str,
+        measure: &(dyn Similarity + Sync),
+    ) -> Result<Table, UdiError> {
+        let table = self.engine.remove_source(name).map_err(UdiError::from)?;
+        self.engine.refresh(measure)?;
+        Ok(table)
+    }
+
+    /// Fold human judgments in and re-configure incrementally: judged
+    /// pairs are pinned to similarity 1/0, and only the artifacts they
+    /// reach (graph → schemas → mappings of the touched sources) are
+    /// recomputed. Equivalent to a fresh
+    /// [`setup_with_measure`](UdiSystem::setup_with_measure) under
+    /// [`Feedback::wrap`], at a fraction of the work.
+    pub fn apply_feedback(&mut self, feedback: &Feedback) -> Result<(), UdiError> {
+        let measure = self.engine.config().measure.build();
+        self.apply_feedback_with_measure(feedback, &*measure)
+    }
+
+    /// [`apply_feedback`](UdiSystem::apply_feedback) with a caller-supplied
+    /// base measure.
+    pub fn apply_feedback_with_measure(
+        &mut self,
+        feedback: &Feedback,
+        measure: &(dyn Similarity + Sync),
+    ) -> Result<(), UdiError> {
+        self.engine.apply_feedback(feedback);
+        self.engine.refresh(measure)
+    }
+
+    /// The underlying incremental setup engine (read-only).
+    pub fn engine(&self) -> &SetupEngine {
+        &self.engine
+    }
+
+    /// Install previously accumulated feedback without reconfiguring —
+    /// used when loading a snapshot, where the supplied p-mappings already
+    /// reflect the feedback.
+    pub(crate) fn restore_feedback(&mut self, feedback: Feedback) {
+        self.engine.set_feedback(feedback);
+    }
+
+    /// All feedback folded into the system so far.
+    pub fn feedback(&self) -> &Feedback {
+        self.engine.feedback()
     }
 
     /// The underlying source catalog.
     pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+        self.engine.catalog()
     }
 
     /// The imported schema set (vocabulary + source schemas).
     pub fn schema_set(&self) -> &SchemaSet {
-        &self.schema_set
+        self.engine.schema_set()
     }
 
     /// The probabilistic mediated schema.
     pub fn pmed(&self) -> &PMedSchema {
-        &self.pmed
+        self.engine.pmed()
     }
 
     /// The p-mapping between source `src` (catalog order) and possible
     /// mediated schema `schema` (`pmed().schemas()` order).
     pub fn pmapping(&self, src: usize, schema: usize) -> &PMapping {
-        &self.pmappings[src][schema]
+        self.engine.pmapping(src, schema)
     }
 
     /// The consolidated deterministic mediated schema exposed to users.
     pub fn consolidated(&self) -> &MediatedSchema {
-        &self.consolidated
+        self.engine.consolidated()
     }
 
     /// The consolidated (one-to-many) p-mapping for source `src`.
     pub fn consolidated_pmapping(&self, src: usize) -> &PMapping {
-        &self.cons_pmappings[src]
+        self.engine.consolidated_pmapping(src)
     }
 
-    /// Setup diagnostics and stage timings.
+    /// Diagnostics of the most recent (re)configuration, including
+    /// per-stage cache hit counters.
     pub fn report(&self) -> &SetupReport {
-        &self.report
+        self.engine.report()
     }
 
     /// The exposed mediated schema as `(representative name, members)`,
@@ -240,13 +208,14 @@ impl UdiSystem {
     /// the most frequent source attribute to represent a mediated
     /// attribute"), ties broken lexicographically.
     pub fn exposed_schema(&self) -> Vec<(String, Vec<String>)> {
-        self.consolidated
+        let schema_set = self.schema_set();
+        self.consolidated()
             .clusters()
             .iter()
             .map(|cluster| {
                 let mut members: Vec<(f64, &str)> = cluster
                     .iter()
-                    .map(|&a| (self.schema_set.frequency(a), self.schema_set.vocab().name(a)))
+                    .map(|&a| (schema_set.frequency(a), schema_set.vocab().name(a)))
                     .collect();
                 members.sort_by(|(fa, na), (fb, nb)| {
                     fb.partial_cmp(fa)
@@ -264,7 +233,7 @@ impl UdiSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use udi_store::Table;
+    use udi_store::{StoreError, Table};
 
     fn people_catalog() -> Catalog {
         let mut c = Catalog::new();
@@ -287,11 +256,12 @@ mod tests {
     fn setup_produces_consistent_structure() {
         let udi = UdiSystem::setup(people_catalog(), UdiConfig::default()).unwrap();
         assert_eq!(udi.report().n_sources, 4);
-        assert_eq!(udi.pmappings.len(), 4);
-        for per_schema in &udi.pmappings {
-            assert_eq!(per_schema.len(), udi.pmed().len());
+        for src in 0..4 {
+            for schema in 0..udi.pmed().len() {
+                assert!(udi.pmapping(src, schema).len() >= 1);
+            }
+            assert!(udi.consolidated_pmapping(src).len() >= 1);
         }
-        assert_eq!(udi.cons_pmappings.len(), 4);
         // phone and phone-no should share a consolidated cluster.
         let vocab = udi.schema_set().vocab();
         let phone = vocab.id_of("phone").unwrap();
@@ -306,6 +276,94 @@ mod tests {
     fn empty_catalog_is_rejected() {
         let err = UdiSystem::setup(Catalog::new(), UdiConfig::default()).unwrap_err();
         assert!(matches!(err, UdiError::EmptyCatalog));
+    }
+
+    #[test]
+    fn from_parts_rejects_misshapen_mappings() {
+        let udi = UdiSystem::setup(people_catalog(), UdiConfig::default()).unwrap();
+        let pmed = udi.pmed().clone();
+        let rows: Vec<Vec<PMapping>> = (0..4)
+            .map(|s| {
+                (0..pmed.len())
+                    .map(|m| udi.pmapping(s, m).clone())
+                    .collect()
+            })
+            .collect();
+
+        // Wrong number of rows.
+        let mut short = rows.clone();
+        short.pop();
+        let err = UdiSystem::from_parts(udi.catalog().clone(), pmed.clone(), short).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                UdiError::MappingRowMismatch {
+                    expected: 4,
+                    got: 3
+                }
+            ),
+            "{err}"
+        );
+
+        // Wrong number of columns in one row.
+        let mut ragged = rows.clone();
+        ragged[2].pop();
+        let err = UdiSystem::from_parts(udi.catalog().clone(), pmed.clone(), ragged).unwrap_err();
+        assert!(
+            matches!(err, UdiError::MappingColumnMismatch { source: 2, .. }),
+            "{err}"
+        );
+
+        // Well-formed parts reassemble, with counts in the report.
+        let rebuilt = UdiSystem::from_parts(udi.catalog().clone(), pmed, rows).unwrap();
+        assert_eq!(rebuilt.consolidated(), udi.consolidated());
+        assert_eq!(rebuilt.report().n_frequent, udi.report().n_frequent);
+        assert_eq!(rebuilt.report().timings.total(), std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn incremental_add_matches_batch_setup() {
+        let mut catalog = people_catalog();
+        let mut t = Table::new("s5", ["name", "phone", "zip"]);
+        t.push_raw_row(["n", "p", "z"]).unwrap();
+        catalog.add_source(t.clone());
+
+        let batch = UdiSystem::setup(catalog, UdiConfig::default()).unwrap();
+
+        let mut incr = UdiSystem::setup(people_catalog(), UdiConfig::default()).unwrap();
+        incr.add_source(t).unwrap();
+
+        assert_eq!(incr.pmed().len(), batch.pmed().len());
+        for ((ma, pa), (mb, pb)) in incr.pmed().schemas().iter().zip(batch.pmed().schemas()) {
+            assert_eq!(ma, mb);
+            assert!((pa - pb).abs() < 1e-12);
+        }
+        assert_eq!(incr.consolidated(), batch.consolidated());
+        for src in 0..5 {
+            for schema in 0..batch.pmed().len() {
+                assert_eq!(
+                    incr.pmapping(src, schema).mappings(),
+                    batch.pmapping(src, schema).mappings()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn remove_source_reconfigures() {
+        let mut udi = UdiSystem::setup(people_catalog(), UdiConfig::default()).unwrap();
+        let t = udi.remove_source("s2").unwrap();
+        assert_eq!(t.name(), "s2");
+        assert_eq!(udi.report().n_sources, 3);
+        // phone-no left with s2; it must be gone from the consolidated
+        // schema.
+        let vocab = udi.schema_set().vocab();
+        let phone_no = vocab.id_of("phone-no").unwrap();
+        assert_eq!(udi.consolidated().cluster_of(phone_no), None);
+        assert!(matches!(
+            udi.remove_source("nope"),
+            Err(UdiError::Store(StoreError::UnknownSourceName(_)))
+        ));
     }
 
     #[test]
@@ -327,13 +385,9 @@ mod tests {
         // TF-IDF needs the corpus up front, so it goes through
         // `setup_with_measure`.
         let catalog = people_catalog();
-        let names: Vec<String> = catalog
-            .attribute_universe()
-            .map(str::to_owned)
-            .collect();
+        let names: Vec<String> = catalog.attribute_universe().map(str::to_owned).collect();
         let measure = udi_similarity::SoftTfIdf::from_names(&names);
-        let udi =
-            UdiSystem::setup_with_measure(catalog, &measure, UdiConfig::default()).unwrap();
+        let udi = UdiSystem::setup_with_measure(catalog, &measure, UdiConfig::default()).unwrap();
         assert!(udi.report().n_schemas >= 1);
         let vocab = udi.schema_set().vocab();
         let name = vocab.id_of("name").unwrap();
@@ -347,7 +401,14 @@ mod tests {
         assert_eq!(r.n_attributes, 6); // name, phone, address, phone-no, addr, city
         assert!(r.n_frequent >= 3);
         assert!(r.n_schemas >= 1);
-        assert!(r.n_mappings >= r.n_sources, "at least one mapping per source");
+        assert!(
+            r.n_mappings >= r.n_sources,
+            "at least one mapping per source"
+        );
         assert!(r.n_consolidated_mappings >= r.n_sources);
+        // A fresh setup computes everything.
+        assert_eq!(r.cache.rows_reused, 0);
+        assert_eq!(r.cache.rows_computed, r.n_sources * r.n_schemas);
+        assert!(r.cache.sim_misses > 0);
     }
 }

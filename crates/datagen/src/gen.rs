@@ -71,16 +71,29 @@ pub fn generate_with_concepts(
     concepts: Vec<ConceptSpec>,
     cfg: &GenConfig,
 ) -> GeneratedDomain {
-    assert!(cfg.rows_min >= 1 && cfg.rows_min <= cfg.rows_max, "bad row range");
-    assert!(cfg.universe_size >= cfg.rows_max, "universe must cover the largest source");
+    assert!(
+        cfg.rows_min >= 1 && cfg.rows_min <= cfg.rows_max,
+        "bad row range"
+    );
+    assert!(
+        cfg.universe_size >= cfg.rows_max,
+        "universe must cover the largest source"
+    );
     assert!(!concepts.is_empty(), "need at least one concept");
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ domain_salt(domain));
-    let n_sources = cfg.n_sources.unwrap_or_else(|| domain.default_source_count());
+    let n_sources = cfg
+        .n_sources
+        .unwrap_or_else(|| domain.default_source_count());
 
     // Entity universe: one value per (entity, concept). Stringly conversion
     // happens per source, so generate pure numerics here.
     let universe: Vec<Vec<Value>> = (0..cfg.universe_size)
-        .map(|_| concepts.iter().map(|c| purify(c.value).generate(&mut rng)).collect())
+        .map(|_| {
+            concepts
+                .iter()
+                .map(|c| purify(c.value).generate(&mut rng))
+                .collect()
+        })
         .collect();
 
     let mut catalog = Catalog::new();
@@ -103,9 +116,7 @@ pub fn generate_with_concepts(
         // inventories may not know the groups' keys; missing keys are
         // ignored.)
         for group in required {
-            let satisfied = chosen
-                .iter()
-                .any(|&i| group.contains(&concepts[i].key));
+            let satisfied = chosen.iter().any(|&i| group.contains(&concepts[i].key));
             if !satisfied {
                 if let Some(pick) = group
                     .iter()
@@ -153,8 +164,10 @@ pub fn generate_with_concepts(
             .choose_multiple(&mut rng, n_rows)
             .copied()
             .collect();
-        let mut table =
-            Table::new(format!("{}_{s:03}", domain.name().to_lowercase()), attrs.iter().map(|(_, a)| a.clone()));
+        let mut table = Table::new(
+            format!("{}_{s:03}", domain.name().to_lowercase()),
+            attrs.iter().map(|(_, a)| a.clone()),
+        );
         for &e in &rows {
             let row: Vec<Value> = attrs
                 .iter()
@@ -186,30 +199,39 @@ pub fn generate_with_concepts(
         per_source_truth,
         concepts.iter().map(|c| c.key.to_owned()).collect(),
     );
-    GeneratedDomain { domain, concepts, catalog, truth }
+    GeneratedDomain {
+        domain,
+        concepts,
+        catalog,
+        truth,
+    }
 }
 
 /// Variant weights decay as `1/(rank+1)`: the canonical label is the most
 /// common but alternatives remain well represented — the heterogeneity that
 /// separates UDI (which clusters the variants) from the `Source` baseline
 /// (which needs exact matches).
-fn pick_variant<'a>(
-    c: &ConceptSpec,
-    used: &[&str],
-    rng: &mut StdRng,
-) -> Option<&'a str>
+fn pick_variant<'a>(c: &ConceptSpec, used: &[&str], rng: &mut StdRng) -> Option<&'a str>
 where
     'static: 'a,
 {
-    let available: Vec<&'static str> =
-        c.variants.iter().copied().filter(|v| !used.contains(v)).collect();
+    let available: Vec<&'static str> = c
+        .variants
+        .iter()
+        .copied()
+        .filter(|v| !used.contains(v))
+        .collect();
     if available.is_empty() {
         return None;
     }
     let weights: Vec<f64> = available
         .iter()
         .map(|v| {
-            let rank = c.variants.iter().position(|x| x == v).expect("from variants");
+            let rank = c
+                .variants
+                .iter()
+                .position(|x| x == v)
+                .expect("from variants");
             1.0 / (rank + 1) as f64
         })
         .collect();
@@ -228,7 +250,11 @@ where
 /// storage is a per-source property, not a per-entity one).
 fn purify(v: ValueKind) -> ValueKind {
     match v {
-        ValueKind::IntRange { min, max, .. } => ValueKind::IntRange { min, max, stringly: 0.0 },
+        ValueKind::IntRange { min, max, .. } => ValueKind::IntRange {
+            min,
+            max,
+            stringly: 0.0,
+        },
         other => other,
     }
 }
@@ -248,7 +274,13 @@ mod tests {
     use super::*;
 
     fn small(domain: Domain, n: usize) -> GeneratedDomain {
-        generate(domain, &GenConfig { n_sources: Some(n), ..GenConfig::default() })
+        generate(
+            domain,
+            &GenConfig {
+                n_sources: Some(n),
+                ..GenConfig::default()
+            },
+        )
     }
 
     #[test]
@@ -276,12 +308,22 @@ mod tests {
         let a = small(Domain::Car, 10);
         let b = generate(
             Domain::Car,
-            &GenConfig { n_sources: Some(10), seed: 999, ..GenConfig::default() },
+            &GenConfig {
+                n_sources: Some(10),
+                seed: 999,
+                ..GenConfig::default()
+            },
         );
-        let schema_a: Vec<Vec<String>> =
-            a.catalog.iter_sources().map(|(_, t)| t.attributes().to_vec()).collect();
-        let schema_b: Vec<Vec<String>> =
-            b.catalog.iter_sources().map(|(_, t)| t.attributes().to_vec()).collect();
+        let schema_a: Vec<Vec<String>> = a
+            .catalog
+            .iter_sources()
+            .map(|(_, t)| t.attributes().to_vec())
+            .collect();
+        let schema_b: Vec<Vec<String>> = b
+            .catalog
+            .iter_sources()
+            .map(|(_, t)| t.attributes().to_vec())
+            .collect();
         assert_ne!(schema_a, schema_b);
     }
 
@@ -292,7 +334,9 @@ mod tests {
             for src in 0..50 {
                 for group in domain.required_groups() {
                     assert!(
-                        group.iter().any(|k| g.truth.source_attr_for(src, k).is_some()),
+                        group
+                            .iter()
+                            .any(|k| g.truth.source_attr_for(src, k).is_some()),
                         "{domain:?} source {src} violates required group {group:?}"
                     );
                 }
@@ -320,7 +364,10 @@ mod tests {
         assert!(g.catalog.attribute_frequency("author") > 0.4);
         // Mandatory concepts are present in every source under some name.
         for src in 0..100 {
-            assert!(g.truth.source_attr_for(src, "author").is_some(), "source {src}");
+            assert!(
+                g.truth.source_attr_for(src, "author").is_some(),
+                "source {src}"
+            );
         }
     }
 

@@ -49,7 +49,13 @@ pub enum Domain {
 impl Domain {
     /// All domains, in Table 1 order.
     pub fn all() -> [Domain; 5] {
-        [Domain::Movie, Domain::Car, Domain::People, Domain::Course, Domain::Bib]
+        [
+            Domain::Movie,
+            Domain::Car,
+            Domain::People,
+            Domain::Course,
+            Domain::Bib,
+        ]
     }
 
     /// Display name.
@@ -111,9 +117,11 @@ impl Domain {
             Domain::Movie => &[&["movie"], &["year"]],
             Domain::Car => &[&["make"], &["model"]],
             Domain::People => &[&["name"], &["job"], &["organization"]],
-            Domain::Course => {
-                &[&["course"], &["instructor"], &["subject", "department", "title"]]
-            }
+            Domain::Course => &[
+                &["course"],
+                &["instructor"],
+                &["subject", "department", "title"],
+            ],
             Domain::Bib => &[&["author"], &["title"], &["year"], &["journal"]],
         }
     }
@@ -128,13 +136,20 @@ fn movie() -> Vec<ConceptSpec> {
             key: "movie",
             variants: &["movie", "movie title", "name of movie", "film"],
             popularity: 1.0,
-            value: ValueKind::TitleWords { pool: PoolId::MovieWords, min_words: 2, max_words: 4 },
+            value: ValueKind::TitleWords {
+                pool: PoolId::MovieWords,
+                min_words: 2,
+                max_words: 4,
+            },
         },
         ConceptSpec {
             key: "year",
             variants: &["year", "release year", "yr"],
             popularity: 1.0,
-            value: ValueKind::Year { min: 1950, max: 2008 },
+            value: ValueKind::Year {
+                min: 1950,
+                max: 2008,
+            },
         },
         ConceptSpec {
             key: "director",
@@ -152,13 +167,21 @@ fn movie() -> Vec<ConceptSpec> {
             key: "rating",
             variants: &["rating", "ratings", "imdb rating"],
             popularity: 0.45,
-            value: ValueKind::IntRange { min: 1, max: 10, stringly: 0.0 },
+            value: ValueKind::IntRange {
+                min: 1,
+                max: 10,
+                stringly: 0.0,
+            },
         },
         ConceptSpec {
             key: "runtime",
             variants: &["runtime", "run time", "length"],
             popularity: 0.4,
-            value: ValueKind::IntRange { min: 70, max: 210, stringly: 0.0 },
+            value: ValueKind::IntRange {
+                min: 70,
+                max: 210,
+                stringly: 0.0,
+            },
         },
         ConceptSpec {
             key: "studio",
@@ -205,19 +228,29 @@ fn car() -> Vec<ConceptSpec> {
             key: "year",
             variants: &["year", "yr"],
             popularity: 0.9,
-            value: ValueKind::Year { min: 1990, max: 2008 },
+            value: ValueKind::Year {
+                min: 1990,
+                max: 2008,
+            },
         },
         ConceptSpec {
             key: "price",
             variants: &["price", "prices", "asking price"],
             popularity: 0.85,
-            value: ValueKind::Money { min: 500, max: 60_000 },
+            value: ValueKind::Money {
+                min: 500,
+                max: 60_000,
+            },
         },
         ConceptSpec {
             key: "mileage",
             variants: &["mileage", "miles", "odometer"],
             popularity: 0.7,
-            value: ValueKind::IntRange { min: 0, max: 220_000, stringly: 0.0 },
+            value: ValueKind::IntRange {
+                min: 0,
+                max: 220_000,
+                stringly: 0.0,
+            },
         },
         ConceptSpec {
             key: "color",
@@ -241,7 +274,11 @@ fn car() -> Vec<ConceptSpec> {
             key: "doors",
             variants: &["doors", "door count"],
             popularity: 0.25,
-            value: ValueKind::IntRange { min: 2, max: 5, stringly: 0.0 },
+            value: ValueKind::IntRange {
+                min: 2,
+                max: 5,
+                stringly: 0.0,
+            },
         },
         ConceptSpec {
             key: "vin",
@@ -337,7 +374,11 @@ fn people() -> Vec<ConceptSpec> {
             key: "age",
             variants: &["age"],
             popularity: 0.3,
-            value: ValueKind::IntRange { min: 18, max: 80, stringly: 0.0 },
+            value: ValueKind::IntRange {
+                min: 18,
+                max: 80,
+                stringly: 0.0,
+            },
         },
     ]
 }
@@ -378,7 +419,11 @@ fn course() -> Vec<ConceptSpec> {
             key: "credits",
             variants: &["credits", "credit hours", "units"],
             popularity: 0.6,
-            value: ValueKind::IntRange { min: 1, max: 6, stringly: 0.3 },
+            value: ValueKind::IntRange {
+                min: 1,
+                max: 6,
+                stringly: 0.3,
+            },
         },
         // Stored as text by roughly half the web sources: the §7.3
         // Course-domain precision artifact (lexicographic "9" > "30").
@@ -386,13 +431,21 @@ fn course() -> Vec<ConceptSpec> {
             key: "enrollment",
             variants: &["enrollment", "enrolled", "students"],
             popularity: 0.5,
-            value: ValueKind::IntRange { min: 5, max: 400, stringly: 0.5 },
+            value: ValueKind::IntRange {
+                min: 5,
+                max: 400,
+                stringly: 0.5,
+            },
         },
         ConceptSpec {
             key: "room",
             variants: &["room", "room no"],
             popularity: 0.5,
-            value: ValueKind::IntRange { min: 100, max: 499, stringly: 0.2 },
+            value: ValueKind::IntRange {
+                min: 100,
+                max: 499,
+                stringly: 0.2,
+            },
         },
         ConceptSpec {
             key: "building",
@@ -427,13 +480,20 @@ fn bib() -> Vec<ConceptSpec> {
             key: "title",
             variants: &["title", "titles"],
             popularity: 1.0,
-            value: ValueKind::TitleWords { pool: PoolId::MovieWords, min_words: 4, max_words: 8 },
+            value: ValueKind::TitleWords {
+                pool: PoolId::MovieWords,
+                min_words: 4,
+                max_words: 8,
+            },
         },
         ConceptSpec {
             key: "year",
             variants: &["year", "pub year"],
             popularity: 1.0,
-            value: ValueKind::Year { min: 1970, max: 2008 },
+            value: ValueKind::Year {
+                min: 1970,
+                max: 2008,
+            },
         },
         ConceptSpec {
             key: "journal",
@@ -445,7 +505,11 @@ fn bib() -> Vec<ConceptSpec> {
             key: "volume",
             variants: &["volume", "vol"],
             popularity: 0.6,
-            value: ValueKind::IntRange { min: 1, max: 120, stringly: 0.2 },
+            value: ValueKind::IntRange {
+                min: 1,
+                max: 120,
+                stringly: 0.2,
+            },
         },
         // `issue` vs `issn`: Jaro–Winkler ≈ 0.848 — inside the τ ± ε band,
         // so Algorithm 1 generates exactly the two mediated schemas of
@@ -454,7 +518,11 @@ fn bib() -> Vec<ConceptSpec> {
             key: "issue",
             variants: &["issue"],
             popularity: 0.5,
-            value: ValueKind::IntRange { min: 1, max: 12, stringly: 0.2 },
+            value: ValueKind::IntRange {
+                min: 1,
+                max: 12,
+                stringly: 0.2,
+            },
         },
         // `eissn` is a naming variant of the serial-number concept: both
         // Figure 3 schemas group `eissn` with `issn`, and so would a human
@@ -584,7 +652,10 @@ mod tests {
     fn bib_domain_has_figure_3_confusables() {
         use udi_similarity::jaro_winkler;
         let w = jaro_winkler("issue", "issn");
-        assert!((0.83..0.87).contains(&w), "issue~issn must be uncertain, got {w}");
+        assert!(
+            (0.83..0.87).contains(&w),
+            "issue~issn must be uncertain, got {w}"
+        );
         let w2 = jaro_winkler("issn", "eissn");
         assert!(w2 >= 0.87, "issn~eissn must be certain, got {w2}");
     }

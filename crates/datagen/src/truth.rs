@@ -21,7 +21,10 @@ pub struct GroundTruth {
 impl GroundTruth {
     /// Build from per-source attribute→concept maps.
     pub fn new(per_source: Vec<BTreeMap<String, String>>, concepts: Vec<String>) -> GroundTruth {
-        GroundTruth { per_source, concepts }
+        GroundTruth {
+            per_source,
+            concepts,
+        }
     }
 
     /// Number of sources covered.
@@ -66,7 +69,11 @@ impl GroundTruth {
 
     /// All attribute names appearing in the corpus.
     pub fn attribute_names(&self) -> BTreeSet<&str> {
-        self.per_source.iter().flat_map(|m| m.keys()).map(String::as_str).collect()
+        self.per_source
+            .iter()
+            .flat_map(|m| m.keys())
+            .map(String::as_str)
+            .collect()
     }
 
     /// Golden clustering of the given attribute names by concept. Ambiguous
@@ -103,12 +110,19 @@ mod tests {
 
     fn truth() -> GroundTruth {
         let mk = |pairs: &[(&str, &str)]| -> BTreeMap<String, String> {
-            pairs.iter().map(|&(a, c)| (a.to_owned(), c.to_owned())).collect()
+            pairs
+                .iter()
+                .map(|&(a, c)| (a.to_owned(), c.to_owned()))
+                .collect()
         };
         GroundTruth::new(
             vec![
                 mk(&[("name", "name"), ("phone", "home phone")]),
-                mk(&[("name", "name"), ("phone", "office phone"), ("hphone", "home phone")]),
+                mk(&[
+                    ("name", "name"),
+                    ("phone", "office phone"),
+                    ("hphone", "home phone"),
+                ]),
                 mk(&[("full name", "name")]),
             ],
             vec!["name".into(), "home phone".into(), "office phone".into()],
@@ -144,8 +158,7 @@ mod tests {
         let clusters = t.golden_clusters(&["name", "full name", "phone", "hphone"]);
         // phone excluded; {name, full name} together; {hphone} alone.
         assert_eq!(clusters.len(), 2);
-        let all: BTreeSet<&str> =
-            clusters.iter().flatten().map(String::as_str).collect();
+        let all: BTreeSet<&str> = clusters.iter().flatten().map(String::as_str).collect();
         assert!(!all.contains("phone"));
         assert!(clusters
             .iter()
@@ -158,7 +171,9 @@ mod tests {
         let names = t.attribute_names();
         assert_eq!(
             names,
-            ["full name", "hphone", "name", "phone"].into_iter().collect()
+            ["full name", "hphone", "name", "phone"]
+                .into_iter()
+                .collect()
         );
     }
 }

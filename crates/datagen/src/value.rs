@@ -107,7 +107,11 @@ impl ValueKind {
                 Value::float(dollars as f64 + cents as f64 / 100.0)
             }
             ValueKind::FromPool(p) => Value::text(choose(rng, p)),
-            ValueKind::TitleWords { pool: p, min_words, max_words } => {
+            ValueKind::TitleWords {
+                pool: p,
+                min_words,
+                max_words,
+            } => {
                 let n = rng.gen_range(min_words..=max_words);
                 let words: Vec<&str> = (0..n).map(|_| choose(rng, p)).collect();
                 Value::text(words.join(" "))
@@ -169,7 +173,10 @@ mod tests {
     #[test]
     fn generators_produce_expected_shapes() {
         let mut r = rng();
-        assert!(matches!(ValueKind::PersonName.generate(&mut r), Value::Text(_)));
+        assert!(matches!(
+            ValueKind::PersonName.generate(&mut r),
+            Value::Text(_)
+        ));
         assert!(matches!(
             ValueKind::Year { min: 1950, max: 2008 }.generate(&mut r),
             Value::Int(y) if (1950..=2008).contains(&y)
@@ -186,7 +193,11 @@ mod tests {
     #[test]
     fn stringly_int_emits_text_and_int() {
         let mut r = rng();
-        let kind = ValueKind::IntRange { min: 1, max: 500, stringly: 0.5 };
+        let kind = ValueKind::IntRange {
+            min: 1,
+            max: 500,
+            stringly: 0.5,
+        };
         let mut text = 0;
         let mut int = 0;
         for _ in 0..200 {

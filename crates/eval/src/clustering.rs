@@ -18,12 +18,8 @@ use crate::metrics::Metrics;
 /// clustering. Only pairs over attributes that appear in the golden
 /// clustering are counted — the golden standard excludes genuinely
 /// ambiguous names, for which no clustering of the *name* is right.
-pub fn pairwise_metrics(
-    predicted: &[BTreeSet<String>],
-    golden: &[BTreeSet<String>],
-) -> Metrics {
-    let in_golden: BTreeSet<&str> =
-        golden.iter().flatten().map(String::as_str).collect();
+pub fn pairwise_metrics(predicted: &[BTreeSet<String>], golden: &[BTreeSet<String>]) -> Metrics {
+    let in_golden: BTreeSet<&str> = golden.iter().flatten().map(String::as_str).collect();
     let pair_set = |clusters: &[BTreeSet<String>], universe: &BTreeSet<&str>| {
         let mut pairs: BTreeSet<(String, String)> = BTreeSet::new();
         for c in clusters {

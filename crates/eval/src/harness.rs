@@ -35,10 +35,22 @@ pub fn prepare(
     n_sources: Option<usize>,
     seed: u64,
 ) -> Result<DomainEval, UdiError> {
-    let gen = generate(domain, &GenConfig { n_sources, seed, ..GenConfig::default() });
+    let gen = generate(
+        domain,
+        &GenConfig {
+            n_sources,
+            seed,
+            ..GenConfig::default()
+        },
+    );
     let udi = UdiSystem::setup(gen.catalog.clone(), UdiConfig::default())?;
     let queries = generate_workload(&gen, DEFAULT_QUERIES, seed.wrapping_add(1));
-    Ok(DomainEval { domain, gen, udi, queries })
+    Ok(DomainEval {
+        domain,
+        gen,
+        udi,
+        queries,
+    })
 }
 
 impl DomainEval {
@@ -106,7 +118,10 @@ mod tests {
         // On a 24-source fixture the two can be nearly tied; the robust
         // invariant is UDI's recall advantage (Source only follows
         // attribute-identity mappings) at a small, bounded precision cost.
-        assert!(udi.recall >= source.recall - 1e-9, "UDI must not lose recall to Source");
+        assert!(
+            udi.recall >= source.recall - 1e-9,
+            "UDI must not lose recall to Source"
+        );
         assert!(
             udi.f_measure() >= source.f_measure() - 0.05,
             "UDI {udi:?} vs Source {source:?}"

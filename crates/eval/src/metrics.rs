@@ -65,7 +65,11 @@ where
             found.insert(g);
         }
     }
-    let precision = if n_answers == 0 { 1.0 } else { n_correct as f64 / n_answers as f64 };
+    let precision = if n_answers == 0 {
+        1.0
+    } else {
+        n_correct as f64 / n_answers as f64
+    };
     let recall = if golden_set.is_empty() {
         1.0
     } else {
@@ -128,7 +132,10 @@ pub fn top_k_precision(ranked: &[AnswerTuple], golden: &[Row], k: usize) -> f64 
     if prefix.is_empty() {
         return if golden_set.is_empty() { 1.0 } else { 0.0 };
     }
-    let correct = prefix.iter().filter(|t| golden_set.contains(&t.values)).count();
+    let correct = prefix
+        .iter()
+        .filter(|t| golden_set.contains(&t.values))
+        .count();
     correct as f64 / prefix.len() as f64
 }
 
@@ -142,7 +149,10 @@ mod tests {
     }
 
     fn tup(s: &str, p: f64) -> AnswerTuple {
-        AnswerTuple { values: row(s), probability: p }
+        AnswerTuple {
+            values: row(s),
+            probability: p,
+        }
     }
 
     #[test]
@@ -183,8 +193,14 @@ mod tests {
 
     #[test]
     fn average_is_componentwise() {
-        let a = Metrics { precision: 1.0, recall: 0.5 };
-        let b = Metrics { precision: 0.5, recall: 1.0 };
+        let a = Metrics {
+            precision: 1.0,
+            recall: 0.5,
+        };
+        let b = Metrics {
+            precision: 0.5,
+            recall: 1.0,
+        };
         let avg = Metrics::average(&[a, b]);
         assert_eq!(avg.precision, 0.75);
         assert_eq!(avg.recall, 0.75);
@@ -198,8 +214,20 @@ mod tests {
         let ranked = vec![tup("a", 0.9), tup("x", 0.8), tup("b", 0.7)];
         let curve = rp_curve(&ranked, &golden);
         assert_eq!(curve.len(), 3);
-        assert_eq!(curve[0], RpPoint { recall: 0.5, precision: 1.0 });
-        assert_eq!(curve[1], RpPoint { recall: 0.5, precision: 0.5 });
+        assert_eq!(
+            curve[0],
+            RpPoint {
+                recall: 0.5,
+                precision: 1.0
+            }
+        );
+        assert_eq!(
+            curve[1],
+            RpPoint {
+                recall: 0.5,
+                precision: 0.5
+            }
+        );
         assert!((curve[2].precision - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(curve[2].recall, 1.0);
     }

@@ -29,7 +29,10 @@ use udi_store::Value;
 pub fn generate_workload(gen: &GeneratedDomain, n: usize, seed: u64) -> Vec<Query> {
     let mut rng = StdRng::seed_from_u64(seed);
     let pool = attribute_pool(gen);
-    assert!(!pool.is_empty(), "corpus has no frequent canonical attributes");
+    assert!(
+        !pool.is_empty(),
+        "corpus has no frequent canonical attributes"
+    );
     let mut queries = Vec::with_capacity(n);
     let mut attempts = 0;
     while queries.len() < n && attempts < n * 50 {
@@ -51,8 +54,7 @@ fn attribute_pool(gen: &GeneratedDomain) -> Vec<(String, String, f64)> {
     let mut pool: Vec<(String, String, f64)> = Vec::new();
     for c in &gen.concepts {
         let canonical = c.variants[0];
-        if gen.catalog.attribute_frequency(canonical) >= 0.10
-            && !gen.truth.is_ambiguous(canonical)
+        if gen.catalog.attribute_frequency(canonical) >= 0.10 && !gen.truth.is_ambiguous(canonical)
         {
             pool.push((c.key.to_owned(), canonical.to_owned(), c.popularity.powi(3)));
         }
@@ -122,10 +124,18 @@ fn generate_one(
             continue;
         };
         let (op, value) = pick_op(&value, rng);
-        predicates.push(Predicate { attribute: attr.clone(), op, value });
+        predicates.push(Predicate {
+            attribute: attr.clone(),
+            op,
+            value,
+        });
     }
 
-    Some(Query { select, predicates, from: "T".to_owned() })
+    Some(Query {
+        select,
+        predicates,
+        from: "T".to_owned(),
+    })
 }
 
 /// Two pool keys conflict when they share a concept (an ambiguous key is a
@@ -157,7 +167,13 @@ fn sample_value(gen: &GeneratedDomain, attr: &str, rng: &mut StdRng) -> Option<V
 fn pick_op(value: &Value, rng: &mut StdRng) -> (CompareOp, Value) {
     match value {
         Value::Int(_) | Value::Float(_) => {
-            let ops = [CompareOp::Eq, CompareOp::Lt, CompareOp::Le, CompareOp::Gt, CompareOp::Ge];
+            let ops = [
+                CompareOp::Eq,
+                CompareOp::Lt,
+                CompareOp::Le,
+                CompareOp::Gt,
+                CompareOp::Ge,
+            ];
             (ops[rng.gen_range(0..ops.len())], value.clone())
         }
         Value::Text(s) => {
@@ -188,7 +204,13 @@ mod tests {
     use udi_datagen::{generate, Domain, GenConfig};
 
     fn corpus() -> GeneratedDomain {
-        generate(Domain::Movie, &GenConfig { n_sources: Some(30), ..GenConfig::default() })
+        generate(
+            Domain::Movie,
+            &GenConfig {
+                n_sources: Some(30),
+                ..GenConfig::default()
+            },
+        )
     }
 
     #[test]

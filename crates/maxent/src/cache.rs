@@ -1,0 +1,263 @@
+//! Canonical-form memoization of per-group max-entropy solves.
+//!
+//! Setup solves one OPT instance per connected correspondence group, per
+//! (source, mediated-schema) pair — and across a large corpus most of those
+//! instances are *structurally identical*: a source with attributes `{name,
+//! phone}` against cluster `{name}` produces the same bipartite shape and
+//! weights as hundreds of its siblings. Enumeration and the convex solve
+//! depend only on
+//!
+//! 1. the **equality pattern** of source/target indices (which edges share
+//!    an endpoint), and
+//! 2. the exact **weight vector**,
+//!
+//! never on the numeric values of the indices themselves. Relabeling both
+//! sides by first appearance therefore yields a canonical key: two groups
+//! with equal keys have identical matching structure and identical solved
+//! probabilities (the solver is deterministic). [`SolveCache`] exploits that
+//! to turn repeated group solves into hash lookups; `udi-core`'s incremental
+//! engine shares one cache across the whole catalog and across refreshes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::enumerate::enumerate_matchings;
+use crate::problem::CorrespondenceSet;
+use crate::solver::{solve_max_entropy, MaxEntConfig};
+use crate::{Correspondence, Matching, MaxEntError};
+
+/// Canonical form of one correspondence group: `(source, target, weight
+/// bits)` per edge, both endpoint sides relabeled by order of first
+/// appearance. Equal keys ⇒ isomorphic OPT instances ⇒ identical solutions.
+type CanonKey = Vec<(u32, u32, u64)>;
+
+/// A solved group, stored against its canonical key. Matchings are lists of
+/// **local** edge indices (positions within the group's correspondence
+/// list), so they transfer verbatim between isomorphic groups.
+#[derive(Debug, Clone)]
+struct CachedGroup {
+    matchings_local: Vec<Matching>,
+    probabilities: Vec<f64>,
+}
+
+/// Thread-safe memo table for per-group max-entropy solutions.
+///
+/// One cache must only ever see solves performed under one [`MaxEntConfig`]:
+/// the config is deliberately not part of the key (the incremental engine
+/// holds it constant for the lifetime of the cache).
+#[derive(Debug, Default)]
+pub struct SolveCache {
+    map: Mutex<HashMap<CanonKey, CachedGroup>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SolveCache {
+    /// Empty cache.
+    pub fn new() -> SolveCache {
+        SolveCache::default()
+    }
+
+    /// Number of group solves answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of group solves that ran the enumerator + solver.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct canonical instances stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Canonical key of one group's correspondence list.
+    fn canonicalize(group: &[Correspondence]) -> CanonKey {
+        let mut src_ids: HashMap<usize, u32> = HashMap::new();
+        let mut tgt_ids: HashMap<usize, u32> = HashMap::new();
+        group
+            .iter()
+            .map(|c| {
+                let ns = src_ids.len() as u32;
+                let s = *src_ids.entry(c.source).or_insert(ns);
+                let nt = tgt_ids.len() as u32;
+                let t = *tgt_ids.entry(c.target).or_insert(nt);
+                (s, t, c.weight.to_bits())
+            })
+            .collect()
+    }
+
+    /// Solve one group (given by its local correspondence list), consulting
+    /// the memo table. Returns `(matchings over local indices,
+    /// probabilities)`. Errors are never cached.
+    fn solve_group(
+        &self,
+        local: &[Correspondence],
+        config: &MaxEntConfig,
+    ) -> Result<(Vec<Matching>, Vec<f64>), MaxEntError> {
+        let key = SolveCache::canonicalize(local);
+        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((hit.matchings_local.clone(), hit.probabilities.clone()));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (matchings, probabilities) = solve_group_fresh(local, config)?;
+        self.map.lock().unwrap().insert(
+            key,
+            CachedGroup {
+                matchings_local: matchings.clone(),
+                probabilities: probabilities.clone(),
+            },
+        );
+        Ok((matchings, probabilities))
+    }
+}
+
+/// Enumerate + solve one group with no caching.
+fn solve_group_fresh(
+    local: &[Correspondence],
+    config: &MaxEntConfig,
+) -> Result<(Vec<Matching>, Vec<f64>), MaxEntError> {
+    let local_set = CorrespondenceSet::new(local.to_vec())?;
+    let matchings = enumerate_matchings(&local_set, config.matching_cap)?;
+    let targets: Vec<f64> = local.iter().map(|c| c.weight).collect();
+    let sol = solve_max_entropy(local.len(), &matchings, &targets, config)?;
+    Ok((matchings, sol.probabilities))
+}
+
+pub(crate) fn solve_group_via(
+    cache: Option<&SolveCache>,
+    local: &[Correspondence],
+    config: &MaxEntConfig,
+) -> Result<(Vec<Matching>, Vec<f64>), MaxEntError> {
+    match cache {
+        Some(c) => c.solve_group(local, config),
+        None => solve_group_fresh(local, config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::{solve_correspondences, solve_correspondences_cached};
+
+    fn cs(edges: &[(usize, usize, f64)]) -> CorrespondenceSet {
+        CorrespondenceSet::new(
+            edges
+                .iter()
+                .map(|&(s, t, w)| Correspondence::new(s, t, w))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn canonical_key_ignores_index_values() {
+        let a = [
+            Correspondence::new(3, 7, 0.5),
+            Correspondence::new(3, 9, 0.25),
+        ];
+        let b = [
+            Correspondence::new(0, 1, 0.5),
+            Correspondence::new(0, 2, 0.25),
+        ];
+        assert_eq!(SolveCache::canonicalize(&a), SolveCache::canonicalize(&b));
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_structure_and_weights() {
+        // Shared source vs disjoint edges.
+        let shared = [
+            Correspondence::new(0, 0, 0.5),
+            Correspondence::new(0, 1, 0.5),
+        ];
+        let disjoint = [
+            Correspondence::new(0, 0, 0.5),
+            Correspondence::new(1, 1, 0.5),
+        ];
+        assert_ne!(
+            SolveCache::canonicalize(&shared),
+            SolveCache::canonicalize(&disjoint)
+        );
+        // Same structure, different weight.
+        let reweighted = [
+            Correspondence::new(0, 0, 0.5),
+            Correspondence::new(0, 1, 0.25),
+        ];
+        assert_ne!(
+            SolveCache::canonicalize(&shared),
+            SolveCache::canonicalize(&reweighted)
+        );
+    }
+
+    #[test]
+    fn cached_solve_matches_fresh_solve_exactly() {
+        let set = cs(&[(0, 0, 0.6), (0, 1, 0.3), (1, 2, 0.5), (4, 4, 0.9)]);
+        let cache = SolveCache::new();
+        let cfg = MaxEntConfig::default();
+        let fresh = solve_correspondences(&set, &cfg).unwrap();
+        let warm = solve_correspondences_cached(&set, &cfg, Some(&cache)).unwrap();
+        let again = solve_correspondences_cached(&set, &cfg, Some(&cache)).unwrap();
+        for d in [&warm, &again] {
+            assert_eq!(d.factors().len(), fresh.factors().len());
+            for (fa, fb) in fresh.factors().iter().zip(d.factors()) {
+                assert_eq!(fa.corr_indices, fb.corr_indices);
+                assert_eq!(fa.matchings, fb.matchings);
+                assert_eq!(
+                    fa.probabilities, fb.probabilities,
+                    "bit-identical probabilities"
+                );
+            }
+        }
+        assert!(
+            cache.hits() >= 2,
+            "second pass must hit, got {}",
+            cache.hits()
+        );
+    }
+
+    #[test]
+    fn isomorphic_groups_share_one_entry() {
+        // Two disjoint groups with identical shape and weights: the second
+        // is answered from the first's entry within a single solve.
+        let set = cs(&[(0, 0, 0.4), (0, 1, 0.3), (5, 5, 0.4), (5, 6, 0.3)]);
+        let cache = SolveCache::new();
+        let dist =
+            solve_correspondences_cached(&set, &MaxEntConfig::default(), Some(&cache)).unwrap();
+        assert_eq!(dist.factors().len(), 2);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+        let [a, b] = dist.factors() else {
+            panic!("two factors")
+        };
+        assert_eq!(a.probabilities, b.probabilities);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        // A large complete bipartite group overflows a tiny matching cap.
+        let edges: Vec<(usize, usize, f64)> = (0..5)
+            .flat_map(|s| (0..5).map(move |t| (s, t, 0.19)))
+            .collect();
+        let set = cs(&edges);
+        let cache = SolveCache::new();
+        let tiny = MaxEntConfig {
+            matching_cap: 4,
+            ..MaxEntConfig::default()
+        };
+        assert!(matches!(
+            solve_correspondences_cached(&set, &tiny, Some(&cache)),
+            Err(MaxEntError::Explosion { .. })
+        ));
+        assert!(cache.is_empty(), "failed solves must not be stored");
+    }
+}

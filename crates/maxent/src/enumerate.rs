@@ -29,7 +29,15 @@ pub fn enumerate_matchings(
     let mut current: Vec<usize> = Vec::new();
     let mut used_source: Vec<usize> = Vec::new();
     let mut used_target: Vec<usize> = Vec::new();
-    dfs(list, 0, &mut current, &mut used_source, &mut used_target, &mut out, cap)?;
+    dfs(
+        list,
+        0,
+        &mut current,
+        &mut used_source,
+        &mut used_target,
+        &mut out,
+        cap,
+    )?;
     Ok(out)
 }
 
@@ -84,7 +92,10 @@ mod tests {
 
     fn set(edges: &[(usize, usize)]) -> CorrespondenceSet {
         CorrespondenceSet::new(
-            edges.iter().map(|&(s, t)| Correspondence::new(s, t, 0.5)).collect(),
+            edges
+                .iter()
+                .map(|&(s, t)| Correspondence::new(s, t, 0.5))
+                .collect(),
         )
         .unwrap()
     }

@@ -7,9 +7,9 @@
 //! search-space reduction the paper adopts from Dong et al.'s group
 //! p-mappings, and it is what keeps UDI setup time linear in practice.
 
-use crate::enumerate::enumerate_matchings;
+use crate::cache::{solve_group_via, SolveCache};
 use crate::problem::CorrespondenceSet;
-use crate::solver::{solve_max_entropy, MaxEntConfig};
+use crate::solver::MaxEntConfig;
 use crate::{Correspondence, Matching, MaxEntError};
 
 /// One independent group: a distribution over the one-to-one matchings of a
@@ -40,7 +40,12 @@ impl MappingFactor {
 
     /// Entropy of this factor's distribution.
     pub fn entropy(&self) -> f64 {
-        -self.probabilities.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>()
+        -self
+            .probabilities
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f64>()
     }
 }
 
@@ -64,7 +69,10 @@ impl GroupedDistribution {
 
     /// Total number of full matchings the product represents (may be huge).
     pub fn joint_size(&self) -> u128 {
-        self.factors.iter().map(|f| f.matchings.len() as u128).product()
+        self.factors
+            .iter()
+            .map(|f| f.matchings.len() as u128)
+            .product()
     }
 
     /// Expand the product into an explicit joint distribution over full
@@ -96,7 +104,11 @@ impl GroupedDistribution {
     /// kept correspondences contribute nothing (probability 1 on the empty
     /// projection), so the result stays small even when the full joint is
     /// astronomically large.
-    pub fn marginal(&self, keep: &[usize], cap: usize) -> Result<Vec<(Matching, f64)>, MaxEntError> {
+    pub fn marginal(
+        &self,
+        keep: &[usize],
+        cap: usize,
+    ) -> Result<Vec<(Matching, f64)>, MaxEntError> {
         let mut acc: Vec<(Matching, f64)> = vec![(Vec::new(), 1.0)];
         for f in &self.factors {
             if !f.corr_indices.iter().any(|c| keep.contains(c)) {
@@ -161,15 +173,25 @@ pub fn solve_correspondences(
     corrs: &CorrespondenceSet,
     config: &MaxEntConfig,
 ) -> Result<GroupedDistribution, MaxEntError> {
+    solve_correspondences_cached(corrs, config, None)
+}
+
+/// [`solve_correspondences`] with an optional canonical-form memo table:
+/// groups whose OPT instance is isomorphic (same edge-sharing structure,
+/// same weights) to an already-solved one are answered from `cache` with
+/// bit-identical probabilities. See [`SolveCache`] for the soundness
+/// argument and the one-config-per-cache requirement.
+pub fn solve_correspondences_cached(
+    corrs: &CorrespondenceSet,
+    config: &MaxEntConfig,
+    cache: Option<&SolveCache>,
+) -> Result<GroupedDistribution, MaxEntError> {
     let all = corrs.correspondences();
     let mut factors = Vec::new();
     for group in connected_groups(all) {
         // Local view of this group's correspondences.
         let local: Vec<Correspondence> = group.iter().map(|&g| all[g]).collect();
-        let local_set = CorrespondenceSet::new(local.clone())?;
-        let matchings_local = enumerate_matchings(&local_set, config.matching_cap)?;
-        let targets: Vec<f64> = local.iter().map(|c| c.weight).collect();
-        let sol = solve_max_entropy(local.len(), &matchings_local, &targets, config)?;
+        let (matchings_local, probabilities) = solve_group_via(cache, &local, config)?;
         // Re-index matchings to global correspondence indices.
         let matchings: Vec<Matching> = matchings_local
             .iter()
@@ -178,10 +200,13 @@ pub fn solve_correspondences(
         factors.push(MappingFactor {
             corr_indices: group,
             matchings,
-            probabilities: sol.probabilities,
+            probabilities,
         });
     }
-    Ok(GroupedDistribution { factors, n_corrs: all.len() })
+    Ok(GroupedDistribution {
+        factors,
+        n_corrs: all.len(),
+    })
 }
 
 #[cfg(test)]
@@ -190,7 +215,10 @@ mod tests {
 
     fn cs(edges: &[(usize, usize, f64)]) -> CorrespondenceSet {
         CorrespondenceSet::new(
-            edges.iter().map(|&(s, t, w)| Correspondence::new(s, t, w)).collect(),
+            edges
+                .iter()
+                .map(|&(s, t, w)| Correspondence::new(s, t, w))
+                .collect(),
         )
         .unwrap()
     }
@@ -235,7 +263,10 @@ mod tests {
     fn expand_respects_cap() {
         let set = cs(&[(0, 0, 0.6), (1, 1, 0.5), (2, 2, 0.5)]);
         let dist = solve_correspondences(&set, &MaxEntConfig::default()).unwrap();
-        assert!(matches!(dist.expand(4), Err(MaxEntError::Explosion { cap: 4 })));
+        assert!(matches!(
+            dist.expand(4),
+            Err(MaxEntError::Explosion { cap: 4 })
+        ));
     }
 
     #[test]
@@ -245,8 +276,11 @@ mod tests {
         // Marginal over correspondence 2 only: two outcomes.
         let m = dist.marginal(&[2], 100).unwrap();
         assert_eq!(m.len(), 2);
-        let p_with: f64 =
-            m.iter().filter(|(mm, _)| mm.contains(&2)).map(|(_, p)| p).sum();
+        let p_with: f64 = m
+            .iter()
+            .filter(|(mm, _)| mm.contains(&2))
+            .map(|(_, p)| p)
+            .sum();
         assert!((p_with - 0.25).abs() < 1e-6);
     }
 
@@ -274,7 +308,11 @@ mod tests {
         let proj = f.project(&[0]);
         // Outcomes: with corr 0 (0.6) and without (0.4).
         assert_eq!(proj.len(), 2);
-        let p0: f64 = proj.iter().filter(|(m, _)| m == &vec![0]).map(|(_, p)| p).sum();
+        let p0: f64 = proj
+            .iter()
+            .filter(|(m, _)| m == &vec![0])
+            .map(|(_, p)| p)
+            .sum();
         assert!((p0 - 0.6).abs() < 1e-6);
     }
 
@@ -283,7 +321,10 @@ mod tests {
         let set = cs(&[(0, 0, 0.5)]);
         let dist = solve_correspondences(&set, &MaxEntConfig::default()).unwrap();
         let h = dist.factors()[0].entropy();
-        assert!((h - (2.0_f64).ln()).abs() < 1e-6, "fair coin entropy, got {h}");
+        assert!(
+            (h - (2.0_f64).ln()).abs() < 1e-6,
+            "fair coin entropy, got {h}"
+        );
     }
 
     #[test]

@@ -47,13 +47,17 @@
 //! assert!((p_both - 0.3).abs() < 1e-4);
 //! ```
 
+pub mod cache;
 pub mod enumerate;
 pub mod grouping;
 pub mod problem;
 pub mod solver;
 
+pub use cache::SolveCache;
 pub use enumerate::{enumerate_matchings, Matching};
-pub use grouping::{solve_correspondences, GroupedDistribution, MappingFactor};
+pub use grouping::{
+    solve_correspondences, solve_correspondences_cached, GroupedDistribution, MappingFactor,
+};
 pub use problem::{Correspondence, CorrespondenceSet};
 pub use solver::{solve_max_entropy, MaxEntConfig, MaxEntSolution};
 
@@ -93,8 +97,15 @@ pub enum MaxEntError {
 impl std::fmt::Display for MaxEntError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MaxEntError::InvalidWeight { source, target, weight } => {
-                write!(f, "correspondence ({source},{target}) has weight {weight} outside (0,1]")
+            MaxEntError::InvalidWeight {
+                source,
+                target,
+                weight,
+            } => {
+                write!(
+                    f,
+                    "correspondence ({source},{target}) has weight {weight} outside (0,1]"
+                )
             }
             MaxEntError::DuplicateCorrespondence { source, target } => {
                 write!(f, "duplicate correspondence ({source},{target})")
@@ -103,7 +114,10 @@ impl std::fmt::Display for MaxEntError {
                 write!(f, "mapping enumeration exceeded cap of {cap}")
             }
             MaxEntError::DidNotConverge { residual } => {
-                write!(f, "max-entropy solver stopped with constraint residual {residual:.3e}")
+                write!(
+                    f,
+                    "max-entropy solver stopped with constraint residual {residual:.3e}"
+                )
             }
         }
     }
@@ -117,13 +131,20 @@ mod tests {
 
     #[test]
     fn error_messages() {
-        let e = MaxEntError::InvalidWeight { source: 1, target: 2, weight: 1.5 };
+        let e = MaxEntError::InvalidWeight {
+            source: 1,
+            target: 2,
+            weight: 1.5,
+        };
         assert!(e.to_string().contains("1.5"));
         let e = MaxEntError::Explosion { cap: 10 };
         assert!(e.to_string().contains("10"));
         let e = MaxEntError::DidNotConverge { residual: 0.25 };
         assert!(e.to_string().contains("2.5"));
-        let e = MaxEntError::DuplicateCorrespondence { source: 0, target: 0 };
+        let e = MaxEntError::DuplicateCorrespondence {
+            source: 0,
+            target: 0,
+        };
         assert!(e.to_string().contains("duplicate"));
     }
 }

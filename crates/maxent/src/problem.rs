@@ -18,7 +18,11 @@ impl Correspondence {
     /// Construct a correspondence. Weight validity is checked when the
     /// correspondence enters a [`CorrespondenceSet`].
     pub fn new(source: usize, target: usize, weight: f64) -> Correspondence {
-        Correspondence { source, target, weight }
+        Correspondence {
+            source,
+            target,
+            weight,
+        }
     }
 }
 
@@ -49,7 +53,10 @@ impl CorrespondenceSet {
                     weight: c.weight,
                 });
             }
-            if corrs[..i].iter().any(|d| d.source == c.source && d.target == c.target) {
+            if corrs[..i]
+                .iter()
+                .any(|d| d.source == c.source && d.target == c.target)
+            {
                 return Err(MaxEntError::DuplicateCorrespondence {
                     source: c.source,
                     target: c.target,
@@ -63,8 +70,10 @@ impl CorrespondenceSet {
     /// Theorem 5.2 normalization. Non-positive and NaN weights are dropped
     /// (they denote "no correspondence" after thresholding).
     pub fn normalized(raw: Vec<Correspondence>) -> Result<CorrespondenceSet, MaxEntError> {
-        let mut kept: Vec<Correspondence> =
-            raw.into_iter().filter(|c| c.weight > 0.0 && !c.weight.is_nan()).collect();
+        let mut kept: Vec<Correspondence> = raw
+            .into_iter()
+            .filter(|c| c.weight > 0.0 && !c.weight.is_nan())
+            .collect();
         let m_prime = normalization_factor(&kept);
         if m_prime > 1.0 {
             for c in &mut kept {
@@ -116,7 +125,9 @@ fn normalization_factor(corrs: &[Correspondence]) -> f64 {
         *row.entry(c.source).or_insert(0.0) += c.weight;
         *col.entry(c.target).or_insert(0.0) += c.weight;
     }
-    row.values().chain(col.values()).fold(0.0_f64, |m, &v| m.max(v))
+    row.values()
+        .chain(col.values())
+        .fold(0.0_f64, |m, &v| m.max(v))
 }
 
 #[cfg(test)]
@@ -128,7 +139,10 @@ mod tests {
     fn rejects_bad_weights() {
         for w in [0.0, -0.1, 1.5, f64::NAN] {
             let r = CorrespondenceSet::new(vec![Correspondence::new(0, 0, w)]);
-            assert!(matches!(r, Err(MaxEntError::InvalidWeight { .. })), "weight {w}");
+            assert!(
+                matches!(r, Err(MaxEntError::InvalidWeight { .. })),
+                "weight {w}"
+            );
         }
     }
 
@@ -138,7 +152,13 @@ mod tests {
             Correspondence::new(0, 1, 0.5),
             Correspondence::new(0, 1, 0.6),
         ]);
-        assert!(matches!(r, Err(MaxEntError::DuplicateCorrespondence { source: 0, target: 1 })));
+        assert!(matches!(
+            r,
+            Err(MaxEntError::DuplicateCorrespondence {
+                source: 0,
+                target: 1
+            })
+        ));
     }
 
     #[test]

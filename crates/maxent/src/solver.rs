@@ -71,13 +71,21 @@ pub fn solve_max_entropy(
     config: &MaxEntConfig,
 ) -> Result<MaxEntSolution, MaxEntError> {
     assert_eq!(targets.len(), n_corrs, "one target per correspondence");
-    assert!(!matchings.is_empty(), "at least the empty matching is required");
+    assert!(
+        !matchings.is_empty(),
+        "at least the empty matching is required"
+    );
     let l = matchings.len();
     if n_corrs == 0 {
         // Only the normalization constraint: uniform distribution.
         let p = vec![1.0 / l as f64; l];
         let entropy = (l as f64).ln();
-        return Ok(MaxEntSolution { probabilities: p, entropy, iterations: 0, residual: 0.0 });
+        return Ok(MaxEntSolution {
+            probabilities: p,
+            entropy,
+            iterations: 0,
+            residual: 0.0,
+        });
     }
 
     let features = feature_matrix(n_corrs, matchings);
@@ -104,8 +112,11 @@ pub fn solve_max_entropy(
         // Dual value g(λ) and gradient E_p[f_c] − w_c.
         let mut g = smax + z.ln();
         for c in 0..n_corrs {
-            let e: f64 =
-                features[c].iter().zip(p.iter()).filter_map(|(&f, &pk)| f.then_some(pk)).sum();
+            let e: f64 = features[c]
+                .iter()
+                .zip(p.iter())
+                .filter_map(|(&f, &pk)| f.then_some(pk))
+                .sum();
             grad[c] = e - targets[c];
             g -= lambda[c] * targets[c];
         }
@@ -153,8 +164,17 @@ pub fn solve_max_entropy(
     if residual > config.acceptable_residual {
         return Err(MaxEntError::DidNotConverge { residual });
     }
-    let entropy = -p.iter().filter(|&&x| x > 0.0).map(|&x| x * x.ln()).sum::<f64>();
-    Ok(MaxEntSolution { probabilities: p, entropy, iterations, residual })
+    let entropy = -p
+        .iter()
+        .filter(|&&x| x > 0.0)
+        .map(|&x| x * x.ln())
+        .sum::<f64>();
+    Ok(MaxEntSolution {
+        probabilities: p,
+        entropy,
+        iterations,
+        residual,
+    })
 }
 
 #[cfg(test)]
@@ -164,13 +184,15 @@ mod tests {
 
     fn solve(edges: &[(usize, usize, f64)]) -> (Vec<Matching>, MaxEntSolution) {
         let cs = CorrespondenceSet::new(
-            edges.iter().map(|&(s, t, w)| Correspondence::new(s, t, w)).collect(),
+            edges
+                .iter()
+                .map(|&(s, t, w)| Correspondence::new(s, t, w))
+                .collect(),
         )
         .unwrap();
         let ms = enumerate_matchings(&cs, 10_000).unwrap();
         let targets: Vec<f64> = cs.correspondences().iter().map(|c| c.weight).collect();
-        let sol =
-            solve_max_entropy(cs.len(), &ms, &targets, &MaxEntConfig::default()).unwrap();
+        let sol = solve_max_entropy(cs.len(), &ms, &targets, &MaxEntConfig::default()).unwrap();
         (ms, sol)
     }
 
@@ -226,14 +248,20 @@ mod tests {
         let (_, sol) = solve(&[(0, 0, 0.4), (0, 1, 0.4), (1, 0, 0.2), (1, 1, 0.6)]);
         let sum: f64 = sol.probabilities.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
-        assert!(sol.probabilities.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+        assert!(sol
+            .probabilities
+            .iter()
+            .all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
     }
 
     #[test]
     fn k22_constraints_satisfied() {
         let edges = [(0, 0, 0.4), (0, 1, 0.4), (1, 0, 0.3), (1, 1, 0.5)];
         let cs = CorrespondenceSet::new(
-            edges.iter().map(|&(s, t, w)| Correspondence::new(s, t, w)).collect(),
+            edges
+                .iter()
+                .map(|&(s, t, w)| Correspondence::new(s, t, w))
+                .collect(),
         )
         .unwrap();
         let ms = enumerate_matchings(&cs, 10_000).unwrap();
@@ -266,7 +294,11 @@ mod tests {
                 _ => unreachable!(),
             };
         }
-        let h_alt: f64 = -alt.iter().filter(|&&x| x > 0.0).map(|&x| x * x.ln()).sum::<f64>();
+        let h_alt: f64 = -alt
+            .iter()
+            .filter(|&&x| x > 0.0)
+            .map(|&x| x * x.ln())
+            .sum::<f64>();
         assert!(sol.entropy > h_alt);
     }
 

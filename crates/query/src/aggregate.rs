@@ -245,7 +245,11 @@ pub fn execute_aggregate_with_binding(
         }
         let key: Row = group_cols.iter().map(|&c| row[c].clone()).collect();
         let states = groups.entry(key).or_insert_with(|| {
-            query.aggregates.iter().map(|a| AggState::new(a.func)).collect()
+            query
+                .aggregates
+                .iter()
+                .map(|a| AggState::new(a.func))
+                .collect()
         });
         for (state, col) in states.iter_mut().zip(&agg_cols) {
             state.feed(col.map(|c| &row[c]));
@@ -255,7 +259,11 @@ pub fn execute_aggregate_with_binding(
         // SQL: an ungrouped aggregate over zero rows still yields one row.
         groups.insert(
             Vec::new(),
-            query.aggregates.iter().map(|a| AggState::new(a.func)).collect(),
+            query
+                .aggregates
+                .iter()
+                .map(|a| AggState::new(a.func))
+                .collect(),
         );
     }
     groups
@@ -283,7 +291,9 @@ mod tests {
 
     fn binding() -> Binding {
         let mut b = Binding::new();
-        b.bind("genre", "genre").bind("rating", "rating").bind("title", "title");
+        b.bind("genre", "genre")
+            .bind("rating", "rating")
+            .bind("title", "title");
         b
     }
 
@@ -292,7 +302,10 @@ mod tests {
             group_by: group.iter().map(|s| (*s).to_owned()).collect(),
             aggregates: aggs
                 .iter()
-                .map(|(f, a)| Aggregate { func: *f, attribute: a.map(str::to_owned) })
+                .map(|(f, a)| Aggregate {
+                    func: *f,
+                    attribute: a.map(str::to_owned),
+                })
                 .collect(),
             predicates: vec![],
             from: "t".to_owned(),
@@ -353,7 +366,10 @@ mod tests {
     fn ungrouped_aggregate_is_one_row() {
         let rows = execute_aggregate_with_binding(
             &table(),
-            &q(&[], &[(AggFunc::Count, None), (AggFunc::Max, Some("rating"))]),
+            &q(
+                &[],
+                &[(AggFunc::Count, None), (AggFunc::Max, Some("rating"))],
+            ),
             &binding(),
         );
         assert_eq!(rows, vec![vec![Value::Int(4), Value::Int(8)]]);
@@ -361,8 +377,13 @@ mod tests {
 
     #[test]
     fn ungrouped_over_empty_selection_yields_zero_count() {
-        let mut query = q(&[], &[(AggFunc::Count, None), (AggFunc::Sum, Some("rating"))]);
-        query.predicates.push(Predicate::new("genre", CompareOp::Eq, "Western"));
+        let mut query = q(
+            &[],
+            &[(AggFunc::Count, None), (AggFunc::Sum, Some("rating"))],
+        );
+        query
+            .predicates
+            .push(Predicate::new("genre", CompareOp::Eq, "Western"));
         let rows = execute_aggregate_with_binding(&table(), &query, &binding());
         assert_eq!(rows, vec![vec![Value::Int(0), Value::Null]]);
     }
@@ -370,7 +391,9 @@ mod tests {
     #[test]
     fn grouped_over_empty_selection_yields_nothing() {
         let mut query = q(&["genre"], &[(AggFunc::Count, None)]);
-        query.predicates.push(Predicate::new("genre", CompareOp::Eq, "Western"));
+        query
+            .predicates
+            .push(Predicate::new("genre", CompareOp::Eq, "Western"));
         assert!(execute_aggregate_with_binding(&table(), &query, &binding()).is_empty());
     }
 
@@ -383,7 +406,9 @@ mod tests {
     #[test]
     fn predicates_filter_before_grouping() {
         let mut query = q(&["genre"], &[(AggFunc::Count, None)]);
-        query.predicates.push(Predicate::new("rating", CompareOp::Ge, 7_i64));
+        query
+            .predicates
+            .push(Predicate::new("rating", CompareOp::Ge, 7_i64));
         let rows = execute_aggregate_with_binding(&table(), &query, &binding());
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0], vec![Value::text("Comedy"), Value::Int(1)]);
@@ -392,8 +417,13 @@ mod tests {
 
     #[test]
     fn display_renders_sql() {
-        let mut query = q(&["genre"], &[(AggFunc::Count, None), (AggFunc::Avg, Some("rating"))]);
-        query.predicates.push(Predicate::new("rating", CompareOp::Gt, 5_i64));
+        let mut query = q(
+            &["genre"],
+            &[(AggFunc::Count, None), (AggFunc::Avg, Some("rating"))],
+        );
+        query
+            .predicates
+            .push(Predicate::new("rating", CompareOp::Gt, 5_i64));
         assert_eq!(
             query.to_string(),
             "SELECT genre, COUNT(*), AVG(rating) FROM t WHERE rating > 5 GROUP BY genre"
@@ -403,7 +433,12 @@ mod tests {
     #[test]
     fn referenced_attributes_cover_all_clauses() {
         let mut query = q(&["genre"], &[(AggFunc::Avg, Some("rating"))]);
-        query.predicates.push(Predicate::new("title", CompareOp::Ne, "X"));
-        assert_eq!(query.referenced_attributes(), vec!["genre", "rating", "title"]);
+        query
+            .predicates
+            .push(Predicate::new("title", CompareOp::Ne, "X"));
+        assert_eq!(
+            query.referenced_attributes(),
+            vec!["genre", "rating", "title"]
+        );
     }
 }

@@ -70,7 +70,10 @@ impl SourceAccumulator {
             .into_iter()
             .map(|values| {
                 let probability = self.probs[&values].min(1.0);
-                AnswerTuple { values, probability }
+                AnswerTuple {
+                    values,
+                    probability,
+                }
             })
             .collect()
     }
@@ -103,7 +106,10 @@ impl AnswerSet {
     /// The flat answer list: every source's tuples concatenated, duplicates
     /// across sources retained (the paper's precision/recall view).
     pub fn flat(&self) -> Vec<&AnswerTuple> {
-        self.per_source.iter().flat_map(|(_, ts)| ts.iter()).collect()
+        self.per_source
+            .iter()
+            .flat_map(|(_, ts)| ts.iter())
+            .collect()
     }
 
     /// Number of flat answers.
@@ -142,11 +148,16 @@ impl AnswerSet {
             .into_iter()
             .map(|values| {
                 let probability = acc[&values];
-                AnswerTuple { values, probability }
+                AnswerTuple {
+                    values,
+                    probability,
+                }
             })
             .collect();
         out.sort_by(|a, b| {
-            b.probability.partial_cmp(&a.probability).unwrap_or(std::cmp::Ordering::Equal)
+            b.probability
+                .partial_cmp(&a.probability)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         out
     }
@@ -210,11 +221,17 @@ mod tests {
         let mut set = AnswerSet::new();
         set.add_source(
             SourceId(0),
-            vec![AnswerTuple { values: row("x"), probability: 0.5 }],
+            vec![AnswerTuple {
+                values: row("x"),
+                probability: 0.5,
+            }],
         );
         set.add_source(
             SourceId(1),
-            vec![AnswerTuple { values: row("x"), probability: 0.5 }],
+            vec![AnswerTuple {
+                values: row("x"),
+                probability: 0.5,
+            }],
         );
         let c = set.combined();
         assert_eq!(c.len(), 1);
@@ -230,8 +247,14 @@ mod tests {
         set.add_source(
             SourceId(0),
             vec![
-                AnswerTuple { values: row("lo"), probability: 0.2 },
-                AnswerTuple { values: row("hi"), probability: 0.9 },
+                AnswerTuple {
+                    values: row("lo"),
+                    probability: 0.2,
+                },
+                AnswerTuple {
+                    values: row("hi"),
+                    probability: 0.9,
+                },
             ],
         );
         let c = set.combined();
@@ -245,9 +268,18 @@ mod tests {
         set.add_source(
             SourceId(0),
             vec![
-                AnswerTuple { values: row("a"), probability: 0.2 },
-                AnswerTuple { values: row("b"), probability: 0.9 },
-                AnswerTuple { values: row("c"), probability: 0.5 },
+                AnswerTuple {
+                    values: row("a"),
+                    probability: 0.2,
+                },
+                AnswerTuple {
+                    values: row("b"),
+                    probability: 0.9,
+                },
+                AnswerTuple {
+                    values: row("c"),
+                    probability: 0.5,
+                },
             ],
         );
         let top = set.top_k(2);

@@ -75,7 +75,11 @@ pub struct Predicate {
 impl Predicate {
     /// Construct a predicate.
     pub fn new(attribute: impl Into<String>, op: CompareOp, value: impl Into<Value>) -> Predicate {
-        Predicate { attribute: attribute.into(), op, value: value.into() }
+        Predicate {
+            attribute: attribute.into(),
+            op,
+            value: value.into(),
+        }
     }
 }
 

@@ -103,7 +103,13 @@ pub fn execute_with_binding_indexed(
                 continue 'rows;
             }
         }
-        out.push((ri, select_cols.iter().map(|&c| row[c].clone()).collect::<Vec<Value>>()));
+        out.push((
+            ri,
+            select_cols
+                .iter()
+                .map(|&c| row[c].clone())
+                .collect::<Vec<Value>>(),
+        ));
     }
     out
 }
@@ -124,7 +130,9 @@ mod tests {
 
     fn binding() -> Binding {
         let mut b = Binding::new();
-        b.bind("name", "full_name").bind("phone", "tel").bind("age", "years");
+        b.bind("name", "full_name")
+            .bind("phone", "tel")
+            .bind("age", "years");
         b
     }
 
@@ -132,7 +140,10 @@ mod tests {
     fn projection_and_selection() {
         let q = parse_query("SELECT name FROM T WHERE age > 30").unwrap();
         let rows = execute_with_binding(&table(), &q, &binding());
-        assert_eq!(rows, vec![vec![Value::text("Alice")], vec![Value::text("Bob")]]);
+        assert_eq!(
+            rows,
+            vec![vec![Value::text("Alice")], vec![Value::text("Bob")]]
+        );
     }
 
     #[test]

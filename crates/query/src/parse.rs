@@ -46,7 +46,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), offset: self.pos }
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -105,7 +108,11 @@ impl<'a> Cursor<'a> {
             return Err(self.err(format!("unterminated {q}-quoted identifier")));
         }
         let is_ident = |c: char| c.is_alphanumeric() || "_$./()#-".contains(c);
-        let len: usize = rest.chars().take_while(|&c| is_ident(c)).map(char::len_utf8).sum();
+        let len: usize = rest
+            .chars()
+            .take_while(|&c| is_ident(c))
+            .map(char::len_utf8)
+            .sum();
         if len == 0 {
             return Err(self.err("expected identifier"));
         }
@@ -124,7 +131,11 @@ impl<'a> Cursor<'a> {
             return self.parse_attr();
         }
         let is_ident = |c: char| c.is_alphanumeric() || "_$./#- ".contains(c);
-        let len: usize = rest.chars().take_while(|&c| is_ident(c)).map(char::len_utf8).sum();
+        let len: usize = rest
+            .chars()
+            .take_while(|&c| is_ident(c))
+            .map(char::len_utf8)
+            .sum();
         if len == 0 {
             return Err(self.err("expected identifier"));
         }
@@ -225,7 +236,11 @@ pub fn parse_query(sql: &str) -> Result<Query, ParseError> {
             let attribute = c.parse_attr()?;
             let op = c.parse_op()?;
             let value = c.parse_literal()?;
-            predicates.push(Predicate { attribute, op, value });
+            predicates.push(Predicate {
+                attribute,
+                op,
+                value,
+            });
             if !c.eat_keyword("AND") {
                 break;
             }
@@ -234,7 +249,11 @@ pub fn parse_query(sql: &str) -> Result<Query, ParseError> {
     if !c.at_end() {
         return Err(c.err("unexpected trailing input"));
     }
-    Ok(Query { select, predicates, from })
+    Ok(Query {
+        select,
+        predicates,
+        from,
+    })
 }
 
 /// Parse a grouped aggregate query:
@@ -318,7 +337,11 @@ pub fn parse_aggregate_query(sql: &str) -> Result<AggregateQuery, ParseError> {
             let attribute = c.parse_attr()?;
             let op = c.parse_op()?;
             let value = c.parse_literal()?;
-            predicates.push(Predicate { attribute, op, value });
+            predicates.push(Predicate {
+                attribute,
+                op,
+                value,
+            });
             if !c.eat_keyword("AND") {
                 break;
             }
@@ -347,7 +370,12 @@ pub fn parse_aggregate_query(sql: &str) -> Result<AggregateQuery, ParseError> {
         }
     }
     // Output order: group-by attributes are projected in group_by order.
-    Ok(AggregateQuery { group_by, aggregates, predicates, from })
+    Ok(AggregateQuery {
+        group_by,
+        aggregates,
+        predicates,
+        from,
+    })
 }
 
 #[cfg(test)]
@@ -389,8 +417,8 @@ mod tests {
 
     #[test]
     fn literals_and_escapes() {
-        let q = parse_query("SELECT a FROM t WHERE a = 'O''Brien' AND b = -4.5 AND c = 12")
-            .unwrap();
+        let q =
+            parse_query("SELECT a FROM t WHERE a = 'O''Brien' AND b = -4.5 AND c = 12").unwrap();
         assert_eq!(q.predicates[0].value, Value::text("O'Brien"));
         assert_eq!(q.predicates[1].value, Value::Float(-4.5));
         assert_eq!(q.predicates[2].value, Value::Int(12));
@@ -398,9 +426,12 @@ mod tests {
 
     #[test]
     fn quoted_and_messy_identifiers() {
-        let q = parse_query("SELECT \"pages/rec. no\", `link to pubmed`, author(s) FROM t")
-            .unwrap();
-        assert_eq!(q.select, vec!["pages/rec. no", "link to pubmed", "author(s)"]);
+        let q =
+            parse_query("SELECT \"pages/rec. no\", `link to pubmed`, author(s) FROM t").unwrap();
+        assert_eq!(
+            q.select,
+            vec!["pages/rec. no", "link to pubmed", "author(s)"]
+        );
     }
 
     #[test]
@@ -431,10 +462,19 @@ mod tests {
         .unwrap();
         assert_eq!(q.group_by, vec!["genre"]);
         assert_eq!(q.aggregates.len(), 2);
-        assert_eq!(q.aggregates[0], Aggregate { func: AggFunc::Count, attribute: None });
+        assert_eq!(
+            q.aggregates[0],
+            Aggregate {
+                func: AggFunc::Count,
+                attribute: None
+            }
+        );
         assert_eq!(
             q.aggregates[1],
-            Aggregate { func: AggFunc::Avg, attribute: Some("rating".into()) }
+            Aggregate {
+                func: AggFunc::Avg,
+                attribute: Some("rating".into())
+            }
         );
         assert_eq!(q.predicates.len(), 1);
     }
@@ -460,8 +500,7 @@ mod tests {
         assert!(e.message.contains("at least one aggregate"));
         let e = parse_aggregate_query("SELECT SUM(*) FROM m").unwrap_err();
         assert!(e.message.contains("only COUNT"));
-        let e = parse_aggregate_query("SELECT title, COUNT(*) FROM m GROUP BY genre")
-            .unwrap_err();
+        let e = parse_aggregate_query("SELECT title, COUNT(*) FROM m GROUP BY genre").unwrap_err();
         assert!(e.message.contains("must appear in GROUP BY"));
         let e = parse_aggregate_query("SELECT COUNT(x FROM m").unwrap_err();
         assert!(e.message.contains(")"));
@@ -470,8 +509,7 @@ mod tests {
     #[test]
     fn count_is_not_greedy_on_identifiers() {
         // `counter` is an identifier, not COUNT(.
-        let q = parse_aggregate_query("SELECT counter, COUNT(*) FROM m GROUP BY counter")
-            .unwrap();
+        let q = parse_aggregate_query("SELECT counter, COUNT(*) FROM m GROUP BY counter").unwrap();
         assert_eq!(q.group_by, vec!["counter"]);
     }
 

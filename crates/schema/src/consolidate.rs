@@ -50,42 +50,69 @@ pub fn consolidate_pmappings(
     pmappings: &[PMapping],
     target: &MediatedSchema,
 ) -> PMapping {
-    assert_eq!(pmed.len(), pmappings.len(), "one p-mapping per possible schema");
-    // Precompute, per input schema, cluster index → target cluster indices.
-    let refinements: Vec<Vec<Vec<usize>>> = pmed
-        .schemas()
-        .iter()
-        .map(|(m, _)| {
-            m.clusters()
-                .iter()
-                .map(|big| {
-                    target
-                        .clusters()
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, small)| small.is_subset(big))
-                        .map(|(j, _)| j)
-                        .collect()
-                })
-                .collect()
-        })
-        .collect();
+    Consolidator::new(pmed, target).consolidate(pmappings)
+}
 
-    let mut merged: BTreeMap<Mapping, f64> = BTreeMap::new();
-    for (i, ((_, p_schema), pm)) in pmed.schemas().iter().zip(pmappings).enumerate() {
-        for (m, p_map) in pm.mappings() {
-            let mut rewritten = Mapping::empty();
-            for (a, big_idx) in m.correspondences() {
-                for &j in &refinements[i][big_idx] {
-                    rewritten.insert(a, j);
-                }
-            }
-            *merged.entry(rewritten).or_insert(0.0) += p_map * p_schema;
-        }
+/// The schema-level part of p-mapping consolidation, precomputed once per
+/// `(p-med-schema, target)` pair: the cluster refinement table depends only
+/// on the schemas, not the source, so consolidating a whole catalog should
+/// build it once instead of once per source (it dominates the per-source
+/// cost otherwise — every call is `schemas × clusters²` subset checks).
+pub struct Consolidator<'a> {
+    pmed: &'a PMedSchema,
+    /// Per input schema, cluster index → target cluster indices.
+    refinements: Vec<Vec<Vec<usize>>>,
+}
+
+impl<'a> Consolidator<'a> {
+    /// Precompute the refinement table of `target` against every possible
+    /// schema of `pmed`.
+    pub fn new(pmed: &'a PMedSchema, target: &MediatedSchema) -> Consolidator<'a> {
+        let refinements: Vec<Vec<Vec<usize>>> = pmed
+            .schemas()
+            .iter()
+            .map(|(m, _)| {
+                m.clusters()
+                    .iter()
+                    .map(|big| {
+                        target
+                            .clusters()
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, small)| small.is_subset(big))
+                            .map(|(j, _)| j)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        Consolidator { pmed, refinements }
     }
-    let mappings: Vec<(Mapping, f64)> =
-        merged.into_iter().filter(|(_, p)| *p > 1e-15).collect();
-    PMapping::new(mappings)
+
+    /// Consolidate one source's per-schema p-mappings (see
+    /// [`consolidate_pmappings`]).
+    pub fn consolidate(&self, pmappings: &[PMapping]) -> PMapping {
+        assert_eq!(
+            self.pmed.len(),
+            pmappings.len(),
+            "one p-mapping per possible schema"
+        );
+        let mut merged: BTreeMap<Mapping, f64> = BTreeMap::new();
+        for (i, ((_, p_schema), pm)) in self.pmed.schemas().iter().zip(pmappings).enumerate() {
+            for (m, p_map) in pm.mappings() {
+                let mut rewritten = Mapping::empty();
+                for (a, big_idx) in m.correspondences() {
+                    for &j in &self.refinements[i][big_idx] {
+                        rewritten.insert(a, j);
+                    }
+                }
+                *merged.entry(rewritten).or_insert(0.0) += p_map * p_schema;
+            }
+        }
+        let mappings: Vec<(Mapping, f64)> =
+            merged.into_iter().filter(|(_, p)| *p > 1e-15).collect();
+        PMapping::new(mappings)
+    }
 }
 
 #[cfg(test)]
@@ -104,12 +131,8 @@ mod tests {
         let m2 = MediatedSchema::from_slices(&[&ids(&[2, 3, 4]), &ids(&[1, 5, 6])]);
         let t = consolidate_schemas(&[m1, m2]);
         // T: {a1}, {a2,a3}, {a4}, {a5,a6}.
-        let expect = MediatedSchema::from_slices(&[
-            &ids(&[1]),
-            &ids(&[2, 3]),
-            &ids(&[4]),
-            &ids(&[5, 6]),
-        ]);
+        let expect =
+            MediatedSchema::from_slices(&[&ids(&[1]), &ids(&[2, 3]), &ids(&[4]), &ids(&[5, 6])]);
         assert_eq!(t, expect);
     }
 
@@ -130,10 +153,7 @@ mod tests {
         // each input.
         for input in [&m1, &m2] {
             for small in t.clusters() {
-                assert!(input
-                    .clusters()
-                    .iter()
-                    .any(|big| small.is_subset(big)));
+                assert!(input.clusters().iter().any(|big| small.is_subset(big)));
             }
         }
     }
@@ -153,10 +173,7 @@ mod tests {
         let m1 = MediatedSchema::from_slices(&[&ids(&[0, 1])]);
         let m2 = MediatedSchema::from_slices(&[&ids(&[0]), &ids(&[1])]);
         let pmed = PMedSchema::new(vec![(m1, 0.6), (m2, 0.4)]);
-        let t = consolidate_schemas(&[
-            pmed.schemas()[0].0.clone(),
-            pmed.schemas()[1].0.clone(),
-        ]);
+        let t = consolidate_schemas(&[pmed.schemas()[0].0.clone(), pmed.schemas()[1].0.clone()]);
 
         // Source attr a9 maps to the big cluster under M1, to cluster {a0}
         // under M2.

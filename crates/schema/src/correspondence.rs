@@ -25,7 +25,11 @@ pub struct SimilarityMatrix<'a> {
 impl<'a> SimilarityMatrix<'a> {
     /// Wrap a similarity measure over a vocabulary.
     pub fn new(vocab: &'a Vocabulary, sim: &'a (dyn Similarity + Sync)) -> SimilarityMatrix<'a> {
-        SimilarityMatrix { vocab, sim, cache: Default::default() }
+        SimilarityMatrix {
+            vocab,
+            sim,
+            cache: Default::default(),
+        }
     }
 
     /// Memoized `s(a, b)`; symmetric key so each unordered pair is computed
@@ -38,7 +42,9 @@ impl<'a> SimilarityMatrix<'a> {
         if let Some(&w) = self.cache.lock().expect("cache poisoned").get(&key) {
             return w;
         }
-        let w = self.sim.similarity(self.vocab.name(key.0), self.vocab.name(key.1));
+        let w = self
+            .sim
+            .similarity(self.vocab.name(key.0), self.vocab.name(key.1));
         self.cache.lock().expect("cache poisoned").insert(key, w);
         w
     }
@@ -74,6 +80,37 @@ impl<'a> SimilarityMatrix<'a> {
 /// pipeline can query.
 pub struct FrozenMatrix {
     map: HashMap<(AttrId, AttrId), f64>,
+}
+
+impl FrozenMatrix {
+    /// Rebuild a frozen matrix from previously exported entries (see
+    /// [`FrozenMatrix::entries`]). Keys are normalized to `(min, max)` so the
+    /// source of the entries does not have to care about pair order.
+    pub fn from_entries(
+        entries: impl IntoIterator<Item = ((AttrId, AttrId), f64)>,
+    ) -> FrozenMatrix {
+        let map = entries
+            .into_iter()
+            .map(|((a, b), w)| ((a.min(b), a.max(b)), w))
+            .collect();
+        FrozenMatrix { map }
+    }
+
+    /// Every memoized `((a, b), weight)` pair, `a < b`. The incremental
+    /// engine uses this to persist the similarity cache across refreshes.
+    pub fn entries(&self) -> impl Iterator<Item = ((AttrId, AttrId), f64)> + '_ {
+        self.map.iter().map(|(&k, &w)| (k, w))
+    }
+
+    /// Number of memoized pairs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no pair is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
 }
 
 /// Read access to pairwise attribute similarities, shared by the lazy
@@ -144,7 +181,13 @@ mod tests {
             ("med-donor", vec!["phone", "hPhone", "oPhone", "name"]),
             ("src", vec!["telephone", "name"]),
         ]);
-        (set, UdiParams { theta: 0.0, ..UdiParams::default() })
+        (
+            set,
+            UdiParams {
+                theta: 0.0,
+                ..UdiParams::default()
+            },
+        )
     }
 
     #[test]
@@ -204,8 +247,10 @@ mod tests {
         // floor the sum 1.5 would clear the 0.85 threshold spuriously.
         let set = SchemaSet::from_sources([("s", vec!["x", "p1", "p2", "p3"])]);
         let x = set.vocab().id_of("x").unwrap();
-        let p: Vec<AttrId> =
-            ["p1", "p2", "p3"].iter().map(|n| set.vocab().id_of(n).unwrap()).collect();
+        let p: Vec<AttrId> = ["p1", "p2", "p3"]
+            .iter()
+            .map(|n| set.vocab().id_of(n).unwrap())
+            .collect();
         let med = MediatedSchema::from_slices(&[&p, &[x]]);
         let sim = |a: &str, b: &str| -> f64 {
             if a == b {
@@ -218,7 +263,10 @@ mod tests {
         };
         let matrix = SimilarityMatrix::new(set.vocab(), &sim);
         let src = &set.sources()[0];
-        let params = UdiParams { theta: 0.0, ..UdiParams::default() };
+        let params = UdiParams {
+            theta: 0.0,
+            ..UdiParams::default()
+        };
         let corrs = weighted_correspondences(src, &med, &matrix, &params);
         let p_cluster = med.cluster_of(p[0]).unwrap();
         assert!(

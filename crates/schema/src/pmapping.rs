@@ -1,7 +1,7 @@
 //! End-to-end p-mapping generation for one (source, mediated schema) pair
 //! (§5.2).
 
-use udi_maxent::{solve_correspondences, CorrespondenceSet, MaxEntError};
+use udi_maxent::{solve_correspondences_cached, CorrespondenceSet, MaxEntError, SolveCache};
 
 use crate::correspondence::{weighted_correspondences, PairSimilarity};
 use crate::model::{Mapping, MediatedSchema, PMapping, SourceSchema};
@@ -24,11 +24,25 @@ pub fn generate_pmapping(
     matrix: &dyn PairSimilarity,
     params: &UdiParams,
 ) -> Result<PMapping, MaxEntError> {
+    generate_pmapping_cached(source, med, matrix, params, None)
+}
+
+/// [`generate_pmapping`] with an optional [`SolveCache`] memoizing the
+/// per-group max-entropy solves across calls. Results are bit-identical to
+/// the uncached path; only repeated work is skipped. The cache must be used
+/// under a single set of solver parameters.
+pub fn generate_pmapping_cached(
+    source: &SourceSchema,
+    med: &MediatedSchema,
+    matrix: &dyn PairSimilarity,
+    params: &UdiParams,
+    cache: Option<&SolveCache>,
+) -> Result<PMapping, MaxEntError> {
     let raw = weighted_correspondences(source, med, matrix, params);
     let corrs = CorrespondenceSet::normalized(raw)?;
     let mut cfg = params.maxent.clone();
     cfg.matching_cap = params.mapping_cap;
-    let dist = solve_correspondences(&corrs, &cfg)?;
+    let dist = solve_correspondences_cached(&corrs, &cfg, cache)?;
     let joint = dist.expand(params.mapping_cap)?;
 
     let list = corrs.correspondences();
@@ -39,7 +53,9 @@ pub fn generate_pmapping(
             continue;
         }
         let mapping = Mapping::one_to_one(
-            matching.iter().map(|&c| (source.attrs[list[c].source], list[c].target)),
+            matching
+                .iter()
+                .map(|&c| (source.attrs[list[c].source], list[c].target)),
         );
         total += p;
         mappings.push((mapping, p));
@@ -62,11 +78,15 @@ mod tests {
 
     /// Two-source fixture with an exactly controllable similarity measure.
     fn fixture() -> (SchemaSet, UdiParams) {
-        let set = SchemaSet::from_sources([
-            ("donor", vec!["name", "phone"]),
-            ("src", vec!["nm", "tel"]),
-        ]);
-        (set, UdiParams { theta: 0.0, ..UdiParams::default() })
+        let set =
+            SchemaSet::from_sources([("donor", vec!["name", "phone"]), ("src", vec!["nm", "tel"])]);
+        (
+            set,
+            UdiParams {
+                theta: 0.0,
+                ..UdiParams::default()
+            },
+        )
     }
 
     fn controlled_sim(a: &str, b: &str) -> f64 {
@@ -114,7 +134,10 @@ mod tests {
         let pm = generate_pmapping(&set.sources()[1], &med, &matrix, &params).unwrap();
         let total: f64 = pm.mappings().iter().map(|(_, p)| p).sum();
         assert!((total - 1.0).abs() < 1e-9);
-        assert!(pm.mappings().iter().all(|(m, _)| m.is_one_to_one() || m.is_empty()));
+        assert!(pm
+            .mappings()
+            .iter()
+            .all(|(m, _)| m.is_one_to_one() || m.is_empty()));
     }
 
     #[test]
@@ -135,10 +158,8 @@ mod tests {
     fn ambiguous_attribute_splits_probability() {
         // Source attr `phone` equally similar to clusters {hPhone} and
         // {oPhone}: Example 2.1's ambiguity.
-        let set = SchemaSet::from_sources([
-            ("donor", vec!["hPhone", "oPhone"]),
-            ("src", vec!["phone"]),
-        ]);
+        let set =
+            SchemaSet::from_sources([("donor", vec!["hPhone", "oPhone"]), ("src", vec!["phone"])]);
         let sim = |a: &str, b: &str| -> f64 {
             if a == b {
                 1.0
@@ -152,7 +173,10 @@ mod tests {
         let h = set.vocab().id_of("hPhone").unwrap();
         let o = set.vocab().id_of("oPhone").unwrap();
         let med = MediatedSchema::from_slices(&[&[h], &[o]]);
-        let params = UdiParams { theta: 0.0, ..UdiParams::default() };
+        let params = UdiParams {
+            theta: 0.0,
+            ..UdiParams::default()
+        };
         let pm = generate_pmapping(&set.sources()[1], &med, &matrix, &params).unwrap();
         let phone = set.vocab().id_of("phone").unwrap();
         // Raw weights (0.9, 0.9) share source attr `phone` → row sum 1.8 →
@@ -182,7 +206,10 @@ mod tests {
         let cl_names: Vec<String> = (0..8).map(|i| format!("b{i}")).collect();
         let mut all: Vec<&str> = names.iter().map(String::as_str).collect();
         all.extend(cl_names.iter().map(String::as_str));
-        let set = SchemaSet::from_sources([("donor", all.clone()), ("src", names.iter().map(String::as_str).collect())]);
+        let set = SchemaSet::from_sources([
+            ("donor", all.clone()),
+            ("src", names.iter().map(String::as_str).collect()),
+        ]);
         let hot = |a: &str, b: &str| -> f64 {
             if a == b {
                 1.0
@@ -199,8 +226,11 @@ mod tests {
             .collect();
         let cluster_slices: Vec<&[AttrId]> = clusters.iter().map(Vec::as_slice).collect();
         let med = MediatedSchema::from_slices(&cluster_slices);
-        let params =
-            UdiParams { theta: 0.0, mapping_cap: 50, ..UdiParams::default() };
+        let params = UdiParams {
+            theta: 0.0,
+            mapping_cap: 50,
+            ..UdiParams::default()
+        };
         let err = generate_pmapping(&set.sources()[1], &med, &matrix, &params).unwrap_err();
         assert!(matches!(err, MaxEntError::Explosion { .. }));
     }

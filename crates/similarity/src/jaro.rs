@@ -116,7 +116,10 @@ pub struct JaroWinkler {
 
 impl Default for JaroWinkler {
     fn default() -> Self {
-        JaroWinkler { prefix_scale: 0.1, max_prefix: 4 }
+        JaroWinkler {
+            prefix_scale: 0.1,
+            max_prefix: 4,
+        }
     }
 }
 
@@ -156,7 +159,11 @@ mod tests {
 
     #[test]
     fn symmetry() {
-        let pairs = [("phone", "phoneno"), ("issn", "eissn"), ("martha", "marhta")];
+        let pairs = [
+            ("phone", "phoneno"),
+            ("issn", "eissn"),
+            ("martha", "marhta"),
+        ];
         for (a, b) in pairs {
             assert!(close(jaro(a, b), jaro(b, a)), "{a} {b}");
             assert!(close(jaro_winkler(a, b), jaro_winkler(b, a)), "{a} {b}");
@@ -166,7 +173,10 @@ mod tests {
     #[test]
     fn winkler_only_boosts_shared_prefix() {
         // No common prefix: JW == J.
-        assert!(close(jaro_winkler("xphone", "yphone"), jaro("xphone", "yphone")));
+        assert!(close(
+            jaro_winkler("xphone", "yphone"),
+            jaro("xphone", "yphone")
+        ));
         // Common prefix: JW > J strictly (when J < 1).
         assert!(jaro_winkler("phone", "phonex") > jaro("phone", "phonex"));
     }

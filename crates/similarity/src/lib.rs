@@ -92,7 +92,11 @@ impl Similarity for AttributeSimilarity {
         let ta = tokenize_name(a);
         let tb = tokenize_name(b);
         if ta.is_empty() || tb.is_empty() {
-            return if ta.is_empty() && tb.is_empty() { 1.0 } else { 0.0 };
+            return if ta.is_empty() && tb.is_empty() {
+                1.0
+            } else {
+                0.0
+            };
         }
         let ja = ta.join(" ");
         let jb = tb.join(" ");

@@ -79,7 +79,13 @@ mod tests {
 
     #[test]
     fn splits_snake_kebab_space_dot() {
-        for raw in ["home_phone", "home-phone", "home phone", "home.phone", "home/phone"] {
+        for raw in [
+            "home_phone",
+            "home-phone",
+            "home phone",
+            "home.phone",
+            "home/phone",
+        ] {
             assert_eq!(tokenize_name(raw), vec!["home", "phone"], "input {raw}");
         }
     }

@@ -65,7 +65,11 @@ impl SoftTfIdf {
             .map(|(t, df)| (t, (n / df as f64).ln() + 1.0))
             .collect();
         let max_idf = n.ln() + 1.0;
-        SoftTfIdf { idf, max_idf, soft_threshold: 0.9 }
+        SoftTfIdf {
+            idf,
+            max_idf,
+            soft_threshold: 0.9,
+        }
     }
 
     fn weight(&self, token: &str) -> f64 {
@@ -79,8 +83,10 @@ impl SoftTfIdf {
         for t in tokens {
             *tf.entry(t).or_insert(0.0) += 1.0;
         }
-        let mut v: Vec<(String, f64)> =
-            tf.into_iter().map(|(t, f)| (t.clone(), f * self.weight(&t))).collect();
+        let mut v: Vec<(String, f64)> = tf
+            .into_iter()
+            .map(|(t, f)| (t.clone(), f * self.weight(&t)))
+            .collect();
         let norm = v.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
         if norm > 0.0 {
             for (_, w) in &mut v {

@@ -44,6 +44,29 @@ impl Catalog {
         id
     }
 
+    /// Remove the source named `name`, returning the dropped table.
+    ///
+    /// Later source ids shift down by one (ids are positional); attribute
+    /// frequencies are updated in place. `Err(StoreError::UnknownSourceName)`
+    /// when no source has that name.
+    pub fn remove_source(&mut self, name: &str) -> Result<Table, StoreError> {
+        let i = self
+            .sources
+            .iter()
+            .position(|t| t.name() == name)
+            .ok_or_else(|| StoreError::UnknownSourceName(name.to_owned()))?;
+        let table = self.sources.remove(i);
+        for a in table.attributes() {
+            if let Some(c) = self.attr_source_counts.get_mut(a) {
+                *c -= 1;
+                if *c == 0 {
+                    self.attr_source_counts.remove(a);
+                }
+            }
+        }
+        Ok(table)
+    }
+
     /// Number of registered sources.
     pub fn source_count(&self) -> usize {
         self.sources.len()
@@ -56,12 +79,17 @@ impl Catalog {
 
     /// Fetch a source by id.
     pub fn source(&self, id: SourceId) -> Result<&Table, StoreError> {
-        self.sources.get(id.0 as usize).ok_or(StoreError::UnknownSource(id.0))
+        self.sources
+            .get(id.0 as usize)
+            .ok_or(StoreError::UnknownSource(id.0))
     }
 
     /// Iterate `(id, table)` over all sources.
     pub fn iter_sources(&self) -> impl Iterator<Item = (SourceId, &Table)> {
-        self.sources.iter().enumerate().map(|(i, t)| (SourceId(i as u32), t))
+        self.sources
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (SourceId(i as u32), t))
     }
 
     /// The distinct attribute names across all sources, in deterministic
@@ -131,7 +159,10 @@ mod tests {
     #[test]
     fn frequent_attribute_filter() {
         let c = catalog();
-        assert_eq!(c.frequent_attributes(0.5), vec!["name".to_string(), "phone".to_string()]);
+        assert_eq!(
+            c.frequent_attributes(0.5),
+            vec!["name".to_string(), "phone".to_string()]
+        );
         assert_eq!(c.frequent_attributes(0.76), vec![] as Vec<String>);
         // Threshold 0 admits everything.
         assert_eq!(c.frequent_attributes(0.0).len(), 5);
@@ -148,13 +179,19 @@ mod tests {
     fn source_lookup_and_errors() {
         let c = catalog();
         assert_eq!(c.source(SourceId(2)).unwrap().name(), "s2");
-        assert!(matches!(c.source(SourceId(99)), Err(StoreError::UnknownSource(99))));
+        assert!(matches!(
+            c.source(SourceId(99)),
+            Err(StoreError::UnknownSource(99))
+        ));
     }
 
     #[test]
     fn sources_with_attribute_lists_ids() {
         let c = catalog();
-        assert_eq!(c.sources_with_attribute("phone"), vec![SourceId(0), SourceId(2)]);
+        assert_eq!(
+            c.sources_with_attribute("phone"),
+            vec![SourceId(0), SourceId(2)]
+        );
         assert!(c.sources_with_attribute("zzz").is_empty());
     }
 
@@ -165,6 +202,21 @@ mod tests {
         assert_eq!(c.attribute_frequency("x"), 0.0);
         assert!(c.frequent_attributes(0.0).is_empty());
         assert_eq!(c.total_rows(), 0);
+    }
+
+    #[test]
+    fn remove_source_updates_counts() {
+        let mut c = catalog();
+        let t = c.remove_source("s2").unwrap();
+        assert_eq!(t.name(), "s2");
+        assert_eq!(c.source_count(), 3);
+        assert_eq!(c.attribute_frequency("email"), 0.0);
+        assert!(!c.attribute_universe().any(|a| a == "email"));
+        assert!((c.attribute_frequency("name") - 2.0 / 3.0).abs() < 1e-12);
+        assert!(matches!(
+            c.remove_source("nope"),
+            Err(StoreError::UnknownSourceName(_))
+        ));
     }
 
     #[test]

@@ -35,7 +35,11 @@ impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CsvError::MissingHeader => write!(f, "CSV input has no header record"),
-            CsvError::RaggedRow { record, expected, got } => {
+            CsvError::RaggedRow {
+                record,
+                expected,
+                got,
+            } => {
                 write!(f, "record {record} has {got} fields, header has {expected}")
             }
             CsvError::UnterminatedQuote { offset } => {
@@ -122,12 +126,14 @@ impl Table {
     pub fn from_csv(name: impl Into<String>, text: &str) -> Result<Table, CsvError> {
         let records = parse_records(text)?;
         let mut iter = records.into_iter();
-        let header = iter.next().filter(|h| !h.is_empty() && h != &vec![String::new()]);
+        let header = iter
+            .next()
+            .filter(|h| !h.is_empty() && h != &vec![String::new()]);
         let Some(header) = header else {
             return Err(CsvError::MissingHeader);
         };
-        let mut table = Table::try_new(name, header.iter().map(String::as_str))
-            .map_err(CsvError::BadHeader)?;
+        let mut table =
+            Table::try_new(name, header.iter().map(String::as_str)).map_err(CsvError::BadHeader)?;
         for (idx, rec) in iter.enumerate() {
             // A trailing blank line parses as a single empty field: skip it.
             if rec.len() == 1 && rec[0].is_empty() && table.arity() != 1 {
@@ -186,7 +192,8 @@ mod tests {
 
     #[test]
     fn quoted_fields_with_commas_and_escapes() {
-        let csv = "title,director\n\"Crouching Tiger, Hidden Dragon\",Ang Lee\n\"The \"\"Best\"\"\",X\n";
+        let csv =
+            "title,director\n\"Crouching Tiger, Hidden Dragon\",Ang Lee\n\"The \"\"Best\"\"\",X\n";
         let t = Table::from_csv("m", csv).unwrap();
         assert_eq!(
             t.cell(0, "title"),
@@ -215,9 +222,19 @@ mod tests {
 
     #[test]
     fn errors() {
-        assert_eq!(Table::from_csv("t", "").unwrap_err(), CsvError::MissingHeader);
+        assert_eq!(
+            Table::from_csv("t", "").unwrap_err(),
+            CsvError::MissingHeader
+        );
         let e = Table::from_csv("t", "a,b\n1\n").unwrap_err();
-        assert!(matches!(e, CsvError::RaggedRow { record: 2, expected: 2, got: 1 }));
+        assert!(matches!(
+            e,
+            CsvError::RaggedRow {
+                record: 2,
+                expected: 2,
+                got: 1
+            }
+        ));
         let e = Table::from_csv("t", "a,b\n\"oops,1\n").unwrap_err();
         assert!(matches!(e, CsvError::UnterminatedQuote { .. }));
         let e = Table::from_csv("t", "a,a\n1,2\n").unwrap_err();

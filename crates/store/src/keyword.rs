@@ -55,7 +55,10 @@ impl KeywordIndex {
                 }
             }
             for (ri, row) in table.iter_rows() {
-                let rref = RowRef { source: sid, row: ri };
+                let rref = RowRef {
+                    source: sid,
+                    row: ri,
+                };
                 for cell in row {
                     for t in tokens(&cell.to_string()) {
                         idx.postings.entry(t).or_default().insert(rref);
@@ -146,8 +149,14 @@ mod tests {
         let idx = KeywordIndex::build(&catalog());
         let rows: Vec<RowRef> = idx.rows_with("ALICE").collect();
         assert_eq!(rows.len(), 2);
-        assert!(rows.contains(&RowRef { source: SourceId(0), row: 0 }));
-        assert!(rows.contains(&RowRef { source: SourceId(1), row: 0 }));
+        assert!(rows.contains(&RowRef {
+            source: SourceId(0),
+            row: 0
+        }));
+        assert!(rows.contains(&RowRef {
+            source: SourceId(1),
+            row: 0
+        }));
     }
 
     #[test]

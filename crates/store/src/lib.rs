@@ -71,21 +71,34 @@ pub enum StoreError {
     },
     /// Lookup of an unknown source id.
     UnknownSource(u32),
+    /// Removal of an unknown source name.
+    UnknownSourceName(String),
 }
 
 impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            StoreError::ArityMismatch { table, expected, got } => {
-                write!(f, "row arity {got} does not match schema of `{table}` ({expected} columns)")
+            StoreError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "row arity {got} does not match schema of `{table}` ({expected} columns)"
+                )
             }
             StoreError::DuplicateAttribute { table, attribute } => {
-                write!(f, "table `{table}` declares attribute `{attribute}` more than once")
+                write!(
+                    f,
+                    "table `{table}` declares attribute `{attribute}` more than once"
+                )
             }
             StoreError::UnknownAttribute { table, attribute } => {
                 write!(f, "table `{table}` has no attribute `{attribute}`")
             }
             StoreError::UnknownSource(id) => write!(f, "no source with id {id}"),
+            StoreError::UnknownSourceName(name) => write!(f, "no source named `{name}`"),
         }
     }
 }
@@ -98,13 +111,23 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = StoreError::ArityMismatch { table: "t".into(), expected: 2, got: 3 };
+        let e = StoreError::ArityMismatch {
+            table: "t".into(),
+            expected: 2,
+            got: 3,
+        };
         assert!(e.to_string().contains("arity 3"));
-        let e = StoreError::UnknownAttribute { table: "t".into(), attribute: "x".into() };
+        let e = StoreError::UnknownAttribute {
+            table: "t".into(),
+            attribute: "x".into(),
+        };
         assert!(e.to_string().contains("`x`"));
         let e = StoreError::UnknownSource(7);
         assert!(e.to_string().contains('7'));
-        let e = StoreError::DuplicateAttribute { table: "t".into(), attribute: "a".into() };
+        let e = StoreError::DuplicateAttribute {
+            table: "t".into(),
+            attribute: "a".into(),
+        };
         assert!(e.to_string().contains("more than once"));
     }
 }

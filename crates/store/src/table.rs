@@ -42,10 +42,17 @@ impl Table {
         let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
         for (i, a) in attributes.iter().enumerate() {
             if attributes[..i].contains(a) {
-                return Err(StoreError::DuplicateAttribute { table: name, attribute: a.clone() });
+                return Err(StoreError::DuplicateAttribute {
+                    table: name,
+                    attribute: a.clone(),
+                });
             }
         }
-        Ok(Table { name, attributes, rows: Vec::new() })
+        Ok(Table {
+            name,
+            attributes,
+            rows: Vec::new(),
+        })
     }
 
     /// The source/table name.
@@ -103,7 +110,10 @@ impl Table {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let row: Row = cells.into_iter().map(|c| Value::parse(c.as_ref())).collect();
+        let row: Row = cells
+            .into_iter()
+            .map(|c| Value::parse(c.as_ref()))
+            .collect();
         self.push_row(row)
     }
 
@@ -154,7 +164,14 @@ mod tests {
     fn arity_mismatch_rejected() {
         let mut t = sample();
         let err = t.push_row(vec![Value::text("x")]).unwrap_err();
-        assert!(matches!(err, StoreError::ArityMismatch { got: 1, expected: 3, .. }));
+        assert!(matches!(
+            err,
+            StoreError::ArityMismatch {
+                got: 1,
+                expected: 3,
+                ..
+            }
+        ));
         assert_eq!(t.row_count(), 2, "failed push must not mutate");
     }
 

@@ -332,11 +332,13 @@ mod tests {
 
     #[test]
     fn ord_is_total_across_kinds() {
-        let mut vs = [Value::text("zzz"),
+        let mut vs = [
+            Value::text("zzz"),
             Value::Int(10),
             Value::Null,
             Value::Float(2.5),
-            Value::text("aaa")];
+            Value::text("aaa"),
+        ];
         vs.sort();
         assert_eq!(vs[0], Value::Null);
     }

@@ -24,7 +24,13 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| Domain::Bib.default_source_count());
     println!("Generating {n} bibliography sources…");
-    let corpus = generate(Domain::Bib, &GenConfig { n_sources: Some(n), ..GenConfig::default() });
+    let corpus = generate(
+        Domain::Bib,
+        &GenConfig {
+            n_sources: Some(n),
+            ..GenConfig::default()
+        },
+    );
     let udi = UdiSystem::setup(corpus.catalog.clone(), UdiConfig::default()).expect("setup");
 
     let vocab = udi.schema_set().vocab();

@@ -36,7 +36,10 @@ fn evaluate(udi: &UdiSystem, corpus: &udi::datagen::GeneratedDomain) -> Metrics 
 fn main() {
     let corpus = generate(
         Domain::Bib,
-        &GenConfig { n_sources: Some(120), ..GenConfig::default() },
+        &GenConfig {
+            n_sources: Some(120),
+            ..GenConfig::default()
+        },
     );
 
     // Step 0: fully automatic bootstrap.
@@ -61,17 +64,20 @@ fn main() {
         .iter()
         .max_by(|(a, _), (b, _)| {
             let quality = |m: &udi::schema::MediatedSchema| {
-                let names: Vec<String> =
-                    m.attribute_set().iter().map(|&x| vocab.name(x).to_owned()).collect();
+                let names: Vec<String> = m
+                    .attribute_set()
+                    .iter()
+                    .map(|&x| vocab.name(x).to_owned())
+                    .collect();
                 let refs: Vec<&str> = names.iter().map(String::as_str).collect();
                 let golden = corpus.truth.golden_clusters(&refs);
-                let metrics = udi::eval::pairwise_metrics(
-                    &udi::eval::named_clusters(m, vocab),
-                    &golden,
-                );
+                let metrics =
+                    udi::eval::pairwise_metrics(&udi::eval::named_clusters(m, vocab), &golden);
                 metrics.f_measure()
             };
-            quality(a).partial_cmp(&quality(b)).unwrap_or(std::cmp::Ordering::Equal)
+            quality(a)
+                .partial_cmp(&quality(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
         })
         .map(|(m, _)| m.clone())
         .expect("non-empty");
@@ -124,12 +130,9 @@ fn main() {
         }
         let base = AttributeSimilarity::default();
         let measure = fb.wrap(&base);
-        let refined = UdiSystem::setup_with_measure(
-            corpus.catalog.clone(),
-            &measure,
-            UdiConfig::default(),
-        )
-        .expect("setup");
+        let refined =
+            UdiSystem::setup_with_measure(corpus.catalog.clone(), &measure, UdiConfig::default())
+                .expect("setup");
         let m2 = evaluate(&refined, &corpus);
         println!(
             "after one answer:      P={:.3} R={:.3} F={:.3}  ({} schemas remain)",

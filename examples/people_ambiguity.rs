@@ -20,7 +20,14 @@ use udi::store::{Catalog, Table};
 fn main() {
     let mut catalog = Catalog::new();
     let mut s1 = Table::new("S1", ["name", "hPhone", "hAddr", "oPhone", "oAddr"]);
-    s1.push_raw_row(["Alice", "123-4567", "123, A Ave.", "765-4321", "456, B Ave."]).unwrap();
+    s1.push_raw_row([
+        "Alice",
+        "123-4567",
+        "123, A Ave.",
+        "765-4321",
+        "456, B Ave.",
+    ])
+    .unwrap();
     let mut s2 = Table::new("S2", ["name", "phone", "address"]);
     s2.push_raw_row(["Bob", "555-1234", "789, C Ave."]).unwrap();
     catalog.add_source(s1);
@@ -28,8 +35,15 @@ fn main() {
 
     // Vocabulary ids follow first appearance: name=0, hPhone=1, hAddr=2,
     // oPhone=3, oAddr=4, phone=5, address=6.
-    let (name, h_p, h_a, o_p, o_a, phone, addr) =
-        (AttrId(0), AttrId(1), AttrId(2), AttrId(3), AttrId(4), AttrId(5), AttrId(6));
+    let (name, h_p, h_a, o_p, o_a, phone, addr) = (
+        AttrId(0),
+        AttrId(1),
+        AttrId(2),
+        AttrId(3),
+        AttrId(4),
+        AttrId(5),
+        AttrId(6),
+    );
 
     // M3 = ({name}, {phone, hP}, {oP}, {address, hA}, {oA});
     // M4 = ({name}, {phone, oP}, {hP}, {address, oA}, {hA}); each 0.5.
@@ -43,29 +57,68 @@ fn main() {
     // clusters).
     let mapping = |med: &MediatedSchema, pairs: &[(AttrId, AttrId)]| {
         Mapping::one_to_one(
-            pairs.iter().map(|&(src, clusterer)| (src, med.cluster_of(clusterer).unwrap())),
+            pairs
+                .iter()
+                .map(|&(src, clusterer)| (src, med.cluster_of(clusterer).unwrap())),
         )
     };
-    let pm_s1 = |med: &MediatedSchema, this: AttrId, other: AttrId, this_a: AttrId, other_a: AttrId| {
-        PMapping::new(vec![
-            (
-                mapping(med, &[(name, name), (this, phone), (other, other), (this_a, addr), (other_a, other_a)]),
-                0.64,
-            ),
-            (
-                mapping(med, &[(name, name), (this, phone), (other, other), (other_a, addr), (this_a, other_a)]),
-                0.16,
-            ),
-            (
-                mapping(med, &[(name, name), (other, phone), (this, other), (this_a, addr), (other_a, other_a)]),
-                0.16,
-            ),
-            (
-                mapping(med, &[(name, name), (other, phone), (this, other), (other_a, addr), (this_a, other_a)]),
-                0.04,
-            ),
-        ])
-    };
+    let pm_s1 =
+        |med: &MediatedSchema, this: AttrId, other: AttrId, this_a: AttrId, other_a: AttrId| {
+            PMapping::new(vec![
+                (
+                    mapping(
+                        med,
+                        &[
+                            (name, name),
+                            (this, phone),
+                            (other, other),
+                            (this_a, addr),
+                            (other_a, other_a),
+                        ],
+                    ),
+                    0.64,
+                ),
+                (
+                    mapping(
+                        med,
+                        &[
+                            (name, name),
+                            (this, phone),
+                            (other, other),
+                            (other_a, addr),
+                            (this_a, other_a),
+                        ],
+                    ),
+                    0.16,
+                ),
+                (
+                    mapping(
+                        med,
+                        &[
+                            (name, name),
+                            (other, phone),
+                            (this, other),
+                            (this_a, addr),
+                            (other_a, other_a),
+                        ],
+                    ),
+                    0.16,
+                ),
+                (
+                    mapping(
+                        med,
+                        &[
+                            (name, name),
+                            (other, phone),
+                            (this, other),
+                            (other_a, addr),
+                            (this_a, other_a),
+                        ],
+                    ),
+                    0.04,
+                ),
+            ])
+        };
     let pm_s1_m3 = pm_s1(&m3, h_p, o_p, h_a, o_a);
     let pm_s1_m4 = pm_s1(&m4, o_p, h_p, o_a, h_a);
 

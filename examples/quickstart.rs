@@ -13,17 +13,22 @@ fn main() {
     // Three web-table-ish sources about movies, with inconsistent labels.
     let mut catalog = Catalog::new();
     let mut s1 = Table::new("classics", ["title", "year", "director"]);
-    s1.push_raw_row(["Metropolis", "1927", "Fritz Lang"]).unwrap();
-    s1.push_raw_row(["Casablanca", "1942", "Michael Curtiz"]).unwrap();
+    s1.push_raw_row(["Metropolis", "1927", "Fritz Lang"])
+        .unwrap();
+    s1.push_raw_row(["Casablanca", "1942", "Michael Curtiz"])
+        .unwrap();
     catalog.add_source(s1);
 
     let mut s2 = Table::new("favorites", ["title", "release year", "directed by"]);
-    s2.push_raw_row(["Vertigo", "1958", "Alfred Hitchcock"]).unwrap();
-    s2.push_raw_row(["Casablanca", "1942", "Michael Curtiz"]).unwrap();
+    s2.push_raw_row(["Vertigo", "1958", "Alfred Hitchcock"])
+        .unwrap();
+    s2.push_raw_row(["Casablanca", "1942", "Michael Curtiz"])
+        .unwrap();
     catalog.add_source(s2);
 
     let mut s3 = Table::new("recent", ["title", "year", "director"]);
-    s3.push_raw_row(["Ratatouille", "2007", "Brad Bird"]).unwrap();
+    s3.push_raw_row(["Ratatouille", "2007", "Brad Bird"])
+        .unwrap();
     catalog.add_source(s3);
 
     // Completely automatic setup: probabilistic mediated schema,

@@ -1,0 +1,207 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the `harness = false` bench binaries compiling and runnable in a
+//! sandbox with no crates.io access. Each benchmark executes its routine a
+//! handful of times and prints a single wall-clock line — useful as a smoke
+//! test and a rough number, not a statistically sound measurement. Swap in
+//! the real crate (see `offline/README.md`) for publishable figures.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bench identifier, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation (recorded, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing harness handed to bench closures.
+pub struct Bencher {
+    iters: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` `self.iters` times, recording total wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(label: &str, iters: u32, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.checked_div(b.iters).unwrap_or(Duration::ZERO);
+    let thr = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+            format!("  ({:.0} elem/s)", n as f64 / per_iter.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+            format!("  ({:.0} B/s)", n as f64 / per_iter.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("bench {label:<48} {per_iter:>12.2?}/iter  ({iters} iters){thr}");
+}
+
+/// Top-level driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // A couple of iterations: enough to smoke-test and amortize cold
+        // caches, cheap enough for CI sandboxes.
+        Criterion { iters: 3 }
+    }
+}
+
+impl Criterion {
+    /// Mirror of `Criterion::configure_from_args` (no-op in the stub).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        run_one(id, self.iters, None, |b| f(b));
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), iters: self.iters, throughput: None, _parent: self }
+    }
+}
+
+/// Group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u32,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Mirror of `sample_size` (influences stub iteration count mildly).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u32).clamp(1, 10);
+        self
+    }
+
+    /// Mirror of `measurement_time` (recorded but unused).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Mirror of `warm_up_time` (recorded but unused).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Set the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, self.iters, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Run a parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.iters, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            println!("criterion offline stub: single-shot timings, not statistics");
+            $($group();)+
+        }
+    };
+}

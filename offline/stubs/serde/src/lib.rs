@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! This crate exists so the workspace can **compile and run its logic tests
+//! in a sandbox with no crates.io access** (see `offline/README.md`). The
+//! traits are marker-only: `#[derive(Serialize, Deserialize)]` produces empty
+//! impls, and `serde_json`'s stub returns a runtime error from every
+//! serialization entry point. Code that round-trips JSON therefore fails *at
+//! runtime* with a clear message instead of failing the whole build at
+//! dependency resolution.
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de>: Sized {}
+
+/// Mirror of `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Mirror of `serde::de`.
+pub mod de {
+    pub use crate::Deserialize;
+
+    /// Mirror of `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,135 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Compiles the workspace without crates.io access. Every serialization
+//! entry point returns [`Error`] at runtime (the stub `serde_derive`
+//! generates marker impls only, so there is nothing to serialize with).
+//! Tests that exercise persistence are expected to fail under the stub;
+//! everything else runs normally. See `offline/README.md`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error type mirroring `serde_json::Error`.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+fn unavailable<T>(what: &str) -> Result<T> {
+    Err(Error {
+        msg: format!(
+            "serde_json offline stub: {what} is unavailable without the real serde crates \
+             (run `offline/use-real-crates.sh` in a networked environment)"
+        ),
+    })
+}
+
+/// Stub of `serde_json::to_string`: always errors at runtime.
+pub fn to_string<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
+    unavailable("to_string")
+}
+
+/// Stub of `serde_json::to_string_pretty`: always errors at runtime.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
+    unavailable("to_string_pretty")
+}
+
+/// Stub of `serde_json::from_str`: always errors at runtime.
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    unavailable("from_str")
+}
+
+/// Minimal mirror of `serde_json::Value` (enough surface for tests to
+/// typecheck; values are never produced at runtime under the stub).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON null.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (stored as f64 in the stub).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// True when the value is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// True when the value is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// True when the value is null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer accessor.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        matches!(self, Value::Number(n) if *n == *other as f64)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl serde::Serialize for Value {}
+impl<'de> serde::Deserialize<'de> for Value {}

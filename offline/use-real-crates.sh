@@ -1,0 +1,12 @@
+#!/bin/sh
+# Switch the workspace from the offline stub profile to the real crates.io
+# dependencies, for networked environments (CI runs this before building).
+# Reversible with: git checkout .cargo
+set -eu
+cd "$(dirname "$0")/.."
+if [ -f .cargo/config.toml ]; then
+    rm .cargo/config.toml
+    echo "Removed .cargo/config.toml — builds now resolve crates.io."
+else
+    echo "Already using real crates (.cargo/config.toml absent)."
+fi

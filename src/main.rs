@@ -77,7 +77,14 @@ fn cmd_demo(args: &[String]) -> Result<(), AnyError> {
     }
     let n = n_sources.unwrap_or_else(|| domain.default_source_count());
     println!("Generating {n} {} sources (seed {seed})…", domain.name());
-    let corpus = generate(domain, &GenConfig { n_sources: Some(n), seed, ..GenConfig::default() });
+    let corpus = generate(
+        domain,
+        &GenConfig {
+            n_sources: Some(n),
+            seed,
+            ..GenConfig::default()
+        },
+    );
     configure_and_shell(corpus.catalog)
 }
 
@@ -93,10 +100,18 @@ fn cmd_csv(args: &[String]) -> Result<(), AnyError> {
         return Err(format!("no .csv files under {dir}").into());
     }
     for p in &paths {
-        let name = p.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+        let name = p
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
         let text = std::fs::read_to_string(p)?;
         let table = Table::from_csv(name, &text)?;
-        println!("  loaded {} ({} rows, {} columns)", p.display(), table.row_count(), table.arity());
+        println!(
+            "  loaded {} ({} rows, {} columns)",
+            p.display(),
+            table.row_count(),
+            table.arity()
+        );
         catalog.add_source(table);
     }
     configure_and_shell(catalog)
@@ -157,21 +172,24 @@ fn shell(udi: UdiSystem) -> Result<(), AnyError> {
                     Ok(q) => print!("{}", udi.explain(&q)),
                 }
             }
-            cmd if cmd.starts_with("\\save") => {
-                match cmd.split_whitespace().nth(1) {
-                    None => println!("usage: \\save <file>"),
-                    Some(path) => match udi.to_json() {
-                        Ok(json) => match std::fs::write(path, json) {
-                            Ok(()) => println!("saved to {path}"),
-                            Err(e) => println!("write failed: {e}"),
-                        },
-                        Err(e) => println!("serialization failed: {e}"),
+            cmd if cmd.starts_with("\\save") => match cmd.split_whitespace().nth(1) {
+                None => println!("usage: \\save <file>"),
+                Some(path) => match udi.to_json() {
+                    Ok(json) => match std::fs::write(path, json) {
+                        Ok(()) => println!("saved to {path}"),
+                        Err(e) => println!("write failed: {e}"),
                     },
-                }
-            }
+                    Err(e) => println!("serialization failed: {e}"),
+                },
+            },
             "\\sources" => {
                 for (sid, t) in udi.catalog().iter_sources() {
-                    println!("{sid}: {} [{}] ({} rows)", t.name(), t.attributes().join(", "), t.row_count());
+                    println!(
+                        "{sid}: {} [{}] ({} rows)",
+                        t.name(),
+                        t.attributes().join(", "),
+                        t.row_count()
+                    );
                 }
             }
             sql => {

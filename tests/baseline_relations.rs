@@ -17,7 +17,10 @@ fn rows_of(set: &udi::query::AnswerSet) -> Vec<Row> {
 fn keyword_variants_are_nested() {
     let gen = generate(
         Domain::Movie,
-        &GenConfig { n_sources: Some(25), ..GenConfig::default() },
+        &GenConfig {
+            n_sources: Some(25),
+            ..GenConfig::default()
+        },
     );
     let queries = generate_workload(&gen, 12, 5);
     let naive = KeywordNaive::new(&gen.catalog);
@@ -41,7 +44,10 @@ fn keyword_variants_are_nested() {
 fn source_direct_only_uses_exact_attribute_matches() {
     let gen = generate(
         Domain::Car,
-        &GenConfig { n_sources: Some(30), ..GenConfig::default() },
+        &GenConfig {
+            n_sources: Some(30),
+            ..GenConfig::default()
+        },
     );
     let source = SourceDirect::new(&gen.catalog);
     let queries = generate_workload(&gen, 10, 6);
@@ -66,7 +72,10 @@ fn single_med_is_one_of_the_p_med_schemas_or_coarser() {
     // merged by SingleMed.
     let gen = generate(
         Domain::Bib,
-        &GenConfig { n_sources: Some(60), ..GenConfig::default() },
+        &GenConfig {
+            n_sources: Some(60),
+            ..GenConfig::default()
+        },
     );
     let udi = udi::core::UdiSystem::setup(gen.catalog.clone(), UdiConfig::default()).unwrap();
     let sm = SingleMed::setup(gen.catalog.clone(), UdiConfig::default()).unwrap();
@@ -89,10 +98,18 @@ fn single_med_is_one_of_the_p_med_schemas_or_coarser() {
 fn union_all_never_groups_attributes() {
     let gen = generate(
         Domain::People,
-        &GenConfig { n_sources: Some(30), ..GenConfig::default() },
+        &GenConfig {
+            n_sources: Some(30),
+            ..GenConfig::default()
+        },
     );
     let ua = UnionAll::setup(gen.catalog.clone(), UdiConfig::default()).unwrap();
-    assert!(ua.system().consolidated().clusters().iter().all(|c| c.len() == 1));
+    assert!(ua
+        .system()
+        .consolidated()
+        .clusters()
+        .iter()
+        .all(|c| c.len() == 1));
     // Its answer probabilities are still valid.
     let queries = generate_workload(&gen, 8, 11);
     for q in &queries {
@@ -107,7 +124,10 @@ fn integrator_names_are_stable() {
     // Experiment tables key on these names; lock them down.
     let gen = generate(
         Domain::Movie,
-        &GenConfig { n_sources: Some(12), ..GenConfig::default() },
+        &GenConfig {
+            n_sources: Some(12),
+            ..GenConfig::default()
+        },
     );
     assert_eq!(KeywordNaive::new(&gen.catalog).name(), "KeywordNaive");
     assert_eq!(KeywordStruct::new(&gen.catalog).name(), "KeywordStruct");

@@ -52,7 +52,10 @@ fn csv_sources_integrate_and_answer() {
     let answers = udi.answer(&q).combined();
     let titles: Vec<String> = answers.iter().map(|t| t.values[0].to_string()).collect();
     assert!(titles.contains(&"Casablanca".to_owned()));
-    assert!(titles.contains(&"Vertigo".to_owned()), "matched through `release year`");
+    assert!(
+        titles.contains(&"Vertigo".to_owned()),
+        "matched through `release year`"
+    );
     assert!(titles.contains(&"Metropolis".to_owned()));
     assert!(!titles.contains(&"Ratatouille".to_owned()));
 
@@ -62,7 +65,10 @@ fn csv_sources_integrate_and_answer() {
         .iter()
         .find(|t| t.values[0] == Value::text("Casablanca"))
         .unwrap();
-    let vertigo = answers.iter().find(|t| t.values[0] == Value::text("Vertigo")).unwrap();
+    let vertigo = answers
+        .iter()
+        .find(|t| t.values[0] == Value::text("Vertigo"))
+        .unwrap();
     assert!(casablanca.probability > vertigo.probability);
 }
 

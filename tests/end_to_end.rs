@@ -108,7 +108,10 @@ fn answer_probabilities_are_valid_and_ranked() {
         let mut prev = f64::INFINITY;
         for t in &combined {
             assert!(t.probability > 0.0 && t.probability <= 1.0 + 1e-9, "{q}");
-            assert!(t.probability <= prev + 1e-12, "ranking must be descending: {q}");
+            assert!(
+                t.probability <= prev + 1e-12,
+                "ranking must be descending: {q}"
+            );
             prev = t.probability;
         }
     }
@@ -119,7 +122,7 @@ fn course_domain_exhibits_the_stringly_precision_artifact() {
     // Somewhere in the Course corpus a numeric comparison on a text column
     // must produce an incorrect answer for the Source baseline — §7.3's
     // explanation for Source's sub-1 precision in Course.
-    use udi::query::{parse_query, Binding, execute_with_binding};
+    use udi::query::{execute_with_binding, parse_query, Binding};
     use udi::store::Value;
     let d = prepare(Domain::Course, Some(65), 2008).expect("setup");
     let mut artifact = false;
@@ -149,5 +152,8 @@ fn course_domain_exhibits_the_stringly_precision_artifact() {
             }
         }
     }
-    assert!(artifact, "expected at least one lexicographic numeric artifact");
+    assert!(
+        artifact,
+        "expected at least one lexicographic numeric artifact"
+    );
 }

@@ -1,0 +1,154 @@
+//! Equivalence of the incremental setup engine with batch setup, on
+//! randomized catalogs: evolving a system must be indistinguishable from
+//! rebuilding it.
+//!
+//! Two properties, mirroring the engine's two mutation families:
+//!
+//! * `setup(catalog + S)` ≡ `setup(catalog).add_source(S)` — same
+//!   p-med-schema, same p-mappings, same answers.
+//! * `setup_with_measure(c, feedback.wrap(m))` ≡
+//!   `setup(c).apply_feedback(f)` — folding feedback incrementally equals
+//!   re-running the whole pipeline under the wrapped measure.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+use udi::core::{Feedback, UdiConfig, UdiSystem};
+use udi::query::parse_query;
+use udi::similarity::AttributeSimilarity;
+use udi::store::{Catalog, Table};
+
+const ATTR_POOL: [&str; 7] = [
+    "name", "phone", "phone no", "tel", "address", "year", "price",
+];
+
+fn catalog_from(sources: &[Vec<&'static str>]) -> Catalog {
+    let mut catalog = Catalog::new();
+    for (i, attrs) in sources.iter().enumerate() {
+        let mut t = Table::new(format!("s{i}"), attrs.clone());
+        let row: Vec<String> = attrs.iter().map(|a| format!("{a}-v{i}")).collect();
+        t.push_raw_row(row).unwrap();
+        catalog.add_source(t);
+    }
+    catalog
+}
+
+/// Assert two systems are observably identical: schema distribution,
+/// mappings, and answers over single-attribute projections.
+fn assert_equivalent(a: &UdiSystem, b: &UdiSystem) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.pmed().len(), b.pmed().len(), "schema count");
+    for ((ma, pa), (mb, pb)) in a.pmed().schemas().iter().zip(b.pmed().schemas()) {
+        prop_assert_eq!(ma, mb, "schema content");
+        prop_assert!(
+            (pa - pb).abs() < 1e-12,
+            "schema probability {} vs {}",
+            pa,
+            pb
+        );
+    }
+    prop_assert_eq!(a.consolidated(), b.consolidated(), "consolidated schema");
+    for src in 0..a.catalog().source_count() {
+        for schema in 0..a.pmed().len() {
+            prop_assert_eq!(
+                a.pmapping(src, schema).mappings(),
+                b.pmapping(src, schema).mappings(),
+                "p-mapping of source {} under schema {}",
+                src,
+                schema
+            );
+        }
+        prop_assert_eq!(
+            a.consolidated_pmapping(src).mappings(),
+            b.consolidated_pmapping(src).mappings(),
+            "consolidated p-mapping of source {}",
+            src
+        );
+    }
+    for attr in ["name", "phone", "address", "year", "price"] {
+        let q = parse_query(&format!("SELECT {attr} FROM T")).unwrap();
+        let mut xs = a.answer(&q).combined();
+        let mut ys = b.answer(&q).combined();
+        xs.sort_by(|x, y| x.values.cmp(&y.values));
+        ys.sort_by(|x, y| x.values.cmp(&y.values));
+        prop_assert_eq!(xs.len(), ys.len(), "answer count for {}", attr);
+        for (x, y) in xs.iter().zip(&ys) {
+            prop_assert_eq!(&x.values, &y.values);
+            prop_assert!((x.probability - y.probability).abs() < 1e-12);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn add_source_equals_batch_setup(
+        sources in proptest::collection::vec(
+            prop::sample::subsequence(ATTR_POOL.to_vec(), 2..6),
+            2..6,
+        ),
+        extra in prop::sample::subsequence(ATTR_POOL.to_vec(), 2..6),
+    ) {
+        let mut all = sources.clone();
+        all.push(extra.clone());
+        let batch = match UdiSystem::setup(catalog_from(&all), UdiConfig::default()) {
+            Ok(u) => u,
+            Err(_) => return Ok(()), // e.g. matching explosion: nothing to compare
+        };
+        let mut incr = match UdiSystem::setup(catalog_from(&sources), UdiConfig::default()) {
+            Ok(u) => u,
+            Err(_) => return Ok(()),
+        };
+        let mut t = Table::new(format!("s{}", sources.len()), extra.clone());
+        let row: Vec<String> =
+            extra.iter().map(|a| format!("{a}-v{}", sources.len())).collect();
+        t.push_raw_row(row).unwrap();
+        if incr.add_source(t).is_err() {
+            return Ok(());
+        }
+        assert_equivalent(&incr, &batch)?;
+    }
+
+    #[test]
+    fn apply_feedback_equals_wrapped_rebuild(
+        sources in proptest::collection::vec(
+            prop::sample::subsequence(ATTR_POOL.to_vec(), 2..6),
+            2..6,
+        ),
+        judged in proptest::collection::vec(
+            (0usize..ATTR_POOL.len(), 0usize..ATTR_POOL.len(), any::<bool>()),
+            1..4,
+        ),
+    ) {
+        let mut feedback = Feedback::new();
+        for &(i, j, same) in &judged {
+            if i == j {
+                continue;
+            }
+            if same {
+                feedback.confirm_same(ATTR_POOL[i], ATTR_POOL[j]);
+            } else {
+                feedback.confirm_different(ATTR_POOL[i], ATTR_POOL[j]);
+            }
+        }
+        let base = AttributeSimilarity::default();
+        let wrapped = feedback.wrap(&base);
+        let full = match UdiSystem::setup_with_measure(
+            catalog_from(&sources),
+            &wrapped,
+            UdiConfig::default(),
+        ) {
+            Ok(u) => u,
+            Err(_) => return Ok(()),
+        };
+        let mut incr = match UdiSystem::setup(catalog_from(&sources), UdiConfig::default()) {
+            Ok(u) => u,
+            Err(_) => return Ok(()),
+        };
+        if incr.apply_feedback(&feedback).is_err() {
+            return Ok(());
+        }
+        assert_equivalent(&incr, &full)?;
+    }
+}

@@ -9,9 +9,16 @@ use udi::eval::generate_workload;
 fn setup(threads: usize) -> (UdiSystem, udi::datagen::GeneratedDomain) {
     let gen = generate(
         Domain::Bib,
-        &GenConfig { n_sources: Some(60), seed: 1234, ..GenConfig::default() },
+        &GenConfig {
+            n_sources: Some(60),
+            seed: 1234,
+            ..GenConfig::default()
+        },
     );
-    let config = UdiConfig { threads, ..UdiConfig::default() };
+    let config = UdiConfig {
+        threads,
+        ..UdiConfig::default()
+    };
     let udi = UdiSystem::setup(gen.catalog.clone(), config).expect("setup");
     (udi, gen)
 }
@@ -55,9 +62,16 @@ fn oversubscribed_thread_count_is_fine() {
     // More threads than sources must not panic or change results.
     let gen = generate(
         Domain::Movie,
-        &GenConfig { n_sources: Some(5), seed: 7, ..GenConfig::default() },
+        &GenConfig {
+            n_sources: Some(5),
+            seed: 7,
+            ..GenConfig::default()
+        },
     );
-    let config = UdiConfig { threads: 64, ..UdiConfig::default() };
+    let config = UdiConfig {
+        threads: 64,
+        ..UdiConfig::default()
+    };
     let udi = UdiSystem::setup(gen.catalog.clone(), config).expect("setup");
     assert_eq!(udi.report().n_sources, 5);
 }

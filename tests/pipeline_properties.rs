@@ -11,8 +11,8 @@ use udi::store::{Catalog, Table};
 fn schema_sets() -> impl Strategy<Value = Vec<Vec<&'static str>>> {
     let pool = prop::sample::subsequence(
         vec![
-            "name", "title", "phone", "phone no", "tel", "address", "addr", "email",
-            "year", "yr", "price", "prices", "make", "model",
+            "name", "title", "phone", "phone no", "tel", "address", "addr", "email", "year", "yr",
+            "price", "prices", "make", "model",
         ],
         2..9,
     );

@@ -23,8 +23,11 @@ fn queries() -> impl Strategy<Value = Query> {
         "[a-zA-Z0-9 %_.-]{0,12}".prop_map(Value::text),
         (-1000.0f64..1000.0).prop_map(|f| Value::float((f * 100.0).round() / 100.0)),
     ];
-    let predicate = (ident, op, value)
-        .prop_map(|(attribute, op, value)| Predicate { attribute, op, value });
+    let predicate = (ident, op, value).prop_map(|(attribute, op, value)| Predicate {
+        attribute,
+        op,
+        value,
+    });
     (
         proptest::collection::vec(ident, 1..5),
         proptest::collection::vec(predicate, 0..4),

@@ -8,8 +8,8 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use udi::schema::{
-    build_similarity_graph, consolidate_schemas, enumerate_mediated_schemas, EdgeKind,
-    SchemaSet, UdiParams,
+    build_similarity_graph, consolidate_schemas, enumerate_mediated_schemas, EdgeKind, SchemaSet,
+    UdiParams,
 };
 use udi::similarity::Similarity;
 

@@ -31,7 +31,11 @@ fn theorem_3_4_subsumption_construction_preserves_answers() {
     let udi = UdiSystem::from_parts(catalog, pmed, vec![vec![pm1, pm2]]).unwrap();
 
     // The consolidated schema is deterministic (the theorem's T)...
-    assert_eq!(udi.consolidated().len(), 2, "T has singleton clusters {{a}}, {{b}}");
+    assert_eq!(
+        udi.consolidated().len(),
+        2,
+        "T has singleton clusters {{a}}, {{b}}"
+    );
     // ...its p-mapping is one-to-many (a maps to both clusters under M2)...
     assert!(udi
         .consolidated_pmapping(0)
