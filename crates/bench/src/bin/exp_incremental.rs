@@ -18,13 +18,25 @@
 
 use std::time::Instant;
 
-use udi_bench::{banner, seed, sources_for};
+use udi_bench::{banner, seed, sources_for, BenchObs};
 use udi_core::{UdiConfig, UdiSystem};
 use udi_datagen::{generate, Domain, GenConfig};
 use udi_eval::generate_workload;
 
+/// `UdiSystem::setup`, routed through the trace sink when `--trace` is on.
+fn setup_maybe_observed(
+    obs: &BenchObs,
+    catalog: udi_store::Catalog,
+) -> Result<UdiSystem, udi_core::UdiError> {
+    match obs.sink() {
+        Some(sink) => UdiSystem::setup_observed(catalog, UdiConfig::default(), sink),
+        None => UdiSystem::setup(catalog, UdiConfig::default()),
+    }
+}
+
 fn main() {
     banner("Incremental add vs full rebuild (Car domain)");
+    let obs = BenchObs::from_args();
     let full = sources_for(Domain::Car);
     let counts: Vec<usize> = [100usize, 200, 400, 800]
         .iter()
@@ -56,13 +68,15 @@ fn main() {
 
         // Full rebuild over all N sources.
         let t0 = Instant::now();
-        let rebuilt = UdiSystem::setup(gen.catalog.clone(), UdiConfig::default()).expect("setup");
+        let rebuilt = setup_maybe_observed(&obs, gen.catalog.clone()).expect("setup");
         let rebuild_time = t0.elapsed();
         let rc = rebuilt.report().cache;
         let rebuild_work = rc.rows_computed as u64 + rc.solve_misses;
 
-        // Incremental: N−1 sources up front, then the Nth arrives.
-        let mut incremental = UdiSystem::setup(head, UdiConfig::default()).expect("setup of N-1");
+        // Incremental: N−1 sources up front, then the Nth arrives. The
+        // trace sink (when active) is installed before the first refresh,
+        // so the `add_source` refresh's spans land in the same trace.
+        let mut incremental = setup_maybe_observed(&obs, head).expect("setup of N-1");
         let t1 = Instant::now();
         incremental.add_source(newcomer).expect("incremental add");
         let incr_time = t1.elapsed();
@@ -110,4 +124,5 @@ fn main() {
         worst_ratio >= 10.0,
         "expected >=10x work reduction, got {worst_ratio:.1}x"
     );
+    obs.finish();
 }

@@ -9,14 +9,14 @@
 use udi_baselines::{
     Integrator, KeywordNaive, KeywordStrict, KeywordStruct, SourceDirect, TopMapping, Udi,
 };
-use udi_bench::{banner, fmt_prf, seed, sources_for};
+use udi_bench::{banner, fmt_prf, prepare_traced, seed, sources_for, BenchObs};
 use udi_datagen::Domain;
-use udi_eval::harness::prepare;
 
 fn main() {
     banner("Figure 4: UDI vs keyword search, Source, and TopMapping (P / R / F)");
+    let obs = BenchObs::from_args();
     for domain in Domain::all() {
-        let d = prepare(domain, Some(sources_for(domain)), seed()).expect("setup");
+        let d = prepare_traced(&obs, domain, Some(sources_for(domain)), seed()).expect("setup");
         let golden = d.approximate_golden_rows();
         println!("\n-- {} --", domain.name());
         println!(
@@ -43,4 +43,5 @@ fn main() {
          Source high precision / low recall; TopMapping erratic precision and \
          the lowest recall (0 correct answers in Bib)."
     );
+    obs.finish();
 }

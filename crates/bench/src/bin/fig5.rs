@@ -4,15 +4,15 @@
 //! as this approach ran out of memory in system setup."
 
 use udi_baselines::{Integrator, SingleMed, Udi, UnionAll};
-use udi_bench::{banner, fmt_prf, seed, sources_for};
+use udi_bench::{banner, fmt_prf, prepare_traced, seed, sources_for, BenchObs};
 use udi_core::UdiConfig;
 use udi_datagen::Domain;
-use udi_eval::harness::prepare;
 
 fn main() {
     banner("Figure 5: UDI vs deterministic mediated schemas (P / R / F)");
+    let obs = BenchObs::from_args();
     for domain in Domain::all() {
-        let d = prepare(domain, Some(sources_for(domain)), seed()).expect("setup");
+        let d = prepare_traced(&obs, domain, Some(sources_for(domain)), seed()).expect("setup");
         let golden = d.approximate_golden_rows();
         println!("\n-- {} --", domain.name());
         println!(
@@ -53,4 +53,5 @@ fn main() {
          ambiguous-attribute queries; UnionAll high precision, much lower \
          recall, and a state explosion on Bib."
     );
+    obs.finish();
 }

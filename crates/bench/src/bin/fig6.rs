@@ -6,10 +6,9 @@
 //! prefix is reported (§7.4).
 
 use udi_baselines::{Integrator, SingleMed, Udi};
-use udi_bench::{banner, seed, sources_for};
+use udi_bench::{banner, prepare_traced, seed, sources_for, BenchObs};
 use udi_core::UdiConfig;
 use udi_datagen::Domain;
-use udi_eval::harness::prepare;
 use udi_eval::{precision_at_recall, rp_curve, GoldenIntegrator, RpPoint};
 use udi_query::Query;
 use udi_store::Row;
@@ -46,8 +45,9 @@ fn pooled_curve(
 
 fn main() {
     banner("Figure 6: R-P curves, Movie domain (UDI vs SingleMed)");
+    let obs = BenchObs::from_args();
     let domain = Domain::Movie;
-    let d = prepare(domain, Some(sources_for(domain)), seed()).expect("setup");
+    let d = prepare_traced(&obs, domain, Some(sources_for(domain)), seed()).expect("setup");
     let g = GoldenIntegrator::new(&d.gen.catalog, &d.gen.truth);
     let goldens: Vec<Vec<Row>> = d.queries.iter().map(|q| g.golden_rows(q)).collect();
     let sm = SingleMed::setup(d.gen.catalog.clone(), UdiConfig::default()).expect("setup");
@@ -73,4 +73,5 @@ fn main() {
         "Paper reference (shape): at fixed recall UDI's precision dominates \
          SingleMed's; both curves decline as recall → 1."
     );
+    obs.finish();
 }

@@ -9,13 +9,14 @@
 
 use std::time::Instant;
 
-use udi_bench::{banner, seed};
+use udi_bench::{banner, seed, BenchObs};
 use udi_core::{UdiConfig, UdiSystem};
 use udi_datagen::{generate, Domain, GenConfig};
 use udi_eval::generate_workload;
 
 fn main() {
     banner("Figure 7: setup time vs #sources (Car domain)");
+    let obs = BenchObs::from_args();
     let full = udi_bench::sources_for(Domain::Car);
     let mut counts: Vec<usize> = (1..=8).map(|i| i * 100).filter(|&n| n < full).collect();
     counts.push(full);
@@ -41,8 +42,14 @@ fn main() {
                 ..GenConfig::default()
             },
         );
-        let udi = UdiSystem::setup(gen.catalog.clone(), UdiConfig::default()).expect("setup");
-        let t = udi.report().timings;
+        let udi = match obs.sink() {
+            Some(sink) => {
+                UdiSystem::setup_observed(gen.catalog.clone(), UdiConfig::default(), sink)
+            }
+            None => UdiSystem::setup(gen.catalog.clone(), UdiConfig::default()),
+        }
+        .expect("setup");
+        let t = udi.report().timings.expect("fresh setup measures timings");
         // Cache behavior of the setup refresh: the max-entropy solve-cache
         // hit rate shows how much of stage 3 collapses onto repeated
         // correspondence groups even on a cold engine; sim-miss counts the
@@ -75,4 +82,5 @@ fn main() {
          (3.5 minutes at 817 sources on 2008 hardware; p-mapping generation, \
          i.e. entropy maximization, dominates); queries answer in ≤ 2 s."
     );
+    obs.finish();
 }

@@ -4,17 +4,24 @@
 //! Prints the corpus statistics of the generated substitute alongside the
 //! paper's source counts and keyword filters.
 
-use udi_bench::{banner, seed, sources_for};
+use udi_bench::{banner, seed, sources_for, BenchObs};
 use udi_datagen::{generate, Domain, GenConfig};
 
 fn main() {
     banner("Table 1: domain corpora");
+    let obs = BenchObs::from_args();
+    // Table 1 never runs the setup pipeline, so with --trace the only
+    // events are the binary-local per-domain generation spans below.
+    let recorder = obs.recorder();
     println!(
         "{:<8} {:>6} {:>8} {:>10} {:>10}  Keywords",
         "Domain", "#Src", "#Attrs", "#Frequent", "#Rows"
     );
     for domain in Domain::all() {
         let n = sources_for(domain);
+        let mut span = recorder.span("bench.datagen");
+        span.field("domain", domain.name());
+        span.field("n_sources", n);
         let gen = generate(
             domain,
             &GenConfig {
@@ -23,6 +30,8 @@ fn main() {
                 ..GenConfig::default()
             },
         );
+        span.field("n_rows", gen.catalog.total_rows() as u64);
+        span.close();
         let frequent = gen.catalog.frequent_attributes(0.10).len();
         println!(
             "{:<8} {:>6} {:>8} {:>10} {:>10}  {}",
@@ -36,4 +45,5 @@ fn main() {
     }
     println!();
     println!("Paper reference: Movie 161, Car 817, People 49, Course 647, Bib 649 sources.");
+    obs.finish();
 }

@@ -8,12 +8,12 @@
 //! the paper.
 
 use udi_baselines::Udi;
-use udi_bench::{banner, fmt_prf, seed, sources_for};
+use udi_bench::{banner, fmt_prf, prepare_traced, seed, sources_for, BenchObs};
 use udi_datagen::Domain;
-use udi_eval::harness::prepare;
 
 fn main() {
     banner("Table 2: UDI vs manual integration (P / R / F per domain)");
+    let obs = BenchObs::from_args();
     println!(
         "{:<10} {:>9} {:>9} {:>9}",
         "Domain", "Precision", "Recall", "F-measure"
@@ -21,7 +21,7 @@ fn main() {
 
     println!("--- golden standard ---");
     for domain in [Domain::People, Domain::Bib] {
-        let d = prepare(domain, Some(sources_for(domain)), seed()).expect("setup");
+        let d = prepare_traced(&obs, domain, Some(sources_for(domain)), seed()).expect("setup");
         let golden = d.golden_rows();
         let m = d.evaluate(&Udi(&d.udi), &golden);
         println!("{:<10} {}", domain.name(), fmt_prf(m));
@@ -35,7 +35,7 @@ fn main() {
         Domain::People,
         Domain::Bib,
     ] {
-        let d = prepare(domain, Some(sources_for(domain)), seed()).expect("setup");
+        let d = prepare_traced(&obs, domain, Some(sources_for(domain)), seed()).expect("setup");
         let approx = d.approximate_golden_rows();
         let m = d.evaluate(&Udi(&d.udi), &approx);
         println!("{:<10} {}", domain.name(), fmt_prf(m));
@@ -46,4 +46,5 @@ fn main() {
         "Paper reference: golden People .918 F, Bib .92 F; approximate golden \
          Movie .924, Car .957, Course .971, People 1.0, Bib .977."
     );
+    obs.finish();
 }

@@ -1,12 +1,19 @@
+#![warn(missing_docs)]
+
 //! Shared plumbing for the reproduction binaries (one per paper
 //! table/figure) and the criterion benchmarks.
 //!
 //! Every binary accepts the environment variable `UDI_SCALE` — a fraction
 //! in `(0, 1]` applied to the paper's Table 1 source counts — so the whole
 //! suite can be smoke-tested quickly (`UDI_SCALE=0.1`) or run at full scale
-//! (default). `UDI_SEED` overrides the corpus seed.
+//! (default). `UDI_SEED` overrides the corpus seed. Binaries also accept
+//! `--trace out.jsonl` (parsed by [`BenchObs::from_args`]) to record a
+//! structured trace of the run; see `OBSERVABILITY.md`.
+
+use std::sync::Arc;
 
 use udi_datagen::Domain;
+use udi_obs::{FanoutSink, JsonLinesSink, MemorySink, Recorder, Sink, TraceSummary};
 
 /// The corpus scale factor from `UDI_SCALE` (default 1.0 = paper scale).
 pub fn scale() -> f64 {
@@ -41,6 +48,117 @@ pub fn banner(title: &str) {
         seed()
     );
     println!("{}", "=".repeat(72));
+}
+
+/// Tracing support for one bench-binary run, driven by the `--trace
+/// out.jsonl` command-line flag.
+///
+/// With the flag, every event is written to the JSON-lines file *and*
+/// buffered in memory so [`finish`](BenchObs::finish) can print a per-span
+/// summary table at exit. Without it, [`sink`](BenchObs::sink) is `None`
+/// and nothing is recorded — the system under test runs with its default
+/// (counters-only) instrumentation.
+pub struct BenchObs {
+    path: Option<String>,
+    memory: Option<Arc<MemorySink>>,
+    fanout: Option<Arc<dyn Sink>>,
+}
+
+impl BenchObs {
+    /// Parse `--trace PATH` (or `--trace=PATH`) from the process arguments.
+    ///
+    /// Exits with an error message if the flag is present but the file
+    /// cannot be created — a bench run that silently drops its trace is
+    /// worse than one that fails fast.
+    pub fn from_args() -> BenchObs {
+        let args: Vec<String> = std::env::args().collect();
+        let mut path = None;
+        for (i, a) in args.iter().enumerate() {
+            if a == "--trace" {
+                path = args.get(i + 1).cloned();
+                if path.is_none() {
+                    eprintln!("--trace requires a file path");
+                    std::process::exit(2);
+                }
+            } else if let Some(p) = a.strip_prefix("--trace=") {
+                path = Some(p.to_owned());
+            }
+        }
+        BenchObs::to_path(path)
+    }
+
+    fn to_path(path: Option<String>) -> BenchObs {
+        let Some(path) = path else {
+            return BenchObs {
+                path: None,
+                memory: None,
+                fanout: None,
+            };
+        };
+        let jsonl = match JsonLinesSink::create(&path) {
+            Ok(s) => Arc::new(s),
+            Err(e) => {
+                eprintln!("cannot create trace file {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let memory = Arc::new(MemorySink::new());
+        let fanout: Arc<dyn Sink> = Arc::new(FanoutSink::new(vec![jsonl, memory.clone()]));
+        BenchObs {
+            path: Some(path),
+            memory: Some(memory),
+            fanout: Some(fanout),
+        }
+    }
+
+    /// The sink to hand to `UdiSystem::setup_observed` /
+    /// `prepare_observed`; `None` when `--trace` was not given.
+    pub fn sink(&self) -> Option<Arc<dyn Sink>> {
+        self.fanout.clone()
+    }
+
+    /// Whether `--trace` was given.
+    pub fn is_enabled(&self) -> bool {
+        self.fanout.is_some()
+    }
+
+    /// A recorder for binary-local spans (e.g. wrapping data generation),
+    /// interleaved with the engine's events in the same trace. Disabled
+    /// when tracing is off.
+    pub fn recorder(&self) -> Recorder {
+        match &self.fanout {
+            Some(s) => Recorder::new(s.clone()),
+            None => Recorder::disabled(),
+        }
+    }
+
+    /// Flush the trace file and print the per-span/per-counter summary
+    /// table. A no-op without `--trace`.
+    pub fn finish(self) {
+        let (Some(path), Some(memory), Some(fanout)) = (self.path, self.memory, self.fanout) else {
+            return;
+        };
+        fanout.flush();
+        let summary = TraceSummary::from_events(&memory.events());
+        println!();
+        println!("trace written to {path}");
+        print!("{summary}");
+    }
+}
+
+/// [`udi_eval::harness::prepare`], routed through this run's trace sink
+/// when `--trace` is active so the setup pipeline's spans and counters
+/// land in the trace file.
+pub fn prepare_traced(
+    obs: &BenchObs,
+    domain: Domain,
+    n_sources: Option<usize>,
+    seed: u64,
+) -> Result<udi_eval::harness::DomainEval, udi_core::UdiError> {
+    match obs.sink() {
+        Some(sink) => udi_eval::harness::prepare_observed(domain, n_sources, seed, sink),
+        None => udi_eval::harness::prepare(domain, n_sources, seed),
+    }
 }
 
 /// The Example 2.1 ambiguity stress inventory: `phone` and `address` are

@@ -16,10 +16,13 @@ impl UdiSystem {
     /// referencing an unknown or unclustered (infrequent) attribute yields
     /// no answers from this path.
     pub fn answer(&self, query: &Query) -> AnswerSet {
+        let mut span = self.engine().recorder().span("query.answer");
+        span.field("path", "consolidated");
         let Some(clusters) = self.resolve_clusters(query, self.consolidated()) else {
             return AnswerSet::new();
         };
         let mut set = AnswerSet::new();
+        let (mut scanned, mut produced) = (0u64, 0u64);
         for (sid, table) in self.catalog().iter_sources() {
             let pm = self.consolidated_pmapping(sid.0 as usize);
             let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
@@ -27,9 +30,13 @@ impl UdiSystem {
                 let sig = binding_signature(m, &clusters);
                 *pooled.entry(sig).or_insert(0.0) += p;
             }
-            let tuples = run_pooled(table, query, &pooled, self);
+            let (tuples, s) = run_pooled(table, query, &pooled, self);
+            scanned += s;
+            produced += tuples.len() as u64;
             set.add_source(sid, tuples);
         }
+        span.count("query.tuples.scanned", scanned);
+        span.count("query.answers.produced", produced);
         set
     }
 
@@ -38,6 +45,8 @@ impl UdiSystem {
     /// `Pr(M_i)`. Exists to make Theorem 6.2 executable — `answer` must
     /// return exactly the same answers.
     pub fn answer_with_pmed(&self, query: &Query) -> AnswerSet {
+        let mut span = self.engine().recorder().span("query.answer");
+        span.field("path", "pmed");
         let mut set = AnswerSet::new();
         // Resolve clusters per possible schema; a schema that cannot
         // resolve the query contributes nothing.
@@ -50,6 +59,7 @@ impl UdiSystem {
         if resolved.iter().all(Option::is_none) {
             return AnswerSet::new();
         }
+        let (mut scanned, mut produced) = (0u64, 0u64);
         for (sid, table) in self.catalog().iter_sources() {
             let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
             for (i, (_, p_schema)) in self.pmed().schemas().iter().enumerate() {
@@ -61,9 +71,13 @@ impl UdiSystem {
                     *pooled.entry(sig).or_insert(0.0) += p * p_schema;
                 }
             }
-            let tuples = run_pooled(table, query, &pooled, self);
+            let (tuples, s) = run_pooled(table, query, &pooled, self);
+            scanned += s;
+            produced += tuples.len() as u64;
             set.add_source(sid, tuples);
         }
+        span.count("query.tuples.scanned", scanned);
+        span.count("query.answers.produced", produced);
         set
     }
 
@@ -74,18 +88,25 @@ impl UdiSystem {
     /// recall) and bets everything on the top mapping being right (erratic
     /// precision), which is exactly the behaviour the paper reports.
     pub fn answer_top_mapping(&self, query: &Query) -> AnswerSet {
+        let mut span = self.engine().recorder().span("query.answer");
+        span.field("path", "top-mapping");
         let Some(clusters) = self.resolve_clusters(query, self.consolidated()) else {
             return AnswerSet::new();
         };
         let mut set = AnswerSet::new();
+        let (mut scanned, mut produced) = (0u64, 0u64);
         for (sid, table) in self.catalog().iter_sources() {
             let pm = self.consolidated_pmapping(sid.0 as usize);
             let top = pm.top_mapping();
             let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
             pooled.insert(binding_signature(top, &clusters), 1.0);
-            let tuples = run_pooled(table, query, &pooled, self);
+            let (tuples, s) = run_pooled(table, query, &pooled, self);
+            scanned += s;
+            produced += tuples.len() as u64;
             set.add_source(sid, tuples);
         }
+        span.count("query.tuples.scanned", scanned);
+        span.count("query.answers.produced", produced);
         set
     }
 
@@ -104,11 +125,14 @@ impl UdiSystem {
     /// mapping probabilities; by-tuple combines them as independent
     /// events).
     pub fn answer_by_tuple(&self, query: &Query) -> AnswerSet {
+        let mut span = self.engine().recorder().span("query.answer");
+        span.field("path", "by-tuple");
         let Some(clusters) = self.resolve_clusters(query, self.consolidated()) else {
             return AnswerSet::new();
         };
         let attrs = query.referenced_attributes();
         let mut set = AnswerSet::new();
+        let (mut scanned, mut produced) = (0u64, 0u64);
         for (sid, table) in self.catalog().iter_sources() {
             let pm = self.consolidated_pmapping(sid.0 as usize);
             let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
@@ -130,6 +154,7 @@ impl UdiSystem {
                     let id = id.expect("checked above");
                     binding.bind(*a, self.schema_set().vocab().name(id));
                 }
+                scanned += table.row_count() as u64;
                 for (ri, tuple) in udi_query::execute_with_binding_indexed(table, query, &binding) {
                     let key = (ri, tuple);
                     match per_row.get_mut(&key) {
@@ -164,8 +189,11 @@ impl UdiSystem {
                     }
                 })
                 .collect();
+            produced += tuples.len() as u64;
             set.add_source(sid, tuples);
         }
+        span.count("query.tuples.scanned", scanned);
+        span.count("query.answers.produced", produced);
         set
     }
 
@@ -178,6 +206,8 @@ impl UdiSystem {
     /// (that would need entity resolution; the paper's union model treats
     /// sources independently).
     pub fn answer_aggregate(&self, query: &udi_query::AggregateQuery) -> AnswerSet {
+        let mut span = self.engine().recorder().span("query.answer");
+        span.field("path", "aggregate");
         let referenced: Vec<String> = query
             .referenced_attributes()
             .into_iter()
@@ -195,6 +225,7 @@ impl UdiSystem {
             return AnswerSet::new();
         };
         let mut set = AnswerSet::new();
+        let (mut scanned, mut produced) = (0u64, 0u64);
         for (sid, table) in self.catalog().iter_sources() {
             let pm = self.consolidated_pmapping(sid.0 as usize);
             let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
@@ -214,11 +245,16 @@ impl UdiSystem {
                     let id = id.expect("checked above");
                     binding.bind(a.clone(), self.schema_set().vocab().name(id));
                 }
+                scanned += table.row_count() as u64;
                 let rows = udi_query::execute_aggregate_with_binding(table, query, &binding);
                 acc.add_mapping(&rows, p);
             }
-            set.add_source(sid, acc.finish());
+            let tuples = acc.finish();
+            produced += tuples.len() as u64;
+            set.add_source(sid, tuples);
         }
+        span.count("query.tuples.scanned", scanned);
+        span.count("query.answers.produced", produced);
         set
     }
 
@@ -387,15 +423,18 @@ fn binding_signature(m: &Mapping, clusters: &[(String, usize)]) -> Vec<Option<At
 }
 
 /// Execute the query once per distinct (complete) binding signature and
-/// accumulate by-table probabilities.
+/// accumulate by-table probabilities. Returns the answer tuples plus the
+/// number of source tuples scanned (the executor reads the whole table per
+/// distinct binding).
 fn run_pooled(
     table: &Table,
     query: &Query,
     pooled: &HashMap<Vec<Option<AttrId>>, f64>,
     sys: &UdiSystem,
-) -> Vec<udi_query::AnswerTuple> {
+) -> (Vec<udi_query::AnswerTuple>, u64) {
     let attrs = query.referenced_attributes();
     let mut acc = SourceAccumulator::new();
+    let mut scanned = 0u64;
     // Deterministic iteration: sort signatures.
     let mut entries: Vec<(&Vec<Option<AttrId>>, &f64)> = pooled.iter().collect();
     entries.sort_by(|a, b| a.0.cmp(b.0));
@@ -408,10 +447,11 @@ fn run_pooled(
             let id = id.expect("checked above");
             binding.bind(*a, sys.schema_set().vocab().name(id));
         }
+        scanned += table.row_count() as u64;
         let rows = execute_with_binding(table, query, &binding);
         acc.add_mapping(&rows, p);
     }
-    acc.finish()
+    (acc.finish(), scanned)
 }
 
 #[cfg(test)]

@@ -32,8 +32,10 @@
 //! must yield the identical mapping, and we reuse it without re-solving.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 use std::time::Instant;
 
+use udi_obs::{CounterSink, FanoutSink, Recorder, Sink};
 use udi_schema::{
     assign_probabilities, build_similarity_graph_via, consolidate_schemas,
     enumerate_mediated_schemas, generate_pmapping_cached, AttrId, Consolidator, EdgeKind,
@@ -111,6 +113,14 @@ pub struct SetupEngine {
     solve_cache: SolveCache,
     /// Diagnostics of the most recent refresh.
     report: SetupReport,
+    /// Always-on aggregate sink: authoritative `engine.*`/`maxent.*`
+    /// counter totals, from which each report's [`CacheStats`] view is
+    /// derived as a before/after delta.
+    stats: Arc<CounterSink>,
+    /// Telemetry recorder behind every span and counter the engine emits.
+    /// Always enabled: it feeds at least `stats`, plus whatever sink
+    /// [`set_sink`](SetupEngine::set_sink) installs.
+    recorder: Recorder,
 }
 
 impl SetupEngine {
@@ -122,6 +132,10 @@ impl SetupEngine {
             schema_set.add_source(table.name(), table.attributes().iter().map(String::as_str));
         }
         let rows = vec![None; catalog.source_count()];
+        let stats = Arc::new(CounterSink::new());
+        let recorder = Recorder::new(stats.clone());
+        let mut solve_cache = SolveCache::new();
+        solve_cache.set_recorder(recorder.clone());
         SetupEngine {
             catalog,
             config,
@@ -135,9 +149,29 @@ impl SetupEngine {
             rows,
             consolidated: None,
             cons_rows: Vec::new(),
-            solve_cache: SolveCache::new(),
+            solve_cache,
             report: SetupReport::default(),
+            stats,
+            recorder,
         }
+    }
+
+    /// Install (or remove) a user trace sink. Engine telemetry — stage
+    /// spans, per-row build spans, cache counters, solver observations —
+    /// then fans out to `sink` in addition to the internal counter
+    /// aggregate; pass `None` to go back to counters only.
+    pub fn set_sink(&mut self, sink: Option<Arc<dyn Sink>>) {
+        self.recorder = match sink {
+            Some(user) => Recorder::new(Arc::new(FanoutSink::new(vec![user, self.stats.clone()]))),
+            None => Recorder::new(self.stats.clone()),
+        };
+        self.solve_cache.set_recorder(self.recorder.clone());
+    }
+
+    /// The engine's telemetry recorder. Query answering records its spans
+    /// and counters through this, so one trace covers setup and queries.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Engine assembled from explicit parts (the
@@ -178,8 +212,8 @@ impl SetupEngine {
             .iter()
             .map(|per_schema| consolidator.consolidate(per_schema))
             .collect();
-        // Timings are deliberately absent (zero) on the manual-assembly
-        // path: nothing was measured because nothing was computed beyond
+        // Timings are deliberately `None` on the manual-assembly path:
+        // nothing was measured because nothing was computed beyond
         // consolidation. `n_frequent` is still derivable from the schema
         // set, so it is reported.
         engine.report = SetupReport {
@@ -274,15 +308,18 @@ impl SetupEngine {
             return Err(UdiError::EmptyCatalog);
         }
         let params = self.config.params.clone();
-        let mut stats = CacheStats::default();
         let mut timings = SetupTimings::default();
-        let (solve_hits0, solve_misses0) = (self.solve_cache.hits(), self.solve_cache.misses());
+        let counters_before = self.stats.snapshot();
+        let mut root = self.recorder.span("engine.refresh");
+        root.field("n_sources", self.catalog.source_count());
 
         // Stage 1 — import. The schema set is maintained in place by the
         // mutations; here we only re-pin judged pairs (covers attributes
         // interned since the judgment arrived).
         let t0 = Instant::now();
+        let s1 = root.child("engine.import");
         apply_feedback_overrides(&self.feedback, &self.schema_set, &mut self.sim_cache);
+        s1.close();
         timings.import = t0.elapsed();
 
         // Stage 2 — p-med-schema. The graph itself is cheap to rebuild
@@ -290,6 +327,7 @@ impl SetupEngine {
         // the signature is unchanged. Probabilities (Algorithm 2) are
         // linear and always recomputed.
         let t1 = Instant::now();
+        let mut s2 = root.child("engine.med_schema");
         let wrapped = self.feedback.wrap(measure);
         let nodes = self.schema_set.frequent_attributes(params.theta);
         ensure_pairs(
@@ -300,26 +338,33 @@ impl SetupEngine {
                 .iter()
                 .enumerate()
                 .flat_map(|(i, &a)| nodes[i + 1..].iter().map(move |&b| (a, b))),
-            &mut stats,
+            &self.recorder,
         );
         let matrix = FrozenMatrix::from_entries(self.sim_cache.iter().map(|(&k, &v)| (k, v)));
         let graph = build_similarity_graph_via(&self.schema_set, &matrix, &params);
         let sig = signature(&graph);
+        let mut schemas_reenumerated = false;
         if self.graph_sig.as_ref() != Some(&sig) {
             self.schemas_raw = enumerate_mediated_schemas(&graph, &params);
             self.graph_sig = Some(sig);
-            stats.schemas_reenumerated = true;
+            schemas_reenumerated = true;
+            self.recorder.count("engine.schemas.reenumerated", 1);
         }
         let mut weighted = assign_probabilities(self.schemas_raw.clone(), &self.schema_set);
         weighted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         let pmed = PMedSchema::new(weighted);
+        s2.field("n_schemas", pmed.len());
+        s2.close();
         timings.med_schema = t1.elapsed();
 
         // Stage 3 — p-mapping rows. Reuse granularity is per
         // (source, schema-content): a clean source keeps every mapping
         // whose mediated schema also exists in the new list.
         let t2 = Instant::now();
+        let s3 = root.child("engine.pmappings");
+        let stage3_id = s3.id();
         let new_list: Vec<MediatedSchema> = pmed.schemas().iter().map(|(m, _)| m.clone()).collect();
+        let rows_computed_now: usize;
         let new_rows = {
             let all_attrs: Vec<AttrId> = self.schema_set.vocab().iter().map(|(id, _)| id).collect();
             let cluster_attrs: Vec<AttrId> = {
@@ -336,7 +381,7 @@ impl SetupEngine {
                 all_attrs
                     .iter()
                     .flat_map(|&a| cluster_attrs.iter().map(move |&c| (a, c))),
-                &mut stats,
+                &self.recorder,
             );
             let matrix = FrozenMatrix::from_entries(self.sim_cache.iter().map(|(&k, &v)| (k, v)));
             let old_pos: HashMap<&MediatedSchema, usize> = self
@@ -358,14 +403,22 @@ impl SetupEngine {
                     None => vec![None; new_list.len()],
                 })
                 .collect();
-            stats.rows_reused = plan
+            let rows_reused: usize = plan
                 .iter()
                 .map(|r| r.iter().filter(|e| e.is_some()).count())
                 .sum();
-            stats.rows_computed = plan
+            rows_computed_now = plan
                 .iter()
                 .map(|r| r.iter().filter(|e| e.is_none()).count())
                 .sum();
+            if rows_reused > 0 {
+                self.recorder
+                    .count("engine.rows.reused", rows_reused as u64);
+            }
+            if rows_computed_now > 0 {
+                self.recorder
+                    .count("engine.rows.computed", rows_computed_now as u64);
+            }
 
             let sources = self.schema_set.sources();
             let n = sources.len();
@@ -381,6 +434,9 @@ impl SetupEngine {
             let matrix_ref = &matrix;
             let params_ref = &params;
             let solve_cache = &self.solve_cache;
+            // Worker threads cannot carry the stage-3 `Span` guard; they
+            // clone the recorder and parent their build spans on its id.
+            let recorder = self.recorder.clone();
             let build_row = move |(i, mut old): (usize, TakenRow)| {
                 new_list_ref
                     .iter()
@@ -389,14 +445,20 @@ impl SetupEngine {
                         Some(oj) => Ok(old.as_mut().expect("planned reuse")[oj]
                             .take()
                             .expect("each old column claimed once")),
-                        None => generate_pmapping_cached(
-                            &sources[i],
-                            med,
-                            matrix_ref,
-                            params_ref,
-                            Some(solve_cache),
-                        )
-                        .map_err(UdiError::from),
+                        None => {
+                            let mut span =
+                                recorder.span_with_parent("engine.pmapping.build", stage3_id);
+                            span.field("source", i);
+                            span.field("schema", j);
+                            generate_pmapping_cached(
+                                &sources[i],
+                                med,
+                                matrix_ref,
+                                params_ref,
+                                Some(solve_cache),
+                            )
+                            .map_err(UdiError::from)
+                        }
                     })
                     .collect::<Result<Vec<PMapping>, UdiError>>()
             };
@@ -439,6 +501,7 @@ impl SetupEngine {
                 }
             }
         };
+        s3.close();
         timings.pmappings = t2.elapsed();
 
         // Stage 4 — recomputed whenever anything upstream moved (schema
@@ -448,7 +511,8 @@ impl SetupEngine {
         // nothing moved — same schemas, bit-identical probabilities, every
         // row reused — keeps the previous consolidation outright.
         let t3 = Instant::now();
-        let pmed_unchanged = !stats.schemas_reenumerated
+        let s4 = root.child("engine.consolidate");
+        let pmed_unchanged = !schemas_reenumerated
             && self.schema_list == new_list
             && self.pmed.as_ref().is_some_and(|old| {
                 old.schemas()
@@ -457,7 +521,7 @@ impl SetupEngine {
                     .all(|((_, p0), (_, p1))| p0.to_bits() == p1.to_bits())
             });
         let (consolidated, cons_rows) =
-            if pmed_unchanged && stats.rows_computed == 0 && self.consolidated.is_some() {
+            if pmed_unchanged && rows_computed_now == 0 && self.consolidated.is_some() {
                 (
                     self.consolidated.take().expect("checked"),
                     std::mem::take(&mut self.cons_rows),
@@ -471,14 +535,18 @@ impl SetupEngine {
                     .collect();
                 (consolidated, cons_rows)
             };
+        s4.close();
         timings.consolidation = t3.elapsed();
 
         // Commit — everything below is infallible, so an error above
-        // leaves the previous artifacts fully intact.
-        stats.solve_hits = self.solve_cache.hits() - solve_hits0;
-        stats.solve_misses = self.solve_cache.misses() - solve_misses0;
+        // leaves the previous artifacts fully intact. The CacheStats view
+        // is derived from the sink: whatever the refresh recorded is what
+        // the report says.
+        let stats = cache_stats_between(&counters_before, &self.stats.snapshot());
+        root.field("n_schemas", pmed.len());
+        root.close();
         self.report = SetupReport {
-            timings,
+            timings: Some(timings),
             n_sources: self.catalog.source_count(),
             n_attributes: self.schema_set.vocab().len(),
             n_frequent: nodes.len(),
@@ -577,26 +645,55 @@ fn apply_feedback_overrides(
 
 /// Fill the similarity cache for every requested pair, counting hits and
 /// misses. Identity pairs are skipped (both matrix flavors serve them
-/// without a cache entry).
+/// without a cache entry). Hit/miss totals are tallied locally and emitted
+/// as two counter deltas at the end — one sink interaction per call, not
+/// per pair, so the loop stays as hot as before instrumentation.
 fn ensure_pairs(
     sim_cache: &mut HashMap<(AttrId, AttrId), f64>,
     vocab: &Vocabulary,
     measure: &dyn Similarity,
     pairs: impl Iterator<Item = (AttrId, AttrId)>,
-    stats: &mut CacheStats,
+    recorder: &Recorder,
 ) {
+    let (mut hits, mut misses) = (0u64, 0u64);
     for (a, b) in pairs {
         if a == b {
             continue;
         }
         let key = (a.min(b), a.max(b));
         match sim_cache.entry(key) {
-            std::collections::hash_map::Entry::Occupied(_) => stats.sim_hits += 1,
+            std::collections::hash_map::Entry::Occupied(_) => hits += 1,
             std::collections::hash_map::Entry::Vacant(slot) => {
                 slot.insert(measure.similarity(vocab.name(key.0), vocab.name(key.1)));
-                stats.sim_misses += 1;
+                misses += 1;
             }
         }
+    }
+    if hits > 0 {
+        recorder.count("engine.sim.hit", hits);
+    }
+    if misses > 0 {
+        recorder.count("engine.sim.miss", misses);
+    }
+}
+
+/// The [`CacheStats`] view of one refresh: the delta between two snapshots
+/// of the engine's always-on counter sink.
+fn cache_stats_between(
+    before: &HashMap<&'static str, u64>,
+    after: &HashMap<&'static str, u64>,
+) -> CacheStats {
+    let delta = |name: &str| -> u64 {
+        after.get(name).copied().unwrap_or(0) - before.get(name).copied().unwrap_or(0)
+    };
+    CacheStats {
+        sim_hits: delta("engine.sim.hit") as usize,
+        sim_misses: delta("engine.sim.miss") as usize,
+        schemas_reenumerated: delta("engine.schemas.reenumerated") > 0,
+        rows_reused: delta("engine.rows.reused") as usize,
+        rows_computed: delta("engine.rows.computed") as usize,
+        solve_hits: delta("maxent.solve.hit"),
+        solve_misses: delta("maxent.solve.miss"),
     }
 }
 

@@ -96,6 +96,11 @@ impl SetupTimings {
 /// Cache behavior of one [`crate::engine::SetupEngine::refresh`]: how much
 /// of each stage was served from cached artifacts versus recomputed. All
 /// counters cover that single refresh, not the engine's lifetime.
+///
+/// Since the observability layer landed this is a *view*: the engine
+/// records `engine.*` and `maxent.*` counters through its always-on
+/// [`udi_obs::CounterSink`] and derives these numbers from the sink's
+/// before/after totals around the refresh (see `OBSERVABILITY.md`).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CacheStats {
     /// Pairwise similarities found already pinned in the similarity cache.
@@ -142,10 +147,12 @@ impl CacheStats {
 /// Setup diagnostics returned alongside the configured system.
 #[derive(Debug, Clone, Default)]
 pub struct SetupReport {
-    /// Per-stage wall-clock timings. All-zero on the manual
-    /// [`crate::UdiSystem::from_parts`] path, where nothing beyond
-    /// consolidation is computed (and hence nothing is measured).
-    pub timings: SetupTimings,
+    /// Per-stage wall-clock timings of the refresh that produced this
+    /// report. `None` on the manual [`crate::UdiSystem::from_parts`] path,
+    /// where nothing beyond consolidation is computed (and hence nothing is
+    /// measured) — previously this was silently all-zero, which was
+    /// indistinguishable from a very fast refresh.
+    pub timings: Option<SetupTimings>,
     /// Number of sources integrated.
     pub n_sources: usize,
     /// Distinct attribute names across all sources.

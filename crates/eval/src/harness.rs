@@ -53,6 +53,34 @@ pub fn prepare(
     })
 }
 
+/// [`prepare`] with a trace sink installed before setup, so the returned
+/// system's configuration run — and every query answered through it later —
+/// records spans and counters into `sink`. This is what the bench binaries'
+/// `--trace out.jsonl` flag goes through.
+pub fn prepare_observed(
+    domain: Domain,
+    n_sources: Option<usize>,
+    seed: u64,
+    sink: std::sync::Arc<dyn udi_obs::Sink>,
+) -> Result<DomainEval, UdiError> {
+    let gen = generate(
+        domain,
+        &GenConfig {
+            n_sources,
+            seed,
+            ..GenConfig::default()
+        },
+    );
+    let udi = UdiSystem::setup_observed(gen.catalog.clone(), UdiConfig::default(), sink)?;
+    let queries = generate_workload(&gen, DEFAULT_QUERIES, seed.wrapping_add(1));
+    Ok(DomainEval {
+        domain,
+        gen,
+        udi,
+        queries,
+    })
+}
+
 impl DomainEval {
     /// The true golden standard `B̄` for every workload query.
     pub fn golden_rows(&self) -> Vec<Vec<Row>> {

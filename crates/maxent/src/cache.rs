@@ -22,9 +22,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use udi_obs::Recorder;
+
 use crate::enumerate::enumerate_matchings;
 use crate::problem::CorrespondenceSet;
-use crate::solver::{solve_max_entropy, MaxEntConfig};
+use crate::solver::{solve_max_entropy, MaxEntConfig, MaxEntSolution};
 use crate::{Correspondence, Matching, MaxEntError};
 
 /// Canonical form of one correspondence group: `(source, target, weight
@@ -51,12 +53,23 @@ pub struct SolveCache {
     map: Mutex<HashMap<CanonKey, CachedGroup>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Telemetry: `maxent.solve.hit`/`maxent.solve.miss` counters plus
+    /// per-fresh-solve `maxent.iterations`/`maxent.residual` observations.
+    /// Disabled by default; the hit/miss atomics above stay authoritative
+    /// regardless.
+    recorder: Recorder,
 }
 
 impl SolveCache {
     /// Empty cache.
     pub fn new() -> SolveCache {
         SolveCache::default()
+    }
+
+    /// Route telemetry into `recorder`. Pass [`Recorder::disabled`] to turn
+    /// it back off.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Number of group solves answered from the cache.
@@ -106,10 +119,18 @@ impl SolveCache {
         let key = SolveCache::canonicalize(local);
         if let Some(hit) = self.map.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.recorder.count("maxent.solve.hit", 1);
             return Ok((hit.matchings_local.clone(), hit.probabilities.clone()));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let (matchings, probabilities) = solve_group_fresh(local, config)?;
+        self.recorder.count("maxent.solve.miss", 1);
+        let (matchings, sol) = solve_group_fresh(local, config)?;
+        if self.recorder.is_enabled() {
+            self.recorder
+                .observe("maxent.iterations", sol.iterations as f64);
+            self.recorder.observe("maxent.residual", sol.residual);
+        }
+        let probabilities = sol.probabilities;
         self.map.lock().unwrap().insert(
             key,
             CachedGroup {
@@ -121,16 +142,18 @@ impl SolveCache {
     }
 }
 
-/// Enumerate + solve one group with no caching.
+/// Enumerate + solve one group with no caching. The full solution is
+/// returned so the caller can report solver diagnostics (iterations,
+/// residual) before discarding them.
 fn solve_group_fresh(
     local: &[Correspondence],
     config: &MaxEntConfig,
-) -> Result<(Vec<Matching>, Vec<f64>), MaxEntError> {
+) -> Result<(Vec<Matching>, MaxEntSolution), MaxEntError> {
     let local_set = CorrespondenceSet::new(local.to_vec())?;
     let matchings = enumerate_matchings(&local_set, config.matching_cap)?;
     let targets: Vec<f64> = local.iter().map(|c| c.weight).collect();
     let sol = solve_max_entropy(local.len(), &matchings, &targets, config)?;
-    Ok((matchings, sol.probabilities))
+    Ok((matchings, sol))
 }
 
 pub(crate) fn solve_group_via(
@@ -140,7 +163,7 @@ pub(crate) fn solve_group_via(
 ) -> Result<(Vec<Matching>, Vec<f64>), MaxEntError> {
     match cache {
         Some(c) => c.solve_group(local, config),
-        None => solve_group_fresh(local, config),
+        None => solve_group_fresh(local, config).map(|(m, sol)| (m, sol.probabilities)),
     }
 }
 
@@ -240,6 +263,24 @@ mod tests {
             panic!("two factors")
         };
         assert_eq!(a.probabilities, b.probabilities);
+    }
+
+    #[test]
+    fn recorder_sees_hits_misses_and_solver_stats() {
+        use std::sync::Arc;
+        use udi_obs::MemorySink;
+        // Two isomorphic groups: one fresh solve, one cache hit.
+        let set = cs(&[(0, 0, 0.4), (0, 1, 0.3), (5, 5, 0.4), (5, 6, 0.3)]);
+        let sink = Arc::new(MemorySink::new());
+        let mut cache = SolveCache::new();
+        cache.set_recorder(Recorder::new(sink.clone()));
+        solve_correspondences_cached(&set, &MaxEntConfig::default(), Some(&cache)).unwrap();
+        assert_eq!(sink.counter_total("maxent.solve.miss"), 1);
+        assert_eq!(sink.counter_total("maxent.solve.hit"), 1);
+        let iters = sink.histogram("maxent.iterations");
+        assert_eq!(iters.count(), 1, "one fresh solve observed");
+        assert!(iters.min().unwrap() >= 1.0);
+        assert_eq!(sink.histogram("maxent.residual").count(), 1);
     }
 
     #[test]

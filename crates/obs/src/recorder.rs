@@ -1,0 +1,304 @@
+//! The recording handle and its RAII span guard.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use crate::event::{Event, EventKind, Field};
+use crate::sink::Sink;
+
+/// Process-wide trace epoch: all recorders stamp events relative to the
+/// first recorder use, so events from several recorders interleave
+/// coherently in one sink.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Process-wide span-id allocator (`0` is reserved for "no span").
+fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// A cheap, cloneable handle that emits [`Event`]s into a [`Sink`].
+///
+/// A disabled recorder ([`Recorder::disabled`], also the [`Default`]) holds
+/// no sink; every method on it and on the spans it hands out is an inlined
+/// no-op over `Option::None`, so instrumentation can stay in hot paths
+/// unconditionally. This is the "NullSink path" guarantee: the instrumented
+/// engine code costs nothing measurable when recording is off.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    sink: Option<Arc<dyn Sink>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// A recorder that writes into `sink`.
+    pub fn new(sink: Arc<dyn Sink>) -> Recorder {
+        Recorder { sink: Some(sink) }
+    }
+
+    /// A recorder that records nothing, for free.
+    pub fn disabled() -> Recorder {
+        Recorder { sink: None }
+    }
+
+    /// Whether events actually go anywhere.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Add `delta` to the counter `name` (outside any span).
+    #[inline]
+    pub fn count(&self, name: &'static str, delta: u64) {
+        self.count_in(name, delta, 0);
+    }
+
+    /// Record one scalar observation of `name` (outside any span).
+    #[inline]
+    pub fn observe(&self, name: &'static str, value: f64) {
+        self.observe_in(name, value, 0);
+    }
+
+    /// Open a root span. Close it by dropping the guard (or
+    /// [`Span::close`]). Children open via [`Span::child`].
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Span {
+        self.span_with_parent(name, 0)
+    }
+
+    /// Open a span under an explicit parent span id — for handing work to
+    /// another thread, where the parent [`Span`] guard cannot move along.
+    pub fn span_with_parent(&self, name: &'static str, parent: u64) -> Span {
+        let Some(sink) = &self.sink else {
+            return Span {
+                recorder: Recorder::disabled(),
+                id: 0,
+                parent: 0,
+                name,
+                start: None,
+                fields: Vec::new(),
+            };
+        };
+        let id = next_span_id();
+        let start = Instant::now();
+        sink.record(&Event {
+            name,
+            kind: EventKind::SpanStart,
+            span: id,
+            parent,
+            t_us: now_us(),
+            fields: Vec::new(),
+        });
+        Span {
+            recorder: self.clone(),
+            id,
+            parent,
+            name,
+            start: Some(start),
+            fields: Vec::new(),
+        }
+    }
+
+    fn count_in(&self, name: &'static str, delta: u64, parent: u64) {
+        if let Some(sink) = &self.sink {
+            sink.record(&Event {
+                name,
+                kind: EventKind::Counter { delta },
+                span: 0,
+                parent,
+                t_us: now_us(),
+                fields: Vec::new(),
+            });
+        }
+    }
+
+    fn observe_in(&self, name: &'static str, value: f64, parent: u64) {
+        if let Some(sink) = &self.sink {
+            sink.record(&Event {
+                name,
+                kind: EventKind::Value { value },
+                span: 0,
+                parent,
+                t_us: now_us(),
+                fields: Vec::new(),
+            });
+        }
+    }
+}
+
+/// RAII guard for one span: emits `SpanStart` on creation (via
+/// [`Recorder::span`]) and `SpanEnd` — carrying the duration and any
+/// attached fields — when dropped or [`close`](Span::close)d.
+///
+/// Spans from a disabled recorder are inert; every method is a no-op.
+#[derive(Debug)]
+#[must_use = "a span measures the time until it is dropped"]
+pub struct Span {
+    recorder: Recorder,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    /// `None` on inert spans.
+    start: Option<Instant>,
+    fields: Vec<(&'static str, Field)>,
+}
+
+impl Span {
+    /// This span's id (`0` if recording is disabled). Pass to
+    /// [`Recorder::span_with_parent`] to parent work on another thread.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether the span actually records.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Open a child span.
+    #[inline]
+    pub fn child(&self, name: &'static str) -> Span {
+        self.recorder.span_with_parent(name, self.id)
+    }
+
+    /// Add `delta` to counter `name`, attributed to this span.
+    #[inline]
+    pub fn count(&self, name: &'static str, delta: u64) {
+        self.recorder.count_in(name, delta, self.id);
+    }
+
+    /// Record a scalar observation, attributed to this span.
+    #[inline]
+    pub fn observe(&self, name: &'static str, value: f64) {
+        self.recorder.observe_in(name, value, self.id);
+    }
+
+    /// Attach a named field, reported on the span's end event.
+    #[inline]
+    pub fn field(&mut self, name: &'static str, value: impl Into<Field>) {
+        if self.start.is_some() {
+            self.fields.push((name, value.into()));
+        }
+    }
+
+    /// Close the span now (equivalent to dropping it).
+    pub fn close(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        if let Some(sink) = &self.recorder.sink {
+            sink.record(&Event {
+                name: self.name,
+                kind: EventKind::SpanEnd {
+                    dur_us: start.elapsed().as_micros() as u64,
+                },
+                span: self.id,
+                parent: self.parent,
+                t_us: now_us(),
+                fields: std::mem::take(&mut self.fields),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn disabled_recorder_emits_nothing_and_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        rec.count("x", 1);
+        rec.observe("y", 2.0);
+        let mut s = rec.span("root");
+        assert_eq!(s.id(), 0);
+        assert!(!s.is_enabled());
+        s.field("k", 1u64);
+        let c = s.child("child");
+        c.count("z", 3);
+        c.close();
+        s.close();
+        // Nothing to assert against — the point is that no sink exists and
+        // none of the calls panic or allocate a span id.
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_parented() {
+        let sink = Arc::new(MemorySink::new());
+        let rec = Recorder::new(sink.clone());
+        let root = rec.span("root");
+        let a = root.child("a");
+        let b = root.child("b");
+        assert_ne!(a.id(), b.id());
+        drop(a);
+        drop(b);
+        root.close();
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 3);
+        let root_rec = spans.iter().find(|s| s.name == "root").unwrap();
+        for name in ["a", "b"] {
+            let s = spans.iter().find(|s| s.name == name).unwrap();
+            assert_eq!(s.parent, root_rec.id);
+        }
+        assert!(sink.verify_nesting().is_ok());
+    }
+
+    #[test]
+    fn cross_thread_spans_parent_explicitly() {
+        let sink = Arc::new(MemorySink::new());
+        let rec = Recorder::new(sink.clone());
+        let stage = rec.span("stage");
+        let stage_id = stage.id();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    let s = rec.span_with_parent("work", stage_id);
+                    s.count("items", 1);
+                });
+            }
+        });
+        stage.close();
+        assert_eq!(sink.counter_total("items"), 4);
+        let spans = sink.spans();
+        assert_eq!(spans.iter().filter(|s| s.name == "work").count(), 4);
+        assert!(sink.verify_nesting().is_ok());
+    }
+
+    #[test]
+    fn fields_ride_on_the_end_event() {
+        let sink = Arc::new(MemorySink::new());
+        let rec = Recorder::new(sink.clone());
+        let mut s = rec.span("s");
+        s.field("n_sources", 7u64);
+        s.close();
+        let events = sink.events();
+        let end = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::SpanEnd { .. }))
+            .unwrap();
+        assert_eq!(end.field("n_sources"), Some(&Field::U64(7)));
+    }
+}

@@ -1,0 +1,195 @@
+//! Post-hoc aggregation of a recorded trace into a printable table.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, EventKind};
+use crate::hist::Histogram;
+
+/// Per-span-name aggregate: how many times the span ran and for how long.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanStat {
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Sum of their durations, µs.
+    pub total_us: u64,
+    /// Longest single duration, µs.
+    pub max_us: u64,
+}
+
+impl SpanStat {
+    /// Mean duration in µs (0 when `count` is 0).
+    pub fn mean_us(&self) -> u64 {
+        self.total_us.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Aggregated view of a trace: span timings, counter totals, and value
+/// histograms, keyed by event name. Built from a slice of events (e.g.
+/// [`crate::MemorySink::events`]) and rendered by the bench binaries as
+/// their exit summary table via [`std::fmt::Display`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    spans: BTreeMap<&'static str, SpanStat>,
+    counters: BTreeMap<&'static str, u64>,
+    values: BTreeMap<&'static str, Histogram>,
+}
+
+impl TraceSummary {
+    /// Aggregate `events` (order does not matter: only `SpanEnd`, `Counter`
+    /// and `Value` events contribute).
+    pub fn from_events(events: &[Event]) -> TraceSummary {
+        let mut s = TraceSummary::default();
+        for e in events {
+            match e.kind {
+                EventKind::SpanEnd { dur_us } => {
+                    let stat = s.spans.entry(e.name).or_default();
+                    stat.count += 1;
+                    stat.total_us += dur_us;
+                    stat.max_us = stat.max_us.max(dur_us);
+                }
+                EventKind::Counter { delta } => {
+                    *s.counters.entry(e.name).or_insert(0) += delta;
+                }
+                EventKind::Value { value } => {
+                    s.values.entry(e.name).or_default().observe(value);
+                }
+                EventKind::SpanStart => {}
+            }
+        }
+        s
+    }
+
+    /// Aggregate for span `name`, if any span of that name completed.
+    pub fn span(&self, name: &str) -> Option<&SpanStat> {
+        self.spans.get(name)
+    }
+
+    /// Total of counter `name` (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram of `Value` observations of `name`, if any.
+    pub fn values(&self, name: &str) -> Option<&Histogram> {
+        self.values.get(name)
+    }
+
+    /// Whether the trace contained nothing aggregatable.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.values.is_empty()
+    }
+
+    /// Span names present, sorted.
+    pub fn span_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.spans.keys().copied()
+    }
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+impl std::fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "(empty trace)");
+        }
+        if !self.spans.is_empty() {
+            writeln!(
+                f,
+                "{:<34} {:>7} {:>12} {:>12} {:>12}",
+                "span", "count", "total", "mean", "max"
+            )?;
+            for (name, s) in &self.spans {
+                writeln!(
+                    f,
+                    "{:<34} {:>7} {:>12} {:>12} {:>12}",
+                    name,
+                    s.count,
+                    fmt_us(s.total_us),
+                    fmt_us(s.mean_us()),
+                    fmt_us(s.max_us),
+                )?;
+            }
+        }
+        if !self.counters.is_empty() {
+            writeln!(f, "{:<34} {:>7}", "counter", "total")?;
+            for (name, total) in &self.counters {
+                writeln!(f, "{name:<34} {total:>7}")?;
+            }
+        }
+        if !self.values.is_empty() {
+            writeln!(
+                f,
+                "{:<34} {:>7} {:>12} {:>12} {:>12}",
+                "value", "count", "mean", "min", "max"
+            )?;
+            for (name, h) in &self.values {
+                writeln!(
+                    f,
+                    "{:<34} {:>7} {:>12.4} {:>12.4} {:>12.4}",
+                    name,
+                    h.count(),
+                    h.mean().unwrap_or(f64::NAN),
+                    h.min().unwrap_or(f64::NAN),
+                    h.max().unwrap_or(f64::NAN),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::sink::MemorySink;
+    use std::sync::Arc;
+
+    #[test]
+    fn summary_aggregates_spans_counters_values() {
+        let sink = Arc::new(MemorySink::new());
+        let rec = Recorder::new(sink.clone());
+        for _ in 0..3 {
+            let s = rec.span("engine.pmapping.build");
+            s.count("engine.rows.computed", 1);
+        }
+        rec.observe("maxent.iterations", 12.0);
+        rec.observe("maxent.iterations", 20.0);
+        let summary = TraceSummary::from_events(&sink.events());
+        assert!(!summary.is_empty());
+        let stat = summary.span("engine.pmapping.build").unwrap();
+        assert_eq!(stat.count, 3);
+        assert!(stat.max_us >= stat.mean_us());
+        assert_eq!(summary.counter("engine.rows.computed"), 3);
+        assert_eq!(summary.counter("absent"), 0);
+        assert_eq!(summary.values("maxent.iterations").unwrap().count(), 2);
+        assert_eq!(summary.span_names().count(), 1);
+        let rendered = summary.to_string();
+        assert!(rendered.contains("engine.pmapping.build"), "{rendered}");
+        assert!(rendered.contains("engine.rows.computed"), "{rendered}");
+        assert!(rendered.contains("maxent.iterations"), "{rendered}");
+    }
+
+    #[test]
+    fn empty_summary_renders_placeholder() {
+        let summary = TraceSummary::from_events(&[]);
+        assert!(summary.is_empty());
+        assert_eq!(summary.span("x"), None);
+        assert!(summary.to_string().contains("empty trace"));
+    }
+
+    #[test]
+    fn fmt_us_scales_units() {
+        assert_eq!(fmt_us(5), "5µs");
+        assert_eq!(fmt_us(2_500), "2.50ms");
+        assert_eq!(fmt_us(3_200_000), "3.20s");
+    }
+}

@@ -68,7 +68,7 @@ fn main() {
     }
     println!(
         "\nsetup took {:.1?} for {} sources ({} p-mappings)",
-        udi.report().timings.total(),
+        udi.report().timings.expect("fresh setup").total(),
         udi.report().n_sources,
         udi.report().n_mappings
     );

@@ -1,0 +1,85 @@
+//! End-to-end tour of the `udi-obs` observability layer: set a system up
+//! with a [`MemorySink`] installed, answer a query, then inspect the
+//! recorded spans and counters.
+//!
+//! Everything the engine and query paths emit is buffered in memory, so
+//! this example doubles as a live check that the span tree is well formed
+//! (`verify_nesting`) and that the headline counters line up with the
+//! `SetupReport`. For file-based traces use `JsonLinesSink` instead — the
+//! bench binaries' `--trace out.jsonl` flag shows that wiring; see
+//! `OBSERVABILITY.md` for the span/counter taxonomy.
+//!
+//! ```sh
+//! cargo run --release --example observability
+//! ```
+
+use std::sync::Arc;
+
+use udi::core::{UdiConfig, UdiSystem};
+use udi::datagen::{generate, Domain, GenConfig};
+use udi::eval::generate_workload;
+use udi::obs::{MemorySink, TraceSummary};
+
+fn main() {
+    // A small synthetic Movie corpus keeps the trace readable.
+    let corpus = generate(
+        Domain::Movie,
+        &GenConfig {
+            n_sources: Some(24),
+            seed: 17,
+            ..GenConfig::default()
+        },
+    );
+
+    let sink = Arc::new(MemorySink::new());
+    let udi = UdiSystem::setup_observed(corpus.catalog.clone(), UdiConfig::default(), sink.clone())
+        .expect("setup");
+
+    let q = generate_workload(&corpus, 1, 18).remove(0);
+    println!("{q}");
+    let answers = udi.answer(&q).combined();
+    println!("{} distinct answers\n", answers.len());
+
+    // The span tree must be well formed: unique ids, every parent known,
+    // children contained in their parents' intervals.
+    sink.verify_nesting().expect("spans nest correctly");
+
+    // Every setup stage hangs off the engine.refresh root.
+    let refresh = sink.spans_named("engine.refresh");
+    assert_eq!(refresh.len(), 1, "one setup refresh");
+    let root = refresh[0].id;
+    for stage in [
+        "engine.import",
+        "engine.med_schema",
+        "engine.pmappings",
+        "engine.consolidate",
+    ] {
+        let spans = sink.spans_named(stage);
+        assert_eq!(spans.len(), 1, "{stage} runs once");
+        assert_eq!(spans[0].parent, root, "{stage} is a refresh child");
+    }
+
+    // Per-(source, schema) p-mapping builds are children of the
+    // p-mappings stage; on a cold engine there is one per row computed.
+    let builds = sink.spans_named("engine.pmapping.build").len();
+    assert_eq!(builds, sink.counter_total("engine.rows.computed") as usize);
+
+    // The query path reports its work through counters on query.answer.
+    assert_eq!(sink.spans_named("query.answer").len(), 1);
+    assert!(sink.counter_total("query.tuples.scanned") > 0);
+    assert_eq!(
+        sink.counter_total("query.answers.produced") > 0,
+        !answers.is_empty()
+    );
+
+    // The engine's CacheStats view is derived from the same counters.
+    let cache = udi.report().cache;
+    assert_eq!(
+        cache.rows_computed as u64,
+        sink.counter_total("engine.rows.computed")
+    );
+    assert_eq!(cache.solve_misses, sink.counter_total("maxent.solve.miss"));
+
+    println!("span tree OK: {builds} p-mapping builds under one refresh\n");
+    print!("{}", TraceSummary::from_events(&sink.events()));
+}

@@ -55,6 +55,6 @@ fn main() {
         r.n_sources,
         r.n_schemas,
         r.n_mappings,
-        r.timings.total()
+        r.timings.expect("fresh setup").total()
     );
 }

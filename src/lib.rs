@@ -11,6 +11,7 @@ pub use udi_core as core;
 pub use udi_datagen as datagen;
 pub use udi_eval as eval;
 pub use udi_maxent as maxent;
+pub use udi_obs as obs;
 pub use udi_query as query;
 pub use udi_schema as schema;
 pub use udi_similarity as similarity;

@@ -135,7 +135,7 @@ fn configure_and_shell(catalog: Catalog) -> Result<(), AnyError> {
     let r = udi.report();
     println!(
         "done in {:.1?}: {} possible mediated schemas, {} mappings, {} consolidated",
-        r.timings.total(),
+        r.timings.map(|t| t.total()).unwrap_or_default(),
         r.n_schemas,
         r.n_mappings,
         r.n_consolidated_mappings

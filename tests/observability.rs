@@ -1,0 +1,89 @@
+//! Trace-level checks of the observability layer: the spans and counters
+//! the engine emits must tell the same story as its reports, and the
+//! incremental refresh must be visibly cheaper in the trace itself —
+//! ≥10× fewer per-(source, schema) row-build spans than a full rebuild.
+
+use std::sync::Arc;
+
+use udi::core::{UdiConfig, UdiSystem};
+use udi::datagen::{generate, Domain, GenConfig};
+use udi::obs::MemorySink;
+use udi::store::Catalog;
+
+fn car_catalog(n: usize) -> Catalog {
+    generate(
+        Domain::Car,
+        &GenConfig {
+            n_sources: Some(n),
+            seed: 17,
+            ..GenConfig::default()
+        },
+    )
+    .catalog
+}
+
+#[test]
+fn traces_are_well_formed_and_match_the_report() {
+    let sink = Arc::new(MemorySink::new());
+    let udi = UdiSystem::setup_observed(car_catalog(30), UdiConfig::default(), sink.clone())
+        .expect("setup");
+    sink.verify_nesting().expect("span tree is well formed");
+
+    // One refresh root with all four stage children.
+    assert_eq!(sink.spans_named("engine.refresh").len(), 1);
+    for stage in [
+        "engine.import",
+        "engine.med_schema",
+        "engine.pmappings",
+        "engine.consolidate",
+    ] {
+        assert_eq!(sink.spans_named(stage).len(), 1, "{stage}");
+    }
+
+    // Counter totals agree with the CacheStats view derived from them.
+    let cache = udi.report().cache;
+    assert_eq!(
+        sink.counter_total("engine.rows.computed"),
+        cache.rows_computed as u64
+    );
+    assert_eq!(sink.counter_total("maxent.solve.miss"), cache.solve_misses);
+    assert_eq!(sink.counter_total("maxent.solve.hit"), cache.solve_hits);
+    assert_eq!(
+        sink.spans_named("engine.pmapping.build").len(),
+        cache.rows_computed
+    );
+}
+
+#[test]
+fn incremental_refresh_trace_has_10x_fewer_row_builds() {
+    let n = 40;
+    let catalog = car_catalog(n);
+
+    // Full rebuild over all N sources, traced.
+    let rebuild_sink = Arc::new(MemorySink::new());
+    UdiSystem::setup_observed(catalog.clone(), UdiConfig::default(), rebuild_sink.clone())
+        .expect("rebuild setup");
+    let rebuild_builds = rebuild_sink.spans_named("engine.pmapping.build").len();
+
+    // N−1 sources up front; attach the sink only for the incremental add,
+    // so the trace covers exactly one refresh.
+    let tables: Vec<_> = catalog.iter_sources().map(|(_, t)| t.clone()).collect();
+    let mut head = Catalog::new();
+    for t in &tables[..n - 1] {
+        head.add_source(t.clone());
+    }
+    let mut incremental = UdiSystem::setup(head, UdiConfig::default()).expect("setup of N-1");
+    let incr_sink = Arc::new(MemorySink::new());
+    incremental.set_sink(Some(incr_sink.clone()));
+    incremental
+        .add_source(tables[n - 1].clone())
+        .expect("incremental add");
+    let incr_builds = incr_sink.spans_named("engine.pmapping.build").len();
+
+    incr_sink.verify_nesting().expect("incremental trace nests");
+    assert_eq!(incr_sink.spans_named("engine.refresh").len(), 1);
+    assert!(
+        incr_builds * 10 <= rebuild_builds,
+        "refresh built {incr_builds} rows, rebuild {rebuild_builds} — expected ≥10x fewer"
+    );
+}
