@@ -1,0 +1,172 @@
+//! Mapping workspace files to the crate and code class the lints care
+//! about.
+//!
+//! Every lint's applicability is a function of *where* the code lives:
+//! library code of `udi-core` must be panic-free, the same tokens in a
+//! bench binary or a `#[cfg(test)]` module are fine. This module derives
+//! that classification purely from the workspace's directory layout, so the
+//! engine needs no Cargo metadata (and stays zero-dependency).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which compilation class a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeKind {
+    /// Library code — the surface every lint applies to.
+    Lib,
+    /// A binary target (`src/main.rs`, `src/bin/*`): exempt.
+    Bin,
+    /// Integration-test code (`tests/*`): exempt.
+    Test,
+    /// Benchmark code (`benches/*`, the whole `udi-bench` crate): exempt.
+    Bench,
+    /// Example code (`examples/*`): exempt.
+    Example,
+}
+
+/// The lint-relevant identity of one source file.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// Cargo package name (`udi-core`, …; the workspace root package is
+    /// `udi`).
+    pub crate_name: String,
+    /// Code class within that crate.
+    pub kind: CodeKind,
+}
+
+/// Classify a workspace-relative path. `None` for files the audit does not
+/// cover (stub crates, experiment scripts, …).
+pub fn classify(rel: &Path) -> Option<FileClass> {
+    let parts: Vec<&str> = rel.iter().filter_map(|c| c.to_str()).collect();
+    let class = |crate_name: &str, kind| {
+        Some(FileClass {
+            crate_name: crate_name.to_owned(),
+            kind,
+        })
+    };
+    match parts.as_slice() {
+        ["crates", name, rest @ ..] => {
+            let crate_name = format!("udi-{name}");
+            if *name == "bench" {
+                // The whole reproduction-harness crate is bench code.
+                return class(&crate_name, CodeKind::Bench);
+            }
+            match rest {
+                ["src", "main.rs"] => class(&crate_name, CodeKind::Bin),
+                ["src", "bin", ..] => class(&crate_name, CodeKind::Bin),
+                ["src", ..] => class(&crate_name, CodeKind::Lib),
+                ["tests", ..] => class(&crate_name, CodeKind::Test),
+                ["benches", ..] => class(&crate_name, CodeKind::Bench),
+                ["examples", ..] => class(&crate_name, CodeKind::Example),
+                _ => None,
+            }
+        }
+        ["src", "main.rs"] => class("udi", CodeKind::Bin),
+        ["src", "bin", ..] => class("udi", CodeKind::Bin),
+        ["src", ..] => class("udi", CodeKind::Lib),
+        ["tests", ..] => class("udi", CodeKind::Test),
+        ["benches", ..] => class("udi", CodeKind::Bench),
+        ["examples", ..] => class("udi", CodeKind::Example),
+        _ => None,
+    }
+}
+
+/// Directories never descended into: build output, VCS metadata, the
+/// offline dependency stubs (external code, not UDI's), and experiment
+/// results.
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    ".git",
+    ".github",
+    "offline",
+    "related",
+    "results",
+    "node_modules",
+];
+
+/// Collect every classifiable `.rs` file under `root`, as
+/// `(workspace-relative path, class)`, in deterministic (sorted) order.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<(PathBuf, FileClass)>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+    Ok(files
+        .into_iter()
+        .filter_map(|rel| classify(&rel).map(|c| (rel, c)))
+        .collect())
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kind_of(p: &str) -> Option<(String, CodeKind)> {
+        classify(Path::new(p)).map(|c| (c.crate_name, c.kind))
+    }
+
+    #[test]
+    fn crate_layout_classification() {
+        assert_eq!(
+            kind_of("crates/core/src/engine.rs"),
+            Some(("udi-core".into(), CodeKind::Lib))
+        );
+        assert_eq!(
+            kind_of("crates/core/src/bin/tool.rs"),
+            Some(("udi-core".into(), CodeKind::Bin))
+        );
+        assert_eq!(
+            kind_of("crates/core/tests/t.rs"),
+            Some(("udi-core".into(), CodeKind::Test))
+        );
+        assert_eq!(
+            kind_of("crates/bench/src/lib.rs"),
+            Some(("udi-bench".into(), CodeKind::Bench))
+        );
+        assert_eq!(
+            kind_of("crates/bench/src/bin/fig4.rs"),
+            Some(("udi-bench".into(), CodeKind::Bench))
+        );
+    }
+
+    #[test]
+    fn root_package_classification() {
+        assert_eq!(kind_of("src/lib.rs"), Some(("udi".into(), CodeKind::Lib)));
+        assert_eq!(kind_of("src/main.rs"), Some(("udi".into(), CodeKind::Bin)));
+        assert_eq!(
+            kind_of("tests/end_to_end.rs"),
+            Some(("udi".into(), CodeKind::Test))
+        );
+        assert_eq!(
+            kind_of("examples/observability.rs"),
+            Some(("udi".into(), CodeKind::Example))
+        );
+    }
+
+    #[test]
+    fn uncovered_paths_are_skipped() {
+        assert_eq!(kind_of("offline/stubs/rand/src/lib.rs"), None);
+        assert_eq!(kind_of("build.rs"), None);
+    }
+}

@@ -1,0 +1,509 @@
+//! A hand-rolled Rust lexer, just faithful enough for lint-grade pattern
+//! matching.
+//!
+//! The token stream preserves exactly what the lints need — identifiers,
+//! multi-character operators, literals, and comments with precise
+//! line/column positions — while making the classic false-positive sources
+//! impossible by construction: the contents of string literals (cooked,
+//! raw, byte, C), char literals, and comments (line, and *nested* block)
+//! never appear as identifier or punctuation tokens, and lifetimes are
+//! distinguished from char literals so `'a` in `fn f<'a>` does not swallow
+//! the rest of the file.
+//!
+//! The lexer never fails: on malformed input (e.g. an unterminated string)
+//! it degrades to consuming the rest of the file as one literal token,
+//! which at worst *suppresses* lints — it cannot invent a violation.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `fn`, `HashMap`).
+    Ident,
+    /// A raw identifier (`r#type`); `text` holds the part after `r#`.
+    RawIdent,
+    /// A lifetime (`'a`, `'static`); `text` holds the name without `'`.
+    Lifetime,
+    /// A numeric literal. `float` is true for `1.0`, `2e-3`, `1.`.
+    Num {
+        /// Whether the literal is a floating-point literal.
+        float: bool,
+    },
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// A char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// A `//` comment (including `///` and `//!`); `text` is the full
+    /// comment including the slashes.
+    LineComment,
+    /// A `/* … */` comment, nesting handled; `text` is the full comment.
+    BlockComment,
+    /// Punctuation; `text` is the full operator (`==`, `::`, `.`, `{`).
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token text (see [`TokenKind`] for what each kind stores).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    fn new(kind: TokenKind, text: impl Into<String>, line: u32, col: u32) -> Token {
+        Token {
+            kind,
+            text: text.into(),
+            line,
+            col,
+        }
+    }
+}
+
+/// Lex `src` into a complete token stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+const PUNCT3: &[&str] = &["<<=", ">>=", "..="];
+const PUNCT2: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "<<", ">>", "+=", "-=", "*=", "/=",
+    "%=", "^=", "&=", "|=",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl Lexer {
+    fn peek(&self, k: usize) -> Option<char> {
+        self.chars.get(self.i + k).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: impl Into<String>, line: u32, col: u32) {
+        self.out.push(Token::new(kind, text, line, col));
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line, col);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line, col);
+            } else if c == '\'' {
+                self.quote(line, col);
+            } else if c == '"' {
+                self.cooked_string();
+                self.push(TokenKind::Str, "", line, col);
+            } else if c.is_ascii_digit() {
+                self.number(line, col);
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed_literal(line, col);
+            } else {
+                self.punct(line, col);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, text, line, col);
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut depth = 0u32;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth = depth.saturating_sub(1);
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, text, line, col);
+    }
+
+    /// At a `'`: either a lifetime or a char literal.
+    fn quote(&mut self, line: u32, col: u32) {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            // Escape sequence ⇒ char literal; consume to the closing quote.
+            Some('\\') => {
+                self.bump();
+                self.bump(); // the escaped character (enough for \', \\)
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Char, "", line, col);
+            }
+            // `'a'` is a char, `'a` (no closing quote) is a lifetime.
+            Some(c) if is_ident_start(c) => {
+                if self.peek(1) == Some('\'') {
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::Char, "", line, col);
+                } else {
+                    let mut name = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if !is_ident_continue(c) {
+                            break;
+                        }
+                        name.push(c);
+                        self.bump();
+                    }
+                    self.push(TokenKind::Lifetime, name, line, col);
+                }
+            }
+            // `'('`, `'9'`, … — a one-character char literal.
+            _ => {
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::Char, "", line, col);
+            }
+        }
+    }
+
+    /// At a `"`: consume a cooked string body (escapes honored).
+    fn cooked_string(&mut self) {
+        self.bump(); // the opening "
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == '"' {
+                break;
+            }
+        }
+    }
+
+    /// At a `"` of a raw string with `hashes` leading `#`s: consume until
+    /// `"` followed by the same number of `#`s.
+    fn raw_string(&mut self, hashes: usize) {
+        self.bump(); // the opening "
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let closed = (0..hashes).all(|k| self.peek(k) == Some('#'));
+                if closed {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let radix_prefixed = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+        self.number_body(&mut text, radix_prefixed);
+        // A fractional part: `1.5`, `1.` — but not `1..2` (range) and not
+        // `1.max(2)` (method call).
+        if self.peek(0) == Some('.') && !radix_prefixed {
+            let after = self.peek(1);
+            let fractional = match after {
+                Some(c) if c.is_ascii_digit() => true,
+                Some('.') => false,
+                Some(c) if is_ident_start(c) => false,
+                _ => true, // trailing-dot float like `1.`
+            };
+            if fractional {
+                text.push('.');
+                self.bump();
+                self.number_body(&mut text, false);
+            }
+        }
+        let has_exponent = !radix_prefixed
+            && text
+                .char_indices()
+                .any(|(k, c)| matches!(c, 'e' | 'E') && k > 0);
+        let float = !radix_prefixed && (text.contains('.') || has_exponent);
+        self.push(TokenKind::Num { float }, text, line, col);
+    }
+
+    /// Digits, underscores, radix letters, suffixes, and (in decimal)
+    /// exponents with an optional sign.
+    fn number_body(&mut self, text: &mut String, radix_prefixed: bool) {
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+                // An exponent sign directly after e/E: `1e-5`, `2E+3`.
+                if !radix_prefixed
+                    && matches!(c, 'e' | 'E')
+                    && matches!(self.peek(0), Some('+' | '-'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    if let Some(sign) = self.bump() {
+                        text.push(sign);
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// An identifier, or a string literal carrying an identifier-like
+    /// prefix (`r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`, `b'x'`,
+    /// `r#ident`).
+    fn ident_or_prefixed_literal(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        let raw_capable = matches!(text.as_str(), "r" | "br" | "cr");
+        let cooked_prefix = matches!(text.as_str(), "b" | "c");
+        match self.peek(0) {
+            Some('"') if raw_capable => {
+                self.raw_string(0);
+                self.push(TokenKind::Str, "", line, col);
+            }
+            Some('"') if cooked_prefix => {
+                self.cooked_string();
+                self.push(TokenKind::Str, "", line, col);
+            }
+            Some('#') if raw_capable => {
+                let mut hashes = 0;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    self.raw_string(hashes);
+                    self.push(TokenKind::Str, "", line, col);
+                } else if text == "r" && hashes == 1 && self.peek(1).is_some_and(is_ident_start) {
+                    // Raw identifier: r#type.
+                    self.bump(); // #
+                    let mut name = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if !is_ident_continue(c) {
+                            break;
+                        }
+                        name.push(c);
+                        self.bump();
+                    }
+                    self.push(TokenKind::RawIdent, name, line, col);
+                } else {
+                    self.push(TokenKind::Ident, text, line, col);
+                }
+            }
+            Some('\'') if text == "b" => {
+                let (l, c) = (self.line, self.col);
+                self.quote(l, c);
+                // Rewrite the just-pushed token to start at the `b`.
+                if let Some(last) = self.out.last_mut() {
+                    last.kind = TokenKind::Char;
+                    last.line = line;
+                    last.col = col;
+                }
+            }
+            _ => self.push(TokenKind::Ident, text, line, col),
+        }
+    }
+
+    fn punct(&mut self, line: u32, col: u32) {
+        let probe: String = (0..3).filter_map(|k| self.peek(k)).collect();
+        for op in PUNCT3 {
+            if probe.starts_with(op) {
+                for _ in 0..3 {
+                    self.bump();
+                }
+                self.push(TokenKind::Punct, *op, line, col);
+                return;
+            }
+        }
+        for op in PUNCT2 {
+            if probe.starts_with(op) {
+                for _ in 0..2 {
+                    self.bump();
+                }
+                self.push(TokenKind::Punct, *op, line, col);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.push(TokenKind::Punct, c.to_string(), line, col);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ts = kinds("x.unwrap()");
+        assert_eq!(ts[0], (TokenKind::Ident, "x".into()));
+        assert_eq!(ts[1], (TokenKind::Punct, ".".into()));
+        assert_eq!(ts[2], (TokenKind::Ident, "unwrap".into()));
+        assert_eq!(ts[3], (TokenKind::Punct, "(".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        for src in [
+            "let s = \"call .unwrap() here\";",
+            "let s = r\"x.unwrap()\";",
+            "let s = r#\"x.unwrap() \" still\"#;",
+            "let s = b\"x.unwrap()\";",
+            "let s = br#\"x.unwrap()\"#;",
+        ] {
+            let toks = lex(src);
+            assert!(!toks.iter().any(|t| t.text == "unwrap"), "{src}: {toks:?}");
+            assert!(toks.iter().any(|t| t.kind == TokenKind::Str), "{src}");
+        }
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner .unwrap() */ still outer */ fn f() {}");
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert_eq!(toks[1].text, "fn");
+    }
+
+    #[test]
+    fn line_comments_to_eol() {
+        let toks = lex("// has .unwrap() in it\nlet x = 1;");
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert_eq!(toks[1].text, "let");
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ts = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(ts.contains(&(TokenKind::Lifetime, "a".into())));
+        assert!(ts.iter().any(|(k, _)| *k == TokenKind::Char));
+        // The char literal must not have eaten the closing brace.
+        assert_eq!(ts.last(), Some(&(TokenKind::Punct, "}".into())));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let ts = kinds(r"let c = '\''; let n = '\n'; let b = b'\x41';");
+        let chars = ts.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!(chars, 3);
+        assert_eq!(ts.last(), Some(&(TokenKind::Punct, ";".into())));
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        let ts = kinds("1 1.0 1. 2e-3 0x1F 1..4 1.max(2) 1_000u64");
+        let nums: Vec<bool> = ts
+            .iter()
+            .filter_map(|(k, _)| match k {
+                TokenKind::Num { float } => Some(*float),
+                _ => None,
+            })
+            .collect();
+        // 1, 1.0, 1., 2e-3, 0x1F, 1, 4, 1, 2, 1_000u64
+        assert_eq!(
+            nums,
+            vec![false, true, true, true, false, false, false, false, false, false]
+        );
+        assert!(ts.contains(&(TokenKind::Punct, "..".into())));
+        assert!(ts.contains(&(TokenKind::Ident, "max".into())));
+    }
+
+    #[test]
+    fn multichar_operators() {
+        let ts = kinds("a == b != c :: d -> e .. f ..= g");
+        for op in ["==", "!=", "::", "->", "..", "..="] {
+            assert!(ts.contains(&(TokenKind::Punct, op.into())), "{op}");
+        }
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let ts = kinds("let r#type = 1;");
+        assert!(ts.contains(&(TokenKind::RawIdent, "type".into())));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_consumes_rest_without_panicking() {
+        let toks = lex("let s = \"never closed .unwrap()");
+        assert!(!toks.iter().any(|t| t.text == "unwrap"));
+    }
+}

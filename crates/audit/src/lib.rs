@@ -1,0 +1,118 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `udi-audit` — a zero-dependency static analysis engine enforcing the
+//! workspace's probability, determinism, and panic-freedom invariants.
+//!
+//! UDI's correctness claims are probabilistic identities: p-med-schema
+//! weights (Algorithm 2), maximum-entropy p-mapping distributions
+//! (Theorem 5.2), and consolidation equivalence (Theorem 6.2). Those
+//! identities silently degrade under hash-order nondeterminism, ad-hoc
+//! float comparison, and panic-on-bad-input library code. This crate turns
+//! the conventions that protect them into machine-checked rules, in the
+//! same house style as `udi-obs`: hand-rolled, dependency-free, and wired
+//! into both CI and the workspace test suite.
+//!
+//! The pipeline is a hand-rolled Rust [`lexer`] (nested block comments,
+//! raw strings, char literals vs. lifetimes) feeding token-stream pattern
+//! matchers ([`lints`]) over every `.rs` file the [`classify`] walker
+//! attributes to a workspace crate. Diagnostics are rustc-style
+//! `file:line:col`, and any violation makes the binary exit nonzero.
+//!
+//! See `AUDIT.md` at the repository root for the lint taxonomy and the
+//! escape-hatch policy.
+//!
+//! # Example
+//!
+//! ```
+//! use udi_audit::{audit_source, all_lints, CodeKind, FileClass};
+//!
+//! let class = FileClass { crate_name: "udi-core".into(), kind: CodeKind::Lib };
+//! let diags = audit_source(
+//!     "demo.rs",
+//!     &class,
+//!     "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+//!     &all_lints(),
+//! );
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].lint, "no-panic-in-lib");
+//! assert_eq!((diags[0].line, diags[0].col), (1, 37));
+//! ```
+
+pub mod classify;
+pub mod lexer;
+pub mod lints;
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+pub use classify::{classify, collect_sources, CodeKind, FileClass};
+pub use lints::{all_lints, audit_source, Diagnostic, LintInfo, LINTS};
+
+/// A failure of the audit *process* itself (I/O), as opposed to audit
+/// findings.
+#[derive(Debug)]
+pub enum AuditError {
+    /// A file or directory could not be read.
+    Io(PathBuf, std::io::Error),
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::Io(p, e) => write!(f, "cannot read {}: {e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Outcome of a whole-workspace audit.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// Every violation found, in path order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl AuditReport {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Audit every classifiable `.rs` file under `root` with the given lint
+/// set ([`all_lints`] for everything).
+pub fn audit_workspace(root: &Path, enabled: &BTreeSet<&str>) -> Result<AuditReport, AuditError> {
+    let sources = collect_sources(root).map_err(|e| AuditError::Io(root.to_path_buf(), e))?;
+    let mut diagnostics = Vec::new();
+    let files_scanned = sources.len();
+    for (rel, class) in sources {
+        let abs = root.join(&rel);
+        let src = std::fs::read_to_string(&abs).map_err(|e| AuditError::Io(abs.clone(), e))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        diagnostics.extend(audit_source(&rel_str, &class, &src, enabled));
+    }
+    Ok(AuditReport {
+        diagnostics,
+        files_scanned,
+    })
+}
+
+/// Walk upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

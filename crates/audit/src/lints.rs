@@ -1,0 +1,572 @@
+//! The lint pass: domain-specific rules over the token stream, with
+//! scoped escape hatches.
+//!
+//! Each lint is a pattern over [`Token`](crate::lexer::Token)s plus an
+//! applicability predicate over [`FileClass`](crate::classify::FileClass).
+//! Code inside `#[cfg(test)]` modules and `#[test]` functions is exempt
+//! from every lint (the invariants protect *shipped* probability code, not
+//! assertions about it).
+//!
+//! # Escape hatches
+//!
+//! A violation can be accepted explicitly — with a mandatory reason:
+//!
+//! ```text
+//! // udi-audit: allow(no-panic-in-lib, "documented invariant: engine is only exposed configured")
+//! ```
+//!
+//! The directive covers its own line when it trails code, otherwise the
+//! next line of code. A directive without a reason, with an unknown lint
+//! name, or that suppresses nothing is itself a violation
+//! (`malformed-allow` / `unused-allow`) — the allow inventory is the
+//! grep-able tech-debt ledger, so it must stay accurate.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::classify::{CodeKind, FileClass};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// `unwrap()/expect()/panic!/…` forbidden in library code of the
+/// panic-free crates.
+pub const NO_PANIC_IN_LIB: &str = "no-panic-in-lib";
+/// `HashMap`/`HashSet` forbidden in probability-producing library code.
+pub const DETERMINISTIC_ITERATION: &str = "deterministic-iteration";
+/// `==`/`!=` against float literals forbidden in probability code.
+pub const FLOAT_EQ: &str = "float-eq";
+/// `Instant`/`SystemTime` forbidden outside `udi-obs` and bench code.
+pub const NO_RAW_TIME: &str = "no-raw-time";
+/// `println!`/`eprintln!`/`dbg!` forbidden in library code.
+pub const NO_STRAY_IO: &str = "no-stray-io";
+/// A `udi-audit:` directive that does not parse, names an unknown lint, or
+/// omits the mandatory reason.
+pub const MALFORMED_ALLOW: &str = "malformed-allow";
+/// An allow directive that suppressed nothing — stale tech debt.
+pub const UNUSED_ALLOW: &str = "unused-allow";
+
+/// Name and one-line rationale of one lint.
+#[derive(Debug, Clone, Copy)]
+pub struct LintInfo {
+    /// Lint name as used in diagnostics and allow directives.
+    pub name: &'static str,
+    /// One-line rationale.
+    pub summary: &'static str,
+}
+
+/// Every lint the engine knows, in severity-independent display order.
+pub const LINTS: &[LintInfo] = &[
+    LintInfo {
+        name: NO_PANIC_IN_LIB,
+        summary: "library code of the panic-free crates must propagate UdiError, not panic \
+                  (unwrap/expect/panic!/unreachable!/todo!/unimplemented!)",
+    },
+    LintInfo {
+        name: DETERMINISTIC_ITERATION,
+        summary: "HashMap/HashSet iteration order is nondeterministic; probability-producing \
+                  crates must use BTreeMap/BTreeSet (or justify lookup-only use)",
+    },
+    LintInfo {
+        name: FLOAT_EQ,
+        summary: "==/!= against float literals breaks under rounding; compare via epsilon \
+                  helpers (udi_schema::float)",
+    },
+    LintInfo {
+        name: NO_RAW_TIME,
+        summary: "Instant/SystemTime outside udi-obs and bench code splinters the timing \
+                  source; use udi_obs spans or udi_obs::Stopwatch",
+    },
+    LintInfo {
+        name: NO_STRAY_IO,
+        summary: "println!/eprintln!/dbg! in library crates bypasses the obs sinks; emit \
+                  events or return data instead",
+    },
+    LintInfo {
+        name: MALFORMED_ALLOW,
+        summary: "udi-audit directives must be `allow(<lint>, \"<reason>\")` with a known \
+                  lint and a non-empty reason",
+    },
+    LintInfo {
+        name: UNUSED_ALLOW,
+        summary: "an allow directive that suppresses nothing is stale and must be removed",
+    },
+];
+
+/// True if `name` is a known lint.
+pub fn is_known_lint(name: &str) -> bool {
+    LINTS.iter().any(|l| l.name == name)
+}
+
+/// The full lint set, as an enabled-set for [`audit_source`].
+pub fn all_lints() -> BTreeSet<&'static str> {
+    LINTS.iter().map(|l| l.name).collect()
+}
+
+/// One reported violation, rustc-style.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Which lint fired.
+    pub lint: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "error[udi-audit::{}]: {}", self.lint, self.message)?;
+        write!(f, "  --> {}:{}:{}", self.path, self.line, self.col)
+    }
+}
+
+/// Crates whose library code must be panic-free (propagate `UdiError`).
+pub const PANIC_FREE_CRATES: &[&str] = &[
+    "udi-core",
+    "udi-schema",
+    "udi-maxent",
+    "udi-query",
+    "udi-store",
+    "udi-audit",
+];
+
+/// Probability-producing crates where map iteration order reaches
+/// p-mapping enumeration, consolidation, or answer sets.
+pub const DETERMINISTIC_CRATES: &[&str] = &["udi-core", "udi-schema", "udi-maxent"];
+
+/// Crates whose floats are probabilities (or derived from them).
+pub const FLOAT_EQ_CRATES: &[&str] = &[
+    "udi-core",
+    "udi-schema",
+    "udi-maxent",
+    "udi-query",
+    "udi-baselines",
+    "udi-eval",
+];
+
+/// Crates allowed to read the clock directly.
+pub const RAW_TIME_EXEMPT_CRATES: &[&str] = &["udi-obs", "udi-bench"];
+
+/// Crates allowed to print directly (the bench harness narrates runs).
+pub const STRAY_IO_EXEMPT_CRATES: &[&str] = &["udi-bench"];
+
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const IO_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+/// A parsed `udi-audit: allow(...)` directive.
+#[derive(Debug)]
+struct AllowDirective {
+    lint: String,
+    line: u32,
+    col: u32,
+    /// The line of code this directive covers.
+    target_line: u32,
+    used: bool,
+}
+
+/// Audit one file's source text. `path` is used only for reporting.
+pub fn audit_source(
+    path: &str,
+    class: &FileClass,
+    src: &str,
+    enabled: &BTreeSet<&str>,
+) -> Vec<Diagnostic> {
+    let tokens = lex(src);
+    let test_regions = test_regions(&tokens);
+    let in_test = |i: usize| test_regions.iter().any(|r| r.contains(&i));
+    let use_spans = use_spans(&tokens);
+    let in_use = |i: usize| use_spans.iter().any(|r| r.contains(&i));
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut directives = parse_directives(path, &tokens, enabled, &mut diags);
+
+    let mut candidates: Vec<(usize, &'static str, String)> = Vec::new();
+    let crate_name = class.crate_name.as_str();
+    let is_lib = class.kind == CodeKind::Lib;
+
+    let prev_sig = |i: usize| tokens[..i].iter().rev().find(|t| !is_comment(t));
+    let next_sig = |i: usize| tokens[i + 1..].iter().find(|t| !is_comment(t));
+
+    for (i, tok) in tokens.iter().enumerate() {
+        if is_comment(tok) || in_test(i) {
+            continue;
+        }
+        let is_ident = tok.kind == TokenKind::Ident;
+
+        // no-panic-in-lib
+        if is_lib && PANIC_FREE_CRATES.contains(&crate_name) {
+            if is_ident && PANIC_METHODS.contains(&tok.text.as_str()) {
+                let prev = prev_sig(i).map(|t| t.text.as_str());
+                let next = next_sig(i).map(|t| t.text.as_str());
+                let method_call = prev == Some(".") && next == Some("(");
+                let path_use = prev == Some("::");
+                if method_call || path_use {
+                    candidates.push((
+                        i,
+                        NO_PANIC_IN_LIB,
+                        format!(
+                            "`{}` can panic; library code of `{}` must propagate `UdiError` \
+                             (or carry a reasoned allow)",
+                            tok.text, crate_name
+                        ),
+                    ));
+                }
+            }
+            if is_ident
+                && PANIC_MACROS.contains(&tok.text.as_str())
+                && next_sig(i).map(|t| t.text.as_str()) == Some("!")
+            {
+                candidates.push((
+                    i,
+                    NO_PANIC_IN_LIB,
+                    format!(
+                        "`{}!` panics; library code of `{}` must return an error instead",
+                        tok.text, crate_name
+                    ),
+                ));
+            }
+        }
+
+        // deterministic-iteration
+        if is_lib
+            && DETERMINISTIC_CRATES.contains(&crate_name)
+            && is_ident
+            && matches!(tok.text.as_str(), "HashMap" | "HashSet")
+            && !in_use(i)
+        {
+            candidates.push((
+                i,
+                DETERMINISTIC_ITERATION,
+                format!(
+                    "`{}` iteration order is nondeterministic and `{}` produces probabilities; \
+                     use BTreeMap/BTreeSet, or allow with a reason why order cannot leak",
+                    tok.text, crate_name
+                ),
+            ));
+        }
+
+        // float-eq
+        if is_lib
+            && FLOAT_EQ_CRATES.contains(&crate_name)
+            && tok.kind == TokenKind::Punct
+            && (tok.text == "==" || tok.text == "!=")
+        {
+            let float = |t: Option<&Token>| {
+                matches!(t.map(|t| t.kind), Some(TokenKind::Num { float: true }))
+            };
+            if float(prev_sig(i)) || float(next_sig(i)) {
+                candidates.push((
+                    i,
+                    FLOAT_EQ,
+                    format!(
+                        "`{}` against a float literal is exact-bit comparison; use the epsilon \
+                         helpers in `udi_schema::float`",
+                        tok.text
+                    ),
+                ));
+            }
+        }
+
+        // no-raw-time
+        if is_lib
+            && !RAW_TIME_EXEMPT_CRATES.contains(&crate_name)
+            && is_ident
+            && matches!(tok.text.as_str(), "Instant" | "SystemTime")
+        {
+            candidates.push((
+                i,
+                NO_RAW_TIME,
+                format!(
+                    "`{}` outside udi-obs splinters the timing source; use udi_obs spans or \
+                     `udi_obs::Stopwatch`",
+                    tok.text
+                ),
+            ));
+        }
+
+        // no-stray-io
+        if is_lib
+            && !STRAY_IO_EXEMPT_CRATES.contains(&crate_name)
+            && is_ident
+            && IO_MACROS.contains(&tok.text.as_str())
+            && next_sig(i).map(|t| t.text.as_str()) == Some("!")
+        {
+            candidates.push((
+                i,
+                NO_STRAY_IO,
+                format!(
+                    "`{}!` bypasses the obs sinks; emit an event, return the data, or move \
+                     the printing to a binary",
+                    tok.text
+                ),
+            ));
+        }
+    }
+
+    for (i, lint, message) in candidates {
+        if !enabled.contains(lint) {
+            continue;
+        }
+        let tok = &tokens[i];
+        let allowed = directives
+            .iter_mut()
+            .find(|d| d.lint == lint && d.target_line == tok.line);
+        match allowed {
+            Some(d) => d.used = true,
+            None => diags.push(Diagnostic {
+                path: path.to_owned(),
+                line: tok.line,
+                col: tok.col,
+                lint,
+                message,
+            }),
+        }
+    }
+
+    if enabled.contains(UNUSED_ALLOW) {
+        for d in directives.iter().filter(|d| !d.used) {
+            diags.push(Diagnostic {
+                path: path.to_owned(),
+                line: d.line,
+                col: d.col,
+                lint: UNUSED_ALLOW,
+                message: format!(
+                    "allow({}) suppresses nothing on line {} — remove the stale directive",
+                    d.lint, d.target_line
+                ),
+            });
+        }
+    }
+
+    diags.sort_by_key(|d| (d.line, d.col, d.lint));
+    diags
+}
+
+fn is_comment(t: &Token) -> bool {
+    matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+}
+
+/// Doc comments are documentation, not directives: a `udi-audit:` mention
+/// in `///`/`//!`/`/**`/`/*!` text (say, this crate's own docs) must not
+/// act as an escape hatch.
+fn is_doc_comment(t: &Token) -> bool {
+    t.text.starts_with("///")
+        || t.text.starts_with("//!")
+        || t.text.starts_with("/**")
+        || t.text.starts_with("/*!")
+}
+
+/// Extract `udi-audit:` directives from comment tokens; malformed ones are
+/// reported into `diags` directly.
+fn parse_directives(
+    path: &str,
+    tokens: &[Token],
+    enabled: &BTreeSet<&str>,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if !is_comment(tok) || is_doc_comment(tok) {
+            continue;
+        }
+        let Some(at) = tok.text.find("udi-audit:") else {
+            continue;
+        };
+        let body = tok.text[at + "udi-audit:".len()..].trim();
+        let malformed = |msg: &str, diags: &mut Vec<Diagnostic>| {
+            if enabled.contains(MALFORMED_ALLOW) {
+                diags.push(Diagnostic {
+                    path: path.to_owned(),
+                    line: tok.line,
+                    col: tok.col,
+                    lint: MALFORMED_ALLOW,
+                    message: msg.to_owned(),
+                });
+            }
+        };
+        let Some(args) = body
+            .strip_prefix("allow(")
+            .and_then(|r| r.trim_end().strip_suffix(')'))
+        else {
+            malformed(
+                "directive must be `udi-audit: allow(<lint>, \"<reason>\")`",
+                diags,
+            );
+            continue;
+        };
+        let Some((lint, reason)) = args.split_once(',') else {
+            malformed(
+                "escape hatch needs a reason: `allow(<lint>, \"<reason>\")`",
+                diags,
+            );
+            continue;
+        };
+        let lint = lint.trim();
+        if !is_known_lint(lint) {
+            malformed(&format!("unknown lint `{lint}` in allow directive"), diags);
+            continue;
+        }
+        let reason = reason.trim();
+        let quoted = reason.len() >= 2 && reason.starts_with('"') && reason.ends_with('"');
+        if !quoted || reason.len() == 2 {
+            malformed("the allow reason must be a non-empty quoted string", diags);
+            continue;
+        }
+        // A trailing comment covers its own line; a standalone comment
+        // covers the next line of code.
+        let trailing = tokens[..i]
+            .iter()
+            .any(|t| t.line == tok.line && !is_comment(t));
+        let target_line = if trailing {
+            tok.line
+        } else {
+            tokens[i + 1..]
+                .iter()
+                .find(|t| !is_comment(t))
+                .map(|t| t.line)
+                .unwrap_or(tok.line)
+        };
+        out.push(AllowDirective {
+            lint: lint.to_owned(),
+            line: tok.line,
+            col: tok.col,
+            target_line,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Token-index ranges covered by `#[cfg(test)]` / `#[test]` / `#[bench]`
+/// items (attribute through the matching closing brace).
+fn test_regions(tokens: &[Token]) -> Vec<Range<usize>> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Punct
+            && tokens[i].text == "#"
+            && tokens.get(i + 1).is_some_and(|t| t.text == "[")
+        {
+            let attr_start = i;
+            let (attr_tokens, after) = attribute_body(tokens, i + 1);
+            if is_test_attribute(&attr_tokens) {
+                if let Some(end) = item_end(tokens, after) {
+                    regions.push(attr_start..end);
+                    i = end;
+                    continue;
+                }
+            }
+            i = after;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// Texts inside an attribute's brackets; returns `(texts, index after `]`)`.
+/// `open` is the index of the `[`.
+fn attribute_body(tokens: &[Token], open: usize) -> (Vec<String>, usize) {
+    let mut texts = Vec::new();
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Punct && t.text == "[" {
+            depth += 1;
+        } else if t.kind == TokenKind::Punct && t.text == "]" {
+            depth -= 1;
+            if depth == 0 {
+                return (texts, i + 1);
+            }
+        } else if depth > 0 && !is_comment(t) {
+            texts.push(t.text.clone());
+        }
+        i += 1;
+    }
+    (texts, i)
+}
+
+fn is_test_attribute(texts: &[String]) -> bool {
+    let joined: String = texts.concat();
+    if joined == "test" || joined == "bench" || joined.ends_with("::test") {
+        return true;
+    }
+    // cfg(test), cfg(any(test, …)), cfg(all(test, …)) — but not
+    // cfg(not(test)).
+    joined.starts_with("cfg(") && joined.contains("test") && !joined.contains("not(test")
+}
+
+/// Given the index just after a test attribute, find the index just past
+/// the end of the annotated item (the matching `}` of its body, or the `;`
+/// of a bodiless item). Skips any further attributes in between.
+fn item_end(tokens: &[Token], mut i: usize) -> Option<usize> {
+    // Skip stacked attributes (#[test] #[ignore] fn …).
+    while tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == "#")
+        && tokens.get(i + 1).is_some_and(|t| t.text == "[")
+    {
+        let (_, after) = attribute_body(tokens, i + 1);
+        i = after;
+    }
+    // Find the item's opening brace (or a terminating semicolon for
+    // bodiless items like `#[cfg(test)] mod tests;`).
+    let mut j = i;
+    loop {
+        let t = tokens.get(j)?;
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "{" => break,
+                ";" => return Some(j + 1),
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    // Match braces from the opening brace.
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(j) {
+        if t.kind == TokenKind::Punct {
+            if t.text == "{" {
+                depth += 1;
+            } else if t.text == "}" {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j + 1);
+                }
+            }
+        }
+        j += 1;
+    }
+    Some(tokens.len())
+}
+
+/// Token-index ranges of `use` declarations (so importing `HashMap` is not
+/// double-reported alongside each usage site).
+fn use_spans(tokens: &[Token]) -> Vec<Range<usize>> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        let at_item_position = i == 0
+            || tokens[..i]
+                .iter()
+                .rev()
+                .find(|t| !is_comment(t))
+                .is_none_or(|p| matches!(p.text.as_str(), ";" | "{" | "}" | "]" | ")" | "pub"));
+        if t.kind == TokenKind::Ident && t.text == "use" && at_item_position {
+            let start = i;
+            while i < tokens.len() && tokens[i].text != ";" {
+                i += 1;
+            }
+            spans.push(start..i + 1);
+        }
+        i += 1;
+    }
+    spans
+}

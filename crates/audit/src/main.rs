@@ -1,0 +1,112 @@
+//! `udi-audit` CLI: lint the workspace tree, exit nonzero on violations.
+//!
+//! ```text
+//! cargo run -p udi-audit -- --deny-all            # CI gate
+//! cargo run -p udi-audit -- --list                # lint taxonomy
+//! cargo run -p udi-audit -- --allow float-eq      # run all but one lint
+//! cargo run -p udi-audit -- --root /path/to/tree  # explicit root
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use udi_audit::{all_lints, audit_workspace, find_workspace_root, LINTS};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut disabled: BTreeSet<String> = BTreeSet::new();
+    let mut deny_all = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a directory argument"),
+            },
+            "--allow" => match args.next() {
+                Some(l) => {
+                    if !udi_audit::lints::is_known_lint(&l) {
+                        return usage_error(&format!("unknown lint `{l}` (see --list)"));
+                    }
+                    disabled.insert(l);
+                }
+                None => return usage_error("--allow needs a lint name argument"),
+            },
+            "--deny-all" => deny_all = true,
+            "--quiet" => quiet = true,
+            "--list" => {
+                for lint in LINTS {
+                    println!("{:<26} {}", lint.name, lint.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "udi-audit: workspace lint engine for UDI invariants\n\n\
+                     usage: udi-audit [--root DIR] [--deny-all] [--allow LINT]... [--quiet] [--list]\n\n\
+                     All lints are errors by default; --allow disables one, --deny-all\n\
+                     re-enables everything (the CI configuration). Exit codes: 0 clean,\n\
+                     1 violations, 2 usage/I-O error."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let mut enabled = all_lints();
+    if !deny_all {
+        enabled.retain(|l| !disabled.contains(*l));
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => return usage_error("no workspace root found (pass --root)"),
+    };
+
+    match audit_workspace(&root, &enabled) {
+        Ok(report) => {
+            if !quiet {
+                for d in &report.diagnostics {
+                    println!("{d}\n");
+                }
+            }
+            if report.is_clean() {
+                if !quiet {
+                    println!(
+                        "udi-audit: clean — {} files, {} lints",
+                        report.files_scanned,
+                        enabled.len()
+                    );
+                }
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "udi-audit: {} violation(s) across {} scanned file(s)",
+                    report.diagnostics.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("udi-audit: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("udi-audit: {msg}");
+    eprintln!("usage: udi-audit [--root DIR] [--deny-all] [--allow LINT]... [--quiet] [--list]");
+    ExitCode::from(2)
+}

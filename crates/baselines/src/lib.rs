@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Competing bootstrap approaches from §7.3–§7.4 of the paper.

@@ -1,7 +1,7 @@
 //! Query answering: by-table semantics over the consolidated schema and —
 //! for Theorem 6.2 — directly over the p-med-schema (Definition 3.3).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use udi_query::{execute_with_binding, AnswerSet, Binding, Query, SourceAccumulator};
 use udi_schema::{AttrId, Mapping, MediatedSchema};
@@ -25,7 +25,7 @@ impl UdiSystem {
         let (mut scanned, mut produced) = (0u64, 0u64);
         for (sid, table) in self.catalog().iter_sources() {
             let pm = self.consolidated_pmapping(sid.0 as usize);
-            let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
+            let mut pooled: BTreeMap<Vec<Option<AttrId>>, f64> = BTreeMap::new();
             for (m, p) in pm.mappings() {
                 let sig = binding_signature(m, &clusters);
                 *pooled.entry(sig).or_insert(0.0) += p;
@@ -61,7 +61,7 @@ impl UdiSystem {
         }
         let (mut scanned, mut produced) = (0u64, 0u64);
         for (sid, table) in self.catalog().iter_sources() {
-            let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
+            let mut pooled: BTreeMap<Vec<Option<AttrId>>, f64> = BTreeMap::new();
             for (i, (_, p_schema)) in self.pmed().schemas().iter().enumerate() {
                 let Some(clusters) = &resolved[i] else {
                     continue;
@@ -98,7 +98,7 @@ impl UdiSystem {
         for (sid, table) in self.catalog().iter_sources() {
             let pm = self.consolidated_pmapping(sid.0 as usize);
             let top = pm.top_mapping();
-            let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
+            let mut pooled: BTreeMap<Vec<Option<AttrId>>, f64> = BTreeMap::new();
             pooled.insert(binding_signature(top, &clusters), 1.0);
             let (tuples, s) = run_pooled(table, query, &pooled, self);
             scanned += s;
@@ -135,23 +135,25 @@ impl UdiSystem {
         let (mut scanned, mut produced) = (0u64, 0u64);
         for (sid, table) in self.catalog().iter_sources() {
             let pm = self.consolidated_pmapping(sid.0 as usize);
-            let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
+            let mut pooled: BTreeMap<Vec<Option<AttrId>>, f64> = BTreeMap::new();
             for (m, p) in pm.mappings() {
                 let sig = binding_signature(m, &clusters);
                 *pooled.entry(sig).or_insert(0.0) += p;
             }
             // Per (row, tuple): total probability of mappings producing it.
+            // `Row` has no `Ord`, so this stays a hash map; emission order
+            // is governed by the insertion-order `order` vec, never by map
+            // iteration.
+            // udi-audit: allow(deterministic-iteration, "keyed by Row (no Ord); read by key only, ordered via the `order` vec")
             let mut per_row: HashMap<(usize, udi_store::Row), f64> = HashMap::new();
             let mut order: Vec<(usize, udi_store::Row)> = Vec::new();
-            let mut entries: Vec<(&Vec<Option<AttrId>>, &f64)> = pooled.iter().collect();
-            entries.sort_by(|a, b| a.0.cmp(b.0));
-            for (sig, &p) in entries {
+            for (sig, &p) in &pooled {
                 if p <= 0.0 || sig.iter().any(Option::is_none) {
                     continue;
                 }
                 let mut binding = Binding::new();
                 for (a, id) in attrs.iter().zip(sig.iter()) {
-                    let id = id.expect("checked above");
+                    let Some(id) = *id else { continue };
                     binding.bind(*a, self.schema_set().vocab().name(id));
                 }
                 scanned += table.row_count() as u64;
@@ -167,6 +169,7 @@ impl UdiSystem {
                 }
             }
             // Combine rows producing the same tuple as independent events.
+            // udi-audit: allow(deterministic-iteration, "keyed by Row (no Ord); read by key only, ordered via `tuple_order`")
             let mut combined: HashMap<udi_store::Row, f64> = HashMap::new();
             let mut tuple_order: Vec<udi_store::Row> = Vec::new();
             for key in &order {
@@ -228,21 +231,19 @@ impl UdiSystem {
         let (mut scanned, mut produced) = (0u64, 0u64);
         for (sid, table) in self.catalog().iter_sources() {
             let pm = self.consolidated_pmapping(sid.0 as usize);
-            let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
+            let mut pooled: BTreeMap<Vec<Option<AttrId>>, f64> = BTreeMap::new();
             for (m, p) in pm.mappings() {
                 let sig = binding_signature(m, &clusters);
                 *pooled.entry(sig).or_insert(0.0) += p;
             }
             let mut acc = SourceAccumulator::new();
-            let mut entries: Vec<(&Vec<Option<AttrId>>, &f64)> = pooled.iter().collect();
-            entries.sort_by(|a, b| a.0.cmp(b.0));
-            for (sig, &p) in entries {
+            for (sig, &p) in &pooled {
                 if p <= 0.0 || sig.iter().any(Option::is_none) {
                     continue;
                 }
                 let mut binding = Binding::new();
                 for (a, id) in referenced.iter().zip(sig.iter()) {
-                    let id = id.expect("checked above");
+                    let Some(id) = *id else { continue };
                     binding.bind(a.clone(), self.schema_set().vocab().name(id));
                 }
                 scanned += table.row_count() as u64;
@@ -275,13 +276,15 @@ impl UdiSystem {
         let mut sources = Vec::new();
         for (sid, table) in self.catalog().iter_sources() {
             let pm = self.consolidated_pmapping(sid.0 as usize);
-            let mut pooled: HashMap<Vec<Option<AttrId>>, f64> = HashMap::new();
+            let mut pooled: BTreeMap<Vec<Option<AttrId>>, f64> = BTreeMap::new();
             for (m, p) in pm.mappings() {
                 let sig = binding_signature(m, &clusters);
                 *pooled.entry(sig).or_insert(0.0) += p;
             }
             let mut bindings = Vec::new();
             let mut unmapped = 0.0;
+            // Ranked for display: most probable binding first, signature
+            // order breaking ties.
             let mut entries: Vec<(&Vec<Option<AttrId>>, &f64)> = pooled.iter().collect();
             entries.sort_by(|a, b| {
                 b.1.partial_cmp(a.1)
@@ -300,14 +303,10 @@ impl UdiSystem {
                 let pairs: Vec<(String, String)> = attrs
                     .iter()
                     .zip(sig.iter())
-                    .map(|(a, id)| {
-                        let name = self
-                            .schema_set()
-                            .vocab()
-                            .name(id.expect("checked above"))
-                            .to_owned();
+                    .filter_map(|(a, id)| {
+                        let name = self.schema_set().vocab().name((*id)?).to_owned();
                         binding.bind(*a, name.clone());
-                        ((*a).to_owned(), name)
+                        Some(((*a).to_owned(), name))
                     })
                     .collect();
                 let n_rows = execute_with_binding(table, query, &binding).len();
@@ -429,22 +428,20 @@ fn binding_signature(m: &Mapping, clusters: &[(String, usize)]) -> Vec<Option<At
 fn run_pooled(
     table: &Table,
     query: &Query,
-    pooled: &HashMap<Vec<Option<AttrId>>, f64>,
+    pooled: &BTreeMap<Vec<Option<AttrId>>, f64>,
     sys: &UdiSystem,
 ) -> (Vec<udi_query::AnswerTuple>, u64) {
     let attrs = query.referenced_attributes();
     let mut acc = SourceAccumulator::new();
     let mut scanned = 0u64;
-    // Deterministic iteration: sort signatures.
-    let mut entries: Vec<(&Vec<Option<AttrId>>, &f64)> = pooled.iter().collect();
-    entries.sort_by(|a, b| a.0.cmp(b.0));
-    for (sig, &p) in entries {
+    // The map is ordered, so iteration is already deterministic.
+    for (sig, &p) in pooled {
         if p <= 0.0 || sig.iter().any(Option::is_none) {
             continue;
         }
         let mut binding = Binding::new();
         for (a, id) in attrs.iter().zip(sig.iter()) {
-            let id = id.expect("checked above");
+            let Some(id) = *id else { continue };
             binding.bind(*a, sys.schema_set().vocab().name(id));
         }
         scanned += table.row_count() as u64;

@@ -31,11 +31,10 @@
 //! unchanged `(source, schema-content)` pair under unchanged similarities
 //! must yield the identical mapping, and we reuse it without re-solving.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
-use std::time::Instant;
 
-use udi_obs::{CounterSink, FanoutSink, Recorder, Sink};
+use udi_obs::{CounterSink, FanoutSink, Recorder, Sink, Stopwatch};
 use udi_schema::{
     assign_probabilities, build_similarity_graph_via, consolidate_schemas,
     enumerate_mediated_schemas, generate_pmapping_cached, AttrId, Consolidator, EdgeKind,
@@ -43,7 +42,7 @@ use udi_schema::{
     Vocabulary,
 };
 use udi_similarity::Similarity;
-use udi_store::{Catalog, StoreError, Table};
+use udi_store::{Catalog, Table};
 
 use crate::feedback::Feedback;
 use crate::pipeline::{CacheStats, SetupReport, SetupTimings, UdiConfig};
@@ -89,8 +88,9 @@ pub struct SetupEngine {
     schema_set: SchemaSet,
     /// Pinned pairwise similarities, keyed `(min, max)`. Entries are only
     /// ever *overwritten* (by feedback), never dropped, so every artifact
-    /// downstream sees one consistent similarity assignment.
-    sim_cache: HashMap<(AttrId, AttrId), f64>,
+    /// downstream sees one consistent similarity assignment. Ordered so
+    /// that iteration (graph signatures, matrix freezing) is deterministic.
+    sim_cache: BTreeMap<(AttrId, AttrId), f64>,
     /// Signature of the graph that produced `schemas_raw`.
     graph_sig: Option<GraphSignature>,
     /// Stage 2 artifact: enumerated candidate schemas, pre-probability, in
@@ -141,7 +141,7 @@ impl SetupEngine {
             config,
             feedback: Feedback::new(),
             schema_set,
-            sim_cache: HashMap::new(),
+            sim_cache: BTreeMap::new(),
             graph_sig: None,
             schemas_raw: Vec::new(),
             pmed: None,
@@ -251,14 +251,16 @@ impl SetupEngine {
     /// Drop the source named `name`. Vocabulary ids stay stable (orphaned
     /// attributes fall out of the frequent set by frequency); surviving
     /// sources keep their cached rows unless the schema list changes.
-    pub fn remove_source(&mut self, name: &str) -> Result<Table, StoreError> {
-        let table = self.catalog.remove_source(name)?;
+    pub fn remove_source(&mut self, name: &str) -> Result<Table, UdiError> {
+        let table = self.catalog.remove_source(name).map_err(UdiError::Store)?;
         let idx = self
             .schema_set
             .sources()
             .iter()
             .position(|s| s.name == name)
-            .expect("schema set is aligned with the catalog");
+            .ok_or(UdiError::Internal(
+                "schema set lost alignment with the catalog",
+            ))?;
         self.schema_set.remove_source(name);
         self.rows.remove(idx);
         Ok(table)
@@ -316,7 +318,7 @@ impl SetupEngine {
         // Stage 1 — import. The schema set is maintained in place by the
         // mutations; here we only re-pin judged pairs (covers attributes
         // interned since the judgment arrived).
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let s1 = root.child("engine.import");
         apply_feedback_overrides(&self.feedback, &self.schema_set, &mut self.sim_cache);
         s1.close();
@@ -326,7 +328,7 @@ impl SetupEngine {
         // (cache lookups); the expensive 2^u enumeration is skipped when
         // the signature is unchanged. Probabilities (Algorithm 2) are
         // linear and always recomputed.
-        let t1 = Instant::now();
+        let t1 = Stopwatch::start();
         let mut s2 = root.child("engine.med_schema");
         let wrapped = self.feedback.wrap(measure);
         let nodes = self.schema_set.frequent_attributes(params.theta);
@@ -360,7 +362,7 @@ impl SetupEngine {
         // Stage 3 — p-mapping rows. Reuse granularity is per
         // (source, schema-content): a clean source keeps every mapping
         // whose mediated schema also exists in the new list.
-        let t2 = Instant::now();
+        let t2 = Stopwatch::start();
         let s3 = root.child("engine.pmappings");
         let stage3_id = s3.id();
         let new_list: Vec<MediatedSchema> = pmed.schemas().iter().map(|(m, _)| m.clone()).collect();
@@ -384,6 +386,7 @@ impl SetupEngine {
                 &self.recorder,
             );
             let matrix = FrozenMatrix::from_entries(self.sim_cache.iter().map(|(&k, &v)| (k, v)));
+            // udi-audit: allow(deterministic-iteration, "reuse-plan index: queried per new schema by key, never iterated")
             let old_pos: HashMap<&MediatedSchema, usize> = self
                 .schema_list
                 .iter()
@@ -442,9 +445,13 @@ impl SetupEngine {
                     .iter()
                     .enumerate()
                     .map(|(j, med)| match plan[i][j] {
-                        Some(oj) => Ok(old.as_mut().expect("planned reuse")[oj]
-                            .take()
-                            .expect("each old column claimed once")),
+                        Some(oj) => old
+                            .as_mut()
+                            .and_then(|row| row.get_mut(oj))
+                            .and_then(Option::take)
+                            .ok_or(UdiError::Internal(
+                                "p-mapping reuse plan pointed at a missing or already-claimed column",
+                            )),
                         None => {
                             let mut span =
                                 recorder.span_with_parent("engine.pmapping.build", stage3_id);
@@ -483,7 +490,11 @@ impl SetupEngine {
                             .collect();
                         handles
                             .into_iter()
-                            .map(|h| h.join().expect("worker panicked"))
+                            .map(|h| {
+                                h.join().unwrap_or(Err(UdiError::Internal(
+                                    "a p-mapping worker thread panicked",
+                                )))
+                            })
                             .collect()
                     });
                 results
@@ -510,7 +521,7 @@ impl SetupEngine {
         // out of the per-source loop via `Consolidator`. A refresh where
         // nothing moved — same schemas, bit-identical probabilities, every
         // row reused — keeps the previous consolidation outright.
-        let t3 = Instant::now();
+        let t3 = Stopwatch::start();
         let s4 = root.child("engine.consolidate");
         let pmed_unchanged = !schemas_reenumerated
             && self.schema_list == new_list
@@ -520,13 +531,12 @@ impl SetupEngine {
                     .zip(pmed.schemas())
                     .all(|((_, p0), (_, p1))| p0.to_bits() == p1.to_bits())
             });
-        let (consolidated, cons_rows) =
-            if pmed_unchanged && rows_computed_now == 0 && self.consolidated.is_some() {
-                (
-                    self.consolidated.take().expect("checked"),
-                    std::mem::take(&mut self.cons_rows),
-                )
-            } else {
+        let reusable = (pmed_unchanged && rows_computed_now == 0)
+            .then(|| self.consolidated.take())
+            .flatten();
+        let (consolidated, cons_rows) = match reusable {
+            Some(prev) => (prev, std::mem::take(&mut self.cons_rows)),
+            None => {
                 let consolidated = consolidate_schemas(&new_list);
                 let consolidator = Consolidator::new(&pmed, &consolidated);
                 let cons_rows = new_rows
@@ -534,7 +544,8 @@ impl SetupEngine {
                     .map(|per_schema| consolidator.consolidate(per_schema))
                     .collect();
                 (consolidated, cons_rows)
-            };
+            }
+        };
         s4.close();
         timings.consolidation = t3.elapsed();
 
@@ -593,12 +604,14 @@ impl SetupEngine {
     /// The current p-med-schema. Panics before the first successful
     /// refresh (the engine is only exposed configured).
     pub fn pmed(&self) -> &PMedSchema {
+        // udi-audit: allow(no-panic-in-lib, "documented panic: UdiSystem only exposes a refreshed engine")
         self.pmed.as_ref().expect("engine not refreshed yet")
     }
 
     /// The p-mapping between source `src` and possible schema `schema`.
     /// Panics for a source added after the last successful refresh.
     pub fn pmapping(&self, src: usize, schema: usize) -> &PMapping {
+        // udi-audit: allow(no-panic-in-lib, "documented panic: indexing a source added after the last refresh")
         &self.rows[src].as_ref().expect("source not yet configured")[schema]
     }
 
@@ -606,6 +619,7 @@ impl SetupEngine {
     pub fn consolidated(&self) -> &MediatedSchema {
         self.consolidated
             .as_ref()
+            // udi-audit: allow(no-panic-in-lib, "documented panic: UdiSystem only exposes a refreshed engine")
             .expect("engine not refreshed yet")
     }
 
@@ -631,7 +645,7 @@ impl SetupEngine {
 fn apply_feedback_overrides(
     feedback: &Feedback,
     set: &SchemaSet,
-    sim_cache: &mut HashMap<(AttrId, AttrId), f64>,
+    sim_cache: &mut BTreeMap<(AttrId, AttrId), f64>,
 ) {
     let vocab = set.vocab();
     for (a, b, same) in feedback.judgments() {
@@ -649,7 +663,7 @@ fn apply_feedback_overrides(
 /// as two counter deltas at the end — one sink interaction per call, not
 /// per pair, so the loop stays as hot as before instrumentation.
 fn ensure_pairs(
-    sim_cache: &mut HashMap<(AttrId, AttrId), f64>,
+    sim_cache: &mut BTreeMap<(AttrId, AttrId), f64>,
     vocab: &Vocabulary,
     measure: &dyn Similarity,
     pairs: impl Iterator<Item = (AttrId, AttrId)>,
@@ -662,8 +676,8 @@ fn ensure_pairs(
         }
         let key = (a.min(b), a.max(b));
         match sim_cache.entry(key) {
-            std::collections::hash_map::Entry::Occupied(_) => hits += 1,
-            std::collections::hash_map::Entry::Vacant(slot) => {
+            std::collections::btree_map::Entry::Occupied(_) => hits += 1,
+            std::collections::btree_map::Entry::Vacant(slot) => {
                 slot.insert(measure.similarity(vocab.name(key.0), vocab.name(key.1)));
                 misses += 1;
             }
@@ -680,8 +694,8 @@ fn ensure_pairs(
 /// The [`CacheStats`] view of one refresh: the delta between two snapshots
 /// of the engine's always-on counter sink.
 fn cache_stats_between(
-    before: &HashMap<&'static str, u64>,
-    after: &HashMap<&'static str, u64>,
+    before: &BTreeMap<&'static str, u64>,
+    after: &BTreeMap<&'static str, u64>,
 ) -> CacheStats {
     let delta = |name: &str| -> u64 {
         after.get(name).copied().unwrap_or(0) - before.get(name).copied().unwrap_or(0)

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! UDI — the self-configuring, pay-as-you-go data integration system of
@@ -83,6 +84,10 @@ pub enum UdiError {
         /// p-mappings supplied in that row.
         got: usize,
     },
+    /// An internal invariant of the setup engine was violated — a bug in
+    /// UDI itself, not in the caller's input. The payload names the broken
+    /// invariant.
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for UdiError {
@@ -99,6 +104,7 @@ impl std::fmt::Display for UdiError {
                 f,
                 "source {source}: expected one p-mapping per possible schema ({expected}), got {got}"
             ),
+            UdiError::Internal(what) => write!(f, "internal invariant violated: {what}"),
         }
     }
 }

@@ -145,7 +145,7 @@ impl UdiSystem {
         name: &str,
         measure: &(dyn Similarity + Sync),
     ) -> Result<Table, UdiError> {
-        let table = self.engine.remove_source(name).map_err(UdiError::from)?;
+        let table = self.engine.remove_source(name)?;
         self.engine.refresh(measure)?;
         Ok(table)
     }

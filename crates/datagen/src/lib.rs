@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Synthetic web-table corpus generator for the five evaluation domains of

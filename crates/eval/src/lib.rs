@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Evaluation machinery for the SIGMOD'08 experiments (§7).

@@ -23,7 +23,7 @@ pub struct Metrics {
 impl Metrics {
     /// Harmonic mean of precision and recall (0 when both are 0).
     pub fn f_measure(&self) -> f64 {
-        if self.precision + self.recall == 0.0 {
+        if udi_schema::float::approx_zero(self.precision + self.recall) {
             0.0
         } else {
             2.0 * self.precision * self.recall / (self.precision + self.recall)

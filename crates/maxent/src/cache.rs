@@ -18,7 +18,7 @@
 //! to turn repeated group solves into hash lookups; `udi-core`'s incremental
 //! engine shares one cache across the whole catalog and across refreshes.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -50,6 +50,7 @@ struct CachedGroup {
 /// holds it constant for the lifetime of the cache).
 #[derive(Debug, Default)]
 pub struct SolveCache {
+    // udi-audit: allow(deterministic-iteration, "content-addressed memo queried by canonical key; never iterated")
     map: Mutex<HashMap<CanonKey, CachedGroup>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -58,6 +59,13 @@ pub struct SolveCache {
     /// Disabled by default; the hit/miss atomics above stay authoritative
     /// regardless.
     recorder: Recorder,
+}
+
+/// A memo entry is plain data: a poisoned mutex only means another worker
+/// panicked mid-insert, and the surviving map is still a valid memo —
+/// recover it rather than cascading the panic across threads.
+fn recover<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl SolveCache {
@@ -84,7 +92,7 @@ impl SolveCache {
 
     /// Number of distinct canonical instances stored.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        recover(self.map.lock()).len()
     }
 
     /// True when nothing has been cached yet.
@@ -94,8 +102,8 @@ impl SolveCache {
 
     /// Canonical key of one group's correspondence list.
     fn canonicalize(group: &[Correspondence]) -> CanonKey {
-        let mut src_ids: HashMap<usize, u32> = HashMap::new();
-        let mut tgt_ids: HashMap<usize, u32> = HashMap::new();
+        let mut src_ids: BTreeMap<usize, u32> = BTreeMap::new();
+        let mut tgt_ids: BTreeMap<usize, u32> = BTreeMap::new();
         group
             .iter()
             .map(|c| {
@@ -117,7 +125,7 @@ impl SolveCache {
         config: &MaxEntConfig,
     ) -> Result<(Vec<Matching>, Vec<f64>), MaxEntError> {
         let key = SolveCache::canonicalize(local);
-        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+        if let Some(hit) = recover(self.map.lock()).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.recorder.count("maxent.solve.hit", 1);
             return Ok((hit.matchings_local.clone(), hit.probabilities.clone()));
@@ -131,7 +139,7 @@ impl SolveCache {
             self.recorder.observe("maxent.residual", sol.residual);
         }
         let probabilities = sol.probabilities;
-        self.map.lock().unwrap().insert(
+        recover(self.map.lock()).insert(
             key,
             CachedGroup {
                 matchings_local: matchings.clone(),

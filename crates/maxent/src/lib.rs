@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Maximum-entropy p-mapping construction (§5 of the SIGMOD'08 paper).

@@ -118,9 +118,9 @@ impl CorrespondenceSet {
 
 /// `M′ = max(max_i Σ_j p_{i,j}, max_j Σ_i p_{i,j})`; `0` for an empty set.
 fn normalization_factor(corrs: &[Correspondence]) -> f64 {
-    use std::collections::HashMap;
-    let mut row: HashMap<usize, f64> = HashMap::new();
-    let mut col: HashMap<usize, f64> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut row: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut col: BTreeMap<usize, f64> = BTreeMap::new();
     for c in corrs {
         *row.entry(c.source).or_insert(0.0) += c.weight;
         *col.entry(c.target).or_insert(0.0) += c.weight;

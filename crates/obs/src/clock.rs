@@ -1,0 +1,70 @@
+//! Wall-clock timing, owned by the observability layer.
+//!
+//! `udi-obs` is the workspace's single timing authority: library crates
+//! never touch `std::time::Instant` directly (the `no-raw-time` audit lint
+//! enforces this). Code that needs a duration — stage timings in the setup
+//! engine, solver budgets — measures it through a [`Stopwatch`], which
+//! keeps the raw clock access in one auditable place and gives tests a
+//! single seam should timing ever need to be virtualised.
+
+use std::time::{Duration, Instant};
+
+/// A started wall-clock timer.
+///
+/// ```
+/// use udi_obs::Stopwatch;
+///
+/// let sw = Stopwatch::start();
+/// let d = sw.elapsed();
+/// assert!(d >= std::time::Duration::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Wall-clock time since [`Stopwatch::start`]. Monotonic; never panics.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Restart the timer and return the time elapsed up to the restart —
+    /// the idiom for timing consecutive stages with one watch.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let d = now.duration_since(self.started);
+        self.started = now;
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn lap_resets_the_origin() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let first = sw.lap();
+        assert!(first >= Duration::from_millis(1));
+        // Immediately after a lap the elapsed time starts near zero again.
+        assert!(sw.elapsed() <= first + Duration::from_millis(100));
+    }
+}

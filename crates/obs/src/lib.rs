@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! `udi-obs` — a hand-rolled, zero-dependency tracing and metrics layer for
@@ -43,12 +44,14 @@
 //! assert_eq!(sink.spans().len(), 2);
 //! ```
 
+mod clock;
 mod event;
 mod hist;
 mod recorder;
 mod sink;
 mod summary;
 
+pub use clock::Stopwatch;
 pub use event::{Event, EventKind, Field};
 pub use hist::Histogram;
 pub use recorder::{Recorder, Span};

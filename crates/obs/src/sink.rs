@@ -1,6 +1,6 @@
 //! Where events go: the [`Sink`] trait and the stock implementations.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
@@ -243,9 +243,15 @@ impl CounterSink {
             .unwrap_or(0)
     }
 
-    /// Snapshot of every counter, for before/after deltas.
-    pub fn snapshot(&self) -> HashMap<&'static str, u64> {
-        self.counters.lock().unwrap().clone()
+    /// Snapshot of every counter, in sorted name order, for before/after
+    /// deltas.
+    pub fn snapshot(&self) -> BTreeMap<&'static str, u64> {
+        self.counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
     }
 
     /// The histogram of `Value` observations of `name` so far.

@@ -19,7 +19,15 @@ use crate::UdiParams;
 pub struct SimilarityMatrix<'a> {
     vocab: &'a Vocabulary,
     sim: &'a (dyn Similarity + Sync),
+    // udi-audit: allow(deterministic-iteration, "memo queried by normalized pair key; never iterated")
     cache: std::sync::Mutex<HashMap<(AttrId, AttrId), f64>>,
+}
+
+/// A similarity value is plain data: a poisoned cache mutex only means
+/// another thread panicked mid-insert, and the map is still a valid memo —
+/// recover it instead of propagating the panic.
+fn recover<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl<'a> SimilarityMatrix<'a> {
@@ -39,19 +47,19 @@ impl<'a> SimilarityMatrix<'a> {
             return 1.0;
         }
         let key = (a.min(b), a.max(b));
-        if let Some(&w) = self.cache.lock().expect("cache poisoned").get(&key) {
+        if let Some(&w) = recover(self.cache.lock()).get(&key) {
             return w;
         }
         let w = self
             .sim
             .similarity(self.vocab.name(key.0), self.vocab.name(key.1));
-        self.cache.lock().expect("cache poisoned").insert(key, w);
+        recover(self.cache.lock()).insert(key, w);
         w
     }
 
     /// Number of memoized pairs (for diagnostics).
     pub fn cached_pairs(&self) -> usize {
-        self.cache.lock().expect("cache poisoned").len()
+        recover(self.cache.lock()).len()
     }
 
     /// Precompute every `(row, col)` pair into an immutable, lock-free
@@ -61,6 +69,7 @@ impl<'a> SimilarityMatrix<'a> {
     /// difference between parallel p-mapping generation scaling and
     /// serializing on the cache mutex.
     pub fn freeze(&self, rows: &[AttrId], cols: &[AttrId]) -> FrozenMatrix {
+        // udi-audit: allow(deterministic-iteration, "populated here, then lookup-only inside FrozenMatrix")
         let mut map = HashMap::with_capacity(rows.len() * cols.len());
         for &r in rows {
             for &c in cols {
@@ -79,6 +88,7 @@ impl<'a> SimilarityMatrix<'a> {
 /// Pairs outside the frozen set score 0 — freeze over every pair the
 /// pipeline can query.
 pub struct FrozenMatrix {
+    // udi-audit: allow(deterministic-iteration, "lock-free hot-path lookup by normalized pair key; entries() order never escapes")
     map: HashMap<(AttrId, AttrId), f64>,
 }
 

@@ -1,0 +1,72 @@
+//! Epsilon-aware comparison helpers for probability arithmetic.
+//!
+//! The probabilities UDI manipulates — p-med-schema weights (Algorithm 2),
+//! max-entropy p-mapping masses (Theorem 5.2), pooled answer scores — are
+//! produced by iterative solvers and float summation, so exact `==`/`!=`
+//! on them is almost always a bug: two mathematically equal quantities
+//! differ in the last ulps depending on summation order. The `float-eq`
+//! audit lint bans raw float equality in probability crates; these helpers
+//! are the sanctioned replacement, with one shared tolerance so "equal"
+//! means the same thing everywhere.
+
+/// Absolute tolerance for probability comparisons.
+///
+/// Probabilities live in `[0, 1]`, so an absolute epsilon is appropriate
+/// (relative error is meaningless near zero). `1e-9` sits far above the
+/// ~1e-16 noise floor of `f64` summation over the workloads UDI handles,
+/// and far below the ~1e-3 probability differences that are ever
+/// semantically meaningful in the paper's algorithms.
+pub const PROB_EPS: f64 = 1e-9;
+
+/// True when `a` and `b` are equal to within [`PROB_EPS`].
+///
+/// ```
+/// use udi_schema::float::approx_eq;
+///
+/// assert!(approx_eq(0.1 + 0.2, 0.3));
+/// assert!(!approx_eq(0.3, 0.300001));
+/// ```
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= PROB_EPS
+}
+
+/// True when `x` is zero to within [`PROB_EPS`] — the guard to use before
+/// dividing by a probability sum.
+pub fn approx_zero(x: f64) -> bool {
+    x.abs() <= PROB_EPS
+}
+
+/// True when the slice sums to 1 within `n · PROB_EPS` — the normalization
+/// check for a probability distribution, with the tolerance scaled to the
+/// number of additions that produced the sum.
+pub fn sums_to_one(probs: &[f64]) -> bool {
+    let n = probs.len().max(1) as f64;
+    (probs.iter().sum::<f64>() - 1.0).abs() <= n * PROB_EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_tolerates_summation_noise() {
+        let sum: f64 = (0..10).map(|_| 0.1).sum();
+        assert!(approx_eq(sum, 1.0));
+        assert!(!approx_eq(0.5, 0.5 + 1e-6));
+    }
+
+    #[test]
+    fn approx_zero_bounds() {
+        assert!(approx_zero(0.0));
+        assert!(approx_zero(1e-12));
+        assert!(!approx_zero(1e-6));
+    }
+
+    #[test]
+    fn sums_to_one_scales_with_length() {
+        let uniform = vec![0.25; 4];
+        assert!(sums_to_one(&uniform));
+        assert!(!sums_to_one(&[0.5, 0.4]));
+        assert!(sums_to_one(&[1.0]));
+    }
+}

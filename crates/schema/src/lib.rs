@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Probabilistic mediated schemas and probabilistic schema mappings — the
@@ -44,6 +45,7 @@
 
 pub mod consolidate;
 pub mod correspondence;
+pub mod float;
 pub mod graph;
 pub mod med_schema;
 pub mod model;

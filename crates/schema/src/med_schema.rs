@@ -126,6 +126,7 @@ pub fn enumerate_mediated_schemas(
     // "omits the edges in the subset", i.e. includes the complement; both
     // phrasings enumerate the same power set.
     let u = kept_uncertain.len();
+    // udi-audit: allow(deterministic-iteration, "membership-only dedup; output order is the `out` vec's enumeration order")
     let mut seen: HashSet<MediatedSchema> = HashSet::new();
     let mut out: Vec<MediatedSchema> = Vec::new();
     for mask in 0..(1_u64 << u) {

@@ -21,6 +21,7 @@ pub struct AttrId(pub u32);
 #[serde(from = "Vec<String>", into = "Vec<String>")]
 pub struct Vocabulary {
     names: Vec<String>,
+    // udi-audit: allow(deterministic-iteration, "reverse index queried by name; iteration always goes through `names`")
     index: HashMap<String, AttrId>,
 }
 
@@ -447,6 +448,7 @@ impl PMapping {
             .mappings
             .iter()
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            // udi-audit: allow(no-panic-in-lib, "PMapping::new requires at least one mapping; emptiness is unconstructible")
             .expect("non-empty by construction");
         m
     }

@@ -148,7 +148,11 @@ impl Table {
             }
             table
                 .push_row(rec.iter().map(|c| Value::parse(c)).collect())
-                .expect("arity checked");
+                .map_err(|_| CsvError::RaggedRow {
+                    record: idx + 2,
+                    expected: table.arity(),
+                    got: rec.len(),
+                })?;
         }
         Ok(table)
     }

@@ -29,6 +29,7 @@ impl Table {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
+        // udi-audit: allow(no-panic-in-lib, "documented panic: the infallible constructor variant; try_new is the fallible one")
         Table::try_new(name, attributes).expect("duplicate attribute name")
     }
 

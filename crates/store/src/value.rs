@@ -139,7 +139,9 @@ fn total_cmp(a: &Value, b: &Value) -> Ordering {
 }
 
 fn cmp_f64(x: f64, y: f64) -> Ordering {
-    x.partial_cmp(&y).expect("NaN excluded at construction")
+    // NaN is rejected at `Value` construction, so `partial_cmp` cannot
+    // return `None`; `Equal` is a defensive fallback, not a reachable case.
+    x.partial_cmp(&y).unwrap_or(Ordering::Equal)
 }
 
 impl PartialEq for Value {

@@ -1,0 +1,25 @@
+//! Workspace audit gate: `cargo test` fails if any source file violates a
+//! UDI invariant lint. The same check runs as a standalone binary
+//! (`cargo run -p udi-audit -- --deny-all`) in CI; this test wires it into
+//! the tier-1 suite so a violation cannot land through either door.
+
+use udi_audit::{all_lints, audit_workspace, find_workspace_root};
+
+#[test]
+fn workspace_tree_is_audit_clean() {
+    let root = find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let report = audit_workspace(&root, &all_lints()).expect("audit ran");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+    if !report.is_clean() {
+        let mut msg = String::from("udi-audit violations:\n");
+        for d in &report.diagnostics {
+            msg.push_str(&format!("{d}\n"));
+        }
+        panic!("{msg}");
+    }
+}
