@@ -15,7 +15,7 @@
 //!
 //! The pipeline is a hand-rolled Rust [`lexer`] (nested block comments,
 //! raw strings, char literals vs. lifetimes) feeding token-stream pattern
-//! matchers ([`lints`]) over every `.rs` file the [`classify`] walker
+//! matchers ([`lints`]) over every `.rs` file the [`mod@classify`] walker
 //! attributes to a workspace crate. Diagnostics are rustc-style
 //! `file:line:col`, and any violation makes the binary exit nonzero.
 //!

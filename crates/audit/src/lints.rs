@@ -1,8 +1,8 @@
 //! The lint pass: domain-specific rules over the token stream, with
 //! scoped escape hatches.
 //!
-//! Each lint is a pattern over [`Token`](crate::lexer::Token)s plus an
-//! applicability predicate over [`FileClass`](crate::classify::FileClass).
+//! Each lint is a pattern over [`Token`]s plus an
+//! applicability predicate over [`FileClass`].
 //! Code inside `#[cfg(test)]` modules and `#[test]` functions is exempt
 //! from every lint (the invariants protect *shipped* probability code, not
 //! assertions about it).

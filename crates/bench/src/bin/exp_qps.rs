@@ -1,0 +1,162 @@
+//! Query serving throughput over the prepared-plan layer (Car domain).
+//!
+//! The paper's setting is a serving one: setup happens once, then the
+//! system answers a stream of queries. This experiment measures that
+//! steady state — plans warm in the cache, execution fanned across 1..=8
+//! threads — as queries/sec over the standard workload on the 817-source
+//! Car corpus, and verifies the serving layer's two invariants along the
+//! way:
+//!
+//! * **byte identity** — at every thread count, warm-plan answers carry
+//!   exactly the same values and probability bit patterns as the
+//!   sequential cold-cache baseline;
+//! * **scaling** — 4 threads deliver ≥ 2.5× the single-thread throughput
+//!   (asserted in full mode on machines with ≥ 4 cores).
+//!
+//! `--smoke` runs a small corpus at 1–2 threads with no scaling assertion
+//! — the CI configuration, proving the binary and the identity check work
+//! without paying for the full corpus.
+
+use std::time::{Duration, Instant};
+
+use udi_bench::{banner, seed, sources_for, BenchObs};
+use udi_core::{UdiConfig, UdiSystem};
+use udi_datagen::{generate, Domain, GenConfig};
+use udi_eval::generate_workload;
+use udi_query::AnswerSet;
+
+/// Exact fingerprint of an answer set: source id, rendered values, raw
+/// probability bits.
+fn bits(set: &AnswerSet) -> Vec<(u32, String, u64)> {
+    set.by_source()
+        .iter()
+        .flat_map(|(sid, ts)| {
+            ts.iter()
+                .map(|t| (sid.0, format!("{:?}", t.values), t.probability.to_bits()))
+        })
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(if smoke {
+        "Query serving throughput — smoke mode"
+    } else {
+        "Query serving throughput at 1..=8 threads (Car domain)"
+    });
+    let obs = BenchObs::from_args();
+
+    let n = if smoke { 40 } else { sources_for(Domain::Car) };
+    let gen = generate(
+        Domain::Car,
+        &GenConfig {
+            n_sources: Some(n),
+            seed: seed(),
+            ..GenConfig::default()
+        },
+    );
+    println!("corpus: {n} Car sources; setting up once…");
+    let t0 = Instant::now();
+    let mut udi = match obs.sink() {
+        Some(sink) => UdiSystem::setup_observed(gen.catalog.clone(), UdiConfig::default(), sink),
+        None => UdiSystem::setup(gen.catalog.clone(), UdiConfig::default()),
+    }
+    .expect("setup");
+    println!("setup in {:.1?}", t0.elapsed());
+
+    let queries = generate_workload(&gen, 10, seed().wrapping_add(1));
+
+    // Sequential cold-cache baseline: the first pass compiles every plan
+    // (misses), and its answers are the reference bit patterns every other
+    // configuration must reproduce.
+    udi.set_threads(1);
+    let baseline: Vec<Vec<(u32, String, u64)>> =
+        queries.iter().map(|q| bits(&udi.answer(q))).collect();
+    println!(
+        "plans compiled: {} cached, {} answers on the workload",
+        udi.plan_cache_len(),
+        baseline.iter().map(Vec::len).sum::<usize>()
+    );
+    println!();
+
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let min_measure = if smoke {
+        Duration::from_millis(200)
+    } else {
+        Duration::from_secs(2)
+    };
+
+    println!(
+        "{:>8} {:>8} {:>12} {:>9} {:>10}",
+        "threads", "passes", "queries/s", "speedup", "answers"
+    );
+    let mut qps_at: Vec<(usize, f64)> = Vec::new();
+    for &threads in thread_counts {
+        udi.set_threads(threads);
+        // Warm pass doubling as the identity check.
+        let mut identical = true;
+        for (q, expect) in queries.iter().zip(&baseline) {
+            if &bits(&udi.answer(q)) != expect {
+                identical = false;
+            }
+        }
+        // Timed passes over the warm cache.
+        let t0 = Instant::now();
+        let mut executed = 0u64;
+        let mut passes = 0u64;
+        while t0.elapsed() < min_measure || passes < 2 {
+            for q in &queries {
+                std::hint::black_box(udi.answer(q));
+                executed += 1;
+            }
+            passes += 1;
+        }
+        let qps = executed as f64 / t0.elapsed().as_secs_f64();
+        let speedup = qps / qps_at.first().map(|&(_, q)| q).unwrap_or(qps);
+        println!(
+            "{:>8} {:>8} {:>12.1} {:>8.2}x {:>10}",
+            threads,
+            passes,
+            qps,
+            speedup,
+            if identical { "identical" } else { "DIFFER" }
+        );
+        assert!(
+            identical,
+            "answers at {threads} threads diverged from the sequential baseline"
+        );
+        qps_at.push((threads, qps));
+    }
+
+    println!();
+    if smoke {
+        println!("Smoke mode: scaling not asserted (corpus too small to amortize).");
+    } else {
+        let base = qps_at[0].1;
+        let at4 = qps_at
+            .iter()
+            .find(|&&(t, _)| t == 4)
+            .map(|&(_, q)| q)
+            .unwrap_or(base);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        println!(
+            "Headline: {:.2}x throughput at 4 threads vs 1 ({:.1} → {:.1} q/s), \
+             answers byte-identical at every thread count.",
+            at4 / base,
+            base,
+            at4
+        );
+        if cores >= 4 {
+            assert!(
+                at4 / base >= 2.5,
+                "expected >=2.5x at 4 threads, got {:.2}x",
+                at4 / base
+            );
+        } else {
+            println!("(scaling assertion skipped: only {cores} cores available)");
+        }
+    }
+    obs.finish();
+}

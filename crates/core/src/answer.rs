@@ -1,12 +1,20 @@
 //! Query answering: by-table semantics over the consolidated schema and —
 //! for Theorem 6.2 — directly over the p-med-schema (Definition 3.3).
+//!
+//! Every path now answers through the prepared-query layer
+//! ([`crate::prepared`]): the per-source signature pooling is compiled
+//! once into a [`PreparedQuery`], cached keyed by `(path, query text)`,
+//! and invalidated by the engine generation; execution fans sources across
+//! `config.threads` workers and merges in catalog order, so answers are
+//! byte-identical to the historical sequential path.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use udi_query::{execute_with_binding, AnswerSet, Binding, Query, SourceAccumulator};
 use udi_schema::{AttrId, Mapping, MediatedSchema};
-use udi_store::Table;
 
+use crate::prepared::{fan_out, PlanPath, PreparedQuery, QueryPlan, SourceBindings};
 use crate::system::UdiSystem;
 
 impl UdiSystem {
@@ -15,29 +23,38 @@ impl UdiSystem {
     /// be any source attribute covered by the mediated schema; a query
     /// referencing an unknown or unclustered (infrequent) attribute yields
     /// no answers from this path.
+    ///
+    /// The compiled plan is cached (see [`UdiSystem::prepare`]); repeated
+    /// calls with the same query skip straight to execution.
     pub fn answer(&self, query: &Query) -> AnswerSet {
         let mut span = self.engine().recorder().span("query.answer");
         span.field("path", "consolidated");
-        let Some(clusters) = self.resolve_clusters(query, self.consolidated()) else {
+        let attrs = query.referenced_attributes();
+        let prepared = self.plan_for(PlanPath::Consolidated, &query.to_string(), || {
+            self.compile_consolidated(&attrs)
+        });
+        let Some(plan) = prepared.plan() else {
             return AnswerSet::new();
         };
-        let mut set = AnswerSet::new();
-        let (mut scanned, mut produced) = (0u64, 0u64);
-        for (sid, table) in self.catalog().iter_sources() {
-            let pm = self.consolidated_pmapping(sid.0 as usize);
-            let mut pooled: BTreeMap<Vec<Option<AttrId>>, f64> = BTreeMap::new();
-            for (m, p) in pm.mappings() {
-                let sig = binding_signature(m, &clusters);
-                *pooled.entry(sig).or_insert(0.0) += p;
-            }
-            let (tuples, s) = run_pooled(table, query, &pooled, self);
-            scanned += s;
-            produced += tuples.len() as u64;
-            set.add_source(sid, tuples);
-        }
+        let (set, scanned, produced) = execute_select(self, plan, query, span.id());
         span.count("query.tuples.scanned", scanned);
         span.count("query.answers.produced", produced);
         set
+    }
+
+    /// Compile `query` for the production (consolidated) path and return
+    /// the cached plan handle. `answer` and friends do this implicitly; an
+    /// explicit `prepare` lets a serving loop warm the cache up front and
+    /// inspect whether the query is answerable at all.
+    ///
+    /// The plan is valid for the engine generation it was compiled under;
+    /// after any mutation (`add_source`, `remove_source`, `apply_feedback`)
+    /// the next answer recompiles automatically.
+    pub fn prepare(&self, query: &Query) -> Arc<PreparedQuery> {
+        let attrs = query.referenced_attributes();
+        self.plan_for(PlanPath::Consolidated, &query.to_string(), || {
+            self.compile_consolidated(&attrs)
+        })
     }
 
     /// Answer `query` directly against the p-med-schema (Definition 3.3):
@@ -47,35 +64,14 @@ impl UdiSystem {
     pub fn answer_with_pmed(&self, query: &Query) -> AnswerSet {
         let mut span = self.engine().recorder().span("query.answer");
         span.field("path", "pmed");
-        let mut set = AnswerSet::new();
-        // Resolve clusters per possible schema; a schema that cannot
-        // resolve the query contributes nothing.
-        let resolved: Vec<Option<Vec<(String, usize)>>> = self
-            .pmed()
-            .schemas()
-            .iter()
-            .map(|(m, _)| self.resolve_clusters(query, m))
-            .collect();
-        if resolved.iter().all(Option::is_none) {
+        let attrs = query.referenced_attributes();
+        let prepared = self.plan_for(PlanPath::Pmed, &query.to_string(), || {
+            self.compile_pmed(&attrs)
+        });
+        let Some(plan) = prepared.plan() else {
             return AnswerSet::new();
-        }
-        let (mut scanned, mut produced) = (0u64, 0u64);
-        for (sid, table) in self.catalog().iter_sources() {
-            let mut pooled: BTreeMap<Vec<Option<AttrId>>, f64> = BTreeMap::new();
-            for (i, (_, p_schema)) in self.pmed().schemas().iter().enumerate() {
-                let Some(clusters) = &resolved[i] else {
-                    continue;
-                };
-                for (m, p) in self.pmapping(sid.0 as usize, i).mappings() {
-                    let sig = binding_signature(m, clusters);
-                    *pooled.entry(sig).or_insert(0.0) += p * p_schema;
-                }
-            }
-            let (tuples, s) = run_pooled(table, query, &pooled, self);
-            scanned += s;
-            produced += tuples.len() as u64;
-            set.add_source(sid, tuples);
-        }
+        };
+        let (set, scanned, produced) = execute_select(self, plan, query, span.id());
         span.count("query.tuples.scanned", scanned);
         span.count("query.answers.produced", produced);
         set
@@ -90,21 +86,14 @@ impl UdiSystem {
     pub fn answer_top_mapping(&self, query: &Query) -> AnswerSet {
         let mut span = self.engine().recorder().span("query.answer");
         span.field("path", "top-mapping");
-        let Some(clusters) = self.resolve_clusters(query, self.consolidated()) else {
+        let attrs = query.referenced_attributes();
+        let prepared = self.plan_for(PlanPath::TopMapping, &query.to_string(), || {
+            self.compile_top_mapping(&attrs)
+        });
+        let Some(plan) = prepared.plan() else {
             return AnswerSet::new();
         };
-        let mut set = AnswerSet::new();
-        let (mut scanned, mut produced) = (0u64, 0u64);
-        for (sid, table) in self.catalog().iter_sources() {
-            let pm = self.consolidated_pmapping(sid.0 as usize);
-            let top = pm.top_mapping();
-            let mut pooled: BTreeMap<Vec<Option<AttrId>>, f64> = BTreeMap::new();
-            pooled.insert(binding_signature(top, &clusters), 1.0);
-            let (tuples, s) = run_pooled(table, query, &pooled, self);
-            scanned += s;
-            produced += tuples.len() as u64;
-            set.add_source(sid, tuples);
-        }
+        let (set, scanned, produced) = execute_select(self, plan, query, span.id());
         span.count("query.tuples.scanned", scanned);
         span.count("query.answers.produced", produced);
         set
@@ -127,19 +116,16 @@ impl UdiSystem {
     pub fn answer_by_tuple(&self, query: &Query) -> AnswerSet {
         let mut span = self.engine().recorder().span("query.answer");
         span.field("path", "by-tuple");
-        let Some(clusters) = self.resolve_clusters(query, self.consolidated()) else {
+        let attrs = query.referenced_attributes();
+        // Same pooling as the consolidated path — only execution differs —
+        // so the plan is shared with `answer` (same cache key).
+        let prepared = self.plan_for(PlanPath::Consolidated, &query.to_string(), || {
+            self.compile_consolidated(&attrs)
+        });
+        let Some(plan) = prepared.plan() else {
             return AnswerSet::new();
         };
-        let attrs = query.referenced_attributes();
-        let mut set = AnswerSet::new();
-        let (mut scanned, mut produced) = (0u64, 0u64);
-        for (sid, table) in self.catalog().iter_sources() {
-            let pm = self.consolidated_pmapping(sid.0 as usize);
-            let mut pooled: BTreeMap<Vec<Option<AttrId>>, f64> = BTreeMap::new();
-            for (m, p) in pm.mappings() {
-                let sig = binding_signature(m, &clusters);
-                *pooled.entry(sig).or_insert(0.0) += p;
-            }
+        let (set, scanned, produced) = fan_out(self, plan, span.id(), |table, bindings| {
             // Per (row, tuple): total probability of mappings producing it.
             // `Row` has no `Ord`, so this stays a hash map; emission order
             // is governed by the insertion-order `order` vec, never by map
@@ -147,22 +133,15 @@ impl UdiSystem {
             // udi-audit: allow(deterministic-iteration, "keyed by Row (no Ord); read by key only, ordered via the `order` vec")
             let mut per_row: HashMap<(usize, udi_store::Row), f64> = HashMap::new();
             let mut order: Vec<(usize, udi_store::Row)> = Vec::new();
-            for (sig, &p) in &pooled {
-                if p <= 0.0 || sig.iter().any(Option::is_none) {
-                    continue;
-                }
-                let mut binding = Binding::new();
-                for (a, id) in attrs.iter().zip(sig.iter()) {
-                    let Some(id) = *id else { continue };
-                    binding.bind(*a, self.schema_set().vocab().name(id));
-                }
+            let mut scanned = 0u64;
+            for (binding, p) in bindings {
                 scanned += table.row_count() as u64;
-                for (ri, tuple) in udi_query::execute_with_binding_indexed(table, query, &binding) {
+                for (ri, tuple) in udi_query::execute_with_binding_indexed(table, query, binding) {
                     let key = (ri, tuple);
                     match per_row.get_mut(&key) {
                         Some(q) => *q += p,
                         None => {
-                            per_row.insert(key.clone(), p);
+                            per_row.insert(key.clone(), *p);
                             order.push(key);
                         }
                     }
@@ -192,9 +171,8 @@ impl UdiSystem {
                     }
                 })
                 .collect();
-            produced += tuples.len() as u64;
-            set.add_source(sid, tuples);
-        }
+            (tuples, scanned)
+        });
         span.count("query.tuples.scanned", scanned);
         span.count("query.answers.produced", produced);
         set
@@ -211,49 +189,26 @@ impl UdiSystem {
     pub fn answer_aggregate(&self, query: &udi_query::AggregateQuery) -> AnswerSet {
         let mut span = self.engine().recorder().span("query.answer");
         span.field("path", "aggregate");
-        let referenced: Vec<String> = query
-            .referenced_attributes()
-            .into_iter()
-            .map(str::to_owned)
-            .collect();
-        let clusters: Option<Vec<(String, usize)>> = referenced
-            .iter()
-            .map(|a| {
-                let id = self.schema_set().vocab().id_of(a)?;
-                let cluster = self.consolidated().cluster_of(id)?;
-                Some((a.clone(), cluster))
-            })
-            .collect();
-        let Some(clusters) = clusters else {
+        let attrs = query.referenced_attributes();
+        // Aggregates pool exactly like the consolidated select path; the
+        // rendered aggregate text (with COUNT/GROUP BY) keys the plan, so
+        // it cannot collide with a select over the same attributes.
+        let prepared = self.plan_for(PlanPath::Consolidated, &query.to_string(), || {
+            self.compile_consolidated(&attrs)
+        });
+        let Some(plan) = prepared.plan() else {
             return AnswerSet::new();
         };
-        let mut set = AnswerSet::new();
-        let (mut scanned, mut produced) = (0u64, 0u64);
-        for (sid, table) in self.catalog().iter_sources() {
-            let pm = self.consolidated_pmapping(sid.0 as usize);
-            let mut pooled: BTreeMap<Vec<Option<AttrId>>, f64> = BTreeMap::new();
-            for (m, p) in pm.mappings() {
-                let sig = binding_signature(m, &clusters);
-                *pooled.entry(sig).or_insert(0.0) += p;
-            }
+        let (set, scanned, produced) = fan_out(self, plan, span.id(), |table, bindings| {
             let mut acc = SourceAccumulator::new();
-            for (sig, &p) in &pooled {
-                if p <= 0.0 || sig.iter().any(Option::is_none) {
-                    continue;
-                }
-                let mut binding = Binding::new();
-                for (a, id) in referenced.iter().zip(sig.iter()) {
-                    let Some(id) = *id else { continue };
-                    binding.bind(a.clone(), self.schema_set().vocab().name(id));
-                }
+            let mut scanned = 0u64;
+            for (binding, p) in bindings {
                 scanned += table.row_count() as u64;
-                let rows = udi_query::execute_aggregate_with_binding(table, query, &binding);
-                acc.add_mapping(&rows, p);
+                let rows = udi_query::execute_aggregate_with_binding(table, query, binding);
+                acc.add_mapping(&rows, *p);
             }
-            let tuples = acc.finish();
-            produced += tuples.len() as u64;
-            set.add_source(sid, tuples);
-        }
+            (acc.finish(), scanned)
+        });
         span.count("query.tuples.scanned", scanned);
         span.count("query.answers.produced", produced);
         set
@@ -338,16 +293,157 @@ impl UdiSystem {
         query: &Query,
         med: &MediatedSchema,
     ) -> Option<Vec<(String, usize)>> {
-        query
-            .referenced_attributes()
-            .into_iter()
+        self.resolve_attr_clusters(&query.referenced_attributes(), med)
+    }
+
+    /// [`resolve_clusters`](UdiSystem::resolve_clusters) over a bare
+    /// attribute list — shared by select and aggregate compilation.
+    fn resolve_attr_clusters(
+        &self,
+        attrs: &[&str],
+        med: &MediatedSchema,
+    ) -> Option<Vec<(String, usize)>> {
+        attrs
+            .iter()
             .map(|a| {
                 let id = self.schema_set().vocab().id_of(a)?;
                 let cluster = med.cluster_of(id)?;
-                Some((a.to_owned(), cluster))
+                Some(((*a).to_owned(), cluster))
             })
             .collect()
     }
+
+    /// Cache lookup for `(path, text)` at the engine's current generation,
+    /// compiling on miss. All answer paths funnel through here.
+    fn plan_for(
+        &self,
+        path: PlanPath,
+        text: &str,
+        compile: impl FnOnce() -> Option<QueryPlan>,
+    ) -> Arc<PreparedQuery> {
+        self.plans().get_or_compile(
+            path,
+            text,
+            self.engine().generation(),
+            self.engine().recorder(),
+            compile,
+        )
+    }
+
+    /// Lower one source's pooled signature map into execution-ready
+    /// bindings: drop zero-mass and incomplete signatures, resolve ids to
+    /// source attribute names. Iterates the `BTreeMap` in key order, so the
+    /// binding list preserves exactly the order the sequential path used.
+    fn pooled_to_bindings(
+        &self,
+        attrs: &[&str],
+        pooled: BTreeMap<Vec<Option<AttrId>>, f64>,
+    ) -> SourceBindings {
+        let mut out = Vec::with_capacity(pooled.len());
+        for (sig, p) in pooled {
+            if p <= 0.0 || sig.iter().any(Option::is_none) {
+                continue;
+            }
+            let mut binding = Binding::new();
+            for (a, id) in attrs.iter().zip(sig.iter()) {
+                let Some(id) = *id else { continue };
+                binding.bind(*a, self.schema_set().vocab().name(id));
+            }
+            out.push((binding, p));
+        }
+        out
+    }
+
+    /// Compile for the consolidated path: one pooled signature map per
+    /// source from its consolidated p-mapping.
+    fn compile_consolidated(&self, attrs: &[&str]) -> Option<QueryPlan> {
+        let clusters = self.resolve_attr_clusters(attrs, self.consolidated())?;
+        let per_source = self
+            .catalog()
+            .iter_sources()
+            .map(|(sid, _)| {
+                let pm = self.consolidated_pmapping(sid.0 as usize);
+                let mut pooled: BTreeMap<Vec<Option<AttrId>>, f64> = BTreeMap::new();
+                for (m, p) in pm.mappings() {
+                    *pooled.entry(binding_signature(m, &clusters)).or_insert(0.0) += p;
+                }
+                self.pooled_to_bindings(attrs, pooled)
+            })
+            .collect();
+        Some(QueryPlan { per_source })
+    }
+
+    /// Compile for the p-med-schema path: pool across every possible
+    /// schema, weighting each mapping by its schema's probability. A schema
+    /// that cannot resolve the query contributes nothing; if none can, the
+    /// query is unanswerable.
+    fn compile_pmed(&self, attrs: &[&str]) -> Option<QueryPlan> {
+        let resolved: Vec<Option<Vec<(String, usize)>>> = self
+            .pmed()
+            .schemas()
+            .iter()
+            .map(|(m, _)| self.resolve_attr_clusters(attrs, m))
+            .collect();
+        if resolved.iter().all(Option::is_none) {
+            return None;
+        }
+        let per_source = self
+            .catalog()
+            .iter_sources()
+            .map(|(sid, _)| {
+                let mut pooled: BTreeMap<Vec<Option<AttrId>>, f64> = BTreeMap::new();
+                for (i, (_, p_schema)) in self.pmed().schemas().iter().enumerate() {
+                    let Some(clusters) = &resolved[i] else {
+                        continue;
+                    };
+                    for (m, p) in self.pmapping(sid.0 as usize, i).mappings() {
+                        *pooled.entry(binding_signature(m, clusters)).or_insert(0.0) +=
+                            p * p_schema;
+                    }
+                }
+                self.pooled_to_bindings(attrs, pooled)
+            })
+            .collect();
+        Some(QueryPlan { per_source })
+    }
+
+    /// Compile for the top-mapping baseline: each source's single most
+    /// probable mapping, taken as certain.
+    fn compile_top_mapping(&self, attrs: &[&str]) -> Option<QueryPlan> {
+        let clusters = self.resolve_attr_clusters(attrs, self.consolidated())?;
+        let per_source = self
+            .catalog()
+            .iter_sources()
+            .map(|(sid, _)| {
+                let pm = self.consolidated_pmapping(sid.0 as usize);
+                let mut pooled: BTreeMap<Vec<Option<AttrId>>, f64> = BTreeMap::new();
+                pooled.insert(binding_signature(pm.top_mapping(), &clusters), 1.0);
+                self.pooled_to_bindings(attrs, pooled)
+            })
+            .collect();
+        Some(QueryPlan { per_source })
+    }
+}
+
+/// Execute a select plan: per source, run the query once per pooled
+/// binding and accumulate by-table probabilities — fanned out across the
+/// configured thread count by [`fan_out`].
+fn execute_select(
+    sys: &UdiSystem,
+    plan: &QueryPlan,
+    query: &Query,
+    parent: u64,
+) -> (AnswerSet, u64, u64) {
+    fan_out(sys, plan, parent, |table, bindings| {
+        let mut acc = SourceAccumulator::new();
+        let mut scanned = 0u64;
+        for (binding, p) in bindings {
+            scanned += table.row_count() as u64;
+            let rows = execute_with_binding(table, query, binding);
+            acc.add_mapping(&rows, *p);
+        }
+        (acc.finish(), scanned)
+    })
 }
 
 /// How one source would answer a query (see [`UdiSystem::explain`]).
@@ -419,36 +515,6 @@ impl std::fmt::Display for Explanation {
 /// query), which keeps answering fast even when p-mappings are large.
 fn binding_signature(m: &Mapping, clusters: &[(String, usize)]) -> Vec<Option<AttrId>> {
     clusters.iter().map(|&(_, j)| m.source_of(j)).collect()
-}
-
-/// Execute the query once per distinct (complete) binding signature and
-/// accumulate by-table probabilities. Returns the answer tuples plus the
-/// number of source tuples scanned (the executor reads the whole table per
-/// distinct binding).
-fn run_pooled(
-    table: &Table,
-    query: &Query,
-    pooled: &BTreeMap<Vec<Option<AttrId>>, f64>,
-    sys: &UdiSystem,
-) -> (Vec<udi_query::AnswerTuple>, u64) {
-    let attrs = query.referenced_attributes();
-    let mut acc = SourceAccumulator::new();
-    let mut scanned = 0u64;
-    // The map is ordered, so iteration is already deterministic.
-    for (sig, &p) in pooled {
-        if p <= 0.0 || sig.iter().any(Option::is_none) {
-            continue;
-        }
-        let mut binding = Binding::new();
-        for (a, id) in attrs.iter().zip(sig.iter()) {
-            let Some(id) = *id else { continue };
-            binding.bind(*a, sys.schema_set().vocab().name(id));
-        }
-        scanned += table.row_count() as u64;
-        let rows = execute_with_binding(table, query, &binding);
-        acc.add_mapping(&rows, p);
-    }
-    (acc.finish(), scanned)
 }
 
 #[cfg(test)]

@@ -121,6 +121,16 @@ pub struct SetupEngine {
     /// Always enabled: it feeds at least `stats`, plus whatever sink
     /// [`set_sink`](SetupEngine::set_sink) installs.
     recorder: Recorder,
+    /// Whether a user trace sink is installed (see
+    /// [`set_sink`](SetupEngine::set_sink)) — gates per-source query spans,
+    /// which are worth recording in a trace but too chatty for the
+    /// always-on counter aggregate.
+    user_sink: bool,
+    /// Monotonic artifact generation: bumped by every mutation entry point
+    /// and every successful refresh. Prepared query plans are compiled
+    /// against one generation and silently recompiled when it moves — this
+    /// is the plan-cache invalidation rule (see `crate::prepared`).
+    generation: u64,
 }
 
 impl SetupEngine {
@@ -153,6 +163,8 @@ impl SetupEngine {
             report: SetupReport::default(),
             stats,
             recorder,
+            user_sink: false,
+            generation: 0,
         }
     }
 
@@ -161,11 +173,30 @@ impl SetupEngine {
     /// then fans out to `sink` in addition to the internal counter
     /// aggregate; pass `None` to go back to counters only.
     pub fn set_sink(&mut self, sink: Option<Arc<dyn Sink>>) {
+        self.user_sink = sink.is_some();
         self.recorder = match sink {
             Some(user) => Recorder::new(Arc::new(FanoutSink::new(vec![user, self.stats.clone()]))),
             None => Recorder::new(self.stats.clone()),
         };
         self.solve_cache.set_recorder(self.recorder.clone());
+    }
+
+    /// Whether a user trace sink is currently installed. Query execution
+    /// emits per-source spans only when tracing — they are diagnostic
+    /// detail, not serving-path metrics.
+    pub fn trace_enabled(&self) -> bool {
+        self.user_sink
+    }
+
+    /// The current artifact generation. Moves on every mutation
+    /// ([`add_source`](SetupEngine::add_source),
+    /// [`remove_source`](SetupEngine::remove_source),
+    /// [`apply_feedback`](SetupEngine::apply_feedback)) and every
+    /// successful [`refresh`](SetupEngine::refresh); anything derived from
+    /// the query-facing artifacts (prepared plans, external caches) is
+    /// stale once the generation it was built under differs from this.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The engine's telemetry recorder. Query answering records its spans
@@ -246,6 +277,7 @@ impl SetupEngine {
             .add_source(table.name(), table.attributes().iter().map(String::as_str));
         self.catalog.add_source(table);
         self.rows.push(None);
+        self.generation += 1;
     }
 
     /// Drop the source named `name`. Vocabulary ids stay stable (orphaned
@@ -263,6 +295,7 @@ impl SetupEngine {
             ))?;
         self.schema_set.remove_source(name);
         self.rows.remove(idx);
+        self.generation += 1;
         Ok(table)
     }
 
@@ -294,6 +327,7 @@ impl SetupEngine {
         // signature comparison in the next refresh sees the post-feedback
         // world.
         apply_feedback_overrides(&self.feedback, &self.schema_set, &mut self.sim_cache);
+        self.generation += 1;
     }
 
     /// Recompute every invalidated stage artifact under `measure`,
@@ -571,6 +605,7 @@ impl SetupEngine {
         self.rows = new_rows.into_iter().map(Some).collect();
         self.consolidated = Some(consolidated);
         self.cons_rows = cons_rows;
+        self.generation += 1;
         Ok(())
     }
 
@@ -582,6 +617,15 @@ impl SetupEngine {
     /// The setup configuration.
     pub fn config(&self) -> &UdiConfig {
         &self.config
+    }
+
+    /// Change the worker-thread count for subsequent setup refreshes *and*
+    /// parallel query execution. Purely a wall-clock knob: results are
+    /// identical at any value (stage 3 and query fan-out both process
+    /// sources deterministically and merge in catalog order), so prepared
+    /// plans stay valid.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads.max(1);
     }
 
     /// Accumulated feedback.

@@ -48,6 +48,7 @@ pub mod engine;
 pub mod feedback;
 pub mod persist;
 pub mod pipeline;
+pub mod prepared;
 pub mod system;
 
 pub use answer::{BindingExplanation, Explanation, SourceExplanation};
@@ -55,6 +56,7 @@ pub use engine::SetupEngine;
 pub use feedback::{suggest_questions, Feedback, FeedbackMeasure, Question};
 pub use persist::PersistError;
 pub use pipeline::{CacheStats, MeasureKind, SetupReport, SetupTimings, UdiConfig};
+pub use prepared::{PlanPath, PreparedQuery};
 pub use system::UdiSystem;
 
 /// Errors surfaced by system setup or query answering.

@@ -1,0 +1,263 @@
+//! The prepared-query serving layer: compile once, execute many times, in
+//! parallel.
+//!
+//! Every answer path used to redo the same per-query work on every call:
+//! resolve the referenced attributes to mediated clusters, then — per
+//! source — pool the p-mapping's mappings into distinct binding signatures
+//! (`BTreeMap<Vec<Option<AttrId>>, f64>`). For a serving workload that
+//! repeats queries over hundreds of sources, that preparation dominates and
+//! is identical call after call. This module splits it out:
+//!
+//! * [`PreparedQuery`] — a query compiled against the current stage
+//!   artifacts into execution-ready per-source bindings. Compilation
+//!   filters incomplete signatures and zero-mass bindings up front and
+//!   resolves attribute ids to source attribute names, so execution touches
+//!   only tables and probabilities.
+//! * `PlanCache` (crate-private) — an interior-mutable map `(path, query text) → plan`,
+//!   consulted transparently by every `UdiSystem::answer*` call. A plan
+//!   carries the engine [`generation`](crate::SetupEngine::generation) it
+//!   was compiled under; any mutation (`add_source`, `remove_source`,
+//!   `apply_feedback`) or refresh moves the generation, so stale plans are
+//!   recompiled on next use — the cache can never serve answers computed
+//!   from replaced artifacts. Lookups emit `query.plan.hit` /
+//!   `query.plan.miss` counters.
+//! * `fan_out` (crate-private) — the parallel executor: sources spread across a scoped
+//!   thread pool (`config.threads`, the same convention as setup stage 3)
+//!   and the per-source answer vectors merged back **in catalog order**, so
+//!   results are byte-identical to the sequential path at any thread count.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use udi_query::{AnswerSet, AnswerTuple, Binding};
+use udi_store::{SourceId, Table};
+
+use crate::system::UdiSystem;
+
+/// Upper bound on cached plans. Small: a serving workload repeats a modest
+/// set of query shapes, and one plan is a few bindings per source. When the
+/// cache is full, the smallest keys are evicted first (deterministic, no
+/// clock involved).
+const PLAN_CACHE_CAP: usize = 256;
+
+/// Which answer path a plan was compiled for. Part of the cache key: the
+/// same query text pools probability mass differently per path (the
+/// consolidated p-mapping, the per-schema p-mappings weighted by schema
+/// probability, or the top mapping alone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PlanPath {
+    /// Consolidated mediated schema + consolidated p-mappings — the
+    /// production path, shared by `answer`, `answer_by_tuple`, and
+    /// `answer_aggregate` (identical pooling, different execution).
+    Consolidated,
+    /// Directly against the p-med-schema (Definition 3.3), per possible
+    /// schema weighted by its probability.
+    Pmed,
+    /// Only each source's single most probable mapping, taken as certain.
+    TopMapping,
+}
+
+/// One source's execution-ready compiled form: every complete, positive-
+/// mass binding the pooled p-mapping induces, in deterministic signature
+/// order, with attribute ids already resolved to source attribute names.
+pub(crate) type SourceBindings = Vec<(Binding, f64)>;
+
+/// The compiled body of a [`PreparedQuery`]: per-source bindings, indexed
+/// by catalog position (= `SourceId.0`).
+#[derive(Debug)]
+pub(crate) struct QueryPlan {
+    /// `per_source[i]` holds source `i`'s pooled bindings.
+    pub(crate) per_source: Vec<SourceBindings>,
+}
+
+/// A query compiled against one generation of the engine's stage
+/// artifacts. Obtained from [`UdiSystem::prepare`] (or transparently via
+/// the plan cache inside every `answer*` call).
+#[derive(Debug)]
+pub struct PreparedQuery {
+    /// Engine generation the plan was compiled under.
+    generation: u64,
+    /// `None` when some referenced attribute is unknown or unclustered —
+    /// the query yields no answers until the artifacts change.
+    plan: Option<QueryPlan>,
+}
+
+impl PreparedQuery {
+    /// The engine [`generation`](crate::SetupEngine::generation) this plan
+    /// was compiled under. The plan is current while the engine still
+    /// reports the same generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether the query can produce answers at all under this plan's
+    /// artifacts (every referenced attribute resolved to a mediated
+    /// cluster).
+    pub fn is_answerable(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// Total pooled bindings across all sources — a size diagnostic.
+    pub fn binding_count(&self) -> usize {
+        self.plan
+            .as_ref()
+            .map(|p| p.per_source.iter().map(Vec::len).sum())
+            .unwrap_or(0)
+    }
+
+    pub(crate) fn plan(&self) -> Option<&QueryPlan> {
+        self.plan.as_ref()
+    }
+}
+
+/// Interior-mutable plan cache, owned by [`UdiSystem`] next to the engine.
+///
+/// Keys are `(path, rendered query text)`; values carry their compile-time
+/// generation and are treated as misses once the engine generation moves.
+/// A `BTreeMap` keeps every traversal (stale purge, eviction) in key order
+/// — no iteration-order nondeterminism can reach answers.
+#[derive(Debug, Default)]
+pub(crate) struct PlanCache {
+    inner: Mutex<BTreeMap<(PlanPath, String), Arc<PreparedQuery>>>,
+}
+
+impl PlanCache {
+    /// Fresh, empty cache.
+    pub(crate) fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<(PlanPath, String), Arc<PreparedQuery>>> {
+        // A poisoned lock only means another thread panicked mid-insert;
+        // the map itself is always structurally valid, so recover it
+        // rather than propagate the poison.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Look up the plan for `(path, text)` at `generation`, compiling (and
+    /// caching) it on miss or staleness. Emits one `query.plan.hit` or
+    /// `query.plan.miss` counter per call.
+    pub(crate) fn get_or_compile(
+        &self,
+        path: PlanPath,
+        text: &str,
+        generation: u64,
+        recorder: &udi_obs::Recorder,
+        compile: impl FnOnce() -> Option<QueryPlan>,
+    ) -> Arc<PreparedQuery> {
+        let key = (path, text.to_owned());
+        if let Some(hit) = self.lock().get(&key).cloned() {
+            if hit.generation == generation {
+                recorder.count("query.plan.hit", 1);
+                return hit;
+            }
+        }
+        recorder.count("query.plan.miss", 1);
+        // Compile outside the lock: a long compile must not stall other
+        // queries' warm lookups. Two racing compiles of the same key are
+        // benign — both produce the identical plan, last insert wins.
+        let prepared = Arc::new(PreparedQuery {
+            generation,
+            plan: compile(),
+        });
+        let mut cache = self.lock();
+        // Any generation mismatch means every older plan is stale; purge
+        // them all, then bound the live set deterministically.
+        cache.retain(|_, v| v.generation == generation);
+        while cache.len() >= PLAN_CACHE_CAP {
+            cache.pop_first();
+        }
+        cache.insert(key, prepared.clone());
+        prepared
+    }
+
+    /// Cached plans (any generation) — for diagnostics and tests.
+    pub(crate) fn len(&self) -> usize {
+        self.lock().len()
+    }
+}
+
+/// Execute `per_source` over every source in the catalog, fanned out
+/// across `config.threads` scoped workers, and merge the per-source answer
+/// vectors back in catalog order. Returns the merged [`AnswerSet`] plus
+/// the summed `(tuples scanned, answers produced)` counters.
+///
+/// Parallelism is invisible in the output: sources are independent, each
+/// worker owns a contiguous chunk, and the merge re-concatenates chunks in
+/// order — byte-identical to running sequentially. When a user trace sink
+/// is installed, each source gets a `query.source` span parented on
+/// `parent` (cross-thread, the same pattern as setup's per-row spans);
+/// without a sink those spans are skipped to keep the hot path free of
+/// per-source sink traffic.
+pub(crate) fn fan_out<F>(
+    sys: &UdiSystem,
+    plan: &QueryPlan,
+    parent: u64,
+    per_source: F,
+) -> (AnswerSet, u64, u64)
+where
+    F: Fn(&Table, &[(Binding, f64)]) -> (Vec<AnswerTuple>, u64) + Sync,
+{
+    let sources: Vec<(SourceId, &Table)> = sys.catalog().iter_sources().collect();
+    let n = sources.len();
+    let threads = sys.engine().config().threads;
+    let trace = sys.engine().trace_enabled();
+    let recorder = sys.engine().recorder();
+
+    let run_one = |(sid, table): (SourceId, &Table)| -> (SourceId, Vec<AnswerTuple>, u64) {
+        let idx = sid.0 as usize;
+        let bindings = plan.per_source[idx].as_slice();
+        if trace {
+            let mut span = recorder.span_with_parent("query.source", parent);
+            span.field("source", idx);
+            let (tuples, scanned) = per_source(table, bindings);
+            span.field("tuples_scanned", scanned);
+            span.field("answers", tuples.len());
+            (sid, tuples, scanned)
+        } else {
+            let (tuples, scanned) = per_source(table, bindings);
+            (sid, tuples, scanned)
+        }
+    };
+
+    let results: Vec<(SourceId, Vec<AnswerTuple>, u64)> = if threads <= 1 || n < 2 {
+        sources.into_iter().map(run_one).collect()
+    } else {
+        let n_workers = threads.min(n);
+        let chunk = n.div_ceil(n_workers);
+        let mut work = sources;
+        let mut parts: Vec<Vec<(SourceId, &Table)>> = Vec::new();
+        while !work.is_empty() {
+            let take = chunk.min(work.len());
+            parts.push(work.drain(..take).collect());
+        }
+        let chunks: Vec<Vec<(SourceId, Vec<AnswerTuple>, u64)>> = std::thread::scope(|scope| {
+            let run_one = &run_one;
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|part| scope.spawn(move || part.into_iter().map(run_one).collect()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    // Per-source execution is panic-free; a worker panic
+                    // can only be a bug surfacing inside the closure, and
+                    // swallowing it would corrupt answers. Forward the
+                    // original payload unchanged.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        chunks.into_iter().flatten().collect()
+    };
+
+    let mut set = AnswerSet::new();
+    let (mut scanned, mut produced) = (0u64, 0u64);
+    for (sid, tuples, s) in results {
+        scanned += s;
+        produced += tuples.len() as u64;
+        set.add_source(sid, tuples);
+    }
+    (set, scanned, produced)
+}

@@ -16,6 +16,7 @@ use udi_store::{Catalog, Table};
 use crate::engine::SetupEngine;
 use crate::feedback::Feedback;
 use crate::pipeline::{SetupReport, UdiConfig};
+use crate::prepared::PlanCache;
 use crate::UdiError;
 
 /// A fully configured data integration system: sources, probabilistic
@@ -24,6 +25,9 @@ use crate::UdiError;
 #[derive(Debug)]
 pub struct UdiSystem {
     engine: SetupEngine,
+    /// Prepared-query plans, keyed by `(path, query text)` and validated
+    /// against the engine generation — see [`crate::prepared`].
+    plans: PlanCache,
 }
 
 impl UdiSystem {
@@ -52,7 +56,10 @@ impl UdiSystem {
     ) -> Result<UdiSystem, UdiError> {
         let mut engine = SetupEngine::new(catalog, config);
         engine.refresh(measure)?;
-        Ok(UdiSystem { engine })
+        Ok(UdiSystem {
+            engine,
+            plans: PlanCache::new(),
+        })
     }
 
     /// [`setup`](UdiSystem::setup) with a trace sink installed *before* the
@@ -68,7 +75,10 @@ impl UdiSystem {
         let mut engine = SetupEngine::new(catalog, config);
         engine.set_sink(Some(sink));
         engine.refresh(&*measure)?;
-        Ok(UdiSystem { engine })
+        Ok(UdiSystem {
+            engine,
+            plans: PlanCache::new(),
+        })
     }
 
     /// Install (or, with `None`, remove) a trace sink on the underlying
@@ -100,7 +110,10 @@ impl UdiSystem {
         pmappings: Vec<Vec<PMapping>>,
     ) -> Result<UdiSystem, UdiError> {
         let engine = SetupEngine::from_parts(catalog, pmed, pmappings, UdiConfig::default())?;
-        Ok(UdiSystem { engine })
+        Ok(UdiSystem {
+            engine,
+            plans: PlanCache::new(),
+        })
     }
 
     /// Register a new source and re-configure incrementally: only the new
@@ -175,6 +188,25 @@ impl UdiSystem {
     /// The underlying incremental setup engine (read-only).
     pub fn engine(&self) -> &SetupEngine {
         &self.engine
+    }
+
+    /// Set how many worker threads query execution (and setup stage 3) may
+    /// use. `1` forces the sequential path; answers are byte-identical at
+    /// every thread count. Changing the count does not invalidate cached
+    /// plans — only artifact mutations do.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.engine.set_threads(threads);
+    }
+
+    /// The prepared-plan cache (see [`crate::prepared`]).
+    pub(crate) fn plans(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// Number of cached query plans, current or stale — a diagnostic for
+    /// tests and serving dashboards.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plans.len()
     }
 
     /// Install previously accumulated feedback without reconfiguring —

@@ -11,8 +11,9 @@
 //! plots R-P curves on the deduplicated, disjunction-combined list
 //! ([`AnswerSet::combined`]).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
+use udi_schema::float::clamp_prob;
 use udi_store::{Row, SourceId};
 
 /// One answer tuple with its probability.
@@ -48,12 +49,16 @@ impl SourceAccumulator {
         if p <= 0.0 {
             return;
         }
-        let mut seen: Vec<&Row> = Vec::new();
+        // Within-mapping dedup must be O(1) per row: a selective query over
+        // a large source can return thousands of duplicate projections, and
+        // the previous `Vec::contains` scan made this quadratic. The set is
+        // membership-only (never iterated), so hashing is safe; emission
+        // order stays governed by `self.order`.
+        let mut seen: HashSet<&Row> = HashSet::with_capacity(rows.len());
         for row in rows {
-            if seen.contains(&row) {
+            if !seen.insert(row) {
                 continue;
             }
-            seen.push(row);
             match self.probs.get_mut(row) {
                 Some(q) => *q += p,
                 None => {
@@ -64,12 +69,15 @@ impl SourceAccumulator {
         }
     }
 
-    /// Finish: the source's answer tuples in first-seen order.
+    /// Finish: the source's answer tuples in first-seen order. Accumulated
+    /// probabilities are clamped through [`clamp_prob`], which caps
+    /// ulp-level float drift above 1 and (in debug builds) flags genuine
+    /// excess beyond `PROB_EPS` as an upstream distribution bug.
     pub fn finish(self) -> Vec<AnswerTuple> {
         self.order
             .into_iter()
             .map(|values| {
-                let probability = self.probs[&values].min(1.0);
+                let probability = clamp_prob(self.probs[&values]);
                 AnswerTuple {
                     values,
                     probability,
@@ -210,10 +218,41 @@ mod tests {
     #[test]
     fn accumulator_caps_at_one() {
         let mut acc = SourceAccumulator::new();
-        acc.add_mapping(&[row("a")], 0.7);
-        acc.add_mapping(&[row("a")], 0.7); // float drift scenario
+        // Masses from one distribution can sum a few ulps past 1 — the
+        // float-drift scenario clamp_prob exists for.
+        acc.add_mapping(&[row("a")], 0.3);
+        acc.add_mapping(&[row("a")], 0.7000000000000003);
         let ts = acc.finish();
         assert_eq!(ts[0].probability, 1.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "exceeds 1 by more than PROB_EPS")]
+    fn accumulator_flags_distributions_summing_past_one() {
+        // Excess far beyond PROB_EPS is not drift but an upstream bug; the
+        // debug build refuses to paper over it.
+        let mut acc = SourceAccumulator::new();
+        acc.add_mapping(&[row("a")], 0.7);
+        acc.add_mapping(&[row("a")], 0.7);
+        let _ = acc.finish();
+    }
+
+    #[test]
+    fn accumulator_dedup_is_fast_and_order_preserving_on_large_bags() {
+        // 20k rows over 200 distinct values: the old O(n²) Vec::contains
+        // scan made this pathological; the hashed seen-set keeps it linear
+        // while preserving first-seen output order exactly.
+        let rows: Vec<Row> = (0..20_000).map(|i| row(&format!("v{}", i % 200))).collect();
+        let mut acc = SourceAccumulator::new();
+        acc.add_mapping(&rows, 0.5);
+        acc.add_mapping(&rows, 0.25);
+        let ts = acc.finish();
+        assert_eq!(ts.len(), 200);
+        for (i, t) in ts.iter().enumerate() {
+            assert_eq!(t.values, row(&format!("v{i}")), "first-seen order");
+            assert!((t.probability - 0.75).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -36,6 +36,30 @@ pub fn approx_zero(x: f64) -> bool {
     x.abs() <= PROB_EPS
 }
 
+/// Clamp an accumulated probability into `[0, 1]`.
+///
+/// Summing mapping masses (by-table pooling, disjunction accumulators)
+/// legitimately drifts a few ulps past 1; this is the sanctioned cap, so
+/// every accumulator clamps the same way. Excess beyond [`PROB_EPS`] is
+/// *not* rounding noise — it means some upstream distribution summed past
+/// 1, which is a logic error — so it is flagged with a `debug_assert`
+/// while release builds still serve the clamped value.
+///
+/// ```
+/// use udi_schema::float::clamp_prob;
+///
+/// assert_eq!(clamp_prob(0.4), 0.4);
+/// assert_eq!(clamp_prob(1.0 + 1e-12), 1.0);
+/// ```
+pub fn clamp_prob(p: f64) -> f64 {
+    debug_assert!(
+        p <= 1.0 + PROB_EPS,
+        "accumulated probability {p} exceeds 1 by more than PROB_EPS — \
+         an upstream distribution sums past 1"
+    );
+    p.clamp(0.0, 1.0)
+}
+
 /// True when the slice sums to 1 within `n · PROB_EPS` — the normalization
 /// check for a probability distribution, with the tolerance scaled to the
 /// number of additions that produced the sum.
@@ -60,6 +84,22 @@ mod tests {
         assert!(approx_zero(0.0));
         assert!(approx_zero(1e-12));
         assert!(!approx_zero(1e-6));
+    }
+
+    #[test]
+    fn clamp_prob_caps_drift_and_passes_through() {
+        assert_eq!(clamp_prob(0.0), 0.0);
+        assert_eq!(clamp_prob(0.7), 0.7);
+        let drifted = 0.3 + 0.7000000000000003; // a few ulps above 1
+        assert!(drifted > 1.0);
+        assert_eq!(clamp_prob(drifted), 1.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "exceeds 1 by more than PROB_EPS")]
+    fn clamp_prob_flags_real_excess_in_debug() {
+        let _ = clamp_prob(1.4);
     }
 
     #[test]

@@ -236,19 +236,42 @@ impl From<f64> for Value {
 pub fn like_match(text: &str, pattern: &str) -> bool {
     let t: Vec<char> = text.to_lowercase().chars().collect();
     let p: Vec<char> = pattern.to_lowercase().chars().collect();
-    like_rec(&t, &p)
+    like_greedy(&t, &p)
 }
 
-fn like_rec(t: &[char], p: &[char]) -> bool {
-    match p.first() {
-        None => t.is_empty(),
-        Some('%') => {
-            // Try every split point; `%` can absorb 0..=len chars.
-            (0..=t.len()).any(|k| like_rec(&t[k..], &p[1..]))
+/// Iterative greedy two-pointer wildcard matcher. Each `%` initially
+/// absorbs nothing; on a later mismatch the scan backtracks to just past
+/// the *most recent* `%` and lets it absorb one more character. Dropping
+/// earlier-`%` alternatives is safe: a later `%` can absorb anything an
+/// earlier one could. Worst case O(|t|·|p|) with no recursion — the
+/// previous recursive matcher branched at every `%` and went exponential
+/// on patterns like `%a%a%a%` against long non-matching text (also risking
+/// stack overflow on long inputs).
+fn like_greedy(t: &[char], p: &[char]) -> bool {
+    let (mut ti, mut pi) = (0usize, 0usize);
+    // After the most recent `%`: (pattern index past it, text index where
+    // its current absorption ends).
+    let mut retry: Option<(usize, usize)> = None;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            retry = Some((pi + 1, ti));
+            pi += 1;
+        } else if let Some((rp, rt)) = retry {
+            pi = rp;
+            ti = rt + 1;
+            retry = Some((rp, rt + 1));
+        } else {
+            return false;
         }
-        Some('_') => !t.is_empty() && like_rec(&t[1..], &p[1..]),
-        Some(&c) => t.first() == Some(&c) && like_rec(&t[1..], &p[1..]),
     }
+    // Only trailing `%`s can match the exhausted text.
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
 }
 
 #[cfg(test)]
@@ -332,6 +355,47 @@ mod tests {
         assert!(like_match("database systems", "%base%sys%"));
     }
 
+    /// The pre-fix recursive matcher, kept as a test oracle: correct on
+    /// small inputs, exponential on `%`-heavy non-matching ones.
+    fn like_rec_reference(t: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('%') => (0..=t.len()).any(|k| like_rec_reference(&t[k..], &p[1..])),
+            Some('_') => !t.is_empty() && like_rec_reference(&t[1..], &p[1..]),
+            Some(&c) => t.first() == Some(&c) && like_rec_reference(&t[1..], &p[1..]),
+        }
+    }
+
+    #[test]
+    fn like_pathological_pattern_is_fast() {
+        // `%a%a%a%a%b` against 10k 'a's (no 'b' anywhere): the recursive
+        // matcher branched at every `%` and effectively never returned;
+        // the greedy matcher must answer (false) in milliseconds.
+        let text: String = "a".repeat(10_000);
+        let start = std::time::Instant::now();
+        assert!(!like_match(&text, "%a%a%a%a%b"));
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(500),
+            "pathological LIKE took {:?}",
+            start.elapsed()
+        );
+        // The matching variant stays correct on the same text.
+        let mut with_b = text.clone();
+        with_b.push('b');
+        assert!(like_match(&with_b, "%a%a%a%a%b"));
+    }
+
+    #[test]
+    fn like_backtracks_past_percent_correctly() {
+        // Requires revisiting a `%`'s absorption: the first "ab" after the
+        // `%` is a false start (only the second one is followed by `_c`).
+        assert!(like_match("abdabxc", "%ab_c"));
+        assert!(!like_match("abdabxd", "%ab_c"));
+        // `_` after `%` must consume exactly one character.
+        assert!(like_match("ab", "%_b"));
+        assert!(!like_match("b", "%_b"));
+    }
+
     #[test]
     fn ord_is_total_across_kinds() {
         let mut vs = [
@@ -385,6 +449,23 @@ mod tests {
         #[test]
         fn like_literal_pattern_matches_itself(s in "[a-z]{0,10}") {
             prop_assert!(like_match(&s, &s));
+        }
+
+        /// The greedy matcher agrees with the (correct-but-exponential)
+        /// recursive reference on every small text/pattern pair over an
+        /// alphabet that exercises both wildcards.
+        #[test]
+        fn like_greedy_agrees_with_recursive_reference(
+            text in "[ab]{0,8}",
+            pattern in "[ab%_]{0,8}",
+        ) {
+            let t: Vec<char> = text.chars().collect();
+            let p: Vec<char> = pattern.chars().collect();
+            prop_assert_eq!(
+                like_greedy(&t, &p),
+                like_rec_reference(&t, &p),
+                "text={:?} pattern={:?}", text, pattern
+            );
         }
 
         #[test]

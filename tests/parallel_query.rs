@@ -1,0 +1,195 @@
+//! Parallel query execution must be invisible in the output: any thread
+//! count, and a warm plan cache versus a cold one, must produce answers
+//! **byte-identical** (probabilities compared via `f64::to_bits`) to the
+//! sequential, uncached path. The plan cache must also never survive an
+//! artifact mutation — `add_source` moves the engine generation, so the
+//! next answer recompiles against the new catalog.
+
+use std::sync::{Mutex, OnceLock};
+
+use proptest::prelude::*;
+use udi::core::{UdiConfig, UdiSystem};
+use udi::datagen::{generate, Domain, GenConfig};
+use udi::eval::generate_workload;
+use udi::query::{AnswerSet, Query};
+use udi::store::Table;
+
+/// Exact fingerprint of an answer set: source id, rendered values, and the
+/// raw bit pattern of every probability.
+fn bits(set: &AnswerSet) -> Vec<(u32, String, u64)> {
+    set.by_source()
+        .iter()
+        .flat_map(|(sid, ts)| {
+            ts.iter()
+                .map(|t| (sid.0, format!("{:?}", t.values), t.probability.to_bits()))
+        })
+        .collect()
+}
+
+fn car_fixture(n_sources: usize, seed: u64) -> (udi::datagen::GeneratedDomain, Vec<Query>) {
+    let gen = generate(
+        Domain::Car,
+        &GenConfig {
+            n_sources: Some(n_sources),
+            seed,
+            ..GenConfig::default()
+        },
+    );
+    let queries = generate_workload(&gen, 8, seed.wrapping_add(1));
+    (gen, queries)
+}
+
+#[test]
+fn thread_count_and_plan_temperature_do_not_change_answers() {
+    let (gen, queries) = car_fixture(25, 7);
+    // `seq` stays sequential; `par` starts at 4 threads and is re-knobbed
+    // per iteration. Both caches start cold.
+    let seq = UdiSystem::setup(gen.catalog.clone(), UdiConfig::default()).expect("setup");
+    let mut par = UdiSystem::setup(
+        gen.catalog.clone(),
+        UdiConfig {
+            threads: 4,
+            ..UdiConfig::default()
+        },
+    )
+    .expect("setup");
+    for q in &queries {
+        let cold_seq = bits(&seq.answer(q));
+        let warm_seq = bits(&seq.answer(q));
+        assert_eq!(cold_seq, warm_seq, "warm plan changed answers: {q}");
+        for threads in [2, 4, 8] {
+            par.set_threads(threads);
+            assert_eq!(cold_seq, bits(&par.answer(q)), "{threads} threads: {q}");
+        }
+        // The other serving paths ride the same fan-out.
+        for threads in [1, 8] {
+            par.set_threads(threads);
+            assert_eq!(
+                bits(&seq.answer_with_pmed(q)),
+                bits(&par.answer_with_pmed(q)),
+                "pmed, {threads} threads: {q}"
+            );
+            assert_eq!(
+                bits(&seq.answer_top_mapping(q)),
+                bits(&par.answer_top_mapping(q)),
+                "top-mapping, {threads} threads: {q}"
+            );
+            assert_eq!(
+                bits(&seq.answer_by_tuple(q)),
+                bits(&par.answer_by_tuple(q)),
+                "by-tuple, {threads} threads: {q}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mutations_invalidate_cached_plans() {
+    let (gen, queries) = car_fixture(12, 42);
+    let mut incr = UdiSystem::setup(gen.catalog.clone(), UdiConfig::default()).expect("setup");
+    // Warm every plan against the original catalog.
+    for q in &queries {
+        incr.answer(q);
+        incr.answer_with_pmed(q);
+    }
+    assert!(incr.plan_cache_len() > 0, "plans were cached");
+
+    let mut extra = Table::new("extra-cars", ["model", "make", "price"]);
+    extra.push_raw_row(["Falcon", "Ford", "1000"]).expect("row");
+    incr.add_source(extra.clone()).expect("add_source");
+
+    // A batch system over the extended catalog is the ground truth; a
+    // stale plan (compiled for one source fewer) could not reproduce it.
+    let mut catalog = gen.catalog.clone();
+    catalog.add_source(extra);
+    let batch = UdiSystem::setup(catalog, UdiConfig::default()).expect("setup");
+    for q in &queries {
+        assert_eq!(bits(&incr.answer(q)), bits(&batch.answer(q)), "{q}");
+        assert_eq!(
+            bits(&incr.answer_with_pmed(q)),
+            bits(&batch.answer_with_pmed(q)),
+            "pmed: {q}"
+        );
+    }
+}
+
+#[test]
+fn plan_cache_counters_and_source_spans_are_observable() {
+    use std::sync::Arc;
+    use udi::obs::MemorySink;
+
+    let (gen, queries) = car_fixture(6, 3);
+    let mut udi = UdiSystem::setup(gen.catalog.clone(), UdiConfig::default()).expect("setup");
+    let sink = Arc::new(MemorySink::new());
+    udi.set_sink(Some(sink.clone()));
+
+    let q = &queries[0];
+    udi.answer(q);
+    udi.answer(q);
+    assert_eq!(
+        sink.counter_total("query.plan.miss"),
+        1,
+        "first call compiles"
+    );
+    assert_eq!(
+        sink.counter_total("query.plan.hit"),
+        1,
+        "second call reuses"
+    );
+    assert!(udi.plan_cache_len() >= 1);
+
+    // With a trace sink installed, execution emits one span per source,
+    // parented under the query.answer span.
+    let spans = sink.spans();
+    let parent = spans
+        .iter()
+        .find(|s| s.name == "query.answer")
+        .expect("query.answer span")
+        .id;
+    let per_source: Vec<_> = spans.iter().filter(|s| s.name == "query.source").collect();
+    assert_eq!(per_source.len(), 2 * gen.catalog.source_count());
+    assert!(per_source.iter().any(|s| s.parent == parent));
+
+    // A mutation moves the generation: the next call must miss again.
+    let mut extra = Table::new("extra-cars", ["model", "make", "price"]);
+    extra.push_raw_row(["Falcon", "Ford", "1000"]).expect("row");
+    udi.add_source(extra).expect("add_source");
+    udi.answer(q);
+    assert_eq!(
+        sink.counter_total("query.plan.miss"),
+        2,
+        "stale plan recompiled"
+    );
+}
+
+/// Shared fixture for the property: setup is expensive, so build one
+/// system and re-knob its thread count under a lock per case.
+fn shared() -> &'static (Mutex<UdiSystem>, Vec<Query>) {
+    static FX: OnceLock<(Mutex<UdiSystem>, Vec<Query>)> = OnceLock::new();
+    FX.get_or_init(|| {
+        let (gen, queries) = car_fixture(18, 1234);
+        let udi = UdiSystem::setup(gen.catalog.clone(), UdiConfig::default()).expect("setup");
+        (Mutex::new(udi), queries)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any workload query and any thread count, `answer` and
+    /// `answer_with_pmed` are byte-identical to the sequential path —
+    /// regardless of whether the plan cache is cold (first visit) or warm
+    /// (every revisit).
+    #[test]
+    fn any_thread_count_is_byte_identical(qi in 0usize..8, threads in prop::sample::select(vec![1usize, 2, 4, 8])) {
+        let (udi, queries) = shared();
+        let mut udi = udi.lock().expect("fixture lock");
+        let q = &queries[qi];
+        udi.set_threads(1);
+        let seq = bits(&udi.answer(q));
+        let seq_pmed = bits(&udi.answer_with_pmed(q));
+        udi.set_threads(threads);
+        prop_assert_eq!(seq, bits(&udi.answer(q)), "{} threads: {}", threads, q);
+        prop_assert_eq!(seq_pmed, bits(&udi.answer_with_pmed(q)), "pmed {} threads: {}", threads, q);
+    }
+}
