@@ -84,6 +84,10 @@ const SKIP_DIRS: &[&str] = &[
     "related",
     "results",
     "node_modules",
+    // The deliberate-violation fixture workspace under
+    // crates/audit/testdata/ is audited by its own tests, never as part
+    // of the real workspace.
+    "testdata",
 ];
 
 /// Collect every classifiable `.rs` file under `root`, as

@@ -1,0 +1,277 @@
+//! `audit.toml` — the checked-in contract the workspace passes enforce.
+//!
+//! The parser is a deliberately tiny TOML subset (sections, `key = value`
+//! with strings, integers, booleans, and flat string arrays): enough for a
+//! config file that is itself reviewed in PRs, with zero dependencies.
+//!
+//! ```toml
+//! [layers]
+//! udi-obs = 0
+//! udi-core = 4
+//!
+//! [panic-reachability]
+//! crates = ["udi-core"]
+//! index-sites = "off"          # off | warn | error
+//!
+//! [concurrency]
+//! interior-mutable-allowed = ["udi-obs"]
+//!
+//! [dead-exports]
+//! ratchet = "audit.ratchet"
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::lints::PANIC_FREE_CRATES;
+use crate::AuditError;
+
+/// How `expr[…]` indexing participates in panic-reachability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexMode {
+    /// Indexing is not a panic source (the default: dense math kernels
+    /// index heavily, and bounds are the paper algorithms' own loop
+    /// invariants).
+    Off,
+    /// Reachable indexing is reported as a warning.
+    Warn,
+    /// Reachable indexing is an error.
+    Error,
+}
+
+/// The parsed layering / pass configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crate → layer number. A crate may depend only on strictly lower
+    /// layers. Empty map disables the layering pass.
+    pub layers: BTreeMap<String, u32>,
+    /// Crates whose `pub` lib fns must not reach a panic.
+    pub reach_crates: Vec<String>,
+    /// Indexing severity for panic-reachability.
+    pub index_sites: IndexMode,
+    /// Crates allowed to hold non-`const` interior-mutable statics.
+    pub interior_mutable_allowed: Vec<String>,
+    /// Workspace-relative path of the dead-export ratchet file. `None`
+    /// disables the dead-export pass.
+    pub ratchet: Option<String>,
+    /// Workspace-relative path this config was read from (for diagnostics).
+    pub source: Option<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            layers: BTreeMap::new(),
+            reach_crates: PANIC_FREE_CRATES.iter().map(|s| (*s).to_owned()).collect(),
+            index_sites: IndexMode::Off,
+            interior_mutable_allowed: vec!["udi-obs".to_owned()],
+            ratchet: None,
+            source: None,
+        }
+    }
+}
+
+/// Load `root/audit.toml`; a missing file yields [`Config::default`].
+pub fn load_config(root: &Path) -> Result<Config, AuditError> {
+    let path = root.join("audit.toml");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Ok(Config::default());
+    };
+    parse_config(&text, "audit.toml").map_err(|(line, msg)| AuditError::Config {
+        path: path.clone(),
+        line,
+        message: msg,
+    })
+}
+
+/// One parsed TOML value of the supported subset.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    Array(Vec<String>),
+}
+
+/// Parse the config text. Errors are `(1-based line, message)`.
+pub fn parse_config(text: &str, source: &str) -> Result<Config, (u32, String)> {
+    let mut cfg = Config {
+        source: Some(source.to_owned()),
+        ..Config::default()
+    };
+    let mut section = String::new();
+    for (ln0, raw) in text.lines().enumerate() {
+        let ln = ln0 as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(h) = line.strip_prefix('[') {
+            let Some(name) = h.strip_suffix(']') else {
+                return Err((ln, format!("unterminated section header `{line}`")));
+            };
+            section = name.trim().to_owned();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err((ln, format!("expected `key = value`, got `{line}`")));
+        };
+        let key = key.trim().trim_matches('"');
+        let value = parse_value(value.trim()).map_err(|m| (ln, m))?;
+        match (section.as_str(), key) {
+            ("layers", crate_name) => {
+                let Value::Int(layer) = value else {
+                    return Err((ln, format!("layer of `{crate_name}` must be an integer")));
+                };
+                if !(0..=64).contains(&layer) {
+                    return Err((ln, format!("layer of `{crate_name}` out of range 0..=64")));
+                }
+                cfg.layers.insert(crate_name.to_owned(), layer as u32);
+            }
+            ("panic-reachability", "crates") => {
+                let Value::Array(a) = value else {
+                    return Err((ln, "`crates` must be an array of crate names".to_owned()));
+                };
+                cfg.reach_crates = a;
+            }
+            ("panic-reachability", "index-sites") => {
+                let Value::Str(s) = value else {
+                    return Err((ln, "`index-sites` must be a string".to_owned()));
+                };
+                cfg.index_sites = match s.as_str() {
+                    "off" => IndexMode::Off,
+                    "warn" => IndexMode::Warn,
+                    "error" => IndexMode::Error,
+                    other => {
+                        return Err((
+                            ln,
+                            format!("`index-sites` must be off|warn|error, got `{other}`"),
+                        ))
+                    }
+                };
+            }
+            ("concurrency", "interior-mutable-allowed") => {
+                let Value::Array(a) = value else {
+                    return Err((ln, "`interior-mutable-allowed` must be an array".to_owned()));
+                };
+                cfg.interior_mutable_allowed = a;
+            }
+            ("dead-exports", "ratchet") => {
+                let Value::Str(s) = value else {
+                    return Err((ln, "`ratchet` must be a path string".to_owned()));
+                };
+                cfg.ratchet = Some(s);
+            }
+            (sec, key) => {
+                return Err((
+                    ln,
+                    format!("unknown config key `{key}` in section `[{sec}]`"),
+                ));
+            }
+        }
+    }
+    Ok(cfg)
+}
+
+/// Strip a `#` comment that is outside any string literal.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return line.get(..i).unwrap_or(line),
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(v: &str) -> Result<Value, String> {
+    if v == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if v == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(s) = v.strip_prefix('"') {
+        let Some(s) = s.strip_suffix('"') else {
+            return Err(format!("unterminated string `{v}`"));
+        };
+        return Ok(Value::Str(s.to_owned()));
+    }
+    if let Some(body) = v.strip_prefix('[') {
+        let Some(body) = body.strip_suffix(']') else {
+            return Err(format!("unterminated array `{v}`"));
+        };
+        let mut items = Vec::new();
+        for part in body.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let Some(s) = part.strip_prefix('"').and_then(|p| p.strip_suffix('"')) else {
+                return Err(format!("array elements must be quoted strings: `{part}`"));
+            };
+            items.push(s.to_owned());
+        }
+        return Ok(Value::Array(items));
+    }
+    v.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| format!("cannot parse value `{v}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_config_round_trip() {
+        let text = r#"
+# layering contract
+[layers]
+udi-obs = 0
+udi-core = 4    # serving layer
+
+[panic-reachability]
+crates = ["udi-core", "udi-query"]
+index-sites = "warn"
+
+[concurrency]
+interior-mutable-allowed = ["udi-obs"]
+
+[dead-exports]
+ratchet = "audit.ratchet"
+"#;
+        let cfg = parse_config(text, "audit.toml").expect("parses");
+        assert_eq!(cfg.layers.get("udi-obs"), Some(&0));
+        assert_eq!(cfg.layers.get("udi-core"), Some(&4));
+        assert_eq!(cfg.reach_crates, vec!["udi-core", "udi-query"]);
+        assert_eq!(cfg.index_sites, IndexMode::Warn);
+        assert_eq!(cfg.ratchet.as_deref(), Some("audit.ratchet"));
+    }
+
+    #[test]
+    fn defaults_when_sections_absent() {
+        let cfg = parse_config("", "audit.toml").expect("parses");
+        assert!(cfg.layers.is_empty());
+        assert_eq!(cfg.index_sites, IndexMode::Off);
+        assert!(cfg.ratchet.is_none());
+        assert!(!cfg.reach_crates.is_empty());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_config("[layers]\nudi-core = \"high\"\n", "audit.toml").unwrap_err();
+        assert_eq!(err.0, 2);
+        let err = parse_config("[nope]\nkey = 1\n", "audit.toml").unwrap_err();
+        assert_eq!(err.0, 2);
+        assert!(err.1.contains("unknown config key"));
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let cfg = parse_config("[dead-exports]\nratchet = \"a#b\"\n", "t").expect("parses");
+        assert_eq!(cfg.ratchet.as_deref(), Some("a#b"));
+    }
+}

@@ -1,0 +1,745 @@
+//! Whole-workspace graphs: the function **call graph** and the
+//! **crate-dependency** edge set.
+//!
+//! Name resolution is deliberately lint-grade. Calls are resolved by
+//! identifier against the set of functions the [`crate::parser`] extracted:
+//!
+//! - `foo(…)` resolves within the calling crate, then through the file's
+//!   `use` imports of workspace crates;
+//! - `recv.foo(…)` resolves to *every* workspace method named `foo`
+//!   (receiver types are unknown without type inference — this
+//!   over-approximates, which for panic-reachability is the safe
+//!   direction);
+//! - `Type::foo(…)` resolves through the workspace type `Type`,
+//!   `udi_x::path::foo(…)` through the crate alias, `Self::foo(…)`
+//!   through the enclosing `impl`.
+//!
+//! Unresolved names (std, closures, locals) produce no edge: the graph
+//! only ever connects functions the workspace defines, so chains in
+//! diagnostics are always fully showable.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+use std::path::Path;
+
+use crate::classify::CodeKind;
+use crate::lexer::{Token, TokenKind};
+use crate::lints::{PANIC_MACROS, PANIC_METHODS};
+use crate::parser::{is_comment, Item, ItemKind, Vis};
+use crate::{AuditError, SourceFile};
+
+/// One function node in the call graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Index of the defining file in the workspace file list.
+    pub file: usize,
+    /// Crate the file belongs to.
+    pub crate_name: String,
+    /// Function name.
+    pub name: String,
+    /// `impl`/`trait` type the fn is a method of, if any.
+    pub self_ty: Option<String>,
+    /// `pub` as written (not module-path-effective).
+    pub is_pub: bool,
+    /// Defined under a test attribute.
+    pub in_test: bool,
+    /// Code class of the defining file.
+    pub kind: CodeKind,
+    /// 1-based definition position.
+    pub line: u32,
+    /// 1-based definition column.
+    pub col: u32,
+    /// Token range of the body in the defining file, if the fn has one.
+    pub body: Option<Range<usize>>,
+    /// `crate::module::(Type::)name` — stable display/ratchet id.
+    pub id_path: String,
+}
+
+/// How a panic site can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `.unwrap()` / `.expect(…)` and friends.
+    UnwrapLike,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    Macro,
+    /// `expr[…]` indexing / slicing (bounds-checked abort).
+    Index,
+}
+
+/// One potential panic inside a function body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// What fires.
+    pub kind: PanicKind,
+    /// The offending token text (`unwrap`, `panic`, `[`).
+    pub what: String,
+    /// 1-based position in the defining file.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// One resolved call inside a function body.
+#[derive(Debug, Clone, Copy)]
+pub struct CallSite {
+    /// Token index of the callee name in the calling file.
+    pub tok: usize,
+    /// Callee node id.
+    pub callee: usize,
+    /// `true` when the resolution is structural (qualified path or plain
+    /// call); `false` for the method-name over-approximation, where
+    /// `x.len()` resolves to *every* workspace method called `len`.
+    /// Reachability uses all edges (over-approximation is the safe
+    /// direction there); precision-sensitive lints filter on this flag.
+    pub certain: bool,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All function nodes, in file order.
+    pub fns: Vec<FnNode>,
+    /// Per-fn resolved calls, sorted by token position.
+    pub calls: Vec<Vec<CallSite>>,
+    /// Per-fn potential panic sites.
+    pub sites: Vec<Vec<PanicSite>>,
+}
+
+impl CallGraph {
+    /// Callee-id adjacency (deduplicated) for plain reachability walks.
+    pub fn edges(&self, f: usize) -> BTreeSet<usize> {
+        self.calls
+            .get(f)
+            .map(|cs| cs.iter().map(|c| c.callee).collect())
+            .unwrap_or_default()
+    }
+
+    /// Human-readable name of fn `f`: `crate::Type::name` or `crate::name`.
+    pub fn display(&self, f: usize) -> String {
+        self.fns
+            .get(f)
+            .map(|n| n.id_path.clone())
+            .unwrap_or_default()
+    }
+}
+
+/// One `crate → crate` dependency edge with its declaration site.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DepEdge {
+    /// Depending crate.
+    pub from: String,
+    /// Depended-upon crate.
+    pub to: String,
+    /// Workspace-relative file the edge was read from (`Cargo.toml` or a
+    /// source file's `use`).
+    pub path: String,
+    /// 1-based line of the declaration.
+    pub line: u32,
+}
+
+/// `udi_obs` → `udi-obs`; `crate`/`self`/`super` → the current crate.
+/// `None` for anything that is not a workspace crate alias.
+pub fn crate_of_alias(seg: &str, current: &str) -> Option<String> {
+    match seg {
+        "crate" | "self" | "super" => Some(current.to_owned()),
+        "udi" => Some("udi".to_owned()),
+        s if s.starts_with("udi_") => Some(s.replace('_', "-")),
+        _ => None,
+    }
+}
+
+/// Extract the names a `use` declaration binds from a workspace crate, as
+/// `(bound name, source crate)` pairs. Non-workspace imports yield nothing.
+fn use_imports(file: &SourceFile, item: &Item, out: &mut BTreeMap<String, String>) {
+    let toks: Vec<&Token> = file
+        .tokens
+        .get(item.span.clone())
+        .unwrap_or(&[])
+        .iter()
+        .filter(|t| !is_comment(t))
+        .collect();
+    // Leading segment after `use` (skipping a root `::`).
+    let mut lead = None;
+    for t in toks.iter().skip(1) {
+        if matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent) {
+            lead = Some(t.text.as_str());
+            break;
+        }
+        if t.text != "::" {
+            break;
+        }
+    }
+    let Some(source) = lead.and_then(|l| crate_of_alias(l, &file.class.crate_name)) else {
+        return;
+    };
+    // Terminal names: an ident directly followed by `,`, `}`, `;`, or `as`
+    // (in which case the alias after `as` is the bound name instead).
+    for (k, t) in toks.iter().enumerate() {
+        if !matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent) || t.text == "as" {
+            continue;
+        }
+        match toks.get(k + 1).map(|n| n.text.as_str()) {
+            Some("," | "}" | ";") => {
+                // `self` re-binds the path segment before it, unless this
+                // ident is itself an `as` alias (which can't be `self`).
+                let after_as =
+                    toks.get(k.wrapping_sub(1)).map(|p| p.text.as_str()) == Some("as");
+                if t.text != "self" || after_as {
+                    out.insert(t.text.clone(), source.clone());
+                }
+            }
+            Some("as") => {} // the alias will be recorded instead
+            _ => {}
+        }
+    }
+}
+
+/// Build the workspace call graph from the loaded files.
+pub fn build_call_graph(files: &[SourceFile]) -> CallGraph {
+    let mut g = CallGraph::default();
+
+    // Pass 1: nodes and resolution indexes.
+    let mut by_crate_name: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+    let mut by_type_name: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+    let mut methods: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut type_names: BTreeSet<String> = BTreeSet::new();
+    for (fi, file) in files.iter().enumerate() {
+        for item in &file.items {
+            match &item.kind {
+                ItemKind::Struct | ItemKind::Enum | ItemKind::Union | ItemKind::Trait => {
+                    type_names.insert(item.name.clone());
+                }
+                ItemKind::Fn => {
+                    let id = g.fns.len();
+                    let crate_name = file.class.crate_name.clone();
+                    let mut id_path = crate_name.clone();
+                    for m in &item.module_path {
+                        id_path.push_str("::");
+                        id_path.push_str(m);
+                    }
+                    if let Some(ty) = &item.self_ty {
+                        id_path.push_str("::");
+                        id_path.push_str(ty);
+                    }
+                    id_path.push_str("::");
+                    id_path.push_str(&item.name);
+                    by_crate_name
+                        .entry((crate_name.clone(), item.name.clone()))
+                        .or_default()
+                        .push(id);
+                    if let Some(ty) = &item.self_ty {
+                        by_type_name
+                            .entry((ty.clone(), item.name.clone()))
+                            .or_default()
+                            .push(id);
+                        methods.entry(item.name.clone()).or_default().push(id);
+                    }
+                    g.fns.push(FnNode {
+                        file: fi,
+                        crate_name,
+                        name: item.name.clone(),
+                        self_ty: item.self_ty.clone(),
+                        is_pub: item.vis == Vis::Pub,
+                        in_test: item.in_test,
+                        kind: file.class.kind,
+                        line: item.line,
+                        col: item.col,
+                        body: item.body.clone(),
+                        id_path,
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Per-file workspace imports.
+    let mut imports: Vec<BTreeMap<String, String>> = Vec::with_capacity(files.len());
+    for file in files {
+        let mut map = BTreeMap::new();
+        for item in &file.items {
+            if item.kind == ItemKind::Use {
+                use_imports(file, item, &mut map);
+            }
+        }
+        imports.push(map);
+    }
+
+    // Pass 2: body scans — calls and panic sites.
+    g.calls = vec![Vec::new(); g.fns.len()];
+    g.sites = vec![Vec::new(); g.fns.len()];
+    for f in 0..g.fns.len() {
+        let node = &g.fns[f];
+        let Some(body) = node.body.clone() else {
+            continue;
+        };
+        let Some(file) = files.get(node.file) else {
+            continue;
+        };
+        let empty = BTreeMap::new();
+        let imp = imports.get(node.file).unwrap_or(&empty);
+        let (calls, sites) = scan_body(
+            file,
+            body,
+            &node.crate_name,
+            node.self_ty.as_deref(),
+            imp,
+            &by_crate_name,
+            &by_type_name,
+            &methods,
+            &type_names,
+        );
+        g.calls[f] = calls;
+        g.sites[f] = sites;
+    }
+    g
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_body(
+    file: &SourceFile,
+    body: Range<usize>,
+    crate_name: &str,
+    self_ty: Option<&str>,
+    imports: &BTreeMap<String, String>,
+    by_crate_name: &BTreeMap<(String, String), Vec<usize>>,
+    by_type_name: &BTreeMap<(String, String), Vec<usize>>,
+    methods: &BTreeMap<String, Vec<usize>>,
+    type_names: &BTreeSet<String>,
+) -> (Vec<CallSite>, Vec<PanicSite>) {
+    let mut calls: Vec<CallSite> = Vec::new();
+    let mut sites: Vec<PanicSite> = Vec::new();
+    // Significant-token slots of the body.
+    let sig: Vec<usize> = (body.start..body.end.min(file.tokens.len()))
+        .filter(|&i| file.tokens.get(i).is_some_and(|t| !is_comment(t)))
+        .collect();
+    let tok = |s: usize| -> Option<&Token> { sig.get(s).and_then(|&i| file.tokens.get(i)) };
+    let text = |s: usize| -> Option<&str> { tok(s).map(|t| t.text.as_str()) };
+
+    let push_targets =
+        |calls: &mut Vec<CallSite>, tok_idx: usize, ids: Option<&Vec<usize>>, certain: bool| {
+            if let Some(ids) = ids {
+                for &callee in ids {
+                    calls.push(CallSite {
+                        tok: tok_idx,
+                        callee,
+                        certain,
+                    });
+                }
+            }
+        };
+
+    for s in 0..sig.len() {
+        let Some(t) = tok(s) else { continue };
+        let tok_idx = sig.get(s).copied().unwrap_or(0);
+
+        // Indexing / slicing: `expr[…]` — prev significant token ends an
+        // expression. (`#[attr]` and `vec![…]` are excluded because their
+        // `[` follows `#` / `!`.)
+        if t.kind == TokenKind::Punct && t.text == "[" && s > 0 {
+            let prev_ends_expr = tok(s - 1).is_some_and(|p| {
+                matches!(p.kind, TokenKind::Ident | TokenKind::RawIdent)
+                    && !matches!(
+                        p.text.as_str(),
+                        "mut" | "return" | "in" | "as" | "else" | "match" | "let" | "ref" | "box"
+                    )
+                    || (p.kind == TokenKind::Punct && matches!(p.text.as_str(), ")" | "]"))
+            });
+            if prev_ends_expr {
+                sites.push(PanicSite {
+                    kind: PanicKind::Index,
+                    what: "[".to_owned(),
+                    line: t.line,
+                    col: t.col,
+                });
+            }
+            continue;
+        }
+
+        if !matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent) {
+            continue;
+        }
+        let name = t.text.as_str();
+        let prev = if s > 0 { text(s - 1) } else { None };
+        let next = text(s + 1);
+
+        // Panic macros: `panic!(…)`.
+        if PANIC_MACROS.contains(&name) && next == Some("!") {
+            sites.push(PanicSite {
+                kind: PanicKind::Macro,
+                what: format!("{name}!"),
+                line: t.line,
+                col: t.col,
+            });
+            continue;
+        }
+
+        if next != Some("(") {
+            continue;
+        }
+
+        // Panic methods: `.unwrap()` or `Option::unwrap(…)`.
+        if PANIC_METHODS.contains(&name) && matches!(prev, Some("." | "::")) {
+            sites.push(PanicSite {
+                kind: PanicKind::UnwrapLike,
+                what: name.to_owned(),
+                line: t.line,
+                col: t.col,
+            });
+            continue;
+        }
+
+        match prev {
+            Some(".") => {
+                // Method call — resolve to every workspace method of this
+                // name (receiver types are unknown).
+                push_targets(&mut calls, tok_idx, methods.get(name), false);
+            }
+            Some("::") => {
+                // Qualified call. Find the nearest path segment (skipping
+                // one turbofish group if present), and the leading one.
+                let mut q = s.wrapping_sub(2);
+                if text(q) == Some(">") || text(q) == Some(">>") {
+                    // `Type::<T>::new` — walk back over the angle group.
+                    let mut depth = 0i64;
+                    loop {
+                        match text(q) {
+                            Some(">") => depth += 1,
+                            Some(">>") => depth += 2,
+                            Some("<") => depth -= 1,
+                            Some("<<") => depth -= 2,
+                            None => break,
+                            _ => {}
+                        }
+                        if depth <= 0 || q == 0 {
+                            break;
+                        }
+                        q -= 1;
+                    }
+                    q = q.wrapping_sub(1); // the segment before `::<`
+                    if text(q) == Some("::") {
+                        q = q.wrapping_sub(1);
+                    }
+                }
+                let nearest = tok(q)
+                    .filter(|t| matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent))
+                    .map(|t| t.text.as_str());
+                // Leading segment of the whole path.
+                let mut lead = nearest;
+                let mut k = q;
+                while k >= 2 && text(k - 1) == Some("::") {
+                    k -= 2;
+                    if let Some(t) = tok(k) {
+                        if matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent) {
+                            lead = Some(t.text.as_str());
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                let resolved: Option<&Vec<usize>> = match nearest {
+                    Some("Self") => {
+                        self_ty.and_then(|ty| by_type_name.get(&(ty.to_owned(), name.to_owned())))
+                    }
+                    Some(seg) if type_names.contains(seg) => {
+                        by_type_name.get(&(seg.to_owned(), name.to_owned()))
+                    }
+                    _ => match lead.and_then(|l| {
+                        crate_of_alias(l, crate_name).or_else(|| {
+                            imports
+                                .get(l)
+                                .cloned()
+                                .filter(|_| l.starts_with(char::is_lowercase))
+                        })
+                    }) {
+                        Some(c) => by_crate_name.get(&(c, name.to_owned())),
+                        None => lead
+                            .filter(|l| imports.contains_key(*l) && type_names.contains(*l))
+                            .and_then(|l| by_type_name.get(&(l.to_owned(), name.to_owned()))),
+                    },
+                };
+                push_targets(&mut calls, tok_idx, resolved, true);
+            }
+            Some("fn") => {} // a nested fn definition, not a call
+            _ => {
+                // Plain call: same crate first, then imported workspace fns.
+                let same = by_crate_name.get(&(crate_name.to_owned(), name.to_owned()));
+                if same.is_some() {
+                    push_targets(&mut calls, tok_idx, same, true);
+                } else if let Some(c) = imports.get(name) {
+                    push_targets(
+                        &mut calls,
+                        tok_idx,
+                        by_crate_name.get(&(c.clone(), name.to_owned())),
+                        true,
+                    );
+                }
+            }
+        }
+    }
+    calls.sort_by_key(|c| (c.tok, c.callee));
+    calls.dedup_by_key(|c| (c.tok, c.callee));
+    (calls, sites)
+}
+
+/// Parse `Cargo.toml` `[dependencies]` sections of the root package and
+/// every `crates/*` member into `udi-* → udi-*` edges. Dev-dependencies
+/// are deliberately excluded: the layering contract governs what shipped
+/// code may link against, not what tests may exercise.
+pub fn manifest_deps(root: &Path) -> Result<Vec<DepEdge>, AuditError> {
+    let mut manifests: Vec<std::path::PathBuf> = vec![root.join("Cargo.toml")];
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        let mut members: Vec<_> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for m in members {
+            let manifest = m.join("Cargo.toml");
+            if manifest.is_file() {
+                manifests.push(manifest);
+            }
+        }
+    }
+    let mut edges = Vec::new();
+    for manifest in manifests {
+        let text =
+            std::fs::read_to_string(&manifest).map_err(|e| AuditError::Io(manifest.clone(), e))?;
+        let rel = manifest
+            .strip_prefix(root)
+            .unwrap_or(&manifest)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let mut section = String::new();
+        let mut package_name: Option<String> = None;
+        let mut deps: Vec<(String, u32)> = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if let Some(h) = line.strip_prefix('[') {
+                section = h.trim_end_matches(']').trim().to_owned();
+                continue;
+            }
+            if section == "package" && package_name.is_none() {
+                if let Some(v) = line.strip_prefix("name") {
+                    let v = v.trim_start().trim_start_matches('=').trim();
+                    package_name = Some(v.trim_matches('"').to_owned());
+                }
+            }
+            if section == "dependencies" {
+                let key: &str = line
+                    .split(['=', '.', ' ', '\t'])
+                    .next()
+                    .unwrap_or("")
+                    .trim();
+                if key.starts_with("udi-") {
+                    deps.push((key.to_owned(), ln as u32 + 1));
+                }
+            }
+        }
+        let from = package_name.unwrap_or_default();
+        if from.is_empty() {
+            continue;
+        }
+        for (to, line) in deps {
+            edges.push(DepEdge {
+                from: from.clone(),
+                to,
+                path: rel.clone(),
+                line,
+            });
+        }
+    }
+    edges.sort();
+    edges.dedup();
+    Ok(edges)
+}
+
+/// Derive `use udi_x::…` edges from source files (lib and bin code only —
+/// tests, benches, and examples are dev context, like dev-dependencies).
+pub fn use_deps(files: &[SourceFile]) -> Vec<DepEdge> {
+    let mut edges = Vec::new();
+    for file in files {
+        if !matches!(file.class.kind, CodeKind::Lib | CodeKind::Bin) {
+            continue;
+        }
+        for item in &file.items {
+            if item.kind != ItemKind::Use || item.in_test {
+                continue;
+            }
+            // Leading segment of the use path.
+            let lead = file
+                .tokens
+                .get(item.span.clone())
+                .unwrap_or(&[])
+                .iter()
+                .filter(|t| !is_comment(t))
+                .skip(1)
+                .find(|t| matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent));
+            let Some(lead) = lead else { continue };
+            if !lead.text.starts_with("udi_") && lead.text != "udi" {
+                continue; // `crate::`/`self::` are not cross-crate edges
+            }
+            let Some(to) = crate_of_alias(&lead.text, &file.class.crate_name) else {
+                continue;
+            };
+            if to == file.class.crate_name {
+                continue;
+            }
+            edges.push(DepEdge {
+                from: file.class.crate_name.clone(),
+                to,
+                path: file.rel.clone(),
+                line: lead.line,
+            });
+        }
+    }
+    edges.sort();
+    edges.dedup();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::FileClass;
+    use crate::lexer::lex;
+    use crate::parser::parse_items;
+
+    fn file(crate_name: &str, rel: &str, src: &str) -> SourceFile {
+        let tokens = lex(src);
+        let items = parse_items(&tokens);
+        SourceFile {
+            rel: rel.to_owned(),
+            class: FileClass {
+                crate_name: crate_name.to_owned(),
+                kind: CodeKind::Lib,
+            },
+            tokens,
+            items,
+        }
+    }
+
+    #[test]
+    fn plain_calls_resolve_within_crate() {
+        let files = vec![file(
+            "udi-a",
+            "crates/a/src/lib.rs",
+            "pub fn top() { helper() } fn helper() { leaf() } fn leaf() {}",
+        )];
+        let g = build_call_graph(&files);
+        assert_eq!(g.fns.len(), 3);
+        let top = g.fns.iter().position(|f| f.name == "top").unwrap();
+        let helper = g.fns.iter().position(|f| f.name == "helper").unwrap();
+        let leaf = g.fns.iter().position(|f| f.name == "leaf").unwrap();
+        assert!(g.edges(top).contains(&helper));
+        assert!(g.edges(helper).contains(&leaf));
+        assert!(g.edges(leaf).is_empty());
+    }
+
+    #[test]
+    fn cross_crate_calls_resolve_through_imports() {
+        let files = vec![
+            file(
+                "udi-a",
+                "crates/a/src/lib.rs",
+                "use udi_b::helper;\npub fn top() { helper() }",
+            ),
+            file("udi-b", "crates/b/src/lib.rs", "pub fn helper() {}"),
+        ];
+        let g = build_call_graph(&files);
+        let top = g.fns.iter().position(|f| f.name == "top").unwrap();
+        let helper = g.fns.iter().position(|f| f.name == "helper").unwrap();
+        assert!(g.edges(top).contains(&helper));
+    }
+
+    #[test]
+    fn qualified_paths_resolve_through_crate_alias_and_types() {
+        let files = vec![
+            file(
+                "udi-a",
+                "crates/a/src/lib.rs",
+                "pub fn top() { udi_b::util::helper(); Widget::new(); }",
+            ),
+            file(
+                "udi-b",
+                "crates/b/src/lib.rs",
+                "pub fn helper() {} pub struct Widget; impl Widget { pub fn new() -> Widget { Widget } }",
+            ),
+        ];
+        let g = build_call_graph(&files);
+        let top = g.fns.iter().position(|f| f.name == "top").unwrap();
+        let helper = g.fns.iter().position(|f| f.name == "helper").unwrap();
+        let new = g.fns.iter().position(|f| f.name == "new").unwrap();
+        assert!(g.edges(top).contains(&helper));
+        assert!(g.edges(top).contains(&new));
+    }
+
+    #[test]
+    fn method_calls_over_approximate_by_name() {
+        let files = vec![
+            file(
+                "udi-a",
+                "crates/a/src/lib.rs",
+                "pub fn top(s: S) { s.go() } pub struct S;",
+            ),
+            file(
+                "udi-b",
+                "crates/b/src/lib.rs",
+                "pub struct T; impl T { pub fn go(&self) {} }",
+            ),
+        ];
+        let g = build_call_graph(&files);
+        let top = g.fns.iter().position(|f| f.name == "top").unwrap();
+        let go = g.fns.iter().position(|f| f.name == "go").unwrap();
+        assert!(g.edges(top).contains(&go));
+    }
+
+    #[test]
+    fn panic_sites_are_collected_per_fn() {
+        let files = vec![file(
+            "udi-a",
+            "crates/a/src/lib.rs",
+            "pub fn f(x: Option<u8>, v: &[u8]) -> u8 { x.unwrap() + v[0] }\n\
+             pub fn g() { panic!(\"no\") }\n\
+             pub fn clean() {}",
+        )];
+        let g = build_call_graph(&files);
+        let f = g.fns.iter().position(|f| f.name == "f").unwrap();
+        let gg = g.fns.iter().position(|f| f.name == "g").unwrap();
+        let clean = g.fns.iter().position(|f| f.name == "clean").unwrap();
+        let kinds: Vec<PanicKind> = g.sites[f].iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&PanicKind::UnwrapLike));
+        assert!(kinds.contains(&PanicKind::Index));
+        assert_eq!(g.sites[gg].len(), 1);
+        assert_eq!(g.sites[gg][0].kind, PanicKind::Macro);
+        assert!(g.sites[clean].is_empty());
+    }
+
+    #[test]
+    fn attribute_and_macro_brackets_are_not_index_sites() {
+        let files = vec![file(
+            "udi-a",
+            "crates/a/src/lib.rs",
+            "pub fn f() -> Vec<u8> { let v = vec![1, 2]; v }",
+        )];
+        let g = build_call_graph(&files);
+        let f = g.fns.iter().position(|f| f.name == "f").unwrap();
+        assert!(g.sites[f].is_empty(), "{:?}", g.sites[f]);
+    }
+
+    #[test]
+    fn use_dep_edges_from_sources() {
+        let files = vec![file(
+            "udi-a",
+            "crates/a/src/lib.rs",
+            "use udi_b::Thing;\nuse crate::local;\npub fn f(_t: Thing) {}",
+        )];
+        let edges = use_deps(&files);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(
+            (edges[0].from.as_str(), edges[0].to.as_str()),
+            ("udi-a", "udi-b")
+        );
+    }
+}

@@ -2,7 +2,8 @@
 #![warn(missing_docs)]
 
 //! `udi-audit` — a zero-dependency static analysis engine enforcing the
-//! workspace's probability, determinism, and panic-freedom invariants.
+//! workspace's probability, determinism, panic-freedom, and layering
+//! invariants.
 //!
 //! UDI's correctness claims are probabilistic identities: p-med-schema
 //! weights (Algorithm 2), maximum-entropy p-mapping distributions
@@ -13,14 +14,26 @@
 //! same house style as `udi-obs`: hand-rolled, dependency-free, and wired
 //! into both CI and the workspace test suite.
 //!
-//! The pipeline is a hand-rolled Rust [`lexer`] (nested block comments,
-//! raw strings, char literals vs. lifetimes) feeding token-stream pattern
-//! matchers ([`lints`]) over every `.rs` file the [`mod@classify`] walker
-//! attributes to a workspace crate. Diagnostics are rustc-style
-//! `file:line:col`, and any violation makes the binary exit nonzero.
+//! The pipeline has two tiers sharing one token stream per file:
+//!
+//! 1. **File-local lints** ([`lints`]): token-pattern matchers over the
+//!    hand-rolled Rust [`lexer`] output (nested block comments, raw
+//!    strings, char literals vs. lifetimes).
+//! 2. **Workspace passes**: a recursive-descent item [`parser`] extracts
+//!    fns, impls, statics and `use` paths per file; [`graph`] assembles a
+//!    call graph and a crate-dependency edge list; the passes then check
+//!    transitive panic-reachability, the crate layering contract from
+//!    `audit.toml` ([`config`]), concurrency rules for the parallel
+//!    serving layer, and dead exports against a ratchet file.
+//!
+//! Every file is lexed exactly once per audit ([`Workspace::lex_count`]
+//! asserts it); each pass is timed through a `udi-obs` span
+//! (`audit.pass.*`). Diagnostics are rustc-style `file:line:col` with
+//! `note:` context lines (e.g. full call chains), and any error-severity
+//! finding makes the binary exit nonzero.
 //!
 //! See `AUDIT.md` at the repository root for the lint taxonomy and the
-//! escape-hatch policy.
+//! escape-hatch policy, and `DESIGN.md` §10 for the layering contract.
 //!
 //! # Example
 //!
@@ -40,65 +53,335 @@
 //! ```
 
 pub mod classify;
+pub mod config;
+pub mod graph;
 pub mod lexer;
 pub mod lints;
+pub mod parser;
+mod passes;
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 pub use classify::{classify, collect_sources, CodeKind, FileClass};
-pub use lints::{all_lints, audit_source, Diagnostic, LintInfo, LINTS};
+pub use config::{load_config, parse_config, Config, IndexMode};
+pub use lints::{all_lints, audit_source, Diagnostic, LintInfo, Severity, LINTS};
 
-/// A failure of the audit *process* itself (I/O), as opposed to audit
-/// findings.
+use lexer::{lex, Token};
+use parser::Item;
+
+/// A failure of the audit *process* itself (I/O, bad config), as opposed
+/// to audit findings.
 #[derive(Debug)]
 pub enum AuditError {
     /// A file or directory could not be read.
     Io(PathBuf, std::io::Error),
+    /// `audit.toml` did not parse.
+    Config {
+        /// Path of the offending config file.
+        path: PathBuf,
+        /// 1-based line of the problem.
+        line: u32,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for AuditError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AuditError::Io(p, e) => write!(f, "cannot read {}: {e}", p.display()),
+            AuditError::Config {
+                path,
+                line,
+                message,
+            } => {
+                write!(f, "{}:{line}: {message}", path.display())
+            }
         }
     }
 }
 
 impl std::error::Error for AuditError {}
 
-/// Outcome of a whole-workspace audit.
+/// One lexed + parsed source file of the workspace.
 #[derive(Debug)]
-pub struct AuditReport {
-    /// Every violation found, in path order.
-    pub diagnostics: Vec<Diagnostic>,
-    /// Number of files scanned.
-    pub files_scanned: usize,
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Owning crate and code kind.
+    pub class: FileClass,
+    /// The file's full token stream — lexed once, shared by every lint
+    /// and pass.
+    pub tokens: Vec<Token>,
+    /// The item model parsed from `tokens`.
+    pub items: Vec<Item>,
 }
 
-impl AuditReport {
-    /// True when the tree is clean.
-    pub fn is_clean(&self) -> bool {
-        self.diagnostics.is_empty()
-    }
+/// The whole workspace, loaded once.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// Every classifiable `.rs` file, in sorted path order.
+    pub files: Vec<SourceFile>,
+    /// How many times [`lexer::lex`] ran while loading — the lex-once
+    /// contract means this always equals `files.len()`.
+    pub lex_count: usize,
 }
 
-/// Audit every classifiable `.rs` file under `root` with the given lint
-/// set ([`all_lints`] for everything).
-pub fn audit_workspace(root: &Path, enabled: &BTreeSet<&str>) -> Result<AuditReport, AuditError> {
+/// Read, lex, and parse every classifiable `.rs` file under `root`.
+pub fn load_workspace(root: &Path) -> Result<Workspace, AuditError> {
     let sources = collect_sources(root).map_err(|e| AuditError::Io(root.to_path_buf(), e))?;
-    let mut diagnostics = Vec::new();
-    let files_scanned = sources.len();
+    let mut files = Vec::with_capacity(sources.len());
+    let mut lex_count = 0usize;
     for (rel, class) in sources {
         let abs = root.join(&rel);
         let src = std::fs::read_to_string(&abs).map_err(|e| AuditError::Io(abs.clone(), e))?;
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        diagnostics.extend(audit_source(&rel_str, &class, &src, enabled));
+        let tokens = lex(&src);
+        lex_count += 1;
+        let items = parser::parse_items(&tokens);
+        files.push(SourceFile {
+            rel: rel_str,
+            class,
+            tokens,
+            items,
+        });
     }
+    Ok(Workspace {
+        root: root.to_path_buf(),
+        files,
+        lex_count,
+    })
+}
+
+/// Outcome of a whole-workspace audit.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// Every finding, sorted by path, line, column, lint.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Number of lex runs (must equal `files_scanned`; see
+    /// [`Workspace::lex_count`]).
+    pub lex_count: usize,
+}
+
+impl AuditReport {
+    /// Error-severity findings — these gate CI.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Warning-severity findings (ratcheted debt, warn-mode indexing).
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// True when no *error* was found. Warnings do not dirty the tree —
+    /// they are the visible, frozen debt the ratchet tracks.
+    pub fn is_clean(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    /// Machine-readable rendering: one JSON object with summary counts and
+    /// a `diagnostics` array. Stable field order, no external serializer.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.diagnostics.len() * 160);
+        out.push_str(&format!(
+            "{{\"files_scanned\":{},\"lex_count\":{},\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+            self.files_scanned,
+            self.lex_count,
+            self.errors().count(),
+            self.warnings().count(),
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"severity\":\"{}\",\"lint\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\"notes\":[",
+                d.severity.word(),
+                json_escape(d.lint),
+                json_escape(&d.path),
+                d.line,
+                d.col,
+                json_escape(&d.message),
+            ));
+            for (j, n) in d.notes.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&json_escape(n));
+                out.push('"');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Run every enabled lint and pass over a loaded workspace.
+///
+/// Each stage runs under a `udi-obs` span (`audit.pass.file-lints`,
+/// `audit.graph.call`, `audit.pass.panic-reachability`,
+/// `audit.pass.crate-layering`, `audit.pass.concurrency`,
+/// `audit.pass.dead-exports`) so a [`udi_obs::TraceSummary`] of the
+/// recorder shows where audit time goes.
+pub fn run_audit(
+    ws: &Workspace,
+    cfg: &Config,
+    enabled: &BTreeSet<&str>,
+    rec: &udi_obs::Recorder,
+) -> Result<AuditReport, AuditError> {
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut directives: Vec<Vec<lints::AllowDirective>> = Vec::with_capacity(ws.files.len());
+
+    {
+        let _span = rec.span("audit.pass.file-lints");
+        for file in &ws.files {
+            let mut ds =
+                lints::parse_directives(&file.rel, &file.tokens, enabled, &mut diagnostics);
+            diagnostics.extend(lints::run_file_lints(
+                &file.rel,
+                &file.class,
+                &file.tokens,
+                &mut ds,
+                enabled,
+            ));
+            directives.push(ds);
+        }
+    }
+
+    let need_graph = [
+        lints::PANIC_REACHABILITY,
+        lints::STATIC_MUT,
+        lints::SHARED_MUTABLE_STATIC,
+        lints::LOCK_ACROSS_CRATE_CALL,
+    ]
+    .iter()
+    .any(|l| enabled.contains(l));
+    let call_graph = if need_graph {
+        let _span = rec.span("audit.graph.call");
+        graph::build_call_graph(&ws.files)
+    } else {
+        graph::CallGraph::default()
+    };
+
+    if enabled.contains(lints::PANIC_REACHABILITY) {
+        let _span = rec.span("audit.pass.panic-reachability");
+        diagnostics.extend(passes::panic_reach::run(
+            ws,
+            cfg,
+            &call_graph,
+            &mut directives,
+        ));
+    }
+
+    if enabled.contains(lints::CRATE_LAYERING) && !cfg.layers.is_empty() {
+        let _span = rec.span("audit.pass.crate-layering");
+        let mut edges = graph::manifest_deps(&ws.root)?;
+        edges.extend(graph::use_deps(&ws.files));
+        diagnostics.extend(passes::layering::run(cfg, &edges));
+    }
+
+    let conc = [
+        lints::STATIC_MUT,
+        lints::SHARED_MUTABLE_STATIC,
+        lints::LOCK_ACROSS_CRATE_CALL,
+    ];
+    if conc.iter().any(|l| enabled.contains(l)) {
+        let _span = rec.span("audit.pass.concurrency");
+        let mut found = passes::concurrency::run(
+            ws,
+            &call_graph,
+            &cfg.interior_mutable_allowed,
+            &mut directives,
+        );
+        found.retain(|d| enabled.contains(d.lint));
+        diagnostics.extend(found);
+    }
+
+    if enabled.contains(lints::DEAD_EXPORT) {
+        if let Some(ratchet_rel) = &cfg.ratchet {
+            let _span = rec.span("audit.pass.dead-exports");
+            let text = std::fs::read_to_string(ws.root.join(ratchet_rel)).unwrap_or_default();
+            diagnostics.extend(passes::dead_exports::run(
+                ws,
+                ratchet_rel,
+                &text,
+                &mut directives,
+            ));
+        }
+    }
+
+    if enabled.contains(lints::UNUSED_ALLOW) {
+        for (file, ds) in ws.files.iter().zip(directives.iter_mut()) {
+            // A directive for a lint the caller disabled is trivially
+            // "used": the run never gave it a chance to suppress.
+            for d in ds.iter_mut() {
+                if !enabled.contains(d.lint.as_str()) {
+                    d.used = true;
+                }
+            }
+            diagnostics.extend(lints::unused_allow_diags(&file.rel, ds));
+        }
+    }
+
+    diagnostics.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.lint).cmp(&(b.path.as_str(), b.line, b.col, b.lint))
+    });
     Ok(AuditReport {
         diagnostics,
-        files_scanned,
+        files_scanned: ws.files.len(),
+        lex_count: ws.lex_count,
     })
+}
+
+/// Audit every classifiable `.rs` file under `root` with the given lint
+/// set ([`all_lints`] for everything), reading `audit.toml` if present.
+/// Convenience wrapper around [`load_workspace`] + [`run_audit`] with a
+/// disabled recorder.
+pub fn audit_workspace(root: &Path, enabled: &BTreeSet<&str>) -> Result<AuditReport, AuditError> {
+    audit_workspace_observed(root, enabled, &udi_obs::Recorder::disabled())
+}
+
+/// [`audit_workspace`] with per-pass timing spans emitted through `rec`.
+pub fn audit_workspace_observed(
+    root: &Path,
+    enabled: &BTreeSet<&str>,
+    rec: &udi_obs::Recorder,
+) -> Result<AuditReport, AuditError> {
+    let ws = {
+        let _span = rec.span("audit.load");
+        load_workspace(root)?
+    };
+    let cfg = load_config(root)?;
+    run_audit(&ws, &cfg, enabled, rec)
 }
 
 /// Walk upward from `start` to the first directory whose `Cargo.toml`

@@ -26,6 +26,7 @@ use std::ops::Range;
 
 use crate::classify::{CodeKind, FileClass};
 use crate::lexer::{lex, Token, TokenKind};
+use crate::parser::is_comment;
 
 /// `unwrap()/expect()/panic!/…` forbidden in library code of the
 /// panic-free crates.
@@ -43,6 +44,18 @@ pub const NO_STRAY_IO: &str = "no-stray-io";
 pub const MALFORMED_ALLOW: &str = "malformed-allow";
 /// An allow directive that suppressed nothing — stale tech debt.
 pub const UNUSED_ALLOW: &str = "unused-allow";
+/// A `pub` lib fn from which a panic is reachable through the call graph.
+pub const PANIC_REACHABILITY: &str = "panic-reachability";
+/// A crate dependency that violates the declared layer order.
+pub const CRATE_LAYERING: &str = "crate-layering";
+/// `static mut` anywhere in shipped code.
+pub const STATIC_MUT: &str = "static-mut";
+/// A non-`const` interior-mutable static outside the sanctioned crates.
+pub const SHARED_MUTABLE_STATIC: &str = "shared-mutable-static";
+/// A lock guard held across a call into another workspace crate.
+pub const LOCK_ACROSS_CRATE_CALL: &str = "lock-across-crate-call";
+/// A `pub` item with zero intra-workspace references.
+pub const DEAD_EXPORT: &str = "dead-export";
 
 /// Name and one-line rationale of one lint.
 #[derive(Debug, Clone, Copy)]
@@ -89,6 +102,36 @@ pub const LINTS: &[LintInfo] = &[
         name: UNUSED_ALLOW,
         summary: "an allow directive that suppresses nothing is stale and must be removed",
     },
+    LintInfo {
+        name: PANIC_REACHABILITY,
+        summary: "a pub lib fn of a panic-free crate must not transitively reach \
+                  unwrap/expect/panic! through the workspace call graph (full chain reported)",
+    },
+    LintInfo {
+        name: CRATE_LAYERING,
+        summary: "crate dependencies must respect the layer order declared in audit.toml; \
+                  back-edges and undeclared crates fail",
+    },
+    LintInfo {
+        name: STATIC_MUT,
+        summary: "`static mut` is unsynchronized shared mutable state; the parallel \
+                  fan-out path forbids it outright",
+    },
+    LintInfo {
+        name: SHARED_MUTABLE_STATIC,
+        summary: "non-const interior-mutable statics outside udi-obs's sanctioned sink \
+                  registry are hidden cross-thread channels; pass state explicitly",
+    },
+    LintInfo {
+        name: LOCK_ACROSS_CRATE_CALL,
+        summary: "holding a lock guard across a call into another workspace crate risks \
+                  lock-order inversion in the parallel serving layer",
+    },
+    LintInfo {
+        name: DEAD_EXPORT,
+        summary: "pub items nothing in the workspace references; existing debt is frozen \
+                  in the ratchet file, new debt fails",
+    },
 ];
 
 /// True if `name` is a known lint.
@@ -99,6 +142,26 @@ pub fn is_known_lint(name: &str) -> bool {
 /// The full lint set, as an enabled-set for [`audit_source`].
 pub fn all_lints() -> BTreeSet<&'static str> {
     LINTS.iter().map(|l| l.name).collect()
+}
+
+/// How severe a finding is: errors gate CI, warnings are visible debt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Fails the audit (nonzero exit, red CI).
+    Error,
+    /// Reported and counted, but does not fail the audit. Used by the
+    /// dead-export ratchet and warn-mode index reachability.
+    Warning,
+}
+
+impl Severity {
+    /// `"error"` / `"warning"` — the word diagnostics and JSON print.
+    pub fn word(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
 }
 
 /// One reported violation, rustc-style.
@@ -112,14 +175,64 @@ pub struct Diagnostic {
     pub col: u32,
     /// Which lint fired.
     pub lint: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
     /// Human-readable message.
     pub message: String,
+    /// Extra context lines (call chains, ratchet hints), rendered as
+    /// `note:` lines under the location.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// An error diagnostic with no notes.
+    pub fn error(
+        path: &str,
+        line: u32,
+        col: u32,
+        lint: &'static str,
+        message: String,
+    ) -> Diagnostic {
+        Diagnostic {
+            path: path.to_owned(),
+            line,
+            col,
+            lint,
+            severity: Severity::Error,
+            message,
+            notes: Vec::new(),
+        }
+    }
+
+    /// A warning diagnostic with no notes.
+    pub fn warning(
+        path: &str,
+        line: u32,
+        col: u32,
+        lint: &'static str,
+        message: String,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(path, line, col, lint, message)
+        }
+    }
 }
 
 impl std::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "error[udi-audit::{}]: {}", self.lint, self.message)?;
-        write!(f, "  --> {}:{}:{}", self.path, self.line, self.col)
+        writeln!(
+            f,
+            "{}[udi-audit::{}]: {}",
+            self.severity.word(),
+            self.lint,
+            self.message
+        )?;
+        write!(f, "  --> {}:{}:{}", self.path, self.line, self.col)?;
+        for note in &self.notes {
+            write!(f, "\n  note: {note}")?;
+        }
+        Ok(())
     }
 }
 
@@ -153,22 +266,40 @@ pub const RAW_TIME_EXEMPT_CRATES: &[&str] = &["udi-obs", "udi-bench"];
 /// Crates allowed to print directly (the bench harness narrates runs).
 pub const STRAY_IO_EXEMPT_CRATES: &[&str] = &["udi-bench"];
 
-const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+pub(crate) const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+pub(crate) const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 const IO_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
 
 /// A parsed `udi-audit: allow(...)` directive.
 #[derive(Debug)]
-struct AllowDirective {
-    lint: String,
-    line: u32,
-    col: u32,
+pub(crate) struct AllowDirective {
+    pub(crate) lint: String,
+    pub(crate) line: u32,
+    pub(crate) col: u32,
     /// The line of code this directive covers.
-    target_line: u32,
-    used: bool,
+    pub(crate) target_line: u32,
+    pub(crate) used: bool,
+}
+
+/// Mark the directive covering `(lint, line)` used and return whether one
+/// exists. Presence alone sanctions the line; `used` feeds the
+/// `unused-allow` sweep.
+pub(crate) fn allow_covers(directives: &mut [AllowDirective], lint: &str, line: u32) -> bool {
+    let mut found = false;
+    for d in directives.iter_mut() {
+        if d.lint == lint && d.target_line == line {
+            d.used = true;
+            found = true;
+        }
+    }
+    found
 }
 
 /// Audit one file's source text. `path` is used only for reporting.
+///
+/// This is the single-file convenience entry (it lexes `src` itself); the
+/// workspace runner lexes once into a [`crate::Workspace`] and shares the
+/// token stream across every lint and pass instead.
 pub fn audit_source(
     path: &str,
     class: &FileClass,
@@ -176,14 +307,58 @@ pub fn audit_source(
     enabled: &BTreeSet<&str>,
 ) -> Vec<Diagnostic> {
     let tokens = lex(src);
-    let test_regions = test_regions(&tokens);
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut directives = parse_directives(path, &tokens, enabled, &mut diags);
+    diags.extend(run_file_lints(
+        path,
+        class,
+        &tokens,
+        &mut directives,
+        enabled,
+    ));
+    if enabled.contains(UNUSED_ALLOW) {
+        diags.extend(unused_allow_diags(path, &directives));
+    }
+    diags.sort_by_key(|d| (d.line, d.col, d.lint));
+    diags
+}
+
+/// Diagnostics for every still-unused directive of one file.
+pub(crate) fn unused_allow_diags(path: &str, directives: &[AllowDirective]) -> Vec<Diagnostic> {
+    directives
+        .iter()
+        .filter(|d| !d.used)
+        .map(|d| {
+            Diagnostic::error(
+                path,
+                d.line,
+                d.col,
+                UNUSED_ALLOW,
+                format!(
+                    "allow({}) suppresses nothing on line {} — remove the stale directive",
+                    d.lint, d.target_line
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Run the token-pattern (file-local) lints over a pre-lexed stream,
+/// marking matching allow directives used. The `unused-allow` sweep is the
+/// caller's job, after every pass has had a chance to use a directive.
+pub(crate) fn run_file_lints(
+    path: &str,
+    class: &FileClass,
+    tokens: &[Token],
+    directives: &mut [AllowDirective],
+    enabled: &BTreeSet<&str>,
+) -> Vec<Diagnostic> {
+    let test_regions = test_regions(tokens);
     let in_test = |i: usize| test_regions.iter().any(|r| r.contains(&i));
-    let use_spans = use_spans(&tokens);
+    let use_spans = use_spans(tokens);
     let in_use = |i: usize| use_spans.iter().any(|r| r.contains(&i));
 
     let mut diags: Vec<Diagnostic> = Vec::new();
-    let mut directives = parse_directives(path, &tokens, enabled, &mut diags);
-
     let mut candidates: Vec<(usize, &'static str, String)> = Vec::new();
     let crate_name = class.crate_name.as_str();
     let is_lib = class.kind == CodeKind::Lib;
@@ -311,43 +486,13 @@ pub fn audit_source(
         if !enabled.contains(lint) {
             continue;
         }
-        let tok = &tokens[i];
-        let allowed = directives
-            .iter_mut()
-            .find(|d| d.lint == lint && d.target_line == tok.line);
-        match allowed {
-            Some(d) => d.used = true,
-            None => diags.push(Diagnostic {
-                path: path.to_owned(),
-                line: tok.line,
-                col: tok.col,
-                lint,
-                message,
-            }),
+        let Some(tok) = tokens.get(i) else { continue };
+        if !allow_covers(directives, lint, tok.line) {
+            diags.push(Diagnostic::error(path, tok.line, tok.col, lint, message));
         }
     }
 
-    if enabled.contains(UNUSED_ALLOW) {
-        for d in directives.iter().filter(|d| !d.used) {
-            diags.push(Diagnostic {
-                path: path.to_owned(),
-                line: d.line,
-                col: d.col,
-                lint: UNUSED_ALLOW,
-                message: format!(
-                    "allow({}) suppresses nothing on line {} — remove the stale directive",
-                    d.lint, d.target_line
-                ),
-            });
-        }
-    }
-
-    diags.sort_by_key(|d| (d.line, d.col, d.lint));
     diags
-}
-
-fn is_comment(t: &Token) -> bool {
-    matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
 }
 
 /// Doc comments are documentation, not directives: a `udi-audit:` mention
@@ -362,7 +507,7 @@ fn is_doc_comment(t: &Token) -> bool {
 
 /// Extract `udi-audit:` directives from comment tokens; malformed ones are
 /// reported into `diags` directly.
-fn parse_directives(
+pub(crate) fn parse_directives(
     path: &str,
     tokens: &[Token],
     enabled: &BTreeSet<&str>,
@@ -379,13 +524,13 @@ fn parse_directives(
         let body = tok.text[at + "udi-audit:".len()..].trim();
         let malformed = |msg: &str, diags: &mut Vec<Diagnostic>| {
             if enabled.contains(MALFORMED_ALLOW) {
-                diags.push(Diagnostic {
-                    path: path.to_owned(),
-                    line: tok.line,
-                    col: tok.col,
-                    lint: MALFORMED_ALLOW,
-                    message: msg.to_owned(),
-                });
+                diags.push(Diagnostic::error(
+                    path,
+                    tok.line,
+                    tok.col,
+                    MALFORMED_ALLOW,
+                    msg.to_owned(),
+                ));
             }
         };
         let Some(args) = body
@@ -443,7 +588,7 @@ fn parse_directives(
 
 /// Token-index ranges covered by `#[cfg(test)]` / `#[test]` / `#[bench]`
 /// items (attribute through the matching closing brace).
-fn test_regions(tokens: &[Token]) -> Vec<Range<usize>> {
+pub(crate) fn test_regions(tokens: &[Token]) -> Vec<Range<usize>> {
     let mut regions = Vec::new();
     let mut i = 0;
     while i < tokens.len() {

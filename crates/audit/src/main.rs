@@ -5,21 +5,28 @@
 //! cargo run -p udi-audit -- --list                # lint taxonomy
 //! cargo run -p udi-audit -- --allow float-eq      # run all but one lint
 //! cargo run -p udi-audit -- --root /path/to/tree  # explicit root
+//! cargo run -p udi-audit -- --format json         # machine-readable
+//! cargo run -p udi-audit -- --timings             # per-pass spans to stderr
 //! ```
 //!
-//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+//! Exit codes: `0` clean (warnings allowed), `1` errors found, `2` usage,
+//! I/O, or config error.
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use udi_audit::{all_lints, audit_workspace, find_workspace_root, LINTS};
+use udi_audit::{all_lints, audit_workspace_observed, find_workspace_root, LINTS};
+use udi_obs::{MemorySink, Recorder, TraceSummary};
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut disabled: BTreeSet<String> = BTreeSet::new();
     let mut deny_all = false;
     let mut quiet = false;
+    let mut json = false;
+    let mut timings = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -37,8 +44,17 @@ fn main() -> ExitCode {
                 }
                 None => return usage_error("--allow needs a lint name argument"),
             },
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                Some(other) => {
+                    return usage_error(&format!("--format must be text|json, got `{other}`"))
+                }
+                None => return usage_error("--format needs text|json"),
+            },
             "--deny-all" => deny_all = true,
             "--quiet" => quiet = true,
+            "--timings" => timings = true,
             "--list" => {
                 for lint in LINTS {
                     println!("{:<26} {}", lint.name, lint.summary);
@@ -47,11 +63,14 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "udi-audit: workspace lint engine for UDI invariants\n\n\
-                     usage: udi-audit [--root DIR] [--deny-all] [--allow LINT]... [--quiet] [--list]\n\n\
-                     All lints are errors by default; --allow disables one, --deny-all\n\
-                     re-enables everything (the CI configuration). Exit codes: 0 clean,\n\
-                     1 violations, 2 usage/I-O error."
+                    "udi-audit: workspace static-analysis engine for UDI invariants\n\n\
+                     usage: udi-audit [--root DIR] [--deny-all] [--allow LINT]... \
+                     [--format text|json] [--quiet] [--timings] [--list]\n\n\
+                     All lints run by default; --allow disables one, --deny-all re-enables\n\
+                     everything (the CI configuration). Pass configuration (layering,\n\
+                     panic-reachability roots, ratchet path) comes from audit.toml at the\n\
+                     workspace root. Exit codes: 0 clean (warnings allowed), 1 errors,\n\
+                     2 usage/I-O/config error."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -73,40 +92,79 @@ fn main() -> ExitCode {
         None => return usage_error("no workspace root found (pass --root)"),
     };
 
-    match audit_workspace(&root, &enabled) {
-        Ok(report) => {
-            if !quiet {
-                for d in &report.diagnostics {
-                    println!("{d}\n");
-                }
-            }
-            if report.is_clean() {
-                if !quiet {
-                    println!(
-                        "udi-audit: clean — {} files, {} lints",
-                        report.files_scanned,
-                        enabled.len()
-                    );
-                }
-                ExitCode::SUCCESS
-            } else {
-                println!(
-                    "udi-audit: {} violation(s) across {} scanned file(s)",
-                    report.diagnostics.len(),
-                    report.files_scanned
-                );
-                ExitCode::FAILURE
-            }
-        }
+    let sink = Arc::new(MemorySink::new());
+    let rec = if timings {
+        Recorder::new(sink.clone())
+    } else {
+        Recorder::disabled()
+    };
+
+    let report = match audit_workspace_observed(&root, &enabled, &rec) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("udi-audit: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+
+    if timings {
+        let summary = TraceSummary::from_events(&sink.events());
+        let mut names: Vec<_> = summary.span_names().collect();
+        names.sort();
+        for name in names {
+            if let Some(stat) = summary.span(name) {
+                eprintln!("udi-audit: {name:<28} {:>8} us", stat.total_us);
+            }
+        }
+    }
+
+    if json {
+        println!("{}", report.to_json());
+        return if report.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let errors = report.errors().count();
+    let warnings = report.warnings().count();
+    if !quiet {
+        for d in &report.diagnostics {
+            println!("{d}\n");
+        }
+    }
+    if report.is_clean() {
+        if !quiet {
+            if warnings > 0 {
+                println!(
+                    "udi-audit: clean — {} files, {} lints, {warnings} warning(s)",
+                    report.files_scanned,
+                    enabled.len()
+                );
+            } else {
+                println!(
+                    "udi-audit: clean — {} files, {} lints",
+                    report.files_scanned,
+                    enabled.len()
+                );
+            }
+        }
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "udi-audit: {errors} error(s), {warnings} warning(s) across {} scanned file(s)",
+            report.files_scanned
+        );
+        ExitCode::FAILURE
     }
 }
 
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("udi-audit: {msg}");
-    eprintln!("usage: udi-audit [--root DIR] [--deny-all] [--allow LINT]... [--quiet] [--list]");
+    eprintln!(
+        "usage: udi-audit [--root DIR] [--deny-all] [--allow LINT]... [--format text|json] \
+         [--quiet] [--timings] [--list]"
+    );
     ExitCode::from(2)
 }

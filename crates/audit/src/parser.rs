@@ -1,0 +1,908 @@
+//! A recursive-descent *item* parser over the [`crate::lexer`] token
+//! stream.
+//!
+//! This is not a Rust parser — it recovers exactly the structure the
+//! whole-workspace passes need: which functions exist (with their bodies'
+//! token ranges, visibility, and the `impl`/`trait` context that makes a
+//! `fn` a method), which `use` declarations import what, and which
+//! `static`s a crate declares. Expression grammar is never parsed; a
+//! function body is an opaque, brace-balanced token range that the
+//! call-graph builder scans separately.
+//!
+//! Like the lexer, the parser never fails: unrecognized constructs are
+//! skipped token by token, so at worst an item is *missed* (suppressing a
+//! lint), never invented. Items under `#[cfg(test)]` / `#[test]` are
+//! parsed but marked [`Item::in_test`] so every pass can exempt them.
+
+use std::ops::Range;
+
+use crate::lexer::{Token, TokenKind};
+
+/// Item visibility, as far as the passes care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vis {
+    /// `pub` — part of the crate's external surface.
+    Pub,
+    /// `pub(crate)`, `pub(super)`, `pub(in …)` — widened, but not exported.
+    Restricted,
+    /// No visibility keyword.
+    Private,
+}
+
+/// What kind of item was parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn` (free function, inherent method, trait method, or trait
+    /// default method — see [`Item::self_ty`] / [`Item::trait_name`]).
+    Fn,
+    /// `struct`.
+    Struct,
+    /// `enum`.
+    Enum,
+    /// `union`.
+    Union,
+    /// `trait`.
+    Trait,
+    /// `type` alias.
+    TypeAlias,
+    /// `const` item.
+    Const,
+    /// `static` item.
+    Static {
+        /// Whether it is a `static mut`.
+        mutable: bool,
+    },
+    /// A `use` declaration; the path tokens live in [`Item::span`].
+    Use,
+    /// `mod` (inline or out-of-line).
+    Mod,
+    /// `macro_rules!` definition.
+    MacroDef,
+}
+
+/// One parsed item with its token span and nesting context.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Item kind.
+    pub kind: ItemKind,
+    /// Item name (`""` for `use` declarations and unnamed items).
+    pub name: String,
+    /// Visibility as written.
+    pub vis: Vis,
+    /// Names of the enclosing inline `mod`s, outermost first.
+    pub module_path: Vec<String>,
+    /// For a `fn` inside `impl Type` / `impl Trait for Type`: `Type`.
+    /// For a `fn` inside `trait Tr { … }`: `Tr` (default methods resolve
+    /// like methods of the trait).
+    pub self_ty: Option<String>,
+    /// For a `fn` inside `impl Trait for Type`: `Trait`.
+    pub trait_name: Option<String>,
+    /// Token-index range of the whole item (attributes included).
+    pub span: Range<usize>,
+    /// For a `fn` with a body: token-index range of `{ … }` inclusive.
+    pub body: Option<Range<usize>>,
+    /// 1-based line of the item keyword (diagnostic anchor).
+    pub line: u32,
+    /// 1-based column of the item keyword.
+    pub col: u32,
+    /// Whether the item is under `#[cfg(test)]` / `#[test]` / `#[bench]`.
+    pub in_test: bool,
+}
+
+/// Parse the items of one file's token stream.
+pub fn parse_items(tokens: &[Token]) -> Vec<Item> {
+    let sig: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !is_comment(t))
+        .map(|(i, _)| i)
+        .collect();
+    let mut p = Parser {
+        toks: tokens,
+        sig,
+        s: 0,
+        out: Vec::new(),
+    };
+    let ctx = Ctx {
+        module_path: Vec::new(),
+        self_ty: None,
+        trait_name: None,
+        in_test: false,
+    };
+    p.items(&ctx, false);
+    p.out
+}
+
+/// Whether a token is a comment (shared with the lint passes).
+pub fn is_comment(t: &Token) -> bool {
+    matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+}
+
+/// Texts inside an attribute's brackets; `open` is the **significant-token
+/// slot** of the `[`. Returns `(texts, slot after the closing ])`.
+fn attribute_texts(toks: &[Token], sig: &[usize], open: usize) -> (Vec<String>, usize) {
+    let mut texts = Vec::new();
+    let mut depth = 0i32;
+    let mut s = open;
+    while let Some(t) = sig.get(s).and_then(|&i| toks.get(i)) {
+        if t.kind == TokenKind::Punct && t.text == "[" {
+            depth += 1;
+        } else if t.kind == TokenKind::Punct && t.text == "]" {
+            depth -= 1;
+            if depth == 0 {
+                return (texts, s + 1);
+            }
+        } else if depth > 0 {
+            texts.push(t.text.clone());
+        }
+        s += 1;
+    }
+    (texts, s)
+}
+
+/// Whether an attribute's joined texts mark test-only code:
+/// `test`, `bench`, `*::test`, `cfg(test)`, `cfg(any(test, …))` — but not
+/// `cfg(not(test))`.
+pub fn is_test_attribute(texts: &[String]) -> bool {
+    let joined: String = texts.concat();
+    if joined == "test" || joined == "bench" || joined.ends_with("::test") {
+        return true;
+    }
+    joined.starts_with("cfg(") && joined.contains("test") && !joined.contains("not(test")
+}
+
+#[derive(Clone)]
+struct Ctx {
+    module_path: Vec<String>,
+    self_ty: Option<String>,
+    trait_name: Option<String>,
+    in_test: bool,
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    /// Indices of significant (non-comment) tokens.
+    sig: Vec<usize>,
+    /// Cursor into `sig`.
+    s: usize,
+    out: Vec<Item>,
+}
+
+impl<'a> Parser<'a> {
+    fn tok(&self, s: usize) -> Option<&'a Token> {
+        self.sig.get(s).and_then(|&i| self.toks.get(i))
+    }
+
+    fn text(&self, s: usize) -> Option<&'a str> {
+        self.tok(s).map(|t| t.text.as_str())
+    }
+
+    fn kind(&self, s: usize) -> Option<TokenKind> {
+        self.tok(s).map(|t| t.kind)
+    }
+
+    /// Original token index of significant slot `s` (or one past the end).
+    fn orig(&self, s: usize) -> usize {
+        self.sig.get(s).copied().unwrap_or(self.toks.len())
+    }
+
+    fn is_ident(&self, s: usize) -> bool {
+        matches!(self.kind(s), Some(TokenKind::Ident | TokenKind::RawIdent))
+    }
+
+    /// Skip a balanced delimiter group whose opener is at the cursor.
+    /// Counts only the opener's own delimiter kind (lint-grade recovery on
+    /// malformed input). Leaves the cursor just past the closer.
+    fn skip_balanced(&mut self) {
+        let (open, close) = match self.text(self.s) {
+            Some("(") => ("(", ")"),
+            Some("[") => ("[", "]"),
+            Some("{") => ("{", "}"),
+            _ => {
+                self.s += 1;
+                return;
+            }
+        };
+        let mut depth = 0i64;
+        while let Some(t) = self.text(self.s) {
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    self.s += 1;
+                    return;
+                }
+            }
+            self.s += 1;
+        }
+    }
+
+    /// Skip a `<…>` generic group whose `<` is at the cursor. `>>` closes
+    /// two levels; `->` / `=>` do not count.
+    fn skip_angles(&mut self) {
+        let mut depth = 0i64;
+        while let Some(t) = self.text(self.s) {
+            match t {
+                "<" | "<<" => depth += if t == "<<" { 2 } else { 1 },
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+            self.s += 1;
+            if depth <= 0 {
+                return;
+            }
+        }
+    }
+
+    /// Parse items until EOF, or (when `in_block`) until the matching `}`.
+    fn items(&mut self, ctx: &Ctx, in_block: bool) {
+        while let Some(t) = self.tok(self.s) {
+            if in_block && t.kind == TokenKind::Punct && t.text == "}" {
+                self.s += 1;
+                return;
+            }
+            self.item(ctx);
+        }
+    }
+
+    /// Parse one item (or recover by skipping a token).
+    fn item(&mut self, ctx: &Ctx) {
+        let start_s = self.s;
+        let mut in_test = ctx.in_test;
+
+        // Attributes. Inner attributes (`#![…]`) are consumed and ignored.
+        while self.text(self.s) == Some("#") {
+            let mut open = self.s + 1;
+            if self.text(open) == Some("!") {
+                open += 1;
+            }
+            if self.text(open) != Some("[") {
+                break;
+            }
+            let (texts, after) = attribute_texts(self.toks, &self.sig, open);
+            if is_test_attribute(&texts) {
+                in_test = true;
+            }
+            self.s = after;
+        }
+
+        // Visibility.
+        let mut vis = Vis::Private;
+        if self.text(self.s) == Some("pub") {
+            self.s += 1;
+            if self.text(self.s) == Some("(") {
+                self.skip_balanced();
+                vis = Vis::Restricted;
+            } else {
+                vis = Vis::Pub;
+            }
+        }
+
+        // Modifiers in front of `fn` / `trait` / `impl`.
+        loop {
+            match self.text(self.s) {
+                Some("default" | "async" | "unsafe" | "auto") => self.s += 1,
+                Some("const") if self.text(self.s + 1) == Some("fn") => self.s += 1,
+                Some("extern")
+                    if self.kind(self.s + 1) == Some(TokenKind::Str)
+                        && matches!(self.text(self.s + 2), Some("fn" | "{")) =>
+                {
+                    self.s += 2
+                }
+                _ => break,
+            }
+        }
+
+        let anchor = self.tok(self.s);
+        let (line, col) = anchor.map(|t| (t.line, t.col)).unwrap_or((0, 0));
+        match self.text(self.s) {
+            Some("fn") => self.item_fn(ctx, start_s, vis, in_test, line, col),
+            Some(kw @ ("struct" | "enum" | "union")) => {
+                // `union` is contextual: only a type definition when
+                // followed by a name.
+                if kw == "union" && !self.is_ident(self.s + 1) {
+                    self.s += 1;
+                    return;
+                }
+                self.item_type_def(ctx, start_s, vis, in_test, line, col, kw)
+            }
+            Some("trait") => self.item_trait(ctx, start_s, vis, in_test, line, col),
+            Some("impl") => self.item_impl(ctx, in_test),
+            Some("mod") => self.item_mod(ctx, start_s, vis, in_test, line, col),
+            Some("use") => {
+                self.skip_to_semi();
+                self.push(
+                    ctx,
+                    ItemKind::Use,
+                    "",
+                    vis,
+                    start_s,
+                    None,
+                    line,
+                    col,
+                    in_test,
+                );
+            }
+            Some("static") => {
+                self.s += 1;
+                let mutable = self.text(self.s) == Some("mut");
+                if mutable {
+                    self.s += 1;
+                }
+                let name = self.take_name();
+                self.skip_to_semi();
+                self.push(
+                    ctx,
+                    ItemKind::Static { mutable },
+                    &name,
+                    vis,
+                    start_s,
+                    None,
+                    line,
+                    col,
+                    in_test,
+                );
+            }
+            Some("const") => {
+                self.s += 1;
+                let name = self.take_name(); // `_` consts come out as "_"
+                self.skip_to_semi();
+                self.push(
+                    ctx,
+                    ItemKind::Const,
+                    &name,
+                    vis,
+                    start_s,
+                    None,
+                    line,
+                    col,
+                    in_test,
+                );
+            }
+            Some("type") => {
+                self.s += 1;
+                let name = self.take_name();
+                self.skip_to_semi();
+                self.push(
+                    ctx,
+                    ItemKind::TypeAlias,
+                    &name,
+                    vis,
+                    start_s,
+                    None,
+                    line,
+                    col,
+                    in_test,
+                );
+            }
+            Some("macro_rules") => {
+                self.s += 1; // macro_rules
+                if self.text(self.s) == Some("!") {
+                    self.s += 1;
+                }
+                let name = self.take_name();
+                self.skip_balanced();
+                self.push(
+                    ctx,
+                    ItemKind::MacroDef,
+                    &name,
+                    vis,
+                    start_s,
+                    None,
+                    line,
+                    col,
+                    in_test,
+                );
+            }
+            Some("extern") => {
+                // `extern crate name;` or `extern "C" { … }`.
+                self.s += 1;
+                if self.kind(self.s) == Some(TokenKind::Str) {
+                    self.s += 1;
+                }
+                if self.text(self.s) == Some("{") {
+                    self.skip_balanced();
+                } else {
+                    self.skip_to_semi();
+                }
+            }
+            Some(_) if self.is_ident(self.s) && self.text(self.s + 1) == Some("!") => {
+                // Item-position macro invocation (`thread_local! { … }`).
+                self.s += 2;
+                if self.is_ident(self.s) {
+                    self.s += 1; // `macro_rules!`-style trailing name
+                }
+                match self.text(self.s) {
+                    Some("{" | "(" | "[") => {
+                        self.skip_balanced();
+                        if self.text(self.s) == Some(";") {
+                            self.s += 1;
+                        }
+                    }
+                    _ => self.s += 1,
+                }
+            }
+            _ => self.s += 1, // recovery
+        }
+    }
+
+    fn take_name(&mut self) -> String {
+        if self.is_ident(self.s) || self.text(self.s) == Some("_") {
+            let name = self.text(self.s).unwrap_or("").to_owned();
+            self.s += 1;
+            name
+        } else {
+            String::new()
+        }
+    }
+
+    /// Advance past the next `;` at delimiter depth 0 (initializers may
+    /// contain arbitrary nested blocks).
+    fn skip_to_semi(&mut self) {
+        let mut depth = 0i64;
+        while let Some(t) = self.text(self.s) {
+            match t {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => {
+                    if depth == 0 {
+                        return; // missing `;` — don't eat the enclosing closer
+                    }
+                    depth -= 1;
+                }
+                ";" if depth == 0 => {
+                    self.s += 1;
+                    return;
+                }
+                _ => {}
+            }
+            self.s += 1;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        ctx: &Ctx,
+        kind: ItemKind,
+        name: &str,
+        vis: Vis,
+        start_s: usize,
+        body: Option<Range<usize>>,
+        line: u32,
+        col: u32,
+        in_test: bool,
+    ) {
+        let span = self.orig(start_s)..self.orig(self.s);
+        self.out.push(Item {
+            kind,
+            name: name.to_owned(),
+            vis,
+            module_path: ctx.module_path.clone(),
+            self_ty: ctx.self_ty.clone(),
+            trait_name: ctx.trait_name.clone(),
+            span,
+            body,
+            line,
+            col,
+            in_test,
+        });
+    }
+
+    fn item_fn(&mut self, ctx: &Ctx, start_s: usize, vis: Vis, in_test: bool, line: u32, col: u32) {
+        self.s += 1; // fn
+        let name = self.take_name();
+        // Scan the signature for the body `{` or a terminating `;`,
+        // tracking paren/bracket and angle depth so `->`, bounds, and
+        // where-clauses don't confuse the search.
+        let mut delim = 0i64;
+        let mut angle = 0i64;
+        let mut body = None;
+        while let Some(t) = self.text(self.s) {
+            match t {
+                "(" | "[" => delim += 1,
+                ")" | "]" => delim -= 1,
+                "<" => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle = (angle - 1).max(0),
+                ">>" => angle = (angle - 2).max(0),
+                "{" if delim == 0 && angle == 0 => {
+                    let open = self.orig(self.s);
+                    self.skip_balanced();
+                    body = Some(open..self.orig(self.s));
+                    break;
+                }
+                ";" if delim == 0 && angle == 0 => {
+                    self.s += 1;
+                    break;
+                }
+                _ => {}
+            }
+            self.s += 1;
+        }
+        self.push(
+            ctx,
+            ItemKind::Fn,
+            &name,
+            vis,
+            start_s,
+            body,
+            line,
+            col,
+            in_test,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn item_type_def(
+        &mut self,
+        ctx: &Ctx,
+        start_s: usize,
+        vis: Vis,
+        in_test: bool,
+        line: u32,
+        col: u32,
+        kw: &str,
+    ) {
+        self.s += 1; // struct | enum | union
+        let name = self.take_name();
+        let kind = match kw {
+            "struct" => ItemKind::Struct,
+            "enum" => ItemKind::Enum,
+            _ => ItemKind::Union,
+        };
+        let mut angle = 0i64;
+        while let Some(t) = self.text(self.s) {
+            match t {
+                "<" => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle = (angle - 1).max(0),
+                ">>" => angle = (angle - 2).max(0),
+                "{" if angle == 0 => {
+                    self.skip_balanced();
+                    break;
+                }
+                "(" if angle == 0 => {
+                    // Tuple struct: `struct S(u8);`
+                    self.skip_balanced();
+                    self.skip_to_semi();
+                    break;
+                }
+                ";" if angle == 0 => {
+                    self.s += 1;
+                    break;
+                }
+                _ => {}
+            }
+            self.s += 1;
+        }
+        self.push(ctx, kind, &name, vis, start_s, None, line, col, in_test);
+    }
+
+    fn item_trait(
+        &mut self,
+        ctx: &Ctx,
+        start_s: usize,
+        vis: Vis,
+        in_test: bool,
+        line: u32,
+        col: u32,
+    ) {
+        self.s += 1; // trait
+        let name = self.take_name();
+        // Skip generics, supertrait bounds, and where-clause to the body
+        // (or a `;` for `trait Alias = …;`).
+        let mut angle = 0i64;
+        let mut has_body = false;
+        while let Some(t) = self.text(self.s) {
+            match t {
+                "<" => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle = (angle - 1).max(0),
+                ">>" => angle = (angle - 2).max(0),
+                "{" if angle == 0 => {
+                    has_body = true;
+                    break;
+                }
+                ";" if angle == 0 => {
+                    self.s += 1;
+                    break;
+                }
+                _ => {}
+            }
+            self.s += 1;
+        }
+        self.push(
+            ctx,
+            ItemKind::Trait,
+            &name,
+            vis,
+            start_s,
+            None,
+            line,
+            col,
+            in_test,
+        );
+        if has_body {
+            self.s += 1; // {
+            let inner = Ctx {
+                module_path: ctx.module_path.clone(),
+                self_ty: Some(name),
+                trait_name: None,
+                in_test,
+            };
+            self.items(&inner, true);
+        }
+    }
+
+    fn item_impl(&mut self, ctx: &Ctx, in_test: bool) {
+        self.s += 1; // impl
+        if self.text(self.s) == Some("<") {
+            self.skip_angles();
+        }
+        // Header: `Path<…> (for Path<…>)? where …? {`.
+        let mut first: Vec<String> = Vec::new();
+        let mut second: Vec<String> = Vec::new();
+        let mut saw_for = false;
+        let mut angle = 0i64;
+        let mut paren = 0i64;
+        while let Some(t) = self.tok(self.s) {
+            let txt = t.text.as_str();
+            match txt {
+                "<" => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle = (angle - 1).max(0),
+                ">>" => angle = (angle - 2).max(0),
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren -= 1,
+                "for" if angle == 0 && paren == 0 => saw_for = true,
+                "where" if angle == 0 && paren == 0 => break,
+                "{" if angle == 0 && paren == 0 => break,
+                ";" if angle == 0 && paren == 0 => {
+                    // Degenerate/malformed header — bail.
+                    self.s += 1;
+                    return;
+                }
+                _ => {
+                    if angle == 0
+                        && paren == 0
+                        && matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent)
+                        && !matches!(txt, "dyn" | "mut")
+                    {
+                        if saw_for {
+                            second.push(txt.to_owned());
+                        } else {
+                            first.push(txt.to_owned());
+                        }
+                    }
+                }
+            }
+            self.s += 1;
+        }
+        // Skip a where-clause to the body.
+        while let Some(t) = self.text(self.s) {
+            if t == "{" {
+                break;
+            }
+            self.s += 1;
+        }
+        if self.text(self.s) != Some("{") {
+            return;
+        }
+        self.s += 1; // {
+        let (self_ty, trait_name) = if saw_for {
+            (second.last().cloned(), first.last().cloned())
+        } else {
+            (first.last().cloned(), None)
+        };
+        let inner = Ctx {
+            module_path: ctx.module_path.clone(),
+            self_ty,
+            trait_name,
+            in_test,
+        };
+        self.items(&inner, true);
+    }
+
+    fn item_mod(
+        &mut self,
+        ctx: &Ctx,
+        start_s: usize,
+        vis: Vis,
+        in_test: bool,
+        line: u32,
+        col: u32,
+    ) {
+        self.s += 1; // mod
+        let name = self.take_name();
+        match self.text(self.s) {
+            Some("{") => {
+                self.push(
+                    ctx,
+                    ItemKind::Mod,
+                    &name,
+                    vis,
+                    start_s,
+                    None,
+                    line,
+                    col,
+                    in_test,
+                );
+                self.s += 1;
+                let mut module_path = ctx.module_path.clone();
+                module_path.push(name);
+                let inner = Ctx {
+                    module_path,
+                    self_ty: None,
+                    trait_name: None,
+                    in_test,
+                };
+                self.items(&inner, true);
+            }
+            _ => {
+                self.skip_to_semi();
+                self.push(
+                    ctx,
+                    ItemKind::Mod,
+                    &name,
+                    vis,
+                    start_s,
+                    None,
+                    line,
+                    col,
+                    in_test,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<Item> {
+        parse_items(&lex(src))
+    }
+
+    fn find<'a>(items: &'a [Item], name: &str) -> &'a Item {
+        items
+            .iter()
+            .find(|i| i.name == name)
+            .unwrap_or_else(|| panic!("no item `{name}` in {items:#?}"))
+    }
+
+    #[test]
+    fn free_fn_and_visibility() {
+        let items = parse("pub fn a() {} fn b(x: u32) -> u32 { x } pub(crate) fn c() {}");
+        assert_eq!(find(&items, "a").vis, Vis::Pub);
+        assert_eq!(find(&items, "b").vis, Vis::Private);
+        assert_eq!(find(&items, "c").vis, Vis::Restricted);
+        assert!(find(&items, "b").body.is_some());
+    }
+
+    #[test]
+    fn impl_methods_carry_self_ty_and_trait() {
+        let src = "
+            struct Foo;
+            impl Foo { pub fn new() -> Foo { Foo } }
+            impl std::fmt::Display for Foo {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }
+            }
+        ";
+        let items = parse(src);
+        let new = find(&items, "new");
+        assert_eq!(new.self_ty.as_deref(), Some("Foo"));
+        assert_eq!(new.trait_name, None);
+        let fmt = find(&items, "fmt");
+        assert_eq!(fmt.self_ty.as_deref(), Some("Foo"));
+        assert_eq!(fmt.trait_name.as_deref(), Some("Display"));
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_base_name() {
+        let src = "impl<'a, T: Clone> Wrapper<'a, T> { fn get(&self) -> &T { &self.0 } }";
+        let items = parse(src);
+        assert_eq!(find(&items, "get").self_ty.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn trait_default_methods_resolve_to_the_trait() {
+        let items = parse("pub trait Sink { fn flush(&self) {} fn record(&self); }");
+        assert_eq!(find(&items, "flush").self_ty.as_deref(), Some("Sink"));
+        assert!(find(&items, "flush").body.is_some());
+        assert!(find(&items, "record").body.is_none());
+    }
+
+    #[test]
+    fn mods_nest_and_cfg_test_marks_items() {
+        let src = "
+            mod outer { pub mod inner { pub fn deep() {} } }
+            #[cfg(test)]
+            mod tests { fn helper() {} #[test] fn case() {} }
+            #[cfg(not(test))] fn shipped() {}
+        ";
+        let items = parse(src);
+        assert_eq!(find(&items, "deep").module_path, vec!["outer", "inner"]);
+        assert!(find(&items, "helper").in_test);
+        assert!(find(&items, "case").in_test);
+        assert!(!find(&items, "shipped").in_test);
+    }
+
+    #[test]
+    fn statics_consts_uses_types() {
+        let src = "
+            pub static mut GLOBAL: u32 = 0;
+            static OK: &str = \"x\";
+            pub const LIMIT: usize = 10;
+            use std::collections::BTreeMap;
+            pub type Alias = BTreeMap<String, u32>;
+        ";
+        let items = parse(src);
+        assert_eq!(
+            find(&items, "GLOBAL").kind,
+            ItemKind::Static { mutable: true }
+        );
+        assert_eq!(find(&items, "OK").kind, ItemKind::Static { mutable: false });
+        assert_eq!(find(&items, "LIMIT").kind, ItemKind::Const);
+        assert_eq!(find(&items, "Alias").kind, ItemKind::TypeAlias);
+        assert!(items.iter().any(|i| i.kind == ItemKind::Use));
+    }
+
+    #[test]
+    fn struct_variants() {
+        let items = parse("pub struct A { x: u32 } struct B(u8); struct C; enum E<T> { V(T) }");
+        for n in ["A", "B", "C"] {
+            assert_eq!(find(&items, n).kind, ItemKind::Struct, "{n}");
+        }
+        assert_eq!(find(&items, "E").kind, ItemKind::Enum);
+    }
+
+    #[test]
+    fn fn_after_tuple_struct_is_not_swallowed() {
+        let items = parse("struct B(u8);\npub fn after() {}");
+        assert!(items.iter().any(|i| i.name == "after"));
+    }
+
+    #[test]
+    fn macro_invocations_at_item_level_are_opaque() {
+        let src = "thread_local! { static TL: u32 = 0; }\npub fn after_macro() {}";
+        let items = parse(src);
+        assert!(!items
+            .iter()
+            .any(|i| matches!(i.kind, ItemKind::Static { .. })));
+        assert!(items.iter().any(|i| i.name == "after_macro"));
+    }
+
+    #[test]
+    fn spans_are_in_bounds_and_bodies_nest_inside_spans() {
+        let src = "
+            pub fn outer(v: Vec<u32>) -> u32 {
+                let c = |x: u32| x + 1;
+                c(v.len() as u32)
+            }
+            impl Thing { fn method(&self) { self.other() } }
+        ";
+        let toks = lex(src);
+        for item in parse_items(&toks) {
+            assert!(item.span.end <= toks.len());
+            assert!(item.span.start <= item.span.end);
+            if let Some(b) = &item.body {
+                assert!(b.start >= item.span.start && b.end <= item.span.end);
+            }
+        }
+    }
+
+    #[test]
+    fn where_clauses_and_generic_returns() {
+        let src = "
+            pub fn f<T>(t: T) -> Vec<Vec<T>> where T: Clone { vec![vec![t]] }
+            fn g() -> impl Iterator<Item = (usize, u8)> { std::iter::empty() }
+        ";
+        let items = parse(src);
+        assert!(find(&items, "f").body.is_some());
+        assert!(find(&items, "g").body.is_some());
+    }
+}

@@ -1,0 +1,184 @@
+//! Dead-export detection with a ratchet.
+//!
+//! A `pub` item in a crate's lib code that no other workspace file ever
+//! names is a dead export: unused API surface that still costs review and
+//! compatibility attention. Because a freshly-bootstrapped codebase has
+//! legitimate pre-existing surface (and some exports exist *for* external
+//! callers), the pass ratchets instead of hard-failing on day one:
+//!
+//! * a dead export **listed** in the ratchet file is a warning (frozen
+//!   debt — allowed to exist, visible in reports),
+//! * a dead export **not listed** is an error (new debt is rejected),
+//! * a ratchet entry that is **no longer dead** (or no longer exists) is an
+//!   error — the file must shrink as debt is paid down, never drift.
+//!
+//! The ratchet file is one `crate-name::item-name` per line, `#` comments
+//! allowed, kept sorted.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::classify::CodeKind;
+use crate::lints::{allow_covers, AllowDirective, Diagnostic, DEAD_EXPORT};
+use crate::parser::{ItemKind, Vis};
+use crate::Workspace;
+
+/// Parse a ratchet file body into its entry set with line numbers.
+pub fn parse_ratchet(text: &str) -> BTreeMap<String, u32> {
+    let mut entries = BTreeMap::new();
+    for (ln0, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        entries.entry(line.to_owned()).or_insert(ln0 as u32 + 1);
+    }
+    entries
+}
+
+/// Run the pass. `ratchet_text` is the content of the configured ratchet
+/// file (empty string when the file does not exist yet).
+pub fn run(
+    ws: &Workspace,
+    ratchet_path: &str,
+    ratchet_text: &str,
+    directives: &mut [Vec<AllowDirective>],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // 1. Candidate exports: pub items in lib code, outside test regions.
+    //    Trait impl members are not exports in their own right (their
+    //    visibility is the trait's), and `use` / `mod` items are plumbing.
+    struct Export<'a> {
+        key: String,
+        name: &'a str,
+        file: usize,
+        rel: &'a str,
+        line: u32,
+        col: u32,
+    }
+    let mut exports: Vec<Export<'_>> = Vec::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        if file.class.kind != CodeKind::Lib {
+            continue;
+        }
+        for item in &file.items {
+            if item.vis != Vis::Pub
+                || item.in_test
+                || item.trait_name.is_some()
+                || matches!(
+                    item.kind,
+                    ItemKind::Use | ItemKind::Mod | ItemKind::MacroDef
+                )
+                || item.name.is_empty()
+            {
+                continue;
+            }
+            // Inherent methods are reachable only through their type; the
+            // type itself is the export we track. Skip `Self`-scoped fns.
+            if item.self_ty.is_some() {
+                continue;
+            }
+            exports.push(Export {
+                key: format!("{}::{}", file.class.crate_name, item.name),
+                name: &item.name,
+                file: fi,
+                rel: &file.rel,
+                line: item.line,
+                col: item.col,
+            });
+        }
+    }
+
+    // 2. Count ident occurrences across ALL files (tests and examples are
+    //    legitimate consumers), excluding each export's own definition
+    //    span, done cheaply: count global occurrences once, then subtract
+    //    occurrences inside the defining item's span.
+    let mut global: BTreeMap<&str, usize> = BTreeMap::new();
+    for file in &ws.files {
+        for tok in &file.tokens {
+            if matches!(
+                tok.kind,
+                crate::lexer::TokenKind::Ident | crate::lexer::TokenKind::RawIdent
+            ) {
+                *global.entry(tok.text.as_str()).or_insert(0) += 1;
+            }
+        }
+    }
+    let ratchet = parse_ratchet(ratchet_text);
+    let mut live_keys: BTreeSet<String> = BTreeSet::new();
+
+    for ex in &exports {
+        let total = global.get(ex.name).copied().unwrap_or(0);
+        // Occurrences within the defining item's own span (the definition
+        // itself, recursive self-references, method bodies of the type).
+        let own = ws.files.get(ex.file).map_or(0, |file| {
+            let span = file
+                .items
+                .iter()
+                .find(|it| it.line == ex.line && it.name == *ex.name)
+                .map(|it| it.span.clone());
+            match span {
+                Some(span) => file.tokens[span]
+                    .iter()
+                    .filter(|t| t.text == *ex.name)
+                    .count(),
+                None => 0,
+            }
+        });
+        if total > own {
+            live_keys.insert(ex.key.clone());
+            continue;
+        }
+        let allowed = directives
+            .get_mut(ex.file)
+            .is_some_and(|ds| allow_covers(ds, DEAD_EXPORT, ex.line));
+        if allowed {
+            live_keys.insert(ex.key.clone());
+            continue;
+        }
+        if ratchet.contains_key(&ex.key) {
+            diags.push(Diagnostic::warning(
+                ex.rel,
+                ex.line,
+                ex.col,
+                DEAD_EXPORT,
+                format!("`{}` is unused outside its definition (ratcheted)", ex.key),
+            ));
+        } else {
+            let mut d = Diagnostic::error(
+                ex.rel,
+                ex.line,
+                ex.col,
+                DEAD_EXPORT,
+                format!(
+                    "new dead export: `{}` is never named outside its definition",
+                    ex.key
+                ),
+            );
+            d.notes.push(format!(
+                "remove it, reference it, or (for deliberate API surface) add `{}` to {ratchet_path}",
+                ex.key
+            ));
+            diags.push(d);
+        }
+    }
+
+    // 3. Stale ratchet entries: listed but no longer a dead export.
+    let export_keys: BTreeSet<&str> = exports.iter().map(|e| e.key.as_str()).collect();
+    for (key, line) in &ratchet {
+        let stale = !export_keys.contains(key.as_str()) || live_keys.contains(key);
+        if stale {
+            let mut d = Diagnostic::error(
+                ratchet_path,
+                *line,
+                1,
+                DEAD_EXPORT,
+                format!("stale ratchet entry: `{key}` is no longer a dead export"),
+            );
+            d.notes
+                .push("delete the line — the ratchet only shrinks".to_owned());
+            diags.push(d);
+        }
+    }
+    diags
+}

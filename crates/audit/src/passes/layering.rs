@@ -1,0 +1,79 @@
+//! Crate-layering enforcement.
+//!
+//! `audit.toml` declares a layer number per crate; a crate may depend only
+//! on strictly lower layers. Dependencies are collected from two sources —
+//! `[dependencies]` tables in each crate's `Cargo.toml` and resolved `use`
+//! paths in lib/bin code — so a layering violation is caught whether it is
+//! declared, merely imported, or both.
+//!
+//! Three findings:
+//! * **back-edge** — `from` depends on `to` but `layer(to) >= layer(from)`
+//!   (error),
+//! * **undeclared crate** — an edge touches a crate missing from
+//!   `[layers]` (error: the contract must stay total),
+//! * the pass is disabled entirely when `[layers]` is empty.
+
+use std::collections::BTreeSet;
+
+use crate::config::Config;
+use crate::graph::DepEdge;
+use crate::lints::{Diagnostic, CRATE_LAYERING};
+
+/// Run the pass over the union of manifest and use-path edges.
+pub fn run(cfg: &Config, edges: &[DepEdge]) -> Vec<Diagnostic> {
+    if cfg.layers.is_empty() {
+        return Vec::new();
+    }
+    let mut diags = Vec::new();
+    // Dedup by (from, to): Cargo.toml sites come first in `edges`, so the
+    // declared site wins over a use-path sighting of the same edge.
+    let mut seen: BTreeSet<(&str, &str)> = BTreeSet::new();
+    for e in edges {
+        if !seen.insert((e.from.as_str(), e.to.as_str())) {
+            continue;
+        }
+        let from_layer = cfg.layers.get(&e.from);
+        let to_layer = cfg.layers.get(&e.to);
+        match (from_layer, to_layer) {
+            (Some(&lf), Some(&lt)) => {
+                if lt >= lf {
+                    let mut d = Diagnostic::error(
+                        &e.path,
+                        e.line,
+                        1,
+                        CRATE_LAYERING,
+                        format!(
+                            "layering back-edge: `{}` (layer {lf}) depends on `{}` (layer {lt})",
+                            e.from, e.to
+                        ),
+                    );
+                    d.notes.push(
+                        "a crate may depend only on strictly lower layers; see audit.toml [layers]"
+                            .to_owned(),
+                    );
+                    diags.push(d);
+                }
+            }
+            (missing_from, _) => {
+                let who = if missing_from.is_none() {
+                    &e.from
+                } else {
+                    &e.to
+                };
+                let mut d = Diagnostic::error(
+                    &e.path,
+                    e.line,
+                    1,
+                    CRATE_LAYERING,
+                    format!("crate `{who}` has no layer declared in audit.toml"),
+                );
+                d.notes.push(format!(
+                    "edge `{}` → `{}` cannot be checked; add `{who} = <layer>` under [layers]",
+                    e.from, e.to
+                ));
+                diags.push(d);
+            }
+        }
+    }
+    diags
+}

@@ -1,0 +1,13 @@
+//! Whole-workspace semantic passes over the parsed item model and graphs.
+//!
+//! Unlike the token-pattern lints in [`crate::lints`] (which see one file
+//! at a time), every pass here sees the whole [`crate::Workspace`]: the
+//! call graph, the crate-dependency edges, and the per-file item models.
+//! Each pass returns plain [`Diagnostic`]s; the orchestrator in
+//! [`crate::run_audit`] times each one through `udi-obs` and merges the
+//! results.
+
+pub mod concurrency;
+pub mod dead_exports;
+pub mod layering;
+pub mod panic_reach;

@@ -1,0 +1,224 @@
+//! Transitive panic-reachability: no `pub` lib fn of a panic-free crate
+//! may reach `unwrap`/`expect`/`panic!` (and optionally indexing) through
+//! the workspace call graph.
+//!
+//! The local `no-panic-in-lib` lint keeps covering leaf bodies inside the
+//! panic-free crates themselves; this pass adds what that lint cannot see:
+//! a panic *in another crate* (or another function) that a public entry
+//! point can run into. A site covered by a reasoned
+//! `allow(no-panic-in-lib, …)` or `allow(panic-reachability, …)` directive
+//! is sanctioned and does not count as a source.
+//!
+//! Diagnostics carry the full call chain, shortest-first, so the fix site
+//! is always visible:
+//!
+//! ```text
+//! error[udi-audit::panic-reachability]: `udi-core::UdiSystem::setup` can reach a panic
+//!   --> crates/core/src/system.rs:41:12
+//!   note: call chain: udi-core::UdiSystem::setup → udi-similarity::normalize
+//!   note: panics at crates/similarity/src/normalize.rs:47:27 (`expect`)
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::classify::CodeKind;
+use crate::config::{Config, IndexMode};
+use crate::graph::{CallGraph, PanicKind, PanicSite};
+use crate::lints::{
+    allow_covers, AllowDirective, Diagnostic, Severity, NO_PANIC_IN_LIB, PANIC_REACHABILITY,
+};
+use crate::Workspace;
+
+/// Run the pass. `directives` is indexed per workspace file.
+pub fn run(
+    ws: &Workspace,
+    cfg: &Config,
+    graph: &CallGraph,
+    directives: &mut [Vec<AllowDirective>],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // 1. Per-fn effective panic sources, split hard/soft. A site whose
+    //    line carries a no-panic-in-lib or panic-reachability allow is
+    //    sanctioned.
+    let n = graph.fns.len();
+    let mut hard: Vec<Vec<&PanicSite>> = vec![Vec::new(); n];
+    let mut soft: Vec<Vec<&PanicSite>> = vec![Vec::new(); n];
+    for (f, sites) in graph.sites.iter().enumerate() {
+        let Some(node) = graph.fns.get(f) else {
+            continue;
+        };
+        if node.in_test {
+            continue;
+        }
+        for site in sites {
+            let sanctioned = directives.get_mut(node.file).is_some_and(|ds| {
+                // Presence of either allow sanctions the site; only the
+                // reachability allow is marked used here (the local lint
+                // owns its own bookkeeping).
+                let reach = allow_covers(ds, PANIC_REACHABILITY, site.line);
+                let local = ds
+                    .iter()
+                    .any(|d| d.lint == NO_PANIC_IN_LIB && d.target_line == site.line);
+                reach || local
+            });
+            if sanctioned {
+                continue;
+            }
+            match site.kind {
+                PanicKind::UnwrapLike | PanicKind::Macro => hard[f].push(site),
+                PanicKind::Index => {
+                    if cfg.index_sites != IndexMode::Off {
+                        soft[f].push(site)
+                    }
+                }
+            }
+        }
+    }
+
+    // 2. Forward adjacency, excluding edges into test fns.
+    let adj: Vec<Vec<usize>> = (0..n)
+        .map(|f| {
+            graph
+                .edges(f)
+                .into_iter()
+                .filter(|&c| graph.fns.get(c).is_some_and(|n| !n.in_test))
+                .collect()
+        })
+        .collect();
+    // Reverse reachability from source fns: which fns can reach a source?
+    let reach_set = |has_site: &dyn Fn(usize) -> bool| -> BTreeSet<usize> {
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (f, callees) in adj.iter().enumerate() {
+            for &c in callees {
+                rev[c].push(f);
+            }
+        }
+        let mut seen: BTreeSet<usize> = (0..n).filter(|&f| has_site(f)).collect();
+        let mut queue: VecDeque<usize> = seen.iter().copied().collect();
+        while let Some(f) = queue.pop_front() {
+            for &p in rev.get(f).map(Vec::as_slice).unwrap_or(&[]) {
+                if seen.insert(p) {
+                    queue.push_back(p);
+                }
+            }
+        }
+        seen
+    };
+    let hard_reach = reach_set(&|f| !hard[f].is_empty());
+    let soft_reach = if cfg.index_sites == IndexMode::Off {
+        BTreeSet::new()
+    } else {
+        reach_set(&|f| !soft[f].is_empty())
+    };
+
+    // 3. Roots: pub lib fns of the configured crates.
+    let roots: Vec<usize> = (0..n)
+        .filter(|&f| {
+            graph.fns.get(f).is_some_and(|node| {
+                node.is_pub
+                    && node.kind == CodeKind::Lib
+                    && !node.in_test
+                    && node.body.is_some()
+                    && cfg.reach_crates.iter().any(|c| c == &node.crate_name)
+            })
+        })
+        .collect();
+
+    for &root in &roots {
+        let Some(node) = graph.fns.get(root) else {
+            continue;
+        };
+        for (reach, sites, severity) in [
+            (&hard_reach, &hard, Severity::Error),
+            (&soft_reach, &soft, Severity::Warning),
+        ] {
+            if !reach.contains(&root) {
+                continue;
+            }
+            // Allow on the root fn's own line suppresses the finding.
+            let allowed = directives
+                .get_mut(node.file)
+                .is_some_and(|ds| allow_covers(ds, PANIC_REACHABILITY, node.line));
+            if allowed {
+                continue;
+            }
+            let Some((chain, site)) = shortest_chain(&adj, root, sites) else {
+                continue;
+            };
+            let site_fn = chain.last().copied().unwrap_or(root);
+            let site_path = graph
+                .fns
+                .get(site_fn)
+                .and_then(|s| ws.files.get(s.file))
+                .map(|f| f.rel.as_str())
+                .unwrap_or("?");
+            let chain_text = chain
+                .iter()
+                .map(|&f| graph.display(f))
+                .collect::<Vec<_>>()
+                .join(" → ");
+            let sev_for_mode =
+                if severity == Severity::Warning && cfg.index_sites == IndexMode::Error {
+                    Severity::Error
+                } else {
+                    severity
+                };
+            let what = if site.kind == PanicKind::Index {
+                "a panicking index".to_owned()
+            } else {
+                format!("`{}`", site.what)
+            };
+            let mut d = Diagnostic::error(
+                &ws.files
+                    .get(node.file)
+                    .map(|f| f.rel.clone())
+                    .unwrap_or_default(),
+                node.line,
+                node.col,
+                PANIC_REACHABILITY,
+                format!("pub fn `{}` can reach a panic", graph.display(root)),
+            );
+            d.severity = sev_for_mode;
+            d.notes.push(format!("call chain: {chain_text}"));
+            d.notes.push(format!(
+                "panics at {site_path}:{}:{} ({what})",
+                site.line, site.col
+            ));
+            diags.push(d);
+        }
+    }
+    diags
+}
+
+/// BFS from `root` to the nearest fn with a site; returns the fn chain
+/// (root first) and the site.
+fn shortest_chain<'a>(
+    adj: &[Vec<usize>],
+    root: usize,
+    sites: &'a [Vec<&'a PanicSite>],
+) -> Option<(Vec<usize>, &'a PanicSite)> {
+    let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue = VecDeque::from([root]);
+    let mut seen = BTreeSet::from([root]);
+    while let Some(f) = queue.pop_front() {
+        if let Some(site) = sites.get(f).and_then(|s| s.first()) {
+            let mut chain = vec![f];
+            let mut cur = f;
+            while cur != root {
+                let Some(&p) = parent.get(&cur) else { break };
+                chain.push(p);
+                cur = p;
+            }
+            chain.reverse();
+            return Some((chain, site));
+        }
+        for &c in adj.get(f).map(Vec::as_slice).unwrap_or(&[]) {
+            if seen.insert(c) {
+                parent.insert(c, f);
+                queue.push_back(c);
+            }
+        }
+    }
+    None
+}

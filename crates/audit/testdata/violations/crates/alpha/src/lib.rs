@@ -1,0 +1,12 @@
+//! Fixture crate `udi-alpha` (layer 0). Its own pub fns are *not* in the
+//! panic-reachability root set — `risky` only matters because `udi-beta`
+//! reaches it.
+
+/// Clean helper, called by `udi-beta::flush`. Listed in the fixture
+/// ratchet even though it is used — that entry must error as stale.
+pub fn helper() {}
+
+/// Panics; a reachability source for `udi-beta::entry`.
+pub fn risky() -> u32 {
+    Some(1).unwrap()
+}

@@ -1,0 +1,59 @@
+//! Fixture crate `udi-beta` (layer 1): one deliberate violation per
+//! workspace pass. Expected diagnostics are asserted exactly in
+//! `crates/audit/tests/fixture.rs` — keep the two in sync when editing.
+
+static mut COUNTER: u32 = 0;
+
+static CACHE: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+
+/// Reaches `udi-alpha::risky`'s unwrap through `mid` — error with chain.
+pub fn entry() -> u32 {
+    mid()
+}
+
+fn mid() -> u32 {
+    udi_alpha::risky()
+}
+
+/// Indexing is a soft site; `index-sites = "warn"` makes this a warning.
+pub fn idx(v: &[u8]) -> u8 {
+    v[0]
+}
+
+/// Holds the guard across a structurally-resolved call into `udi-alpha`.
+pub fn flush(buf: &std::sync::Mutex<Vec<u8>>) {
+    let guard = buf.lock();
+    udi_alpha::helper();
+    drop(guard);
+}
+
+// udi-audit: allow(panic-reachability, "fixture: acknowledged root")
+pub fn suppressed_root() -> u32 {
+    udi_alpha::risky()
+}
+
+/// Dead: nothing in the fixture names this, and it is not ratcheted.
+pub fn never_used() {}
+
+/// Dead but frozen in audit.ratchet — downgraded to a warning.
+pub fn old_debt() {}
+
+// udi-audit: allow(static-mut, "fixture: stale directive, suppresses nothing")
+fn quiet() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn consumers() {
+        // References keep entry/idx/flush/suppressed_root/quiet live for
+        // the dead-export pass (tests are legitimate consumers).
+        let _ = (
+            super::entry as fn() -> u32,
+            super::idx as fn(&[u8]) -> u8,
+            super::flush as fn(&std::sync::Mutex<Vec<u8>>),
+            super::suppressed_root as fn() -> u32,
+            super::quiet as fn(),
+        );
+        let _ = (unsafe { super::COUNTER }, &super::CACHE);
+    }
+}

@@ -1,0 +1,144 @@
+//! The deliberate-violation fixture workspace under `testdata/violations`
+//! must yield exactly its expected diagnostic set — one finding per
+//! workspace pass, the suppressed root absent, severities as configured.
+//!
+//! Keep in sync with `testdata/violations/crates/beta/src/lib.rs`.
+
+use std::path::Path;
+
+use udi_audit::lints::{
+    Severity, CRATE_LAYERING, DEAD_EXPORT, LOCK_ACROSS_CRATE_CALL, PANIC_REACHABILITY,
+    SHARED_MUTABLE_STATIC, STATIC_MUT, UNUSED_ALLOW,
+};
+use udi_audit::{all_lints, audit_workspace, AuditReport};
+
+fn fixture_report() -> AuditReport {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata/violations");
+    audit_workspace(&root, &all_lints()).expect("fixture audit runs")
+}
+
+#[test]
+fn fixture_yields_exactly_the_expected_diagnostics() {
+    let report = fixture_report();
+    let got: Vec<(&str, &str, u32, Severity)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.path.as_str(), d.lint, d.line, d.severity))
+        .collect();
+    let expected: Vec<(&str, &str, u32, Severity)> = vec![
+        ("audit.ratchet", DEAD_EXPORT, 3, Severity::Error), // stale entry
+        (
+            "crates/alpha/Cargo.toml",
+            CRATE_LAYERING,
+            7,
+            Severity::Error,
+        ), // back-edge
+        ("crates/beta/Cargo.toml", CRATE_LAYERING, 8, Severity::Error), // undeclared gamma
+        ("crates/beta/src/lib.rs", STATIC_MUT, 5, Severity::Error),
+        (
+            "crates/beta/src/lib.rs",
+            SHARED_MUTABLE_STATIC,
+            7,
+            Severity::Error,
+        ),
+        (
+            "crates/beta/src/lib.rs",
+            PANIC_REACHABILITY,
+            10,
+            Severity::Error,
+        ), // entry
+        (
+            "crates/beta/src/lib.rs",
+            PANIC_REACHABILITY,
+            19,
+            Severity::Warning,
+        ), // idx (warn mode)
+        (
+            "crates/beta/src/lib.rs",
+            LOCK_ACROSS_CRATE_CALL,
+            25,
+            Severity::Error,
+        ), // flush
+        ("crates/beta/src/lib.rs", DEAD_EXPORT, 36, Severity::Error), // never_used
+        ("crates/beta/src/lib.rs", DEAD_EXPORT, 39, Severity::Warning), // old_debt (ratcheted)
+        ("crates/beta/src/lib.rs", UNUSED_ALLOW, 41, Severity::Error), // stale allow
+    ];
+    assert_eq!(
+        got,
+        expected,
+        "full rendering:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| format!("{d}\n"))
+            .collect::<String>()
+    );
+    assert_eq!(report.errors().count(), 9);
+    assert_eq!(report.warnings().count(), 2);
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn reachability_diagnostic_carries_the_full_call_chain() {
+    let report = fixture_report();
+    let entry = report
+        .diagnostics
+        .iter()
+        .find(|d| d.lint == PANIC_REACHABILITY && d.severity == Severity::Error)
+        .expect("entry diagnostic");
+    assert_eq!(
+        entry.notes[0],
+        "call chain: udi-beta::entry → udi-beta::mid → udi-alpha::risky"
+    );
+    assert_eq!(
+        entry.notes[1],
+        "panics at crates/alpha/src/lib.rs:11:13 (`unwrap`)"
+    );
+}
+
+#[test]
+fn allowed_root_is_suppressed() {
+    // `suppressed_root` reaches the same unwrap as `entry` but carries a
+    // reasoned allow(panic-reachability) — it must not appear at all, and
+    // the directive must not be flagged unused.
+    let report = fixture_report();
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("suppressed_root")),
+        "suppressed root leaked into diagnostics"
+    );
+    let unused: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.lint == UNUSED_ALLOW)
+        .collect();
+    assert_eq!(
+        unused.len(),
+        1,
+        "only the deliberate stale allow: {unused:?}"
+    );
+    assert_eq!(unused[0].line, 41);
+}
+
+#[test]
+fn json_rendering_is_parseable_shape() {
+    let report = fixture_report();
+    let json = report.to_json();
+    assert!(json.starts_with("{\"files_scanned\":2,"), "{json}");
+    assert!(json.contains("\"errors\":9"), "{json}");
+    assert!(json.contains("\"warnings\":2"), "{json}");
+    assert!(json.contains("\"lint\":\"panic-reachability\""), "{json}");
+    // Notes with special characters survive escaping (the → arrow is
+    // plain UTF-8; quotes and backslashes are escaped).
+    assert!(json.contains("call chain: udi-beta::entry"), "{json}");
+    assert_eq!(json.matches("\"severity\":\"warning\"").count(), 2);
+}
+
+#[test]
+fn fixture_lexes_each_file_once() {
+    let report = fixture_report();
+    assert_eq!(report.files_scanned, 2);
+    assert_eq!(report.lex_count, report.files_scanned);
+}

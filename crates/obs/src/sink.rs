@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::event::{Event, EventKind};
 use crate::hist::Histogram;
@@ -63,12 +63,18 @@ impl MemorySink {
 
     /// A copy of every event recorded so far, in arrival order.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().unwrap().clone()
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Number of events recorded.
     pub fn len(&self) -> usize {
-        self.events.lock().unwrap().len()
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Whether nothing has been recorded.
@@ -78,14 +84,17 @@ impl MemorySink {
 
     /// Drop all recorded events.
     pub fn clear(&self) {
-        self.events.lock().unwrap().clear();
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 
     /// Total of all `Counter` deltas recorded under `name`.
     pub fn counter_total(&self, name: &str) -> u64 {
         self.events
             .lock()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .filter(|e| e.name == name)
             .map(|e| match e.kind {
@@ -98,7 +107,7 @@ impl MemorySink {
     /// All finished spans (a `SpanEnd` with its matching `SpanStart`), in
     /// end order.
     pub fn spans(&self) -> Vec<SpanRecord> {
-        let events = self.events.lock().unwrap();
+        let events = self.events.lock().unwrap_or_else(PoisonError::into_inner);
         let mut starts: HashMap<u64, u64> = HashMap::new();
         let mut out = Vec::new();
         for e in events.iter() {
@@ -134,7 +143,12 @@ impl MemorySink {
     /// Build a [`Histogram`] over every `Value` observation of `name`.
     pub fn histogram(&self, name: &str) -> Histogram {
         let mut h = Histogram::new();
-        for e in self.events.lock().unwrap().iter() {
+        for e in self
+            .events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
             if e.name == name {
                 if let EventKind::Value { value } = e.kind {
                     h.observe(value);
@@ -153,7 +167,7 @@ impl MemorySink {
     ///
     /// Returns the first violation found, rendered for a test assertion.
     pub fn verify_nesting(&self) -> Result<(), String> {
-        let events = self.events.lock().unwrap();
+        let events = self.events.lock().unwrap_or_else(PoisonError::into_inner);
         let mut started: HashMap<u64, (u64, &'static str)> = HashMap::new();
         let mut ended: HashMap<u64, u64> = HashMap::new(); // id → end t_us
         for e in events.iter() {
@@ -213,7 +227,10 @@ impl MemorySink {
 
 impl Sink for MemorySink {
     fn record(&self, event: &Event) {
-        self.events.lock().unwrap().push(event.clone());
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(event.clone());
     }
 }
 
@@ -237,7 +254,7 @@ impl CounterSink {
     pub fn get(&self, name: &str) -> u64 {
         self.counters
             .lock()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .get(name)
             .copied()
             .unwrap_or(0)
@@ -248,7 +265,7 @@ impl CounterSink {
     pub fn snapshot(&self) -> BTreeMap<&'static str, u64> {
         self.counters
             .lock()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(&k, &v)| (k, v))
             .collect()
@@ -258,7 +275,7 @@ impl CounterSink {
     pub fn histogram(&self, name: &str) -> Histogram {
         self.values
             .lock()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .get(name)
             .cloned()
             .unwrap_or_default()
@@ -269,12 +286,17 @@ impl Sink for CounterSink {
     fn record(&self, event: &Event) {
         match event.kind {
             EventKind::Counter { delta } => {
-                *self.counters.lock().unwrap().entry(event.name).or_insert(0) += delta;
+                *self
+                    .counters
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .entry(event.name)
+                    .or_insert(0) += delta;
             }
             EventKind::Value { value } => {
                 self.values
                     .lock()
-                    .unwrap()
+                    .unwrap_or_else(PoisonError::into_inner)
                     .entry(event.name)
                     .or_default()
                     .observe(value);
@@ -314,14 +336,18 @@ impl JsonLinesSink {
 
 impl Sink for JsonLinesSink {
     fn record(&self, event: &Event) {
-        let mut out = self.out.lock().unwrap();
+        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
         // Trace files are diagnostics; an I/O error must not take the
         // instrumented computation down with it.
         let _ = writeln!(out, "{}", event.to_json());
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().unwrap().flush();
+        let _ = self
+            .out
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .flush();
     }
 }
 

@@ -43,10 +43,12 @@ pub fn tokenize_name(name: &str) -> Vec<String> {
                 flush(&mut tokens, &mut cur);
             } else if acronym_end {
                 // `ISSNNumber`: cur currently holds "issnn"; the last char
-                // belongs to the next word.
-                let last = cur.pop().expect("cur non-empty");
-                flush(&mut tokens, &mut cur);
-                cur.push(last);
+                // belongs to the next word. `cur` is non-empty here (prev
+                // was pushed), so the pop always yields a char.
+                if let Some(last) = cur.pop() {
+                    flush(&mut tokens, &mut cur);
+                    cur.push(last);
+                }
             }
         }
         cur.extend(c.to_lowercase());
