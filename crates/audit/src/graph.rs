@@ -182,8 +182,7 @@ fn use_imports(file: &SourceFile, item: &Item, out: &mut BTreeMap<String, String
             Some("," | "}" | ";") => {
                 // `self` re-binds the path segment before it, unless this
                 // ident is itself an `as` alias (which can't be `self`).
-                let after_as =
-                    toks.get(k.wrapping_sub(1)).map(|p| p.text.as_str()) == Some("as");
+                let after_as = toks.get(k.wrapping_sub(1)).map(|p| p.text.as_str()) == Some("as");
                 if t.text != "self" || after_as {
                     out.insert(t.text.clone(), source.clone());
                 }

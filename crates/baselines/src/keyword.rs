@@ -55,14 +55,13 @@ fn project(catalog: &Catalog, rref: RowRef, query: &Query) -> AnswerTuple {
     let table = catalog
         .source(rref.source)
         .expect("row refs come from the index");
-    let row = &table.rows()[rref.row];
     let values: Vec<Value> = query
         .select
         .iter()
         .map(|a| {
             table
                 .attribute_index(a)
-                .map(|i| row[i].clone())
+                .and_then(|i| table.value_at(rref.row, i).cloned())
                 .unwrap_or(Value::Null)
         })
         .collect();

@@ -248,4 +248,5 @@ fn main() {
          unify). The probability ablations show up in RankP — flat P/R only \
          sees which tuples are possible, not how mass is assigned."
     );
+    println!("peak RSS: {}", udi_obs::fmt_rss(udi_obs::peak_rss_bytes()));
 }

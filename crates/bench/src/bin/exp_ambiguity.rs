@@ -92,4 +92,5 @@ fn main() {
          and ranks correctly-correlated answers above crossed ones \
          (Example 2.1, Figure 1(c))."
     );
+    println!("peak RSS: {}", udi_obs::fmt_rss(udi_obs::peak_rss_bytes()));
 }

@@ -124,5 +124,6 @@ fn main() {
         worst_ratio >= 10.0,
         "expected >=10x work reduction, got {worst_ratio:.1}x"
     );
+    println!("peak RSS: {}", udi_obs::fmt_rss(udi_obs::peak_rss_bytes()));
     obs.finish();
 }

@@ -158,5 +158,6 @@ fn main() {
             println!("(scaling assertion skipped: only {cores} cores available)");
         }
     }
+    println!("peak RSS: {}", udi_obs::fmt_rss(udi_obs::peak_rss_bytes()));
     obs.finish();
 }

@@ -89,4 +89,5 @@ fn main() {
          tuple is producible by several rows of a source — common under \
          genuine ambiguity, rare otherwise."
     );
+    println!("peak RSS: {}", udi_obs::fmt_rss(udi_obs::peak_rss_bytes()));
 }

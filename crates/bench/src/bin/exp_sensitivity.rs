@@ -83,4 +83,5 @@ fn main() {
         "\nPaper reference (shape): quality is stable under ±20% parameter \
          changes (§7.1)."
     );
+    println!("peak RSS: {}", udi_obs::fmt_rss(udi_obs::peak_rss_bytes()));
 }

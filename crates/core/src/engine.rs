@@ -41,7 +41,7 @@ use udi_schema::{
     FrozenMatrix, MediatedSchema, PMapping, PMedSchema, SchemaSet, SimilarityGraph, SolveCache,
     Vocabulary,
 };
-use udi_similarity::Similarity;
+use udi_similarity::{BlockIndex, Similarity};
 use udi_store::{Catalog, Table};
 
 use crate::feedback::Feedback;
@@ -91,6 +91,12 @@ pub struct SetupEngine {
     /// downstream sees one consistent similarity assignment. Ordered so
     /// that iteration (graph signatures, matrix freezing) is deterministic.
     sim_cache: BTreeMap<(AttrId, AttrId), f64>,
+    /// n-gram blocking index over the vocabulary, keyed so that index key
+    /// `k` is `AttrId(k)`. Vocabulary ids are append-only (and stable
+    /// across source removals), so the index is only ever *extended* —
+    /// `add_source` never invalidates previously computed postings, and an
+    /// incremental refresh re-grams only the newly interned names.
+    block: BlockIndex,
     /// Signature of the graph that produced `schemas_raw`.
     graph_sig: Option<GraphSignature>,
     /// Stage 2 artifact: enumerated candidate schemas, pre-probability, in
@@ -152,6 +158,7 @@ impl SetupEngine {
             feedback: Feedback::new(),
             schema_set,
             sim_cache: BTreeMap::new(),
+            block: BlockIndex::bigram(),
             graph_sig: None,
             schemas_raw: Vec::new(),
             pmed: None,
@@ -366,16 +373,58 @@ impl SetupEngine {
         let mut s2 = root.child("engine.med_schema");
         let wrapped = self.feedback.wrap(measure);
         let nodes = self.schema_set.frequent_attributes(params.theta);
-        ensure_pairs(
-            &mut self.sim_cache,
-            self.schema_set.vocab(),
-            &wrapped,
-            nodes
-                .iter()
-                .enumerate()
-                .flat_map(|(i, &a)| nodes[i + 1..].iter().map(move |&b| (a, b))),
-            &self.recorder,
-        );
+        // Block: extend the n-gram index over any newly interned names and
+        // narrow the quadratic frequent-pair space to candidates sharing a
+        // gram. Pruned pairs stay out of the similarity cache, which the
+        // frozen matrix reads as similarity 0 — the same treatment every
+        // sub-threshold pair already gets, so the graph (and therefore the
+        // enumeration) is unchanged on corpora where blocking is lossless.
+        // Judged pairs bypass blocking entirely: stage 1 pins them straight
+        // into the cache.
+        let stage2_cands: Option<Vec<(u32, u32)>> = if self.config.blocking {
+            let mut sb = s2.child("setup.block");
+            let vocab_len = self.schema_set.vocab().len();
+            while self.block.len() < vocab_len {
+                let next = AttrId(self.block.len() as u32);
+                self.block.insert(self.schema_set.vocab().name(next));
+            }
+            let keys: Vec<u32> = nodes.iter().map(|a| a.0).collect();
+            let cands = self.block.pairs_among(&keys);
+            let all = keys.len().saturating_sub(1) * keys.len() / 2;
+            self.recorder
+                .count("engine.block.candidates", cands.len() as u64);
+            self.recorder.count(
+                "engine.block.pruned",
+                all.saturating_sub(cands.len()) as u64,
+            );
+            sb.field("candidates", cands.len());
+            sb.field("pruned", all.saturating_sub(cands.len()));
+            sb.close();
+            Some(cands)
+        } else {
+            None
+        };
+        let ss = s2.child("setup.score");
+        match &stage2_cands {
+            Some(cands) => ensure_pairs(
+                &mut self.sim_cache,
+                self.schema_set.vocab(),
+                &wrapped,
+                cands.iter().map(|&(a, b)| (AttrId(a), AttrId(b))),
+                &self.recorder,
+            ),
+            None => ensure_pairs(
+                &mut self.sim_cache,
+                self.schema_set.vocab(),
+                &wrapped,
+                nodes
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(i, &a)| nodes[i + 1..].iter().map(move |&b| (a, b))),
+                &self.recorder,
+            ),
+        }
+        ss.close();
         let matrix = FrozenMatrix::from_entries(self.sim_cache.iter().map(|(&k, &v)| (k, v)));
         let graph = build_similarity_graph_via(&self.schema_set, &matrix, &params);
         let sig = signature(&graph);
@@ -410,15 +459,54 @@ impl SetupEngine {
                 }
                 set.into_iter().collect()
             };
-            ensure_pairs(
-                &mut self.sim_cache,
-                self.schema_set.vocab(),
-                &wrapped,
-                all_attrs
+            // Mapping generation reads (source attribute, cluster attribute)
+            // similarities; under blocking only gram-sharing pairs are
+            // scored. The candidate stream is deterministic and catalog-
+            // ordered: cluster attributes ascend (BTreeSet) and each one's
+            // candidates ascend (the index emits them sorted).
+            if self.config.blocking {
+                let mut sb = s3.child("setup.block");
+                let cands: Vec<(AttrId, AttrId)> = cluster_attrs
                     .iter()
-                    .flat_map(|&a| cluster_attrs.iter().map(move |&c| (a, c))),
-                &self.recorder,
-            );
+                    .flat_map(|&c| {
+                        self.block
+                            .candidates_of(c.0)
+                            .into_iter()
+                            .map(move |a| (AttrId(a), c))
+                    })
+                    .collect();
+                let all = all_attrs.len() * cluster_attrs.len();
+                self.recorder
+                    .count("engine.block.candidates", cands.len() as u64);
+                self.recorder.count(
+                    "engine.block.pruned",
+                    all.saturating_sub(cands.len()) as u64,
+                );
+                sb.field("candidates", cands.len());
+                sb.field("pruned", all.saturating_sub(cands.len()));
+                sb.close();
+                let ss = s3.child("setup.score");
+                ensure_pairs(
+                    &mut self.sim_cache,
+                    self.schema_set.vocab(),
+                    &wrapped,
+                    cands.into_iter(),
+                    &self.recorder,
+                );
+                ss.close();
+            } else {
+                let ss = s3.child("setup.score");
+                ensure_pairs(
+                    &mut self.sim_cache,
+                    self.schema_set.vocab(),
+                    &wrapped,
+                    all_attrs
+                        .iter()
+                        .flat_map(|&a| cluster_attrs.iter().map(move |&c| (a, c))),
+                    &self.recorder,
+                );
+                ss.close();
+            }
             let matrix = FrozenMatrix::from_entries(self.sim_cache.iter().map(|(&k, &v)| (k, v)));
             // udi-audit: allow(deterministic-iteration, "reuse-plan index: queried per new schema by key, never iterated")
             let old_pos: HashMap<&MediatedSchema, usize> = self
@@ -455,6 +543,24 @@ impl SetupEngine {
             if rows_computed_now > 0 {
                 self.recorder
                     .count("engine.rows.computed", rows_computed_now as u64);
+            }
+
+            // Per-shard telemetry: one span per shard with its dirty-row
+            // count, so traces show exactly which shard's candidates an
+            // incremental mutation touched. Trace-only (like the per-source
+            // query spans): too chatty for the counter aggregate.
+            if self.user_sink {
+                for (si, range) in self.catalog.shard_ranges().iter().enumerate() {
+                    let dirty = range
+                        .clone()
+                        .filter(|&i| plan[i].iter().any(Option::is_none))
+                        .count();
+                    let mut sp = self.recorder.span_with_parent("engine.shard", stage3_id);
+                    sp.field("shard", si);
+                    sp.field("sources", range.len());
+                    sp.field("dirty_sources", dirty);
+                    sp.close();
+                }
             }
 
             let sources = self.schema_set.sources();
@@ -508,10 +614,42 @@ impl SetupEngine {
             } else {
                 let n_workers = self.config.threads.min(n);
                 let chunk = n.div_ceil(n_workers);
+                // Shard ranges are the parallelism unit: when the catalog
+                // has at least as many shards as workers, part boundaries
+                // align with shard boundaries, so each worker touches whole
+                // shards and per-shard artifacts stay thread-local. Small
+                // catalogs (fewer shards than workers) fall back to plain
+                // contiguous chunking. Either way parts partition the
+                // sources in catalog order and results are concatenated in
+                // the same order, so the output is identical — partitioning
+                // is a wall-clock knob only.
+                let shard_ranges = self.catalog.shard_ranges();
                 let mut parts: Vec<Vec<(usize, TakenRow)>> = Vec::new();
-                while !work.is_empty() {
-                    let take = chunk.min(work.len());
-                    parts.push(work.drain(..take).collect());
+                if shard_ranges.len() >= n_workers {
+                    let mut acc = 0usize;
+                    let mut sizes: Vec<usize> = Vec::new();
+                    for r in &shard_ranges {
+                        acc += r.len();
+                        if acc >= chunk {
+                            sizes.push(acc);
+                            acc = 0;
+                        }
+                    }
+                    if acc > 0 {
+                        sizes.push(acc);
+                    }
+                    for size in sizes {
+                        let take = size.min(work.len());
+                        parts.push(work.drain(..take).collect());
+                    }
+                    if !work.is_empty() {
+                        parts.push(std::mem::take(&mut work));
+                    }
+                } else {
+                    while !work.is_empty() {
+                        let take = chunk.min(work.len());
+                        parts.push(work.drain(..take).collect());
+                    }
                 }
                 let results: Vec<Result<Vec<Vec<PMapping>>, UdiError>> =
                     std::thread::scope(|scope| {

@@ -57,6 +57,16 @@ pub struct UdiConfig {
     /// (lock-free) similarity matrix. Worthwhile only up to the physical
     /// core count; beyond that it just adds scheduling overhead.
     pub threads: usize,
+    /// Use n-gram blocking to restrict pairwise scoring to candidate
+    /// pairs sharing at least one character bigram (on by default).
+    /// Blocking prunes pairs whose similarity cannot plausibly reach the
+    /// scoring floor `min(τ − ε, pair_floor)`; pruned pairs are treated
+    /// as similarity 0, exactly as sub-threshold pairs already are, so on
+    /// corpora where no high-similarity pair is gram-disjoint the outputs
+    /// are bit-identical to exhaustive scoring (the property test
+    /// `tests/blocking_properties.rs` gates this). Turn off to force
+    /// exhaustive all-pairs scoring for adversarial vocabularies.
+    pub blocking: bool,
 }
 
 impl Default for UdiConfig {
@@ -65,6 +75,7 @@ impl Default for UdiConfig {
             params: UdiParams::default(),
             measure: MeasureKind::default(),
             threads: 1,
+            blocking: true,
         }
     }
 }

@@ -35,7 +35,7 @@ impl UdiSystem {
     /// similarity measure.
     pub fn setup(catalog: Catalog, config: UdiConfig) -> Result<UdiSystem, UdiError> {
         let measure = config.measure.build();
-        Self::setup_with_measure(catalog, &*measure, config)
+        Self::setup_inner(catalog, &*measure, config)
     }
 
     /// Run setup with a caller-supplied similarity measure (the pipeline
@@ -49,7 +49,25 @@ impl UdiSystem {
     /// [`apply_feedback`](UdiSystem::apply_feedback) rebuild the measure
     /// from `config.measure`, which would mix two different similarity
     /// functions into one similarity cache.
+    ///
+    /// Blocking is force-disabled on this path, whatever `config` says:
+    /// the n-gram index only scores pairs sharing a character bigram,
+    /// which is justified for the built-in measures on realistic labels
+    /// but can silently starve an arbitrary matcher — a
+    /// [`Feedback::wrap`]ped measure, for instance, may score a pair high
+    /// that shares no gram at all. Black-box measures are scored
+    /// exhaustively, exactly like [`setup`](UdiSystem::setup) with
+    /// `blocking: false`.
     pub fn setup_with_measure(
+        catalog: Catalog,
+        measure: &(dyn Similarity + Sync),
+        mut config: UdiConfig,
+    ) -> Result<UdiSystem, UdiError> {
+        config.blocking = false;
+        Self::setup_inner(catalog, measure, config)
+    }
+
+    fn setup_inner(
         catalog: Catalog,
         measure: &(dyn Similarity + Sync),
         config: UdiConfig,

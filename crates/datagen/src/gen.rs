@@ -299,7 +299,7 @@ mod tests {
         let b = small(Domain::Bib, 20);
         for ((_, ta), (_, tb)) in a.catalog.iter_sources().zip(b.catalog.iter_sources()) {
             assert_eq!(ta.attributes(), tb.attributes());
-            assert_eq!(ta.rows(), tb.rows());
+            assert_eq!(ta.to_rows(), tb.to_rows());
         }
     }
 
@@ -383,8 +383,8 @@ mod tests {
             };
             let col = t.attribute_index(attr).unwrap();
             let mut seen = std::collections::HashSet::new();
-            for r in t.rows() {
-                if let Value::Text(s) = &r[col] {
+            for v in t.column(col).unwrap() {
+                if let Value::Text(s) = v {
                     if seen.insert(s.clone()) {
                         *counts.entry(s.clone()).or_insert(0) += 1;
                     }
@@ -426,8 +426,8 @@ mod tests {
                 continue;
             };
             let col = t.attribute_index(attr).unwrap();
-            for r in t.rows() {
-                match &r[col] {
+            for v in t.column(col).unwrap() {
+                match v {
                     Value::Text(_) => text += 1,
                     Value::Int(_) => int += 1,
                     _ => {}

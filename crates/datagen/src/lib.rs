@@ -41,12 +41,14 @@
 //! ```
 
 pub mod gen;
+pub mod scale;
 pub mod spec;
 pub mod truth;
 pub mod value;
 pub mod vocab;
 
 pub use gen::{generate, generate_with_concepts, GenConfig, GeneratedDomain};
+pub use scale::{scale_catalog, scale_corpus, scale_source, ScaleConfig, SCALE_CONCEPTS};
 pub use spec::{ConceptSpec, Domain};
 pub use truth::GroundTruth;
 pub use value::ValueKind;

@@ -1,0 +1,85 @@
+//! Peak resident-set-size introspection.
+//!
+//! The scale benchmarks report memory alongside wall-clock: a setup path
+//! that is fast because it materialized the whole corpus twice is not a
+//! win. On Linux the kernel already tracks the high-water mark (`VmHWM` in
+//! `/proc/self/status`), so the reader is a dozen lines of text parsing
+//! with zero dependencies; elsewhere it degrades to `None` and callers
+//! print `n/a`.
+
+/// The process's peak resident set size in bytes, if the platform exposes
+/// it. Linux only (`/proc/self/status`, `VmHWM` line); `None` elsewhere or
+/// if the file is missing/unparseable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        parse_vm_hwm(&status)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Parse the `VmHWM` line of a `/proc/<pid>/status` document into bytes.
+/// The kernel reports kibibytes (`VmHWM:   123456 kB`).
+#[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kib * 1024)
+}
+
+/// Render a byte count as a human-readable figure (`1.50 GiB`, `32.0 MiB`,
+/// `512 KiB`), or `"n/a"` for `None` — the form the bench binaries print.
+pub fn fmt_rss(bytes: Option<u64>) -> String {
+    match bytes {
+        None => "n/a".to_owned(),
+        Some(b) if b >= 1 << 30 => format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64),
+        Some(b) if b >= 1 << 20 => format!("{:.1} MiB", b as f64 / (1u64 << 20) as f64),
+        Some(b) => format!("{} KiB", b / 1024),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_kernel_format() {
+        let doc = "Name:\tudi\nVmPeak:\t  999 kB\nVmHWM:\t   12345 kB\nVmRSS:\t 100 kB\n";
+        assert_eq!(parse_vm_hwm(doc), Some(12345 * 1024));
+    }
+
+    #[test]
+    fn missing_or_malformed_lines_yield_none() {
+        assert_eq!(parse_vm_hwm(""), None);
+        assert_eq!(parse_vm_hwm("VmRSS:\t 100 kB\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\t lots kB\n"), None);
+    }
+
+    #[test]
+    fn formatting_covers_the_scales() {
+        assert_eq!(fmt_rss(None), "n/a");
+        assert_eq!(fmt_rss(Some(512 * 1024)), "512 KiB");
+        assert_eq!(fmt_rss(Some(32 << 20)), "32.0 MiB");
+        assert_eq!(fmt_rss(Some(3 << 30)), "3.00 GiB");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn live_reading_is_plausible() {
+        let rss = peak_rss_bytes().expect("Linux exposes VmHWM");
+        // A running test binary holds at least a mebibyte and (hopefully)
+        // less than a tebibyte.
+        assert!(rss > 1 << 20, "{rss}");
+        assert!(rss < 1 << 40, "{rss}");
+    }
+}

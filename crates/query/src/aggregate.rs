@@ -236,14 +236,20 @@ pub fn execute_aggregate_with_binding(
         }
     }
 
+    // Columnar scan over the referenced segments only.
+    let column = |c: usize| table.column(c).unwrap_or(&[]);
+    let pred_slices: Vec<&[Value]> = pred_cols.iter().map(|&c| column(c)).collect();
+    let group_slices: Vec<&[Value]> = group_cols.iter().map(|&c| column(c)).collect();
+    let agg_slices: Vec<Option<&[Value]>> = agg_cols.iter().map(|c| c.map(&column)).collect();
+
     let mut groups: BTreeMap<Row, Vec<AggState>> = BTreeMap::new();
-    'rows: for (_, row) in table.iter_rows() {
-        for (p, &col) in query.predicates.iter().zip(&pred_cols) {
-            if !p.op.eval(&row[col], &p.value) {
+    'rows: for ri in 0..table.row_count() {
+        for (p, col) in query.predicates.iter().zip(&pred_slices) {
+            if !p.op.eval(&col[ri], &p.value) {
                 continue 'rows;
             }
         }
-        let key: Row = group_cols.iter().map(|&c| row[c].clone()).collect();
+        let key: Row = group_slices.iter().map(|s| s[ri].clone()).collect();
         let states = groups.entry(key).or_insert_with(|| {
             query
                 .aggregates
@@ -251,8 +257,8 @@ pub fn execute_aggregate_with_binding(
                 .map(|a| AggState::new(a.func))
                 .collect()
         });
-        for (state, col) in states.iter_mut().zip(&agg_cols) {
-            state.feed(col.map(|c| &row[c]));
+        for (state, col) in states.iter_mut().zip(&agg_slices) {
+            state.feed(col.map(|s| &s[ri]));
         }
     }
     if groups.is_empty() && query.group_by.is_empty() {

@@ -96,18 +96,24 @@ pub fn execute_with_binding_indexed(
         }
     }
 
+    // Columnar scan: each referenced attribute is one contiguous segment,
+    // so predicate evaluation strides a few slices instead of every row.
+    let column = |c: usize| table.column(c).unwrap_or(&[]);
+    let pred_slices: Vec<&[Value]> = pred_cols.iter().map(|&c| column(c)).collect();
+    let select_slices: Vec<&[Value]> = select_cols.iter().map(|&c| column(c)).collect();
+
     let mut out = Vec::new();
-    'rows: for (ri, row) in table.iter_rows() {
-        for (p, &col) in query.predicates.iter().zip(&pred_cols) {
-            if !p.op.eval(&row[col], &p.value) {
+    'rows: for ri in 0..table.row_count() {
+        for (p, col) in query.predicates.iter().zip(&pred_slices) {
+            if !p.op.eval(&col[ri], &p.value) {
                 continue 'rows;
             }
         }
         out.push((
             ri,
-            select_cols
+            select_slices
                 .iter()
-                .map(|&c| row[c].clone())
+                .map(|s| s[ri].clone())
                 .collect::<Vec<Value>>(),
         ));
     }

@@ -1,0 +1,331 @@
+//! Character n-gram blocking: an inverted index that narrows the quadratic
+//! attribute-pair space down to *candidate* pairs sharing at least one gram.
+//!
+//! The SIGMOD'08 setup pipeline scores every frequent-attribute pair (and,
+//! for p-mapping generation, every attribute × cluster-attribute pair) with
+//! the full similarity measure. At the paper's 817 sources that is fine; at
+//! the 100k-source target it is the dominant quadratic cost. Blocking is
+//! the standard remedy from the record-linkage and large-scale schema
+//! integration literature: two names whose similarity could clear the
+//! decision thresholds share character structure, so only pairs sharing at
+//! least one padded n-gram are scored and every other pair is pruned
+//! without ever running the measure.
+//!
+//! Determinism: candidate streams are emitted in ascending key order —
+//! [`BlockIndex::candidates_of`] returns ascending keys, and
+//! [`BlockIndex::pairs_among`] emits `(low, high)` pairs sorted by
+//! `(high, low)` — so a consumer that iterates candidates performs the
+//! exact same work in the exact same order on every run. No hash-map
+//! iteration order ever reaches the output: postings are `Vec`s appended
+//! in key order, and the interner's map is only ever *queried* by key.
+//!
+//! Grams are interned as fixed-width byte ids ([`GramId`]): each gram of up
+//! to four `char`s packs into a 16-byte key (four little-endian code
+//! points), so the index, its postings, and the candidate queries all work
+//! on `u32` ids and never allocate or compare per-gram strings. The gram
+//! windows themselves are borrowed from one padded buffer per name (see
+//! [`crate::ngram`]) — indexing a name allocates nothing per gram.
+
+use std::collections::HashMap;
+
+use crate::ngram::padded_chars;
+use crate::normalize::normalize_name;
+
+/// Interned id of a fixed-width gram key. Ids are dense (`0..gram_count`)
+/// and assigned in first-seen order, which is deterministic because names
+/// are only ever inserted in key order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GramId(pub u32);
+
+/// Pack a gram of at most four chars into its fixed-width 16-byte key.
+fn pack(gram: &[char]) -> [u8; 16] {
+    debug_assert!(gram.len() <= 4, "gram wider than the fixed-width key");
+    let mut key = [0u8; 16];
+    for (i, &c) in gram.iter().enumerate() {
+        key[i * 4..i * 4 + 4].copy_from_slice(&(c as u32).to_le_bytes());
+    }
+    key
+}
+
+/// Gram interner: fixed-width byte key → dense [`GramId`].
+#[derive(Debug, Clone, Default)]
+struct GramInterner {
+    /// Queried by packed key only; gram ids are handed out in insertion
+    /// order and iteration always goes through the postings `Vec`s, so the
+    /// map's own ordering never influences any output.
+    ids: HashMap<[u8; 16], GramId>,
+}
+
+impl GramInterner {
+    fn intern(&mut self, gram: &[char]) -> (GramId, bool) {
+        let next = GramId(self.ids.len() as u32);
+        match self.ids.entry(pack(gram)) {
+            std::collections::hash_map::Entry::Occupied(e) => (*e.get(), false),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(next);
+                (next, true)
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// The n-gram inverted index over attribute names.
+///
+/// Keys are dense `u32`s assigned by insertion order ([`BlockIndex::insert`]
+/// returns them), which lets the setup engine use attribute ids directly:
+/// interning the vocabulary in id order makes key `k` *be* `AttrId(k)`.
+///
+/// Each name is indexed under the grams of its normalized form
+/// ([`normalize_name`]) *and* of its raw lowercased form when the two
+/// differ — the default matcher compares normalized names, but the
+/// pluggable measures (plain Jaro–Winkler on raw labels) do not, and an
+/// extra gram can only *add* candidates, never change a score.
+#[derive(Debug, Clone)]
+pub struct BlockIndex {
+    n: usize,
+    interner: GramInterner,
+    /// gram id → keys indexed under the gram, ascending (keys arrive in
+    /// ascending order and each key posts to a gram at most once).
+    postings: Vec<Vec<u32>>,
+    /// key → its distinct gram ids (sorted), for candidate queries.
+    key_grams: Vec<Vec<GramId>>,
+}
+
+impl BlockIndex {
+    /// An empty index over `n`-grams. `n` must be in `1..=4` (the
+    /// fixed-width gram key holds four chars).
+    pub fn new(n: usize) -> BlockIndex {
+        assert!((1..=4).contains(&n), "gram size {n} outside 1..=4");
+        BlockIndex {
+            n,
+            interner: GramInterner::default(),
+            postings: Vec::new(),
+            key_grams: Vec::new(),
+        }
+    }
+
+    /// The conventional configuration for short attribute labels: padded
+    /// bigrams. Bigrams keep recall high (any shared normalized token of
+    /// length ≥ 1 shares a gram) while still pruning cross-concept pairs.
+    pub fn bigram() -> BlockIndex {
+        BlockIndex::new(2)
+    }
+
+    /// Index `name` under the next dense key, returning that key.
+    ///
+    /// Keys are assigned `0, 1, 2, ...` in insertion order, so inserting a
+    /// vocabulary in id order aligns keys with attribute ids.
+    pub fn insert(&mut self, name: &str) -> u32 {
+        let key = self.key_grams.len() as u32;
+        let mut grams: Vec<GramId> = Vec::new();
+        let normalized = normalize_name(name);
+        self.collect_grams(&normalized, &mut grams);
+        let lowered = name.to_lowercase();
+        if lowered != normalized {
+            self.collect_grams(&lowered, &mut grams);
+        }
+        grams.sort_unstable();
+        grams.dedup();
+        for &g in &grams {
+            self.postings[g.0 as usize].push(key);
+        }
+        self.key_grams.push(grams);
+        key
+    }
+
+    fn collect_grams(&mut self, form: &str, out: &mut Vec<GramId>) {
+        let padded = padded_chars(form, self.n);
+        for w in padded.windows(self.n) {
+            let (id, fresh) = self.interner.intern(w);
+            if fresh {
+                self.postings.push(Vec::new());
+            }
+            out.push(id);
+        }
+    }
+
+    /// Number of indexed names.
+    pub fn len(&self) -> usize {
+        self.key_grams.len()
+    }
+
+    /// Whether no name has been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.key_grams.is_empty()
+    }
+
+    /// Number of distinct interned grams.
+    pub fn gram_count(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// All indexed keys sharing at least one gram with `key`, ascending,
+    /// excluding `key` itself. Unknown keys have no candidates.
+    pub fn candidates_of(&self, key: u32) -> Vec<u32> {
+        let Some(grams) = self.key_grams.get(key as usize) else {
+            return Vec::new();
+        };
+        let mut out: Vec<u32> = Vec::new();
+        for &g in grams {
+            out.extend(
+                self.postings[g.0 as usize]
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != key),
+            );
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Candidate pairs among `keys`: every unordered pair sharing at least
+    /// one gram, emitted as `(low, high)` sorted by `(high, low)`. `keys`
+    /// may arrive in any order; the output order depends only on the set.
+    pub fn pairs_among(&self, keys: &[u32]) -> Vec<(u32, u32)> {
+        let mut member = vec![false; self.len()];
+        for &k in keys {
+            if let Some(slot) = member.get_mut(k as usize) {
+                *slot = true;
+            }
+        }
+        let mut sorted: Vec<u32> = keys
+            .iter()
+            .copied()
+            .filter(|&k| (k as usize) < self.len())
+            .collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        // Stamp-dedup: `seen[m] == stamp` marks m as already collected for
+        // the current high key, without clearing the array between keys.
+        let mut seen: Vec<u32> = vec![u32::MAX; self.len()];
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        for &high in &sorted {
+            let from = out.len();
+            for &g in &self.key_grams[high as usize] {
+                for &m in &self.postings[g.0 as usize] {
+                    if m < high && member[m as usize] && seen[m as usize] != high {
+                        seen[m as usize] = high;
+                        out.push((m, high));
+                    }
+                }
+            }
+            out[from..].sort_unstable();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttributeSimilarity, Similarity};
+    use proptest::prelude::*;
+
+    fn index(names: &[&str]) -> BlockIndex {
+        let mut idx = BlockIndex::bigram();
+        for (i, n) in names.iter().enumerate() {
+            assert_eq!(idx.insert(n), i as u32, "keys are dense");
+        }
+        idx
+    }
+
+    #[test]
+    fn shared_grams_make_candidates() {
+        let idx = index(&["phone", "phone-no", "year", "years"]);
+        assert_eq!(idx.candidates_of(0), vec![1], "phone ~ phone-no");
+        assert_eq!(idx.candidates_of(2), vec![3], "year ~ years");
+        assert_eq!(idx.len(), 4);
+        assert!(idx.gram_count() > 0);
+    }
+
+    #[test]
+    fn disjoint_names_are_pruned() {
+        let idx = index(&["zip", "make"]);
+        assert!(idx.candidates_of(0).is_empty());
+        assert!(idx.candidates_of(1).is_empty());
+        assert!(idx.pairs_among(&[0, 1]).is_empty());
+    }
+
+    #[test]
+    fn pairs_among_is_sorted_and_deduplicated() {
+        let idx = index(&["issn", "eissn", "issue", "isbn"]);
+        let pairs = idx.pairs_among(&[0, 1, 2, 3]);
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable_by_key(|&(a, b)| (b, a));
+        assert_eq!(pairs, sorted, "emitted in (high, low) order");
+        let mut dedup = pairs.clone();
+        dedup.dedup();
+        assert_eq!(pairs, dedup);
+        // All four share the `is`/`ss`/`sn` gram structure pairwise except
+        // none are missed: issn–eissn must be a candidate (uncertain edge
+        // material in the Bib domain).
+        assert!(pairs.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn pairs_among_respects_the_key_subset() {
+        let idx = index(&["phone", "phones", "phone no"]);
+        let pairs = idx.pairs_among(&[0, 2]);
+        assert_eq!(pairs, vec![(0, 2)], "key 1 excluded");
+    }
+
+    #[test]
+    fn normalization_variants_share_grams() {
+        // The index grams the normalized form, so punctuation/camel-case
+        // variants of one concept are always candidates.
+        let idx = index(&["HomePhone", "home_phone", "home-phone"]);
+        assert_eq!(idx.candidates_of(0), vec![1, 2]);
+    }
+
+    #[test]
+    fn punctuation_only_names_are_mutual_candidates() {
+        // Their normalized forms are empty; both gram to the padding-only
+        // bigram and the default measure scores them 1.0 — they must not
+        // be pruned away from each other.
+        let idx = index(&["---", "()", "phone"]);
+        assert_eq!(idx.candidates_of(0), vec![1]);
+        assert!(!idx.candidates_of(0).contains(&2));
+    }
+
+    #[test]
+    fn raw_form_is_indexed_for_non_normalizing_measures() {
+        // `author(s)` normalizes to "author s"; a raw-label measure sees
+        // "author(s)". Both forms contribute grams.
+        let idx = index(&["author(s)", "authors"]);
+        assert_eq!(idx.candidates_of(0), vec![1]);
+    }
+
+    #[test]
+    fn unknown_keys_are_harmless() {
+        let idx = index(&["a"]);
+        assert!(idx.candidates_of(99).is_empty());
+        assert!(idx.pairs_among(&[0, 99]).is_empty());
+        assert!(BlockIndex::bigram().is_empty());
+    }
+
+    proptest! {
+        /// Soundness on realistic label shapes: any pair the default
+        /// measure scores at or above the engine's scoring floor (0.83 =
+        /// min(τ−ε, pair_floor)) must be a candidate pair.
+        #[test]
+        fn high_similarity_pairs_are_candidates(
+            a in "[a-z]{1,8}( [a-z]{1,8})?",
+            b in "[a-z]{1,8}( [a-z]{1,8})?",
+        ) {
+            let measure = AttributeSimilarity::default();
+            let sim = measure.similarity(&a, &b);
+            let idx = index(&[&a, &b]);
+            if a != b && sim >= 0.83 {
+                prop_assert!(
+                    idx.candidates_of(0).contains(&1),
+                    "sim({a}, {b}) = {sim} but the pair was pruned"
+                );
+            }
+        }
+    }
+}

@@ -24,6 +24,7 @@
 //! assert!(sim.similarity("price", "instructor") < 0.6);
 //! ```
 
+pub mod block;
 pub mod edit;
 pub mod jaro;
 pub mod ngram;
@@ -31,6 +32,7 @@ pub mod normalize;
 pub mod tfidf;
 pub mod token;
 
+pub use block::{BlockIndex, GramId};
 pub use edit::{levenshtein, normalized_levenshtein, Levenshtein};
 pub use jaro::{jaro, jaro_winkler, Jaro, JaroWinkler};
 pub use ngram::{dice_ngram, jaccard_ngram, NGramJaccard};

@@ -3,28 +3,54 @@
 //! n-gram measures are robust to small word-order changes and are a common
 //! alternative matcher in the schema-matching literature surveyed by Rahm &
 //! Bernstein; UDI can be configured to use them in place of Jaro–Winkler.
+//!
+//! Gram extraction is allocation-frugal: both strings are decoded into one
+//! padded `char` buffer each and every gram is a *borrowed window*
+//! (`&[char]`) into that buffer — no per-gram `String`/`Vec` is ever
+//! allocated, which matters because the n-gram blocking index
+//! ([`crate::block`]) and the comparison loops of the setup pipeline walk
+//! grams for every attribute of every source.
 
 use std::collections::HashSet;
 
 use crate::Similarity;
 
-/// Extract the set of character `n`-grams of a string, padded with `#`
-/// sentinels so that prefixes/suffixes are represented.
+/// Decode `s` into a `char` buffer padded with `n - 1` leading and trailing
+/// `#` sentinels, so that prefixes/suffixes are represented as grams.
 ///
-/// For `n == 0` this returns the empty set.
-fn ngrams(s: &str, n: usize) -> HashSet<Vec<char>> {
-    let mut set = HashSet::new();
+/// For `n == 0` the buffer is empty (no grams are defined).
+pub(crate) fn padded_chars(s: &str, n: usize) -> Vec<char> {
     if n == 0 {
-        return set;
+        return Vec::new();
     }
     let mut padded: Vec<char> = Vec::with_capacity(s.chars().count() + 2 * (n - 1));
     padded.extend(std::iter::repeat_n('#', n - 1));
     padded.extend(s.chars());
     padded.extend(std::iter::repeat_n('#', n - 1));
+    padded
+}
+
+/// The set of character `n`-grams of a padded buffer, as borrowed windows.
+fn gram_set(padded: &[char], n: usize) -> HashSet<&[char]> {
+    let mut set = HashSet::new();
+    if n == 0 {
+        return set;
+    }
     for w in padded.windows(n) {
-        set.insert(w.to_vec());
+        set.insert(w);
     }
     set
+}
+
+/// Shared set-overlap core: `(|A ∩ B|, |A|, |B|)` of the two gram sets,
+/// built without allocating any per-gram storage.
+fn gram_overlap(a: &str, b: &str, n: usize) -> (usize, usize, usize) {
+    let pa = padded_chars(a, n);
+    let pb = padded_chars(b, n);
+    let ga = gram_set(&pa, n);
+    let gb = gram_set(&pb, n);
+    let inter = ga.intersection(&gb).count();
+    (inter, ga.len(), gb.len())
 }
 
 /// Jaccard similarity of the `n`-gram sets: `|A ∩ B| / |A ∪ B|`.
@@ -36,13 +62,11 @@ fn ngrams(s: &str, n: usize) -> HashSet<Vec<char>> {
 /// assert_eq!(jaccard_ngram("abc", "xyz", 3), 0.0);
 /// ```
 pub fn jaccard_ngram(a: &str, b: &str, n: usize) -> f64 {
-    let ga = ngrams(a, n);
-    let gb = ngrams(b, n);
-    if ga.is_empty() && gb.is_empty() {
+    let (inter, la, lb) = gram_overlap(a, b, n);
+    if la == 0 && lb == 0 {
         return 1.0;
     }
-    let inter = ga.intersection(&gb).count();
-    let union = ga.len() + gb.len() - inter;
+    let union = la + lb - inter;
     if union == 0 {
         1.0
     } else {
@@ -58,13 +82,11 @@ pub fn jaccard_ngram(a: &str, b: &str, n: usize) -> f64 {
 /// assert!(dice_ngram("night", "nacht", 2) > 0.2);
 /// ```
 pub fn dice_ngram(a: &str, b: &str, n: usize) -> f64 {
-    let ga = ngrams(a, n);
-    let gb = ngrams(b, n);
-    if ga.is_empty() && gb.is_empty() {
+    let (inter, la, lb) = gram_overlap(a, b, n);
+    if la == 0 && lb == 0 {
         return 1.0;
     }
-    let inter = ga.intersection(&gb).count();
-    let denom = ga.len() + gb.len();
+    let denom = la + lb;
     if denom == 0 {
         1.0
     } else {
@@ -98,10 +120,11 @@ mod tests {
 
     #[test]
     fn gram_extraction_pads_ends() {
-        let g = ngrams("ab", 2);
-        assert!(g.contains(&vec!['#', 'a']));
-        assert!(g.contains(&vec!['a', 'b']));
-        assert!(g.contains(&vec!['b', '#']));
+        let p = padded_chars("ab", 2);
+        let g = gram_set(&p, 2);
+        assert!(g.contains(&['#', 'a'][..]));
+        assert!(g.contains(&['a', 'b'][..]));
+        assert!(g.contains(&['b', '#'][..]));
         assert_eq!(g.len(), 3);
     }
 

@@ -1,10 +1,16 @@
-//! The catalog of registered data sources.
+//! The catalog of registered data sources, organized into shards.
 
 use std::collections::BTreeMap;
+use std::ops::Range;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{StoreError, Table};
+use crate::{Shard, StoreError, Table};
+
+/// Default number of sources per shard. Small enough that an incremental
+/// `add_source` touches a bounded slice, large enough that shard overhead
+/// is negligible at paper scale (≤ 817 sources is a single shard).
+pub const DEFAULT_SHARD_CAPACITY: usize = 1024;
 
 /// Opaque identifier of a registered source.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -21,17 +27,102 @@ impl std::fmt::Display for SourceId {
 ///
 /// - `A = attr(S1) ∪ ... ∪ attr(Sn)` (distinct attribute names), and
 /// - `f(a) = |{i | a ∈ Si}| / n`, the fraction of sources containing `a`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Sources are stored in contiguous [`Shard`]s of at most
+/// [`Catalog::shard_capacity`] tables each. Ids stay positional across the
+/// whole catalog (shard boundaries are invisible to id-based lookups); the
+/// shard structure exists so that scans, artifact building, and incremental
+/// updates can operate on bounded, independently parallelizable slices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "CatalogRepr", into = "CatalogRepr")]
 pub struct Catalog {
-    sources: Vec<Table>,
-    /// attribute name → number of sources whose schema contains it.
+    shards: Vec<Shard>,
+    shard_capacity: usize,
+    /// attribute name → number of sources whose schema contains it
+    /// (catalog-wide; each shard holds its own slice of the same stat).
     attr_source_counts: BTreeMap<String, usize>,
 }
 
+/// Flat wire format (the pre-shard layout, kept for compatibility).
+#[derive(Serialize, Deserialize)]
+#[serde(rename = "Catalog")]
+struct CatalogRepr {
+    sources: Vec<Table>,
+    /// Written for the wire shape and read only by serde's `Serialize`
+    /// derive; rehydration recomputes counts from `sources` instead.
+    #[allow(dead_code)]
+    attr_source_counts: BTreeMap<String, usize>,
+}
+
+impl From<CatalogRepr> for Catalog {
+    fn from(repr: CatalogRepr) -> Catalog {
+        // Counts are recomputed from the tables; the persisted map is only
+        // the wire shape, never trusted over the source list itself.
+        let CatalogRepr {
+            sources,
+            attr_source_counts: _,
+        } = repr;
+        let mut c = Catalog::new();
+        for t in sources {
+            c.add_source(t);
+        }
+        c
+    }
+}
+
+impl From<Catalog> for CatalogRepr {
+    fn from(c: Catalog) -> CatalogRepr {
+        CatalogRepr {
+            sources: c
+                .shards
+                .into_iter()
+                .flat_map(|s| s.tables().to_vec())
+                .collect(),
+            attr_source_counts: c.attr_source_counts,
+        }
+    }
+}
+
+impl Default for Catalog {
+    fn default() -> Catalog {
+        Catalog {
+            shards: Vec::new(),
+            shard_capacity: DEFAULT_SHARD_CAPACITY,
+            attr_source_counts: BTreeMap::new(),
+        }
+    }
+}
+
 impl Catalog {
-    /// Empty catalog.
+    /// Empty catalog with the default shard capacity.
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// Empty catalog whose shards hold at most `capacity` sources each.
+    /// A capacity of 0 is treated as 1.
+    pub fn with_shard_capacity(capacity: usize) -> Catalog {
+        Catalog {
+            shard_capacity: capacity.max(1),
+            ..Catalog::default()
+        }
+    }
+
+    /// Sources per shard.
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    /// Resolve an id to `(shard index, local index)`.
+    fn locate(&self, id: usize) -> Option<(usize, usize)> {
+        let mut start = 0;
+        for (si, shard) in self.shards.iter().enumerate() {
+            if id < start + shard.len() {
+                return Some((si, id - start));
+            }
+            start += shard.len();
+        }
+        None
     }
 
     /// Register a source table, returning its id.
@@ -39,23 +130,41 @@ impl Catalog {
         for a in table.attributes() {
             *self.attr_source_counts.entry(a.clone()).or_insert(0) += 1;
         }
-        let id = SourceId(self.sources.len() as u32);
-        self.sources.push(table);
+        let id = SourceId(self.source_count() as u32);
+        let needs_new = self
+            .shards
+            .last()
+            .is_none_or(|s| s.len() >= self.shard_capacity);
+        if needs_new {
+            self.shards.push(Shard::new());
+        }
+        let last = self.shards.len() - 1;
+        self.shards[last].push(table);
         id
     }
 
     /// Remove the source named `name`, returning the dropped table.
     ///
     /// Later source ids shift down by one (ids are positional); attribute
-    /// frequencies are updated in place. `Err(StoreError::UnknownSourceName)`
-    /// when no source has that name.
+    /// frequencies are updated in place, and a shard emptied by the removal
+    /// is dropped so shard ranges stay contiguous.
+    /// `Err(StoreError::UnknownSourceName)` when no source has that name.
     pub fn remove_source(&mut self, name: &str) -> Result<Table, StoreError> {
-        let i = self
-            .sources
+        let (si, local) = self
+            .shards
             .iter()
-            .position(|t| t.name() == name)
+            .enumerate()
+            .find_map(|(si, s)| {
+                s.tables()
+                    .iter()
+                    .position(|t| t.name() == name)
+                    .map(|local| (si, local))
+            })
             .ok_or_else(|| StoreError::UnknownSourceName(name.to_owned()))?;
-        let table = self.sources.remove(i);
+        let table = self.shards[si].remove(local);
+        if self.shards[si].is_empty() {
+            self.shards.remove(si);
+        }
         for a in table.attributes() {
             if let Some(c) = self.attr_source_counts.get_mut(a) {
                 *c -= 1;
@@ -69,25 +178,60 @@ impl Catalog {
 
     /// Number of registered sources.
     pub fn source_count(&self) -> usize {
-        self.sources.len()
+        self.shards.iter().map(Shard::len).sum()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in source-id order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Fetch a shard by index.
+    pub fn shard(&self, idx: usize) -> Option<&Shard> {
+        self.shards.get(idx)
+    }
+
+    /// The contiguous source-id range covered by each shard, in order.
+    /// Ranges partition `0..source_count()`.
+    pub fn shard_ranges(&self) -> Vec<Range<usize>> {
+        let mut start = 0;
+        self.shards
+            .iter()
+            .map(|s| {
+                let r = start..start + s.len();
+                start += s.len();
+                r
+            })
+            .collect()
+    }
+
+    /// The index of the shard holding `id`, if the id is registered.
+    pub fn shard_of(&self, id: SourceId) -> Option<usize> {
+        self.locate(id.0 as usize).map(|(si, _)| si)
     }
 
     /// Total number of rows across all sources.
     pub fn total_rows(&self) -> usize {
-        self.sources.iter().map(Table::row_count).sum()
+        self.shards.iter().map(Shard::row_count).sum()
     }
 
     /// Fetch a source by id.
     pub fn source(&self, id: SourceId) -> Result<&Table, StoreError> {
-        self.sources
-            .get(id.0 as usize)
+        self.locate(id.0 as usize)
+            .and_then(|(si, local)| self.shards[si].table(local))
             .ok_or(StoreError::UnknownSource(id.0))
     }
 
     /// Iterate `(id, table)` over all sources.
     pub fn iter_sources(&self) -> impl Iterator<Item = (SourceId, &Table)> {
-        self.sources
+        self.shards
             .iter()
+            .flat_map(|s| s.tables().iter())
             .enumerate()
             .map(|(i, t)| (SourceId(i as u32), t))
     }
@@ -106,21 +250,21 @@ impl Catalog {
     /// `f(a)`: the fraction of sources whose schema contains `a` (0 when the
     /// catalog is empty or the attribute is unknown).
     pub fn attribute_frequency(&self, attribute: &str) -> f64 {
-        if self.sources.is_empty() {
+        let n = self.source_count();
+        if n == 0 {
             return 0.0;
         }
         let c = self.attr_source_counts.get(attribute).copied().unwrap_or(0);
-        c as f64 / self.sources.len() as f64
+        c as f64 / n as f64
     }
 
     /// Attributes whose frequency is at least `theta`, in lexicographic
     /// order (Algorithm 1 step 3).
     pub fn frequent_attributes(&self, theta: f64) -> Vec<String> {
+        let n = self.source_count();
         self.attr_source_counts
             .iter()
-            .filter(|(_, &c)| {
-                !self.sources.is_empty() && c as f64 / self.sources.len() as f64 >= theta
-            })
+            .filter(|(_, &c)| n != 0 && c as f64 / n as f64 >= theta)
             .map(|(a, _)| a.clone())
             .collect()
     }
@@ -202,6 +346,8 @@ mod tests {
         assert_eq!(c.attribute_frequency("x"), 0.0);
         assert!(c.frequent_attributes(0.0).is_empty());
         assert_eq!(c.total_rows(), 0);
+        assert_eq!(c.shard_count(), 0);
+        assert!(c.shard_ranges().is_empty());
     }
 
     #[test]
@@ -222,5 +368,71 @@ mod tests {
     #[test]
     fn display_of_source_id() {
         assert_eq!(SourceId(3).to_string(), "S3");
+    }
+
+    #[test]
+    fn sharding_splits_sources_into_contiguous_ranges() {
+        let mut c = Catalog::with_shard_capacity(2);
+        for i in 0..5 {
+            c.add_source(Table::new(format!("s{i}"), ["name"]));
+        }
+        assert_eq!(c.shard_count(), 3);
+        assert_eq!(c.shard_ranges(), vec![0..2, 2..4, 4..5]);
+        assert_eq!(c.shard_of(SourceId(0)), Some(0));
+        assert_eq!(c.shard_of(SourceId(3)), Some(1));
+        assert_eq!(c.shard_of(SourceId(4)), Some(2));
+        assert_eq!(c.shard_of(SourceId(5)), None);
+        // Id-based access is oblivious to shard boundaries.
+        assert_eq!(c.source(SourceId(3)).unwrap().name(), "s3");
+        let ids: Vec<u32> = c.iter_sources().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn per_shard_counts_slice_the_global_stat() {
+        let mut c = Catalog::with_shard_capacity(2);
+        c.add_source(Table::new("a", ["name", "phone"]));
+        c.add_source(Table::new("b", ["name"]));
+        c.add_source(Table::new("c", ["phone"]));
+        let per_shard: usize = c.shards().iter().map(|s| s.attribute_count("phone")).sum();
+        assert_eq!(per_shard, 2);
+        assert_eq!(c.shard(0).unwrap().attribute_count("name"), 2);
+        assert_eq!(c.shard(1).unwrap().attribute_count("name"), 0);
+    }
+
+    #[test]
+    fn removal_drops_emptied_shards() {
+        let mut c = Catalog::with_shard_capacity(1);
+        c.add_source(Table::new("a", ["x"]));
+        c.add_source(Table::new("b", ["y"]));
+        c.add_source(Table::new("c", ["z"]));
+        assert_eq!(c.shard_count(), 3);
+        c.remove_source("b").unwrap();
+        assert_eq!(c.shard_count(), 2);
+        assert_eq!(c.shard_ranges(), vec![0..1, 1..2]);
+        // Ids shifted: "c" is now id 1.
+        assert_eq!(c.source(SourceId(1)).unwrap().name(), "c");
+        // A later add reuses the tail shard only if it has room (capacity 1
+        // here, so a fresh shard opens).
+        c.add_source(Table::new("d", ["w"]));
+        assert_eq!(c.shard_count(), 3);
+    }
+
+    #[test]
+    fn serde_repr_is_flat_and_round_trips() {
+        let mut c = Catalog::with_shard_capacity(2);
+        c.add_source(Table::new("a", ["name"]));
+        c.add_source(Table::new("b", ["name", "phone"]));
+        c.add_source(Table::new("c", ["title"]));
+        let repr = CatalogRepr::from(c.clone());
+        assert_eq!(repr.sources.len(), 3);
+        assert_eq!(repr.sources[2].name(), "c");
+        assert_eq!(repr.attr_source_counts.get("name"), Some(&2));
+        let back = Catalog::from(repr);
+        assert_eq!(back.source_count(), 3);
+        assert_eq!(back.attribute_frequency("name"), 2.0 / 3.0);
+        assert_eq!(back.source(SourceId(2)).unwrap().name(), "c");
+        // Default capacity applies on rehydration.
+        assert_eq!(back.shard_count(), 1);
     }
 }

@@ -171,8 +171,14 @@ impl Table {
         let header: Vec<String> = self.attributes().iter().map(|a| escape(a)).collect();
         out.push_str(&header.join(","));
         out.push('\n');
-        for row in self.rows() {
-            let cells: Vec<String> = row.iter().map(|v| escape(&v.to_string())).collect();
+        for ri in 0..self.row_count() {
+            let cells: Vec<String> = (0..self.arity())
+                .map(|ci| {
+                    self.value_at(ri, ci)
+                        .map(|v| escape(&v.to_string()))
+                        .unwrap_or_default()
+                })
+                .collect();
             out.push_str(&cells.join(","));
             out.push('\n');
         }
@@ -206,7 +212,7 @@ mod tests {
         assert_eq!(t.cell(1, "title"), Some(&Value::text("The \"Best\"")));
         // Round trip preserves content.
         let again = Table::from_csv("m", &t.to_csv()).unwrap();
-        assert_eq!(again.rows(), t.rows());
+        assert_eq!(again.to_rows(), t.to_rows());
     }
 
     #[test]

@@ -54,12 +54,18 @@ impl KeywordIndex {
                     idx.attribute_tokens.insert(t);
                 }
             }
-            for (ri, row) in table.iter_rows() {
-                let rref = RowRef {
-                    source: sid,
-                    row: ri,
+            // Column-major walk: one contiguous segment per attribute.
+            // Postings are sets keyed by (source, row), so the resulting
+            // index is identical to a row-major build.
+            for ci in 0..table.arity() {
+                let Some(col) = table.column(ci) else {
+                    continue;
                 };
-                for cell in row {
+                for (ri, cell) in col.iter().enumerate() {
+                    let rref = RowRef {
+                        source: sid,
+                        row: ri,
+                    };
                     for t in tokens(&cell.to_string()) {
                         idx.postings.entry(t).or_default().insert(rref);
                     }

@@ -1,4 +1,16 @@
-//! Single-table data sources.
+//! Single-table data sources, stored column-major.
+//!
+//! Rows arrive row-major (CSV import, generators) but the hot paths —
+//! predicate scans, LIKE filters, keyword tokenization — each touch only a
+//! few attributes of every tuple. Storing each attribute as its own
+//! [`Value`] segment lets those paths walk one contiguous column instead of
+//! striding across heterogeneous rows, and lets a 100k-source corpus drop
+//! the per-row `Vec` header overhead (one allocation per column instead of
+//! one per tuple).
+//!
+//! The serialized form is unchanged: a table still serializes as
+//! `{name, attributes, rows}` (row-major), so fixtures and any persisted
+//! catalogs keep working.
 
 use serde::{Deserialize, Serialize};
 
@@ -8,17 +20,59 @@ use crate::{StoreError, Value};
 pub type Row = Vec<Value>;
 
 /// A named single-table data source: an ordered list of attribute names and
-/// the rows beneath them.
+/// one column segment per attribute.
 ///
 /// The paper considers "the case where each schema contains a single table
 /// with a set of attributes", so a source *is* a table. Attribute names are
 /// kept verbatim (heterogeneity is the whole point); matching and
 /// normalization happen upstream in `udi-similarity`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "TableRepr", into = "TableRepr")]
 pub struct Table {
     name: String,
     attributes: Vec<String>,
+    /// One segment per attribute; all segments have length `len`.
+    cols: Vec<Vec<Value>>,
+    /// Row count, tracked explicitly so zero-arity tables still count rows.
+    len: usize,
+}
+
+/// Row-major wire format (the pre-columnar layout, kept for compatibility).
+#[derive(Serialize, Deserialize)]
+#[serde(rename = "Table")]
+struct TableRepr {
+    name: String,
+    attributes: Vec<String>,
     rows: Vec<Row>,
+}
+
+impl From<TableRepr> for Table {
+    fn from(repr: TableRepr) -> Table {
+        let arity = repr.attributes.len();
+        let mut t = Table {
+            name: repr.name,
+            attributes: repr.attributes,
+            cols: vec![Vec::new(); arity],
+            len: 0,
+        };
+        for mut row in repr.rows {
+            // Tolerate ragged persisted rows: pad with NULL, drop extras.
+            row.resize(arity, Value::Null);
+            let _ = t.push_row(row);
+        }
+        t
+    }
+}
+
+impl From<Table> for TableRepr {
+    fn from(t: Table) -> TableRepr {
+        let rows = t.to_rows();
+        TableRepr {
+            name: t.name,
+            attributes: t.attributes,
+            rows,
+        }
+    }
 }
 
 impl Table {
@@ -49,10 +103,12 @@ impl Table {
                 });
             }
         }
+        let cols = vec![Vec::new(); attributes.len()];
         Ok(Table {
             name,
             attributes,
-            rows: Vec::new(),
+            cols,
+            len: 0,
         })
     }
 
@@ -73,12 +129,38 @@ impl Table {
 
     /// Number of rows.
     pub fn row_count(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
-    /// All rows.
-    pub fn rows(&self) -> &[Row] {
-        &self.rows
+    /// The column segment at schema position `col`, if in range. This is
+    /// the scan-friendly access path: one contiguous slice per attribute.
+    pub fn column(&self, col: usize) -> Option<&[Value]> {
+        self.cols.get(col).map(Vec::as_slice)
+    }
+
+    /// The column segment under `attribute` (exact name match).
+    pub fn column_by_name(&self, attribute: &str) -> Option<&[Value]> {
+        self.column(self.attribute_index(attribute)?)
+    }
+
+    /// The cell at (`row`, `col`) by position, if both are in range.
+    pub fn value_at(&self, row: usize, col: usize) -> Option<&Value> {
+        self.cols.get(col)?.get(row)
+    }
+
+    /// Materialize row `row` (cells cloned in schema order), if in range.
+    pub fn row(&self, row: usize) -> Option<Row> {
+        if row >= self.len {
+            return None;
+        }
+        Some(self.cols.iter().map(|c| c[row].clone()).collect())
+    }
+
+    /// Materialize every row (row-major copy of the table).
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.len)
+            .map(|r| self.row(r).unwrap_or_default())
+            .collect()
     }
 
     /// Position of an attribute in the schema, if present (exact match).
@@ -100,7 +182,10 @@ impl Table {
                 got: row.len(),
             });
         }
-        self.rows.push(row);
+        for (col, cell) in self.cols.iter_mut().zip(row) {
+            col.push(cell);
+        }
+        self.len += 1;
         Ok(())
     }
 
@@ -121,12 +206,7 @@ impl Table {
     /// The cell at (`row`, `attribute`), if both exist.
     pub fn cell(&self, row: usize, attribute: &str) -> Option<&Value> {
         let col = self.attribute_index(attribute)?;
-        self.rows.get(row).map(|r| &r[col])
-    }
-
-    /// Iterate over `(row_index, row)` pairs.
-    pub fn iter_rows(&self) -> impl Iterator<Item = (usize, &Row)> {
-        self.rows.iter().enumerate()
+        self.value_at(row, col)
     }
 }
 
@@ -174,6 +254,7 @@ mod tests {
             }
         ));
         assert_eq!(t.row_count(), 2, "failed push must not mutate");
+        assert!(t.cols.iter().all(|c| c.len() == 2), "columns stay aligned");
     }
 
     #[test]
@@ -187,12 +268,65 @@ mod tests {
         let t = sample();
         assert_eq!(t.cell(9, "name"), None);
         assert_eq!(t.cell(0, "nope"), None);
+        assert_eq!(t.value_at(0, 9), None);
+        assert_eq!(t.row(2), None);
     }
 
     #[test]
-    fn iter_rows_yields_indices() {
+    fn columns_are_contiguous_segments() {
         let t = sample();
-        let idx: Vec<usize> = t.iter_rows().map(|(i, _)| i).collect();
-        assert_eq!(idx, vec![0, 1]);
+        let ages = t.column(2).unwrap();
+        assert_eq!(ages, &[Value::Int(34), Value::Int(41)]);
+        assert_eq!(t.column_by_name("age").unwrap(), ages);
+        assert_eq!(t.column(3), None);
+        assert_eq!(t.column_by_name("salary"), None);
+    }
+
+    #[test]
+    fn rows_materialize_in_schema_order() {
+        let t = sample();
+        assert_eq!(
+            t.row(1).unwrap(),
+            vec![Value::text("Bob"), Value::Null, Value::Int(41)]
+        );
+        let rows = t.to_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::text("Alice"));
+    }
+
+    #[test]
+    fn zero_arity_tables_count_rows() {
+        let mut t = Table::new("unit", Vec::<String>::new());
+        t.push_row(vec![]).unwrap();
+        t.push_row(vec![]).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.row(0), Some(vec![]));
+        assert_eq!(t.to_rows(), vec![Vec::<Value>::new(); 2]);
+    }
+
+    #[test]
+    fn repr_round_trip_is_row_major() {
+        let t = sample();
+        let repr = TableRepr::from(t.clone());
+        assert_eq!(repr.rows.len(), 2);
+        assert_eq!(repr.rows[1][2], Value::Int(41));
+        let back = Table::from(repr);
+        assert_eq!(back.to_rows(), t.to_rows());
+        assert_eq!(back.name(), "people");
+    }
+
+    #[test]
+    fn ragged_repr_rows_are_padded_and_truncated() {
+        let repr = TableRepr {
+            name: "r".into(),
+            attributes: vec!["a".into(), "b".into()],
+            rows: vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(2), Value::Int(3), Value::Int(4)],
+            ],
+        };
+        let t = Table::from(repr);
+        assert_eq!(t.row(0), Some(vec![Value::Int(1), Value::Null]));
+        assert_eq!(t.row(1), Some(vec![Value::Int(2), Value::Int(3)]));
     }
 }

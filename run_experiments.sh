@@ -9,4 +9,6 @@ for exp in table1 table2 table3 fig4 fig5 fig6 fig7 exp_ambiguity exp_ablation e
 done
 echo "== running exp_sensitivity (quarter scale; see EXPERIMENTS.md) =="
 UDI_SCALE=0.25 "$BIN/exp_sensitivity" > results/exp_sensitivity.txt 2>&1
+echo "== running exp_scale (full 1k-100k run; refreshes results/BENCH_scale.json) =="
+"$BIN/exp_scale" > results/exp_scale.txt 2>&1
 echo "all experiments done"

@@ -1,0 +1,270 @@
+//! Blocking must be invisible at paper scale.
+//!
+//! The n-gram block index prunes attribute pairs before pairwise scoring.
+//! Pruned pairs never enter the similarity cache, so the frozen matrix
+//! reads them as 0.0 — exactly how sub-threshold pairs already behave.
+//! The outputs of a blocked setup are therefore *byte-identical* to the
+//! exhaustive all-pairs setup **iff** blocking never drops a pair the
+//! scoring floor `min(τ − ε, pair_floor)` would keep. These tests gate
+//! both halves of that claim on generated corpora: identity of every
+//! artifact (p-med-schema, p-mappings, consolidation, query answers), and
+//! the recall property itself at the `BlockIndex` level.
+//!
+//! The guarantee is scoped to generated corpora on purpose: a universal
+//! bigram-soundness theorem does not exist for Jaro–Winkler (adversarial
+//! strings like `a1b2c3d4` / `1a2b3c4d` score high while sharing no
+//! bigram), which is why `UdiConfig::blocking` remains an escape hatch.
+
+use proptest::prelude::*;
+
+use udi::core::{Feedback, UdiConfig, UdiSystem};
+use udi::datagen::{generate, scale_catalog, Domain, GenConfig, ScaleConfig};
+use udi::eval::generate_workload;
+use udi::schema::UdiParams;
+use udi::similarity::{AttributeSimilarity, BlockIndex, Similarity};
+use udi::store::{Catalog, Table};
+
+/// Set up the same catalog twice: blocked and exhaustive.
+fn setup_pair(catalog: &Catalog) -> (UdiSystem, UdiSystem) {
+    let blocked = UdiSystem::setup(
+        catalog.clone(),
+        UdiConfig {
+            blocking: true,
+            ..UdiConfig::default()
+        },
+    )
+    .expect("blocked setup");
+    let exhaustive = UdiSystem::setup(
+        catalog.clone(),
+        UdiConfig {
+            blocking: false,
+            ..UdiConfig::default()
+        },
+    )
+    .expect("exhaustive setup");
+    (blocked, exhaustive)
+}
+
+/// Exact textual fingerprint of every setup artifact. `Debug` on `f64`
+/// prints the shortest round-trip representation, so equal fingerprints
+/// mean bit-identical probabilities, not merely close ones.
+fn fingerprint(sys: &UdiSystem) -> String {
+    use std::fmt::Write;
+    let mut s = format!("{:?}\n{:?}\n", sys.pmed(), sys.consolidated());
+    for src in 0..sys.catalog().source_count() {
+        for schema in 0..sys.pmed().len() {
+            writeln!(s, "{:?}", sys.pmapping(src, schema)).unwrap();
+        }
+        writeln!(s, "{:?}", sys.consolidated_pmapping(src)).unwrap();
+    }
+    s
+}
+
+/// The stage-2/3 scoring floor below which a similarity can never matter.
+fn scoring_floor() -> f64 {
+    let p = UdiParams::default();
+    (p.tau - p.epsilon).min(p.pair_floor)
+}
+
+/// Recall check at the index level: every pair of names the default
+/// measure scores at or above the floor must survive blocking.
+fn assert_no_scorable_pair_dropped(names: &[String], context: &str) {
+    let mut index = BlockIndex::bigram();
+    for n in names {
+        index.insert(n);
+    }
+    let measure = AttributeSimilarity::default();
+    let floor = scoring_floor();
+    for i in 0..names.len() {
+        let cands = index.candidates_of(i as u32);
+        for j in (i + 1)..names.len() {
+            let s = measure.similarity(&names[i], &names[j]);
+            if s >= floor {
+                assert!(
+                    cands.binary_search(&(j as u32)).is_ok(),
+                    "{context}: blocking dropped {:?} ~ {:?} (sim {s:.4})",
+                    names[i],
+                    names[j]
+                );
+            }
+        }
+    }
+}
+
+fn universe(catalog: &Catalog) -> Vec<String> {
+    catalog.attribute_universe().map(str::to_owned).collect()
+}
+
+#[test]
+fn blocked_setup_is_byte_identical_on_paper_domains() {
+    for domain in Domain::all() {
+        let gen = generate(
+            domain,
+            &GenConfig {
+                n_sources: Some(80),
+                ..GenConfig::default()
+            },
+        );
+        let (blocked, exhaustive) = setup_pair(&gen.catalog);
+        assert_eq!(
+            fingerprint(&blocked),
+            fingerprint(&exhaustive),
+            "{domain:?}: blocked artifacts differ from all-pairs"
+        );
+
+        // Query answers too: identical tuples with bit-identical
+        // probabilities on the standard workload.
+        for q in generate_workload(&gen, 8, 7) {
+            let mut a = blocked.answer(&q).combined();
+            let mut b = exhaustive.answer(&q).combined();
+            a.sort_by(|x, y| x.values.cmp(&y.values));
+            b.sort_by(|x, y| x.values.cmp(&y.values));
+            assert_eq!(a.len(), b.len(), "{domain:?}: answer cardinality");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.values, y.values, "{domain:?}: answer tuples");
+                assert_eq!(
+                    x.probability.to_bits(),
+                    y.probability.to_bits(),
+                    "{domain:?}: answer probabilities not bit-identical"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn blocked_setup_is_byte_identical_on_the_scale_corpus() {
+    let catalog = scale_catalog(&ScaleConfig {
+        n_sources: 200,
+        rows_min: 1,
+        rows_max: 3,
+        ..ScaleConfig::default()
+    });
+    let (blocked, exhaustive) = setup_pair(&catalog);
+    assert_eq!(
+        fingerprint(&blocked),
+        fingerprint(&exhaustive),
+        "scale corpus: blocked artifacts differ from all-pairs"
+    );
+}
+
+#[test]
+fn blocking_never_drops_a_scorable_pair_on_generated_corpora() {
+    for domain in Domain::all() {
+        let gen = generate(
+            domain,
+            &GenConfig {
+                n_sources: Some(120),
+                ..GenConfig::default()
+            },
+        );
+        assert_no_scorable_pair_dropped(&universe(&gen.catalog), domain.name());
+    }
+    let catalog = scale_catalog(&ScaleConfig {
+        n_sources: 300,
+        rows_min: 1,
+        rows_max: 1,
+        ..ScaleConfig::default()
+    });
+    assert_no_scorable_pair_dropped(&universe(&catalog), "scale");
+}
+
+/// Black-box measures must bypass blocking entirely: a feedback-wrapped
+/// measure can score a pair high that shares no character bigram, which
+/// the index would prune. `setup_with_measure` therefore forces the
+/// exhaustive path — this also keeps `apply_feedback` (which pins judged
+/// pairs straight into the cache) equivalent to a wrapped rebuild.
+#[test]
+fn custom_measures_are_scored_exhaustively() {
+    let mut catalog = Catalog::new();
+    for (i, attrs) in [vec!["year", "price"], vec!["tel", "price"]]
+        .into_iter()
+        .enumerate()
+    {
+        let mut t = Table::new(format!("s{i}"), attrs.clone());
+        t.push_raw_row(attrs.iter().map(|_| "v")).unwrap();
+        catalog.add_source(t);
+    }
+    // "year" and "tel" share no bigram; only the human says they match.
+    let mut feedback = Feedback::new();
+    feedback.confirm_same("year", "tel");
+    let base = AttributeSimilarity::default();
+    let wrapped = feedback.wrap(&base);
+    let full = UdiSystem::setup_with_measure(catalog, &wrapped, UdiConfig::default())
+        .expect("wrapped setup");
+    let vocab = full.schema_set().vocab();
+    let year = vocab.id_of("year").expect("year interned");
+    let tel = vocab.id_of("tel").expect("tel interned");
+    assert_eq!(
+        full.consolidated().cluster_of(year),
+        full.consolidated().cluster_of(tel),
+        "judged pair sharing no bigram must still merge under a wrapped measure"
+    );
+}
+
+/// Strategy mirroring `pipeline_properties`: random source schemas over a
+/// themed attribute pool (near-duplicates, morphology, punctuation).
+fn schema_sets() -> impl Strategy<Value = Vec<Vec<&'static str>>> {
+    let pool = prop::sample::subsequence(
+        vec![
+            "name",
+            "title",
+            "phone",
+            "phone no",
+            "tel",
+            "address",
+            "addr",
+            "email",
+            "year",
+            "yr",
+            "price",
+            "prices",
+            "make",
+            "model",
+            "author",
+            "author(s)",
+            "issue",
+            "issn",
+        ],
+        2..9,
+    );
+    proptest::collection::vec(pool, 2..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Blocked and exhaustive setups produce byte-identical artifacts on
+    /// arbitrary catalogs from the themed pool.
+    #[test]
+    fn blocked_setup_is_byte_identical_on_random_catalogs(sources in schema_sets()) {
+        let mut catalog = Catalog::new();
+        for (i, attrs) in sources.iter().enumerate() {
+            let mut t = Table::new(format!("s{i}"), attrs.clone());
+            t.push_raw_row(attrs.iter().map(|_| "v")).unwrap();
+            catalog.add_source(t);
+        }
+        let blocking_on = UdiSystem::setup(catalog.clone(), UdiConfig::default());
+        let (blocked, exhaustive) = match blocking_on {
+            Ok(b) => (
+                b,
+                UdiSystem::setup(
+                    catalog,
+                    UdiConfig { blocking: false, ..UdiConfig::default() },
+                )
+                .expect("exhaustive setup must succeed when blocked did"),
+            ),
+            Err(_) => return Ok(()),
+        };
+        prop_assert_eq!(fingerprint(&blocked), fingerprint(&exhaustive));
+    }
+
+    /// The recall property on random name sets from the same pool.
+    #[test]
+    fn blocking_keeps_scorable_pairs_from_the_pool(
+        names in proptest::collection::vec("[a-z]{1,8}( [a-z]{1,8})?", 2..12)
+    ) {
+        let names: Vec<String> = names;
+        assert_no_scorable_pair_dropped(&names, "random");
+    }
+}

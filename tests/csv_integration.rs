@@ -90,6 +90,6 @@ fn csv_round_trip_preserves_catalog() {
     for (sid, table) in catalog.iter_sources() {
         let re = Table::from_csv(table.name(), &table.to_csv()).unwrap();
         assert_eq!(re.attributes(), table.attributes(), "{sid}");
-        assert_eq!(re.rows(), table.rows(), "{sid}");
+        assert_eq!(re.to_rows(), table.to_rows(), "{sid}");
     }
 }

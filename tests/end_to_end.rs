@@ -131,7 +131,11 @@ fn course_domain_exhibits_the_stringly_precision_artifact() {
             continue;
         };
         let col = t.attribute_index(attr).unwrap();
-        let has_text_number = t.rows().iter().any(|r| matches!(&r[col], Value::Text(_)));
+        let has_text_number = t
+            .column(col)
+            .unwrap()
+            .iter()
+            .any(|v| matches!(v, Value::Text(_)));
         if !has_text_number {
             continue;
         }
