@@ -1,0 +1,863 @@
+//! Per-function control-flow graphs over the parser's opaque body token
+//! ranges.
+//!
+//! The item [`crate::parser`] stops at function bodies: a body is a
+//! brace-balanced token range. This module parses that range into a
+//! statement list and a CFG — one basic block per statement, plus empty
+//! entry/exit/join blocks — recovering exactly the control structure the
+//! dataflow passes need:
+//!
+//! * sequential fallthrough between statements,
+//! * `if`/`if let`/`else` branching with a join block,
+//! * `match` arms (pattern + guard as a condition block, then the arm
+//!   body) joining after the match,
+//! * `loop`/`while`/`for` back-edges, with `break`/`continue` resolved
+//!   against the innermost loop,
+//! * `return` as an edge to the exit block, and `?` as an *additional*
+//!   edge to exit from any statement containing one.
+//!
+//! Like the lexer and parser, the builder **never fails**: malformed or
+//! truncated input degrades into opaque expression statements, never a
+//! panic. The layout is deterministic — blocks are numbered in parse
+//! order, successors in creation order, and no hashing is involved — so
+//! two builds of the same token range produce identical graphs (a
+//! property the proptests freeze).
+//!
+//! See `DESIGN.md` §12 for how the lock-order and error-discard passes
+//! consume these graphs.
+
+use std::ops::Range;
+
+use crate::lexer::{Token, TokenKind};
+use crate::parser::is_comment;
+
+/// Block id of the synthetic entry block (no statement, no predecessors).
+pub const ENTRY: usize = 0;
+/// Block id of the synthetic exit block (`return`/`?`/fallthrough target).
+pub const EXIT: usize = 1;
+
+/// What kind of statement a block holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `let` statement. `name` is the bound identifier for simple
+    /// bindings (`let g = …`, `let mut g = …`); `None` for pattern
+    /// bindings. `discard` is true exactly for `let _ = …`.
+    Let {
+        /// Simple bound name, if the pattern is a bare identifier.
+        name: Option<String>,
+        /// `let _ = …` — the value is dropped on the spot.
+        discard: bool,
+    },
+    /// Expression statement. `semi` is true when it was terminated by
+    /// `;` (a discarded value), false for a tail expression.
+    Expr {
+        /// Terminated by a semicolon.
+        semi: bool,
+    },
+    /// `return …;` — the block's only successor is [`EXIT`].
+    Return,
+    /// `break …;` — jumps to the innermost loop's join block.
+    Break,
+    /// `continue;` — jumps back to the innermost loop's head.
+    Continue,
+    /// Condition/scrutinee of an `if`/`while`/`for`/`match`, or a match
+    /// arm's pattern (+ guard). Successors are the branch targets.
+    Cond,
+    /// Head of a bare `loop`.
+    LoopHead,
+    /// A nested item definition (`fn`, `struct`, `const`, …) — opaque to
+    /// the dataflow passes.
+    Item,
+}
+
+/// One statement, with its token span in the *file* token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// Statement kind.
+    pub kind: StmtKind,
+    /// Token-index range in the defining file (comments included where
+    /// they interleave; consumers filter).
+    pub span: Range<usize>,
+    /// 1-based line of the first significant token.
+    pub line: u32,
+    /// 1-based column of the first significant token.
+    pub col: u32,
+    /// The span contains a `?` operator — the block has an extra edge to
+    /// [`EXIT`].
+    pub has_question: bool,
+}
+
+/// One basic block: at most one statement plus its successor edges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Block {
+    /// The statement, or `None` for entry/exit/join blocks.
+    pub stmt: Option<Stmt>,
+    /// Successor block ids, in creation order, deduplicated.
+    pub succs: Vec<usize>,
+}
+
+/// A per-function control-flow graph. Block [`ENTRY`] starts the
+/// function, block [`EXIT`] is the unique sink for fallthrough, `return`,
+/// and `?` propagation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cfg {
+    /// All blocks; indices are block ids.
+    pub blocks: Vec<Block>,
+}
+
+impl Cfg {
+    /// Iterate `(block id, statement)` for every statement-bearing block.
+    pub fn stmts(&self) -> impl Iterator<Item = (usize, &Stmt)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter_map(|(b, blk)| blk.stmt.as_ref().map(|s| (b, s)))
+    }
+
+    /// The block whose statement span contains file token index `tok`,
+    /// if any (condition spans included).
+    pub fn block_of_token(&self, tok: usize) -> Option<usize> {
+        self.stmts()
+            .find(|(_, s)| s.span.contains(&tok))
+            .map(|(b, _)| b)
+    }
+
+    /// Predecessor lists (computed, deterministic).
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                if let Some(p) = preds.get_mut(s) {
+                    p.push(b);
+                }
+            }
+        }
+        preds
+    }
+
+    /// Structural invariants the proptests assert: every successor id is
+    /// in bounds, entry/exit exist and are statement-free.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.blocks.len() < 2 {
+            return Err("missing entry/exit blocks".to_owned());
+        }
+        for who in [ENTRY, EXIT] {
+            if self.blocks[who].stmt.is_some() {
+                return Err(format!("block {who} must be statement-free"));
+            }
+        }
+        if !self.blocks[EXIT].succs.is_empty() {
+            return Err("exit block must have no successors".to_owned());
+        }
+        for (b, blk) in self.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                if s >= self.blocks.len() {
+                    return Err(format!("block {b} has out-of-range successor {s}"));
+                }
+            }
+            let mut seen = blk.succs.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            if seen.len() != blk.succs.len() {
+                return Err(format!("block {b} has duplicate successors"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Nesting depth beyond which the builder stops recursing and treats a
+/// region as one opaque statement (guards the stack against pathological
+/// `{{{{…}}}}` proptest inputs).
+const MAX_DEPTH: u32 = 64;
+
+/// Build the CFG of one function body. `body` is the token-index range of
+/// the `{ … }` (braces included), as produced by the parser — but any
+/// range over any token stream is accepted and degrades gracefully.
+pub fn build_cfg(tokens: &[Token], body: Range<usize>) -> Cfg {
+    let lo = body.start.min(tokens.len());
+    let hi = body.end.min(tokens.len());
+    // Significant-token indices of the body.
+    let mut sig: Vec<usize> = (lo..hi)
+        .filter(|&i| tokens.get(i).is_some_and(|t| !is_comment(t)))
+        .collect();
+    // Strip the enclosing braces when present and matching.
+    let first_open = sig
+        .first()
+        .and_then(|&i| tokens.get(i))
+        .is_some_and(|t| t.text == "{");
+    let last_close = sig
+        .last()
+        .and_then(|&i| tokens.get(i))
+        .is_some_and(|t| t.text == "}");
+    if sig.len() >= 2 && first_open && last_close {
+        sig.remove(0);
+        sig.pop();
+    }
+    let mut b = Builder {
+        toks: tokens,
+        sig,
+        blocks: vec![Block::default(), Block::default()],
+    };
+    let (entry, exit) = b.seq(0, b.sig.len(), &mut Vec::new(), 0);
+    b.link(ENTRY, entry);
+    if let Some(exit) = exit {
+        b.link(exit, EXIT);
+    }
+    Cfg { blocks: b.blocks }
+}
+
+/// Innermost-loop context for `break`/`continue` resolution.
+struct LoopCtx {
+    head: usize,
+    join: usize,
+}
+
+struct Builder<'t> {
+    toks: &'t [Token],
+    /// Significant token indices of the body interior, in order. All
+    /// parsing positions below are *slots* into this vector.
+    sig: Vec<usize>,
+    blocks: Vec<Block>,
+}
+
+impl<'t> Builder<'t> {
+    fn text(&self, slot: usize) -> &str {
+        self.sig
+            .get(slot)
+            .and_then(|&i| self.toks.get(i))
+            .map(|t| t.text.as_str())
+            .unwrap_or("")
+    }
+
+    fn is_ident(&self, slot: usize) -> bool {
+        self.sig
+            .get(slot)
+            .and_then(|&i| self.toks.get(i))
+            .is_some_and(|t| matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent))
+    }
+
+    fn new_block(&mut self, stmt: Option<Stmt>) -> usize {
+        self.blocks.push(Block {
+            stmt,
+            succs: Vec::new(),
+        });
+        self.blocks.len() - 1
+    }
+
+    fn link(&mut self, from: usize, to: usize) {
+        if let Some(b) = self.blocks.get_mut(from) {
+            if !b.succs.contains(&to) {
+                b.succs.push(to);
+            }
+        }
+    }
+
+    /// File-token span + anchor for slots `lo..hi`.
+    fn stmt_at(&self, kind: StmtKind, lo: usize, hi: usize) -> Stmt {
+        let first = self.sig.get(lo).copied().unwrap_or(0);
+        let last = self
+            .sig
+            .get(hi.saturating_sub(1).max(lo))
+            .copied()
+            .unwrap_or(first);
+        let (line, col) = self
+            .toks
+            .get(first)
+            .map(|t| (t.line, t.col))
+            .unwrap_or((1, 1));
+        let has_question = (lo..hi).any(|s| {
+            self.sig
+                .get(s)
+                .and_then(|&i| self.toks.get(i))
+                .is_some_and(|t| t.kind == TokenKind::Punct && t.text == "?")
+        });
+        Stmt {
+            kind,
+            span: first..last + 1,
+            line,
+            col,
+            has_question,
+        }
+    }
+
+    /// Statement block + its standard edges (`?` ⇒ extra edge to EXIT).
+    fn stmt_block(&mut self, kind: StmtKind, lo: usize, hi: usize) -> usize {
+        let stmt = self.stmt_at(kind, lo, hi);
+        let q = stmt.has_question;
+        let b = self.new_block(Some(stmt));
+        if q {
+            self.link(b, EXIT);
+        }
+        b
+    }
+
+    /// Scan from `slot` (exclusive bound `hi`) for `stop` at bracket depth
+    /// zero. `braces` controls whether `{`/`}` count toward depth. Returns
+    /// the slot of the stop token, or `hi`.
+    fn find_at_depth(&self, slot: usize, hi: usize, stop: &[&str], braces: bool) -> usize {
+        let mut depth = 0i64;
+        let mut s = slot;
+        while s < hi {
+            let t = self.text(s);
+            let opens = matches!(t, "(" | "[") || (braces && t == "{");
+            let closes = matches!(t, ")" | "]") || (braces && t == "}");
+            // Stop tokens match at depth zero, *before* an opener raises
+            // the depth (so a `{` stop is found) and *after* a closer
+            // would end the current nesting.
+            if depth == 0 && !closes && stop.contains(&t) {
+                return s;
+            }
+            if opens {
+                depth += 1;
+            } else if closes {
+                depth -= 1;
+                if depth < 0 {
+                    return s; // unbalanced close — statement cannot continue
+                }
+                if depth == 0 && stop.contains(&t) {
+                    return s;
+                }
+            }
+            s += 1;
+        }
+        hi
+    }
+
+    /// Slot of the `}` matching the `{` at `open` (or `hi` if unbalanced).
+    fn matching_brace(&self, open: usize, hi: usize) -> usize {
+        let mut depth = 0i64;
+        let mut s = open;
+        while s < hi {
+            match self.text(s) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return s;
+                    }
+                }
+                _ => {}
+            }
+            s += 1;
+        }
+        hi
+    }
+
+    /// Parse slots `lo..hi` as a statement sequence. Returns the entry
+    /// block id and the fallthrough block id (`None` when control cannot
+    /// fall out of the sequence).
+    fn seq(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        loops: &mut Vec<LoopCtx>,
+        depth: u32,
+    ) -> (usize, Option<usize>) {
+        let entry = self.new_block(None);
+        let mut cur = Some(entry);
+        let mut s = lo;
+        while s < hi.min(self.sig.len()) {
+            if self.text(s) == ";" {
+                s += 1;
+                continue;
+            }
+            let (stmt_entry, stmt_exit, next) = self.statement(s, hi, loops, depth);
+            debug_assert!(next > s, "statement parser must consume tokens");
+            match cur {
+                Some(c) => self.link(c, stmt_entry),
+                None => {
+                    // Dead code after return/break — still parsed (its
+                    // statements exist for span mapping), never linked.
+                }
+            }
+            cur = stmt_exit;
+            s = next.max(s + 1);
+        }
+        (entry, cur)
+    }
+
+    /// Parse one statement starting at slot `s`. Returns
+    /// `(entry block, fallthrough block, next slot)`.
+    fn statement(
+        &mut self,
+        s: usize,
+        hi: usize,
+        loops: &mut Vec<LoopCtx>,
+        depth: u32,
+    ) -> (usize, Option<usize>, usize) {
+        if depth >= MAX_DEPTH {
+            // Too deep: consume the rest of the region opaquely.
+            let b = self.stmt_block(StmtKind::Expr { semi: false }, s, hi);
+            return (b, Some(b), hi);
+        }
+        let kw = if self.is_ident(s) { self.text(s) } else { "" };
+        match kw {
+            "let" => {
+                let end = self.find_at_depth(s, hi, &[";"], true);
+                let mut n = s + 1;
+                while self.text(n) == "mut" {
+                    n += 1;
+                }
+                let (name, discard) = if self.text(n) == "_" {
+                    (None, true)
+                } else if self.is_ident(n) && !matches!(self.text(n + 1), "::" | "{" | "(") {
+                    (Some(self.text(n).to_owned()), false)
+                } else {
+                    (None, false)
+                };
+                let upto = (end + 1).min(hi);
+                let b = self.stmt_block(StmtKind::Let { name, discard }, s, upto);
+                // `let … else { return … }` and `let x = return …` both
+                // put a `return` inside the span: add the exit edge.
+                if (s..upto).any(|k| self.text(k) == "return") {
+                    self.link(b, EXIT);
+                }
+                (b, Some(b), upto)
+            }
+            "return" => {
+                let end = self.find_at_depth(s, hi, &[";"], true);
+                let b = self.stmt_block(StmtKind::Return, s, (end + 1).min(hi));
+                self.link(b, EXIT);
+                (b, None, (end + 1).min(hi))
+            }
+            "break" | "continue" => {
+                let end = self.find_at_depth(s, hi, &[";"], true);
+                let is_break = kw == "break";
+                let kind = if is_break {
+                    StmtKind::Break
+                } else {
+                    StmtKind::Continue
+                };
+                let b = self.stmt_block(kind, s, (end + 1).min(hi));
+                let target = loops.last().map(|c| if is_break { c.join } else { c.head });
+                self.link(b, target.unwrap_or(EXIT));
+                (b, None, (end + 1).min(hi))
+            }
+            "if" => self.if_stmt(s, hi, loops, depth),
+            "match" => self.match_stmt(s, hi, loops, depth),
+            "loop" | "while" | "for" => self.loop_stmt(s, hi, loops, depth),
+            "unsafe" if self.text(s + 1) == "{" => {
+                let close = self.matching_brace(s + 1, hi);
+                let (e, x) = self.seq(s + 2, close, loops, depth + 1);
+                (e, x, (close + 1).min(hi))
+            }
+            "fn" | "struct" | "enum" | "union" | "trait" | "impl" | "mod" | "use" | "const"
+            | "static" | "type" | "unsafe" => {
+                // A nested item: opaque. Ends at `;` or its matching brace,
+                // whichever the item uses first.
+                let semi = self.find_at_depth(s, hi, &[";"], false);
+                let brace = self.find_at_depth(s, hi, &["{"], false);
+                let end = if brace < semi {
+                    self.matching_brace(brace, hi)
+                } else {
+                    semi
+                };
+                let upto = (end + 1).min(hi);
+                let b = self.stmt_block(StmtKind::Item, s, upto);
+                (b, Some(b), upto)
+            }
+            _ if self.text(s) == "{" => {
+                let close = self.matching_brace(s, hi);
+                let (e, x) = self.seq(s + 1, close, loops, depth + 1);
+                (e, x, (close + 1).min(hi))
+            }
+            _ if self.text(s) == "}" => {
+                // Unbalanced close in malformed input: consume it opaquely.
+                let b = self.stmt_block(StmtKind::Expr { semi: false }, s, s + 1);
+                (b, Some(b), s + 1)
+            }
+            _ => {
+                let end = self.find_at_depth(s, hi, &[";"], true);
+                let semi = end < hi && self.text(end) == ";";
+                let upto = if semi { end + 1 } else { end.max(s + 1) }.min(hi.max(s + 1));
+                let b = self.stmt_block(StmtKind::Expr { semi }, s, upto);
+                if (s..upto).any(|k| self.text(k) == "return") {
+                    self.link(b, EXIT);
+                }
+                (b, Some(b), upto)
+            }
+        }
+    }
+
+    /// `if cond { A } else if … { B } else { C }` — returns
+    /// `(cond block, join block, next slot)`.
+    fn if_stmt(
+        &mut self,
+        s: usize,
+        hi: usize,
+        loops: &mut Vec<LoopCtx>,
+        depth: u32,
+    ) -> (usize, Option<usize>, usize) {
+        let open = self.find_at_depth(s + 1, hi, &["{"], false);
+        if open >= hi {
+            // No block found: malformed — opaque expression to the end.
+            let b = self.stmt_block(StmtKind::Expr { semi: false }, s, hi);
+            return (b, Some(b), hi);
+        }
+        let cond = self.stmt_block(StmtKind::Cond, s, open);
+        let close = self.matching_brace(open, hi);
+        let (then_e, then_x) = self.seq(open + 1, close, loops, depth + 1);
+        self.link(cond, then_e);
+        let join = self.new_block(None);
+        if let Some(x) = then_x {
+            self.link(x, join);
+        }
+        let mut next = (close + 1).min(hi);
+        if self.text(next) == "else" {
+            if self.text(next + 1) == "{" {
+                let eclose = self.matching_brace(next + 1, hi);
+                let (else_e, else_x) = self.seq(next + 2, eclose, loops, depth + 1);
+                self.link(cond, else_e);
+                if let Some(x) = else_x {
+                    self.link(x, join);
+                }
+                next = (eclose + 1).min(hi);
+            } else if self.text(next + 1) == "if" {
+                let (else_e, else_x, n) = self.if_stmt(next + 1, hi, loops, depth + 1);
+                self.link(cond, else_e);
+                if let Some(x) = else_x {
+                    self.link(x, join);
+                }
+                next = n;
+            } else {
+                // `else <garbage>` — treat as no else.
+                self.link(cond, join);
+            }
+        } else {
+            // No else: condition may fall through directly.
+            self.link(cond, join);
+        }
+        (cond, Some(join), next)
+    }
+
+    /// `match scrut { pat (if guard)? => body, … }`.
+    fn match_stmt(
+        &mut self,
+        s: usize,
+        hi: usize,
+        loops: &mut Vec<LoopCtx>,
+        depth: u32,
+    ) -> (usize, Option<usize>, usize) {
+        let open = self.find_at_depth(s + 1, hi, &["{"], false);
+        if open >= hi {
+            let b = self.stmt_block(StmtKind::Expr { semi: false }, s, hi);
+            return (b, Some(b), hi);
+        }
+        let scrut = self.stmt_block(StmtKind::Cond, s, open);
+        let close = self.matching_brace(open, hi);
+        let join = self.new_block(None);
+        let mut a = open + 1;
+        let mut any_arm = false;
+        while a < close {
+            if self.text(a) == "," {
+                a += 1;
+                continue;
+            }
+            // Pattern (+ guard) up to `=>`.
+            let arrow = self.find_at_depth(a, close, &["=>"], true);
+            if arrow >= close {
+                break; // no arrow: garbage tail — stop arm parsing
+            }
+            let head = self.stmt_block(StmtKind::Cond, a, arrow);
+            self.link(scrut, head);
+            any_arm = true;
+            let body_s = arrow + 1;
+            let (arm_e, arm_x, next) = if self.text(body_s) == "{" {
+                let bclose = self.matching_brace(body_s, close);
+                let (e, x) = self.seq(body_s + 1, bclose, loops, depth + 1);
+                (e, x, (bclose + 1).min(close))
+            } else {
+                // Expression arm up to `,` at depth zero (or end of arms).
+                let end = self.find_at_depth(body_s, close, &[","], true);
+                let (e, x) = self.seq(body_s, end, loops, depth + 1);
+                (e, x, (end + 1).min(close))
+            };
+            self.link(head, arm_e);
+            if let Some(x) = arm_x {
+                self.link(x, join);
+            }
+            debug_assert!(next > a);
+            a = next.max(a + 1);
+        }
+        if !any_arm {
+            // Empty match (`match x {}`) never falls through in Rust, but
+            // lint-grade: treat as straight-through so nothing downstream
+            // becomes unreachable by accident.
+            self.link(scrut, join);
+        }
+        (scrut, Some(join), (close + 1).min(hi))
+    }
+
+    /// `loop { … }`, `while cond { … }`, `for pat in iter { … }`.
+    fn loop_stmt(
+        &mut self,
+        s: usize,
+        hi: usize,
+        loops: &mut Vec<LoopCtx>,
+        depth: u32,
+    ) -> (usize, Option<usize>, usize) {
+        let is_bare_loop = self.text(s) == "loop";
+        let open = if is_bare_loop {
+            if self.text(s + 1) == "{" {
+                s + 1
+            } else {
+                hi
+            }
+        } else {
+            self.find_at_depth(s + 1, hi, &["{"], false)
+        };
+        if open >= hi {
+            let b = self.stmt_block(StmtKind::Expr { semi: false }, s, hi);
+            return (b, Some(b), hi);
+        }
+        let kind = if is_bare_loop {
+            StmtKind::LoopHead
+        } else {
+            StmtKind::Cond
+        };
+        let head = self.stmt_block(kind, s, open.max(s + 1));
+        let close = self.matching_brace(open, hi);
+        let join = self.new_block(None);
+        loops.push(LoopCtx { head, join });
+        let (body_e, body_x) = self.seq(open + 1, close, loops, depth + 1);
+        loops.pop();
+        self.link(head, body_e);
+        if let Some(x) = body_x {
+            self.link(x, head); // back edge
+        }
+        if !is_bare_loop {
+            self.link(head, join); // condition can be false on entry
+        }
+        (head, Some(join), (close + 1).min(hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn cfg_of(body_src: &str) -> Cfg {
+        let tokens = lex(body_src);
+        let cfg = build_cfg(&tokens, 0..tokens.len());
+        cfg.check_invariants().expect("invariants");
+        cfg
+    }
+
+    fn kinds(cfg: &Cfg) -> Vec<&StmtKind> {
+        cfg.stmts().map(|(_, s)| &s.kind).collect()
+    }
+
+    #[test]
+    fn straight_line_statements_chain() {
+        let cfg = cfg_of("{ let a = 1; f(a); a }");
+        assert_eq!(
+            kinds(&cfg),
+            vec![
+                &StmtKind::Let {
+                    name: Some("a".into()),
+                    discard: false
+                },
+                &StmtKind::Expr { semi: true },
+                &StmtKind::Expr { semi: false },
+            ]
+        );
+        // entry → seq-entry → let → f(a) → a → exit, all linear.
+        let preds = cfg.preds();
+        for (b, blk) in cfg.blocks.iter().enumerate() {
+            if b != ENTRY && b != EXIT && blk.stmt.is_some() {
+                assert_eq!(blk.succs.len(), 1, "block {b} not linear");
+                assert_eq!(preds[b].len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn let_discard_is_flagged() {
+        let cfg = cfg_of("{ let _ = fallible(); let _keep = other(); }");
+        let ks = kinds(&cfg);
+        assert_eq!(
+            ks[0],
+            &StmtKind::Let {
+                name: None,
+                discard: true
+            }
+        );
+        assert_eq!(
+            ks[1],
+            &StmtKind::Let {
+                name: Some("_keep".into()),
+                discard: false
+            }
+        );
+    }
+
+    #[test]
+    fn if_else_branches_and_join() {
+        let cfg = cfg_of("{ if c { a(); } else { b(); } tail(); }");
+        let cond = cfg
+            .stmts()
+            .find(|(_, s)| s.kind == StmtKind::Cond)
+            .map(|(b, _)| b)
+            .expect("cond block");
+        assert_eq!(cfg.blocks[cond].succs.len(), 2, "then + else entries");
+        // Both arms reach the tail statement through the join.
+        let tail = cfg
+            .stmts()
+            .filter(|(_, s)| matches!(s.kind, StmtKind::Expr { .. }))
+            .map(|(b, _)| b)
+            .max()
+            .expect("tail");
+        let preds = cfg.preds();
+        assert!(!preds[tail].is_empty());
+    }
+
+    #[test]
+    fn if_without_else_falls_through() {
+        let cfg = cfg_of("{ if c { a(); } tail(); }");
+        let cond = cfg
+            .stmts()
+            .find(|(_, s)| s.kind == StmtKind::Cond)
+            .map(|(b, _)| b)
+            .expect("cond");
+        // then-entry and join.
+        assert_eq!(cfg.blocks[cond].succs.len(), 2);
+    }
+
+    #[test]
+    fn return_edges_to_exit_only() {
+        let cfg = cfg_of("{ if c { return 1; } work(); }");
+        let ret = cfg
+            .stmts()
+            .find(|(_, s)| s.kind == StmtKind::Return)
+            .map(|(b, _)| b)
+            .expect("return");
+        assert_eq!(cfg.blocks[ret].succs, vec![EXIT]);
+    }
+
+    #[test]
+    fn question_mark_adds_exit_edge() {
+        let cfg = cfg_of("{ let v = fallible()?; use_it(v); }");
+        let (b, s) = cfg.stmts().next().expect("let stmt");
+        assert!(s.has_question);
+        assert!(cfg.blocks[b].succs.contains(&EXIT));
+        assert_eq!(cfg.blocks[b].succs.len(), 2, "exit + fallthrough");
+    }
+
+    #[test]
+    fn loop_back_edge_and_break() {
+        let cfg = cfg_of("{ loop { step(); if done { break; } } after(); }");
+        let head = cfg
+            .stmts()
+            .find(|(_, s)| s.kind == StmtKind::LoopHead)
+            .map(|(b, _)| b)
+            .expect("loop head");
+        let brk = cfg
+            .stmts()
+            .find(|(_, s)| s.kind == StmtKind::Break)
+            .map(|(b, _)| b)
+            .expect("break");
+        let preds = cfg.preds();
+        // The body's end flows back to the head.
+        assert!(preds[head].len() >= 2, "entry edge + back edge");
+        // break jumps to the loop's join, never to the head.
+        assert_eq!(cfg.blocks[brk].succs.len(), 1);
+        assert_ne!(cfg.blocks[brk].succs[0], head);
+    }
+
+    #[test]
+    fn while_condition_can_skip_body() {
+        let cfg = cfg_of("{ while c { body(); } after(); }");
+        let head = cfg
+            .stmts()
+            .find(|(_, s)| s.kind == StmtKind::Cond)
+            .map(|(b, _)| b)
+            .expect("while head");
+        assert_eq!(cfg.blocks[head].succs.len(), 2, "body entry + join");
+    }
+
+    #[test]
+    fn match_arms_join() {
+        let cfg = cfg_of("{ match x { A => a(), B { y } if y > 0 => { b(); } _ => c(), } t(); }");
+        let conds: Vec<usize> = cfg
+            .stmts()
+            .filter(|(_, s)| s.kind == StmtKind::Cond)
+            .map(|(b, _)| b)
+            .collect();
+        // Scrutinee + three arm heads.
+        assert_eq!(conds.len(), 4, "{:?}", cfg);
+        let scrut = conds[0];
+        assert_eq!(cfg.blocks[scrut].succs.len(), 3);
+    }
+
+    #[test]
+    fn nested_items_are_opaque() {
+        let cfg = cfg_of("{ fn helper() { inner(); } const N: u32 = 3; helper(); }");
+        let ks = kinds(&cfg);
+        assert_eq!(
+            ks,
+            vec![
+                &StmtKind::Item,
+                &StmtKind::Item,
+                &StmtKind::Expr { semi: true }
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_input_never_panics() {
+        for src in [
+            "",
+            "{",
+            "}",
+            "{{{",
+            "}}}",
+            "{ if }",
+            "{ if { }",
+            "{ match x {",
+            "{ let ",
+            "{ else }",
+            "{ loop }",
+            "{ break; }",
+            "{ ; ; ; }",
+            "{ a.b(",
+            "{ match x { A => } }",
+            "{ while { } }",
+            "{ for in { } }",
+        ] {
+            let tokens = lex(src);
+            let cfg = build_cfg(&tokens, 0..tokens.len());
+            cfg.check_invariants()
+                .unwrap_or_else(|e| panic!("{src}: {e}"));
+            // Arbitrary sub-ranges, too.
+            let cfg2 = build_cfg(&tokens, 0..tokens.len().saturating_sub(1));
+            cfg2.check_invariants().expect("sub-range invariants");
+        }
+    }
+
+    #[test]
+    fn deterministic_layout() {
+        let src = "{ if a { while b { c()?; } } else { match d { _ => e(), } } f(); }";
+        let tokens = lex(src);
+        let one = build_cfg(&tokens, 0..tokens.len());
+        let two = build_cfg(&tokens, 0..tokens.len());
+        assert_eq!(one, two);
+    }
+
+    #[test]
+    fn deep_nesting_degrades_gracefully() {
+        let mut src = String::from("{");
+        for _ in 0..200 {
+            src.push_str("if c {");
+        }
+        src.push_str("x();");
+        for _ in 0..200 {
+            src.push('}');
+        }
+        src.push('}');
+        let tokens = lex(&src);
+        let cfg = build_cfg(&tokens, 0..tokens.len());
+        cfg.check_invariants().expect("invariants at depth cap");
+    }
+}

@@ -16,6 +16,16 @@
 //! [concurrency]
 //! interior-mutable-allowed = ["udi-obs"]
 //!
+//! [determinism]
+//! entry-points = ["udi-core::SetupEngine::refresh"]
+//! exempt-crates = ["udi-obs"]
+//!
+//! [lock-order]
+//! exempt-crates = []
+//!
+//! [error-discard]
+//! exempt-crates = []
+//!
 //! [dead-exports]
 //! ratchet = "audit.ratchet"
 //! ```
@@ -51,6 +61,16 @@ pub struct Config {
     pub index_sites: IndexMode,
     /// Crates allowed to hold non-`const` interior-mutable statics.
     pub interior_mutable_allowed: Vec<String>,
+    /// `fn` id-paths (`crate::(Type::)name`) the determinism pass
+    /// certifies transitively. Empty disables the pass.
+    pub determinism_entries: Vec<String>,
+    /// Crates exempt from determinism sites (the timing authority reads
+    /// the clock by design).
+    pub determinism_exempt: Vec<String>,
+    /// Crates exempt from the lock-order pass.
+    pub lock_order_exempt: Vec<String>,
+    /// Crates exempt from the error-discard pass.
+    pub error_discard_exempt: Vec<String>,
     /// Workspace-relative path of the dead-export ratchet file. `None`
     /// disables the dead-export pass.
     pub ratchet: Option<String>,
@@ -65,6 +85,10 @@ impl Default for Config {
             reach_crates: PANIC_FREE_CRATES.iter().map(|s| (*s).to_owned()).collect(),
             index_sites: IndexMode::Off,
             interior_mutable_allowed: vec!["udi-obs".to_owned()],
+            determinism_entries: Vec::new(),
+            determinism_exempt: vec!["udi-obs".to_owned()],
+            lock_order_exempt: Vec::new(),
+            error_discard_exempt: Vec::new(),
             ratchet: None,
             source: None,
         }
@@ -149,6 +173,30 @@ pub fn parse_config(text: &str, source: &str) -> Result<Config, (u32, String)> {
                         ))
                     }
                 };
+            }
+            ("determinism", "entry-points") => {
+                let Value::Array(a) = value else {
+                    return Err((ln, "`entry-points` must be an array of fn paths".to_owned()));
+                };
+                cfg.determinism_entries = a;
+            }
+            ("determinism", "exempt-crates") => {
+                let Value::Array(a) = value else {
+                    return Err((ln, "`exempt-crates` must be an array".to_owned()));
+                };
+                cfg.determinism_exempt = a;
+            }
+            ("lock-order", "exempt-crates") => {
+                let Value::Array(a) = value else {
+                    return Err((ln, "`exempt-crates` must be an array".to_owned()));
+                };
+                cfg.lock_order_exempt = a;
+            }
+            ("error-discard", "exempt-crates") => {
+                let Value::Array(a) = value else {
+                    return Err((ln, "`exempt-crates` must be an array".to_owned()));
+                };
+                cfg.error_discard_exempt = a;
             }
             ("concurrency", "interior-mutable-allowed") => {
                 let Value::Array(a) = value else {
@@ -240,6 +288,16 @@ index-sites = "warn"
 [concurrency]
 interior-mutable-allowed = ["udi-obs"]
 
+[determinism]
+entry-points = ["udi-core::SetupEngine::refresh", "udi-core::UdiSystem::answer"]
+exempt-crates = ["udi-obs", "udi-bench"]
+
+[lock-order]
+exempt-crates = ["udi-x"]
+
+[error-discard]
+exempt-crates = ["udi-y"]
+
 [dead-exports]
 ratchet = "audit.ratchet"
 "#;
@@ -248,6 +306,16 @@ ratchet = "audit.ratchet"
         assert_eq!(cfg.layers.get("udi-core"), Some(&4));
         assert_eq!(cfg.reach_crates, vec!["udi-core", "udi-query"]);
         assert_eq!(cfg.index_sites, IndexMode::Warn);
+        assert_eq!(
+            cfg.determinism_entries,
+            vec![
+                "udi-core::SetupEngine::refresh",
+                "udi-core::UdiSystem::answer"
+            ]
+        );
+        assert_eq!(cfg.determinism_exempt, vec!["udi-obs", "udi-bench"]);
+        assert_eq!(cfg.lock_order_exempt, vec!["udi-x"]);
+        assert_eq!(cfg.error_discard_exempt, vec!["udi-y"]);
         assert_eq!(cfg.ratchet.as_deref(), Some("audit.ratchet"));
     }
 

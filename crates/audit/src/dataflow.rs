@@ -1,0 +1,226 @@
+//! A small forward gen/kill dataflow framework over [`crate::cfg`]
+//! graphs.
+//!
+//! Facts are bit positions in a [`BitSet`]; the analysis is a forward
+//! *may* analysis (union at joins):
+//!
+//! ```text
+//! in[b]  = ⋃ out[p]            for p ∈ preds(b)
+//! out[b] = (in[b] ∖ kill[b]) ∪ gen[b]
+//! ```
+//!
+//! The fixpoint loop is a deterministic round-robin over block ids (the
+//! graphs are a few dozen blocks; worklist ordering buys nothing and
+//! costs reproducibility). The lock-order pass instantiates it with
+//! "lock L is held" facts; any other small forward analysis fits the same
+//! shape.
+
+use crate::cfg::{Cfg, ENTRY};
+
+/// A fixed-capacity bitset over `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    nbits: usize,
+}
+
+impl BitSet {
+    /// An empty set with capacity for `nbits` facts.
+    pub fn new(nbits: usize) -> BitSet {
+        BitSet {
+            words: vec![0; nbits.div_ceil(64)],
+            nbits,
+        }
+    }
+
+    /// Set bit `i`; out-of-range bits are ignored (lint-grade tolerance).
+    pub fn insert(&mut self, i: usize) {
+        if i < self.nbits {
+            self.words[i / 64] |= 1 << (i % 64);
+        }
+    }
+
+    /// Clear bit `i`.
+    pub fn remove(&mut self, i: usize) {
+        if i < self.nbits {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Whether bit `i` is set.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.nbits && self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Union `other` into `self`; returns whether anything changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            let next = *w | *o;
+            changed |= next != *w;
+            *w = next;
+        }
+        changed
+    }
+
+    /// Iterate the set bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.nbits).filter(|&i| self.contains(i))
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+/// Per-block entry/exit facts of a completed analysis.
+#[derive(Debug, Clone)]
+pub struct Dataflow {
+    /// Facts holding at block entry.
+    pub input: Vec<BitSet>,
+    /// Facts holding at block exit.
+    pub output: Vec<BitSet>,
+}
+
+/// Run a forward may-analysis. `gen`/`kill` are indexed by block id and
+/// must each have `cfg.blocks.len()` entries of capacity `nbits`; a
+/// mismatch degrades to empty sets rather than panicking.
+pub fn forward_may(cfg: &Cfg, nbits: usize, gen: &[BitSet], kill: &[BitSet]) -> Dataflow {
+    let n = cfg.blocks.len();
+    let mut input = vec![BitSet::new(nbits); n];
+    let mut output = vec![BitSet::new(nbits); n];
+    let preds = cfg.preds();
+    let transfer = |inp: &BitSet, b: usize| -> BitSet {
+        let mut out = inp.clone();
+        if let Some(k) = kill.get(b) {
+            for i in k.iter() {
+                out.remove(i);
+            }
+        }
+        if let Some(g) = gen.get(b) {
+            out.union_with(g);
+        }
+        out
+    };
+    // Round-robin to fixpoint. Monotone over a finite lattice, so the
+    // iteration count is bounded by n * nbits; the explicit cap only
+    // guards against an (impossible) non-monotone transfer bug.
+    let max_rounds = n.saturating_mul(nbits.max(1)).saturating_add(2);
+    for _ in 0..max_rounds {
+        let mut changed = false;
+        for b in 0..n {
+            let mut inp = std::mem::replace(&mut input[b], BitSet::new(0));
+            if b != ENTRY {
+                for &p in preds.get(b).map(Vec::as_slice).unwrap_or(&[]) {
+                    if let Some(o) = output.get(p) {
+                        changed |= inp.union_with(o);
+                    }
+                }
+            }
+            let out = transfer(&inp, b);
+            if out != output[b] {
+                changed = true;
+                output[b] = out;
+            }
+            input[b] = inp;
+        }
+        if !changed {
+            break;
+        }
+    }
+    Dataflow { input, output }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build_cfg;
+    use crate::lexer::lex;
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        s.insert(999); // ignored
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1) && !s.contains(999));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+        s.remove(64);
+        assert!(!s.contains(64));
+        let mut t = BitSet::new(130);
+        assert!(t.union_with(&s));
+        assert!(!t.union_with(&s), "second union is a no-op");
+    }
+
+    /// A fact generated before a branch is live in both arms and at the
+    /// join; a fact killed in one arm survives the join (may-analysis).
+    #[test]
+    fn facts_flow_through_branches() {
+        let src = "{ acquire(); if c { release(); } after(); }";
+        let tokens = lex(src);
+        let cfg = build_cfg(&tokens, 0..tokens.len());
+        let n = cfg.blocks.len();
+        // Fact 0 generated at the `acquire();` statement, killed at
+        // `release();`.
+        let mut gen = vec![BitSet::new(1); n];
+        let mut kill = vec![BitSet::new(1); n];
+        let stmt_with = |needle: &str| {
+            cfg.stmts()
+                .find(|(_, s)| {
+                    s.span
+                        .clone()
+                        .any(|i| tokens.get(i).is_some_and(|t| t.text == needle))
+                })
+                .map(|(b, _)| b)
+                .expect("statement")
+        };
+        let acq = stmt_with("acquire");
+        let rel = stmt_with("release");
+        let aft = stmt_with("after");
+        gen[acq].insert(0);
+        kill[rel].insert(0);
+        let flow = forward_may(&cfg, 1, &gen, &kill);
+        assert!(flow.output[acq].contains(0));
+        assert!(flow.input[rel].contains(0), "held entering the branch");
+        assert!(!flow.output[rel].contains(0), "killed in the branch");
+        // May-analysis: the skip path did not release, so it may be held.
+        assert!(flow.input[aft].contains(0));
+    }
+
+    #[test]
+    fn loop_back_edges_reach_fixpoint() {
+        let src = "{ loop { take(); if c { break; } } tail(); }";
+        let tokens = lex(src);
+        let cfg = build_cfg(&tokens, 0..tokens.len());
+        let n = cfg.blocks.len();
+        let mut gen = vec![BitSet::new(1); n];
+        let kill = vec![BitSet::new(1); n];
+        let take = cfg
+            .stmts()
+            .find(|(_, s)| {
+                s.span
+                    .clone()
+                    .any(|i| tokens.get(i).is_some_and(|t| t.text == "take"))
+            })
+            .map(|(b, _)| b)
+            .expect("take stmt");
+        gen[take].insert(0);
+        let flow = forward_may(&cfg, 1, &gen, &kill);
+        // Around the back edge, the fact reaches the loop head's input.
+        assert!(flow.input[take].contains(0), "fact survives the back edge");
+        let tail = cfg
+            .stmts()
+            .find(|(_, s)| {
+                s.span
+                    .clone()
+                    .any(|i| tokens.get(i).is_some_and(|t| t.text == "tail"))
+            })
+            .map(|(b, _)| b)
+            .expect("tail stmt");
+        assert!(flow.input[tail].contains(0), "break carries the fact out");
+    }
+}

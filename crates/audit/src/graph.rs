@@ -51,6 +51,12 @@ pub struct FnNode {
     pub col: u32,
     /// Token range of the body in the defining file, if the fn has one.
     pub body: Option<Range<usize>>,
+    /// Token range of the signature (item start through the body's `{`,
+    /// or the whole item for bodiless fns).
+    pub sig: Range<usize>,
+    /// The declared return type mentions `Result` — the fn is fallible
+    /// as far as the error-discard pass cares.
+    pub returns_result: bool,
     /// `crate::module::(Type::)name` — stable display/ratchet id.
     pub id_path: String,
 }
@@ -233,6 +239,8 @@ pub fn build_call_graph(files: &[SourceFile]) -> CallGraph {
                             .push(id);
                         methods.entry(item.name.clone()).or_default().push(id);
                     }
+                    let sig_end = item.body.as_ref().map(|b| b.start).unwrap_or(item.span.end);
+                    let sig = item.span.start..sig_end;
                     g.fns.push(FnNode {
                         file: fi,
                         crate_name,
@@ -244,6 +252,8 @@ pub fn build_call_graph(files: &[SourceFile]) -> CallGraph {
                         line: item.line,
                         col: item.col,
                         body: item.body.clone(),
+                        returns_result: sig_returns_result(&file.tokens, sig.clone()),
+                        sig,
                         id_path,
                     });
                 }
@@ -277,11 +287,13 @@ pub fn build_call_graph(files: &[SourceFile]) -> CallGraph {
         };
         let empty = BTreeMap::new();
         let imp = imports.get(node.file).unwrap_or(&empty);
+        let params = param_types(&file.tokens, node.sig.clone(), &type_names);
         let (calls, sites) = scan_body(
             file,
             body,
             &node.crate_name,
             node.self_ty.as_deref(),
+            &params,
             imp,
             &by_crate_name,
             &by_type_name,
@@ -300,6 +312,7 @@ fn scan_body(
     body: Range<usize>,
     crate_name: &str,
     self_ty: Option<&str>,
+    params: &BTreeMap<String, String>,
     imports: &BTreeMap<String, String>,
     by_crate_name: &BTreeMap<(String, String), Vec<usize>>,
     by_type_name: &BTreeMap<(String, String), Vec<usize>>,
@@ -308,6 +321,10 @@ fn scan_body(
 ) -> (Vec<CallSite>, Vec<PanicSite>) {
     let mut calls: Vec<CallSite> = Vec::new();
     let mut sites: Vec<PanicSite> = Vec::new();
+    // Receiver types known at the current scan position: fn params up
+    // front, `let` bindings added as the linear scan passes them (a
+    // later shadowing rebind simply overwrites — linear approximation).
+    let mut locals: BTreeMap<String, String> = params.clone();
     // Significant-token slots of the body.
     let sig: Vec<usize> = (body.start..body.end.min(file.tokens.len()))
         .filter(|&i| file.tokens.get(i).is_some_and(|t| !is_comment(t)))
@@ -362,6 +379,53 @@ fn scan_body(
         let prev = if s > 0 { text(s - 1) } else { None };
         let next = text(s + 1);
 
+        // `let (mut)? x: Type = …` / `let x = Type::ctor(…)` — record the
+        // binding's workspace type for receiver-typed method resolution.
+        if name == "let" {
+            let mut n = s + 1;
+            while text(n) == Some("mut") {
+                n += 1;
+            }
+            let bound = tok(n)
+                .filter(|t| matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent))
+                .map(|t| t.text.clone());
+            if let Some(bound) = bound.filter(|b| b != "_") {
+                match text(n + 1) {
+                    Some(":") => {
+                        // Annotated type up to `=` or `;` at depth zero.
+                        let mut ty_toks: Vec<&Token> = Vec::new();
+                        let mut depth = 0i64;
+                        let mut k = n + 2;
+                        while let Some(tk) = tok(k) {
+                            match tk.text.as_str() {
+                                "(" | "[" | "{" | "<" => depth += 1,
+                                ")" | "]" | "}" | ">" => depth -= 1,
+                                "=" | ";" if depth <= 0 => break,
+                                _ => {}
+                            }
+                            ty_toks.push(tk);
+                            k += 1;
+                        }
+                        if let Some(ty) = workspace_type_of(&ty_toks, type_names) {
+                            locals.insert(bound, ty);
+                        }
+                    }
+                    Some("=") => {
+                        // `let x = Type::new(…)` / `let x = Type { … }`.
+                        let ctor = tok(n + 2)
+                            .filter(|t| matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent))
+                            .filter(|t| type_names.contains(&t.text))
+                            .filter(|_| matches!(text(n + 3), Some("::" | "{")));
+                        if let Some(ctor) = ctor {
+                            locals.insert(bound, ctor.text.clone());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            continue;
+        }
+
         // Panic macros: `panic!(…)`.
         if PANIC_MACROS.contains(&name) && next == Some("!") {
             sites.push(PanicSite {
@@ -390,9 +454,33 @@ fn scan_body(
 
         match prev {
             Some(".") => {
-                // Method call — resolve to every workspace method of this
-                // name (receiver types are unknown).
-                push_targets(&mut calls, tok_idx, methods.get(name), false);
+                // Method call. When the receiver is `self` or a
+                // param/local with a known workspace type, and that type
+                // provably defines the method, the edge is demoted from
+                // the method-name over-approximation to a certain edge.
+                // A receiver preceded by `.`/`::`/`)`/`]` is a field or
+                // chain result — type unknown, keep the fallback.
+                let recv_ty: Option<&str> = if s >= 2 {
+                    let simple = s < 3 || !matches!(text(s - 3), Some("." | "::" | ")" | "]"));
+                    tok(s - 2)
+                        .filter(|_| simple)
+                        .filter(|r| matches!(r.kind, TokenKind::Ident | TokenKind::RawIdent))
+                        .and_then(|r| {
+                            if r.text == "self" {
+                                self_ty
+                            } else {
+                                locals.get(&r.text).map(String::as_str)
+                            }
+                        })
+                } else {
+                    None
+                };
+                let demoted =
+                    recv_ty.and_then(|ty| by_type_name.get(&(ty.to_owned(), name.to_owned())));
+                match demoted {
+                    Some(ids) => push_targets(&mut calls, tok_idx, Some(ids), true),
+                    None => push_targets(&mut calls, tok_idx, methods.get(name), false),
+                }
             }
             Some("::") => {
                 // Qualified call. Find the nearest path segment (skipping
@@ -479,6 +567,130 @@ fn scan_body(
     calls.sort_by_key(|c| (c.tok, c.callee));
     calls.dedup_by_key(|c| (c.tok, c.callee));
     (calls, sites)
+}
+
+/// The workspace type a value of the given type tokens dispatches
+/// methods on: sees through `&`/`mut`/lifetimes/`dyn` and one layer of
+/// `Arc`/`Rc`/`Box` (which `Deref` to their payload), then takes the last
+/// path segment before any generic arguments. `None` unless that segment
+/// is a type the workspace defines (so `Vec<Row>` is *not* `Row`).
+fn workspace_type_of(ts: &[&Token], type_names: &BTreeSet<String>) -> Option<String> {
+    let mut i = 0;
+    let strip = |ts: &[&Token], mut i: usize| {
+        while i < ts.len() {
+            let t = ts[i];
+            if matches!(t.text.as_str(), "&" | "&&" | "mut" | "*" | "const" | "dyn")
+                || t.kind == TokenKind::Lifetime
+            {
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        i
+    };
+    i = strip(ts, i);
+    while i + 1 < ts.len()
+        && matches!(ts[i].text.as_str(), "Arc" | "Rc" | "Box")
+        && ts[i + 1].text == "<"
+    {
+        i = strip(ts, i + 2);
+    }
+    let mut last = None;
+    while i < ts.len() && matches!(ts[i].kind, TokenKind::Ident | TokenKind::RawIdent) {
+        last = Some(ts[i].text.as_str());
+        if i + 1 < ts.len() && ts[i + 1].text == "::" {
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    last.filter(|n| type_names.contains(*n)).map(str::to_owned)
+}
+
+/// Parse `name: Type` pairs out of a fn signature's parameter list,
+/// keeping only params whose type resolves to a workspace type.
+fn param_types(
+    tokens: &[Token],
+    sig: Range<usize>,
+    type_names: &BTreeSet<String>,
+) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let ts: Vec<&Token> = tokens
+        .get(sig.start..sig.end.min(tokens.len()))
+        .unwrap_or(&[])
+        .iter()
+        .filter(|t| !is_comment(t))
+        .collect();
+    let Some(fn_pos) = ts.iter().position(|t| t.text == "fn") else {
+        return out;
+    };
+    let Some(open) = ts[fn_pos..]
+        .iter()
+        .position(|t| t.text == "(")
+        .map(|p| fn_pos + p)
+    else {
+        return out;
+    };
+    // Split the param list on `,` at paren depth 1 / angle depth 0.
+    let mut depth = 0i64;
+    let mut angle = 0i64;
+    let mut param_start = open + 1;
+    let mut k = open;
+    while k < ts.len() {
+        let txt = ts[k].text.as_str();
+        match txt {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "<" => angle += 1,
+            "<<" => angle += 2,
+            ">" => angle -= 1,
+            ">>" => angle -= 2,
+            _ => {}
+        }
+        let boundary = (txt == "," && depth == 1 && angle <= 0) || depth == 0;
+        if boundary && k > open {
+            let param = &ts[param_start..k];
+            // `name: Type`, skipping `mut` and any `self` receiver form.
+            let mut p = 0;
+            while p < param.len() && param[p].text == "mut" {
+                p += 1;
+            }
+            if p + 1 < param.len()
+                && matches!(param[p].kind, TokenKind::Ident | TokenKind::RawIdent)
+                && param[p].text != "self"
+                && param[p + 1].text == ":"
+            {
+                if let Some(ty) = workspace_type_of(&param[p + 2..], type_names) {
+                    out.insert(param[p].text.clone(), ty);
+                }
+            }
+            param_start = k + 1;
+        }
+        if depth == 0 && k > open {
+            break; // closed the param list
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Whether a fn signature's return type mentions `Result` (covers both
+/// bare and fully-qualified spellings).
+fn sig_returns_result(tokens: &[Token], sig: Range<usize>) -> bool {
+    let ts: Vec<&Token> = tokens
+        .get(sig.start..sig.end.min(tokens.len()))
+        .unwrap_or(&[])
+        .iter()
+        .filter(|t| !is_comment(t))
+        .collect();
+    let Some(arrow) = ts.iter().position(|t| t.text == "->") else {
+        return false;
+    };
+    ts[arrow + 1..]
+        .iter()
+        .take_while(|t| !matches!(t.text.as_str(), "{" | ";" | "where"))
+        .any(|t| t.text == "Result")
 }
 
 /// Parse `Cargo.toml` `[dependencies]` sections of the root package and

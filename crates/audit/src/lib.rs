@@ -21,10 +21,15 @@
 //!    strings, char literals vs. lifetimes).
 //! 2. **Workspace passes**: a recursive-descent item [`parser`] extracts
 //!    fns, impls, statics and `use` paths per file; [`graph`] assembles a
-//!    call graph and a crate-dependency edge list; the passes then check
-//!    transitive panic-reachability, the crate layering contract from
-//!    `audit.toml` ([`config`]), concurrency rules for the parallel
-//!    serving layer, and dead exports against a ratchet file.
+//!    call graph (with receiver-typed method resolution) and a
+//!    crate-dependency edge list; [`cfg`] builds a per-function control
+//!    flow graph from each body's token range and [`dataflow`] runs
+//!    gen/kill analyses over it. The passes then check transitive
+//!    panic-reachability, the crate layering contract from `audit.toml`
+//!    ([`config`]), concurrency rules, lock-acquisition-order cycles,
+//!    determinism certification of the declared entry points,
+//!    discarded `Result`s, and dead exports against the shared
+//!    [`ratchet`] file.
 //!
 //! Every file is lexed exactly once per audit ([`Workspace::lex_count`]
 //! asserts it); each pass is timed through a `udi-obs` span
@@ -52,13 +57,16 @@
 //! assert_eq!((diags[0].line, diags[0].col), (1, 37));
 //! ```
 
+pub mod cfg;
 pub mod classify;
 pub mod config;
+pub mod dataflow;
 pub mod graph;
 pub mod lexer;
 pub mod lints;
 pub mod parser;
 mod passes;
+pub mod ratchet;
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -189,12 +197,23 @@ impl AuditReport {
         self.errors().next().is_none()
     }
 
-    /// Machine-readable rendering: one JSON object with summary counts and
-    /// a `diagnostics` array. Stable field order, no external serializer.
+    /// Machine-readable rendering: one JSON object with summary counts
+    /// (total and per-lint) and a `diagnostics` array. Stable field
+    /// order, no external serializer.
     pub fn to_json(&self) -> String {
+        let mut by_lint: std::collections::BTreeMap<&str, usize> =
+            std::collections::BTreeMap::new();
+        for d in &self.diagnostics {
+            *by_lint.entry(d.lint).or_insert(0) += 1;
+        }
+        let by_lint = by_lint
+            .iter()
+            .map(|(l, n)| format!("\"{}\":{n}", json_escape(l)))
+            .collect::<Vec<_>>()
+            .join(",");
         let mut out = String::with_capacity(256 + self.diagnostics.len() * 160);
         out.push_str(&format!(
-            "{{\"files_scanned\":{},\"lex_count\":{},\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+            "{{\"files_scanned\":{},\"lex_count\":{},\"errors\":{},\"warnings\":{},\"by_lint\":{{{by_lint}}},\"diagnostics\":[",
             self.files_scanned,
             self.lex_count,
             self.errors().count(),
@@ -248,8 +267,10 @@ fn json_escape(s: &str) -> String {
 /// Run every enabled lint and pass over a loaded workspace.
 ///
 /// Each stage runs under a `udi-obs` span (`audit.pass.file-lints`,
-/// `audit.graph.call`, `audit.pass.panic-reachability`,
-/// `audit.pass.crate-layering`, `audit.pass.concurrency`,
+/// `audit.graph.call`, `audit.cfg.build`,
+/// `audit.pass.panic-reachability`, `audit.pass.crate-layering`,
+/// `audit.pass.concurrency`, `audit.pass.lock-order`,
+/// `audit.pass.determinism`, `audit.pass.error-discard`,
 /// `audit.pass.dead-exports`) so a [`udi_obs::TraceSummary`] of the
 /// recorder shows where audit time goes.
 pub fn run_audit(
@@ -279,9 +300,9 @@ pub fn run_audit(
 
     let need_graph = [
         lints::PANIC_REACHABILITY,
-        lints::STATIC_MUT,
-        lints::SHARED_MUTABLE_STATIC,
-        lints::LOCK_ACROSS_CRATE_CALL,
+        lints::LOCK_ORDER_CYCLE,
+        lints::DETERMINISM_CERT,
+        lints::ERROR_DISCARD,
     ]
     .iter()
     .any(|l| enabled.contains(l));
@@ -290,6 +311,34 @@ pub fn run_audit(
         graph::build_call_graph(&ws.files)
     } else {
         graph::CallGraph::default()
+    };
+
+    // Per-function CFGs, built once and shared by the dataflow passes.
+    let need_cfg = [lints::LOCK_ORDER_CYCLE, lints::ERROR_DISCARD]
+        .iter()
+        .any(|l| enabled.contains(l));
+    let cfgs: Vec<Option<cfg::Cfg>> = if need_cfg {
+        let _span = rec.span("audit.cfg.build");
+        call_graph
+            .fns
+            .iter()
+            .map(|node| {
+                let body = node.body.clone()?;
+                let file = ws.files.get(node.file)?;
+                Some(cfg::build_cfg(&file.tokens, body))
+            })
+            .collect()
+    } else {
+        vec![None; call_graph.fns.len()]
+    };
+
+    // The ratchet file is shared by every ratcheting pass.
+    let ratchet_path = cfg.ratchet.as_deref();
+    let ratchet = match ratchet_path {
+        Some(rel) => {
+            ratchet::Ratchet::parse(&std::fs::read_to_string(ws.root.join(rel)).unwrap_or_default())
+        }
+        None => ratchet::Ratchet::default(),
     };
 
     if enabled.contains(lints::PANIC_REACHABILITY) {
@@ -309,31 +358,60 @@ pub fn run_audit(
         diagnostics.extend(passes::layering::run(cfg, &edges));
     }
 
-    let conc = [
-        lints::STATIC_MUT,
-        lints::SHARED_MUTABLE_STATIC,
-        lints::LOCK_ACROSS_CRATE_CALL,
-    ];
+    let conc = [lints::STATIC_MUT, lints::SHARED_MUTABLE_STATIC];
     if conc.iter().any(|l| enabled.contains(l)) {
         let _span = rec.span("audit.pass.concurrency");
-        let mut found = passes::concurrency::run(
-            ws,
-            &call_graph,
-            &cfg.interior_mutable_allowed,
-            &mut directives,
-        );
+        let mut found =
+            passes::concurrency::run(ws, &cfg.interior_mutable_allowed, &mut directives);
         found.retain(|d| enabled.contains(d.lint));
         diagnostics.extend(found);
     }
 
+    if enabled.contains(lints::LOCK_ORDER_CYCLE) {
+        let _span = rec.span("audit.pass.lock-order");
+        diagnostics.extend(passes::lock_order::run(
+            ws,
+            cfg,
+            &call_graph,
+            &cfgs,
+            &ratchet,
+            ratchet_path,
+            &mut directives,
+        ));
+    }
+
+    if enabled.contains(lints::DETERMINISM_CERT) {
+        let _span = rec.span("audit.pass.determinism");
+        diagnostics.extend(passes::determinism::run(
+            ws,
+            cfg,
+            &call_graph,
+            &ratchet,
+            ratchet_path,
+            &mut directives,
+        ));
+    }
+
+    if enabled.contains(lints::ERROR_DISCARD) {
+        let _span = rec.span("audit.pass.error-discard");
+        diagnostics.extend(passes::error_discard::run(
+            ws,
+            cfg,
+            &call_graph,
+            &cfgs,
+            &ratchet,
+            ratchet_path,
+            &mut directives,
+        ));
+    }
+
     if enabled.contains(lints::DEAD_EXPORT) {
-        if let Some(ratchet_rel) = &cfg.ratchet {
+        if let Some(ratchet_rel) = ratchet_path {
             let _span = rec.span("audit.pass.dead-exports");
-            let text = std::fs::read_to_string(ws.root.join(ratchet_rel)).unwrap_or_default();
             diagnostics.extend(passes::dead_exports::run(
                 ws,
                 ratchet_rel,
-                &text,
+                &ratchet,
                 &mut directives,
             ));
         }

@@ -52,8 +52,14 @@ pub const CRATE_LAYERING: &str = "crate-layering";
 pub const STATIC_MUT: &str = "static-mut";
 /// A non-`const` interior-mutable static outside the sanctioned crates.
 pub const SHARED_MUTABLE_STATIC: &str = "shared-mutable-static";
-/// A lock guard held across a call into another workspace crate.
-pub const LOCK_ACROSS_CRATE_CALL: &str = "lock-across-crate-call";
+/// A cycle in the workspace lock-acquisition-order graph (deadlock risk).
+pub const LOCK_ORDER_CYCLE: &str = "lock-order-cycle";
+/// A declared deterministic entry point that can reach nondeterministic
+/// iteration, a raw clock read, or an environment read.
+pub const DETERMINISM_CERT: &str = "determinism-cert";
+/// A dropped `Result` (`let _ = …` or a bare expression statement of a
+/// fallible call) in library code.
+pub const ERROR_DISCARD: &str = "error-discard";
 /// A `pub` item with zero intra-workspace references.
 pub const DEAD_EXPORT: &str = "dead-export";
 
@@ -123,9 +129,20 @@ pub const LINTS: &[LintInfo] = &[
                   registry are hidden cross-thread channels; pass state explicitly",
     },
     LintInfo {
-        name: LOCK_ACROSS_CRATE_CALL,
-        summary: "holding a lock guard across a call into another workspace crate risks \
-                  lock-order inversion in the parallel serving layer",
+        name: LOCK_ORDER_CYCLE,
+        summary: "two code paths acquiring the same locks in opposite orders deadlock under \
+                  the parallel serving layer; acquisition order must be a DAG (chains reported)",
+    },
+    LintInfo {
+        name: DETERMINISM_CERT,
+        summary: "functions reachable from the audit.toml [determinism] entry points must \
+                  avoid hash-ordered iteration, raw clock reads, and env reads — a transitive \
+                  proof of the byte-identical-answers invariant",
+    },
+    LintInfo {
+        name: ERROR_DISCARD,
+        summary: "`let _ = fallible()` or a bare `fallible();` statement silently drops a \
+                  Result in library code; handle or propagate it",
     },
     LintInfo {
         name: DEAD_EXPORT,

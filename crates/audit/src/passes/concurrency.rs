@@ -1,6 +1,6 @@
 //! Concurrency lints for the parallel serving layer.
 //!
-//! Three findings, all scoped to lib code outside test regions:
+//! Two findings, both scoped to lib code outside test regions:
 //!
 //! * **static-mut** — `static mut` is never acceptable; it is UB-prone
 //!   under any concurrent access and Rust 2024 deprecates taking
@@ -10,21 +10,16 @@
 //!   Only crates listed under `[concurrency] interior-mutable-allowed` in
 //!   `audit.toml` (by default `udi-obs`, whose global sink registry is the
 //!   sanctioned singleton) may declare them. Error elsewhere.
-//! * **lock-across-crate-call** — a lock guard (`.lock()`,
-//!   `.borrow_mut()`, empty-argument `.read()`/`.write()`) held across a
-//!   call into *another workspace crate* is a deadlock and contention
-//!   hazard: the callee may take its own locks in an order this crate
-//!   cannot see. Error; restructure so the guard is dropped (or the data
-//!   cloned out) before crossing the crate boundary.
-
-use std::ops::Range;
+//!
+//! Guard-discipline checking lives in [`crate::passes::lock_order`] now:
+//! the v2 `lock-across-crate-call` heuristic (any guard held across a
+//! crate boundary) was replaced by an actual acquisition-order cycle
+//! analysis over per-function CFGs.
 
 use crate::classify::CodeKind;
-use crate::graph::CallGraph;
 use crate::lexer::{Token, TokenKind};
 use crate::lints::{
-    allow_covers, test_regions, AllowDirective, Diagnostic, LOCK_ACROSS_CRATE_CALL,
-    SHARED_MUTABLE_STATIC, STATIC_MUT,
+    allow_covers, test_regions, AllowDirective, Diagnostic, SHARED_MUTABLE_STATIC, STATIC_MUT,
 };
 use crate::parser::is_comment;
 use crate::Workspace;
@@ -42,21 +37,15 @@ const INTERIOR_MUTABLE_TYPES: &[&str] = &[
     "LazyLock",
 ];
 
-/// Methods whose return value is treated as a lock guard. `read`/`write`
-/// only count with an empty argument list (to avoid `io::Read::read(&mut
-/// buf)` false positives).
-const LOCK_METHODS: &[&str] = &["lock", "borrow_mut", "read", "write"];
-
 /// Run the pass.
 pub fn run(
     ws: &Workspace,
-    graph: &CallGraph,
     allowed_crates: &[String],
     directives: &mut [Vec<AllowDirective>],
 ) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
 
-    // --- static-mut + shared-mutable-static: token scan per lib file. ---
+    // static-mut + shared-mutable-static: token scan per lib file.
     for (fi, file) in ws.files.iter().enumerate() {
         if file.class.kind != CodeKind::Lib {
             continue;
@@ -141,198 +130,5 @@ pub fn run(
             diags.push(d);
         }
     }
-
-    // --- lock-across-crate-call: per fn, via the call graph. ---
-    for (f, node) in graph.fns.iter().enumerate() {
-        if node.in_test || node.kind != CodeKind::Lib {
-            continue;
-        }
-        let Some(body) = node.body.clone() else {
-            continue;
-        };
-        let Some(file) = ws.files.get(node.file) else {
-            continue;
-        };
-        let tokens = &file.tokens;
-        for acq in lock_acquisitions(tokens, body.clone()) {
-            let Some(live) = guard_liveness(tokens, body.clone(), &acq) else {
-                continue;
-            };
-            let crossing = graph
-                .calls
-                .get(f)
-                .map(Vec::as_slice)
-                .unwrap_or(&[])
-                .iter()
-                .find(|cs| {
-                    // Only structurally-resolved calls: the method-name
-                    // over-approximation would flag `guard.len()` as a call
-                    // into whatever crate happens to define a `len`.
-                    cs.certain
-                        && live.contains(&cs.tok)
-                        && graph
-                            .fns
-                            .get(cs.callee)
-                            .is_some_and(|callee| callee.crate_name != node.crate_name)
-                });
-            let Some(cs) = crossing else { continue };
-            let lock_tok = &tokens[acq.method];
-            let allowed = directives
-                .get_mut(node.file)
-                .is_some_and(|ds| allow_covers(ds, LOCK_ACROSS_CRATE_CALL, lock_tok.line));
-            if allowed {
-                continue;
-            }
-            let call_tok = &tokens[cs.tok];
-            let mut d = Diagnostic::error(
-                &file.rel,
-                lock_tok.line,
-                lock_tok.col,
-                LOCK_ACROSS_CRATE_CALL,
-                format!(
-                    "lock guard from `.{}()` held across a call into another crate",
-                    lock_tok.text
-                ),
-            );
-            d.notes.push(format!(
-                "calls `{}` at line {} while the guard is live",
-                graph.display(cs.callee),
-                call_tok.line
-            ));
-            d.notes.push(
-                "drop the guard (or clone the needed data out) before crossing the crate boundary"
-                    .to_owned(),
-            );
-            diags.push(d);
-        }
-    }
     diags
-}
-
-/// One detected lock acquisition.
-struct Acquisition {
-    /// Token index of the method name (`lock`, `read`, …).
-    method: usize,
-    /// Name the guard is `let`-bound to, if any. `None` ⇒ temporary.
-    bound: Option<String>,
-}
-
-/// Find `.lock()` / `.borrow_mut()` / empty-arg `.read()` / `.write()`
-/// inside `body`.
-fn lock_acquisitions(tokens: &[Token], body: Range<usize>) -> Vec<Acquisition> {
-    let mut out = Vec::new();
-    let sig_next = |i: usize| {
-        tokens[i + 1..]
-            .iter()
-            .enumerate()
-            .find(|(_, t)| !is_comment(t))
-            .map(|(k, t)| (i + 1 + k, t))
-    };
-    for i in body.clone() {
-        let t = &tokens[i];
-        if t.kind != TokenKind::Ident || !LOCK_METHODS.contains(&t.text.as_str()) {
-            continue;
-        }
-        // Must be a method call: preceded by `.`, followed by `()`.
-        let prev = tokens[body.start..i].iter().rev().find(|t| !is_comment(t));
-        if !prev.is_some_and(|p| p.kind == TokenKind::Punct && p.text == ".") {
-            continue;
-        }
-        let Some((oi, open)) = sig_next(i) else {
-            continue;
-        };
-        if open.kind != TokenKind::Punct || open.text != "(" {
-            continue;
-        }
-        let Some((_, close)) = sig_next(oi) else {
-            continue;
-        };
-        if close.kind != TokenKind::Punct || close.text != ")" {
-            continue; // non-empty args: not a guard-returning call we track
-        }
-        // Walk back for a `let` on the same statement to find the binding.
-        let mut bound = None;
-        let mut stmt = i;
-        for k in (body.start..i).rev() {
-            let b = &tokens[k];
-            if b.kind == TokenKind::Punct && matches!(b.text.as_str(), ";" | "{" | "}") {
-                break;
-            }
-            if b.kind == TokenKind::Ident && b.text == "let" {
-                stmt = k;
-                let mut n = k + 1;
-                while tokens.get(n).is_some_and(|t| {
-                    is_comment(t) || (t.kind == TokenKind::Ident && t.text == "mut")
-                }) {
-                    n += 1;
-                }
-                if let Some(name) = tokens.get(n) {
-                    if name.kind == TokenKind::Ident && name.text != "_" {
-                        bound = Some(name.text.clone());
-                    }
-                }
-                break;
-            }
-        }
-        // `let _ = …` drops the guard immediately: not an acquisition.
-        if stmt != i && bound.is_none() {
-            continue;
-        }
-        out.push(Acquisition { method: i, bound });
-    }
-    out
-}
-
-/// Token range over which the guard from `acq` is live.
-///
-/// Let-bound guards live to the end of the enclosing block, or to an
-/// explicit `drop(name)`. Temporaries live to the end of the statement
-/// (the next `;` at the statement's depth).
-fn guard_liveness(tokens: &[Token], body: Range<usize>, acq: &Acquisition) -> Option<Range<usize>> {
-    let start = acq.method;
-    let mut depth = 0i32;
-    match &acq.bound {
-        Some(name) => {
-            for i in start..body.end {
-                match (tokens[i].kind, tokens[i].text.as_str()) {
-                    (TokenKind::Punct, "{") => depth += 1,
-                    (TokenKind::Punct, "}") => {
-                        depth -= 1;
-                        if depth < 0 {
-                            return Some(start..i); // enclosing block ends
-                        }
-                    }
-                    (TokenKind::Ident, "drop") if depth >= 0 => {
-                        let named = tokens
-                            .get(i + 1)
-                            .is_some_and(|t| t.text == "(")
-                            .then(|| tokens.get(i + 2))
-                            .flatten()
-                            .is_some_and(|t| &t.text == name);
-                        if named {
-                            return Some(start..i);
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            Some(start..body.end)
-        }
-        None => {
-            for (i, tok) in tokens.iter().enumerate().take(body.end).skip(start) {
-                match (tok.kind, tok.text.as_str()) {
-                    (TokenKind::Punct, "{" | "(" | "[") => depth += 1,
-                    (TokenKind::Punct, "}" | ")" | "]") => {
-                        depth -= 1;
-                        if depth < 0 {
-                            return Some(start..i);
-                        }
-                    }
-                    (TokenKind::Punct, ";") if depth <= 0 => return Some(start..i),
-                    _ => {}
-                }
-            }
-            Some(start..body.end)
-        }
-    }
 }

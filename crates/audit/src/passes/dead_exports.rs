@@ -12,35 +12,23 @@
 //! * a ratchet entry that is **no longer dead** (or no longer exists) is an
 //!   error — the file must shrink as debt is paid down, never drift.
 //!
-//! The ratchet file is one `crate-name::item-name` per line, `#` comments
-//! allowed, kept sorted.
+//! The ratchet file is shared with the other ratcheting passes — see
+//! [`crate::ratchet`]. Dead-export entries use the legacy bare
+//! `crate-name::item-name` form (no lint prefix), one per line.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::classify::CodeKind;
 use crate::lints::{allow_covers, AllowDirective, Diagnostic, DEAD_EXPORT};
 use crate::parser::{ItemKind, Vis};
+use crate::ratchet::Ratchet;
 use crate::Workspace;
 
-/// Parse a ratchet file body into its entry set with line numbers.
-pub fn parse_ratchet(text: &str) -> BTreeMap<String, u32> {
-    let mut entries = BTreeMap::new();
-    for (ln0, raw) in text.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        entries.entry(line.to_owned()).or_insert(ln0 as u32 + 1);
-    }
-    entries
-}
-
-/// Run the pass. `ratchet_text` is the content of the configured ratchet
-/// file (empty string when the file does not exist yet).
+/// Run the pass over the shared parsed [`Ratchet`].
 pub fn run(
     ws: &Workspace,
     ratchet_path: &str,
-    ratchet_text: &str,
+    ratchet: &Ratchet,
     directives: &mut [Vec<AllowDirective>],
 ) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
@@ -104,7 +92,6 @@ pub fn run(
             }
         }
     }
-    let ratchet = parse_ratchet(ratchet_text);
     let mut live_keys: BTreeSet<String> = BTreeSet::new();
 
     for ex in &exports {
@@ -136,7 +123,7 @@ pub fn run(
             live_keys.insert(ex.key.clone());
             continue;
         }
-        if ratchet.contains_key(&ex.key) {
+        if ratchet.line_of(DEAD_EXPORT, &ex.key).is_some() {
             diags.push(Diagnostic::warning(
                 ex.rel,
                 ex.line,
@@ -165,12 +152,12 @@ pub fn run(
 
     // 3. Stale ratchet entries: listed but no longer a dead export.
     let export_keys: BTreeSet<&str> = exports.iter().map(|e| e.key.as_str()).collect();
-    for (key, line) in &ratchet {
-        let stale = !export_keys.contains(key.as_str()) || live_keys.contains(key);
+    for (key, line) in ratchet.entries_for(DEAD_EXPORT) {
+        let stale = !export_keys.contains(key) || live_keys.contains(key);
         if stale {
             let mut d = Diagnostic::error(
                 ratchet_path,
-                *line,
+                line,
                 1,
                 DEAD_EXPORT,
                 format!("stale ratchet entry: `{key}` is no longer a dead export"),

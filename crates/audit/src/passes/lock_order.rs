@@ -1,0 +1,684 @@
+//! Lock-order deadlock detection over per-function CFGs and the certain
+//! call graph.
+//!
+//! Replaces the v2 `lock-across-crate-call` heuristic (which flagged any
+//! guard held across a crate boundary, path-insensitively) with an
+//! actual acquisition-order analysis:
+//!
+//! 1. **Lock identities.** Every `.lock()` / `.borrow_mut()` /
+//!    empty-argument `.read()` / `.write()` is resolved to a lock
+//!    identity from its receiver: `self.field` becomes
+//!    `crate::Type.field`, a static or `udi_x::PATH` receiver becomes a
+//!    crate-qualified path, and a plain local/param receiver gets a
+//!    function-scoped identity (which participates intra-procedurally
+//!    only — a local name says nothing about which mutex another
+//!    function means).
+//! 2. **CFG-accurate held ranges.** A `let`-bound guard generates a
+//!    "held" fact at its statement block, killed at `drop(name)` and at
+//!    the end of its lexical scope; [`crate::dataflow::forward_may`]
+//!    propagates facts along real control flow, so a guard taken in one
+//!    `if` arm is never "held" in the sibling arm. Temporaries are held
+//!    to the end of their statement.
+//! 3. **Order edges.** Acquiring M while holding L adds edge `L → M`;
+//!    calling (certainly) a function whose transitive-acquire set
+//!    contains M does the same, with the full call chain kept for the
+//!    report.
+//! 4. **Cycles.** Any strongly-connected component of the order graph
+//!    (including a self-loop — re-acquiring a held lock) is a deadlock
+//!    risk, reported once with per-edge evidence.
+//!
+//! Ratchet key: the cycle's sorted lock set joined with `<->`.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::ops::Range;
+
+use crate::cfg::{Cfg, StmtKind};
+use crate::classify::CodeKind;
+use crate::config::Config;
+use crate::dataflow::{forward_may, BitSet};
+use crate::graph::{crate_of_alias, CallGraph, FnNode};
+use crate::lexer::{Token, TokenKind};
+use crate::lints::{allow_covers, AllowDirective, Diagnostic, LOCK_ORDER_CYCLE};
+use crate::parser::is_comment;
+use crate::ratchet::Ratchet;
+use crate::Workspace;
+
+/// Methods whose return value is treated as a lock guard. `read`/`write`
+/// only count with an empty argument list (to avoid `io::Read::read(&mut
+/// buf)` false positives).
+const LOCK_METHODS: &[&str] = &["lock", "borrow_mut", "read", "write"];
+
+/// One lock acquisition inside a function body.
+struct Acq {
+    /// Interned lock id.
+    lock: usize,
+    /// Token index of the method name.
+    tok: usize,
+    line: u32,
+    col: u32,
+    /// CFG block of the containing statement.
+    block: usize,
+    /// Guard binding (`let g = …`); `None` for temporaries.
+    bound: Option<String>,
+    /// `let _ = …` — guard dropped on the spot.
+    discard: bool,
+}
+
+/// How a function comes to acquire a lock (for chain rendering).
+#[derive(Clone, Copy)]
+enum Prov {
+    /// Acquired directly at this site.
+    Direct { line: u32, col: u32 },
+    /// Acquired by calling `callee`.
+    Via { callee: usize },
+}
+
+/// One acquisition-order edge with its evidence.
+struct Edge {
+    fnid: usize,
+    line: u32,
+    col: u32,
+    /// Interprocedural: the (certain) callee whose transitive set holds
+    /// the acquired lock.
+    via: Option<usize>,
+}
+
+/// Run the pass. `cfgs` is indexed like `graph.fns`.
+pub fn run(
+    ws: &Workspace,
+    cfg: &Config,
+    graph: &CallGraph,
+    cfgs: &[Option<Cfg>],
+    ratchet: &Ratchet,
+    ratchet_path: Option<&str>,
+    directives: &mut [Vec<AllowDirective>],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let n = graph.fns.len();
+
+    // Interned lock identities. `global[l]` — whether identity `l` is
+    // meaningful across functions.
+    let mut lock_ids: Vec<String> = Vec::new();
+    let mut lock_global: Vec<bool> = Vec::new();
+    let mut intern: BTreeMap<String, usize> = BTreeMap::new();
+    let intern_lock = |id: String,
+                       global: bool,
+                       lock_ids: &mut Vec<String>,
+                       lock_global: &mut Vec<bool>,
+                       intern: &mut BTreeMap<String, usize>| {
+        *intern.entry(id.clone()).or_insert_with(|| {
+            lock_ids.push(id);
+            lock_global.push(global);
+            lock_ids.len() - 1
+        })
+    };
+
+    // Pass A: per-fn acquisitions.
+    let mut acqs: Vec<Vec<Acq>> = (0..n).map(|_| Vec::new()).collect();
+    for (f, node) in graph.fns.iter().enumerate() {
+        if node.in_test
+            || node.kind != CodeKind::Lib
+            || cfg.lock_order_exempt.iter().any(|c| c == &node.crate_name)
+        {
+            continue;
+        }
+        let (Some(body), Some(file), Some(fcfg)) = (
+            node.body.clone(),
+            ws.files.get(node.file),
+            cfgs.get(f).and_then(|c| c.as_ref()),
+        ) else {
+            continue;
+        };
+        for i in body.clone() {
+            let Some(t) = file.tokens.get(i) else {
+                continue;
+            };
+            if t.kind != TokenKind::Ident || !LOCK_METHODS.contains(&t.text.as_str()) {
+                continue;
+            }
+            if !is_guard_call(&file.tokens, body.clone(), i) {
+                continue;
+            }
+            let Some((id, global)) = receiver_identity(&file.tokens, body.start, i, node) else {
+                continue;
+            };
+            let lock = intern_lock(id, global, &mut lock_ids, &mut lock_global, &mut intern);
+            let block = fcfg.block_of_token(i).unwrap_or(crate::cfg::ENTRY);
+            let (bound, discard) = match fcfg.blocks.get(block).and_then(|b| b.stmt.as_ref()) {
+                Some(s) => match &s.kind {
+                    StmtKind::Let { name, discard } => (name.clone(), *discard),
+                    _ => (None, false),
+                },
+                None => (None, false),
+            };
+            acqs[f].push(Acq {
+                lock,
+                tok: i,
+                line: t.line,
+                col: t.col,
+                block,
+                bound,
+                discard,
+            });
+        }
+    }
+
+    // Pass B: transitive global acquisitions over certain edges.
+    let mut ta: Vec<BTreeMap<usize, Prov>> = vec![BTreeMap::new(); n];
+    for (f, list) in acqs.iter().enumerate() {
+        for a in list {
+            if lock_global[a.lock] {
+                ta[f].entry(a.lock).or_insert(Prov::Direct {
+                    line: a.line,
+                    col: a.col,
+                });
+            }
+        }
+    }
+    loop {
+        let mut updates: Vec<(usize, usize, Prov)> = Vec::new();
+        for f in 0..n {
+            if graph.fns[f].in_test {
+                continue;
+            }
+            for cs in graph.calls.get(f).map(Vec::as_slice).unwrap_or(&[]) {
+                if !cs.certain || graph.fns.get(cs.callee).is_none_or(|c| c.in_test) {
+                    continue;
+                }
+                for &lock in ta[cs.callee].keys() {
+                    if !ta[f].contains_key(&lock) {
+                        updates.push((f, lock, Prov::Via { callee: cs.callee }));
+                    }
+                }
+            }
+        }
+        if updates.is_empty() {
+            break;
+        }
+        let mut changed = false;
+        for (f, lock, prov) in updates {
+            if let std::collections::btree_map::Entry::Vacant(e) = ta[f].entry(lock) {
+                e.insert(prov);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Pass C: order edges, evidence kept for the first sighting.
+    let mut edges: BTreeMap<(usize, usize), Edge> = BTreeMap::new();
+    for (f, node) in graph.fns.iter().enumerate() {
+        if acqs[f].is_empty() {
+            continue;
+        }
+        if node.in_test
+            || node.kind != CodeKind::Lib
+            || cfg.lock_order_exempt.iter().any(|c| c == &node.crate_name)
+        {
+            continue;
+        }
+        let (Some(body), Some(file), Some(fcfg)) = (
+            node.body.clone(),
+            ws.files.get(node.file),
+            cfgs.get(f).and_then(|c| c.as_ref()),
+        ) else {
+            continue;
+        };
+        // Facts: let-bound, non-discard acquisitions.
+        let facts: Vec<usize> = acqs[f]
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.bound.is_some() && !a.discard)
+            .map(|(k, _)| k)
+            .collect();
+        let nb = fcfg.blocks.len();
+        let mut gen = vec![BitSet::new(facts.len()); nb];
+        let mut kill = vec![BitSet::new(facts.len()); nb];
+        for (bit, &k) in facts.iter().enumerate() {
+            let a = &acqs[f][k];
+            gen[a.block].insert(bit);
+            let scope = scope_end(&file.tokens, body.clone(), a.tok);
+            for (b, blk) in fcfg.blocks.iter().enumerate() {
+                let Some(s) = &blk.stmt else { continue };
+                if s.span.start >= scope {
+                    kill[b].insert(bit);
+                } else if let Some(name) = &a.bound {
+                    if drops_name(&file.tokens, s.span.clone(), name) {
+                        kill[b].insert(bit);
+                    }
+                }
+            }
+        }
+        let flow = forward_may(fcfg, facts.len(), &gen, &kill);
+
+        // Events per block, in token order.
+        enum Ev {
+            Acq(usize),
+            Call(usize, usize, u32, u32), // (callee, tok, line, col)
+        }
+        let mut events: BTreeMap<usize, Vec<(usize, Ev)>> = BTreeMap::new();
+        for (k, a) in acqs[f].iter().enumerate() {
+            events.entry(a.block).or_default().push((a.tok, Ev::Acq(k)));
+        }
+        for cs in graph.calls.get(f).map(Vec::as_slice).unwrap_or(&[]) {
+            if !cs.certain || graph.fns.get(cs.callee).is_none_or(|c| c.in_test) {
+                continue;
+            }
+            if ta[cs.callee].is_empty() {
+                continue;
+            }
+            let Some(b) = fcfg.block_of_token(cs.tok) else {
+                continue;
+            };
+            let (line, col) = file
+                .tokens
+                .get(cs.tok)
+                .map(|t| (t.line, t.col))
+                .unwrap_or((0, 0));
+            events
+                .entry(b)
+                .or_default()
+                .push((cs.tok, Ev::Call(cs.callee, cs.tok, line, col)));
+        }
+
+        for (b, evs) in events.iter_mut() {
+            evs.sort_by_key(|(tok, _)| *tok);
+            // Held at block entry, from the dataflow facts.
+            let mut held: BTreeSet<usize> = flow
+                .input
+                .get(*b)
+                .map(|s| s.iter().map(|bit| acqs[f][facts[bit]].lock).collect())
+                .unwrap_or_default();
+            for (_, ev) in evs.iter() {
+                match ev {
+                    Ev::Acq(k) => {
+                        let a = &acqs[f][*k];
+                        for &l in held.iter() {
+                            edges.entry((l, a.lock)).or_insert(Edge {
+                                fnid: f,
+                                line: a.line,
+                                col: a.col,
+                                via: None,
+                            });
+                        }
+                        if !a.discard {
+                            held.insert(a.lock);
+                        }
+                    }
+                    Ev::Call(callee, call_tok, line, col) => {
+                        // The callee's own acquisition is not "while
+                        // holding" its own lock: skip calls whose token
+                        // coincides with an acquisition (`self.lock()`).
+                        if acqs[f].iter().any(|a| a.tok == *call_tok) {
+                            continue;
+                        }
+                        for &l in held.iter() {
+                            for &m in ta[*callee].keys() {
+                                edges.entry((l, m)).or_insert(Edge {
+                                    fnid: f,
+                                    line: *line,
+                                    col: *col,
+                                    via: Some(*callee),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass D: cycles = SCCs of the order graph (plus self-loops).
+    let nlocks = lock_ids.len();
+    let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nlocks];
+    for &(l, m) in edges.keys() {
+        adj[l].insert(m);
+    }
+    let comps = sccs(nlocks, &adj);
+    let mut found_keys: BTreeSet<String> = BTreeSet::new();
+    for comp in comps {
+        let is_cycle = comp.len() > 1 || comp.iter().any(|&l| adj[l].contains(&l));
+        if !is_cycle {
+            continue;
+        }
+        let Some(cycle) = reconstruct_cycle(&comp, &adj) else {
+            continue;
+        };
+        let mut names: Vec<&str> = comp.iter().map(|&l| lock_ids[l].as_str()).collect();
+        names.sort_unstable();
+        let key = names.join("<->");
+        found_keys.insert(key.clone());
+
+        let path_text = cycle
+            .iter()
+            .map(|&l| lock_ids[l].as_str())
+            .collect::<Vec<_>>()
+            .join(" → ");
+        let mut notes = Vec::new();
+        let mut anchor: Option<(&str, u32, u32, usize)> = None;
+        for w in cycle.windows(2) {
+            let Some(e) = edges.get(&(w[0], w[1])) else {
+                continue;
+            };
+            let rel = graph
+                .fns
+                .get(e.fnid)
+                .and_then(|nd| ws.files.get(nd.file))
+                .map(|fl| fl.rel.as_str())
+                .unwrap_or("?");
+            if anchor.is_none() {
+                anchor = Some((rel, e.line, e.col, e.fnid));
+            }
+            match e.via {
+                None => notes.push(format!(
+                    "`{}` acquires `{}` at {rel}:{}:{} while holding `{}`",
+                    graph.display(e.fnid),
+                    lock_ids[w[1]],
+                    e.line,
+                    e.col,
+                    lock_ids[w[0]],
+                )),
+                Some(callee) => {
+                    let (chain, site) = render_chain(graph, &ta, callee, w[1]);
+                    let chain_text = std::iter::once(graph.display(e.fnid))
+                        .chain(chain.iter().map(|&g| graph.display(g)))
+                        .collect::<Vec<_>>()
+                        .join(" → ");
+                    notes.push(format!(
+                        "while holding `{}`, {rel}:{} calls into `{}` which acquires `{}`{}",
+                        lock_ids[w[0]],
+                        e.line,
+                        graph.display(callee),
+                        lock_ids[w[1]],
+                        site.map(|(l, c)| format!(" (site {l}:{c})"))
+                            .unwrap_or_default(),
+                    ));
+                    notes.push(format!("call chain: {chain_text}"));
+                }
+            }
+        }
+        let Some((rel, line, col, fnid)) = anchor else {
+            continue;
+        };
+        let file_idx = graph.fns.get(fnid).map(|nd| nd.file).unwrap_or(usize::MAX);
+        let allowed = directives
+            .get_mut(file_idx)
+            .is_some_and(|ds| allow_covers(ds, LOCK_ORDER_CYCLE, line));
+        if allowed {
+            continue;
+        }
+        let mut d = Diagnostic::error(
+            rel,
+            line,
+            col,
+            LOCK_ORDER_CYCLE,
+            format!("lock-order cycle: {path_text}"),
+        );
+        d.notes = notes;
+        d.notes.push(
+            "pick one global acquisition order for these locks (or narrow a guard's scope)"
+                .to_owned(),
+        );
+        if ratchet.line_of(LOCK_ORDER_CYCLE, &key).is_some() {
+            d.severity = crate::lints::Severity::Warning;
+            d.message.push_str(" (ratcheted)");
+        }
+        diags.push(d);
+    }
+
+    // Stale ratchet entries for this lint.
+    if let Some(rp) = ratchet_path {
+        for (key, line) in ratchet.entries_for(LOCK_ORDER_CYCLE) {
+            if !found_keys.contains(key) {
+                let mut d = Diagnostic::error(
+                    rp,
+                    line,
+                    1,
+                    LOCK_ORDER_CYCLE,
+                    format!("stale ratchet entry: lock-order cycle `{key}` no longer exists"),
+                );
+                d.notes
+                    .push("delete the line — the ratchet only shrinks".to_owned());
+                diags.push(d);
+            }
+        }
+    }
+    diags
+}
+
+/// `.method()` with an empty argument list, preceded by `.`.
+fn is_guard_call(tokens: &[Token], body: Range<usize>, i: usize) -> bool {
+    let prev = tokens[body.start..i].iter().rev().find(|t| !is_comment(t));
+    if !prev.is_some_and(|p| p.kind == TokenKind::Punct && p.text == ".") {
+        return false;
+    }
+    let mut it = tokens[i + 1..].iter().filter(|t| !is_comment(t));
+    let open = it.next();
+    let close = it.next();
+    open.is_some_and(|t| t.text == "(") && close.is_some_and(|t| t.text == ")")
+}
+
+/// Resolve the receiver chain of the lock call at token `i` to a lock
+/// identity. Returns `(identity, global)`; `None` for complex receivers
+/// (`foo().lock()`, `(x).lock()`, …).
+fn receiver_identity(
+    tokens: &[Token],
+    body_start: usize,
+    i: usize,
+    node: &FnNode,
+) -> Option<(String, bool)> {
+    // Walk back over `ident (sep ident)*` where sep is `.` or `::`.
+    let sig_prev = |from: usize| -> Option<usize> {
+        (body_start..from).rev().find(|&k| !is_comment(&tokens[k]))
+    };
+    let mut segs: Vec<(String, String)> = Vec::new(); // (ident, sep before it or "")
+    let mut k = sig_prev(i)?; // the `.` before the method
+    loop {
+        let id = sig_prev(k)?;
+        let t = &tokens[id];
+        if !matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent) {
+            return None; // `)`, `]`, literal… — complex receiver
+        }
+        let sep = tokens[k].text.clone();
+        segs.push((t.text.clone(), sep));
+        match sig_prev(id) {
+            Some(p) if matches!(tokens[p].text.as_str(), "." | "::") => k = p,
+            _ => {
+                segs.last_mut()?.1 = String::new();
+                break;
+            }
+        }
+    }
+    segs.reverse();
+    let first = segs.first()?.0.clone();
+    let tail = |segs: &[(String, String)], mut id: String| {
+        for (seg, sep) in &segs[1..] {
+            id.push_str(if sep == "::" { "::" } else { "." });
+            id.push_str(seg);
+        }
+        id
+    };
+    if first == "self" {
+        let ty = node.self_ty.as_deref()?;
+        let id = tail(&segs, format!("{}::{}", node.crate_name, ty));
+        Some((id, true))
+    } else if let Some(c) = crate_of_alias(&first, &node.crate_name) {
+        Some((tail(&segs, c), true))
+    } else if first.chars().next().is_some_and(char::is_uppercase) {
+        let id = tail(&segs, format!("{}::{}", node.crate_name, first));
+        Some((id, true))
+    } else {
+        // Local/param receiver: function-scoped, intra-procedural only.
+        let id = tail(&segs, format!("{}::{}", node.id_path, first));
+        Some((id, false))
+    }
+}
+
+/// Token index where the lexical block enclosing `from` closes.
+fn scope_end(tokens: &[Token], body: Range<usize>, from: usize) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in tokens
+        .iter()
+        .enumerate()
+        .take(body.end.min(tokens.len()))
+        .skip(from)
+    {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    body.end
+}
+
+/// Whether a statement span contains `drop(name)`.
+fn drops_name(tokens: &[Token], span: Range<usize>, name: &str) -> bool {
+    let sig: Vec<&Token> = tokens
+        .get(span.start..span.end.min(tokens.len()))
+        .unwrap_or(&[])
+        .iter()
+        .filter(|t| !is_comment(t))
+        .collect();
+    sig.windows(4)
+        .any(|w| w[0].text == "drop" && w[1].text == "(" && w[2].text == *name && w[3].text == ")")
+}
+
+/// Shortest provenance chain from `f` to the function that directly
+/// acquires `lock`; returns the intermediate fns (starting at `f`) and
+/// the acquisition site.
+fn render_chain(
+    graph: &CallGraph,
+    ta: &[BTreeMap<usize, Prov>],
+    f: usize,
+    lock: usize,
+) -> (Vec<usize>, Option<(u32, u32)>) {
+    let mut chain = vec![f];
+    let mut cur = f;
+    for _ in 0..graph.fns.len() {
+        match ta.get(cur).and_then(|m| m.get(&lock)) {
+            Some(Prov::Direct { line, col }) => return (chain, Some((*line, *col))),
+            Some(Prov::Via { callee }) => {
+                cur = *callee;
+                chain.push(cur);
+            }
+            None => break,
+        }
+    }
+    (chain, None)
+}
+
+/// Strongly-connected components (Kosaraju, deterministic orders).
+fn sccs(n: usize, adj: &[BTreeSet<usize>]) -> Vec<Vec<usize>> {
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        // Iterative post-order DFS.
+        let mut stack = vec![(
+            start,
+            adj[start].iter().copied().collect::<Vec<_>>(),
+            0usize,
+        )];
+        seen[start] = true;
+        while let Some((v, nexts, mut i)) = stack.pop() {
+            let mut descended = false;
+            while i < nexts.len() {
+                let w = nexts[i];
+                i += 1;
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push((v, nexts.clone(), i));
+                    stack.push((w, adj[w].iter().copied().collect(), 0));
+                    descended = true;
+                    break;
+                }
+            }
+            if !descended {
+                order.push(v);
+            }
+        }
+    }
+    let mut radj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for (v, outs) in adj.iter().enumerate() {
+        for &w in outs {
+            radj[w].insert(v);
+        }
+    }
+    let mut comp = vec![usize::MAX; n];
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    for &start in order.iter().rev() {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let c = comps.len();
+        let mut members = Vec::new();
+        let mut queue = VecDeque::from([start]);
+        comp[start] = c;
+        while let Some(v) = queue.pop_front() {
+            members.push(v);
+            for &w in &radj[v] {
+                if comp[w] == usize::MAX {
+                    comp[w] = c;
+                    queue.push_back(w);
+                }
+            }
+        }
+        members.sort_unstable();
+        comps.push(members);
+    }
+    comps.sort();
+    comps
+}
+
+/// A concrete cycle through the component's smallest lock id, closed
+/// (first element repeated at the end).
+fn reconstruct_cycle(comp: &[usize], adj: &[BTreeSet<usize>]) -> Option<Vec<usize>> {
+    let inset: BTreeSet<usize> = comp.iter().copied().collect();
+    let m = *comp.first()?;
+    if adj[m].contains(&m) {
+        return Some(vec![m, m]);
+    }
+    // BFS from each successor of m back to m, inside the component.
+    let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for &s in adj[m].iter().filter(|s| inset.contains(s)) {
+        if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(s) {
+            e.insert(m);
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        if v == m {
+            break;
+        }
+        for &w in adj[v].iter().filter(|w| inset.contains(w)) {
+            if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(w) {
+                e.insert(v);
+                queue.push_back(w);
+            }
+        }
+    }
+    parent.get(&m)?;
+    let mut path = vec![m];
+    let mut cur = m;
+    for _ in 0..=comp.len() {
+        let &p = parent.get(&cur)?;
+        path.push(p);
+        cur = p;
+        if p == m {
+            break;
+        }
+    }
+    path.reverse();
+    Some(path)
+}

@@ -6,6 +6,11 @@ static mut COUNTER: u32 = 0;
 
 static CACHE: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
 
+// udi-audit: allow(shared-mutable-static, "fixture: lock-order scaffolding")
+pub static A: std::sync::Mutex<i32> = std::sync::Mutex::new(0);
+// udi-audit: allow(shared-mutable-static, "fixture: lock-order scaffolding")
+pub static B: std::sync::Mutex<i32> = std::sync::Mutex::new(0);
+
 /// Reaches `udi-alpha::risky`'s unwrap through `mid` — error with chain.
 pub fn entry() -> u32 {
     mid()
@@ -20,11 +25,52 @@ pub fn idx(v: &[u8]) -> u8 {
     v[0]
 }
 
-/// Holds the guard across a structurally-resolved call into `udi-alpha`.
-pub fn flush(buf: &std::sync::Mutex<Vec<u8>>) {
-    let guard = buf.lock();
+/// Takes `A` then `B` — one direction of the deadlock cycle.
+pub fn take_ab() {
+    let a = A.lock();
+    let _b = B.lock();
+    drop(a);
+}
+
+/// Takes `B`, then acquires `A` through `helper_ba` — the inverted
+/// order closes the cycle interprocedurally. The cross-crate call while
+/// holding `B` is fine on its own (the v2 heuristic would have flagged
+/// it); only the acquisition order matters now.
+pub fn take_ba() {
+    let b = B.lock();
+    helper_ba();
     udi_alpha::helper();
-    drop(guard);
+    drop(b);
+}
+
+fn helper_ba() {
+    let _a = A.lock();
+}
+
+/// Declared deterministic in audit.toml but reaches a `HashMap` through
+/// `seed` — the certification fails with chain and site.
+pub fn certified() -> usize {
+    seed()
+}
+
+fn seed() -> usize {
+    let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    m.len()
+}
+
+/// Fallible helper for the error-discard fixtures.
+pub fn fallible() -> Result<(), ()> {
+    Ok(())
+}
+
+/// `let _ =` discard — new debt, errors.
+pub fn discards() {
+    let _ = fallible();
+}
+
+/// Bare-statement discard, frozen in audit.ratchet — warning.
+pub fn discards_old() {
+    fallible();
 }
 
 // udi-audit: allow(panic-reachability, "fixture: acknowledged root")
@@ -45,12 +91,16 @@ fn quiet() {}
 mod tests {
     #[test]
     fn consumers() {
-        // References keep entry/idx/flush/suppressed_root/quiet live for
-        // the dead-export pass (tests are legitimate consumers).
+        // References keep the deliberate-violation fns live for the
+        // dead-export pass (tests are legitimate consumers).
         let _ = (
             super::entry as fn() -> u32,
             super::idx as fn(&[u8]) -> u8,
-            super::flush as fn(&std::sync::Mutex<Vec<u8>>),
+            super::take_ab as fn(),
+            super::take_ba as fn(),
+            super::certified as fn() -> usize,
+            super::discards as fn(),
+            super::discards_old as fn(),
             super::suppressed_root as fn() -> u32,
             super::quiet as fn(),
         );

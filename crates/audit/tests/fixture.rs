@@ -7,8 +7,8 @@
 use std::path::Path;
 
 use udi_audit::lints::{
-    Severity, CRATE_LAYERING, DEAD_EXPORT, LOCK_ACROSS_CRATE_CALL, PANIC_REACHABILITY,
-    SHARED_MUTABLE_STATIC, STATIC_MUT, UNUSED_ALLOW,
+    Severity, CRATE_LAYERING, DEAD_EXPORT, DETERMINISM_CERT, ERROR_DISCARD, LOCK_ORDER_CYCLE,
+    PANIC_REACHABILITY, SHARED_MUTABLE_STATIC, STATIC_MUT, UNUSED_ALLOW,
 };
 use udi_audit::{all_lints, audit_workspace, AuditReport};
 
@@ -25,8 +25,9 @@ fn fixture_yields_exactly_the_expected_diagnostics() {
         .iter()
         .map(|d| (d.path.as_str(), d.lint, d.line, d.severity))
         .collect();
+    let beta = "crates/beta/src/lib.rs";
     let expected: Vec<(&str, &str, u32, Severity)> = vec![
-        ("audit.ratchet", DEAD_EXPORT, 3, Severity::Error), // stale entry
+        ("audit.ratchet", DEAD_EXPORT, 3, Severity::Error), // stale entry (helper is live)
         (
             "crates/alpha/Cargo.toml",
             CRATE_LAYERING,
@@ -34,34 +35,17 @@ fn fixture_yields_exactly_the_expected_diagnostics() {
             Severity::Error,
         ), // back-edge
         ("crates/beta/Cargo.toml", CRATE_LAYERING, 8, Severity::Error), // undeclared gamma
-        ("crates/beta/src/lib.rs", STATIC_MUT, 5, Severity::Error),
-        (
-            "crates/beta/src/lib.rs",
-            SHARED_MUTABLE_STATIC,
-            7,
-            Severity::Error,
-        ),
-        (
-            "crates/beta/src/lib.rs",
-            PANIC_REACHABILITY,
-            10,
-            Severity::Error,
-        ), // entry
-        (
-            "crates/beta/src/lib.rs",
-            PANIC_REACHABILITY,
-            19,
-            Severity::Warning,
-        ), // idx (warn mode)
-        (
-            "crates/beta/src/lib.rs",
-            LOCK_ACROSS_CRATE_CALL,
-            25,
-            Severity::Error,
-        ), // flush
-        ("crates/beta/src/lib.rs", DEAD_EXPORT, 36, Severity::Error), // never_used
-        ("crates/beta/src/lib.rs", DEAD_EXPORT, 39, Severity::Warning), // old_debt (ratcheted)
-        ("crates/beta/src/lib.rs", UNUSED_ALLOW, 41, Severity::Error), // stale allow
+        (beta, STATIC_MUT, 5, Severity::Error),
+        (beta, SHARED_MUTABLE_STATIC, 7, Severity::Error),
+        (beta, PANIC_REACHABILITY, 15, Severity::Error), // entry
+        (beta, PANIC_REACHABILITY, 24, Severity::Warning), // idx (warn mode)
+        (beta, LOCK_ORDER_CYCLE, 31, Severity::Error),   // take_ab/take_ba inversion
+        (beta, DETERMINISM_CERT, 52, Severity::Error),   // certified → seed → HashMap
+        (beta, ERROR_DISCARD, 68, Severity::Error),      // discards: let _ =
+        (beta, ERROR_DISCARD, 73, Severity::Warning),    // discards_old (ratcheted)
+        (beta, DEAD_EXPORT, 82, Severity::Error),        // never_used
+        (beta, DEAD_EXPORT, 85, Severity::Warning),      // old_debt (ratcheted)
+        (beta, UNUSED_ALLOW, 87, Severity::Error),       // stale allow
     ];
     assert_eq!(
         got,
@@ -73,8 +57,8 @@ fn fixture_yields_exactly_the_expected_diagnostics() {
             .map(|d| format!("{d}\n"))
             .collect::<String>()
     );
-    assert_eq!(report.errors().count(), 9);
-    assert_eq!(report.warnings().count(), 2);
+    assert_eq!(report.errors().count(), 11);
+    assert_eq!(report.warnings().count(), 3);
     assert!(!report.is_clean());
 }
 
@@ -97,10 +81,83 @@ fn reachability_diagnostic_carries_the_full_call_chain() {
 }
 
 #[test]
+fn lock_order_cycle_reports_both_edges_with_provenance() {
+    // A → B is a direct second acquisition inside `take_ab`; B → A goes
+    // through `helper_ba`, so its note must carry the call chain.
+    let report = fixture_report();
+    let cycle = report
+        .diagnostics
+        .iter()
+        .find(|d| d.lint == LOCK_ORDER_CYCLE)
+        .expect("cycle diagnostic");
+    assert_eq!(
+        cycle.message,
+        "lock-order cycle: udi-beta::A → udi-beta::B → udi-beta::A"
+    );
+    assert_eq!(
+        cycle.notes[0],
+        "`udi-beta::take_ab` acquires `udi-beta::B` at crates/beta/src/lib.rs:31:16 \
+         while holding `udi-beta::A`"
+    );
+    assert!(
+        cycle.notes[1].contains("calls into `udi-beta::helper_ba`"),
+        "{:?}",
+        cycle.notes
+    );
+    assert_eq!(
+        cycle.notes[2],
+        "call chain: udi-beta::take_ba → udi-beta::helper_ba"
+    );
+}
+
+#[test]
+fn determinism_failure_names_chain_and_site() {
+    let report = fixture_report();
+    let cert = report
+        .diagnostics
+        .iter()
+        .find(|d| d.lint == DETERMINISM_CERT)
+        .expect("determinism diagnostic");
+    assert_eq!(
+        cert.message,
+        "declared deterministic entry `udi-beta::certified` can reach hash-ordered iteration"
+    );
+    assert_eq!(
+        cert.notes[0],
+        "call chain: udi-beta::certified → udi-beta::seed"
+    );
+    assert_eq!(
+        cert.notes[1],
+        "site: `HashMap` at crates/beta/src/lib.rs:57:30 (hash-ordered iteration)"
+    );
+}
+
+#[test]
+fn error_discard_distinguishes_let_from_bare_statement() {
+    let report = fixture_report();
+    let discards: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.lint == ERROR_DISCARD)
+        .collect();
+    assert_eq!(discards.len(), 2);
+    assert_eq!(
+        discards[0].message,
+        "`let _ =` discards the `Result` of `udi-beta::fallible`"
+    );
+    assert_eq!(
+        discards[1].message,
+        "bare statement drops the `Result` of `udi-beta::fallible` (ratcheted)"
+    );
+    assert_eq!(discards[1].severity, Severity::Warning);
+}
+
+#[test]
 fn allowed_root_is_suppressed() {
     // `suppressed_root` reaches the same unwrap as `entry` but carries a
     // reasoned allow(panic-reachability) — it must not appear at all, and
-    // the directive must not be flagged unused.
+    // the directive must not be flagged unused. Likewise the two
+    // shared-mutable-static allows on the lock-order scaffolding statics.
     let report = fixture_report();
     assert!(
         !report
@@ -119,7 +176,7 @@ fn allowed_root_is_suppressed() {
         1,
         "only the deliberate stale allow: {unused:?}"
     );
-    assert_eq!(unused[0].line, 41);
+    assert_eq!(unused[0].line, 87);
 }
 
 #[test]
@@ -127,13 +184,18 @@ fn json_rendering_is_parseable_shape() {
     let report = fixture_report();
     let json = report.to_json();
     assert!(json.starts_with("{\"files_scanned\":2,"), "{json}");
-    assert!(json.contains("\"errors\":9"), "{json}");
-    assert!(json.contains("\"warnings\":2"), "{json}");
+    assert!(json.contains("\"errors\":11"), "{json}");
+    assert!(json.contains("\"warnings\":3"), "{json}");
     assert!(json.contains("\"lint\":\"panic-reachability\""), "{json}");
+    // Per-lint counts ride in the summary for CI dashboards.
+    assert!(json.contains("\"by_lint\":{"), "{json}");
+    assert!(json.contains("\"lock-order-cycle\":1"), "{json}");
+    assert!(json.contains("\"determinism-cert\":1"), "{json}");
+    assert!(json.contains("\"error-discard\":2"), "{json}");
     // Notes with special characters survive escaping (the → arrow is
     // plain UTF-8; quotes and backslashes are escaped).
     assert!(json.contains("call chain: udi-beta::entry"), "{json}");
-    assert_eq!(json.matches("\"severity\":\"warning\"").count(), 2);
+    assert_eq!(json.matches("\"severity\":\"warning\"").count(), 3);
 }
 
 #[test]

@@ -52,16 +52,19 @@ fn tokens(text: &str) -> Vec<String> {
 /// Project a retrieved row onto the SELECT attributes by attribute-name
 /// identity; NULL where the source has no such attribute.
 fn project(catalog: &Catalog, rref: RowRef, query: &Query) -> AnswerTuple {
-    let table = catalog
-        .source(rref.source)
-        .expect("row refs come from the index");
+    // Row refs come from the index so the source is present; should the
+    // catalog and index ever drift, the row projects to all-NULL instead
+    // of killing the whole evaluation sweep.
+    let table = catalog.source(rref.source).ok();
     let values: Vec<Value> = query
         .select
         .iter()
         .map(|a| {
             table
-                .attribute_index(a)
-                .and_then(|i| table.value_at(rref.row, i).cloned())
+                .and_then(|t| {
+                    t.attribute_index(a)
+                        .and_then(|i| t.value_at(rref.row, i).cloned())
+                })
                 .unwrap_or(Value::Null)
         })
         .collect();

@@ -184,6 +184,7 @@ pub fn generate_with_concepts(
                     }
                 })
                 .collect();
+            // udi-audit: allow(panic-reachability, "row is built by mapping the table's own attrs, so the arity always matches")
             table.push_row(row).expect("arity by construction");
         }
         catalog.add_source(table);
@@ -215,35 +216,31 @@ fn pick_variant<'a>(c: &ConceptSpec, used: &[&str], rng: &mut StdRng) -> Option<
 where
     'static: 'a,
 {
-    let available: Vec<&'static str> = c
+    // Each variant carries its rank through the filter, so the weight
+    // needs no second scan over `c.variants`.
+    let available: Vec<(usize, &'static str)> = c
         .variants
         .iter()
         .copied()
-        .filter(|v| !used.contains(v))
+        .enumerate()
+        .filter(|(_, v)| !used.contains(v))
         .collect();
     if available.is_empty() {
         return None;
     }
     let weights: Vec<f64> = available
         .iter()
-        .map(|v| {
-            let rank = c
-                .variants
-                .iter()
-                .position(|x| x == v)
-                .expect("from variants");
-            1.0 / (rank + 1) as f64
-        })
+        .map(|&(rank, _)| 1.0 / (rank + 1) as f64)
         .collect();
     let total: f64 = weights.iter().sum();
     let mut roll = rng.gen_range(0.0..total);
-    for (v, w) in available.iter().zip(&weights) {
+    for (&(_, v), w) in available.iter().zip(&weights) {
         if roll < *w {
             return Some(v);
         }
         roll -= w;
     }
-    Some(available[available.len() - 1])
+    available.last().map(|&(_, v)| v)
 }
 
 /// Strip per-source randomness from the universe generator (stringly

@@ -85,8 +85,9 @@ impl GroundTruth {
         for &a in attrs {
             let cs = self.concepts_of(a);
             if cs.len() == 1 {
-                let c = cs.into_iter().next().expect("len checked");
-                by_concept.entry(c).or_default().insert(a.to_owned());
+                if let Some(c) = cs.into_iter().next() {
+                    by_concept.entry(c).or_default().insert(a.to_owned());
+                }
             }
         }
         by_concept.into_values().collect()

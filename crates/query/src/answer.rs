@@ -11,7 +11,7 @@
 //! plots R-P curves on the deduplicated, disjunction-combined list
 //! ([`AnswerSet::combined`]).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 use udi_schema::float::clamp_prob;
 use udi_store::{Row, SourceId};
@@ -49,12 +49,13 @@ impl SourceAccumulator {
         if p <= 0.0 {
             return;
         }
-        // Within-mapping dedup must be O(1) per row: a selective query over
+        // Within-mapping dedup must be cheap per row: a selective query over
         // a large source can return thousands of duplicate projections, and
         // the previous `Vec::contains` scan made this quadratic. The set is
-        // membership-only (never iterated), so hashing is safe; emission
-        // order stays governed by `self.order`.
-        let mut seen: HashSet<&Row> = HashSet::with_capacity(rows.len());
+        // membership-only and ordered (`Value: Ord`), so it cannot leak
+        // nondeterministic order; emission order stays governed by
+        // `self.order`.
+        let mut seen: BTreeSet<&Row> = BTreeSet::new();
         for row in rows {
             if !seen.insert(row) {
                 continue;

@@ -11,7 +11,7 @@
 //! ([`crate::block`]) and the comparison loops of the setup pipeline walk
 //! grams for every attribute of every source.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::Similarity;
 
@@ -31,8 +31,9 @@ pub(crate) fn padded_chars(s: &str, n: usize) -> Vec<char> {
 }
 
 /// The set of character `n`-grams of a padded buffer, as borrowed windows.
-fn gram_set(padded: &[char], n: usize) -> HashSet<&[char]> {
-    let mut set = HashSet::new();
+/// Ordered so the gram walk is reproducible wherever it is iterated.
+fn gram_set(padded: &[char], n: usize) -> BTreeSet<&[char]> {
+    let mut set = BTreeSet::new();
     if n == 0 {
         return set;
     }

@@ -8,7 +8,7 @@
 //! corpus-aware: a token like `home` that appears in half the attribute
 //! names carries less weight than a rare token like `issn`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::jaro::jaro_winkler;
 use crate::normalize::tokenize_name;
@@ -32,8 +32,9 @@ use crate::Similarity;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SoftTfIdf {
-    /// token → inverse document frequency.
-    idf: HashMap<String, f64>,
+    /// token → inverse document frequency (ordered: IDF construction and
+    /// lookup must be reproducible run to run).
+    idf: BTreeMap<String, f64>,
     /// IDF assigned to tokens outside the corpus.
     max_idf: f64,
     /// Inner-match threshold: tokens pair up when their Jaro–Winkler
@@ -48,7 +49,7 @@ impl SoftTfIdf {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let mut doc_freq: HashMap<String, usize> = HashMap::new();
+        let mut doc_freq: BTreeMap<String, usize> = BTreeMap::new();
         let mut n_docs = 0usize;
         for name in names {
             n_docs += 1;
@@ -60,7 +61,7 @@ impl SoftTfIdf {
             }
         }
         let n = n_docs.max(1) as f64;
-        let idf: HashMap<String, f64> = doc_freq
+        let idf: BTreeMap<String, f64> = doc_freq
             .into_iter()
             .map(|(t, df)| (t, (n / df as f64).ln() + 1.0))
             .collect();
@@ -79,7 +80,7 @@ impl SoftTfIdf {
     /// TF-IDF weight vector of a name (token → weight, L2-normalized).
     fn vector(&self, name: &str) -> Vec<(String, f64)> {
         let tokens = tokenize_name(name);
-        let mut tf: HashMap<String, f64> = HashMap::new();
+        let mut tf: BTreeMap<String, f64> = BTreeMap::new();
         for t in tokens {
             *tf.entry(t).or_insert(0.0) += 1.0;
         }

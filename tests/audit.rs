@@ -30,7 +30,8 @@ fn workspace_tree_is_audit_clean() {
     }
 
     // The lex-once contract: the whole audit — file lints, call graph,
-    // and all four workspace passes — lexes each file exactly once.
+    // CFG construction, and all seven workspace passes — lexes each file
+    // exactly once.
     assert_eq!(
         report.lex_count, report.files_scanned,
         "token streams must be shared across passes, not re-lexed"
@@ -43,9 +44,13 @@ fn workspace_tree_is_audit_clean() {
         "audit.load",
         "audit.pass.file-lints",
         "audit.graph.call",
+        "audit.cfg.build",
         "audit.pass.panic-reachability",
         "audit.pass.crate-layering",
         "audit.pass.concurrency",
+        "audit.pass.lock-order",
+        "audit.pass.determinism",
+        "audit.pass.error-discard",
         "audit.pass.dead-exports",
     ] {
         let stat = summary

@@ -1,0 +1,159 @@
+//! Property tests for the udi-audit CFG builder.
+//!
+//! The builder consumes *arbitrary* token streams — fn bodies are opaque
+//! brace-balanced ranges, and the fixture proves nothing about the wider
+//! universe of inputs the lexer can produce. Two properties must hold
+//! unconditionally:
+//!
+//! 1. **Total**: `build_cfg` never panics and always yields a graph that
+//!    passes [`Cfg::check_invariants`] (entry/exit well-formed, successor
+//!    indices in range, no duplicate edges).
+//! 2. **Deterministic**: the same tokens produce byte-identical layout —
+//!    block count, edges, and statement spans — across repeated builds.
+//!
+//! A third, non-property test drives the builder over **every** fn body in
+//! this workspace, so the real corpus (not just generated streams) is
+//! covered on every `cargo test`.
+
+use proptest::prelude::*;
+
+use udi_audit::cfg::{build_cfg, ENTRY, EXIT};
+use udi_audit::collect_sources;
+use udi_audit::find_workspace_root;
+use udi_audit::lexer::lex;
+use udi_audit::parser::parse_items;
+
+/// Fragments that compose into plausible-to-pathological Rust-ish bodies.
+/// Deliberately includes unbalanced-looking and keyword-heavy torture
+/// cases; the lexer accepts them all.
+fn body_fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("let x = f(a, b);".to_owned()),
+        Just("let _ = fallible();".to_owned()),
+        Just("if c { g(); } else if d { h(); } else { k(); }".to_owned()),
+        Just("match v { A => 1, B(x) => { x }, _ => 0, };".to_owned()),
+        Just("while p(x) { x += 1; }".to_owned()),
+        Just("loop { if done { break; } continue; }".to_owned()),
+        Just("for i in 0..n { acc += i; }".to_owned()),
+        Just("return q?;".to_owned()),
+        Just("drop(guard);".to_owned()),
+        Just("let g = M.lock();".to_owned()),
+        Just("fn nested() { inner(); }".to_owned()),
+        Just("{ { { deep(); } } }".to_owned()),
+        Just("x.method::<T>(y)?;".to_owned()),
+        Just("// comment\n/* block */".to_owned()),
+        Just("\"string { not a brace }\";".to_owned()),
+        Just("'a'; '\\n';".to_owned()),
+        Just("if let Some(v) = o { use_it(v); }".to_owned()),
+        Just("; ; ;".to_owned()),
+        "[a-z =+;(){}]{0,24}".prop_map(balance_braces),
+    ]
+}
+
+/// Brace-balance an arbitrary snippet so it can embed in a fn body.
+fn balance_braces(s: String) -> String {
+    let mut out = String::new();
+    let mut depth = 0i64;
+    for c in s.chars() {
+        match c {
+            '{' => depth += 1,
+            '}' if depth == 0 => continue,
+            '}' => depth -= 1,
+            _ => {}
+        }
+        out.push(c);
+    }
+    out.extend(std::iter::repeat_n('}', depth.max(0) as usize));
+    out
+}
+
+fn arb_body() -> impl Strategy<Value = String> {
+    proptest::collection::vec(body_fragment(), 0..12)
+        .prop_map(|frags| format!("{{ {} }}", frags.join("\n")))
+}
+
+/// Flat structural digest of a CFG: any layout nondeterminism shows up as
+/// a digest mismatch.
+fn digest(tokens: &[udi_audit::lexer::Token], body: std::ops::Range<usize>) -> String {
+    let cfg = build_cfg(tokens, body);
+    let mut out = String::new();
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        out.push_str(&format!("b{b}->{:?}", blk.succs));
+        if let Some(s) = &blk.stmt {
+            out.push_str(&format!(" [{:?} {}..{}]", s.kind, s.span.start, s.span.end));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn builder_is_total_on_arbitrary_bodies(src in arb_body()) {
+        let tokens = lex(&src);
+        let cfg = build_cfg(&tokens, 0..tokens.len());
+        prop_assert!(cfg.check_invariants().is_ok(), "{:?}", cfg.check_invariants());
+        prop_assert!(cfg.blocks.len() >= 2);
+        prop_assert!(cfg.blocks[EXIT].succs.is_empty());
+        prop_assert!(cfg.blocks[ENTRY].stmt.is_none());
+    }
+
+    #[test]
+    fn layout_is_deterministic(src in arb_body()) {
+        let tokens = lex(&src);
+        let first = digest(&tokens, 0..tokens.len());
+        for _ in 0..3 {
+            prop_assert_eq!(&first, &digest(&tokens, 0..tokens.len()));
+        }
+    }
+
+    #[test]
+    fn builder_survives_raw_token_soup(src in "[a-zA-Z0-9{}()\\[\\];,.:=<>&|?!'\"/* \n-]{0,200}") {
+        // Not even brace-balanced: the builder must cope with any range
+        // the parser could conceivably hand it.
+        let tokens = lex(&src);
+        let cfg = build_cfg(&tokens, 0..tokens.len());
+        prop_assert!(cfg.check_invariants().is_ok());
+    }
+}
+
+#[test]
+fn every_workspace_fn_body_builds_a_valid_cfg() {
+    let root = find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let sources = collect_sources(&root).expect("workspace sources");
+    let mut bodies = 0usize;
+    for (path, _class) in &sources {
+        let text = std::fs::read_to_string(path).expect("readable source");
+        let tokens = lex(&text);
+        let items = parse_items(&tokens);
+        for item in &items {
+            let Some(body) = item.body.clone() else {
+                continue;
+            };
+            let cfg = build_cfg(&tokens, body.clone());
+            if let Err(e) = cfg.check_invariants() {
+                panic!(
+                    "invalid CFG for body at {}:{}: {e}",
+                    path.display(),
+                    item.line
+                );
+            }
+            // Determinism over the real corpus too.
+            assert_eq!(
+                digest(&tokens, body.clone()),
+                digest(&tokens, body),
+                "nondeterministic layout at {}:{}",
+                path.display(),
+                item.line
+            );
+            bodies += 1;
+        }
+    }
+    assert!(
+        bodies > 500,
+        "suspiciously few fn bodies ({bodies}) — parser broken?"
+    );
+}

@@ -194,6 +194,10 @@ fn reach_config(crates: &[&str]) -> Config {
         reach_crates: crates.iter().map(|s| (*s).to_owned()).collect(),
         index_sites: IndexMode::Off,
         interior_mutable_allowed: vec!["udi-obs".to_owned()],
+        determinism_entries: Vec::new(),
+        determinism_exempt: vec!["udi-obs".to_owned()],
+        lock_order_exempt: Vec::new(),
+        error_discard_exempt: Vec::new(),
         ratchet: None,
         source: None,
     }
