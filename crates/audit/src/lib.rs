@@ -22,7 +22,7 @@
 //! 2. **Workspace passes**: a recursive-descent item [`parser`] extracts
 //!    fns, impls, statics and `use` paths per file; [`graph`] assembles a
 //!    call graph (with receiver-typed method resolution) and a
-//!    crate-dependency edge list; [`cfg`] builds a per-function control
+//!    crate-dependency edge list; [`mod@cfg`] builds a per-function control
 //!    flow graph from each body's token range and [`dataflow`] runs
 //!    gen/kill analyses over it. The passes then check transitive
 //!    panic-reachability, the crate layering contract from `audit.toml`

@@ -261,6 +261,7 @@ pub const PANIC_FREE_CRATES: &[&str] = &[
     "udi-query",
     "udi-store",
     "udi-audit",
+    "udi-serve",
 ];
 
 /// Probability-producing crates where map iteration order reaches

@@ -200,10 +200,10 @@ mod tests {
         let mut t0 = Table::new("s0", ["name", "city"]);
         t0.push_raw_row(["Alice", "Springfield"]).unwrap();
         t0.push_raw_row(["Bob", "Salem"]).unwrap();
-        c.add_source(t0);
+        c.add_source(t0).unwrap();
         let mut t1 = Table::new("s1", ["title", "city"]);
         t1.push_raw_row(["Engineer", "Springfield"]).unwrap();
-        c.add_source(t1);
+        c.add_source(t1).unwrap();
         c
     }
 

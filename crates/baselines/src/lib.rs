@@ -67,10 +67,10 @@ mod tests {
         let mut catalog = Catalog::new();
         let mut t = Table::new("s", ["name", "phone"]);
         t.push_raw_row(["Alice", "123"]).unwrap();
-        catalog.add_source(t);
+        catalog.add_source(t).unwrap();
         let mut t2 = Table::new("s2", ["name", "phone"]);
         t2.push_raw_row(["Bob", "456"]).unwrap();
-        catalog.add_source(t2);
+        catalog.add_source(t2).unwrap();
         let udi = UdiSystem::setup(catalog, UdiConfig::default()).unwrap();
         let w = Udi(&udi);
         assert_eq!(w.name(), "UDI");

@@ -62,7 +62,7 @@ mod tests {
         ] {
             let mut t = Table::new(name, attrs);
             t.push_raw_row(vec!["x", "1"]).unwrap();
-            catalog.add_source(t);
+            catalog.add_source(t).unwrap();
         }
         let sm = SingleMed::setup(catalog, UdiConfig::default()).unwrap();
         assert!(sm.system().pmed().is_deterministic());

@@ -58,10 +58,10 @@ mod tests {
         let mut c = Catalog::new();
         let mut t0 = Table::new("s0", ["name", "phone"]);
         t0.push_raw_row(["Alice", "123"]).unwrap();
-        c.add_source(t0);
+        c.add_source(t0).unwrap();
         let mut t1 = Table::new("s1", ["name", "phone-no"]);
         t1.push_raw_row(["Bob", "456"]).unwrap();
-        c.add_source(t1);
+        c.add_source(t1).unwrap();
         c
     }
 
@@ -95,7 +95,7 @@ mod tests {
             .unwrap();
         t.push_row(vec![Value::text("Calculus"), Value::Int(45)])
             .unwrap();
-        c.add_source(t);
+        c.add_source(t).unwrap();
         let s = SourceDirect::new(&c);
         let q = parse_query("SELECT title FROM t WHERE enrollment > 30").unwrap();
         let names: Vec<String> = s

@@ -86,7 +86,7 @@ mod tests {
         ] {
             let mut t = Table::new(name, attrs);
             t.push_raw_row(row).unwrap();
-            c.add_source(t);
+            c.add_source(t).unwrap();
         }
         c
     }
@@ -127,7 +127,7 @@ mod tests {
             let attrs: Vec<String> = (0..8).map(|i| format!("phone{i}{s}")).collect();
             let mut t = Table::new(format!("s{s}"), attrs.clone());
             t.push_raw_row(attrs.iter().map(|_| "1")).unwrap();
-            c.add_source(t);
+            c.add_source(t).unwrap();
         }
         let mut config = UdiConfig::default();
         config.params.theta = 0.0;

@@ -62,7 +62,7 @@ fn main() {
         let tables: Vec<_> = gen.catalog.iter_sources().map(|(_, t)| t.clone()).collect();
         let mut head = udi_store::Catalog::new();
         for t in &tables[..n - 1] {
-            head.add_source(t.clone());
+            head.add_source(t.clone()).unwrap();
         }
         let newcomer = tables[n - 1].clone();
 

@@ -27,7 +27,19 @@ impl UdiSystem {
     /// The compiled plan is cached (see [`UdiSystem::prepare`]); repeated
     /// calls with the same query skip straight to execution.
     pub fn answer(&self, query: &Query) -> AnswerSet {
-        let mut span = self.engine().recorder().span("query.answer");
+        self.answer_traced(query, 0)
+    }
+
+    /// [`answer`](UdiSystem::answer) with the `query.answer` span parented
+    /// on `parent` — for serving layers that hold a per-request span open
+    /// on another thread and want the whole query trace (down to the
+    /// per-source `query.source` spans) hanging off it. `parent == 0`
+    /// opens a root span, identical to [`answer`](UdiSystem::answer).
+    pub fn answer_traced(&self, query: &Query, parent: u64) -> AnswerSet {
+        let mut span = self
+            .engine()
+            .recorder()
+            .span_with_parent("query.answer", parent);
         span.field("path", "consolidated");
         let attrs = query.referenced_attributes();
         let prepared = self.plan_for(PlanPath::Consolidated, &query.to_string(), || {
@@ -62,7 +74,16 @@ impl UdiSystem {
     /// `Pr(M_i)`. Exists to make Theorem 6.2 executable — `answer` must
     /// return exactly the same answers.
     pub fn answer_with_pmed(&self, query: &Query) -> AnswerSet {
-        let mut span = self.engine().recorder().span("query.answer");
+        self.answer_with_pmed_traced(query, 0)
+    }
+
+    /// [`answer_with_pmed`](UdiSystem::answer_with_pmed) with an explicit
+    /// span parent (see [`answer_traced`](UdiSystem::answer_traced)).
+    pub fn answer_with_pmed_traced(&self, query: &Query, parent: u64) -> AnswerSet {
+        let mut span = self
+            .engine()
+            .recorder()
+            .span_with_parent("query.answer", parent);
         span.field("path", "pmed");
         let attrs = query.referenced_attributes();
         let prepared = self.plan_for(PlanPath::Pmed, &query.to_string(), || {
@@ -84,7 +105,16 @@ impl UdiSystem {
     /// recall) and bets everything on the top mapping being right (erratic
     /// precision), which is exactly the behaviour the paper reports.
     pub fn answer_top_mapping(&self, query: &Query) -> AnswerSet {
-        let mut span = self.engine().recorder().span("query.answer");
+        self.answer_top_mapping_traced(query, 0)
+    }
+
+    /// [`answer_top_mapping`](UdiSystem::answer_top_mapping) with an
+    /// explicit span parent (see [`answer_traced`](UdiSystem::answer_traced)).
+    pub fn answer_top_mapping_traced(&self, query: &Query, parent: u64) -> AnswerSet {
+        let mut span = self
+            .engine()
+            .recorder()
+            .span_with_parent("query.answer", parent);
         span.field("path", "top-mapping");
         let attrs = query.referenced_attributes();
         let prepared = self.plan_for(PlanPath::TopMapping, &query.to_string(), || {
@@ -114,7 +144,16 @@ impl UdiSystem {
     /// mapping probabilities; by-tuple combines them as independent
     /// events).
     pub fn answer_by_tuple(&self, query: &Query) -> AnswerSet {
-        let mut span = self.engine().recorder().span("query.answer");
+        self.answer_by_tuple_traced(query, 0)
+    }
+
+    /// [`answer_by_tuple`](UdiSystem::answer_by_tuple) with an explicit
+    /// span parent (see [`answer_traced`](UdiSystem::answer_traced)).
+    pub fn answer_by_tuple_traced(&self, query: &Query, parent: u64) -> AnswerSet {
+        let mut span = self
+            .engine()
+            .recorder()
+            .span_with_parent("query.answer", parent);
         span.field("path", "by-tuple");
         let attrs = query.referenced_attributes();
         // Same pooling as the consolidated path — only execution differs —
@@ -187,7 +226,20 @@ impl UdiSystem {
     /// (that would need entity resolution; the paper's union model treats
     /// sources independently).
     pub fn answer_aggregate(&self, query: &udi_query::AggregateQuery) -> AnswerSet {
-        let mut span = self.engine().recorder().span("query.answer");
+        self.answer_aggregate_traced(query, 0)
+    }
+
+    /// [`answer_aggregate`](UdiSystem::answer_aggregate) with an explicit
+    /// span parent (see [`answer_traced`](UdiSystem::answer_traced)).
+    pub fn answer_aggregate_traced(
+        &self,
+        query: &udi_query::AggregateQuery,
+        parent: u64,
+    ) -> AnswerSet {
+        let mut span = self
+            .engine()
+            .recorder()
+            .span_with_parent("query.answer", parent);
         span.field("path", "aggregate");
         let attrs = query.referenced_attributes();
         // Aggregates pool exactly like the consolidated select path; the
@@ -540,8 +592,8 @@ mod tests {
         // A second schema-only source so that `phone`/`address` exist in
         // the vocabulary (S2 of the example; its data is irrelevant here).
         let s2 = Table::new("S2", ["name", "phone", "address"]);
-        catalog.add_source(s1);
-        catalog.add_source(s2);
+        catalog.add_source(s1).unwrap();
+        catalog.add_source(s2).unwrap();
 
         // Hand-build the p-med-schema M = {M3: 0.5, M4: 0.5} of Example 2.1.
         // Vocabulary ids follow catalog order: name=0, hPhone=1, hAddr=2,
@@ -757,9 +809,9 @@ mod tests {
         t2.push_raw_row(["Drama", "D"]).unwrap();
         let mut t3 = Table::new("c", ["genre", "title"]);
         t3.push_raw_row(["Comedy", "E"]).unwrap();
-        catalog.add_source(t1);
-        catalog.add_source(t2);
-        catalog.add_source(t3);
+        catalog.add_source(t1).unwrap();
+        catalog.add_source(t2).unwrap();
+        catalog.add_source(t3).unwrap();
         let udi = UdiSystem::setup(catalog, UdiConfig::default()).unwrap();
 
         let q = udi_query::parse_aggregate_query("SELECT genre, COUNT(*) FROM t GROUP BY genre")
@@ -840,7 +892,7 @@ mod tests {
         let mut t = Table::new("S", ["a", "b"]);
         t.push_raw_row(["x", "y"]).unwrap(); // row 0
         t.push_raw_row(["y", "x"]).unwrap(); // row 1
-        catalog.add_source(t);
+        catalog.add_source(t).unwrap();
         let (a, b) = (AttrId(0), AttrId(1));
         let med = udi_schema::MediatedSchema::from_slices(&[&[a], &[b]]);
         let pmed = PMedSchema::new(vec![(med, 1.0)]);
@@ -913,9 +965,9 @@ mod tests {
         t2.push_raw_row(["Casablanca", "1942"]).unwrap();
         let mut t3 = Table::new("c", ["title", "year"]);
         t3.push_raw_row(["Vertigo", "1958"]).unwrap();
-        catalog.add_source(t1);
-        catalog.add_source(t2);
-        catalog.add_source(t3);
+        catalog.add_source(t1).unwrap();
+        catalog.add_source(t2).unwrap();
+        catalog.add_source(t3).unwrap();
         let udi = UdiSystem::setup(catalog, UdiConfig::default()).unwrap();
         let q = parse_query("SELECT title FROM movies WHERE year > 1930").unwrap();
         let combined = udi.answer(&q).combined();

@@ -78,7 +78,14 @@ fn signature(graph: &SimilarityGraph) -> GraphSignature {
 /// [`remove_source`](SetupEngine::remove_source),
 /// [`apply_feedback`](SetupEngine::apply_feedback)) only *mark* work; the
 /// actual recomputation happens in the next [`refresh`](SetupEngine::refresh).
-#[derive(Debug)]
+///
+/// `Clone` produces an independent engine over copied artifacts, with two
+/// deliberate shares: the `stats` counter aggregate (an `Arc`) and the
+/// recorder keep pointing at the original's sinks, so a cloned snapshot's
+/// telemetry lands in the same place. The serve layer's clone-on-refresh
+/// path relies on this — it clones the current snapshot, mutates the clone
+/// off to the side, and publishes it atomically.
+#[derive(Debug, Clone)]
 pub struct SetupEngine {
     catalog: Catalog,
     config: UdiConfig,
@@ -279,12 +286,18 @@ impl SetupEngine {
     /// source actually changes the similarity graph (new frequent
     /// attributes, shifted frequencies) — [`refresh`](SetupEngine::refresh)
     /// detects that via the graph signature.
-    pub fn add_source(&mut self, table: Table) {
+    /// `Err(UdiError::Store)` if the catalog's `u32` id space is exhausted;
+    /// the engine is left untouched in that case (the catalog is registered
+    /// first, before any engine-side state moves).
+    pub fn add_source(&mut self, table: Table) -> Result<(), UdiError> {
+        let name = table.name().to_owned();
+        let attrs: Vec<String> = table.attributes().to_vec();
+        self.catalog.add_source(table).map_err(UdiError::Store)?;
         self.schema_set
-            .add_source(table.name(), table.attributes().iter().map(String::as_str));
-        self.catalog.add_source(table);
+            .add_source(&name, attrs.iter().map(String::as_str));
         self.rows.push(None);
         self.generation += 1;
+        Ok(())
     }
 
     /// Drop the source named `name`. Vocabulary ids stay stable (orphaned
@@ -385,7 +398,14 @@ impl SetupEngine {
             let mut sb = s2.child("setup.block");
             let vocab_len = self.schema_set.vocab().len();
             while self.block.len() < vocab_len {
-                let next = AttrId(self.block.len() as u32);
+                let count = self.block.len();
+                let next =
+                    u32::try_from(count)
+                        .map(AttrId)
+                        .map_err(|_| UdiError::IdSpaceExhausted {
+                            what: "blocking attr",
+                            count,
+                        })?;
                 self.block.insert(self.schema_set.vocab().name(next));
             }
             let keys: Vec<u32> = nodes.iter().map(|a| a.0).collect();
@@ -912,7 +932,7 @@ mod tests {
             ("s2", vec!["name", "phone-no", "addr"]),
             ("s3", vec!["name", "phone", "address"]),
         ] {
-            c.add_source(table(name, &attrs));
+            c.add_source(table(name, &attrs)).unwrap();
         }
         c
     }
@@ -946,7 +966,7 @@ mod tests {
         // A source whose attributes are all existing vocabulary: the graph
         // signature is untouched (same frequent set, same weights), so
         // only the new row is computed.
-        e.add_source(table("s4", &["name", "phone"]));
+        e.add_source(table("s4", &["name", "phone"])).unwrap();
         e.refresh(&*measure).unwrap();
         let stats = e.report().cache;
         assert_eq!(e.report().n_sources, 4);

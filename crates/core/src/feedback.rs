@@ -223,7 +223,7 @@ mod tests {
         ] {
             let mut t = Table::new(name, attrs.clone());
             t.push_raw_row(attrs.iter().map(|_| "v")).unwrap();
-            c.add_source(t);
+            c.add_source(t).unwrap();
         }
         c
     }
@@ -309,10 +309,10 @@ mod tests {
         let mut c = Catalog::new();
         let mut t = Table::new("s", ["name", "phone"]);
         t.push_raw_row(["x", "1"]).unwrap();
-        c.add_source(t);
+        c.add_source(t).unwrap();
         let mut t2 = Table::new("s2", ["name", "phone"]);
         t2.push_raw_row(["y", "2"]).unwrap();
-        c.add_source(t2);
+        c.add_source(t2).unwrap();
         let udi = UdiSystem::setup(c, UdiConfig::default()).unwrap();
         assert!(udi.pmed().is_deterministic());
         assert!(suggest_questions(&udi).is_empty());

@@ -35,7 +35,7 @@
 //! ] {
 //!     let mut t = Table::new(name, attrs);
 //!     t.push_raw_row(row).unwrap();
-//!     catalog.add_source(t);
+//!     catalog.add_source(t).unwrap();
 //! }
 //! let udi = UdiSystem::setup(catalog, Default::default()).unwrap();
 //! let q = parse_query("SELECT name, phone FROM people").unwrap();
@@ -49,6 +49,7 @@ pub mod feedback;
 pub mod persist;
 pub mod pipeline;
 pub mod prepared;
+pub mod snapshot;
 pub mod system;
 
 pub use answer::{BindingExplanation, Explanation, SourceExplanation};
@@ -57,6 +58,7 @@ pub use feedback::{suggest_questions, Feedback, FeedbackMeasure, Question};
 pub use persist::PersistError;
 pub use pipeline::{CacheStats, MeasureKind, SetupReport, SetupTimings, UdiConfig};
 pub use prepared::{PlanPath, PreparedQuery};
+pub use snapshot::SystemHandle;
 pub use system::UdiSystem;
 
 /// Errors surfaced by system setup or query answering.
@@ -86,6 +88,15 @@ pub enum UdiError {
         /// p-mappings supplied in that row.
         got: usize,
     },
+    /// A typed id space (source ids, blocking attribute ids) ran out of
+    /// `u32` room. Surfaced as an error instead of silently wrapping and
+    /// corrupting positional lookups.
+    IdSpaceExhausted {
+        /// Which id space overflowed (e.g. `"source"`, `"blocking attr"`).
+        what: &'static str,
+        /// The count that no longer fits.
+        count: usize,
+    },
     /// An internal invariant of the setup engine was violated — a bug in
     /// UDI itself, not in the caller's input. The payload names the broken
     /// invariant.
@@ -106,6 +117,9 @@ impl std::fmt::Display for UdiError {
                 f,
                 "source {source}: expected one p-mapping per possible schema ({expected}), got {got}"
             ),
+            UdiError::IdSpaceExhausted { what, count } => {
+                write!(f, "{what} id space exhausted at {count} entries")
+            }
             UdiError::Internal(what) => write!(f, "internal invariant violated: {what}"),
         }
     }

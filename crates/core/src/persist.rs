@@ -122,7 +122,7 @@ mod tests {
         ] {
             let mut t = Table::new(name, attrs);
             t.push_raw_row(row).unwrap();
-            catalog.add_source(t);
+            catalog.add_source(t).unwrap();
         }
         UdiSystem::setup(catalog, UdiConfig::default()).unwrap()
     }

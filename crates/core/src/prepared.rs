@@ -162,10 +162,14 @@ impl PlanCache {
         });
         let mut cache = self.lock();
         // Any generation mismatch means every older plan is stale; purge
-        // them all, then bound the live set deterministically.
+        // them all, then bound the live set deterministically. Eviction is
+        // replace-aware: recompiling a key that is already resident swaps
+        // the value in place and must not evict an unrelated live plan.
         cache.retain(|_, v| v.generation == generation);
-        while cache.len() >= PLAN_CACHE_CAP {
-            cache.pop_first();
+        if !cache.contains_key(&key) {
+            while cache.len() >= PLAN_CACHE_CAP {
+                cache.pop_first();
+            }
         }
         cache.insert(key, prepared.clone());
         prepared
@@ -174,6 +178,17 @@ impl PlanCache {
     /// Cached plans (any generation) — for diagnostics and tests.
     pub(crate) fn len(&self) -> usize {
         self.lock().len()
+    }
+}
+
+impl Clone for PlanCache {
+    /// Snapshot clone: the plans themselves are shared (`Arc`), only the
+    /// map is copied. Used by the serve layer's clone-on-refresh path so a
+    /// new system snapshot starts with the old snapshot's warm cache.
+    fn clone(&self) -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(self.lock().clone()),
+        }
     }
 }
 
@@ -206,7 +221,18 @@ where
 
     let run_one = |(sid, table): (SourceId, &Table)| -> (SourceId, Vec<AnswerTuple>, u64) {
         let idx = sid.0 as usize;
-        let bindings = plan.per_source[idx].as_slice();
+        // A plan/catalog shape mismatch (a plan compiled for fewer sources
+        // than the catalog now holds) must not panic a worker thread and
+        // take the whole request down. Degrade that source to an empty
+        // binding set — it contributes no answers — and count the event so
+        // the mismatch is visible in traces.
+        let bindings = match plan.per_source.get(idx) {
+            Some(b) => b.as_slice(),
+            None => {
+                recorder.count("query.plan.shape_mismatch", 1);
+                &[]
+            }
+        };
         if trace {
             let mut span = recorder.span_with_parent("query.source", parent);
             span.field("source", idx);
@@ -260,4 +286,71 @@ where
         set.add_source(sid, tuples);
     }
     (set, scanned, produced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+
+    fn empty_plan() -> Option<QueryPlan> {
+        Some(QueryPlan {
+            per_source: Vec::new(),
+        })
+    }
+
+    fn fill(cache: &PlanCache, n: usize, rec: &udi_obs::Recorder) {
+        for i in 0..n {
+            cache.get_or_compile(
+                PlanPath::Consolidated,
+                &format!("q{i:04}"),
+                1,
+                rec,
+                empty_plan,
+            );
+        }
+    }
+
+    #[test]
+    fn recompiling_a_resident_key_at_cap_evicts_nothing() {
+        let rec = udi_obs::Recorder::disabled();
+        let cache = PlanCache::new();
+        fill(&cache, PLAN_CACHE_CAP - 1, &rec);
+        // Two concurrent compiles of the same absent key: the barrier
+        // inside `compile` guarantees both pass the miss check before
+        // either inserts, so the second insert runs with the key already
+        // resident and the cache at cap — exactly the shape where the old
+        // eviction popped an unrelated live plan on every recompile.
+        let barrier = Barrier::new(2);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    cache.get_or_compile(PlanPath::Consolidated, "race", 1, &rec, || {
+                        barrier.wait();
+                        empty_plan()
+                    });
+                });
+            }
+        });
+        assert_eq!(cache.len(), PLAN_CACHE_CAP);
+        let held = cache.lock();
+        assert!(
+            held.contains_key(&(PlanPath::Consolidated, "q0000".to_owned())),
+            "replacing a resident key must not evict an unrelated live plan"
+        );
+        assert!(held.contains_key(&(PlanPath::Consolidated, "race".to_owned())));
+    }
+
+    #[test]
+    fn fresh_key_at_cap_evicts_exactly_one() {
+        let rec = udi_obs::Recorder::disabled();
+        let cache = PlanCache::new();
+        fill(&cache, PLAN_CACHE_CAP, &rec);
+        assert_eq!(cache.len(), PLAN_CACHE_CAP);
+        cache.get_or_compile(PlanPath::Consolidated, "zz-new", 1, &rec, empty_plan);
+        assert_eq!(cache.len(), PLAN_CACHE_CAP);
+        let held = cache.lock();
+        assert!(!held.contains_key(&(PlanPath::Consolidated, "q0000".to_owned())));
+        assert!(held.contains_key(&(PlanPath::Consolidated, "zz-new".to_owned())));
+    }
 }

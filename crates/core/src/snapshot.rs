@@ -1,0 +1,126 @@
+//! Atomic snapshot publication for serving layers.
+//!
+//! A query server wants two properties the bare [`UdiSystem`] cannot give
+//! it at once: readers must never block on a refresh (setup can take
+//! seconds at scale), and every reader must see a *consistent* system —
+//! never a catalog from one generation with p-mappings from another.
+//!
+//! [`SystemHandle`] provides both with the clone-mutate-publish pattern:
+//! the current system lives behind an `Arc` in a slot; readers
+//! [`load`](SystemHandle::load) the `Arc` (one brief lock to clone the
+//! pointer, never held across any query work) and keep answering against
+//! that immutable snapshot for as long as they like. A writer clones the
+//! snapshot, mutates the clone off to the side — the expensive part,
+//! running with **no** lock held — and [`publish`](SystemHandle::publish)es
+//! it by swapping the slot pointer. In-flight readers keep their old
+//! snapshot until they drop it; new loads see the new one. A snapshot is
+//! freed when the last reader drops it.
+//!
+//! The workspace forbids `unsafe`, so the slot is a `Mutex<Arc<_>>` rather
+//! than an atomic pointer; the critical section is a pointer clone or a
+//! pointer store, a few nanoseconds, so the mutex is never a contention
+//! point in practice.
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::system::UdiSystem;
+
+/// A shared, atomically swappable handle to the current [`UdiSystem`]
+/// snapshot. Cheap to clone; all clones observe the same slot.
+#[derive(Debug, Clone)]
+pub struct SystemHandle {
+    slot: Arc<Mutex<Arc<UdiSystem>>>,
+}
+
+impl SystemHandle {
+    /// Wrap `system` as the initial snapshot.
+    pub fn new(system: UdiSystem) -> SystemHandle {
+        SystemHandle {
+            slot: Arc::new(Mutex::new(Arc::new(system))),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Arc<UdiSystem>> {
+        // The slot holds a plain pointer; a poisoned lock means a holder
+        // panicked between load and store of an always-valid Arc, so the
+        // value is intact — recover instead of propagating the poison.
+        self.slot.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The current snapshot. The internal lock is held only for the
+    /// pointer clone; the returned `Arc` is the caller's to keep — answer
+    /// any number of queries against it without ever touching the slot
+    /// again.
+    pub fn load(&self) -> Arc<UdiSystem> {
+        self.lock().clone()
+    }
+
+    /// Atomically replace the current snapshot with `next`, returning the
+    /// published snapshot's engine generation. In-flight readers keep
+    /// serving the snapshot they loaded; only subsequent
+    /// [`load`](SystemHandle::load)s observe `next`.
+    pub fn publish(&self, next: UdiSystem) -> u64 {
+        let generation = next.engine().generation();
+        *self.lock() = Arc::new(next);
+        generation
+    }
+
+    /// Engine generation of the currently published snapshot.
+    pub fn generation(&self) -> u64 {
+        self.lock().engine().generation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::UdiConfig;
+    use udi_store::{Catalog, Table};
+
+    fn system() -> UdiSystem {
+        let mut catalog = Catalog::new();
+        for (name, attrs, row) in [
+            ("s1", vec!["name", "phone"], vec!["Alice", "123"]),
+            ("s2", vec!["name", "phone-no"], vec!["Bob", "456"]),
+            ("s3", vec!["name", "phone"], vec!["Carol", "789"]),
+        ] {
+            let mut t = Table::new(name, attrs);
+            t.push_raw_row(row).unwrap();
+            catalog.add_source(t).unwrap();
+        }
+        UdiSystem::setup(catalog, UdiConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn load_and_publish_swap_generations() {
+        let handle = SystemHandle::new(system());
+        let g0 = handle.generation();
+        let held = handle.load();
+
+        // Build the successor off to the side from a clone.
+        let mut next = (*handle.load()).clone();
+        let mut t = Table::new("s4", ["name", "phone"]);
+        t.push_raw_row(["Dave", "000"]).unwrap();
+        next.add_source(t).unwrap();
+        let g1 = handle.publish(next);
+
+        assert!(g1 > g0, "mutations move the generation");
+        assert_eq!(handle.generation(), g1);
+        // The pre-publish reader still holds the old, consistent snapshot.
+        assert_eq!(held.engine().generation(), g0);
+        assert_eq!(held.catalog().source_count(), 3);
+        assert_eq!(handle.load().catalog().source_count(), 4);
+    }
+
+    #[test]
+    fn clones_share_the_slot() {
+        let handle = SystemHandle::new(system());
+        let other = handle.clone();
+        let mut next = (*handle.load()).clone();
+        let mut t = Table::new("s4", ["name", "phone"]);
+        t.push_raw_row(["Dave", "000"]).unwrap();
+        next.add_source(t).unwrap();
+        handle.publish(next);
+        assert_eq!(other.load().catalog().source_count(), 4);
+    }
+}

@@ -22,7 +22,13 @@ use crate::UdiError;
 /// A fully configured data integration system: sources, probabilistic
 /// mediated schema, p-mappings, and the consolidated schema exposed to
 /// users.
-#[derive(Debug)]
+///
+/// `Clone` copies the engine's artifacts and snapshots the plan cache (the
+/// plans themselves are shared `Arc`s); telemetry sinks stay shared — see
+/// [`SetupEngine`]'s `Clone` notes. This is what makes the serve layer's
+/// clone-mutate-publish refresh cheap: the clone starts with every warm
+/// cache the original had.
+#[derive(Debug, Clone)]
 pub struct UdiSystem {
     engine: SetupEngine,
     /// Prepared-query plans, keyed by `(path, query text)` and validated
@@ -157,7 +163,7 @@ impl UdiSystem {
         table: Table,
         measure: &(dyn Similarity + Sync),
     ) -> Result<(), UdiError> {
-        self.engine.add_source(table);
+        self.engine.add_source(table)?;
         self.engine.refresh(measure)
     }
 
@@ -321,7 +327,7 @@ mod tests {
             let mut t = Table::new(*name, attrs.iter().copied());
             let row: Vec<String> = attrs.iter().map(|a| format!("{a}-val")).collect();
             t.push_raw_row(row).unwrap();
-            c.add_source(t);
+            c.add_source(t).unwrap();
         }
         c
     }
@@ -403,7 +409,7 @@ mod tests {
         let mut catalog = people_catalog();
         let mut t = Table::new("s5", ["name", "phone", "zip"]);
         t.push_raw_row(["n", "p", "z"]).unwrap();
-        catalog.add_source(t.clone());
+        catalog.add_source(t.clone()).unwrap();
 
         let batch = UdiSystem::setup(catalog, UdiConfig::default()).unwrap();
 

@@ -187,7 +187,12 @@ pub fn generate_with_concepts(
             // udi-audit: allow(panic-reachability, "row is built by mapping the table's own attrs, so the arity always matches")
             table.push_row(row).expect("arity by construction");
         }
-        catalog.add_source(table);
+        // Generated corpora are bounded far below the u32 id space; if
+        // registration is ever refused the loop stops emitting instead of
+        // desynchronizing the catalog from the per-source ground truth.
+        if catalog.add_source(table).is_err() {
+            break;
+        }
         per_source_truth.push(
             attrs
                 .into_iter()

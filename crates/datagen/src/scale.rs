@@ -14,7 +14,7 @@
 //!    a private two-letter alphabet, so labels of *different* concepts
 //!    share no character bigram — not even the space-adjacent ones
 //!    (`"a "` contains the letter). Cross-concept pairs are therefore
-//!    provably prunable by [`udi_similarity::BlockIndex`], mirroring real
+//!    provably prunable by `udi_similarity::BlockIndex`, mirroring real
 //!    corpora where concept names come from different lexical fields. The
 //!    labels look alien (`"abaab babba"`), but this is a *scale* stress
 //!    corpus: setup only ever sees the statistics, never the semantics.
@@ -253,7 +253,11 @@ pub fn scale_corpus(cfg: &ScaleConfig) -> impl Iterator<Item = Table> + '_ {
 pub fn scale_catalog(cfg: &ScaleConfig) -> Catalog {
     let mut catalog = Catalog::with_shard_capacity(cfg.shard_capacity);
     for table in scale_corpus(cfg) {
-        catalog.add_source(table);
+        // `n_sources` is a usize config but ids are u32; stop streaming at
+        // the id-space boundary rather than truncate ids.
+        if catalog.add_source(table).is_err() {
+            break;
+        }
     }
     catalog
 }

@@ -68,6 +68,20 @@ fn recover<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
     r.unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+impl Clone for SolveCache {
+    /// Deep-copies the memo table (entries are plain data) and carries the
+    /// hit/miss tallies and recorder over, so a cloned engine snapshot
+    /// starts warm. Used by the serve layer's clone-on-refresh path.
+    fn clone(&self) -> SolveCache {
+        SolveCache {
+            map: Mutex::new(recover(self.map.lock()).clone()),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+            recorder: self.recorder.clone(),
+        }
+    }
+}
+
 impl SolveCache {
     /// Empty cache.
     pub fn new() -> SolveCache {

@@ -1,0 +1,387 @@
+//! Multi-tenant server state and request dispatch.
+//!
+//! Each tenant owns one [`SystemHandle`] — an atomically swapped
+//! [`UdiSystem`] snapshot. Readers [`SystemHandle::load`] an `Arc` and answer
+//! against it without ever blocking on a refresh; mutations serialize on the
+//! tenant's `mutate` lock, clone the current snapshot, apply the change
+//! off to the side (the expensive part — re-running setup — happens while
+//! readers keep using the old snapshot), and publish the successor
+//! atomically. A reader therefore always sees a complete generation, old or
+//! new, never a torn one.
+//!
+//! [`handle`] is the dispatcher: it opens a `serve.request` span whose id is
+//! the per-request trace id, and [`execute_answer`] parents the library's
+//! `query.answer` span (and, through it, the per-source `query.source`
+//! spans) onto that id — one request, one connected trace tree.
+//! [`execute_answer`] is also the crate's certified-deterministic entry
+//! point (`audit.toml [determinism]`): everything reachable from it sticks
+//! to order-stable containers and injected clocks.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use udi_core::{Feedback, SystemHandle, UdiSystem};
+use udi_obs::{CounterSink, Recorder};
+
+use crate::json::Json;
+use crate::proto::{error_response, ok_response, render_answers, AnswerPath, Op, Request};
+
+/// One tenant: a snapshot slot plus a mutation lock.
+///
+/// The `mutate` lock serializes writers only. Readers go straight to
+/// [`SystemHandle::load`] and never touch it.
+#[derive(Debug)]
+pub struct Tenant {
+    handle: SystemHandle,
+    mutate: Mutex<()>,
+}
+
+impl Tenant {
+    fn new(system: UdiSystem) -> Tenant {
+        Tenant {
+            handle: SystemHandle::new(system),
+            mutate: Mutex::new(()),
+        }
+    }
+
+    /// The tenant's snapshot slot.
+    pub fn handle(&self) -> &SystemHandle {
+        &self.handle
+    }
+
+    /// Clone-mutate-publish: run `apply` on a private clone of the current
+    /// snapshot, then publish the result. Returns the published generation.
+    /// Readers keep answering on the old snapshot throughout.
+    pub fn mutate<E>(&self, apply: impl FnOnce(&mut UdiSystem) -> Result<(), E>) -> Result<u64, E> {
+        let _guard = self.mutate.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut next = (*self.handle.load()).clone();
+        apply(&mut next)?;
+        Ok(self.handle.publish(next))
+    }
+}
+
+/// Shared server state: the tenant map plus the serving-layer recorder.
+#[derive(Debug, Clone)]
+pub struct ServeState {
+    tenants: Arc<Mutex<BTreeMap<String, Arc<Tenant>>>>,
+    counters: Arc<CounterSink>,
+    recorder: Recorder,
+}
+
+impl Default for ServeState {
+    fn default() -> ServeState {
+        ServeState::new()
+    }
+}
+
+impl ServeState {
+    /// Fresh state with a counter-backed recorder.
+    pub fn new() -> ServeState {
+        let counters = Arc::new(CounterSink::new());
+        let recorder = Recorder::new(counters.clone());
+        ServeState {
+            tenants: Arc::new(Mutex::new(BTreeMap::new())),
+            counters,
+            recorder,
+        }
+    }
+
+    /// Registers (or replaces) a tenant serving `system`.
+    pub fn register_tenant(&self, name: impl Into<String>, system: UdiSystem) {
+        let tenant = Arc::new(Tenant::new(system));
+        self.tenants
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name.into(), tenant);
+    }
+
+    /// Looks up a tenant by name.
+    pub fn tenant(&self, name: &str) -> Option<Arc<Tenant>> {
+        self.tenants
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .cloned()
+    }
+
+    /// The serving-layer counters (`serve.requests`, `serve.shed`, ...).
+    pub fn counters(&self) -> &Arc<CounterSink> {
+        &self.counters
+    }
+
+    /// The serving-layer recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+}
+
+/// Dispatches one parsed request against the state, returning the response
+/// value. Opens the `serve.request` span whose id is the request's trace id.
+pub fn handle(state: &ServeState, req: &Request) -> Json {
+    let mut span = state.recorder.span("serve.request");
+    span.field("op", req.op.name());
+    span.field("tenant", req.tenant.clone());
+    state.recorder.count("serve.requests", 1);
+    let trace = span.id();
+
+    let Some(tenant) = state.tenant(&req.tenant) else {
+        state.recorder.count("serve.unknown_tenant", 1);
+        return error_response(req.id, &format!("unknown tenant `{}`", req.tenant));
+    };
+
+    match req.op {
+        Op::Prepare => {
+            let Some(query) = req.query.as_deref() else {
+                return error_response(req.id, "missing query");
+            };
+            let sys = tenant.handle.load();
+            match udi_query::parse_query(query) {
+                Ok(q) => {
+                    sys.prepare(&q);
+                    let mut extra = BTreeMap::new();
+                    extra.insert(
+                        "plan_cache_len".to_owned(),
+                        Json::Int(i64::try_from(sys.plan_cache_len()).unwrap_or(i64::MAX)),
+                    );
+                    ok_response(req.id, sys.engine().generation(), extra)
+                }
+                Err(e) => error_response(req.id, &e.to_string()),
+            }
+        }
+        Op::Answer => {
+            let Some(query) = req.query.as_deref() else {
+                return error_response(req.id, "missing query");
+            };
+            let sys = tenant.handle.load();
+            match execute_answer(&sys, req.path, query, trace) {
+                Ok(answers) => {
+                    let mut extra = BTreeMap::new();
+                    extra.insert("answers".to_owned(), answers);
+                    extra.insert("path".to_owned(), Json::Str(req.path.name().to_owned()));
+                    ok_response(req.id, sys.engine().generation(), extra)
+                }
+                Err(e) => error_response(req.id, &e.to_string()),
+            }
+        }
+        Op::AddSource => {
+            let Some(table) = req.table.clone() else {
+                return error_response(req.id, "missing table");
+            };
+            match tenant.mutate(|sys| sys.add_source(table)) {
+                Ok(generation) => {
+                    state.recorder.count("serve.refresh", 1);
+                    ok_response(req.id, generation, BTreeMap::new())
+                }
+                Err(e) => error_response(req.id, &e.to_string()),
+            }
+        }
+        Op::ApplyFeedback => {
+            let mut fb = Feedback::new();
+            for (a, b) in &req.same {
+                fb.confirm_same(a, b);
+            }
+            for (a, b) in &req.different {
+                fb.confirm_different(a, b);
+            }
+            match tenant.mutate(|sys| sys.apply_feedback(&fb)) {
+                Ok(generation) => {
+                    state.recorder.count("serve.refresh", 1);
+                    ok_response(req.id, generation, BTreeMap::new())
+                }
+                Err(e) => error_response(req.id, &e.to_string()),
+            }
+        }
+        Op::Stats => {
+            let sys = tenant.handle.load();
+            let counters = state
+                .counters
+                .snapshot()
+                .into_iter()
+                .map(|(name, v)| {
+                    (
+                        name.to_owned(),
+                        Json::Int(i64::try_from(v).unwrap_or(i64::MAX)),
+                    )
+                })
+                .collect();
+            let mut t = BTreeMap::new();
+            t.insert(
+                "sources".to_owned(),
+                Json::Int(i64::try_from(sys.catalog().source_count()).unwrap_or(i64::MAX)),
+            );
+            t.insert(
+                "plan_cache_len".to_owned(),
+                Json::Int(i64::try_from(sys.plan_cache_len()).unwrap_or(i64::MAX)),
+            );
+            let mut extra = BTreeMap::new();
+            extra.insert("counters".to_owned(), Json::Obj(counters));
+            extra.insert("tenant".to_owned(), Json::Obj(t));
+            ok_response(req.id, sys.engine().generation(), extra)
+        }
+    }
+}
+
+/// Parses and executes `query` on `path` against one snapshot, rendering
+/// the wire `answers` array. The `parent` span id parents the library's
+/// `query.answer` span so per-source work joins the request's trace.
+///
+/// This is the crate's certified-deterministic entry point: given the same
+/// snapshot and query text it renders the same bytes, on any path.
+pub fn execute_answer(
+    sys: &UdiSystem,
+    path: AnswerPath,
+    query: &str,
+    parent: u64,
+) -> Result<Json, udi_query::ParseError> {
+    let set = match path {
+        AnswerPath::Consolidated => {
+            let q = udi_query::parse_query(query)?;
+            sys.answer_traced(&q, parent)
+        }
+        AnswerPath::Pmed => {
+            let q = udi_query::parse_query(query)?;
+            sys.answer_with_pmed_traced(&q, parent)
+        }
+        AnswerPath::TopMapping => {
+            let q = udi_query::parse_query(query)?;
+            sys.answer_top_mapping_traced(&q, parent)
+        }
+        AnswerPath::ByTuple => {
+            let q = udi_query::parse_query(query)?;
+            sys.answer_by_tuple_traced(&q, parent)
+        }
+        AnswerPath::Aggregate => {
+            let q = udi_query::parse_aggregate_query(query)?;
+            sys.answer_aggregate_traced(&q, parent)
+        }
+    };
+    Ok(render_answers(&set))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::parse_request;
+    use udi_core::UdiConfig;
+    use udi_store::{Catalog, Table};
+
+    fn people_system() -> UdiSystem {
+        let mut catalog = Catalog::new();
+        let mut a = Table::new("s1", ["name", "phone"]);
+        a.push_raw_row(["Alice", "123"]).unwrap();
+        a.push_raw_row(["Bob", "456"]).unwrap();
+        catalog.add_source(a).unwrap();
+        let mut b = Table::new("s2", ["full_name", "tel"]);
+        b.push_raw_row(["Alice", "999"]).unwrap();
+        catalog.add_source(b).unwrap();
+        UdiSystem::setup(catalog, UdiConfig::default()).unwrap()
+    }
+
+    fn state_with_tenant() -> ServeState {
+        let state = ServeState::new();
+        state.register_tenant("t0", people_system());
+        state
+    }
+
+    #[test]
+    fn answer_matches_library_bytes_on_every_path() {
+        let state = state_with_tenant();
+        let tenant = state.tenant("t0").unwrap();
+        let sys = tenant.handle().load();
+        for path in AnswerPath::ALL {
+            let query = if path == AnswerPath::Aggregate {
+                "SELECT COUNT(name) FROM people"
+            } else {
+                "SELECT name FROM people WHERE name = 'Alice'"
+            };
+            let req = parse_request(&format!(
+                r#"{{"op":"answer","tenant":"t0","path":"{}","query":"{}"}}"#,
+                path.name(),
+                query
+            ))
+            .unwrap();
+            let via_server = handle(&state, &req);
+            let via_library = execute_answer(&sys, path, query, 0).unwrap();
+            assert_eq!(
+                via_server.get("answers").map(Json::render),
+                Some(via_library.render()),
+                "path {}",
+                path.name()
+            );
+            assert_eq!(via_server.get("ok"), Some(&Json::Bool(true)));
+        }
+    }
+
+    #[test]
+    fn unknown_tenant_is_an_error_response() {
+        let state = state_with_tenant();
+        let req = parse_request(r#"{"op":"stats","tenant":"ghost"}"#).unwrap();
+        let resp = handle(&state, &req);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(state.counters().get("serve.unknown_tenant"), 1);
+    }
+
+    #[test]
+    fn add_source_publishes_a_new_generation_without_touching_readers() {
+        let state = state_with_tenant();
+        let tenant = state.tenant("t0").unwrap();
+        let before = tenant.handle().load();
+        let req = parse_request(
+            r#"{"op":"add_source","tenant":"t0","table":{"name":"s3","attrs":["person","cell"],"rows":[["Eve","777"]]}}"#,
+        )
+        .unwrap();
+        let resp = handle(&state, &req);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        // The held reader still sees the old snapshot...
+        assert_eq!(before.catalog().source_count(), 2);
+        // ...while fresh loads see the published successor.
+        assert_eq!(tenant.handle().load().catalog().source_count(), 3);
+    }
+
+    #[test]
+    fn apply_feedback_merges_judgments() {
+        let state = state_with_tenant();
+        let req =
+            parse_request(r#"{"op":"apply_feedback","tenant":"t0","same":[["name","full_name"]]}"#)
+                .unwrap();
+        let resp = handle(&state, &req);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        let tenant = state.tenant("t0").unwrap();
+        assert_eq!(
+            tenant
+                .handle()
+                .load()
+                .feedback()
+                .judgment("name", "full_name"),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn stats_reports_counters_and_tenant_facts() {
+        let state = state_with_tenant();
+        let answer =
+            parse_request(r#"{"op":"answer","tenant":"t0","query":"SELECT name FROM people"}"#)
+                .unwrap();
+        handle(&state, &answer);
+        let req = parse_request(r#"{"op":"stats","tenant":"t0","id":1}"#).unwrap();
+        let resp = handle(&state, &req);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(resp.get("id"), Some(&Json::Int(1)));
+        let counters = resp.get("counters").unwrap();
+        assert_eq!(counters.get("serve.requests"), Some(&Json::Int(2)));
+        let t = resp.get("tenant").unwrap();
+        assert_eq!(t.get("sources"), Some(&Json::Int(2)));
+    }
+
+    #[test]
+    fn prepare_populates_the_plan_cache() {
+        let state = state_with_tenant();
+        let req =
+            parse_request(r#"{"op":"prepare","tenant":"t0","query":"SELECT name FROM people"}"#)
+                .unwrap();
+        let resp = handle(&state, &req);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(resp.get("plan_cache_len"), Some(&Json::Int(1)));
+    }
+}

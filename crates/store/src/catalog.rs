@@ -64,7 +64,12 @@ impl From<CatalogRepr> for Catalog {
         } = repr;
         let mut c = Catalog::new();
         for t in sources {
-            c.add_source(t);
+            // A serialized catalog's sources were all registered once, so
+            // their count fits in the id space; `From` cannot fail, so an
+            // (unreachable) overflow truncates the rehydrated catalog.
+            if c.add_source(t).is_err() {
+                break;
+            }
         }
         c
     }
@@ -126,11 +131,19 @@ impl Catalog {
     }
 
     /// Register a source table, returning its id.
-    pub fn add_source(&mut self, table: Table) -> SourceId {
+    ///
+    /// Ids are positional `u32`s; once the catalog holds `u32::MAX` sources
+    /// the next id cannot be represented, and registration is refused with
+    /// [`StoreError::SourceIdOverflow`] *before* any state is touched (the
+    /// catalog is unchanged on error).
+    pub fn add_source(&mut self, table: Table) -> Result<SourceId, StoreError> {
+        let count = self.source_count();
+        let id = u32::try_from(count)
+            .map(SourceId)
+            .map_err(|_| StoreError::SourceIdOverflow(count))?;
         for a in table.attributes() {
             *self.attr_source_counts.entry(a.clone()).or_insert(0) += 1;
         }
-        let id = SourceId(self.source_count() as u32);
         let needs_new = self
             .shards
             .last()
@@ -140,7 +153,7 @@ impl Catalog {
         }
         let last = self.shards.len() - 1;
         self.shards[last].push(table);
-        id
+        Ok(id)
     }
 
     /// Remove the source named `name`, returning the dropped table.
@@ -284,10 +297,11 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.add_source(Table::new("s0", ["name", "phone"]));
-        c.add_source(Table::new("s1", ["name", "address"]));
-        c.add_source(Table::new("s2", ["name", "phone", "email"]));
-        c.add_source(Table::new("s3", ["title"]));
+        c.add_source(Table::new("s0", ["name", "phone"])).unwrap();
+        c.add_source(Table::new("s1", ["name", "address"])).unwrap();
+        c.add_source(Table::new("s2", ["name", "phone", "email"]))
+            .unwrap();
+        c.add_source(Table::new("s3", ["title"])).unwrap();
         c
     }
 
@@ -374,7 +388,7 @@ mod tests {
     fn sharding_splits_sources_into_contiguous_ranges() {
         let mut c = Catalog::with_shard_capacity(2);
         for i in 0..5 {
-            c.add_source(Table::new(format!("s{i}"), ["name"]));
+            c.add_source(Table::new(format!("s{i}"), ["name"])).unwrap();
         }
         assert_eq!(c.shard_count(), 3);
         assert_eq!(c.shard_ranges(), vec![0..2, 2..4, 4..5]);
@@ -391,9 +405,9 @@ mod tests {
     #[test]
     fn per_shard_counts_slice_the_global_stat() {
         let mut c = Catalog::with_shard_capacity(2);
-        c.add_source(Table::new("a", ["name", "phone"]));
-        c.add_source(Table::new("b", ["name"]));
-        c.add_source(Table::new("c", ["phone"]));
+        c.add_source(Table::new("a", ["name", "phone"])).unwrap();
+        c.add_source(Table::new("b", ["name"])).unwrap();
+        c.add_source(Table::new("c", ["phone"])).unwrap();
         let per_shard: usize = c.shards().iter().map(|s| s.attribute_count("phone")).sum();
         assert_eq!(per_shard, 2);
         assert_eq!(c.shard(0).unwrap().attribute_count("name"), 2);
@@ -403,9 +417,9 @@ mod tests {
     #[test]
     fn removal_drops_emptied_shards() {
         let mut c = Catalog::with_shard_capacity(1);
-        c.add_source(Table::new("a", ["x"]));
-        c.add_source(Table::new("b", ["y"]));
-        c.add_source(Table::new("c", ["z"]));
+        c.add_source(Table::new("a", ["x"])).unwrap();
+        c.add_source(Table::new("b", ["y"])).unwrap();
+        c.add_source(Table::new("c", ["z"])).unwrap();
         assert_eq!(c.shard_count(), 3);
         c.remove_source("b").unwrap();
         assert_eq!(c.shard_count(), 2);
@@ -414,16 +428,16 @@ mod tests {
         assert_eq!(c.source(SourceId(1)).unwrap().name(), "c");
         // A later add reuses the tail shard only if it has room (capacity 1
         // here, so a fresh shard opens).
-        c.add_source(Table::new("d", ["w"]));
+        c.add_source(Table::new("d", ["w"])).unwrap();
         assert_eq!(c.shard_count(), 3);
     }
 
     #[test]
     fn serde_repr_is_flat_and_round_trips() {
         let mut c = Catalog::with_shard_capacity(2);
-        c.add_source(Table::new("a", ["name"]));
-        c.add_source(Table::new("b", ["name", "phone"]));
-        c.add_source(Table::new("c", ["title"]));
+        c.add_source(Table::new("a", ["name"])).unwrap();
+        c.add_source(Table::new("b", ["name", "phone"])).unwrap();
+        c.add_source(Table::new("c", ["title"])).unwrap();
         let repr = CatalogRepr::from(c.clone());
         assert_eq!(repr.sources.len(), 3);
         assert_eq!(repr.sources[2].name(), "c");

@@ -136,10 +136,10 @@ mod tests {
         let mut t0 = Table::new("s0", ["name", "phone"]);
         t0.push_raw_row(["Alice Smith", "123-4567"]).unwrap();
         t0.push_raw_row(["Bob Jones", "765-4321"]).unwrap();
-        c.add_source(t0);
+        c.add_source(t0).unwrap();
         let mut t1 = Table::new("s1", ["title", "year"]);
         t1.push_raw_row(["Alice in Wonderland", "1951"]).unwrap();
-        c.add_source(t1);
+        c.add_source(t1).unwrap();
         c
     }
 

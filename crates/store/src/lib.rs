@@ -27,7 +27,7 @@
 //! t.push_row(vec![Value::text("Alice"), Value::text("123-4567")]).unwrap();
 //!
 //! let mut catalog = Catalog::new();
-//! let sid = catalog.add_source(t);
+//! let sid = catalog.add_source(t).unwrap();
 //! assert_eq!(catalog.source(sid).unwrap().row_count(), 1);
 //! assert_eq!(catalog.attribute_frequency("phone"), 1.0);
 //! ```
@@ -76,6 +76,10 @@ pub enum StoreError {
     UnknownSource(u32),
     /// Removal of an unknown source name.
     UnknownSourceName(String),
+    /// The catalog already holds `u32::MAX` sources, so the next positional
+    /// [`SourceId`] would not fit in its `u32` representation. The payload is
+    /// the source count at which registration was refused.
+    SourceIdOverflow(usize),
 }
 
 impl std::fmt::Display for StoreError {
@@ -102,6 +106,10 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::UnknownSource(id) => write!(f, "no source with id {id}"),
             StoreError::UnknownSourceName(name) => write!(f, "no source named `{name}`"),
+            StoreError::SourceIdOverflow(count) => write!(
+                f,
+                "catalog holds {count} sources; the next source id would overflow u32"
+            ),
         }
     }
 }
@@ -132,5 +140,8 @@ mod tests {
             attribute: "a".into(),
         };
         assert!(e.to_string().contains("more than once"));
+        let e = StoreError::SourceIdOverflow(4_294_967_296);
+        assert!(e.to_string().contains("4294967296"));
+        assert!(e.to_string().contains("overflow"));
     }
 }

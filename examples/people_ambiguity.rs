@@ -30,8 +30,8 @@ fn main() {
     .unwrap();
     let mut s2 = Table::new("S2", ["name", "phone", "address"]);
     s2.push_raw_row(["Bob", "555-1234", "789, C Ave."]).unwrap();
-    catalog.add_source(s1);
-    catalog.add_source(s2);
+    catalog.add_source(s1).unwrap();
+    catalog.add_source(s2).unwrap();
 
     // Vocabulary ids follow first appearance: name=0, hPhone=1, hAddr=2,
     // oPhone=3, oAddr=4, phone=5, address=6.

@@ -17,19 +17,19 @@ fn main() {
         .unwrap();
     s1.push_raw_row(["Casablanca", "1942", "Michael Curtiz"])
         .unwrap();
-    catalog.add_source(s1);
+    catalog.add_source(s1).unwrap();
 
     let mut s2 = Table::new("favorites", ["title", "release year", "directed by"]);
     s2.push_raw_row(["Vertigo", "1958", "Alfred Hitchcock"])
         .unwrap();
     s2.push_raw_row(["Casablanca", "1942", "Michael Curtiz"])
         .unwrap();
-    catalog.add_source(s2);
+    catalog.add_source(s2).unwrap();
 
     let mut s3 = Table::new("recent", ["title", "year", "director"]);
     s3.push_raw_row(["Ratatouille", "2007", "Brad Bird"])
         .unwrap();
-    catalog.add_source(s3);
+    catalog.add_source(s3).unwrap();
 
     // Completely automatic setup: probabilistic mediated schema,
     // max-entropy p-mappings, consolidation. No human input.

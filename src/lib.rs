@@ -15,5 +15,6 @@ pub use udi_maxent as maxent;
 pub use udi_obs as obs;
 pub use udi_query as query;
 pub use udi_schema as schema;
+pub use udi_serve as serve;
 pub use udi_similarity as similarity;
 pub use udi_store as store;

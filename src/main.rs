@@ -112,7 +112,7 @@ fn cmd_csv(args: &[String]) -> Result<(), AnyError> {
             table.row_count(),
             table.arity()
         );
-        catalog.add_source(table);
+        catalog.add_source(table).unwrap();
     }
     configure_and_shell(catalog)
 }

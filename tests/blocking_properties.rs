@@ -183,7 +183,7 @@ fn custom_measures_are_scored_exhaustively() {
     {
         let mut t = Table::new(format!("s{i}"), attrs.clone());
         t.push_raw_row(attrs.iter().map(|_| "v")).unwrap();
-        catalog.add_source(t);
+        catalog.add_source(t).unwrap();
     }
     // "year" and "tel" share no bigram; only the human says they match.
     let mut feedback = Feedback::new();
@@ -242,7 +242,7 @@ proptest! {
         for (i, attrs) in sources.iter().enumerate() {
             let mut t = Table::new(format!("s{i}"), attrs.clone());
             t.push_raw_row(attrs.iter().map(|_| "v")).unwrap();
-            catalog.add_source(t);
+            catalog.add_source(t).unwrap();
         }
         let blocking_on = UdiSystem::setup(catalog.clone(), UdiConfig::default());
         let (blocked, exhaustive) = match blocking_on {

@@ -30,7 +30,9 @@ const SOURCES: &[(&str, &str)] = &[
 fn catalog_from_csv() -> Catalog {
     let mut catalog = Catalog::new();
     for (name, text) in SOURCES {
-        catalog.add_source(Table::from_csv(*name, text).expect("valid csv"));
+        catalog
+            .add_source(Table::from_csv(*name, text).expect("valid csv"))
+            .unwrap();
     }
     catalog
 }

@@ -28,7 +28,7 @@ fn catalog_from(sources: &[Vec<&'static str>]) -> Catalog {
         let mut t = Table::new(format!("s{i}"), attrs.clone());
         let row: Vec<String> = attrs.iter().map(|a| format!("{a}-v{i}")).collect();
         t.push_raw_row(row).unwrap();
-        catalog.add_source(t);
+        catalog.add_source(t).unwrap();
     }
     catalog
 }

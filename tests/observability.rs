@@ -70,7 +70,7 @@ fn incremental_refresh_trace_has_10x_fewer_row_builds() {
     let tables: Vec<_> = catalog.iter_sources().map(|(_, t)| t.clone()).collect();
     let mut head = Catalog::new();
     for t in &tables[..n - 1] {
-        head.add_source(t.clone());
+        head.add_source(t.clone()).unwrap();
     }
     let mut incremental = UdiSystem::setup(head, UdiConfig::default()).expect("setup of N-1");
     let incr_sink = Arc::new(MemorySink::new());

@@ -101,7 +101,7 @@ fn mutations_invalidate_cached_plans() {
     // A batch system over the extended catalog is the ground truth; a
     // stale plan (compiled for one source fewer) could not reproduce it.
     let mut catalog = gen.catalog.clone();
-    catalog.add_source(extra);
+    catalog.add_source(extra).unwrap();
     let batch = UdiSystem::setup(catalog, UdiConfig::default()).expect("setup");
     for q in &queries {
         assert_eq!(bits(&incr.answer(q)), bits(&batch.answer(q)), "{q}");

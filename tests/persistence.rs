@@ -31,7 +31,7 @@ proptest! {
                     attrs.iter().map(|_| format!("v{}", rng.gen_range(0..6))).collect();
                 t.push_raw_row(row).unwrap();
             }
-            catalog.add_source(t);
+            catalog.add_source(t).unwrap();
         }
         let original = match UdiSystem::setup(catalog, UdiConfig::default()) {
             Ok(u) => u,

@@ -67,7 +67,7 @@ proptest! {
                     attrs.iter().map(|_| format!("v{}", rng.gen_range(0..5))).collect();
                 t.push_raw_row(row).unwrap();
             }
-            catalog.add_source(t);
+            catalog.add_source(t).unwrap();
         }
         let udi = match udi::core::UdiSystem::setup(catalog, Default::default()) {
             Ok(u) => u,
@@ -111,7 +111,7 @@ proptest! {
         for (i, attrs) in sources.iter().enumerate() {
             let mut t = Table::new(format!("s{i}"), attrs.clone());
             t.push_raw_row(attrs.iter().map(|_| "v")).unwrap();
-            catalog.add_source(t);
+            catalog.add_source(t).unwrap();
         }
         let udi = match udi::core::UdiSystem::setup(catalog, Default::default()) {
             Ok(u) => u,

@@ -21,7 +21,7 @@ fn theorem_3_4_subsumption_construction_preserves_answers() {
     let mut catalog = Catalog::new();
     let mut s = Table::new("S", ["a", "b"]);
     s.push_raw_row(["x1", "x2"]).unwrap();
-    catalog.add_source(s);
+    catalog.add_source(s).unwrap();
     let (a, b) = (AttrId(0), AttrId(1));
     let m1 = MediatedSchema::from_slices(&[&[a], &[b]]);
     let m2 = MediatedSchema::from_slices(&[&[a, b]]);
@@ -66,7 +66,7 @@ fn theorem_3_5_expressive_power_witness() {
     let mut catalog = Catalog::new();
     let mut s = Table::new("S", ["a1", "a2"]);
     s.push_raw_row(["x1", "x2"]).unwrap();
-    catalog.add_source(s);
+    catalog.add_source(s).unwrap();
     let (a1, a2) = (AttrId(0), AttrId(1));
     let m1 = MediatedSchema::from_slices(&[&[a1], &[a2]]);
     let m2 = MediatedSchema::from_slices(&[&[a1, a2]]);
@@ -173,7 +173,7 @@ proptest! {
                     attrs.iter().map(|a| format!("{a}-{r}-{}", rng.gen_range(0..4))).collect();
                 t.push_raw_row(row).unwrap();
             }
-            catalog.add_source(t);
+            catalog.add_source(t).unwrap();
         }
         let udi = match UdiSystem::setup(catalog, Default::default()) {
             Ok(u) => u,
