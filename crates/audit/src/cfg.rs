@@ -142,11 +142,11 @@ impl Cfg {
             return Err("missing entry/exit blocks".to_owned());
         }
         for who in [ENTRY, EXIT] {
-            if self.blocks[who].stmt.is_some() {
+            if self.blocks.get(who).is_some_and(|b| b.stmt.is_some()) {
                 return Err(format!("block {who} must be statement-free"));
             }
         }
-        if !self.blocks[EXIT].succs.is_empty() {
+        if self.blocks.get(EXIT).is_some_and(|b| !b.succs.is_empty()) {
             return Err("exit block must have no successors".to_owned());
         }
         for (b, blk) in self.blocks.iter().enumerate() {

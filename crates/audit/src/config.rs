@@ -20,6 +20,12 @@
 //! entry-points = ["udi-core::SetupEngine::refresh"]
 //! exempt-crates = ["udi-obs"]
 //!
+//! [effects]
+//! exempt-crates = ["udi-obs"]
+//! lock-free = ["udi-serve::execute_answer"]
+//! io-free = ["udi-core::UdiSystem::answer"]
+//! spawn-free = ["udi-core::UdiSystem::answer"]
+//!
 //! [lock-order]
 //! exempt-crates = []
 //!
@@ -71,6 +77,19 @@ pub struct Config {
     pub lock_order_exempt: Vec<String>,
     /// Crates exempt from the error-discard pass.
     pub error_discard_exempt: Vec<String>,
+    /// Crates whose bodies the effect-inference engine treats as
+    /// effect-free (the obs layer's sink registry locks by design).
+    pub effects_exempt: Vec<String>,
+    /// `fn` id-paths that must certify lock-free.
+    pub effects_lock_free: Vec<String>,
+    /// `fn` id-paths that must certify free of blocking I/O.
+    pub effects_io_free: Vec<String>,
+    /// `fn` id-paths that must certify spawn-free.
+    pub effects_spawn_free: Vec<String>,
+    /// `fn` id-paths that must certify channel-free.
+    pub effects_channel_free: Vec<String>,
+    /// `fn` id-paths that must certify free of poisoning panics.
+    pub effects_poison_free: Vec<String>,
     /// Workspace-relative path of the dead-export ratchet file. `None`
     /// disables the dead-export pass.
     pub ratchet: Option<String>,
@@ -89,6 +108,12 @@ impl Default for Config {
             determinism_exempt: vec!["udi-obs".to_owned()],
             lock_order_exempt: Vec::new(),
             error_discard_exempt: Vec::new(),
+            effects_exempt: vec!["udi-obs".to_owned()],
+            effects_lock_free: Vec::new(),
+            effects_io_free: Vec::new(),
+            effects_spawn_free: Vec::new(),
+            effects_channel_free: Vec::new(),
+            effects_poison_free: Vec::new(),
             ratchet: None,
             source: None,
         }
@@ -198,6 +223,23 @@ pub fn parse_config(text: &str, source: &str) -> Result<Config, (u32, String)> {
                 };
                 cfg.error_discard_exempt = a;
             }
+            (
+                "effects",
+                key @ ("exempt-crates" | "lock-free" | "io-free" | "spawn-free" | "channel-free"
+                | "poison-free"),
+            ) => {
+                let Value::Array(a) = value else {
+                    return Err((ln, format!("`{key}` must be an array of fn paths")));
+                };
+                match key {
+                    "exempt-crates" => cfg.effects_exempt = a,
+                    "lock-free" => cfg.effects_lock_free = a,
+                    "io-free" => cfg.effects_io_free = a,
+                    "spawn-free" => cfg.effects_spawn_free = a,
+                    "channel-free" => cfg.effects_channel_free = a,
+                    _ => cfg.effects_poison_free = a,
+                }
+            }
             ("concurrency", "interior-mutable-allowed") => {
                 let Value::Array(a) = value else {
                     return Err((ln, "`interior-mutable-allowed` must be an array".to_owned()));
@@ -292,6 +334,14 @@ interior-mutable-allowed = ["udi-obs"]
 entry-points = ["udi-core::SetupEngine::refresh", "udi-core::UdiSystem::answer"]
 exempt-crates = ["udi-obs", "udi-bench"]
 
+[effects]
+exempt-crates = ["udi-obs", "udi-z"]
+lock-free = ["udi-serve::execute_answer"]
+io-free = ["udi-core::UdiSystem::answer", "udi-serve::execute_answer"]
+spawn-free = ["udi-core::UdiSystem::answer"]
+channel-free = ["udi-serve::execute_answer"]
+poison-free = ["udi-serve::execute_answer"]
+
 [lock-order]
 exempt-crates = ["udi-x"]
 
@@ -316,6 +366,15 @@ ratchet = "audit.ratchet"
         assert_eq!(cfg.determinism_exempt, vec!["udi-obs", "udi-bench"]);
         assert_eq!(cfg.lock_order_exempt, vec!["udi-x"]);
         assert_eq!(cfg.error_discard_exempt, vec!["udi-y"]);
+        assert_eq!(cfg.effects_exempt, vec!["udi-obs", "udi-z"]);
+        assert_eq!(cfg.effects_lock_free, vec!["udi-serve::execute_answer"]);
+        assert_eq!(
+            cfg.effects_io_free,
+            vec!["udi-core::UdiSystem::answer", "udi-serve::execute_answer"]
+        );
+        assert_eq!(cfg.effects_spawn_free, vec!["udi-core::UdiSystem::answer"]);
+        assert_eq!(cfg.effects_channel_free, vec!["udi-serve::execute_answer"]);
+        assert_eq!(cfg.effects_poison_free, vec!["udi-serve::execute_answer"]);
         assert_eq!(cfg.ratchet.as_deref(), Some("audit.ratchet"));
     }
 
@@ -326,6 +385,9 @@ ratchet = "audit.ratchet"
         assert_eq!(cfg.index_sites, IndexMode::Off);
         assert!(cfg.ratchet.is_none());
         assert!(!cfg.reach_crates.is_empty());
+        assert_eq!(cfg.effects_exempt, vec!["udi-obs"]);
+        assert!(cfg.effects_lock_free.is_empty());
+        assert!(cfg.effects_io_free.is_empty());
     }
 
     #[test]

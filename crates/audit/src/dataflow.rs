@@ -36,20 +36,28 @@ impl BitSet {
     /// Set bit `i`; out-of-range bits are ignored (lint-grade tolerance).
     pub fn insert(&mut self, i: usize) {
         if i < self.nbits {
-            self.words[i / 64] |= 1 << (i % 64);
+            if let Some(w) = self.words.get_mut(i / 64) {
+                *w |= 1 << (i % 64);
+            }
         }
     }
 
     /// Clear bit `i`.
     pub fn remove(&mut self, i: usize) {
         if i < self.nbits {
-            self.words[i / 64] &= !(1 << (i % 64));
+            if let Some(w) = self.words.get_mut(i / 64) {
+                *w &= !(1 << (i % 64));
+            }
         }
     }
 
     /// Whether bit `i` is set.
     pub fn contains(&self, i: usize) -> bool {
-        i < self.nbits && self.words[i / 64] & (1 << (i % 64)) != 0
+        i < self.nbits
+            && self
+                .words
+                .get(i / 64)
+                .is_some_and(|w| w & (1 << (i % 64)) != 0)
     }
 
     /// Union `other` into `self`; returns whether anything changed.
@@ -110,7 +118,10 @@ pub fn forward_may(cfg: &Cfg, nbits: usize, gen: &[BitSet], kill: &[BitSet]) -> 
     for _ in 0..max_rounds {
         let mut changed = false;
         for b in 0..n {
-            let mut inp = std::mem::replace(&mut input[b], BitSet::new(0));
+            let Some(slot) = input.get_mut(b) else {
+                continue;
+            };
+            let mut inp = std::mem::replace(slot, BitSet::new(0));
             if b != ENTRY {
                 for &p in preds.get(b).map(Vec::as_slice).unwrap_or(&[]) {
                     if let Some(o) = output.get(p) {
@@ -119,11 +130,15 @@ pub fn forward_may(cfg: &Cfg, nbits: usize, gen: &[BitSet], kill: &[BitSet]) -> 
                 }
             }
             let out = transfer(&inp, b);
-            if out != output[b] {
+            if output.get(b) != Some(&out) {
                 changed = true;
-                output[b] = out;
+                if let Some(o) = output.get_mut(b) {
+                    *o = out;
+                }
             }
-            input[b] = inp;
+            if let Some(slot) = input.get_mut(b) {
+                *slot = inp;
+            }
         }
         if !changed {
             break;

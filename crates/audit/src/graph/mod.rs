@@ -18,6 +18,8 @@
 //! only ever connects functions the workspace defines, so chains in
 //! diagnostics are always fully showable.
 
+pub mod scc;
+
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
 use std::path::Path;
@@ -278,7 +280,9 @@ pub fn build_call_graph(files: &[SourceFile]) -> CallGraph {
     g.calls = vec![Vec::new(); g.fns.len()];
     g.sites = vec![Vec::new(); g.fns.len()];
     for f in 0..g.fns.len() {
-        let node = &g.fns[f];
+        let Some(node) = g.fns.get(f) else {
+            continue;
+        };
         let Some(body) = node.body.clone() else {
             continue;
         };
@@ -300,8 +304,12 @@ pub fn build_call_graph(files: &[SourceFile]) -> CallGraph {
             &methods,
             &type_names,
         );
-        g.calls[f] = calls;
-        g.sites[f] = sites;
+        if let Some(slot) = g.calls.get_mut(f) {
+            *slot = calls;
+        }
+        if let Some(slot) = g.sites.get_mut(f) {
+            *slot = sites;
+        }
     }
     g
 }
@@ -577,8 +585,7 @@ fn scan_body(
 fn workspace_type_of(ts: &[&Token], type_names: &BTreeSet<String>) -> Option<String> {
     let mut i = 0;
     let strip = |ts: &[&Token], mut i: usize| {
-        while i < ts.len() {
-            let t = ts[i];
+        while let Some(&t) = ts.get(i) {
             if matches!(t.text.as_str(), "&" | "&&" | "mut" | "*" | "const" | "dyn")
                 || t.kind == TokenKind::Lifetime
             {
@@ -590,16 +597,20 @@ fn workspace_type_of(ts: &[&Token], type_names: &BTreeSet<String>) -> Option<Str
         i
     };
     i = strip(ts, i);
-    while i + 1 < ts.len()
-        && matches!(ts[i].text.as_str(), "Arc" | "Rc" | "Box")
-        && ts[i + 1].text == "<"
+    while ts
+        .get(i)
+        .is_some_and(|t| matches!(t.text.as_str(), "Arc" | "Rc" | "Box"))
+        && ts.get(i + 1).is_some_and(|t| t.text == "<")
     {
         i = strip(ts, i + 2);
     }
     let mut last = None;
-    while i < ts.len() && matches!(ts[i].kind, TokenKind::Ident | TokenKind::RawIdent) {
-        last = Some(ts[i].text.as_str());
-        if i + 1 < ts.len() && ts[i + 1].text == "::" {
+    while let Some(&t) = ts.get(i) {
+        if !matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent) {
+            break;
+        }
+        last = Some(t.text.as_str());
+        if ts.get(i + 1).is_some_and(|t| t.text == "::") {
             i += 2;
         } else {
             break;
@@ -625,7 +636,9 @@ fn param_types(
     let Some(fn_pos) = ts.iter().position(|t| t.text == "fn") else {
         return out;
     };
-    let Some(open) = ts[fn_pos..]
+    let Some(open) = ts
+        .get(fn_pos..)
+        .unwrap_or(&[])
         .iter()
         .position(|t| t.text == "(")
         .map(|p| fn_pos + p)
@@ -637,8 +650,8 @@ fn param_types(
     let mut angle = 0i64;
     let mut param_start = open + 1;
     let mut k = open;
-    while k < ts.len() {
-        let txt = ts[k].text.as_str();
+    while let Some(cur) = ts.get(k) {
+        let txt = cur.text.as_str();
         match txt {
             "(" | "[" | "{" => depth += 1,
             ")" | "]" | "}" => depth -= 1,
@@ -650,19 +663,22 @@ fn param_types(
         }
         let boundary = (txt == "," && depth == 1 && angle <= 0) || depth == 0;
         if boundary && k > open {
-            let param = &ts[param_start..k];
+            let param = ts.get(param_start..k).unwrap_or(&[]);
             // `name: Type`, skipping `mut` and any `self` receiver form.
             let mut p = 0;
-            while p < param.len() && param[p].text == "mut" {
+            while param.get(p).is_some_and(|t| t.text == "mut") {
                 p += 1;
             }
-            if p + 1 < param.len()
-                && matches!(param[p].kind, TokenKind::Ident | TokenKind::RawIdent)
-                && param[p].text != "self"
-                && param[p + 1].text == ":"
-            {
-                if let Some(ty) = workspace_type_of(&param[p + 2..], type_names) {
-                    out.insert(param[p].text.clone(), ty);
+            if let (Some(name), Some(colon)) = (param.get(p), param.get(p + 1)) {
+                if matches!(name.kind, TokenKind::Ident | TokenKind::RawIdent)
+                    && name.text != "self"
+                    && colon.text == ":"
+                {
+                    if let Some(ty) =
+                        workspace_type_of(param.get(p + 2..).unwrap_or(&[]), type_names)
+                    {
+                        out.insert(name.text.clone(), ty);
+                    }
                 }
             }
             param_start = k + 1;
@@ -687,7 +703,8 @@ fn sig_returns_result(tokens: &[Token], sig: Range<usize>) -> bool {
     let Some(arrow) = ts.iter().position(|t| t.text == "->") else {
         return false;
     };
-    ts[arrow + 1..]
+    ts.get(arrow + 1..)
+        .unwrap_or(&[])
         .iter()
         .take_while(|t| !matches!(t.text.as_str(), "{" | ";" | "where"))
         .any(|t| t.text == "Result")

@@ -1,0 +1,309 @@
+//! Strongly-connected components over small index graphs.
+//!
+//! Shared by the lock-order pass (deadlock cycles over the lock graph)
+//! and the effect-inference engine (condensing the call graph before
+//! the bottom-up fixpoint). The input shape is deliberately minimal —
+//! `n` nodes `0..n` with a `BTreeSet<usize>` adjacency per node — so
+//! every caller gets the same deterministic component order.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Strongly-connected components (Kosaraju, deterministic orders).
+///
+/// Components are returned with members sorted ascending and the
+/// component list itself sorted, so equal graphs always produce equal
+/// output regardless of insertion history.
+pub fn sccs(n: usize, adj: &[BTreeSet<usize>]) -> Vec<Vec<usize>> {
+    let succs = |v: usize| -> Vec<usize> {
+        adj.get(v)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    };
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for start in 0..n {
+        if seen.get(start).copied().unwrap_or(true) {
+            continue;
+        }
+        // Iterative post-order DFS.
+        let mut stack = vec![(start, succs(start), 0usize)];
+        if let Some(s) = seen.get_mut(start) {
+            *s = true;
+        }
+        while let Some((v, nexts, mut i)) = stack.pop() {
+            let mut descended = false;
+            while let Some(&w) = nexts.get(i) {
+                i += 1;
+                if !seen.get(w).copied().unwrap_or(true) {
+                    if let Some(s) = seen.get_mut(w) {
+                        *s = true;
+                    }
+                    stack.push((v, nexts.clone(), i));
+                    stack.push((w, succs(w), 0));
+                    descended = true;
+                    break;
+                }
+            }
+            if !descended {
+                order.push(v);
+            }
+        }
+    }
+    let mut radj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for (v, outs) in adj.iter().enumerate() {
+        for &w in outs {
+            if let Some(back) = radj.get_mut(w) {
+                back.insert(v);
+            }
+        }
+    }
+    let mut comp = vec![usize::MAX; n];
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    for &start in order.iter().rev() {
+        if comp.get(start).copied().unwrap_or(0) != usize::MAX {
+            continue;
+        }
+        let c = comps.len();
+        let mut members = Vec::new();
+        let mut queue = VecDeque::from([start]);
+        if let Some(slot) = comp.get_mut(start) {
+            *slot = c;
+        }
+        while let Some(v) = queue.pop_front() {
+            members.push(v);
+            for &w in radj.get(v).into_iter().flatten() {
+                if comp.get(w) == Some(&usize::MAX) {
+                    if let Some(slot) = comp.get_mut(w) {
+                        *slot = c;
+                    }
+                    queue.push_back(w);
+                }
+            }
+        }
+        members.sort_unstable();
+        comps.push(members);
+    }
+    comps.sort();
+    comps
+}
+
+/// A concrete cycle through the component's smallest node id, closed
+/// (first element repeated at the end).
+pub fn reconstruct_cycle(comp: &[usize], adj: &[BTreeSet<usize>]) -> Option<Vec<usize>> {
+    let inset: BTreeSet<usize> = comp.iter().copied().collect();
+    let m = *comp.first()?;
+    let m_succs = adj.get(m)?;
+    if m_succs.contains(&m) {
+        return Some(vec![m, m]);
+    }
+    // BFS from each successor of m back to m, inside the component.
+    let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for &s in m_succs.iter().filter(|s| inset.contains(s)) {
+        if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(s) {
+            e.insert(m);
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        if v == m {
+            break;
+        }
+        for &w in adj
+            .get(v)
+            .into_iter()
+            .flatten()
+            .filter(|w| inset.contains(w))
+        {
+            if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(w) {
+                e.insert(v);
+                queue.push_back(w);
+            }
+        }
+    }
+    parent.get(&m)?;
+    let mut path = vec![m];
+    let mut cur = m;
+    for _ in 0..=comp.len() {
+        let &p = parent.get(&cur)?;
+        path.push(p);
+        cur = p;
+        if p == m {
+            break;
+        }
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// SCC condensation: component membership per node plus the component
+/// DAG in **reverse topological order** (every listed component appears
+/// after all components it points at).
+///
+/// The effect fixpoint walks `topo` front-to-back so a component's
+/// callees are always solved before the component itself.
+pub struct Condensation {
+    /// `comp[v]` — component index of node `v`.
+    pub comp: Vec<usize>,
+    /// Sorted member lists, indexed by component id.
+    pub members: Vec<Vec<usize>>,
+    /// Component adjacency (self-loops removed).
+    pub comp_adj: Vec<BTreeSet<usize>>,
+    /// Component ids, callees before callers (reverse topological).
+    pub topo: Vec<usize>,
+}
+
+/// Condense `adj` into its component DAG and order it bottom-up.
+pub fn condense(n: usize, adj: &[BTreeSet<usize>]) -> Condensation {
+    let members = sccs(n, adj);
+    let mut comp = vec![usize::MAX; n];
+    for (c, ms) in members.iter().enumerate() {
+        for &v in ms {
+            if let Some(slot) = comp.get_mut(v) {
+                *slot = c;
+            }
+        }
+    }
+    let k = members.len();
+    let mut comp_adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); k];
+    for (v, outs) in adj.iter().enumerate() {
+        for &w in outs {
+            let (Some(&cv), Some(&cw)) = (comp.get(v), comp.get(w)) else {
+                continue;
+            };
+            if cv != cw {
+                if let Some(set) = comp_adj.get_mut(cv) {
+                    set.insert(cw);
+                }
+            }
+        }
+    }
+    // Kahn over the reversed DAG: components with no outgoing edges
+    // (leaves of the call DAG) drain first. Deterministic because the
+    // ready queue is a BTreeSet of component ids.
+    let mut pending: Vec<usize> = comp_adj.iter().map(BTreeSet::len).collect();
+    let mut rev: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); k];
+    for (c, outs) in comp_adj.iter().enumerate() {
+        for &d in outs {
+            if let Some(back) = rev.get_mut(d) {
+                back.insert(c);
+            }
+        }
+    }
+    let mut ready: BTreeSet<usize> = (0..k).filter(|&c| pending.get(c) == Some(&0)).collect();
+    let mut topo = Vec::with_capacity(k);
+    while let Some(&c) = ready.iter().next() {
+        ready.remove(&c);
+        topo.push(c);
+        for &caller in rev.get(c).into_iter().flatten() {
+            let Some(p) = pending.get_mut(caller) else {
+                continue;
+            };
+            *p = p.saturating_sub(1);
+            if *p == 0 {
+                ready.insert(caller);
+            }
+        }
+    }
+    debug_assert_eq!(topo.len(), k, "component DAG must be acyclic");
+    Condensation {
+        comp,
+        members,
+        comp_adj,
+        topo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> Vec<BTreeSet<usize>> {
+        let mut adj = vec![BTreeSet::new(); n];
+        for &(a, b) in edges {
+            adj[a].insert(b);
+        }
+        adj
+    }
+
+    #[test]
+    fn singletons_without_edges() {
+        let adj = graph(3, &[]);
+        assert_eq!(sccs(3, &adj), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn simple_cycle_is_one_component() {
+        let adj = graph(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let comps = sccs(4, &adj);
+        assert!(comps.contains(&vec![0, 1, 2]));
+        assert!(comps.contains(&vec![3]));
+    }
+
+    #[test]
+    fn two_cycles_bridged() {
+        let adj = graph(6, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2), (4, 5)]);
+        let comps = sccs(6, &adj);
+        assert_eq!(comps.len(), 3);
+        assert!(comps.contains(&vec![0, 1]));
+        assert!(comps.contains(&vec![2, 3, 4]));
+        assert!(comps.contains(&vec![5]));
+    }
+
+    #[test]
+    fn deterministic_regardless_of_edge_insertion_order() {
+        let a = graph(5, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let b = graph(5, &[(3, 4), (2, 0), (1, 2), (0, 1)]);
+        assert_eq!(sccs(5, &a), sccs(5, &b));
+    }
+
+    #[test]
+    fn reconstructs_self_loop() {
+        let adj = graph(2, &[(1, 1)]);
+        assert_eq!(reconstruct_cycle(&[1], &adj), Some(vec![1, 1]));
+    }
+
+    #[test]
+    fn reconstructs_closed_cycle_through_smallest() {
+        let adj = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        let cyc = reconstruct_cycle(&[0, 1, 2], &adj).expect("cycle");
+        assert_eq!(cyc.first(), Some(&0));
+        assert_eq!(cyc.last(), Some(&0));
+        assert!(cyc.len() >= 3);
+        for pair in cyc.windows(2) {
+            assert!(adj[pair[0]].contains(&pair[1]), "edge {pair:?} missing");
+        }
+    }
+
+    #[test]
+    fn no_cycle_in_singleton_without_self_loop() {
+        let adj = graph(2, &[(0, 1)]);
+        assert_eq!(reconstruct_cycle(&[0], &adj), None);
+    }
+
+    #[test]
+    fn condensation_orders_callees_first() {
+        // 0 -> 1 -> {2,3 cycle} -> 4
+        let adj = graph(5, &[(0, 1), (1, 2), (2, 3), (3, 2), (3, 4)]);
+        let c = condense(5, &adj);
+        assert_eq!(c.members.len(), 4);
+        let pos: BTreeMap<usize, usize> = c.topo.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for (cid, outs) in c.comp_adj.iter().enumerate() {
+            for &d in outs {
+                assert!(pos[&d] < pos[&cid], "callee component must drain first");
+            }
+        }
+        assert_eq!(c.comp[2], c.comp[3]);
+        assert_ne!(c.comp[1], c.comp[2]);
+    }
+
+    #[test]
+    fn condensation_covers_every_node_once() {
+        let adj = graph(7, &[(0, 1), (1, 0), (2, 3), (4, 4), (5, 6)]);
+        let c = condense(7, &adj);
+        let mut all: Vec<usize> = c.members.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..7).collect::<Vec<_>>());
+        assert_eq!(c.topo.len(), c.members.len());
+    }
+}

@@ -61,6 +61,7 @@ pub mod cfg;
 pub mod classify;
 pub mod config;
 pub mod dataflow;
+pub mod effects;
 pub mod graph;
 pub mod lexer;
 pub mod lints;
@@ -197,15 +198,22 @@ impl AuditReport {
         self.errors().next().is_none()
     }
 
+    /// Per-lint finding counts (errors and warnings together), keyed by
+    /// lint name in sorted order. Feeds both the JSON report and the
+    /// `--bench-out` CI artifact.
+    pub fn by_lint(&self) -> std::collections::BTreeMap<&'static str, usize> {
+        let mut m = std::collections::BTreeMap::new();
+        for d in &self.diagnostics {
+            *m.entry(d.lint).or_insert(0) += 1;
+        }
+        m
+    }
+
     /// Machine-readable rendering: one JSON object with summary counts
     /// (total and per-lint) and a `diagnostics` array. Stable field
     /// order, no external serializer.
     pub fn to_json(&self) -> String {
-        let mut by_lint: std::collections::BTreeMap<&str, usize> =
-            std::collections::BTreeMap::new();
-        for d in &self.diagnostics {
-            *by_lint.entry(d.lint).or_insert(0) += 1;
-        }
+        let by_lint = self.by_lint();
         let by_lint = by_lint
             .iter()
             .map(|(l, n)| format!("\"{}\":{n}", json_escape(l)))
@@ -270,9 +278,9 @@ fn json_escape(s: &str) -> String {
 /// `audit.graph.call`, `audit.cfg.build`,
 /// `audit.pass.panic-reachability`, `audit.pass.crate-layering`,
 /// `audit.pass.concurrency`, `audit.pass.lock-order`,
-/// `audit.pass.determinism`, `audit.pass.error-discard`,
-/// `audit.pass.dead-exports`) so a [`udi_obs::TraceSummary`] of the
-/// recorder shows where audit time goes.
+/// `audit.pass.determinism`, `audit.pass.hot-path-cert`,
+/// `audit.pass.error-discard`, `audit.pass.dead-exports`) so a
+/// [`udi_obs::TraceSummary`] of the recorder shows where audit time goes.
 pub fn run_audit(
     ws: &Workspace,
     cfg: &Config,
@@ -303,6 +311,7 @@ pub fn run_audit(
         lints::LOCK_ORDER_CYCLE,
         lints::DETERMINISM_CERT,
         lints::ERROR_DISCARD,
+        lints::HOT_PATH_CERT,
     ]
     .iter()
     .any(|l| enabled.contains(l));
@@ -314,9 +323,13 @@ pub fn run_audit(
     };
 
     // Per-function CFGs, built once and shared by the dataflow passes.
-    let need_cfg = [lints::LOCK_ORDER_CYCLE, lints::ERROR_DISCARD]
-        .iter()
-        .any(|l| enabled.contains(l));
+    let need_cfg = [
+        lints::LOCK_ORDER_CYCLE,
+        lints::ERROR_DISCARD,
+        lints::HOT_PATH_CERT,
+    ]
+    .iter()
+    .any(|l| enabled.contains(l));
     let cfgs: Vec<Option<cfg::Cfg>> = if need_cfg {
         let _span = rec.span("audit.cfg.build");
         call_graph
@@ -386,6 +399,19 @@ pub fn run_audit(
             ws,
             cfg,
             &call_graph,
+            &ratchet,
+            ratchet_path,
+            &mut directives,
+        ));
+    }
+
+    if enabled.contains(lints::HOT_PATH_CERT) {
+        let _span = rec.span("audit.pass.hot-path-cert");
+        diagnostics.extend(passes::hot_path::run(
+            ws,
+            cfg,
+            &call_graph,
+            &cfgs,
             &ratchet,
             ratchet_path,
             &mut directives,

@@ -62,6 +62,10 @@ pub const DETERMINISM_CERT: &str = "determinism-cert";
 pub const ERROR_DISCARD: &str = "error-discard";
 /// A `pub` item with zero intra-workspace references.
 pub const DEAD_EXPORT: &str = "dead-export";
+/// A declared hot-path entry point whose transitive effect summary
+/// contains an effect its `[effects]` budget bans (locks, blocking I/O,
+/// spawns, channels, poisoning panics).
+pub const HOT_PATH_CERT: &str = "hot-path-cert";
 
 /// Name and one-line rationale of one lint.
 #[derive(Debug, Clone, Copy)]
@@ -148,6 +152,13 @@ pub const LINTS: &[LintInfo] = &[
         name: DEAD_EXPORT,
         summary: "pub items nothing in the workspace references; existing debt is frozen \
                   in the ratchet file, new debt fails",
+    },
+    LintInfo {
+        name: HOT_PATH_CERT,
+        summary: "entry points declared in audit.toml [effects] must not transitively reach \
+                  the banned effects of their budget (lock acquisition, blocking I/O, thread \
+                  spawns, channel construction, poisoning panics) — the readers-never-block \
+                  proof of the serving layer",
     },
 ];
 
@@ -381,8 +392,21 @@ pub(crate) fn run_file_lints(
     let crate_name = class.crate_name.as_str();
     let is_lib = class.kind == CodeKind::Lib;
 
-    let prev_sig = |i: usize| tokens[..i].iter().rev().find(|t| !is_comment(t));
-    let next_sig = |i: usize| tokens[i + 1..].iter().find(|t| !is_comment(t));
+    let prev_sig = |i: usize| {
+        tokens
+            .get(..i)
+            .unwrap_or(&[])
+            .iter()
+            .rev()
+            .find(|t| !is_comment(t))
+    };
+    let next_sig = |i: usize| {
+        tokens
+            .get(i + 1..)
+            .unwrap_or(&[])
+            .iter()
+            .find(|t| !is_comment(t))
+    };
 
     for (i, tok) in tokens.iter().enumerate() {
         if is_comment(tok) || in_test(i) {
@@ -539,7 +563,7 @@ pub(crate) fn parse_directives(
         let Some(at) = tok.text.find("udi-audit:") else {
             continue;
         };
-        let body = tok.text[at + "udi-audit:".len()..].trim();
+        let body = tok.text.get(at + "udi-audit:".len()..).unwrap_or("").trim();
         let malformed = |msg: &str, diags: &mut Vec<Diagnostic>| {
             if enabled.contains(MALFORMED_ALLOW) {
                 diags.push(Diagnostic::error(
@@ -581,13 +605,17 @@ pub(crate) fn parse_directives(
         }
         // A trailing comment covers its own line; a standalone comment
         // covers the next line of code.
-        let trailing = tokens[..i]
+        let trailing = tokens
+            .get(..i)
+            .unwrap_or(&[])
             .iter()
             .any(|t| t.line == tok.line && !is_comment(t));
         let target_line = if trailing {
             tok.line
         } else {
-            tokens[i + 1..]
+            tokens
+                .get(i + 1..)
+                .unwrap_or(&[])
                 .iter()
                 .find(|t| !is_comment(t))
                 .map(|t| t.line)
@@ -610,10 +638,10 @@ pub(crate) fn test_regions(tokens: &[Token]) -> Vec<Range<usize>> {
     let mut regions = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        if tokens[i].kind == TokenKind::Punct
-            && tokens[i].text == "#"
-            && tokens.get(i + 1).is_some_and(|t| t.text == "[")
-        {
+        let is_hash = tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text == "#");
+        if is_hash && tokens.get(i + 1).is_some_and(|t| t.text == "[") {
             let attr_start = i;
             let (attr_tokens, after) = attribute_body(tokens, i + 1);
             if is_test_attribute(&attr_tokens) {
@@ -637,8 +665,7 @@ fn attribute_body(tokens: &[Token], open: usize) -> (Vec<String>, usize) {
     let mut texts = Vec::new();
     let mut depth = 0i32;
     let mut i = open;
-    while i < tokens.len() {
-        let t = &tokens[i];
+    while let Some(t) = tokens.get(i) {
         if t.kind == TokenKind::Punct && t.text == "[" {
             depth += 1;
         } else if t.kind == TokenKind::Punct && t.text == "]" {
@@ -714,17 +741,18 @@ fn item_end(tokens: &[Token], mut i: usize) -> Option<usize> {
 fn use_spans(tokens: &[Token]) -> Vec<Range<usize>> {
     let mut spans = Vec::new();
     let mut i = 0;
-    while i < tokens.len() {
-        let t = &tokens[i];
+    while let Some(t) = tokens.get(i) {
         let at_item_position = i == 0
-            || tokens[..i]
+            || tokens
+                .get(..i)
+                .unwrap_or(&[])
                 .iter()
                 .rev()
                 .find(|t| !is_comment(t))
                 .is_none_or(|p| matches!(p.text.as_str(), ";" | "{" | "}" | "]" | ")" | "pub"));
         if t.kind == TokenKind::Ident && t.text == "use" && at_item_position {
             let start = i;
-            while i < tokens.len() && tokens[i].text != ";" {
+            while tokens.get(i).is_some_and(|t| t.text != ";") {
                 i += 1;
             }
             spans.push(start..i + 1);

@@ -7,6 +7,7 @@
 //! cargo run -p udi-audit -- --root /path/to/tree  # explicit root
 //! cargo run -p udi-audit -- --format json         # machine-readable
 //! cargo run -p udi-audit -- --timings             # per-pass spans to stderr
+//! cargo run -p udi-audit -- --bench-out B.json    # per-pass cost artifact
 //! ```
 //!
 //! Exit codes: `0` clean (warnings allowed), `1` errors found, `2` usage,
@@ -27,6 +28,7 @@ fn main() -> ExitCode {
     let mut quiet = false;
     let mut json = false;
     let mut timings = false;
+    let mut bench_out: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,6 +57,10 @@ fn main() -> ExitCode {
             "--deny-all" => deny_all = true,
             "--quiet" => quiet = true,
             "--timings" => timings = true,
+            "--bench-out" => match args.next() {
+                Some(p) => bench_out = Some(PathBuf::from(p)),
+                None => return usage_error("--bench-out needs a file argument"),
+            },
             "--list" => {
                 for lint in LINTS {
                     println!("{:<26} {}", lint.name, lint.summary);
@@ -65,7 +71,7 @@ fn main() -> ExitCode {
                 println!(
                     "udi-audit: workspace static-analysis engine for UDI invariants\n\n\
                      usage: udi-audit [--root DIR] [--deny-all] [--allow LINT]... \
-                     [--format text|json] [--quiet] [--timings] [--list]\n\n\
+                     [--format text|json] [--quiet] [--timings] [--bench-out FILE] [--list]\n\n\
                      All lints run by default; --allow disables one, --deny-all re-enables\n\
                      everything (the CI configuration). Pass configuration (layering,\n\
                      panic-reachability roots, ratchet path) comes from audit.toml at the\n\
@@ -93,7 +99,9 @@ fn main() -> ExitCode {
     };
 
     let sink = Arc::new(MemorySink::new());
-    let rec = if timings {
+    // The bench artifact is built from the same spans --timings prints,
+    // so either flag turns the recorder on.
+    let rec = if timings || bench_out.is_some() {
         Recorder::new(sink.clone())
     } else {
         Recorder::disabled()
@@ -121,6 +129,44 @@ fn main() -> ExitCode {
         // Wall-clock total for the CI budget gate (spans nest, so their
         // sum over-counts; this is the number CI compares).
         eprintln!("udi-audit: {:<28} {total_us:>8} us", "total");
+    }
+
+    if let Some(path) = &bench_out {
+        let summary = TraceSummary::from_events(&sink.events());
+        let mut names: Vec<_> = summary.span_names().collect();
+        names.sort_unstable();
+        let passes = names
+            .iter()
+            .filter_map(|name| {
+                summary
+                    .span(name)
+                    .map(|st| format!("    \"{name}\": {}", st.total_us))
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let lints = report
+            .by_lint()
+            .iter()
+            .map(|(l, n)| format!("    \"{l}\": {n}"))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let artifact = format!(
+            "{{\n  \"schema\": \"udi-audit-bench/v1\",\n  \"files_scanned\": {},\n  \
+             \"lints_enabled\": {},\n  \"errors\": {},\n  \"warnings\": {},\n  \
+             \"total_us\": {total_us},\n  \"pass_us\": {{\n{passes}\n  }},\n  \
+             \"by_lint\": {{\n{lints}\n  }}\n}}\n",
+            report.files_scanned,
+            enabled.len(),
+            report.errors().count(),
+            report.warnings().count(),
+        );
+        if let Err(e) = std::fs::write(path, artifact) {
+            eprintln!(
+                "udi-audit: cannot write bench artifact {}: {e}",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
     }
 
     if json {
@@ -169,7 +215,7 @@ fn usage_error(msg: &str) -> ExitCode {
     eprintln!("udi-audit: {msg}");
     eprintln!(
         "usage: udi-audit [--root DIR] [--deny-all] [--allow LINT]... [--format text|json] \
-         [--quiet] [--timings] [--list]"
+         [--quiet] [--timings] [--bench-out FILE] [--list]"
     );
     ExitCode::from(2)
 }

@@ -11,10 +11,9 @@
 //!   `audit.toml` (by default `udi-obs`, whose global sink registry is the
 //!   sanctioned singleton) may declare them. Error elsewhere.
 //!
-//! Guard-discipline checking lives in [`crate::passes::lock_order`] now:
-//! the v2 `lock-across-crate-call` heuristic (any guard held across a
-//! crate boundary) was replaced by an actual acquisition-order cycle
-//! analysis over per-function CFGs.
+//! Guard-discipline checking lives in [`crate::passes::lock_order`]: an
+//! acquisition-order cycle analysis over per-function CFGs, not a
+//! guard-held-across-call heuristic.
 
 use crate::classify::CodeKind;
 use crate::lexer::{Token, TokenKind};
@@ -89,7 +88,7 @@ pub fn run(
             let mut depth = 0i32;
             let mut seen_colon = false;
             let mut hit: Option<&Token> = None;
-            for t in &tokens[j + 1..] {
+            for t in tokens.get(j + 1..).unwrap_or(&[]) {
                 match (t.kind, t.text.as_str()) {
                     (TokenKind::Punct, "<" | "(" | "[") => depth += 1,
                     (TokenKind::Punct, ">" | ")" | "]") => depth -= 1,

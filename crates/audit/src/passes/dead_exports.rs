@@ -105,7 +105,10 @@ pub fn run(
                 .find(|it| it.line == ex.line && it.name == *ex.name)
                 .map(|it| it.span.clone());
             match span {
-                Some(span) => file.tokens[span]
+                Some(span) => file
+                    .tokens
+                    .get(span)
+                    .unwrap_or(&[])
                     .iter()
                     .filter(|t| t.text == *ex.name)
                     .count(),

@@ -90,12 +90,12 @@ pub fn run(
                     let sig_prev = |from: usize| {
                         (body.start..from)
                             .rev()
-                            .find(|&k| !is_comment(&file.tokens[k]))
+                            .find(|&k| file.tokens.get(k).is_some_and(|t| !is_comment(t)))
                     };
                     let is_env = sig_prev(i)
-                        .filter(|&p| file.tokens[p].text == "::")
+                        .filter(|&p| file.tokens.get(p).is_some_and(|t| t.text == "::"))
                         .and_then(&sig_prev)
-                        .is_some_and(|p| file.tokens[p].text == "env");
+                        .is_some_and(|p| file.tokens.get(p).is_some_and(|t| t.text == "env"));
                     is_env.then(|| ("environment read", format!("env::{}", t.text)))
                 }
                 _ => None,
@@ -122,24 +122,28 @@ pub fn run(
                 }
                 continue;
             }
-            sites[f].push(Site {
-                what,
-                kind,
-                line: t.line,
-                col: t.col,
-            });
+            if let Some(list) = sites.get_mut(f) {
+                list.push(Site {
+                    what,
+                    kind,
+                    line: t.line,
+                    col: t.col,
+                });
+            }
         }
     }
 
     // Forward adjacency over all edges, test callees excluded.
     let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
     for (f, calls) in graph.calls.iter().enumerate() {
-        if graph.fns[f].in_test {
+        if graph.fns.get(f).is_none_or(|nd| nd.in_test) {
             continue;
         }
         for cs in calls {
             if graph.fns.get(cs.callee).is_some_and(|c| !c.in_test) {
-                adj[f].insert(cs.callee);
+                if let Some(out) = adj.get_mut(f) {
+                    out.insert(cs.callee);
+                }
             }
         }
     }
@@ -170,11 +174,11 @@ pub fn run(
             let mut seen = BTreeSet::from([root]);
             let mut hit: Option<usize> = None;
             while let Some(v) = queue.pop_front() {
-                if !sites[v].is_empty() {
+                if sites.get(v).is_some_and(|l| !l.is_empty()) {
                     hit = Some(v);
                     break;
                 }
-                for &w in &adj[v] {
+                for &w in adj.get(v).into_iter().flatten() {
                     if seen.insert(w) {
                         parent.insert(w, v);
                         queue.push_back(w);
@@ -182,7 +186,9 @@ pub fn run(
                 }
             }
             let Some(hit) = hit else { continue };
-            let node = &graph.fns[root];
+            let Some(node) = graph.fns.get(root) else {
+                continue;
+            };
             let rel = ws
                 .files
                 .get(node.file)
@@ -206,10 +212,13 @@ pub fn run(
                 .map(|&g| graph.display(g))
                 .collect::<Vec<_>>()
                 .join(" → ");
-            let site = &sites[hit][0];
-            let site_rel = ws
-                .files
-                .get(graph.fns[hit].file)
+            let Some(site) = sites.get(hit).and_then(|l| l.first()) else {
+                continue;
+            };
+            let site_rel = graph
+                .fns
+                .get(hit)
+                .and_then(|nd| ws.files.get(nd.file))
                 .map(|fl| fl.rel.as_str())
                 .unwrap_or("?");
             let mut d = Diagnostic::error(

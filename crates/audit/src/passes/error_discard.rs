@@ -182,7 +182,9 @@ fn discarded_call(
         }
         // Prefix before the callee must be a plain path/receiver (no
         // operators: `x + fallible()` is not a discard of the call).
-        let plain_prefix = tokens[range.start..cs.tok]
+        let plain_prefix = tokens
+            .get(range.start..cs.tok)
+            .unwrap_or(&[])
             .iter()
             .filter(|t| !is_comment(t))
             .all(|t| {
@@ -220,7 +222,9 @@ fn discarded_call(
             }
         }
         let close = close?;
-        let tail_ok = tokens[close + 1..range.end]
+        let tail_ok = tokens
+            .get(close + 1..range.end)
+            .unwrap_or(&[])
             .iter()
             .filter(|t| !is_comment(t))
             .all(|t| t.text == ";");

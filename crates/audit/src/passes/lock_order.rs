@@ -1,9 +1,8 @@
 //! Lock-order deadlock detection over per-function CFGs and the certain
 //! call graph.
 //!
-//! Replaces the v2 `lock-across-crate-call` heuristic (which flagged any
-//! guard held across a crate boundary, path-insensitively) with an
-//! actual acquisition-order analysis:
+//! Not a guard-across-call heuristic: only actual acquisition-order
+//! inversions are reported, via a three-stage analysis:
 //!
 //! 1. **Lock identities.** Every `.lock()` / `.borrow_mut()` /
 //!    empty-argument `.read()` / `.write()` is resolved to a lock
@@ -29,13 +28,14 @@
 //!
 //! Ratchet key: the cycle's sorted lock set joined with `<->`.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
 
 use crate::cfg::{Cfg, StmtKind};
 use crate::classify::CodeKind;
 use crate::config::Config;
 use crate::dataflow::{forward_may, BitSet};
+use crate::graph::scc::{reconstruct_cycle, sccs};
 use crate::graph::{crate_of_alias, CallGraph, FnNode};
 use crate::lexer::{Token, TokenKind};
 use crate::lints::{allow_covers, AllowDirective, Diagnostic, LOCK_ORDER_CYCLE};
@@ -46,7 +46,7 @@ use crate::Workspace;
 /// Methods whose return value is treated as a lock guard. `read`/`write`
 /// only count with an empty argument list (to avoid `io::Read::read(&mut
 /// buf)` false positives).
-const LOCK_METHODS: &[&str] = &["lock", "borrow_mut", "read", "write"];
+pub(crate) const LOCK_METHODS: &[&str] = &["lock", "borrow_mut", "read", "write"];
 
 /// One lock acquisition inside a function body.
 struct Acq {
@@ -151,15 +151,17 @@ pub fn run(
                 },
                 None => (None, false),
             };
-            acqs[f].push(Acq {
-                lock,
-                tok: i,
-                line: t.line,
-                col: t.col,
-                block,
-                bound,
-                discard,
-            });
+            if let Some(list) = acqs.get_mut(f) {
+                list.push(Acq {
+                    lock,
+                    tok: i,
+                    line: t.line,
+                    col: t.col,
+                    block,
+                    bound,
+                    discard,
+                });
+            }
         }
     }
 
@@ -167,26 +169,28 @@ pub fn run(
     let mut ta: Vec<BTreeMap<usize, Prov>> = vec![BTreeMap::new(); n];
     for (f, list) in acqs.iter().enumerate() {
         for a in list {
-            if lock_global[a.lock] {
-                ta[f].entry(a.lock).or_insert(Prov::Direct {
-                    line: a.line,
-                    col: a.col,
-                });
+            if lock_global.get(a.lock).copied().unwrap_or(false) {
+                if let Some(map) = ta.get_mut(f) {
+                    map.entry(a.lock).or_insert(Prov::Direct {
+                        line: a.line,
+                        col: a.col,
+                    });
+                }
             }
         }
     }
     loop {
         let mut updates: Vec<(usize, usize, Prov)> = Vec::new();
         for f in 0..n {
-            if graph.fns[f].in_test {
+            if graph.fns.get(f).is_none_or(|nd| nd.in_test) {
                 continue;
             }
             for cs in graph.calls.get(f).map(Vec::as_slice).unwrap_or(&[]) {
                 if !cs.certain || graph.fns.get(cs.callee).is_none_or(|c| c.in_test) {
                     continue;
                 }
-                for &lock in ta[cs.callee].keys() {
-                    if !ta[f].contains_key(&lock) {
+                for &lock in ta.get(cs.callee).into_iter().flat_map(BTreeMap::keys) {
+                    if !ta.get(f).is_some_and(|m| m.contains_key(&lock)) {
                         updates.push((f, lock, Prov::Via { callee: cs.callee }));
                     }
                 }
@@ -197,7 +201,8 @@ pub fn run(
         }
         let mut changed = false;
         for (f, lock, prov) in updates {
-            if let std::collections::btree_map::Entry::Vacant(e) = ta[f].entry(lock) {
+            let Some(map) = ta.get_mut(f) else { continue };
+            if let std::collections::btree_map::Entry::Vacant(e) = map.entry(lock) {
                 e.insert(prov);
                 changed = true;
             }
@@ -210,7 +215,7 @@ pub fn run(
     // Pass C: order edges, evidence kept for the first sighting.
     let mut edges: BTreeMap<(usize, usize), Edge> = BTreeMap::new();
     for (f, node) in graph.fns.iter().enumerate() {
-        if acqs[f].is_empty() {
+        if acqs.get(f).is_none_or(Vec::is_empty) {
             continue;
         }
         if node.in_test
@@ -227,7 +232,10 @@ pub fn run(
             continue;
         };
         // Facts: let-bound, non-discard acquisitions.
-        let facts: Vec<usize> = acqs[f]
+        let facts: Vec<usize> = acqs
+            .get(f)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
             .iter()
             .enumerate()
             .filter(|(_, a)| a.bound.is_some() && !a.discard)
@@ -237,16 +245,22 @@ pub fn run(
         let mut gen = vec![BitSet::new(facts.len()); nb];
         let mut kill = vec![BitSet::new(facts.len()); nb];
         for (bit, &k) in facts.iter().enumerate() {
-            let a = &acqs[f][k];
-            gen[a.block].insert(bit);
+            let Some(a) = acqs.get(f).and_then(|l| l.get(k)) else {
+                continue;
+            };
+            if let Some(gs) = gen.get_mut(a.block) {
+                gs.insert(bit);
+            }
             let scope = scope_end(&file.tokens, body.clone(), a.tok);
             for (b, blk) in fcfg.blocks.iter().enumerate() {
                 let Some(s) = &blk.stmt else { continue };
-                if s.span.start >= scope {
-                    kill[b].insert(bit);
-                } else if let Some(name) = &a.bound {
-                    if drops_name(&file.tokens, s.span.clone(), name) {
-                        kill[b].insert(bit);
+                let dead = s.span.start >= scope
+                    || a.bound
+                        .as_ref()
+                        .is_some_and(|name| drops_name(&file.tokens, s.span.clone(), name));
+                if dead {
+                    if let Some(ks) = kill.get_mut(b) {
+                        ks.insert(bit);
                     }
                 }
             }
@@ -259,14 +273,20 @@ pub fn run(
             Call(usize, usize, u32, u32), // (callee, tok, line, col)
         }
         let mut events: BTreeMap<usize, Vec<(usize, Ev)>> = BTreeMap::new();
-        for (k, a) in acqs[f].iter().enumerate() {
+        for (k, a) in acqs
+            .get(f)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .enumerate()
+        {
             events.entry(a.block).or_default().push((a.tok, Ev::Acq(k)));
         }
         for cs in graph.calls.get(f).map(Vec::as_slice).unwrap_or(&[]) {
             if !cs.certain || graph.fns.get(cs.callee).is_none_or(|c| c.in_test) {
                 continue;
             }
-            if ta[cs.callee].is_empty() {
+            if ta.get(cs.callee).is_none_or(BTreeMap::is_empty) {
                 continue;
             }
             let Some(b) = fcfg.block_of_token(cs.tok) else {
@@ -289,12 +309,21 @@ pub fn run(
             let mut held: BTreeSet<usize> = flow
                 .input
                 .get(*b)
-                .map(|s| s.iter().map(|bit| acqs[f][facts[bit]].lock).collect())
+                .map(|s| {
+                    s.iter()
+                        .filter_map(|bit| {
+                            let k = facts.get(bit).copied()?;
+                            Some(acqs.get(f)?.get(k)?.lock)
+                        })
+                        .collect()
+                })
                 .unwrap_or_default();
             for (_, ev) in evs.iter() {
                 match ev {
                     Ev::Acq(k) => {
-                        let a = &acqs[f][*k];
+                        let Some(a) = acqs.get(f).and_then(|l| l.get(*k)) else {
+                            continue;
+                        };
                         for &l in held.iter() {
                             edges.entry((l, a.lock)).or_insert(Edge {
                                 fnid: f,
@@ -311,11 +340,14 @@ pub fn run(
                         // The callee's own acquisition is not "while
                         // holding" its own lock: skip calls whose token
                         // coincides with an acquisition (`self.lock()`).
-                        if acqs[f].iter().any(|a| a.tok == *call_tok) {
+                        if acqs
+                            .get(f)
+                            .is_some_and(|l| l.iter().any(|a| a.tok == *call_tok))
+                        {
                             continue;
                         }
                         for &l in held.iter() {
-                            for &m in ta[*callee].keys() {
+                            for &m in ta.get(*callee).into_iter().flat_map(BTreeMap::keys) {
                                 edges.entry((l, m)).or_insert(Edge {
                                     fnid: f,
                                     line: *line,
@@ -334,32 +366,42 @@ pub fn run(
     let nlocks = lock_ids.len();
     let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nlocks];
     for &(l, m) in edges.keys() {
-        adj[l].insert(m);
+        if let Some(out) = adj.get_mut(l) {
+            out.insert(m);
+        }
     }
     let comps = sccs(nlocks, &adj);
     let mut found_keys: BTreeSet<String> = BTreeSet::new();
     for comp in comps {
-        let is_cycle = comp.len() > 1 || comp.iter().any(|&l| adj[l].contains(&l));
+        let is_cycle = comp.len() > 1
+            || comp
+                .iter()
+                .any(|&l| adj.get(l).is_some_and(|out| out.contains(&l)));
         if !is_cycle {
             continue;
         }
         let Some(cycle) = reconstruct_cycle(&comp, &adj) else {
             continue;
         };
-        let mut names: Vec<&str> = comp.iter().map(|&l| lock_ids[l].as_str()).collect();
+        let mut names: Vec<&str> = comp
+            .iter()
+            .map(|&l| lock_ids.get(l).map(String::as_str).unwrap_or("?"))
+            .collect();
         names.sort_unstable();
         let key = names.join("<->");
         found_keys.insert(key.clone());
 
         let path_text = cycle
             .iter()
-            .map(|&l| lock_ids[l].as_str())
+            .map(|&l| lock_ids.get(l).map(String::as_str).unwrap_or("?"))
             .collect::<Vec<_>>()
             .join(" → ");
         let mut notes = Vec::new();
         let mut anchor: Option<(&str, u32, u32, usize)> = None;
+        let lock_name = |l: usize| lock_ids.get(l).map(String::as_str).unwrap_or("?");
         for w in cycle.windows(2) {
-            let Some(e) = edges.get(&(w[0], w[1])) else {
+            let &[from, to] = w else { continue };
+            let Some(e) = edges.get(&(from, to)) else {
                 continue;
             };
             let rel = graph
@@ -375,23 +417,23 @@ pub fn run(
                 None => notes.push(format!(
                     "`{}` acquires `{}` at {rel}:{}:{} while holding `{}`",
                     graph.display(e.fnid),
-                    lock_ids[w[1]],
+                    lock_name(to),
                     e.line,
                     e.col,
-                    lock_ids[w[0]],
+                    lock_name(from),
                 )),
                 Some(callee) => {
-                    let (chain, site) = render_chain(graph, &ta, callee, w[1]);
+                    let (chain, site) = render_chain(graph, &ta, callee, to);
                     let chain_text = std::iter::once(graph.display(e.fnid))
                         .chain(chain.iter().map(|&g| graph.display(g)))
                         .collect::<Vec<_>>()
                         .join(" → ");
                     notes.push(format!(
                         "while holding `{}`, {rel}:{} calls into `{}` which acquires `{}`{}",
-                        lock_ids[w[0]],
+                        lock_name(from),
                         e.line,
                         graph.display(callee),
-                        lock_ids[w[1]],
+                        lock_name(to),
                         site.map(|(l, c)| format!(" (site {l}:{c})"))
                             .unwrap_or_default(),
                     ));
@@ -449,12 +491,21 @@ pub fn run(
 }
 
 /// `.method()` with an empty argument list, preceded by `.`.
-fn is_guard_call(tokens: &[Token], body: Range<usize>, i: usize) -> bool {
-    let prev = tokens[body.start..i].iter().rev().find(|t| !is_comment(t));
+pub(crate) fn is_guard_call(tokens: &[Token], body: Range<usize>, i: usize) -> bool {
+    let prev = tokens
+        .get(body.start..i)
+        .unwrap_or(&[])
+        .iter()
+        .rev()
+        .find(|t| !is_comment(t));
     if !prev.is_some_and(|p| p.kind == TokenKind::Punct && p.text == ".") {
         return false;
     }
-    let mut it = tokens[i + 1..].iter().filter(|t| !is_comment(t));
+    let mut it = tokens
+        .get(i + 1..)
+        .unwrap_or(&[])
+        .iter()
+        .filter(|t| !is_comment(t));
     let open = it.next();
     let close = it.next();
     open.is_some_and(|t| t.text == "(") && close.is_some_and(|t| t.text == ")")
@@ -471,20 +522,28 @@ fn receiver_identity(
 ) -> Option<(String, bool)> {
     // Walk back over `ident (sep ident)*` where sep is `.` or `::`.
     let sig_prev = |from: usize| -> Option<usize> {
-        (body_start..from).rev().find(|&k| !is_comment(&tokens[k]))
+        (body_start..from)
+            .rev()
+            .find(|&k| tokens.get(k).is_some_and(|t| !is_comment(t)))
     };
     let mut segs: Vec<(String, String)> = Vec::new(); // (ident, sep before it or "")
     let mut k = sig_prev(i)?; // the `.` before the method
     loop {
         let id = sig_prev(k)?;
-        let t = &tokens[id];
+        let t = tokens.get(id)?;
         if !matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent) {
             return None; // `)`, `]`, literal… — complex receiver
         }
-        let sep = tokens[k].text.clone();
+        let sep = tokens.get(k)?.text.clone();
         segs.push((t.text.clone(), sep));
         match sig_prev(id) {
-            Some(p) if matches!(tokens[p].text.as_str(), "." | "::") => k = p,
+            Some(p)
+                if tokens
+                    .get(p)
+                    .is_some_and(|t| matches!(t.text.as_str(), "." | "::")) =>
+            {
+                k = p
+            }
             _ => {
                 segs.last_mut()?.1 = String::new();
                 break;
@@ -494,7 +553,7 @@ fn receiver_identity(
     segs.reverse();
     let first = segs.first()?.0.clone();
     let tail = |segs: &[(String, String)], mut id: String| {
-        for (seg, sep) in &segs[1..] {
+        for (seg, sep) in segs.get(1..).unwrap_or(&[]) {
             id.push_str(if sep == "::" { "::" } else { "." });
             id.push_str(seg);
         }
@@ -517,7 +576,7 @@ fn receiver_identity(
 }
 
 /// Token index where the lexical block enclosing `from` closes.
-fn scope_end(tokens: &[Token], body: Range<usize>, from: usize) -> usize {
+pub(crate) fn scope_end(tokens: &[Token], body: Range<usize>, from: usize) -> usize {
     let mut depth = 0i64;
     for (i, t) in tokens
         .iter()
@@ -540,15 +599,17 @@ fn scope_end(tokens: &[Token], body: Range<usize>, from: usize) -> usize {
 }
 
 /// Whether a statement span contains `drop(name)`.
-fn drops_name(tokens: &[Token], span: Range<usize>, name: &str) -> bool {
+pub(crate) fn drops_name(tokens: &[Token], span: Range<usize>, name: &str) -> bool {
     let sig: Vec<&Token> = tokens
         .get(span.start..span.end.min(tokens.len()))
         .unwrap_or(&[])
         .iter()
         .filter(|t| !is_comment(t))
         .collect();
-    sig.windows(4)
-        .any(|w| w[0].text == "drop" && w[1].text == "(" && w[2].text == *name && w[3].text == ")")
+    sig.windows(4).any(|w| {
+        matches!(w, [a, b, c, d]
+            if a.text == "drop" && b.text == "(" && c.text == *name && d.text == ")")
+    })
 }
 
 /// Shortest provenance chain from `f` to the function that directly
@@ -573,112 +634,4 @@ fn render_chain(
         }
     }
     (chain, None)
-}
-
-/// Strongly-connected components (Kosaraju, deterministic orders).
-fn sccs(n: usize, adj: &[BTreeSet<usize>]) -> Vec<Vec<usize>> {
-    let mut order = Vec::with_capacity(n);
-    let mut seen = vec![false; n];
-    for start in 0..n {
-        if seen[start] {
-            continue;
-        }
-        // Iterative post-order DFS.
-        let mut stack = vec![(
-            start,
-            adj[start].iter().copied().collect::<Vec<_>>(),
-            0usize,
-        )];
-        seen[start] = true;
-        while let Some((v, nexts, mut i)) = stack.pop() {
-            let mut descended = false;
-            while i < nexts.len() {
-                let w = nexts[i];
-                i += 1;
-                if !seen[w] {
-                    seen[w] = true;
-                    stack.push((v, nexts.clone(), i));
-                    stack.push((w, adj[w].iter().copied().collect(), 0));
-                    descended = true;
-                    break;
-                }
-            }
-            if !descended {
-                order.push(v);
-            }
-        }
-    }
-    let mut radj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
-    for (v, outs) in adj.iter().enumerate() {
-        for &w in outs {
-            radj[w].insert(v);
-        }
-    }
-    let mut comp = vec![usize::MAX; n];
-    let mut comps: Vec<Vec<usize>> = Vec::new();
-    for &start in order.iter().rev() {
-        if comp[start] != usize::MAX {
-            continue;
-        }
-        let c = comps.len();
-        let mut members = Vec::new();
-        let mut queue = VecDeque::from([start]);
-        comp[start] = c;
-        while let Some(v) = queue.pop_front() {
-            members.push(v);
-            for &w in &radj[v] {
-                if comp[w] == usize::MAX {
-                    comp[w] = c;
-                    queue.push_back(w);
-                }
-            }
-        }
-        members.sort_unstable();
-        comps.push(members);
-    }
-    comps.sort();
-    comps
-}
-
-/// A concrete cycle through the component's smallest lock id, closed
-/// (first element repeated at the end).
-fn reconstruct_cycle(comp: &[usize], adj: &[BTreeSet<usize>]) -> Option<Vec<usize>> {
-    let inset: BTreeSet<usize> = comp.iter().copied().collect();
-    let m = *comp.first()?;
-    if adj[m].contains(&m) {
-        return Some(vec![m, m]);
-    }
-    // BFS from each successor of m back to m, inside the component.
-    let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
-    let mut queue: VecDeque<usize> = VecDeque::new();
-    for &s in adj[m].iter().filter(|s| inset.contains(s)) {
-        if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(s) {
-            e.insert(m);
-            queue.push_back(s);
-        }
-    }
-    while let Some(v) = queue.pop_front() {
-        if v == m {
-            break;
-        }
-        for &w in adj[v].iter().filter(|w| inset.contains(w)) {
-            if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(w) {
-                e.insert(v);
-                queue.push_back(w);
-            }
-        }
-    }
-    parent.get(&m)?;
-    let mut path = vec![m];
-    let mut cur = m;
-    for _ in 0..=comp.len() {
-        let &p = parent.get(&cur)?;
-        path.push(p);
-        cur = p;
-        if p == m {
-            break;
-        }
-    }
-    path.reverse();
-    Some(path)
 }

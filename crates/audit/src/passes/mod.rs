@@ -12,6 +12,7 @@ pub mod concurrency;
 pub mod dead_exports;
 pub mod determinism;
 pub mod error_discard;
+pub mod hot_path;
 pub mod layering;
 pub mod lock_order;
 pub mod panic_reach;

@@ -66,10 +66,16 @@ pub fn run(
                 continue;
             }
             match site.kind {
-                PanicKind::UnwrapLike | PanicKind::Macro => hard[f].push(site),
+                PanicKind::UnwrapLike | PanicKind::Macro => {
+                    if let Some(list) = hard.get_mut(f) {
+                        list.push(site);
+                    }
+                }
                 PanicKind::Index => {
                     if cfg.index_sites != IndexMode::Off {
-                        soft[f].push(site)
+                        if let Some(list) = soft.get_mut(f) {
+                            list.push(site);
+                        }
                     }
                 }
             }
@@ -91,7 +97,9 @@ pub fn run(
         let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (f, callees) in adj.iter().enumerate() {
             for &c in callees {
-                rev[c].push(f);
+                if let Some(back) = rev.get_mut(c) {
+                    back.push(f);
+                }
             }
         }
         let mut seen: BTreeSet<usize> = (0..n).filter(|&f| has_site(f)).collect();
@@ -105,11 +113,11 @@ pub fn run(
         }
         seen
     };
-    let hard_reach = reach_set(&|f| !hard[f].is_empty());
+    let hard_reach = reach_set(&|f| hard.get(f).is_some_and(|l| !l.is_empty()));
     let soft_reach = if cfg.index_sites == IndexMode::Off {
         BTreeSet::new()
     } else {
-        reach_set(&|f| !soft[f].is_empty())
+        reach_set(&|f| soft.get(f).is_some_and(|l| !l.is_empty()))
     };
 
     // 3. Roots: pub lib fns of the configured crates.

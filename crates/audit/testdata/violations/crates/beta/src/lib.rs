@@ -87,6 +87,47 @@ pub fn old_debt() {}
 // udi-audit: allow(static-mut, "fixture: stale directive, suppresses nothing")
 fn quiet() {}
 
+/// Declared lock-free in audit.toml but takes the cache mutex through
+/// `lock_helper` — hot-path-cert error with chain and site.
+pub fn hot_read() -> u32 {
+    lock_helper()
+}
+
+fn lock_helper() -> u32 {
+    let _g = CACHE.lock();
+    7
+}
+
+/// Declared io-free but touches the filesystem through `io_helper`.
+pub fn hot_plan(p: &str) -> usize {
+    io_helper(p)
+}
+
+fn io_helper(p: &str) -> usize {
+    match std::fs::read_to_string(p) {
+        Ok(s) => s.len(),
+        Err(_) => 0,
+    }
+}
+
+/// Declared spawn-free and frozen in audit.ratchet — the spawn is
+/// reported as a ratcheted warning, not an error.
+pub fn hot_merge() -> u32 {
+    match std::thread::spawn(|| 3).join() {
+        Ok(v) => v,
+        Err(_) => 0,
+    }
+}
+
+/// Declared channel-free (violated below) *and* spawn-free (clean): the
+/// spawn in the `#[cfg(test)]` module of this file must not leak into
+/// the certificate.
+pub fn hot_stream() -> u32 {
+    let (tx, rx) = std::sync::mpsc::channel();
+    tx.send(9).ok();
+    rx.recv().unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -105,5 +146,21 @@ mod tests {
             super::quiet as fn(),
         );
         let _ = (unsafe { super::COUNTER }, &super::CACHE);
+        let _ = (
+            super::hot_read as fn() -> u32,
+            super::hot_plan as fn(&str) -> usize,
+            super::hot_merge as fn() -> u32,
+            super::hot_stream as fn() -> u32,
+            udi_alpha::hot_tally as fn(&[u32]) -> u32,
+            udi_alpha::safe_tally as fn(&[u32]) -> u32,
+        );
+    }
+
+    #[test]
+    fn test_spawn_is_out_of_certificate_scope() {
+        // A spawn inside #[cfg(test)] must not fail `hot_stream`'s
+        // spawn-free budget — test code is excluded from effect inference.
+        let h = std::thread::spawn(super::hot_stream);
+        let _ = h.join();
     }
 }

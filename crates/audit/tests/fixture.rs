@@ -7,8 +7,8 @@
 use std::path::Path;
 
 use udi_audit::lints::{
-    Severity, CRATE_LAYERING, DEAD_EXPORT, DETERMINISM_CERT, ERROR_DISCARD, LOCK_ORDER_CYCLE,
-    PANIC_REACHABILITY, SHARED_MUTABLE_STATIC, STATIC_MUT, UNUSED_ALLOW,
+    Severity, CRATE_LAYERING, DEAD_EXPORT, DETERMINISM_CERT, ERROR_DISCARD, HOT_PATH_CERT,
+    LOCK_ORDER_CYCLE, PANIC_REACHABILITY, SHARED_MUTABLE_STATIC, STATIC_MUT, UNUSED_ALLOW,
 };
 use udi_audit::{all_lints, audit_workspace, AuditReport};
 
@@ -25,6 +25,7 @@ fn fixture_yields_exactly_the_expected_diagnostics() {
         .iter()
         .map(|d| (d.path.as_str(), d.lint, d.line, d.severity))
         .collect();
+    let alpha = "crates/alpha/src/lib.rs";
     let beta = "crates/beta/src/lib.rs";
     let expected: Vec<(&str, &str, u32, Severity)> = vec![
         ("audit.ratchet", DEAD_EXPORT, 3, Severity::Error), // stale entry (helper is live)
@@ -34,6 +35,7 @@ fn fixture_yields_exactly_the_expected_diagnostics() {
             7,
             Severity::Error,
         ), // back-edge
+        (alpha, HOT_PATH_CERT, 20, Severity::Error),        // hot_tally: unwrap under guard
         ("crates/beta/Cargo.toml", CRATE_LAYERING, 8, Severity::Error), // undeclared gamma
         (beta, STATIC_MUT, 5, Severity::Error),
         (beta, SHARED_MUTABLE_STATIC, 7, Severity::Error),
@@ -46,6 +48,10 @@ fn fixture_yields_exactly_the_expected_diagnostics() {
         (beta, DEAD_EXPORT, 82, Severity::Error),        // never_used
         (beta, DEAD_EXPORT, 85, Severity::Warning),      // old_debt (ratcheted)
         (beta, UNUSED_ALLOW, 87, Severity::Error),       // stale allow
+        (beta, HOT_PATH_CERT, 92, Severity::Error),      // hot_read → lock_helper
+        (beta, HOT_PATH_CERT, 102, Severity::Error),     // hot_plan → io_helper
+        (beta, HOT_PATH_CERT, 115, Severity::Warning),   // hot_merge spawn (ratcheted)
+        (beta, HOT_PATH_CERT, 125, Severity::Error),     // hot_stream channel
     ];
     assert_eq!(
         got,
@@ -57,9 +63,80 @@ fn fixture_yields_exactly_the_expected_diagnostics() {
             .map(|d| format!("{d}\n"))
             .collect::<String>()
     );
-    assert_eq!(report.errors().count(), 11);
-    assert_eq!(report.warnings().count(), 3);
+    assert_eq!(report.errors().count(), 15);
+    assert_eq!(report.warnings().count(), 4);
     assert!(!report.is_clean());
+}
+
+#[test]
+fn hot_path_cert_names_budget_chain_and_site() {
+    let report = fixture_report();
+    let certs: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.lint == HOT_PATH_CERT)
+        .collect();
+    assert_eq!(certs.len(), 5, "{certs:?}");
+
+    // Lock violation goes through a helper, so the chain note rides along.
+    let lock = certs
+        .iter()
+        .find(|d| d.message.contains("lock-free"))
+        .expect("lock diagnostic");
+    assert_eq!(
+        lock.message,
+        "declared lock-free entry `udi-beta::hot_read` can reach a lock acquisition"
+    );
+    assert_eq!(
+        lock.notes[0],
+        "call chain: udi-beta::hot_read → udi-beta::lock_helper"
+    );
+    assert!(
+        lock.notes[1]
+            .starts_with("site: `.lock()` guard acquisition at crates/beta/src/lib.rs:97:"),
+        "{:?}",
+        lock.notes
+    );
+
+    // The poison violation sits in the root itself — no chain note, and
+    // the site names the guard variable.
+    let poison = certs
+        .iter()
+        .find(|d| d.message.contains("poison-free"))
+        .expect("poison diagnostic");
+    assert_eq!(
+        poison.message,
+        "declared poison-free entry `udi-alpha::hot_tally` can reach a panic under a held lock \
+         guard (mutex poison)"
+    );
+    assert!(
+        poison.notes[0].starts_with("site: `.unwrap()` while guard `g` is held (poisons the lock)"),
+        "{:?}",
+        poison.notes
+    );
+
+    // `safe_tally` drops its guard before the unwrap: declared poison-free
+    // and certifies clean. The spawn inside beta's #[cfg(test)] mod must
+    // not fail `hot_stream`'s spawn-free budget either: its only finding
+    // is the channel construction.
+    assert!(
+        !certs.iter().any(|d| d.message.contains("safe_tally")),
+        "path-sensitive guard kill ignored: {certs:?}"
+    );
+    let stream: Vec<_> = certs
+        .iter()
+        .filter(|d| d.message.contains("hot_stream"))
+        .collect();
+    assert_eq!(stream.len(), 1, "{stream:?}");
+    assert!(stream[0].message.contains("channel-free"), "{stream:?}");
+
+    // The ratcheted spawn entry downgrades to a warning.
+    let merge = certs
+        .iter()
+        .find(|d| d.message.contains("hot_merge"))
+        .expect("spawn diagnostic");
+    assert_eq!(merge.severity, Severity::Warning);
+    assert!(merge.message.ends_with("(ratcheted)"), "{}", merge.message);
 }
 
 #[test]
@@ -184,18 +261,19 @@ fn json_rendering_is_parseable_shape() {
     let report = fixture_report();
     let json = report.to_json();
     assert!(json.starts_with("{\"files_scanned\":2,"), "{json}");
-    assert!(json.contains("\"errors\":11"), "{json}");
-    assert!(json.contains("\"warnings\":3"), "{json}");
+    assert!(json.contains("\"errors\":15"), "{json}");
+    assert!(json.contains("\"warnings\":4"), "{json}");
     assert!(json.contains("\"lint\":\"panic-reachability\""), "{json}");
     // Per-lint counts ride in the summary for CI dashboards.
     assert!(json.contains("\"by_lint\":{"), "{json}");
     assert!(json.contains("\"lock-order-cycle\":1"), "{json}");
     assert!(json.contains("\"determinism-cert\":1"), "{json}");
     assert!(json.contains("\"error-discard\":2"), "{json}");
+    assert!(json.contains("\"hot-path-cert\":5"), "{json}");
     // Notes with special characters survive escaping (the → arrow is
     // plain UTF-8; quotes and backslashes are escaped).
     assert!(json.contains("call chain: udi-beta::entry"), "{json}");
-    assert_eq!(json.matches("\"severity\":\"warning\"").count(), 3);
+    assert_eq!(json.matches("\"severity\":\"warning\"").count(), 4);
 }
 
 #[test]

@@ -93,10 +93,17 @@ fn main() {
     let mut qps_at: Vec<(usize, f64)> = Vec::new();
     for &threads in thread_counts {
         udi.set_threads(threads);
-        // Warm pass doubling as the identity check.
+        // Warm pass doubling as the identity check. Threaded passes go
+        // through the explicit opt-in `answer_parallel` entry point — the
+        // plain `answer` path is certified spawn-free by udi-audit.
         let mut identical = true;
         for (q, expect) in queries.iter().zip(&baseline) {
-            if &bits(&udi.answer(q)) != expect {
+            let got = if threads > 1 {
+                udi.answer_parallel(q)
+            } else {
+                udi.answer(q)
+            };
+            if &bits(&got) != expect {
                 identical = false;
             }
         }
@@ -106,7 +113,11 @@ fn main() {
         let mut passes = 0u64;
         while t0.elapsed() < min_measure || passes < 2 {
             for q in &queries {
-                std::hint::black_box(udi.answer(q));
+                if threads > 1 {
+                    std::hint::black_box(udi.answer_parallel(q));
+                } else {
+                    std::hint::black_box(udi.answer(q));
+                }
                 executed += 1;
             }
             passes += 1;

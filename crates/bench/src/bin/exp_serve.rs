@@ -124,7 +124,7 @@ fn main() {
 
     // Phase 1: byte identity on every path, over the wire.
     let tenant = state.tenant("bench").expect("tenant");
-    let snapshot = tenant.handle().load();
+    let snapshot = tenant.snapshot();
     let (mut stream, mut reader) = connect(addr);
     for path in AnswerPath::ALL {
         let q = if path == AnswerPath::Aggregate {
@@ -214,7 +214,7 @@ fn main() {
     let mutations = if smoke { 3 } else { 5 };
     let load_start = Instant::now();
     std::thread::sleep(window / 4);
-    let gen_before = tenant.handle().generation();
+    let gen_before = state.tenant("bench").expect("tenant").generation();
     let (mut mstream, mut mreader) = connect(addr);
     let mut refresh_total = Duration::ZERO;
     for m in 0..mutations {
@@ -249,7 +249,7 @@ fn main() {
             "mutation {m} failed: {response}"
         );
     }
-    let gen_after = tenant.handle().generation();
+    let gen_after = state.tenant("bench").expect("tenant").generation();
     assert!(
         gen_after >= gen_before + mutations as u64,
         "{mutations} mutations must advance the generation at least {mutations} steps \

@@ -14,7 +14,9 @@ use std::sync::Arc;
 use udi_query::{execute_with_binding, AnswerSet, Binding, Query, SourceAccumulator};
 use udi_schema::{AttrId, Mapping, MediatedSchema};
 
-use crate::prepared::{fan_out, PlanPath, PreparedQuery, QueryPlan, SourceBindings};
+use crate::prepared::{
+    fan_out, fan_out_parallel, PlanPath, PreparedQuery, QueryPlan, SourceBindings,
+};
 use crate::system::UdiSystem;
 
 impl UdiSystem {
@@ -49,6 +51,48 @@ impl UdiSystem {
             return AnswerSet::new();
         };
         let (set, scanned, produced) = execute_select(self, plan, query, span.id());
+        span.count("query.tuples.scanned", scanned);
+        span.count("query.answers.produced", produced);
+        set
+    }
+
+    /// [`answer`](UdiSystem::answer) with per-source execution fanned out
+    /// across [`set_threads`](UdiSystem::set_threads) scoped workers.
+    /// Answers are byte-identical to [`answer`](UdiSystem::answer) at any
+    /// thread count; the only difference is wall-clock. Kept as a separate
+    /// entry point so the plain `answer*` family stays spawn-free — the
+    /// `hot-path-cert` audit pass certifies those paths, and a serving
+    /// loop that wants parallelism opts in here explicitly.
+    pub fn answer_parallel(&self, query: &Query) -> AnswerSet {
+        self.answer_parallel_traced(query, 0)
+    }
+
+    /// [`answer_parallel`](UdiSystem::answer_parallel) with an explicit
+    /// span parent (see [`answer_traced`](UdiSystem::answer_traced)).
+    pub fn answer_parallel_traced(&self, query: &Query, parent: u64) -> AnswerSet {
+        let mut span = self
+            .engine()
+            .recorder()
+            .span_with_parent("query.answer", parent);
+        span.field("path", "consolidated-parallel");
+        let attrs = query.referenced_attributes();
+        let prepared = self.plan_for(PlanPath::Consolidated, &query.to_string(), || {
+            self.compile_consolidated(&attrs)
+        });
+        let Some(plan) = prepared.plan() else {
+            return AnswerSet::new();
+        };
+        let (set, scanned, produced) =
+            fan_out_parallel(self, plan, span.id(), |table, bindings| {
+                let mut acc = SourceAccumulator::new();
+                let mut scanned = 0u64;
+                for (binding, p) in bindings {
+                    scanned += table.row_count() as u64;
+                    let rows = execute_with_binding(table, query, binding);
+                    acc.add_mapping(&rows, *p);
+                }
+                (acc.finish(), scanned)
+            });
         span.count("query.tuples.scanned", scanned);
         span.count("query.answers.produced", produced);
         set
@@ -191,7 +235,7 @@ impl UdiSystem {
             let mut combined: HashMap<udi_store::Row, f64> = HashMap::new();
             let mut tuple_order: Vec<udi_store::Row> = Vec::new();
             for key in &order {
-                let p_r = per_row[key].min(1.0);
+                let p_r = per_row.get(key).copied().unwrap_or(0.0).min(1.0);
                 match combined.get_mut(&key.1) {
                     Some(acc) => *acc = 1.0 - (1.0 - *acc) * (1.0 - p_r),
                     None => {
@@ -203,7 +247,7 @@ impl UdiSystem {
             let tuples: Vec<udi_query::AnswerTuple> = tuple_order
                 .into_iter()
                 .map(|values| {
-                    let probability = combined[&values];
+                    let probability = combined.get(&values).copied().unwrap_or(0.0);
                     udi_query::AnswerTuple {
                         values,
                         probability,
@@ -445,7 +489,7 @@ impl UdiSystem {
             .map(|(sid, _)| {
                 let mut pooled: BTreeMap<Vec<Option<AttrId>>, f64> = BTreeMap::new();
                 for (i, (_, p_schema)) in self.pmed().schemas().iter().enumerate() {
-                    let Some(clusters) = &resolved[i] else {
+                    let Some(clusters) = resolved.get(i).and_then(Option::as_ref) else {
                         continue;
                     };
                     for (m, p) in self.pmapping(sid.0 as usize, i).mappings() {
@@ -478,8 +522,9 @@ impl UdiSystem {
 }
 
 /// Execute a select plan: per source, run the query once per pooled
-/// binding and accumulate by-table probabilities — fanned out across the
-/// configured thread count by [`fan_out`].
+/// binding and accumulate by-table probabilities — sequentially, via
+/// [`fan_out`], so the certified answer paths stay spawn-free
+/// ([`UdiSystem::answer_parallel`] is the opt-in threaded variant).
 fn execute_select(
     sys: &UdiSystem,
     plan: &QueryPlan,

@@ -32,14 +32,14 @@
 //! must yield the identical mapping, and we reuse it without re-solving.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use udi_obs::{CounterSink, FanoutSink, Recorder, Sink, Stopwatch};
 use udi_schema::{
     assign_probabilities, build_similarity_graph_via, consolidate_schemas,
     enumerate_mediated_schemas, generate_pmapping_cached, AttrId, Consolidator, EdgeKind,
-    FrozenMatrix, MediatedSchema, PMapping, PMedSchema, SchemaSet, SimilarityGraph, SolveCache,
-    Vocabulary,
+    FrozenMatrix, Mapping, MediatedSchema, PMapping, PMedSchema, SchemaSet, SimilarityGraph,
+    SolveCache, Vocabulary,
 };
 use udi_similarity::{BlockIndex, Similarity};
 use udi_store::{Catalog, Table};
@@ -339,7 +339,9 @@ impl SetupEngine {
         }
         for (i, source) in self.schema_set.sources().iter().enumerate() {
             if source.attrs.iter().any(|a| judged_attrs.contains(a)) {
-                self.rows[i] = None;
+                if let Some(slot) = self.rows.get_mut(i) {
+                    *slot = None;
+                }
             }
         }
         self.feedback.merge(feedback);
@@ -437,10 +439,13 @@ impl SetupEngine {
                 &mut self.sim_cache,
                 self.schema_set.vocab(),
                 &wrapped,
-                nodes
-                    .iter()
-                    .enumerate()
-                    .flat_map(|(i, &a)| nodes[i + 1..].iter().map(move |&b| (a, b))),
+                nodes.iter().enumerate().flat_map(|(i, &a)| {
+                    nodes
+                        .get(i + 1..)
+                        .unwrap_or(&[])
+                        .iter()
+                        .map(move |&b| (a, b))
+                }),
                 &self.recorder,
             ),
         }
@@ -573,7 +578,10 @@ impl SetupEngine {
                 for (si, range) in self.catalog.shard_ranges().iter().enumerate() {
                     let dirty = range
                         .clone()
-                        .filter(|&i| plan[i].iter().any(Option::is_none))
+                        .filter(|&i| {
+                            plan.get(i)
+                                .is_some_and(|row| row.iter().any(Option::is_none))
+                        })
                         .count();
                     let mut sp = self.recorder.span_with_parent("engine.shard", stage3_id);
                     sp.field("shard", si);
@@ -604,7 +612,7 @@ impl SetupEngine {
                 new_list_ref
                     .iter()
                     .enumerate()
-                    .map(|(j, med)| match plan[i][j] {
+                    .map(|(j, med)| match plan.get(i).and_then(|row| row.get(j)).copied().flatten() {
                         Some(oj) => old
                             .as_mut()
                             .and_then(|row| row.get_mut(oj))
@@ -612,20 +620,25 @@ impl SetupEngine {
                             .ok_or(UdiError::Internal(
                                 "p-mapping reuse plan pointed at a missing or already-claimed column",
                             )),
-                        None => {
-                            let mut span =
-                                recorder.span_with_parent("engine.pmapping.build", stage3_id);
-                            span.field("source", i);
-                            span.field("schema", j);
-                            generate_pmapping_cached(
-                                &sources[i],
-                                med,
-                                matrix_ref,
-                                params_ref,
-                                Some(solve_cache),
-                            )
-                            .map_err(UdiError::from)
-                        }
+                        None => match sources.get(i) {
+                            Some(source) => {
+                                let mut span =
+                                    recorder.span_with_parent("engine.pmapping.build", stage3_id);
+                                span.field("source", i);
+                                span.field("schema", j);
+                                generate_pmapping_cached(
+                                    source,
+                                    med,
+                                    matrix_ref,
+                                    params_ref,
+                                    Some(solve_cache),
+                                )
+                                .map_err(UdiError::from)
+                            }
+                            None => Err(UdiError::Internal(
+                                "p-mapping build pointed at a missing source",
+                            )),
+                        },
                     })
                     .collect::<Result<Vec<PMapping>, UdiError>>()
             };
@@ -825,9 +838,15 @@ impl SetupEngine {
             .expect("engine not refreshed yet")
     }
 
-    /// The consolidated p-mapping of source `src`.
+    /// The consolidated p-mapping of source `src`. An out-of-range index
+    /// reads as the trivial empty mapping (sources only gain rows through
+    /// refresh, so the fallback is inert in practice).
     pub fn consolidated_pmapping(&self, src: usize) -> &PMapping {
-        &self.cons_rows[src]
+        // udi-audit: allow(shared-mutable-static, "write-once fallback row; no observable mutation after init")
+        static EMPTY: OnceLock<PMapping> = OnceLock::new();
+        self.cons_rows
+            .get(src)
+            .unwrap_or_else(|| EMPTY.get_or_init(|| PMapping::new(vec![(Mapping::empty(), 1.0)])))
     }
 
     /// Diagnostics of the last refresh (or the manual assembly).

@@ -173,10 +173,14 @@ pub fn suggest_questions(system: &UdiSystem) -> Vec<Question> {
     let attrs: Vec<_> = pmed.top().attribute_set().into_iter().collect();
     let mut out = Vec::new();
     for (i, &x) in attrs.iter().enumerate() {
-        for &y in &attrs[i + 1..] {
+        for &y in attrs.get(i + 1..).unwrap_or(&[]) {
             let mut together = 0.0;
             let mut differs = false;
-            let first = pmed.schemas()[0].0.cluster_of(x) == pmed.schemas()[0].0.cluster_of(y);
+            let first = pmed
+                .schemas()
+                .first()
+                .map(|(m, _)| m.cluster_of(x) == m.cluster_of(y))
+                .unwrap_or(true);
             for (m, p) in pmed.schemas() {
                 let t = m.cluster_of(x) == m.cluster_of(y);
                 if t {

@@ -49,7 +49,6 @@ pub mod feedback;
 pub mod persist;
 pub mod pipeline;
 pub mod prepared;
-pub mod snapshot;
 pub mod system;
 
 pub use answer::{BindingExplanation, Explanation, SourceExplanation};
@@ -58,7 +57,6 @@ pub use feedback::{suggest_questions, Feedback, FeedbackMeasure, Question};
 pub use persist::PersistError;
 pub use pipeline::{CacheStats, MeasureKind, SetupReport, SetupTimings, UdiConfig};
 pub use prepared::{PlanPath, PreparedQuery};
-pub use snapshot::SystemHandle;
 pub use system::UdiSystem;
 
 /// Errors surfaced by system setup or query answering.

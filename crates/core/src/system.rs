@@ -164,7 +164,9 @@ impl UdiSystem {
         measure: &(dyn Similarity + Sync),
     ) -> Result<(), UdiError> {
         self.engine.add_source(table)?;
-        self.engine.refresh(measure)
+        let out = self.engine.refresh(measure);
+        self.plans = PlanCache::new();
+        out
     }
 
     /// Drop the source named `name` and re-configure incrementally.
@@ -184,6 +186,7 @@ impl UdiSystem {
     ) -> Result<Table, UdiError> {
         let table = self.engine.remove_source(name)?;
         self.engine.refresh(measure)?;
+        self.plans = PlanCache::new();
         Ok(table)
     }
 
@@ -206,7 +209,9 @@ impl UdiSystem {
         measure: &(dyn Similarity + Sync),
     ) -> Result<(), UdiError> {
         self.engine.apply_feedback(feedback);
-        self.engine.refresh(measure)
+        let out = self.engine.refresh(measure);
+        self.plans = PlanCache::new();
+        out
     }
 
     /// The underlying incremental setup engine (read-only).
@@ -302,7 +307,10 @@ impl UdiSystem {
                         .unwrap_or(std::cmp::Ordering::Equal)
                         .then_with(|| na.cmp(nb))
                 });
-                let rep = members[0].1.to_owned();
+                let rep = members
+                    .first()
+                    .map(|(_, n)| (*n).to_owned())
+                    .unwrap_or_default();
                 let names = members.into_iter().map(|(_, n)| n.to_owned()).collect();
                 (rep, names)
             })

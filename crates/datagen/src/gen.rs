@@ -104,7 +104,10 @@ pub fn generate_with_concepts(
     for s in 0..n_sources {
         // 1. Pick the concepts this source covers.
         let mut chosen: Vec<usize> = (0..concepts.len())
-            .filter(|&i| rng.gen_bool(concepts[i].popularity))
+            .filter(|&i| {
+                let pop = concepts.get(i).map(|c| c.popularity).unwrap_or(0.0);
+                rng.gen_bool(pop)
+            })
             .collect();
         if chosen.len() < 2 {
             chosen = vec![0, 1.min(concepts.len() - 1)];
@@ -116,16 +119,17 @@ pub fn generate_with_concepts(
         // inventories may not know the groups' keys; missing keys are
         // ignored.)
         for group in required {
-            let satisfied = chosen.iter().any(|&i| group.contains(&concepts[i].key));
+            let satisfied = chosen
+                .iter()
+                .any(|&i| concepts.get(i).is_some_and(|c| group.contains(&c.key)));
             if !satisfied {
                 if let Some(pick) = group
                     .iter()
                     .filter_map(|k| concepts.iter().position(|c| c.key == *k))
                     .max_by(|&a, &b| {
-                        concepts[a]
-                            .popularity
-                            .partial_cmp(&concepts[b].popularity)
-                            .unwrap_or(std::cmp::Ordering::Equal)
+                        let pa = concepts.get(a).map(|c| c.popularity).unwrap_or(0.0);
+                        let pb = concepts.get(b).map(|c| c.popularity).unwrap_or(0.0);
+                        pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
                     })
                 {
                     chosen.push(pick);
@@ -141,7 +145,7 @@ pub fn generate_with_concepts(
         let mut attrs: Vec<(usize, String)> = Vec::with_capacity(chosen.len());
         let mut used: Vec<&str> = Vec::new();
         for &ci in &chosen {
-            let c = &concepts[ci];
+            let Some(c) = concepts.get(ci) else { continue };
             if let Some(v) = pick_variant(c, &used, &mut rng) {
                 used.push(v);
                 attrs.push((ci, v.to_owned()));
@@ -152,8 +156,8 @@ pub fn generate_with_concepts(
         // 3. Decide per-source stringly storage for numeric concepts.
         let stringly: Vec<bool> = attrs
             .iter()
-            .map(|&(ci, _)| match concepts[ci].value {
-                ValueKind::IntRange { stringly, .. } => rng.gen_bool(stringly),
+            .map(|&(ci, _)| match concepts.get(ci).map(|c| c.value) {
+                Some(ValueKind::IntRange { stringly, .. }) => rng.gen_bool(stringly),
                 _ => false,
             })
             .collect();
@@ -176,7 +180,11 @@ pub fn generate_with_concepts(
                     if rng.gen_bool(cfg.null_rate) {
                         return Value::Null;
                     }
-                    let v = universe[e][ci].clone();
+                    let v = universe
+                        .get(e)
+                        .and_then(|row| row.get(ci))
+                        .cloned()
+                        .unwrap_or(Value::Null);
                     if as_text {
                         Value::Text(v.to_string())
                     } else {
@@ -196,7 +204,13 @@ pub fn generate_with_concepts(
         per_source_truth.push(
             attrs
                 .into_iter()
-                .map(|(ci, a)| (a, concepts[ci].key.to_owned()))
+                .map(|(ci, a)| {
+                    let key = concepts
+                        .get(ci)
+                        .map(|c| c.key.to_owned())
+                        .unwrap_or_default();
+                    (a, key)
+                })
                 .collect(),
         );
     }

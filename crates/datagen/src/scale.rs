@@ -125,7 +125,10 @@ fn popularity(c: usize) -> f64 {
 /// Render token-pattern `p` in concept `c`'s alphabet.
 fn token(c: usize, p: usize) -> String {
     let (lo, hi) = alphabet(c);
-    TOKEN_PATTERNS[p % TOKEN_PATTERNS.len()]
+    TOKEN_PATTERNS
+        .get(p % TOKEN_PATTERNS.len())
+        .map(|pat| pat.as_slice())
+        .unwrap_or_default()
         .iter()
         .map(|&bit| if bit { hi } else { lo })
         .collect()
@@ -172,15 +175,19 @@ pub fn decorated_label(c: usize, s: usize) -> String {
             }
             // Double a letter inside one token.
             2 => {
-                let t = &mut tokens[at];
-                let ch = t.as_bytes()[(roll % t.len() as u64) as usize] as char;
-                t.push(ch);
+                if let Some(t) = tokens.get_mut(at) {
+                    let pos = (roll % t.len() as u64) as usize;
+                    let ch = t.as_bytes().get(pos).copied().unwrap_or(b'a') as char;
+                    t.push(ch);
+                }
             }
             // Fuse a token with its neighbour (drop the space).
             _ => {
                 let next = tokens.remove((at + 1) % tokens.len());
                 let into = at.min(tokens.len() - 1);
-                tokens[into].push_str(&next);
+                if let Some(t) = tokens.get_mut(into) {
+                    t.push_str(&next);
+                }
             }
         }
         roll = mix(roll);

@@ -141,14 +141,20 @@ impl ValueKind {
                 Value::text(format!("https://pubmed.example.org/{id}"))
             }
             ValueKind::TimeSlot => {
-                let day = ["Mon", "Tue", "Wed", "Thu", "Fri"][rng.gen_range(0..5)];
+                const DAYS: [&str; 5] = ["Mon", "Tue", "Wed", "Thu", "Fri"];
+                let day = DAYS.get(rng.gen_range(0..5)).copied().unwrap_or("Mon");
                 let hour: u32 = rng.gen_range(8..18);
                 Value::text(format!("{day} {hour}:00"))
             }
             ValueKind::Vin => {
                 const CHARS: &[u8] = b"ABCDEFGHJKLMNPRSTUVWXYZ0123456789";
                 let s: String = (0..17)
-                    .map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char)
+                    .map(|_| {
+                        CHARS
+                            .get(rng.gen_range(0..CHARS.len()))
+                            .copied()
+                            .unwrap_or(b'A') as char
+                    })
                     .collect();
                 Value::text(s)
             }
@@ -158,7 +164,10 @@ impl ValueKind {
 
 fn choose(rng: &mut StdRng, p: PoolId) -> &'static str {
     let words = pool(p);
-    words[rng.gen_range(0..words.len())]
+    words
+        .get(rng.gen_range(0..words.len()))
+        .copied()
+        .unwrap_or("")
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@ pub fn pairwise_metrics(predicted: &[BTreeSet<String>], golden: &[BTreeSet<Strin
             let members: Vec<&String> =
                 c.iter().filter(|a| universe.contains(a.as_str())).collect();
             for (i, a) in members.iter().enumerate() {
-                for b in &members[i + 1..] {
+                for b in members.get(i + 1..).unwrap_or(&[]) {
                     let (x, y) = if a < b { (a, b) } else { (b, a) };
                     pairs.insert(((*x).clone(), (*y).clone()));
                 }

@@ -128,7 +128,7 @@ pub fn precision_at_recall(curve: &[RpPoint], r: f64) -> f64 {
 /// list scores 1 against an empty golden list and 0 otherwise.
 pub fn top_k_precision(ranked: &[AnswerTuple], golden: &[Row], k: usize) -> f64 {
     let golden_set: HashSet<&Row> = golden.iter().collect();
-    let prefix = &ranked[..k.min(ranked.len())];
+    let prefix = ranked.get(..k.min(ranked.len())).unwrap_or(&[]);
     if prefix.is_empty() {
         return if golden_set.is_empty() { 1.0 } else { 0.0 };
     }

@@ -53,7 +53,9 @@ pub fn generate_workload(gen: &GeneratedDomain, n: usize, seed: u64) -> Vec<Quer
 fn attribute_pool(gen: &GeneratedDomain) -> Vec<(String, String, f64)> {
     let mut pool: Vec<(String, String, f64)> = Vec::new();
     for c in &gen.concepts {
-        let canonical = c.variants[0];
+        let Some(canonical) = c.variants.first().copied() else {
+            continue;
+        };
         if gen.catalog.attribute_frequency(canonical) >= 0.10 && !gen.truth.is_ambiguous(canonical)
         {
             pool.push((c.key.to_owned(), canonical.to_owned(), c.popularity.powi(3)));
@@ -111,7 +113,9 @@ fn generate_one(
 
     let mut predicates = Vec::new();
     for _ in 0..n_pred {
-        let (key, attr, _) = &pool[rng.gen_range(0..pool.len())];
+        let Some((key, attr, _)) = pool.get(rng.gen_range(0..pool.len())) else {
+            continue;
+        };
         // A predicate may reuse a select attribute (same name) but must not
         // introduce a different name for an already-referenced concept.
         if !select.contains(attr) && used_keys.iter().any(|u| overlapping(u, key)) {
@@ -174,7 +178,13 @@ fn pick_op(value: &Value, rng: &mut StdRng) -> (CompareOp, Value) {
                 CompareOp::Gt,
                 CompareOp::Ge,
             ];
-            (ops[rng.gen_range(0..ops.len())], value.clone())
+            {
+                let op = ops
+                    .get(rng.gen_range(0..ops.len()))
+                    .copied()
+                    .unwrap_or(CompareOp::Eq);
+                (op, value.clone())
+            }
         }
         Value::Text(s) => {
             match rng.gen_range(0..4) {
@@ -190,7 +200,13 @@ fn pick_op(value: &Value, rng: &mut StdRng) -> (CompareOp, Value) {
                     // Range comparison on text exercises the lexicographic
                     // path (including the stringly-number artifact).
                     let ops = [CompareOp::Lt, CompareOp::Ge];
-                    (ops[rng.gen_range(0..ops.len())], value.clone())
+                    {
+                        let op = ops
+                            .get(rng.gen_range(0..ops.len()))
+                            .copied()
+                            .unwrap_or(CompareOp::Eq);
+                        (op, value.clone())
+                    }
                 }
             }
         }

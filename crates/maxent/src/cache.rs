@@ -52,6 +52,10 @@ struct CachedGroup {
 pub struct SolveCache {
     // udi-audit: allow(deterministic-iteration, "content-addressed memo queried by canonical key; never iterated")
     map: Mutex<HashMap<CanonKey, CachedGroup>>,
+    /// Entry count mirror of `map`, maintained at insert time so
+    /// [`SolveCache::len`] (a serving-layer stats read) never takes the
+    /// memo lock.
+    entries: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     /// Telemetry: `maxent.solve.hit`/`maxent.solve.miss` counters plus
@@ -72,9 +76,21 @@ impl Clone for SolveCache {
     /// Deep-copies the memo table (entries are plain data) and carries the
     /// hit/miss tallies and recorder over, so a cloned engine snapshot
     /// starts warm. Used by the serve layer's clone-on-refresh path.
+    ///
+    /// Non-blocking by design: cloning sits on the serving layer's
+    /// certified read path (snapshot cloning), so a contended memo mutex
+    /// must not stall it. `try_lock` either wins immediately or yields a
+    /// cold cache — an empty memo is still a correct memo.
     fn clone(&self) -> SolveCache {
+        let map = match self.map.try_lock() {
+            Ok(g) => g.clone(),
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner().clone(),
+            // udi-audit: allow(deterministic-iteration, "cold fallback of the content-addressed memo; never iterated")
+            Err(std::sync::TryLockError::WouldBlock) => HashMap::new(),
+        };
         SolveCache {
-            map: Mutex::new(recover(self.map.lock()).clone()),
+            entries: AtomicU64::new(map.len() as u64),
+            map: Mutex::new(map),
             hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
             misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
             recorder: self.recorder.clone(),
@@ -104,9 +120,10 @@ impl SolveCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of distinct canonical instances stored.
+    /// Number of distinct canonical instances stored. Reads the atomic
+    /// mirror, not the map — lock-free by design (certified read path).
     pub fn len(&self) -> usize {
-        recover(self.map.lock()).len()
+        self.entries.load(Ordering::Relaxed) as usize
     }
 
     /// True when nothing has been cached yet.
@@ -153,13 +170,16 @@ impl SolveCache {
             self.recorder.observe("maxent.residual", sol.residual);
         }
         let probabilities = sol.probabilities;
-        recover(self.map.lock()).insert(
+        let prior = recover(self.map.lock()).insert(
             key,
             CachedGroup {
                 matchings_local: matchings.clone(),
                 probabilities: probabilities.clone(),
             },
         );
+        if prior.is_none() {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
         Ok((matchings, probabilities))
     }
 }

@@ -60,7 +60,9 @@ fn dfs(
     // Branch 1: exclude correspondence `idx`.
     dfs(list, idx + 1, current, used_source, used_target, out, cap)?;
     // Branch 2: include it, if both endpoints are free.
-    let c = &list[idx];
+    let Some(c) = list.get(idx) else {
+        return Ok(());
+    };
     if !used_source.contains(&c.source) && !used_target.contains(&c.target) {
         current.push(idx);
         used_source.push(c.source);
@@ -79,7 +81,9 @@ pub fn feature_matrix(n_corrs: usize, matchings: &[Matching]) -> Vec<Vec<bool>> 
     let mut f = vec![vec![false; matchings.len()]; n_corrs];
     for (k, m) in matchings.iter().enumerate() {
         for &c in m {
-            f[c][k] = true;
+            if let Some(slot) = f.get_mut(c).and_then(|row| row.get_mut(k)) {
+                *slot = true;
+            }
         }
     }
     f

@@ -142,19 +142,39 @@ impl GroupedDistribution {
 pub fn connected_groups(corrs: &[Correspondence]) -> Vec<Vec<usize>> {
     let n = corrs.len();
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
-        if parent[x] != x {
-            let root = find(parent, parent[x]);
-            parent[x] = root;
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        // Iterative walk with checked access: an out-of-range index is its
+        // own root, so `find` is total.
+        let mut root = x;
+        while let Some(&p) = parent.get(root) {
+            if p == root {
+                break;
+            }
+            root = p;
         }
-        parent[x]
+        // Path compression: repoint every node on the walk at the root.
+        let mut cur = x;
+        while let Some(slot) = parent.get_mut(cur) {
+            let next = *slot;
+            if next == cur {
+                break;
+            }
+            *slot = root;
+            cur = next;
+        }
+        root
     }
     for i in 0..n {
         for j in (i + 1)..n {
-            if corrs[i].source == corrs[j].source || corrs[i].target == corrs[j].target {
+            let (Some(ci), Some(cj)) = (corrs.get(i), corrs.get(j)) else {
+                continue;
+            };
+            if ci.source == cj.source || ci.target == cj.target {
                 let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
                 if ri != rj {
-                    parent[ri] = rj;
+                    if let Some(slot) = parent.get_mut(ri) {
+                        *slot = rj;
+                    }
                 }
             }
         }
@@ -190,12 +210,13 @@ pub fn solve_correspondences_cached(
     let mut factors = Vec::new();
     for group in connected_groups(all) {
         // Local view of this group's correspondences.
-        let local: Vec<Correspondence> = group.iter().map(|&g| all[g]).collect();
+        let local: Vec<Correspondence> =
+            group.iter().filter_map(|&g| all.get(g).copied()).collect();
         let (matchings_local, probabilities) = solve_group_via(cache, &local, config)?;
         // Re-index matchings to global correspondence indices.
         let matchings: Vec<Matching> = matchings_local
             .iter()
-            .map(|m| m.iter().map(|&li| group[li]).collect())
+            .map(|m| m.iter().filter_map(|&li| group.get(li).copied()).collect())
             .collect();
         factors.push(MappingFactor {
             corr_indices: group,

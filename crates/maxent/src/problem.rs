@@ -53,10 +53,11 @@ impl CorrespondenceSet {
                     weight: c.weight,
                 });
             }
-            if corrs[..i]
-                .iter()
-                .any(|d| d.source == c.source && d.target == c.target)
-            {
+            let dup = corrs.get(..i).is_some_and(|head| {
+                head.iter()
+                    .any(|d| d.source == c.source && d.target == c.target)
+            });
+            if dup {
                 return Err(MaxEntError::DuplicateCorrespondence {
                     source: c.source,
                     target: c.target,

@@ -97,8 +97,13 @@ pub fn solve_max_entropy(
         // Scores s_k = Σ_{c∈m_k} λ_c, computed via the feature matrix.
         let mut smax = f64::NEG_INFINITY;
         for (k, m) in matchings.iter().enumerate() {
-            let s: f64 = m.iter().map(|&c| lambda[c]).sum();
-            p[k] = s;
+            let s: f64 = m
+                .iter()
+                .map(|&c| lambda.get(c).copied().unwrap_or(0.0))
+                .sum();
+            if let Some(slot) = p.get_mut(k) {
+                *slot = s;
+            }
             smax = smax.max(s);
         }
         let mut z = 0.0;
@@ -112,13 +117,19 @@ pub fn solve_max_entropy(
         // Dual value g(λ) and gradient E_p[f_c] − w_c.
         let mut g = smax + z.ln();
         for c in 0..n_corrs {
-            let e: f64 = features[c]
+            let e: f64 = features
+                .get(c)
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
                 .iter()
                 .zip(p.iter())
                 .filter_map(|(&f, &pk)| f.then_some(pk))
                 .sum();
-            grad[c] = e - targets[c];
-            g -= lambda[c] * targets[c];
+            let target = targets.get(c).copied().unwrap_or(0.0);
+            if let Some(slot) = grad.get_mut(c) {
+                *slot = e - target;
+            }
+            g -= lambda.get(c).copied().unwrap_or(0.0) * target;
         }
         g
     };
@@ -140,7 +151,11 @@ pub fn solve_max_entropy(
         let mut accepted = false;
         for _ in 0..60 {
             for c in 0..n_corrs {
-                trial_lambda[c] = lambda[c] - t * grad[c];
+                let lc = lambda.get(c).copied().unwrap_or(0.0);
+                let gc = grad.get(c).copied().unwrap_or(0.0);
+                if let Some(slot) = trial_lambda.get_mut(c) {
+                    *slot = lc - t * gc;
+                }
             }
             let tg = eval(&trial_lambda, &mut trial_p, &mut trial_grad);
             if tg <= g - 0.25 * t * grad_sq {

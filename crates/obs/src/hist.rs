@@ -63,7 +63,9 @@ impl Histogram {
 
     /// Record one observation.
     pub fn observe(&mut self, value: f64) {
-        self.counts[Histogram::bucket_of(value)] += 1;
+        if let Some(slot) = self.counts.get_mut(Histogram::bucket_of(value)) {
+            *slot += 1;
+        }
         self.n += 1;
         if value.is_finite() {
             self.sum += value;

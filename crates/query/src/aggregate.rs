@@ -245,11 +245,17 @@ pub fn execute_aggregate_with_binding(
     let mut groups: BTreeMap<Row, Vec<AggState>> = BTreeMap::new();
     'rows: for ri in 0..table.row_count() {
         for (p, col) in query.predicates.iter().zip(&pred_slices) {
-            if !p.op.eval(&col[ri], &p.value) {
+            // Checked access: a short column (impossible for a well-formed
+            // table) reads as no-match instead of panicking.
+            let Some(v) = col.get(ri) else { continue 'rows };
+            if !p.op.eval(v, &p.value) {
                 continue 'rows;
             }
         }
-        let key: Row = group_slices.iter().map(|s| s[ri].clone()).collect();
+        let key: Row = group_slices
+            .iter()
+            .map(|s| s.get(ri).cloned().unwrap_or(Value::Null))
+            .collect();
         let states = groups.entry(key).or_insert_with(|| {
             query
                 .aggregates
@@ -258,7 +264,7 @@ pub fn execute_aggregate_with_binding(
                 .collect()
         });
         for (state, col) in states.iter_mut().zip(&agg_slices) {
-            state.feed(col.map(|s| &s[ri]));
+            state.feed(col.and_then(|s| s.get(ri)));
         }
     }
     if groups.is_empty() && query.group_by.is_empty() {

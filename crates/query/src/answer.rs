@@ -78,7 +78,7 @@ impl SourceAccumulator {
         self.order
             .into_iter()
             .map(|values| {
-                let probability = clamp_prob(self.probs[&values]);
+                let probability = clamp_prob(self.probs.get(&values).copied().unwrap_or(0.0));
                 AnswerTuple {
                     values,
                     probability,
@@ -156,7 +156,7 @@ impl AnswerSet {
         let mut out: Vec<AnswerTuple> = order
             .into_iter()
             .map(|values| {
-                let probability = acc[&values];
+                let probability = acc.get(&values).copied().unwrap_or(0.0);
                 AnswerTuple {
                     values,
                     probability,

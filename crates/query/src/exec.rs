@@ -105,7 +105,10 @@ pub fn execute_with_binding_indexed(
     let mut out = Vec::new();
     'rows: for ri in 0..table.row_count() {
         for (p, col) in query.predicates.iter().zip(&pred_slices) {
-            if !p.op.eval(&col[ri], &p.value) {
+            // Checked access: a short column (impossible for a well-formed
+            // table) reads as no-match instead of panicking.
+            let Some(v) = col.get(ri) else { continue 'rows };
+            if !p.op.eval(v, &p.value) {
                 continue 'rows;
             }
         }
@@ -113,7 +116,7 @@ pub fn execute_with_binding_indexed(
             ri,
             select_slices
                 .iter()
-                .map(|s| s[ri].clone())
+                .map(|s| s.get(ri).cloned().unwrap_or(Value::Null))
                 .collect::<Vec<Value>>(),
         ));
     }

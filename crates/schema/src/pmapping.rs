@@ -52,11 +52,10 @@ pub fn generate_pmapping_cached(
         if p <= 1e-12 {
             continue;
         }
-        let mapping = Mapping::one_to_one(
-            matching
-                .iter()
-                .map(|&c| (source.attrs[list[c].source], list[c].target)),
-        );
+        let mapping = Mapping::one_to_one(matching.iter().filter_map(|&c| {
+            let corr = list.get(c)?;
+            Some((source.attrs.get(corr.source).copied()?, corr.target))
+        }));
         total += p;
         mappings.push((mapping, p));
     }

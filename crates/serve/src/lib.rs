@@ -13,7 +13,8 @@
 //!   One request line in, one response line out; answers render through
 //!   the same deterministic renderer the identity tests run over library
 //!   results, so a server answer is byte-identical to the library's.
-//! - **State** ([`state`]): per-tenant `SystemHandle` snapshot slots.
+//! - **State** ([`state`]): immutable per-tenant snapshot records,
+//!   replaced wholesale on mutation so reads stay lock-free.
 //!   Readers load an `Arc` and never block; mutations clone the snapshot,
 //!   re-run setup off to the side, and publish atomically
 //!   (clone-mutate-publish). [`execute_answer`] is the certified
@@ -60,4 +61,4 @@ pub use proto::{
     Request, RequestError,
 };
 pub use server::{handle_line, Server, ServerConfig};
-pub use state::{execute_answer, handle, ServeState, Tenant};
+pub use state::{execute_answer, handle, stats_response, ServeState, Tenant};

@@ -102,8 +102,10 @@ impl JobQueue {
         Push::Queued
     }
 
-    /// Blocks until a job is available; `None` once closed and drained.
-    fn pop(&self) -> Option<Job> {
+    /// Blocks until a job is available; `None` once sealed and drained.
+    // Named `next_job` (not `pop`) for the same aliasing reason as `seal`:
+    // `.pop()` is everywhere in string/vec code, and this method blocks.
+    fn next_job(&self) -> Option<Job> {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(job) = inner.jobs.pop_front() {
@@ -119,7 +121,11 @@ impl JobQueue {
         }
     }
 
-    fn close(&self) {
+    // Named `seal` (not `close`) so the workspace call graph's
+    // method-name over-approximation cannot alias it with the ubiquitous
+    // `udi_obs::Span::close` — the hot-path certificate would otherwise
+    // pull the whole shutdown path into every span-using summary.
+    fn seal(&self) {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.closed = true;
         drop(inner);
@@ -195,7 +201,7 @@ impl Server {
     /// Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        self.queue.close();
+        self.queue.seal();
         // Unblock the accept loop with a throwaway connection.
         TcpStream::connect(self.addr).ok();
         if let Some(accept) = self.accept.take() {
@@ -265,7 +271,7 @@ fn connection_loop(stream: TcpStream, state: &ServeState, queue: &Arc<JobQueue>)
 }
 
 fn worker_loop(state: &ServeState, queue: &Arc<JobQueue>) {
-    while let Some(job) = queue.pop() {
+    while let Some(job) = queue.next_job() {
         match parse_request(&job.line) {
             // Mutations rebuild a whole snapshot — minutes of CPU at large
             // corpus sizes. Running them on the worker pool would put a

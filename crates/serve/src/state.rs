@@ -1,13 +1,18 @@
 //! Multi-tenant server state and request dispatch.
 //!
-//! Each tenant owns one [`SystemHandle`] — an atomically swapped
-//! [`UdiSystem`] snapshot. Readers [`SystemHandle::load`] an `Arc` and answer
-//! against it without ever blocking on a refresh; mutations serialize on the
-//! tenant's `mutate` lock, clone the current snapshot, apply the change
-//! off to the side (the expensive part — re-running setup — happens while
-//! readers keep using the old snapshot), and publish the successor
-//! atomically. A reader therefore always sees a complete generation, old or
-//! new, never a torn one.
+//! Each tenant is an **immutable snapshot record**: an `Arc<UdiSystem>`
+//! plus the generation it was published under. Readers
+//! [`Tenant::snapshot`] the `Arc` — a plain reference-count bump, no lock
+//! anywhere — and answer against it without ever blocking on a refresh.
+//! Mutations go through [`ServeState::mutate_tenant`]: writers serialize
+//! on the tenant's gate (shared across record replacements), clone the
+//! current snapshot, apply the change off to the side (the expensive part
+//! — re-running setup — happens while readers keep using the old
+//! snapshot), and publish by replacing the whole `Arc<Tenant>` record in
+//! the tenant map. A reader therefore always sees a complete generation,
+//! old or new, never a torn one — and the read path is certified
+//! **lock-free + io-free + spawn-free** by udi-audit's `hot-path-cert`
+//! pass (`audit.toml [effects]`), not just by convention.
 //!
 //! [`handle`] is the dispatcher: it opens a `serve.request` span whose id is
 //! the per-request trace id, and [`execute_answer`] parents the library's
@@ -15,48 +20,56 @@
 //! spans) onto that id — one request, one connected trace tree.
 //! [`execute_answer`] is also the crate's certified-deterministic entry
 //! point (`audit.toml [determinism]`): everything reachable from it sticks
-//! to order-stable containers and injected clocks.
+//! to order-stable containers and injected clocks. The dispatcher itself
+//! is deliberately *not* a certified entry — the tenant-map lookup takes
+//! the map lock; everything after the lookup routes through the certified
+//! helpers ([`execute_answer`], [`stats_response`], [`Tenant::snapshot`]).
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, PoisonError};
 
-use udi_core::{Feedback, SystemHandle, UdiSystem};
+use udi_core::{Feedback, UdiSystem};
 use udi_obs::{CounterSink, Recorder};
 
 use crate::json::Json;
 use crate::proto::{error_response, ok_response, render_answers, AnswerPath, Op, Request};
 
-/// One tenant: a snapshot slot plus a mutation lock.
+/// One tenant, as an immutable published record.
 ///
-/// The `mutate` lock serializes writers only. Readers go straight to
-/// [`SystemHandle::load`] and never touch it.
+/// A `Tenant` is never mutated in place: [`ServeState::mutate_tenant`]
+/// builds a successor record and swaps the `Arc<Tenant>` in the tenant
+/// map. That is what makes [`snapshot`](Tenant::snapshot) lock-free — a
+/// reader holding any record (current or superseded) just bumps the
+/// `Arc`'s reference count. The `gate` is shared by every record in a
+/// tenant's lineage and serializes writers only; no read path touches it.
 #[derive(Debug)]
 pub struct Tenant {
-    handle: SystemHandle,
-    mutate: Mutex<()>,
+    system: Arc<UdiSystem>,
+    generation: u64,
+    gate: Arc<Mutex<()>>,
 }
 
 impl Tenant {
-    fn new(system: UdiSystem) -> Tenant {
+    fn first(system: UdiSystem) -> Tenant {
         Tenant {
-            handle: SystemHandle::new(system),
-            mutate: Mutex::new(()),
+            system: Arc::new(system),
+            generation: 1,
+            gate: Arc::new(Mutex::new(())),
         }
     }
 
-    /// The tenant's snapshot slot.
-    pub fn handle(&self) -> &SystemHandle {
-        &self.handle
+    /// The tenant's current system snapshot — a reference-count bump,
+    /// nothing else. Certified lock-free + io-free + spawn-free
+    /// (`audit.toml [effects]`).
+    pub fn snapshot(&self) -> Arc<UdiSystem> {
+        Arc::clone(&self.system)
     }
 
-    /// Clone-mutate-publish: run `apply` on a private clone of the current
-    /// snapshot, then publish the result. Returns the published generation.
-    /// Readers keep answering on the old snapshot throughout.
-    pub fn mutate<E>(&self, apply: impl FnOnce(&mut UdiSystem) -> Result<(), E>) -> Result<u64, E> {
-        let _guard = self.mutate.lock().unwrap_or_else(PoisonError::into_inner);
-        let mut next = (*self.handle.load()).clone();
-        apply(&mut next)?;
-        Ok(self.handle.publish(next))
+    /// The publish generation of this record: 1 for a fresh registration,
+    /// +1 per successful [`ServeState::mutate_tenant`]. Distinct from the
+    /// engine generation, which counts setup refreshes.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 }
 
@@ -88,11 +101,43 @@ impl ServeState {
 
     /// Registers (or replaces) a tenant serving `system`.
     pub fn register_tenant(&self, name: impl Into<String>, system: UdiSystem) {
-        let tenant = Arc::new(Tenant::new(system));
+        let tenant = Arc::new(Tenant::first(system));
         self.tenants
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(name.into(), tenant);
+    }
+
+    /// Clone-mutate-publish: run `apply` on a private clone of `name`'s
+    /// current snapshot, then publish the result by replacing the whole
+    /// tenant record. Returns the published generation, or `None` for an
+    /// unknown tenant. Writers serialize on the tenant's gate; readers
+    /// keep answering on the old record throughout and are never blocked.
+    pub fn mutate_tenant<E>(
+        &self,
+        name: &str,
+        apply: impl FnOnce(&mut UdiSystem) -> Result<(), E>,
+    ) -> Option<Result<u64, E>> {
+        let gate = Arc::clone(&self.tenant(name)?.gate);
+        let _guard = gate.lock().unwrap_or_else(PoisonError::into_inner);
+        // Re-read under the gate: another writer may have replaced the
+        // record between our lookup and the lock.
+        let current = self.tenant(name)?;
+        let mut next = (*current.system).clone();
+        if let Err(e) = apply(&mut next) {
+            return Some(Err(e));
+        }
+        let generation = current.generation + 1;
+        let successor = Arc::new(Tenant {
+            system: Arc::new(next),
+            generation,
+            gate: Arc::clone(&gate),
+        });
+        self.tenants
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name.to_owned(), successor);
+        Some(Ok(generation))
     }
 
     /// Looks up a tenant by name.
@@ -134,7 +179,7 @@ pub fn handle(state: &ServeState, req: &Request) -> Json {
             let Some(query) = req.query.as_deref() else {
                 return error_response(req.id, "missing query");
             };
-            let sys = tenant.handle.load();
+            let sys = tenant.snapshot();
             match udi_query::parse_query(query) {
                 Ok(q) => {
                     sys.prepare(&q);
@@ -152,7 +197,7 @@ pub fn handle(state: &ServeState, req: &Request) -> Json {
             let Some(query) = req.query.as_deref() else {
                 return error_response(req.id, "missing query");
             };
-            let sys = tenant.handle.load();
+            let sys = tenant.snapshot();
             match execute_answer(&sys, req.path, query, trace) {
                 Ok(answers) => {
                     let mut extra = BTreeMap::new();
@@ -167,12 +212,13 @@ pub fn handle(state: &ServeState, req: &Request) -> Json {
             let Some(table) = req.table.clone() else {
                 return error_response(req.id, "missing table");
             };
-            match tenant.mutate(|sys| sys.add_source(table)) {
-                Ok(generation) => {
+            match state.mutate_tenant(&req.tenant, |sys| sys.add_source(table)) {
+                Some(Ok(generation)) => {
                     state.recorder.count("serve.refresh", 1);
                     ok_response(req.id, generation, BTreeMap::new())
                 }
-                Err(e) => error_response(req.id, &e.to_string()),
+                Some(Err(e)) => error_response(req.id, &e.to_string()),
+                None => error_response(req.id, &format!("unknown tenant `{}`", req.tenant)),
             }
         }
         Op::ApplyFeedback => {
@@ -183,42 +229,51 @@ pub fn handle(state: &ServeState, req: &Request) -> Json {
             for (a, b) in &req.different {
                 fb.confirm_different(a, b);
             }
-            match tenant.mutate(|sys| sys.apply_feedback(&fb)) {
-                Ok(generation) => {
+            match state.mutate_tenant(&req.tenant, |sys| sys.apply_feedback(&fb)) {
+                Some(Ok(generation)) => {
                     state.recorder.count("serve.refresh", 1);
                     ok_response(req.id, generation, BTreeMap::new())
                 }
-                Err(e) => error_response(req.id, &e.to_string()),
+                Some(Err(e)) => error_response(req.id, &e.to_string()),
+                None => error_response(req.id, &format!("unknown tenant `{}`", req.tenant)),
             }
         }
-        Op::Stats => {
-            let sys = tenant.handle.load();
-            let counters = state
-                .counters
-                .snapshot()
-                .into_iter()
-                .map(|(name, v)| {
-                    (
-                        name.to_owned(),
-                        Json::Int(i64::try_from(v).unwrap_or(i64::MAX)),
-                    )
-                })
-                .collect();
-            let mut t = BTreeMap::new();
-            t.insert(
-                "sources".to_owned(),
-                Json::Int(i64::try_from(sys.catalog().source_count()).unwrap_or(i64::MAX)),
-            );
-            t.insert(
-                "plan_cache_len".to_owned(),
-                Json::Int(i64::try_from(sys.plan_cache_len()).unwrap_or(i64::MAX)),
-            );
-            let mut extra = BTreeMap::new();
-            extra.insert("counters".to_owned(), Json::Obj(counters));
-            extra.insert("tenant".to_owned(), Json::Obj(t));
-            ok_response(req.id, sys.engine().generation(), extra)
-        }
+        Op::Stats => stats_response(state, &tenant, req.id),
     }
+}
+
+/// Builds the `stats` response for one tenant: the serving-layer counter
+/// snapshot plus tenant facts (source count, plan-cache size). Hoisted out
+/// of the dispatcher so the whole stats read path is a certified entry —
+/// lock-free + io-free + spawn-free (`audit.toml [effects]`): the counter
+/// snapshot is udi-obs (exempt instrumentation), the tenant snapshot is an
+/// `Arc` clone, and the plan-cache length is a wait-free chain walk.
+pub fn stats_response(state: &ServeState, tenant: &Tenant, id: Option<i64>) -> Json {
+    let sys = tenant.snapshot();
+    let counters = state
+        .counters
+        .snapshot()
+        .into_iter()
+        .map(|(name, v)| {
+            (
+                name.to_owned(),
+                Json::Int(i64::try_from(v).unwrap_or(i64::MAX)),
+            )
+        })
+        .collect();
+    let mut t = BTreeMap::new();
+    t.insert(
+        "sources".to_owned(),
+        Json::Int(i64::try_from(sys.catalog().source_count()).unwrap_or(i64::MAX)),
+    );
+    t.insert(
+        "plan_cache_len".to_owned(),
+        Json::Int(i64::try_from(sys.plan_cache_len()).unwrap_or(i64::MAX)),
+    );
+    let mut extra = BTreeMap::new();
+    extra.insert("counters".to_owned(), Json::Obj(counters));
+    extra.insert("tenant".to_owned(), Json::Obj(t));
+    ok_response(id, sys.engine().generation(), extra)
 }
 
 /// Parses and executes `query` on `path` against one snapshot, rendering
@@ -287,7 +342,7 @@ mod tests {
     fn answer_matches_library_bytes_on_every_path() {
         let state = state_with_tenant();
         let tenant = state.tenant("t0").unwrap();
-        let sys = tenant.handle().load();
+        let sys = tenant.snapshot();
         for path in AnswerPath::ALL {
             let query = if path == AnswerPath::Aggregate {
                 "SELECT COUNT(name) FROM people"
@@ -325,7 +380,7 @@ mod tests {
     fn add_source_publishes_a_new_generation_without_touching_readers() {
         let state = state_with_tenant();
         let tenant = state.tenant("t0").unwrap();
-        let before = tenant.handle().load();
+        let before = tenant.snapshot();
         let req = parse_request(
             r#"{"op":"add_source","tenant":"t0","table":{"name":"s3","attrs":["person","cell"],"rows":[["Eve","777"]]}}"#,
         )
@@ -334,8 +389,11 @@ mod tests {
         assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
         // The held reader still sees the old snapshot...
         assert_eq!(before.catalog().source_count(), 2);
-        // ...while fresh loads see the published successor.
-        assert_eq!(tenant.handle().load().catalog().source_count(), 3);
+        // ...while a re-fetched record sees the published successor (a
+        // held `Tenant` is immutable — readers re-fetch to advance).
+        let after = state.tenant("t0").unwrap();
+        assert_eq!(after.snapshot().catalog().source_count(), 3);
+        assert_eq!(after.generation(), 2);
     }
 
     #[test]
@@ -348,11 +406,7 @@ mod tests {
         assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
         let tenant = state.tenant("t0").unwrap();
         assert_eq!(
-            tenant
-                .handle()
-                .load()
-                .feedback()
-                .judgment("name", "full_name"),
+            tenant.snapshot().feedback().judgment("name", "full_name"),
             Some(true)
         );
     }

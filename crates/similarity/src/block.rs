@@ -42,7 +42,9 @@ fn pack(gram: &[char]) -> [u8; 16] {
     debug_assert!(gram.len() <= 4, "gram wider than the fixed-width key");
     let mut key = [0u8; 16];
     for (i, &c) in gram.iter().enumerate() {
-        key[i * 4..i * 4 + 4].copy_from_slice(&(c as u32).to_le_bytes());
+        if let Some(chunk) = key.get_mut(i * 4..i * 4 + 4) {
+            chunk.copy_from_slice(&(c as u32).to_le_bytes());
+        }
     }
     key
 }
@@ -131,7 +133,9 @@ impl BlockIndex {
         grams.sort_unstable();
         grams.dedup();
         for &g in &grams {
-            self.postings[g.0 as usize].push(key);
+            if let Some(posting) = self.postings.get_mut(g.0 as usize) {
+                posting.push(key);
+            }
         }
         self.key_grams.push(grams);
         key
@@ -171,12 +175,12 @@ impl BlockIndex {
         };
         let mut out: Vec<u32> = Vec::new();
         for &g in grams {
-            out.extend(
-                self.postings[g.0 as usize]
-                    .iter()
-                    .copied()
-                    .filter(|&m| m != key),
-            );
+            let posting = self
+                .postings
+                .get(g.0 as usize)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            out.extend(posting.iter().copied().filter(|&m| m != key));
         }
         out.sort_unstable();
         out.dedup();
@@ -206,15 +210,31 @@ impl BlockIndex {
         let mut out: Vec<(u32, u32)> = Vec::new();
         for &high in &sorted {
             let from = out.len();
-            for &g in &self.key_grams[high as usize] {
-                for &m in &self.postings[g.0 as usize] {
-                    if m < high && member[m as usize] && seen[m as usize] != high {
-                        seen[m as usize] = high;
+            let grams = self
+                .key_grams
+                .get(high as usize)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            for &g in grams {
+                let posting = self
+                    .postings
+                    .get(g.0 as usize)
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]);
+                for &m in posting {
+                    let is_member = member.get(m as usize).copied().unwrap_or(false);
+                    let fresh = seen.get(m as usize).is_some_and(|&s| s != high);
+                    if m < high && is_member && fresh {
+                        if let Some(slot) = seen.get_mut(m as usize) {
+                            *slot = high;
+                        }
                         out.push((m, high));
                     }
                 }
             }
-            out[from..].sort_unstable();
+            if let Some(tail) = out.get_mut(from..) {
+                tail.sort_unstable();
+            }
         }
         out
     }

@@ -27,16 +27,22 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     }
     let mut row: Vec<usize> = (0..=short.len()).collect();
     for (i, &cl) in long.iter().enumerate() {
-        let mut prev_diag = row[0];
-        row[0] = i + 1;
+        let mut prev_diag = row.first().copied().unwrap_or(0);
+        if let Some(first) = row.first_mut() {
+            *first = i + 1;
+        }
         for (j, &cs) in short.iter().enumerate() {
             let cost = usize::from(cl != cs);
-            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
-            prev_diag = row[j + 1];
-            row[j + 1] = next;
+            let left = row.get(j).copied().unwrap_or(0);
+            let up = row.get(j + 1).copied().unwrap_or(0);
+            let next = (prev_diag + cost).min(left + 1).min(up + 1);
+            prev_diag = up;
+            if let Some(slot) = row.get_mut(j + 1) {
+                *slot = next;
+            }
         }
     }
-    row[short.len()]
+    row.last().copied().unwrap_or(0)
 }
 
 /// Normalized Levenshtein similarity: `1 − d(a, b) / max(|a|, |b|)`.

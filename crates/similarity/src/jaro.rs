@@ -37,8 +37,11 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         let lo = i.saturating_sub(window);
         let hi = (i + window + 1).min(lb);
         for j in lo..hi {
-            if !b_used[j] && cb[j] == c {
-                b_used[j] = true;
+            let used = b_used.get(j).copied().unwrap_or(true);
+            if !used && cb.get(j) == Some(&c) {
+                if let Some(slot) = b_used.get_mut(j) {
+                    *slot = true;
+                }
                 a_matches.push(c);
                 break;
             }

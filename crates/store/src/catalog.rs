@@ -151,8 +151,9 @@ impl Catalog {
         if needs_new {
             self.shards.push(Shard::new());
         }
-        let last = self.shards.len() - 1;
-        self.shards[last].push(table);
+        if let Some(last) = self.shards.last_mut() {
+            last.push(table);
+        }
         Ok(id)
     }
 
@@ -174,8 +175,11 @@ impl Catalog {
                     .map(|local| (si, local))
             })
             .ok_or_else(|| StoreError::UnknownSourceName(name.to_owned()))?;
-        let table = self.shards[si].remove(local);
-        if self.shards[si].is_empty() {
+        let Some(shard) = self.shards.get_mut(si) else {
+            return Err(StoreError::UnknownSourceName(name.to_owned()));
+        };
+        let table = shard.remove(local);
+        if shard.is_empty() {
             self.shards.remove(si);
         }
         for a in table.attributes() {
@@ -236,7 +240,7 @@ impl Catalog {
     /// Fetch a source by id.
     pub fn source(&self, id: SourceId) -> Result<&Table, StoreError> {
         self.locate(id.0 as usize)
-            .and_then(|(si, local)| self.shards[si].table(local))
+            .and_then(|(si, local)| self.shards.get(si)?.table(local))
             .ok_or(StoreError::UnknownSource(id.0))
     }
 

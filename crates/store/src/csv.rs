@@ -61,7 +61,7 @@ fn parse_records(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
     let mut i = 0;
     let mut field_started = false;
     while i < bytes.len() {
-        let c = bytes[i];
+        let Some(&c) = bytes.get(i) else { break };
         match c {
             b'"' if !field_started || field.is_empty() => {
                 // Quoted field.
@@ -80,8 +80,9 @@ fn parse_records(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
                         }
                         Some(_) => {
                             // Advance one UTF-8 character.
-                            let ch_len = text[i..].chars().next().map_or(1, char::len_utf8);
-                            field.push_str(&text[i..i + ch_len]);
+                            let tail = text.get(i..).unwrap_or("");
+                            let ch_len = tail.chars().next().map_or(1, char::len_utf8);
+                            field.push_str(tail.get(..ch_len).unwrap_or(""));
                             i += ch_len;
                         }
                     }
@@ -106,8 +107,9 @@ fn parse_records(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
                 i += 1;
             }
             _ => {
-                let ch_len = text[i..].chars().next().map_or(1, char::len_utf8);
-                field.push_str(&text[i..i + ch_len]);
+                let tail = text.get(i..).unwrap_or("");
+                let ch_len = tail.chars().next().map_or(1, char::len_utf8);
+                field.push_str(tail.get(..ch_len).unwrap_or(""));
                 field_started = true;
                 i += ch_len;
             }
@@ -136,7 +138,7 @@ impl Table {
             Table::try_new(name, header.iter().map(String::as_str)).map_err(CsvError::BadHeader)?;
         for (idx, rec) in iter.enumerate() {
             // A trailing blank line parses as a single empty field: skip it.
-            if rec.len() == 1 && rec[0].is_empty() && table.arity() != 1 {
+            if rec.len() == 1 && rec.first().is_some_and(String::is_empty) && table.arity() != 1 {
                 continue;
             }
             if rec.len() != table.arity() {

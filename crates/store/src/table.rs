@@ -98,7 +98,7 @@ impl Table {
         let name = name.into();
         let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
         for (i, a) in attributes.iter().enumerate() {
-            if attributes[..i].contains(a) {
+            if attributes.get(..i).is_some_and(|head| head.contains(a)) {
                 return Err(StoreError::DuplicateAttribute {
                     table: name,
                     attribute: a.clone(),
@@ -155,7 +155,12 @@ impl Table {
         if row >= self.len {
             return None;
         }
-        Some(self.cols.iter().map(|c| c[row].clone()).collect())
+        Some(
+            self.cols
+                .iter()
+                .map(|c| c.get(row).cloned().unwrap_or(Value::Null))
+                .collect(),
+        )
     }
 
     /// Materialize every row (row-major copy of the table).

@@ -252,23 +252,28 @@ fn like_greedy(t: &[char], p: &[char]) -> bool {
     // After the most recent `%`: (pattern index past it, text index where
     // its current absorption ends).
     let mut retry: Option<(usize, usize)> = None;
-    while ti < t.len() {
-        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
-            ti += 1;
-            pi += 1;
-        } else if pi < p.len() && p[pi] == '%' {
-            retry = Some((pi + 1, ti));
-            pi += 1;
-        } else if let Some((rp, rt)) = retry {
-            pi = rp;
-            ti = rt + 1;
-            retry = Some((rp, rt + 1));
-        } else {
-            return false;
+    while let Some(&tc) = t.get(ti) {
+        match p.get(pi) {
+            Some(&pc) if pc == '_' || pc == tc => {
+                ti += 1;
+                pi += 1;
+            }
+            Some('%') => {
+                retry = Some((pi + 1, ti));
+                pi += 1;
+            }
+            _ => {
+                let Some((rp, rt)) = retry else {
+                    return false;
+                };
+                pi = rp;
+                ti = rt + 1;
+                retry = Some((rp, rt + 1));
+            }
         }
     }
     // Only trailing `%`s can match the exhausted text.
-    while pi < p.len() && p[pi] == '%' {
+    while p.get(pi) == Some(&'%') {
         pi += 1;
     }
     pi == p.len()

@@ -52,6 +52,7 @@ fn workspace_tree_is_audit_clean() {
         "audit.pass.determinism",
         "audit.pass.error-discard",
         "audit.pass.dead-exports",
+        "audit.pass.hot-path-cert",
     ] {
         let stat = summary
             .span(span)

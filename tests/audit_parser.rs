@@ -200,6 +200,7 @@ fn reach_config(crates: &[&str]) -> Config {
         error_discard_exempt: Vec::new(),
         ratchet: None,
         source: None,
+        ..Config::default()
     }
 }
 

@@ -1,10 +1,11 @@
 //! Serving-layer invariants: snapshot swaps are atomic, refreshes never
 //! block readers, and the wire path is byte-identical to the library path.
 //!
-//! The contract under test (DESIGN.md §13): a tenant's [`SystemHandle`]
-//! holds an `Arc`-swapped snapshot; readers load and answer against a
-//! complete generation — old or new, never a torn mix — while mutations
-//! clone, rebuild off to the side, and publish atomically. The proptest
+//! The contract under test (DESIGN.md §13): a tenant is an immutable
+//! snapshot record; readers take an `Arc` snapshot (no lock) and answer
+//! against a complete generation — old or new, never a torn mix — while
+//! mutations clone, rebuild off to the side, and publish atomically by
+//! replacing the record in the tenant map. The proptest
 //! interleaves random mutations with concurrent answers through the server
 //! dispatcher and checks every observable answer against a library-built
 //! mirror of some published generation.
@@ -59,8 +60,8 @@ fn concurrent_readers_see_whole_generations_only() {
     let tenant = state.tenant("t").unwrap();
 
     // Library-built expectations for both generations.
-    let expect_g0 = render_probe(&tenant.handle().load());
-    let mut successor = (*tenant.handle().load()).clone();
+    let expect_g0 = render_probe(&tenant.snapshot());
+    let mut successor = (*tenant.snapshot()).clone();
     successor.add_source(extra_source(0)).unwrap();
     let expect_g1 = render_probe(&successor);
     assert_ne!(expect_g0, expect_g1, "mutation must be observable");
@@ -123,8 +124,11 @@ fn concurrent_readers_see_whole_generations_only() {
         }
     }
     assert!(total > 0, "readers made no progress");
-    // After the publish, fresh reads serve generation 1.
-    assert_eq!(render_probe(&tenant.handle().load()), expect_g1);
+    // After the publish, a re-fetched record serves generation 1.
+    assert_eq!(
+        render_probe(&state.tenant("t").unwrap().snapshot()),
+        expect_g1
+    );
 }
 
 /// A refresh must never block readers: while a mutation rebuilds the
@@ -168,7 +172,7 @@ fn refresh_in_progress_does_not_block_readers() {
                 // The invariant under test: loading a snapshot never
                 // blocks, even mid-rebuild. Render only occasionally so
                 // the loop's cadence is dominated by loads.
-                let sys = tenant.handle().load();
+                let sys = tenant.snapshot();
                 if i.is_multiple_of(64) {
                     assert!(!render_probe(&sys).is_empty());
                 }
@@ -201,9 +205,10 @@ fn refresh_in_progress_does_not_block_readers() {
         "no reads completed while the refresh was rebuilding — readers blocked"
     );
     assert_eq!(
-        tenant
-            .handle()
-            .load()
+        state
+            .tenant("t")
+            .unwrap()
+            .snapshot()
             .feedback()
             .judgment("name", "address"),
         Some(true)
@@ -243,7 +248,7 @@ proptest! {
         let state = ServeState::new();
         state.register_tenant("t", base_system());
         let tenant = state.tenant("t").unwrap();
-        let mut mirror = (*tenant.handle().load()).clone();
+        let mut mirror = (*tenant.snapshot()).clone();
 
         // Racing reader through the dispatcher: every response it sees
         // must be ok and parse back to the bytes it was rendered from.
@@ -289,7 +294,7 @@ proptest! {
 
             // Served answer after the publish == library mirror, bytewise,
             // on every path that takes a select query.
-            let snapshot = tenant.handle().load();
+            let snapshot = state.tenant("t").unwrap().snapshot();
             for path in [AnswerPath::Consolidated, AnswerPath::Pmed, AnswerPath::ByTuple] {
                 let served = execute_answer(&snapshot, path, PROBE, 0).unwrap().render();
                 let mirrored = execute_answer(&mirror, path, PROBE, 0).unwrap().render();
